@@ -1,0 +1,65 @@
+//! The §4.2 "two other more complex formulas": `(P1 ∧ P2) until P3` and
+//! `P1 ∧ eventually (P2 until P3)`, direct vs SQL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simvid_bench::{prepared_db, third_list, workload_lists, THETA};
+use simvid_core::list;
+use simvid_relal::translate;
+use std::hint::black_box;
+
+const SIZES: &[u32] = &[10_000, 50_000];
+
+fn bench_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complex_formulas");
+    group.sample_size(10);
+    for &n in SIZES {
+        let (p1, p2) = workload_lists(n, 42);
+        let p3 = third_list(n, 42);
+
+        group.bench_with_input(BenchmarkId::new("cx1_direct", n), &n, |bench, _| {
+            bench.iter(|| {
+                let conj = list::and(black_box(&p1), black_box(&p2));
+                black_box(list::until(&conj, black_box(&p3), THETA))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cx2_direct", n), &n, |bench, _| {
+            bench.iter(|| {
+                let u = list::until(black_box(&p2), black_box(&p3), THETA);
+                let ev = list::eventually(&u);
+                black_box(list::and(black_box(&p1), &ev))
+            });
+        });
+
+        let mut db = prepared_db(n);
+        translate::load_list(&mut db, "p1", &p1).unwrap();
+        translate::load_list(&mut db, "p2", &p2).unwrap();
+        translate::load_list(&mut db, "p3", &p3).unwrap();
+        let cut12 = THETA * (p1.max() + p2.max()) - 1e-12;
+        let cx1 = format!(
+            "{}\n{}",
+            translate::conjunction_script("p1", "p2", "c12"),
+            translate::until_script("c12", "p3", "out_cx1", cut12)
+        );
+        group.bench_with_input(BenchmarkId::new("cx1_sql", n), &n, |bench, _| {
+            bench.iter(|| {
+                db.execute_script(black_box(&cx1)).unwrap();
+            });
+        });
+        let cut23 = THETA * p2.max() - 1e-12;
+        let cx2 = format!(
+            "{}\n{}\n{}",
+            translate::until_script("p2", "p3", "u23", cut23),
+            translate::eventually_script("u23", "ev23"),
+            translate::conjunction_script("p1", "ev23", "out_cx2")
+        );
+        group.bench_with_input(BenchmarkId::new("cx2_sql", n), &n, |bench, _| {
+            bench.iter(|| {
+                db.execute_script(black_box(&cx2)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complex);
+criterion_main!(benches);

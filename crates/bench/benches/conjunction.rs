@@ -1,0 +1,32 @@
+//! Table 5: `P1 ∧ P2`, direct list merge vs SQL baseline, at the paper's
+//! sizes (10 000, 50 000, 100 000 shots; ~10% satisfy the predicates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simvid_bench::{prepared_db, workload_lists, PAPER_SIZES};
+use simvid_core::list;
+use simvid_relal::translate;
+use std::hint::black_box;
+
+fn bench_conjunction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_conjunction");
+    group.sample_size(10);
+    for &n in PAPER_SIZES {
+        let (a, b) = workload_lists(n, 42);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, _| {
+            bench.iter(|| black_box(list::and(black_box(&a), black_box(&b))));
+        });
+        let mut db = prepared_db(n);
+        translate::load_list(&mut db, "p1", &a).unwrap();
+        translate::load_list(&mut db, "p2", &b).unwrap();
+        let script = translate::conjunction_script("p1", "p2", "out_conj");
+        group.bench_with_input(BenchmarkId::new("sql", n), &n, |bench, _| {
+            bench.iter(|| {
+                db.execute_script(black_box(&script)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conjunction);
+criterion_main!(benches);

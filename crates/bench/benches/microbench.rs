@@ -1,0 +1,103 @@
+//! Micro/ablation benchmarks: individual list operators, the k-way
+//! existential merge, the picture system, and the full Casablanca
+//! pipeline (Query 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simvid_bench::{workload_lists, THETA};
+use simvid_core::{list, Engine};
+use simvid_picture::PictureSystem;
+use simvid_workload::{casablanca, randomlists};
+use std::hint::black_box;
+
+fn bench_list_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_ops_50k");
+    let (a, b) = workload_lists(50_000, 7);
+    group.bench_function("and", |bench| {
+        bench.iter(|| black_box(list::and(black_box(&a), black_box(&b))));
+    });
+    group.bench_function("until", |bench| {
+        bench.iter(|| black_box(list::until(black_box(&a), black_box(&b), THETA)));
+    });
+    group.bench_function("eventually", |bench| {
+        bench.iter(|| black_box(list::eventually(black_box(&b))));
+    });
+    group.bench_function("next", |bench| {
+        bench.iter(|| black_box(list::next(black_box(&a))));
+    });
+    group.bench_function("max_merge", |bench| {
+        bench.iter(|| black_box(list::max_merge(black_box(&a), black_box(&b))));
+    });
+    group.finish();
+}
+
+/// The §3.2 claim: the m-way merge collapsing existential bindings costs
+/// `O(l log m)`. Sweep m at fixed per-list size.
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_max_merge");
+    for &m in &[2usize, 8, 32] {
+        let cfg = randomlists::ListGenConfig::default().with_n(10_000);
+        let lists: Vec<_> = (0..m as u64)
+            .map(|s| randomlists::generate(&cfg, 100 + s))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| black_box(list::max_merge_many(black_box(&lists))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_casablanca_pipeline(c: &mut Criterion) {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let engine = Engine::new(&sys, &tree);
+    let query = casablanca::query1();
+    let mut group = c.benchmark_group("casablanca");
+    group.bench_function("query1_end_to_end", |bench| {
+        bench.iter(|| black_box(engine.eval_closed_at_level(black_box(&query), 1).unwrap()));
+    });
+    let mw = casablanca::man_woman();
+    group.bench_function("picture_atomic_query", |bench| {
+        bench.iter(|| black_box(sys.query(black_box(&mw), 1).unwrap()));
+    });
+    group.finish();
+}
+
+/// Linear-scaling evidence for the direct `until` (the paper: "the time
+/// taken by the direct method increases linearly with the size").
+fn bench_until_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("until_scaling_direct");
+    for &n in &[25_000u32, 50_000, 100_000, 200_000] {
+        let (g, h) = workload_lists(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(list::until(black_box(&g), black_box(&h), THETA)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the three conjunction semantics cost the same O(l₁+l₂) sweep.
+fn bench_conjunction_semantics(c: &mut Criterion) {
+    use simvid_core::ConjunctionSemantics;
+    let (a, b) = workload_lists(50_000, 21);
+    let mut group = c.benchmark_group("conjunction_semantics_50k");
+    for sem in [
+        ConjunctionSemantics::Sum,
+        ConjunctionSemantics::WeakestLink,
+        ConjunctionSemantics::Product,
+    ] {
+        group.bench_function(format!("{sem:?}"), |bench| {
+            bench.iter(|| black_box(list::and_with(black_box(&a), black_box(&b), sem)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list_ops,
+    bench_kway_merge,
+    bench_casablanca_pipeline,
+    bench_until_scaling,
+    bench_conjunction_semantics
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 6: `P1 until P2`, direct backward merge vs SQL baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simvid_bench::{prepared_db, workload_lists, PAPER_SIZES, THETA};
+use simvid_core::list;
+use simvid_relal::translate;
+use std::hint::black_box;
+
+fn bench_until(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_until");
+    group.sample_size(10);
+    for &n in PAPER_SIZES {
+        let (g, h) = workload_lists(n, 42);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, _| {
+            bench.iter(|| black_box(list::until(black_box(&g), black_box(&h), THETA)));
+        });
+        let mut db = prepared_db(n);
+        translate::load_list(&mut db, "p1", &g).unwrap();
+        translate::load_list(&mut db, "p2", &h).unwrap();
+        let cut = THETA * g.max() - 1e-12;
+        let script = translate::until_script("p1", "p2", "out_until", cut);
+        group.bench_with_input(BenchmarkId::new("sql", n), &n, |bench, _| {
+            bench.iter(|| {
+                db.execute_script(black_box(&script)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_until);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [figure2|table1..table6|complex|ablation|all] [--json PATH]
+//! ```
+
+use simvid_bench::{
+    format_list_table, format_perf_table, measure_complex1, measure_complex2,
+    measure_conjunction, measure_until, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+};
+use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
+use simvid_picture::PictureSystem;
+use simvid_workload::casablanca;
+
+fn casablanca_lists() -> (SimilarityList, SimilarityList) {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let mt = sys
+        .query_closed(&casablanca::moving_train(), 1)
+        .expect("moving-train query")
+        .coalesce();
+    let mw = sys
+        .query_closed(&casablanca::man_woman(), 1)
+        .expect("man-woman query")
+        .coalesce();
+    (mt, mw)
+}
+
+fn figure2() {
+    let l1 = SimilarityList::from_tuples(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0).unwrap();
+    let l2 = SimilarityList::from_tuples(
+        vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+        20.0,
+    )
+    .unwrap();
+    let out = list::until(&l1, &l2, THETA);
+    println!("Figure 2: the `until` list algorithm on the paper's example\n");
+    println!("{}", format_list_table("Input L1 (g, after thresholding):", &l1.to_tuples()));
+    println!("{}", format_list_table("Input L2 (h):", &l2.to_tuples()));
+    println!("{}", format_list_table("Output (g until h):", &out.to_tuples()));
+    println!(
+        "Paper's output: [10 24](10 20) [25 60](15 20) [61 110](12 20) [125 175](10 20)\n"
+    );
+}
+
+fn table1() {
+    let (mt, _) = casablanca_lists();
+    println!(
+        "{}",
+        format_list_table("Table 1. Moving-Train (from crafted meta-data)", &mt.to_tuples())
+    );
+    println!(
+        "{}",
+        format_list_table("Paper's Table 1:", casablanca::TABLE1_MOVING_TRAIN)
+    );
+}
+
+fn table2() {
+    let (_, mw) = casablanca_lists();
+    println!(
+        "{}",
+        format_list_table("Table 2. Man-Woman (from crafted meta-data)", &mw.to_tuples())
+    );
+    println!(
+        "{}",
+        format_list_table("Paper's Table 2:", casablanca::TABLE2_MAN_WOMAN)
+    );
+}
+
+fn table3() {
+    let (mt, _) = casablanca_lists();
+    let ev = list::eventually(&mt);
+    println!(
+        "{}",
+        format_list_table("Table 3. Result of eventually Moving-Train", &ev.to_tuples())
+    );
+    println!(
+        "{}",
+        format_list_table("Paper's Table 3:", casablanca::TABLE3_EVENTUALLY)
+    );
+}
+
+fn table4() {
+    // Full pipeline: engine over the crafted video, ranked like the paper.
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let engine = Engine::new(&sys, &tree);
+    let out = engine
+        .eval_closed_at_level(&casablanca::query1(), 1)
+        .expect("query 1 evaluates");
+    let ranked: Vec<(u32, u32, f64)> = rank_entries(&out)
+        .into_iter()
+        .map(|(iv, sim)| (iv.beg, iv.end, sim.act))
+        .collect();
+    println!(
+        "{}",
+        format_list_table(
+            "Table 4. Final result of Query 1 (Man-Woman and eventually Moving-Train), ranked",
+            &ranked
+        )
+    );
+    println!(
+        "{}",
+        format_list_table("Paper's Table 4:", casablanca::TABLE4_QUERY1_RANKED)
+    );
+}
+
+fn ablation() {
+    // The conclusion's future work: "investigate other similarity
+    // functions, other than the fractional similarity function". Query 1 on
+    // the Casablanca data under three conjunction semantics.
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    println!("Ablation: Query 1 rankings under alternative conjunction semantics\n");
+    for sem in [
+        ConjunctionSemantics::Sum,
+        ConjunctionSemantics::WeakestLink,
+        ConjunctionSemantics::Product,
+    ] {
+        let engine = Engine::with_config(
+            &sys,
+            &tree,
+            EngineConfig { conjunction: sem, ..EngineConfig::default() },
+        );
+        let out = engine
+            .eval_closed_at_level(&casablanca::query1(), 1)
+            .expect("query 1 evaluates");
+        let ranked: Vec<(u32, u32, f64)> = rank_entries(&out)
+            .into_iter()
+            .map(|(iv, sim)| (iv.beg, iv.end, sim.act))
+            .collect();
+        println!("{}", format_list_table(&format!("{sem:?} semantics:"), &ranked));
+    }
+    println!(
+        "Sum (the paper's) rewards strong one-sided matches; weakest-link and\n\
+         product discard segments that miss a conjunct entirely.\n"
+    );
+}
+
+fn perf(
+    title: &str,
+    paper: &[(u32, Option<f64>, Option<f64>)],
+    measure: impl Fn(u32, u64) -> PerfRow,
+) -> Vec<PerfRow> {
+    let rows: Vec<PerfRow> = PAPER_SIZES.iter().map(|&n| measure(n, 42)).collect();
+    println!("{}", format_perf_table(title, &rows, paper));
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map_or("all", String::as_str);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut json = serde_json::Map::new();
+
+    if matches!(what, "figure2" | "all") {
+        figure2();
+    }
+    if matches!(what, "table1" | "all") {
+        table1();
+    }
+    if matches!(what, "table2" | "all") {
+        table2();
+    }
+    if matches!(what, "table3" | "all") {
+        table3();
+    }
+    if matches!(what, "table4" | "all") {
+        table4();
+    }
+    if matches!(what, "table5" | "all") {
+        let rows = perf(
+            "Table 5. Performance, P1 and P2 (direct vs SQL-based)",
+            PAPER_TABLE5,
+            measure_conjunction,
+        );
+        json.insert("table5".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(what, "table6" | "all") {
+        let rows = perf(
+            "Table 6. Performance, P1 until P2 (direct vs SQL-based)",
+            PAPER_TABLE6,
+            measure_until,
+        );
+        json.insert("table6".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(what, "ablation" | "all") {
+        ablation();
+    }
+    if matches!(what, "complex" | "all") {
+        let rows = perf(
+            "Extra (§4.2): (P1 and P2) until P3",
+            &[],
+            measure_complex1,
+        );
+        json.insert("complex1".into(), serde_json::to_value(&rows).unwrap());
+        let rows = perf(
+            "Extra (§4.2): P1 and eventually (P2 until P3)",
+            &[],
+            measure_complex2,
+        );
+        json.insert("complex2".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
+            .expect("write json results");
+        println!("wrote machine-readable results to {path}");
+    }
+}

@@ -1,0 +1,595 @@
+//! The recursive evaluation engine for extended conjunctive formulas.
+//!
+//! The engine walks the formula structure (§3): atomic units go to the
+//! picture retrieval system (an [`AtomicProvider`]); `∧` and `until`
+//! combine tables by natural join with the corresponding list algorithm;
+//! `next`/`eventually` map lists row-wise; existential quantifiers collapse
+//! table columns by point-wise max; freeze quantifiers join with value
+//! tables; level modal operators descend the video hierarchy, evaluating
+//! the subformula on each segment's descendant sequence and reading the
+//! value at its first element.
+
+use crate::valuetable::freeze_join;
+use crate::{list, EngineError, Row, SimilarityList, SimilarityTable, ValueTable};
+use simvid_htl::{
+    atomic_units, classify, is_pure, AtomicUnit, AttrFn, Formula, FormulaClass, LevelSpec,
+};
+use simvid_model::VideoTree;
+use std::cell::RefCell;
+
+/// The proper sequence a formula is being evaluated on: the segments at
+/// depth `depth` with 0-based positions `lo..hi` within the level sequence.
+/// Similarity lists over this context use local 1-based positions
+/// `1..=(hi-lo)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqContext {
+    /// 0-based depth in the hierarchy.
+    pub depth: u8,
+    /// First position (inclusive) within the level sequence.
+    pub lo: u32,
+    /// One past the last position.
+    pub hi: u32,
+}
+
+impl SeqContext {
+    /// Number of segments in the sequence.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+}
+
+/// Source of similarity tables for atomic units — the picture retrieval
+/// system of the paper's architecture (Figure 1).
+pub trait AtomicProvider {
+    /// The similarity table of a non-temporal atomic unit over the given
+    /// sequence, with positions numbered 1-based relative to `ctx.lo`.
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable;
+
+    /// The maximum similarity of an atomic unit (a function of the unit
+    /// only; needed when a sequence yields no rows at all).
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64;
+
+    /// The value table of an attribute function over the given sequence
+    /// (for freeze quantifiers).
+    fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable;
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The minimum fractional similarity the left side of `until` must
+    /// reach to count as satisfied (the paper's unspecified "threshold").
+    pub until_threshold: f64,
+    /// How conjunctions combine similarities (the paper's Sum by default;
+    /// the alternatives realise the conclusion's "other similarity
+    /// functions" ablation).
+    pub conjunction: crate::ConjunctionSemantics,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            until_threshold: 0.5,
+            conjunction: crate::ConjunctionSemantics::Sum,
+        }
+    }
+}
+
+/// Work counters for complexity validation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Atomic tables fetched from the provider.
+    pub atomic_fetches: usize,
+    /// Table joins performed.
+    pub joins: usize,
+    /// Similarity-list entries fed into list algorithms.
+    pub entries_processed: usize,
+    /// Level-modal descents into child sequences.
+    pub level_descents: usize,
+}
+
+/// Evaluates extended conjunctive HTL formulas over one video.
+pub struct Engine<'a, P: AtomicProvider> {
+    provider: &'a P,
+    tree: &'a VideoTree,
+    config: EngineConfig,
+    stats: RefCell<EvalStats>,
+}
+
+impl<'a, P: AtomicProvider> Engine<'a, P> {
+    /// Creates an engine with default configuration.
+    pub fn new(provider: &'a P, tree: &'a VideoTree) -> Self {
+        Engine::with_config(provider, tree, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(provider: &'a P, tree: &'a VideoTree, config: EngineConfig) -> Self {
+        Engine { provider, tree, config, stats: RefCell::new(EvalStats::default()) }
+    }
+
+    /// Work counters accumulated since the last top-level evaluation call.
+    pub fn stats(&self) -> EvalStats {
+        *self.stats.borrow()
+    }
+
+    /// Evaluates `f` over the full sequence of segments at `depth`,
+    /// producing a similarity table (rows = evaluations of free variables).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnsupportedFormula`] if `f` is not extended
+    /// conjunctive (or simpler); [`EngineError::BadLevel`] on bad level
+    /// modalities.
+    pub fn eval_at_level(&self, f: &Formula, depth: u8) -> Result<SimilarityTable, EngineError> {
+        if classify(f) == FormulaClass::General {
+            return Err(EngineError::UnsupportedFormula(
+                "contains negation of temporal structure, unbound variables, or a non-prefix \
+                 existential quantifier with temporal scope"
+                    .into(),
+            ));
+        }
+        *self.stats.borrow_mut() = EvalStats::default();
+        let n = self.tree.level_sequence(depth).len() as u32;
+        self.eval(f, SeqContext { depth, lo: 0, hi: n })
+    }
+
+    /// Evaluates `f` over the full sequence at `depth` *without* the
+    /// formula-class gate: free object variables are allowed and surface
+    /// as binding columns of the result table. Negations outside atomic
+    /// units still fail during evaluation. Useful for inspecting the
+    /// intermediate similarity tables of a query's subformulas.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnsupportedFormula`] on operators outside the
+    /// engine's algebra; [`EngineError::BadLevel`] on bad level
+    /// modalities.
+    pub fn eval_open_at_level(
+        &self,
+        f: &Formula,
+        depth: u8,
+    ) -> Result<SimilarityTable, EngineError> {
+        *self.stats.borrow_mut() = EvalStats::default();
+        let n = self.tree.level_sequence(depth).len() as u32;
+        self.eval(f, SeqContext { depth, lo: 0, hi: n })
+    }
+
+    /// Evaluates a *closed* `f` over the full sequence at `depth`, returning
+    /// the similarity list of the sequence's segments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::eval_at_level`], plus if free variables remain.
+    pub fn eval_closed_at_level(
+        &self,
+        f: &Formula,
+        depth: u8,
+    ) -> Result<SimilarityList, EngineError> {
+        let t = self.eval_at_level(f, depth)?;
+        if !t.obj_cols.is_empty() || !t.attr_cols.is_empty() {
+            return Err(EngineError::UnsupportedFormula(format!(
+                "free variables remain: {:?} {:?}",
+                t.obj_cols, t.attr_cols
+            )));
+        }
+        Ok(t.into_closed_list())
+    }
+
+    /// Evaluates `f` on the whole video — the one-element sequence holding
+    /// the root (§2.3's satisfaction by a video). The resulting similarity
+    /// is the value at position 1.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::eval_closed_at_level`].
+    pub fn eval_video(&self, f: &Formula) -> Result<crate::Sim, EngineError> {
+        let l = self.eval_closed_at_level(f, 0)?;
+        Ok(l.sim_at(1))
+    }
+
+    /// The maximum similarity of `f` (a function of the formula only).
+    #[must_use]
+    pub fn formula_max(&self, f: &Formula) -> f64 {
+        if is_pure(f) {
+            let unit = unit_of(f);
+            return self.provider.atomic_max(&unit);
+        }
+        match f {
+            Formula::And(g, h) => self.formula_max(g) + self.formula_max(h),
+            Formula::Until(_, h) => self.formula_max(h),
+            Formula::Not(g)
+            | Formula::Next(g)
+            | Formula::Eventually(g)
+            | Formula::Exists(_, g)
+            | Formula::Freeze { body: g, .. }
+            | Formula::AtLevel(_, g) => self.formula_max(g),
+            Formula::Atom(_) => unreachable!("atoms are pure"),
+        }
+    }
+
+    fn eval(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
+        if is_pure(f) {
+            self.stats.borrow_mut().atomic_fetches += 1;
+            let unit = unit_of(f);
+            return Ok(self.provider.atomic_table(&unit, ctx).ensure_closed_row());
+        }
+        match f {
+            Formula::And(g, h) => {
+                let tg = self.eval(g, ctx)?;
+                let th = self.eval(h, ctx)?;
+                self.note_join(&tg, &th);
+                let sem = self.config.conjunction;
+                Ok(tg.join(&th, tg.max + th.max, move |a, b| list::and_with(a, b, sem)))
+            }
+            Formula::Until(g, h) => {
+                let tg = self.eval(g, ctx)?;
+                let th = self.eval(h, ctx)?;
+                self.note_join(&tg, &th);
+                let theta = self.config.until_threshold;
+                Ok(tg.join(&th, th.max, |a, b| list::until(a, b, theta)))
+            }
+            Formula::Next(g) => {
+                let t = self.eval(g, ctx)?;
+                let max = t.max;
+                Ok(t.map_lists(max, list::next))
+            }
+            Formula::Eventually(g) => {
+                let t = self.eval(g, ctx)?;
+                let max = t.max;
+                Ok(t.map_lists(max, list::eventually))
+            }
+            Formula::Exists(var, g) => Ok(self.eval(g, ctx)?.project_out_obj(&var.0)),
+            Formula::Freeze { var, func, body } => {
+                let t = self.eval(body, ctx)?;
+                let vt = self.provider.value_table(func, ctx);
+                Ok(freeze_join(&t, &vt, &var.0))
+            }
+            Formula::AtLevel(spec, g) => self.eval_at_level_modal(spec, g, ctx),
+            Formula::Not(_) => Err(EngineError::UnsupportedFormula(
+                "negation outside atomic units".into(),
+            )),
+            Formula::Atom(_) => unreachable!("atoms are pure"),
+        }
+    }
+
+    fn eval_at_level_modal(
+        &self,
+        spec: &LevelSpec,
+        g: &Formula,
+        ctx: SeqContext,
+    ) -> Result<SimilarityTable, EngineError> {
+        let target = match spec {
+            LevelSpec::Next => ctx.depth + 1,
+            LevelSpec::Number(n) => n
+                .checked_sub(1)
+                .ok_or_else(|| EngineError::BadLevel("level numbers start at 1".into()))?,
+            LevelSpec::Named(name) => self
+                .tree
+                .level_by_name(name)
+                .ok_or_else(|| EngineError::BadLevel(format!("no level named `{name}`")))?,
+        };
+        if target <= ctx.depth {
+            return Err(EngineError::BadLevel(format!(
+                "level {} does not lie below the current level {}",
+                target + 1,
+                ctx.depth + 1
+            )));
+        }
+        let gmax = self.formula_max(g);
+        let mut out: Option<SimilarityTable> = None;
+        // (binding, entries) accumulated across parents; entries arrive in
+        // ascending position order because parents are processed in order.
+        type Acc = Vec<(Vec<simvid_model::ObjectId>, Vec<crate::AttrRange>, Vec<(u32, f64)>)>;
+        let mut acc: Acc = Vec::new();
+        let seq = self.tree.level_sequence(ctx.depth);
+        for (local0, &node) in seq[ctx.lo as usize..ctx.hi as usize].iter().enumerate() {
+            let Some((lo, hi)) = self.tree.descendant_span(node, target) else {
+                continue;
+            };
+            if lo == hi {
+                continue;
+            }
+            self.stats.borrow_mut().level_descents += 1;
+            let sub = self.eval(g, SeqContext { depth: target, lo, hi })?;
+            let local_pos = local0 as u32 + 1;
+            for row in &sub.rows {
+                // The modal operator reads the value at the *first* segment
+                // of the descendant sequence.
+                let v = row.list.value_at(1);
+                if v <= 0.0 {
+                    continue;
+                }
+                match acc
+                    .iter_mut()
+                    .find(|(objs, ranges, _)| *objs == row.objs && *ranges == row.ranges)
+                {
+                    Some((_, _, entries)) => entries.push((local_pos, v)),
+                    None => acc.push((row.objs.clone(), row.ranges.clone(), vec![(local_pos, v)])),
+                }
+            }
+            if out.is_none() {
+                out = Some(SimilarityTable::new(
+                    sub.obj_cols.clone(),
+                    sub.attr_cols.clone(),
+                    gmax,
+                ));
+            }
+        }
+        let mut out = out.unwrap_or_else(|| {
+            // No parent had descendants: derive columns from the formula.
+            let unit_objs = simvid_htl::free_obj_vars(g);
+            let unit_attrs = simvid_htl::free_attr_vars(g);
+            SimilarityTable::new(
+                unit_objs.into_iter().map(|v| v.0).collect(),
+                unit_attrs.into_iter().map(|v| v.0).collect(),
+                gmax,
+            )
+        });
+        for (objs, ranges, entries) in acc {
+            let list = SimilarityList::from_tuples(
+                entries.into_iter().map(|(p, v)| (p, p, v)).collect(),
+                gmax,
+            )
+            .expect("positions are distinct and ascending");
+            out.push_row(Row { objs, ranges, list });
+        }
+        Ok(out.ensure_closed_row())
+    }
+
+    fn note_join(&self, a: &SimilarityTable, b: &SimilarityTable) {
+        let mut s = self.stats.borrow_mut();
+        s.joins += 1;
+        s.entries_processed += a.rows.iter().map(|r| r.list.len()).sum::<usize>()
+            + b.rows.iter().map(|r| r.list.len()).sum::<usize>();
+    }
+}
+
+/// Wraps a pure formula as an atomic unit.
+fn unit_of(f: &Formula) -> AtomicUnit {
+    let mut units = atomic_units(f);
+    debug_assert_eq!(units.len(), 1, "pure formulas are single units");
+    units.pop().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_htl::parse;
+    use simvid_model::{AttrValue, VideoBuilder};
+
+    /// A provider that serves fixed lists keyed by the unit's printed form,
+    /// slicing to the requested window.
+    struct FixtureProvider {
+        tables: Vec<(String, SimilarityList)>,
+    }
+
+    impl FixtureProvider {
+        fn new(entries: Vec<(&str, SimilarityList)>) -> Self {
+            FixtureProvider {
+                tables: entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            }
+        }
+
+        fn lookup(&self, key: &str) -> Option<&SimilarityList> {
+            self.tables.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    impl AtomicProvider for FixtureProvider {
+        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+            let key = unit.formula.to_string();
+            let list = self
+                .lookup(&key)
+                .map(|l| l.slice_window(ctx.lo + 1, ctx.hi))
+                .unwrap_or_else(|| SimilarityList::empty(1.0));
+            SimilarityTable::from_list(list)
+        }
+
+        fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+            self.lookup(&unit.formula.to_string()).map_or(1.0, SimilarityList::max)
+        }
+
+        fn value_table(&self, _func: &AttrFn, _ctx: SeqContext) -> ValueTable {
+            ValueTable::default()
+        }
+    }
+
+    fn sl(tuples: Vec<(u32, u32, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    /// A flat 50-shot video (like the Casablanca setup).
+    fn flat_video(n: usize) -> simvid_model::VideoTree {
+        let mut b = VideoBuilder::new("flat");
+        b.set_level_names(["video", "shot"]);
+        for i in 0..n {
+            b.leaf(format!("shot{i}"));
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn query1_pipeline_matches_paper_tables() {
+        // Query 1: Man-Woman and eventually Moving-Train.
+        let provider = FixtureProvider::new(vec![
+            (
+                "MW()",
+                sl(
+                    vec![(1, 4, 2.595), (6, 6, 1.26), (8, 8, 1.26), (10, 44, 1.26), (47, 49, 6.26)],
+                    6.26,
+                ),
+            ),
+            ("MT()", sl(vec![(9, 9, 9.787)], 9.787)),
+        ]);
+        let tree = flat_video(50);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse("MW() and eventually MT()").unwrap();
+        let out = engine.eval_closed_at_level(&f, 1).unwrap();
+        crate::list::assert_tuples_approx(
+            &out.to_tuples(),
+            &[
+                (1, 4, 12.382),
+                (5, 5, 9.787),
+                (6, 6, 11.047),
+                (7, 7, 9.787),
+                (8, 8, 11.047),
+                (9, 9, 9.787),
+                (10, 44, 1.26),
+                (47, 49, 6.26),
+            ],
+        );
+        assert_eq!(out.max(), 6.26 + 9.787);
+        let stats = engine.stats();
+        assert_eq!(stats.atomic_fetches, 2);
+        assert_eq!(stats.joins, 1);
+    }
+
+    #[test]
+    fn general_formulas_rejected() {
+        let provider = FixtureProvider::new(vec![]);
+        let tree = flat_video(3);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse("not eventually p()").unwrap();
+        assert!(matches!(
+            engine.eval_at_level(&f, 1),
+            Err(EngineError::UnsupportedFormula(_))
+        ));
+    }
+
+    #[test]
+    fn level_modal_reads_first_child() {
+        // 2 scenes with 3 and 2 shots; p() holds at shots 1 and 4 (the
+        // first shots of each scene) and at shot 2.
+        let mut b = VideoBuilder::new("v");
+        b.set_level_names(["video", "scene", "shot"]);
+        b.child("scene0");
+        for i in 0..3 {
+            b.leaf(format!("s0.{i}"));
+        }
+        b.up();
+        b.child("scene1");
+        for i in 0..2 {
+            b.leaf(format!("s1.{i}"));
+        }
+        b.up();
+        let tree = b.finish().unwrap();
+        let provider = FixtureProvider::new(vec![(
+            "p()",
+            sl(vec![(1, 2, 1.0), (4, 4, 0.5)], 1.0),
+        )]);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse("at shot level p()").unwrap();
+        // Evaluated on the scene sequence: scene 1's first shot is global
+        // shot 1 (value 1.0), scene 2's first shot is global shot 4 (0.5).
+        let out = engine.eval_closed_at_level(&f, 1).unwrap();
+        assert_eq!(out.to_tuples(), vec![(1, 1, 1.0), (2, 2, 0.5)]);
+        assert_eq!(engine.stats().level_descents, 2);
+    }
+
+    #[test]
+    fn level_modal_temporal_inside() {
+        // `at shot level (p() until q())` per scene: windows are local.
+        let mut b = VideoBuilder::new("v");
+        b.set_level_names(["video", "scene", "shot"]);
+        b.child("scene0");
+        for i in 0..3 {
+            b.leaf(format!("s0.{i}"));
+        }
+        b.up();
+        b.child("scene1");
+        for i in 0..3 {
+            b.leaf(format!("s1.{i}"));
+        }
+        b.up();
+        let tree = b.finish().unwrap();
+        // Globally: p on shots 1..5, q on shot 6 only.
+        let provider = FixtureProvider::new(vec![
+            ("p()", sl(vec![(1, 5, 1.0)], 1.0)),
+            ("q()", sl(vec![(6, 6, 2.0)], 2.0)),
+        ]);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse("at shot level (p() until q())").unwrap();
+        let out = engine.eval_closed_at_level(&f, 1).unwrap();
+        // Scene 1 (shots 1-3): q never inside, p-run cannot reach shot 6
+        // across the scene boundary -> first shot value 0.
+        // Scene 2 (shots 4-6 local 1-3): local p on 1..2, q at local 3 ->
+        // until holds at local 1 with 2.0.
+        assert_eq!(out.to_tuples(), vec![(2, 2, 2.0)]);
+    }
+
+    #[test]
+    fn bad_level_names_error() {
+        let provider = FixtureProvider::new(vec![]);
+        let tree = flat_video(3);
+        let engine = Engine::new(&provider, &tree);
+        assert!(matches!(
+            engine.eval_at_level(&parse("at nowhere level p()").unwrap(), 1),
+            Err(EngineError::BadLevel(_))
+        ));
+        // `at level 1` from level 1 does not descend.
+        assert!(matches!(
+            engine.eval_at_level(&parse("at level 1 p()").unwrap(), 0),
+            Err(EngineError::BadLevel(_))
+        ));
+    }
+
+    #[test]
+    fn eval_video_scores_the_root() {
+        let provider = FixtureProvider::new(vec![(
+            "type = \"western\"",
+            sl(vec![(1, 1, 1.0)], 1.0),
+        )]);
+        let mut b = VideoBuilder::new("v");
+        b.segment_attr("type", AttrValue::from("western"));
+        b.leaf("shot");
+        let tree = b.finish().unwrap();
+        let engine = Engine::new(&provider, &tree);
+        let sim = engine.eval_video(&parse("type = \"western\"").unwrap()).unwrap();
+        assert!(sim.is_exact());
+    }
+
+    #[test]
+    fn exists_collapse_takes_max_over_bindings() {
+        // Simulate a provider with free-variable rows via a custom impl.
+        struct TwoBindings;
+        impl AtomicProvider for TwoBindings {
+            fn atomic_table(&self, unit: &AtomicUnit, _ctx: SeqContext) -> SimilarityTable {
+                let mut t = SimilarityTable::new(
+                    unit.free_objs.iter().map(|v| v.0.clone()).collect(),
+                    vec![],
+                    2.0,
+                );
+                t.push_row(Row {
+                    objs: vec![simvid_model::ObjectId(1)],
+                    ranges: vec![],
+                    list: sl(vec![(1, 2, 1.0)], 2.0),
+                });
+                t.push_row(Row {
+                    objs: vec![simvid_model::ObjectId(2)],
+                    ranges: vec![],
+                    list: sl(vec![(2, 3, 2.0)], 2.0),
+                });
+                t
+            }
+            fn atomic_max(&self, _unit: &AtomicUnit) -> f64 {
+                2.0
+            }
+            fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+                ValueTable::default()
+            }
+        }
+        let tree = flat_video(3);
+        let engine = Engine::new(&TwoBindings, &tree);
+        let f = parse("exists x . eventually p(x)").unwrap();
+        let out = engine.eval_closed_at_level(&f, 1).unwrap();
+        // eventually per binding: o1 -> [1,2]=1.0; o2 -> [1,3]=2.0; max.
+        assert_eq!(out.to_tuples(), vec![(1, 3, 2.0)]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors of the core engine.
+
+use std::fmt;
+
+/// Errors raised while constructing similarity lists or evaluating formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Two entries of a similarity list overlap.
+    OverlappingEntries,
+    /// An entry's actual similarity exceeds the list maximum.
+    ActAboveMax,
+    /// The formula falls outside the extended conjunctive class the engine
+    /// supports (contains negation, unbound variables, or a non-prefix
+    /// existential quantifier with temporal scope).
+    UnsupportedFormula(String),
+    /// A level modal operator names a level that does not exist or does not
+    /// lie below the current one.
+    BadLevel(String),
+    /// Tables being joined disagree on structure (internal invariant).
+    TableMismatch(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::OverlappingEntries => {
+                write!(f, "similarity list entries overlap")
+            }
+            EngineError::ActAboveMax => {
+                write!(f, "entry actual similarity exceeds the list maximum")
+            }
+            EngineError::UnsupportedFormula(why) => {
+                write!(f, "formula not in the extended conjunctive class: {why}")
+            }
+            EngineError::BadLevel(why) => write!(f, "bad level modality: {why}"),
+            EngineError::TableMismatch(why) => write!(f, "table mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(EngineError::OverlappingEntries.to_string().contains("overlap"));
+        assert!(EngineError::UnsupportedFormula("negation".into())
+            .to_string()
+            .contains("negation"));
+    }
+}

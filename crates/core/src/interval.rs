@@ -1,0 +1,119 @@
+//! Closed segment-id intervals `[beg, end]`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 1-based temporal position of a segment within its sequence, as used by
+/// the retrieval algorithms (§3.1 numbers segments from 1).
+pub type SegPos = u32;
+
+/// A closed, non-empty interval of segment positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// First position (inclusive, ≥ 1).
+    pub beg: SegPos,
+    /// Last position (inclusive, ≥ beg).
+    pub end: SegPos,
+}
+
+impl Interval {
+    /// Creates `[beg, end]`; panics in debug builds if empty or 0-based.
+    #[must_use]
+    pub fn new(beg: SegPos, end: SegPos) -> Interval {
+        debug_assert!(beg >= 1, "positions are 1-based");
+        debug_assert!(beg <= end, "interval [{beg}, {end}] is empty");
+        Interval { beg, end }
+    }
+
+    /// Number of positions covered.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        u64::from(self.end - self.beg) + 1
+    }
+
+    /// Intervals are never empty; for lint friendliness.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `pos` lies inside.
+    #[must_use]
+    pub fn contains(self, pos: SegPos) -> bool {
+        self.beg <= pos && pos <= self.end
+    }
+
+    /// Whether the two intervals share a position.
+    #[must_use]
+    pub fn intersects(self, other: Interval) -> bool {
+        self.beg <= other.end && other.beg <= self.end
+    }
+
+    /// The common sub-interval, if any.
+    #[must_use]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let beg = self.beg.max(other.beg);
+        let end = self.end.min(other.end);
+        (beg <= end).then(|| Interval::new(beg, end))
+    }
+
+    /// Whether `other` begins exactly one past `self` (so the two can be
+    /// coalesced into a single run).
+    #[must_use]
+    pub fn adjacent_before(self, other: Interval) -> bool {
+        self.end + 1 == other.beg
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.beg, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_counts_inclusive_bounds() {
+        assert_eq!(Interval::new(3, 3).len(), 1);
+        assert_eq!(Interval::new(1, 10).len(), 10);
+    }
+
+    #[test]
+    fn containment() {
+        let iv = Interval::new(5, 9);
+        assert!(iv.contains(5));
+        assert!(iv.contains(9));
+        assert!(!iv.contains(4));
+        assert!(!iv.contains(10));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(4, 8);
+        assert_eq!(a.intersection(b), Some(Interval::new(4, 5)));
+        assert!(a.intersects(b));
+        let c = Interval::new(6, 9);
+        assert_eq!(a.intersection(c), None);
+        assert!(!a.intersects(c));
+        // Touching at one point.
+        assert_eq!(a.intersection(Interval::new(5, 7)), Some(Interval::new(5, 5)));
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(Interval::new(1, 4).adjacent_before(Interval::new(5, 9)));
+        assert!(!Interval::new(1, 4).adjacent_before(Interval::new(6, 9)));
+        assert!(!Interval::new(1, 4).adjacent_before(Interval::new(4, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    #[cfg(debug_assertions)]
+    fn empty_interval_rejected() {
+        let _ = Interval::new(5, 4);
+    }
+}

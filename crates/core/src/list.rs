@@ -1,0 +1,853 @@
+//! Similarity lists and the direct algorithms of §3.1.
+//!
+//! A similarity list stores, for one formula, the actual similarity value of
+//! every segment with non-zero similarity, as a sorted sequence of disjoint
+//! intervals (the paper's "list of entries `([beg-id, end-id],
+//! (act-sim, max-sim))`"). The maximum similarity is identical in every
+//! entry — it depends only on the formula — so it is stored once per list.
+
+use crate::{EngineError, Interval, SegPos, Sim};
+use serde::{Deserialize, Serialize};
+
+/// One entry: an interval of segment positions sharing an actual similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The covered positions.
+    pub iv: Interval,
+    /// The actual similarity of every position in `iv` (> 0).
+    pub act: f64,
+}
+
+/// A similarity list: sorted, disjoint, positive-valued interval entries
+/// plus the formula's maximum similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityList {
+    entries: Vec<Entry>,
+    max: f64,
+}
+
+impl SimilarityList {
+    /// The empty list (every segment has similarity zero).
+    #[must_use]
+    pub fn empty(max: f64) -> SimilarityList {
+        SimilarityList { entries: Vec::new(), max }
+    }
+
+    /// Builds a list from entries, sorting them and dropping non-positive
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OverlappingEntries`] if two entries share a position,
+    /// [`EngineError::ActAboveMax`] if a value exceeds `max`.
+    pub fn from_entries(mut entries: Vec<Entry>, max: f64) -> Result<SimilarityList, EngineError> {
+        entries.retain(|e| e.act > 0.0);
+        entries.sort_by_key(|e| e.iv.beg);
+        for w in entries.windows(2) {
+            if w[0].iv.end >= w[1].iv.beg {
+                return Err(EngineError::OverlappingEntries);
+            }
+        }
+        if entries.iter().any(|e| e.act > max) {
+            return Err(EngineError::ActAboveMax);
+        }
+        Ok(SimilarityList { entries, max })
+    }
+
+    /// Builds a list from `(beg, end, act)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimilarityList::from_entries`].
+    pub fn from_tuples(
+        tuples: Vec<(SegPos, SegPos, f64)>,
+        max: f64,
+    ) -> Result<SimilarityList, EngineError> {
+        Self::from_entries(
+            tuples
+                .into_iter()
+                .map(|(b, e, act)| Entry { iv: Interval::new(b, e), act })
+                .collect(),
+            max,
+        )
+    }
+
+    /// Builds a list from a dense array: `values[i]` is the similarity of
+    /// position `i + 1`. Runs of equal positive values become entries.
+    #[must_use]
+    pub fn from_dense(values: &[f64], max: f64) -> SimilarityList {
+        let mut entries = Vec::new();
+        let mut run: Option<(SegPos, f64)> = None;
+        for (i, &v) in values.iter().enumerate() {
+            let pos = (i + 1) as SegPos;
+            match run {
+                Some((_, act)) if v == act => {}
+                current => {
+                    if let Some((beg, act)) = current {
+                        if act > 0.0 {
+                            entries.push(Entry { iv: Interval::new(beg, pos - 1), act });
+                        }
+                    }
+                    run = Some((pos, v));
+                }
+            }
+        }
+        if let Some((beg, act)) = run {
+            if act > 0.0 {
+                entries.push(Entry {
+                    iv: Interval::new(beg, values.len() as SegPos),
+                    act,
+                });
+            }
+        }
+        SimilarityList { entries, max }
+    }
+
+    /// Expands to a dense array of length `n` (positions `1..=n`).
+    #[must_use]
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for e in &self.entries {
+            let lo = e.iv.beg as usize - 1;
+            let hi = (e.iv.end as usize).min(n);
+            for slot in &mut out[lo.min(n)..hi] {
+                *slot = e.act;
+            }
+        }
+        out
+    }
+
+    /// The entries, sorted by begin position.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The maximum similarity of the underlying formula.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of entries (the `length(L)` of the complexity analysis).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no segment has positive similarity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The actual similarity at a position (zero if absent).
+    #[must_use]
+    pub fn value_at(&self, pos: SegPos) -> f64 {
+        match self
+            .entries
+            .binary_search_by(|e| e.iv.end.cmp(&pos))
+        {
+            Ok(i) => self.entries[i].act,
+            Err(i) => self
+                .entries
+                .get(i)
+                .filter(|e| e.iv.contains(pos))
+                .map_or(0.0, |e| e.act),
+        }
+    }
+
+    /// The `(act, max)` pair at a position.
+    #[must_use]
+    pub fn sim_at(&self, pos: SegPos) -> Sim {
+        Sim::new(self.value_at(pos), self.max)
+    }
+
+    /// Entries as `(beg, end, act)` tuples (for inspection and tests).
+    #[must_use]
+    pub fn to_tuples(&self) -> Vec<(SegPos, SegPos, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.iv.beg, e.iv.end, e.act))
+            .collect()
+    }
+
+    /// Merges adjacent entries holding the same value.
+    #[must_use]
+    pub fn coalesce(mut self) -> SimilarityList {
+        let mut out: Vec<Entry> = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.act == e.act && last.iv.adjacent_before(e.iv) => {
+                    last.iv.end = e.iv.end;
+                }
+                _ => out.push(e),
+            }
+        }
+        SimilarityList { entries: out, max: self.max }
+    }
+
+    /// Restricts the list to a window `[lo, hi]` of absolute positions and
+    /// renumbers so the window starts at position 1.
+    #[must_use]
+    pub fn slice_window(&self, lo: SegPos, hi: SegPos) -> SimilarityList {
+        let mut entries = Vec::new();
+        for e in &self.entries {
+            if let Some(iv) = e.iv.intersection(Interval::new(lo, hi)) {
+                entries.push(Entry {
+                    iv: Interval::new(iv.beg - lo + 1, iv.end - lo + 1),
+                    act: e.act,
+                });
+            }
+        }
+        SimilarityList { entries, max: self.max }
+    }
+
+    /// Inverse of [`SimilarityList::slice_window`]: renumbers local
+    /// positions back to absolute ones starting at `lo`.
+    #[must_use]
+    pub fn unslice_window(&self, lo: SegPos) -> SimilarityList {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| Entry {
+                iv: Interval::new(e.iv.beg + lo - 1, e.iv.end + lo - 1),
+                act: e.act,
+            })
+            .collect();
+        SimilarityList { entries, max: self.max }
+    }
+
+    /// Restricts the list to the union of `spans` (sorted, disjoint),
+    /// keeping values — the merging step of the freeze-quantifier join
+    /// (§3.3): output entries are the intersections of the list's entries
+    /// with the spans where the frozen attribute holds the row's value.
+    /// `O(l + s)`.
+    #[must_use]
+    pub fn restrict_to(&self, spans: &[Interval]) -> SimilarityList {
+        let mut out = Vec::new();
+        let mut si = 0usize;
+        for e in &self.entries {
+            while si < spans.len() && spans[si].end < e.iv.beg {
+                si += 1;
+            }
+            let mut k = si;
+            while k < spans.len() && spans[k].beg <= e.iv.end {
+                if let Some(iv) = e.iv.intersection(spans[k]) {
+                    out.push(Entry { iv, act: e.act });
+                }
+                k += 1;
+            }
+        }
+        SimilarityList { entries: out, max: self.max }
+    }
+
+    /// Total number of positions covered by entries.
+    #[must_use]
+    pub fn coverage(&self) -> u64 {
+        self.entries.iter().map(|e| e.iv.len()).sum()
+    }
+
+    /// Validates the canonical-form invariants (debug aid).
+    pub fn check_invariants(&self) -> Result<(), EngineError> {
+        for w in self.entries.windows(2) {
+            if w[0].iv.end >= w[1].iv.beg {
+                return Err(EngineError::OverlappingEntries);
+            }
+        }
+        if self.entries.iter().any(|e| e.act > self.max || e.act <= 0.0) {
+            return Err(EngineError::ActAboveMax);
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps two lists in lock step, combining per-position values with `f`
+/// (absent positions count as 0); positions where `f` yields `<= 0` are
+/// dropped. `O(l₁ + l₂)`.
+fn sweep2(l1: &SimilarityList, l2: &SimilarityList, max: f64, f: impl Fn(f64, f64) -> f64) -> SimilarityList {
+    // Merge the two sorted boundary streams. Boundaries are entry begins and
+    // one-past-ends.
+    let mut bounds: Vec<SegPos> = Vec::with_capacity(2 * (l1.len() + l2.len()));
+    {
+        // Flatten each list's boundaries into sorted streams and merge them.
+        let stream1: Vec<SegPos> =
+            l1.entries.iter().flat_map(|e| [e.iv.beg, e.iv.end + 1]).collect();
+        let stream2: Vec<SegPos> =
+            l2.entries.iter().flat_map(|e| [e.iv.beg, e.iv.end + 1]).collect();
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |bounds: &mut Vec<SegPos>, b: SegPos| {
+            if bounds.last() != Some(&b) {
+                bounds.push(b);
+            }
+        };
+        while i < stream1.len() || j < stream2.len() {
+            let take1 = match (stream1.get(i), stream2.get(j)) {
+                (Some(&a), Some(&b)) => a <= b,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take1 {
+                push(&mut bounds, stream1[i]);
+                i += 1;
+            } else {
+                push(&mut bounds, stream2[j]);
+                j += 1;
+            }
+        }
+    }
+    let mut out: Vec<Entry> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    for w in bounds.windows(2) {
+        let (b, next_b) = (w[0], w[1]);
+        while i < l1.entries.len() && l1.entries[i].iv.end < b {
+            i += 1;
+        }
+        while j < l2.entries.len() && l2.entries[j].iv.end < b {
+            j += 1;
+        }
+        let v1 = l1.entries.get(i).filter(|e| e.iv.contains(b)).map_or(0.0, |e| e.act);
+        let v2 = l2.entries.get(j).filter(|e| e.iv.contains(b)).map_or(0.0, |e| e.act);
+        let v = f(v1, v2);
+        if v > 0.0 {
+            let iv = Interval::new(b, next_b - 1);
+            match out.last_mut() {
+                Some(last) if last.act == v && last.iv.adjacent_before(iv) => {
+                    last.iv.end = iv.end;
+                }
+                _ => out.push(Entry { iv, act: v }),
+            }
+        }
+    }
+    SimilarityList { entries: out, max }
+}
+
+/// Conjunction `f = g ∧ h`: per-position sum of actual similarities, with
+/// maxima added. A position appearing in only one list keeps that list's
+/// value — partial satisfaction counts (§2.5). `O(l₁ + l₂)` on sorted lists
+/// (the paper's modified merge).
+#[must_use]
+pub fn and(l1: &SimilarityList, l2: &SimilarityList) -> SimilarityList {
+    sweep2(l1, l2, l1.max + l2.max, |a, b| a + b)
+}
+
+/// Alternative conjunction semantics — the paper's conclusion calls for
+/// investigating "other similarity functions, other than the fractional
+/// similarity function"; these are the two standard candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConjunctionSemantics {
+    /// The paper's semantics: component-wise sum of `(act, max)` (§2.5).
+    /// Partial satisfaction of one conjunct alone still scores.
+    #[default]
+    Sum,
+    /// Weakest-link: the combined fraction is the *minimum* of the two
+    /// fractions. A segment entirely missing one conjunct scores zero.
+    WeakestLink,
+    /// Product t-norm: the combined fraction is the product of the two
+    /// fractions — softer than weakest-link, harsher than sum.
+    Product,
+}
+
+/// Conjunction under a chosen semantics. All variants agree on exact
+/// matches (fraction 1 ⇔ both conjuncts exact) and share the combined
+/// maximum `m₁ + m₂`, so rankings are comparable across semantics.
+#[must_use]
+pub fn and_with(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    sem: ConjunctionSemantics,
+) -> SimilarityList {
+    let (m1, m2) = (l1.max, l2.max);
+    let out_max = m1 + m2;
+    let frac = |a: f64, m: f64| if m > 0.0 { a / m } else { 0.0 };
+    match sem {
+        ConjunctionSemantics::Sum => and(l1, l2),
+        ConjunctionSemantics::WeakestLink => sweep2(l1, l2, out_max, move |a, b| {
+            frac(a, m1).min(frac(b, m2)) * out_max
+        }),
+        ConjunctionSemantics::Product => sweep2(l1, l2, out_max, move |a, b| {
+            frac(a, m1) * frac(b, m2) * out_max
+        }),
+    }
+}
+
+/// Per-position maximum of two lists over the *same* formula (used to
+/// collapse existential quantifiers: the similarity of `∃x g` is the max
+/// over evaluations). The maxima must agree conceptually; the larger is
+/// kept.
+#[must_use]
+pub fn max_merge(l1: &SimilarityList, l2: &SimilarityList) -> SimilarityList {
+    sweep2(l1, l2, l1.max.max(l2.max), f64::max)
+}
+
+/// `m`-way max merge by balanced divide and conquer: `O(l log m)` where `l`
+/// is the total entry count — the complexity the paper quotes for the
+/// modified m-way merge of §3.2.
+#[must_use]
+pub fn max_merge_many(lists: &[SimilarityList]) -> SimilarityList {
+    match lists {
+        [] => SimilarityList::empty(0.0),
+        [one] => one.clone(),
+        many => {
+            let mid = many.len() / 2;
+            max_merge(&max_merge_many(&many[..mid]), &max_merge_many(&many[mid..]))
+        }
+    }
+}
+
+/// `f = next g`: an interval `[u, v]` for `g` becomes `[u − 1, v − 1]` for
+/// `f` (§3.1), clipped to positions ≥ 1. The last segment of a sequence gets
+/// actual similarity 0, which the list encodes by omission.
+#[must_use]
+pub fn next(l: &SimilarityList) -> SimilarityList {
+    let entries = l
+        .entries
+        .iter()
+        .filter(|e| e.iv.end >= 2)
+        .map(|e| Entry {
+            iv: Interval::new(e.iv.beg.max(2) - 1, e.iv.end - 1),
+            act: e.act,
+        })
+        .collect();
+    SimilarityList { entries, max: l.max }
+}
+
+/// The maximal runs of positions where the fractional similarity reaches
+/// `theta`, with adjacent runs coalesced — the preprocessing of the `until`
+/// algorithm ("after this processing there will be a gap between the
+/// intervals of any two successive entries").
+#[must_use]
+pub fn threshold_runs(l: &SimilarityList, theta: f64) -> Vec<Interval> {
+    let cut = theta * l.max;
+    let mut runs: Vec<Interval> = Vec::new();
+    for e in &l.entries {
+        if e.act + 1e-12 < cut {
+            continue;
+        }
+        match runs.last_mut() {
+            Some(last) if last.end + 1 >= e.iv.beg => {
+                last.end = last.end.max(e.iv.end);
+            }
+            _ => runs.push(e.iv),
+        }
+    }
+    runs
+}
+
+/// `f = g until h` under the similarity semantics of §2.5: `f` is partially
+/// satisfied at `u` with the value of `h` at `u''` whenever `u'' = u`, or
+/// `u'' > u` and `g`'s fractional similarity reaches `theta` at every
+/// position of `[u, u'' − 1]`; the result takes the maximum over all such
+/// `u''`. The maximum similarity of `f` equals that of `h`.
+///
+/// This is the backward merge of §3.1 (Figure 2), `O(l₁ + l₂)`.
+///
+/// Note: the reachable window from a position inside a `g`-run `[s, e]`
+/// extends to `e + 1` — `h` may hold at the position immediately after the
+/// run, since `g` is only required *strictly before* `u''`.
+#[must_use]
+pub fn until(lg: &SimilarityList, lh: &SimilarityList, theta: f64) -> SimilarityList {
+    let runs = threshold_runs(lg, theta);
+    let js = &lh.entries;
+    let mut reach_entries: Vec<Entry> = Vec::new();
+    let mut j_start = 0usize;
+    let mut suffix_max: Vec<f64> = Vec::new();
+    for run in runs {
+        let (s, e) = (run.beg, run.end);
+        // Eligible h-entries: J.end >= s and J.beg <= e + 1; contiguous
+        // because entries are disjoint and sorted.
+        while j_start < js.len() && js[j_start].iv.end < s {
+            j_start += 1;
+        }
+        let mut j_end = j_start;
+        while j_end < js.len() && js[j_end].iv.beg <= e + 1 {
+            j_end += 1;
+        }
+        let eligible = &js[j_start..j_end];
+        if eligible.is_empty() {
+            continue;
+        }
+        // V(i) for i in (prev_end, J_k.end] is max(act(J_k..)) — suffix max.
+        suffix_max.clear();
+        suffix_max.resize(eligible.len(), 0.0);
+        let mut acc = 0.0f64;
+        for k in (0..eligible.len()).rev() {
+            acc = acc.max(eligible[k].act);
+            suffix_max[k] = acc;
+        }
+        for (k, je) in eligible.iter().enumerate() {
+            let lo = if k == 0 {
+                s
+            } else {
+                s.max(eligible[k - 1].iv.end + 1)
+            };
+            let hi = je.iv.end.min(e);
+            if lo <= hi {
+                reach_entries.push(Entry {
+                    iv: Interval::new(lo, hi),
+                    act: suffix_max[k],
+                });
+            }
+        }
+    }
+    let reach = SimilarityList { entries: reach_entries, max: lh.max };
+    // u'' = u is always allowed: h's own list joins the max.
+    max_merge(&reach, lh)
+}
+
+/// `f = eventually g`: the similarity at `u` is the maximum similarity of
+/// `g` at any `u'' ≥ u` — a suffix-maximum of the list, `O(l)`.
+#[must_use]
+pub fn eventually(l: &SimilarityList) -> SimilarityList {
+    let js = &l.entries;
+    if js.is_empty() {
+        return SimilarityList::empty(l.max);
+    }
+    let mut suffix_max = vec![0.0f64; js.len()];
+    let mut acc = 0.0f64;
+    for k in (0..js.len()).rev() {
+        acc = acc.max(js[k].act);
+        suffix_max[k] = acc;
+    }
+    let mut entries: Vec<Entry> = Vec::with_capacity(js.len());
+    for (k, je) in js.iter().enumerate() {
+        let lo = if k == 0 { 1 } else { js[k - 1].iv.end + 1 };
+        let hi = je.iv.end;
+        let act = suffix_max[k];
+        match entries.last_mut() {
+            Some(last) if last.act == act && last.iv.adjacent_before(Interval::new(lo, hi)) => {
+                last.iv.end = hi;
+            }
+            _ => entries.push(Entry { iv: Interval::new(lo, hi), act }),
+        }
+    }
+    SimilarityList { entries, max: l.max }
+}
+
+/// Compares tuple lists with a small tolerance on the values (sums of
+/// decimal fractions are not exactly representable). Test helper.
+#[cfg(test)]
+#[track_caller]
+pub(crate) fn assert_tuples_approx(
+    got: &[(SegPos, SegPos, f64)],
+    want: &[(SegPos, SegPos, f64)],
+) {
+    assert_eq!(got.len(), want.len(), "lengths differ: {got:?} vs {want:?}");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!((g.0, g.1), (w.0, w.1), "intervals differ: {got:?} vs {want:?}");
+        assert!((g.2 - w.2).abs() < 1e-9, "values differ: {got:?} vs {want:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(tuples: Vec<(SegPos, SegPos, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_overlap_and_excess() {
+        assert!(SimilarityList::from_tuples(vec![(1, 5, 1.0), (5, 9, 1.0)], 2.0).is_err());
+        assert!(SimilarityList::from_tuples(vec![(1, 5, 3.0)], 2.0).is_err());
+        // Zero entries are dropped silently.
+        let l = sl(vec![(1, 5, 0.0), (7, 9, 1.0)], 2.0);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn construction_sorts() {
+        let l = sl(vec![(7, 9, 1.0), (1, 5, 2.0)], 2.0);
+        assert_eq!(l.to_tuples(), vec![(1, 5, 2.0), (7, 9, 1.0)]);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn value_lookup() {
+        let l = sl(vec![(3, 5, 1.5), (9, 9, 2.0)], 2.0);
+        assert_eq!(l.value_at(1), 0.0);
+        assert_eq!(l.value_at(3), 1.5);
+        assert_eq!(l.value_at(5), 1.5);
+        assert_eq!(l.value_at(6), 0.0);
+        assert_eq!(l.value_at(9), 2.0);
+        assert_eq!(l.value_at(100), 0.0);
+        assert_eq!(l.sim_at(9), Sim::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let vals = vec![0.0, 1.0, 1.0, 0.0, 2.0, 0.5, 0.5, 0.0];
+        let l = SimilarityList::from_dense(&vals, 2.0);
+        assert_eq!(l.to_tuples(), vec![(2, 3, 1.0), (5, 5, 2.0), (6, 7, 0.5)]);
+        assert_eq!(l.to_dense(8), vals);
+    }
+
+    #[test]
+    fn conjunction_sums_overlaps_and_keeps_singletons() {
+        // The paper's Query 1 final combination: Man-Woman ∧ eventually
+        // Moving-Train over the Casablanca shots.
+        let man_woman = sl(
+            vec![(1, 4, 2.595), (6, 6, 1.26), (8, 8, 1.26), (10, 44, 1.26), (47, 49, 6.26)],
+            6.26,
+        );
+        let ev_train = sl(vec![(1, 9, 9.787)], 9.787);
+        let out = and(&man_woman, &ev_train);
+        assert_tuples_approx(
+            &out.to_tuples(),
+            &[
+                (1, 4, 12.382),
+                (5, 5, 9.787),
+                (6, 6, 11.047),
+                (7, 7, 9.787),
+                (8, 8, 11.047),
+                (9, 9, 9.787),
+                (10, 44, 1.26),
+                (47, 49, 6.26),
+            ],
+        );
+        assert_eq!(out.max(), 6.26 + 9.787);
+        out.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conjunction_with_empty_is_identity_on_values() {
+        let l = sl(vec![(2, 4, 1.0)], 3.0);
+        let out = and(&l, &SimilarityList::empty(5.0));
+        assert_eq!(out.to_tuples(), l.to_tuples());
+        assert_eq!(out.max(), 8.0);
+    }
+
+    #[test]
+    fn conjunction_is_commutative() {
+        let a = sl(vec![(1, 3, 1.0), (8, 12, 2.0)], 2.0);
+        let b = sl(vec![(2, 9, 0.5)], 1.0);
+        assert_eq!(and(&a, &b).to_tuples(), and(&b, &a).to_tuples());
+    }
+
+    #[test]
+    fn next_shifts_down() {
+        let l = sl(vec![(1, 1, 1.0), (3, 5, 2.0)], 2.0);
+        let out = next(&l);
+        // [1,1] vanishes (no position 0); [3,5] -> [2,4].
+        assert_eq!(out.to_tuples(), vec![(2, 4, 2.0)]);
+        // [1,4] -> [1,3]: position 1 keeps value because g holds at 2.
+        let l2 = sl(vec![(1, 4, 1.5)], 2.0);
+        assert_eq!(next(&l2).to_tuples(), vec![(1, 3, 1.5)]);
+    }
+
+    #[test]
+    fn figure2_until_example_matches_paper() {
+        let l1 = sl(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0);
+        let l2 = sl(
+            vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+            20.0,
+        );
+        let out = until(&l1, &l2, 0.5);
+        assert_eq!(
+            out.to_tuples(),
+            vec![(10, 24, 10.0), (25, 60, 15.0), (61, 110, 12.0), (125, 175, 10.0)]
+        );
+        assert_eq!(out.max(), 20.0);
+    }
+
+    #[test]
+    fn until_reaches_one_past_the_run() {
+        // g holds on [1,5]; h holds only at [6,6]: from any i in [1,5], h at
+        // 6 is reachable (g required strictly before u'' only).
+        let g = sl(vec![(1, 5, 1.0)], 1.0);
+        let h = sl(vec![(6, 6, 7.0)], 10.0);
+        let out = until(&g, &h, 0.5);
+        assert_eq!(out.to_tuples(), vec![(1, 6, 7.0)]);
+    }
+
+    #[test]
+    fn until_does_not_cross_gaps() {
+        let g = sl(vec![(1, 3, 1.0)], 1.0);
+        let h = sl(vec![(8, 9, 5.0)], 10.0);
+        let out = until(&g, &h, 0.5);
+        // h is unreachable through g (gap at 4..7); only u''=u applies.
+        assert_eq!(out.to_tuples(), vec![(8, 9, 5.0)]);
+    }
+
+    #[test]
+    fn until_threshold_filters_g() {
+        // g's fraction is 0.4 < 0.5 on [1,10]: no reach; only h itself.
+        let g = sl(vec![(1, 10, 0.4)], 1.0);
+        let h = sl(vec![(4, 4, 5.0)], 10.0);
+        assert_eq!(until(&g, &h, 0.5).to_tuples(), vec![(4, 4, 5.0)]);
+        // At threshold 0.4 it qualifies.
+        assert_eq!(until(&g, &h, 0.4).to_tuples(), vec![(1, 4, 5.0)]);
+    }
+
+    #[test]
+    fn until_takes_max_over_reachable_h() {
+        let g = sl(vec![(1, 10, 1.0)], 1.0);
+        let h = sl(vec![(2, 2, 3.0), (6, 6, 9.0), (9, 9, 4.0)], 10.0);
+        let out = until(&g, &h, 0.5);
+        assert_eq!(
+            out.to_tuples(),
+            vec![(1, 6, 9.0), (7, 9, 4.0)]
+        );
+    }
+
+    #[test]
+    fn until_merges_adjacent_g_entries() {
+        // Two adjacent g entries form one run [1,6].
+        let g = sl(vec![(1, 3, 0.9), (4, 6, 0.8)], 1.0);
+        let h = sl(vec![(6, 6, 2.0)], 2.0);
+        assert_eq!(until(&g, &h, 0.5).to_tuples(), vec![(1, 6, 2.0)]);
+    }
+
+    #[test]
+    fn eventually_is_suffix_max() {
+        let h = sl(vec![(9, 9, 9.787)], 9.787);
+        assert_eq!(eventually(&h).to_tuples(), vec![(1, 9, 9.787)]);
+        let h2 = sl(vec![(3, 4, 2.0), (8, 8, 5.0), (12, 13, 1.0)], 5.0);
+        assert_eq!(
+            eventually(&h2).to_tuples(),
+            vec![(1, 8, 5.0), (9, 13, 1.0)]
+        );
+        assert!(eventually(&SimilarityList::empty(3.0)).is_empty());
+    }
+
+    #[test]
+    fn max_merge_pointwise() {
+        let a = sl(vec![(1, 5, 2.0)], 5.0);
+        let b = sl(vec![(3, 8, 3.0)], 5.0);
+        let out = max_merge(&a, &b);
+        assert_eq!(out.to_tuples(), vec![(1, 2, 2.0), (3, 8, 3.0)]);
+    }
+
+    #[test]
+    fn max_merge_many_equals_fold() {
+        let ls = vec![
+            sl(vec![(1, 3, 1.0)], 4.0),
+            sl(vec![(2, 5, 2.0)], 4.0),
+            sl(vec![(4, 8, 1.5)], 4.0),
+            sl(vec![(7, 7, 4.0)], 4.0),
+        ];
+        let dc = max_merge_many(&ls);
+        let mut fold = SimilarityList::empty(0.0);
+        for l in &ls {
+            fold = max_merge(&fold, l);
+        }
+        assert_eq!(dc.to_tuples(), fold.to_tuples());
+        assert!(max_merge_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_runs_merges_adjacent() {
+        let l = sl(vec![(1, 3, 0.9), (4, 6, 0.6), (8, 9, 0.2), (11, 12, 0.8)], 1.0);
+        assert_eq!(
+            threshold_runs(&l, 0.5),
+            vec![Interval::new(1, 6), Interval::new(11, 12)]
+        );
+        assert_eq!(threshold_runs(&l, 0.0).len(), 3); // 8..9 merges with nothing
+    }
+
+    #[test]
+    fn slice_and_unslice_windows() {
+        let l = sl(vec![(3, 6, 1.0), (9, 12, 2.0)], 2.0);
+        let w = l.slice_window(5, 10);
+        assert_eq!(w.to_tuples(), vec![(1, 2, 1.0), (5, 6, 2.0)]);
+        let back = w.unslice_window(5);
+        assert_eq!(back.to_tuples(), vec![(5, 6, 1.0), (9, 10, 2.0)]);
+    }
+
+    #[test]
+    fn coalesce_merges_equal_adjacent() {
+        let l = sl(vec![(1, 3, 1.0), (4, 6, 1.0), (8, 9, 1.0)], 2.0);
+        assert_eq!(
+            l.coalesce().to_tuples(),
+            vec![(1, 6, 1.0), (8, 9, 1.0)]
+        );
+    }
+
+    #[test]
+    fn restrict_to_intersects_spans() {
+        let l = sl(vec![(1, 10, 2.0), (20, 30, 3.0)], 3.0);
+        let spans = vec![Interval::new(5, 8), Interval::new(9, 22), Interval::new(28, 40)];
+        let out = l.restrict_to(&spans);
+        assert_eq!(
+            out.to_tuples(),
+            vec![(5, 8, 2.0), (9, 10, 2.0), (20, 22, 3.0), (28, 30, 3.0)]
+        );
+        assert!(l.restrict_to(&[]).is_empty());
+    }
+
+    #[test]
+    fn coverage_counts_positions() {
+        let l = sl(vec![(1, 3, 1.0), (10, 10, 1.0)], 2.0);
+        assert_eq!(l.coverage(), 4);
+    }
+}
+
+#[cfg(test)]
+mod semantics_tests {
+    use super::*;
+
+    fn sl(tuples: Vec<(SegPos, SegPos, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    #[test]
+    fn all_semantics_agree_on_exact_matches() {
+        let a = sl(vec![(1, 3, 2.0)], 2.0);
+        let b = sl(vec![(2, 5, 3.0)], 3.0);
+        for sem in [
+            ConjunctionSemantics::Sum,
+            ConjunctionSemantics::WeakestLink,
+            ConjunctionSemantics::Product,
+        ] {
+            let out = and_with(&a, &b, sem);
+            // Positions 2-3 have both conjuncts exact: fraction 1.
+            assert!((out.value_at(2) - 5.0).abs() < 1e-12, "{sem:?}");
+            assert_eq!(out.max(), 5.0, "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn semantics_rank_partial_matches_differently() {
+        // Segment 1: one conjunct fully satisfied, the other not at all.
+        // Segment 2: both conjuncts satisfied halfway.
+        let a = sl(vec![(1, 1, 2.0), (2, 2, 1.0)], 2.0);
+        let b = sl(vec![(2, 2, 1.0)], 2.0);
+        let sum = and_with(&a, &b, ConjunctionSemantics::Sum);
+        let weak = and_with(&a, &b, ConjunctionSemantics::WeakestLink);
+        let prod = and_with(&a, &b, ConjunctionSemantics::Product);
+        // Sum: both segments score 2.0 — the strong single conjunct ties
+        // with the balanced pair.
+        assert!((sum.value_at(1) - 2.0).abs() < 1e-12);
+        assert!((sum.value_at(2) - 2.0).abs() < 1e-12);
+        // Weakest-link: the one-sided segment collapses to zero.
+        assert_eq!(weak.value_at(1), 0.0);
+        assert!((weak.value_at(2) - 2.0).abs() < 1e-12); // min(0.5, 0.5)*4
+        // Product is equally harsh on one-sided matches.
+        assert_eq!(prod.value_at(1), 0.0);
+        assert!((prod.value_at(2) - 1.0).abs() < 1e-12); // 0.25 * 4
+    }
+
+    #[test]
+    fn weakest_link_is_commutative_and_bounded() {
+        let a = sl(vec![(1, 6, 1.5)], 2.0);
+        let b = sl(vec![(4, 9, 2.0)], 4.0);
+        let ab = and_with(&a, &b, ConjunctionSemantics::WeakestLink);
+        let ba = and_with(&b, &a, ConjunctionSemantics::WeakestLink);
+        assert_eq!(ab.to_dense(10), ba.to_dense(10));
+        ab.check_invariants().unwrap();
+        for e in ab.entries() {
+            assert!(e.act <= ab.max());
+        }
+    }
+
+    #[test]
+    fn sum_is_the_default_and_matches_and() {
+        let a = sl(vec![(1, 3, 1.0)], 2.0);
+        let b = sl(vec![(2, 4, 2.0)], 3.0);
+        assert_eq!(
+            and_with(&a, &b, ConjunctionSemantics::default()).to_tuples(),
+            and(&a, &b).to_tuples()
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Constraint ranges for attribute variables.
+//!
+//! §3.3 restricts predicates over an attribute variable `y` to the forms
+//! `y > q`, `y < q`, `y ≤ q`, `y ≥ q`, `y = q` (integer-valued `q`) and
+//! `y = q` for other types, so the satisfying values of `y` form a *range*.
+//! Similarity-table rows carry one range per attribute-variable column.
+//! We additionally keep `≠` exclusions so that complements of equality
+//! constraints (needed for partial matching) stay representable.
+
+use serde::{Deserialize, Serialize};
+use simvid_htl::CmpOp;
+use simvid_model::AttrValue;
+use std::fmt;
+
+/// A conjunction of constraints on one attribute variable: an optional
+/// integer interval, an optional required value, and excluded values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttrRange {
+    /// Inclusive integer lower bound.
+    pub lo: Option<i64>,
+    /// Inclusive integer upper bound.
+    pub hi: Option<i64>,
+    /// Required exact value.
+    pub eq: Option<AttrValue>,
+    /// Excluded values.
+    pub ne: Vec<AttrValue>,
+}
+
+impl AttrRange {
+    /// The unconstrained range.
+    #[must_use]
+    pub fn any() -> AttrRange {
+        AttrRange::default()
+    }
+
+    /// Requires `y == value`.
+    #[must_use]
+    pub fn exactly(value: AttrValue) -> AttrRange {
+        AttrRange { eq: Some(value), ..AttrRange::default() }
+    }
+
+    /// An inclusive integer interval.
+    #[must_use]
+    pub fn between(lo: i64, hi: i64) -> AttrRange {
+        AttrRange { lo: Some(lo), hi: Some(hi), ..AttrRange::default() }
+    }
+
+    /// The range of values satisfying `y <op> value`. Returns `None` when
+    /// the combination is not representable (ordering on non-integers).
+    #[must_use]
+    pub fn from_cmp(op: CmpOp, value: &AttrValue) -> Option<AttrRange> {
+        match op {
+            CmpOp::Eq => Some(AttrRange::exactly(value.clone())),
+            CmpOp::Ne => Some(AttrRange { ne: vec![value.clone()], ..AttrRange::default() }),
+            _ => {
+                let v = value.as_int()?;
+                Some(match op {
+                    CmpOp::Lt => AttrRange { hi: Some(v - 1), ..AttrRange::default() },
+                    CmpOp::Le => AttrRange { hi: Some(v), ..AttrRange::default() },
+                    CmpOp::Gt => AttrRange { lo: Some(v + 1), ..AttrRange::default() },
+                    CmpOp::Ge => AttrRange { lo: Some(v), ..AttrRange::default() },
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// The complement: values satisfying the *negation* of `y <op> value`.
+    /// Used to enumerate partial-match rows.
+    #[must_use]
+    pub fn from_cmp_negated(op: CmpOp, value: &AttrValue) -> Option<AttrRange> {
+        let negated = match op {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        };
+        AttrRange::from_cmp(negated, value)
+    }
+
+    /// Whether a value satisfies all constraints.
+    #[must_use]
+    pub fn contains(&self, value: &AttrValue) -> bool {
+        if let Some(eq) = &self.eq {
+            if !eq.sem_eq(value) {
+                return false;
+            }
+        }
+        if self.ne.iter().any(|x| x.sem_eq(value)) {
+            return false;
+        }
+        if self.lo.is_some() || self.hi.is_some() {
+            let Some(v) = value.as_int() else { return false };
+            if self.lo.is_some_and(|lo| v < lo) || self.hi.is_some_and(|hi| v > hi) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Conjunction of two ranges; `None` when provably empty.
+    #[must_use]
+    pub fn intersect(&self, other: &AttrRange) -> Option<AttrRange> {
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if lo > hi {
+                return None;
+            }
+        }
+        let eq = match (&self.eq, &other.eq) {
+            (Some(a), Some(b)) => {
+                if a.sem_eq(b) {
+                    Some(a.clone())
+                } else {
+                    return None;
+                }
+            }
+            (a, b) => a.clone().or_else(|| b.clone()),
+        };
+        let mut ne = self.ne.clone();
+        for x in &other.ne {
+            if !ne.iter().any(|y| y.sem_eq(x)) {
+                ne.push(x.clone());
+            }
+        }
+        let out = AttrRange { lo, hi, eq, ne };
+        // Emptiness via the required value.
+        if let Some(eq) = &out.eq {
+            let probe = out.clone();
+            let mut without_eq = probe;
+            without_eq.eq = None;
+            if !without_eq.contains(eq) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether this range constrains nothing.
+    #[must_use]
+    pub fn is_any(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none() && self.eq.is_none() && self.ne.is_empty()
+    }
+}
+
+impl fmt::Display for AttrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, "*");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) => parts.push(format!("[{lo}, {hi}]")),
+            (Some(lo), None) => parts.push(format!(">= {lo}")),
+            (None, Some(hi)) => parts.push(format!("<= {hi}")),
+            (None, None) => {}
+        }
+        if let Some(eq) = &self.eq {
+            parts.push(format!("= {eq}"));
+        }
+        for x in &self.ne {
+            parts.push(format!("!= {x}"));
+        }
+        write!(f, "{}", parts.join(" & "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cmp_builds_integer_intervals() {
+        let r = AttrRange::from_cmp(CmpOp::Gt, &AttrValue::Int(10)).unwrap();
+        assert_eq!(r.lo, Some(11));
+        assert!(r.contains(&AttrValue::Int(11)));
+        assert!(!r.contains(&AttrValue::Int(10)));
+        let r = AttrRange::from_cmp(CmpOp::Le, &AttrValue::Int(5)).unwrap();
+        assert!(r.contains(&AttrValue::Int(5)));
+        assert!(!r.contains(&AttrValue::Int(6)));
+    }
+
+    #[test]
+    fn ordering_on_strings_unrepresentable() {
+        assert!(AttrRange::from_cmp(CmpOp::Lt, &AttrValue::from("abc")).is_none());
+        assert!(AttrRange::from_cmp(CmpOp::Eq, &AttrValue::from("abc")).is_some());
+    }
+
+    #[test]
+    fn negation_pairs() {
+        let r = AttrRange::from_cmp_negated(CmpOp::Gt, &AttrValue::Int(10)).unwrap();
+        assert!(r.contains(&AttrValue::Int(10)));
+        assert!(!r.contains(&AttrValue::Int(11)));
+        let r = AttrRange::from_cmp_negated(CmpOp::Eq, &AttrValue::from("x")).unwrap();
+        assert!(r.contains(&AttrValue::from("y")));
+        assert!(!r.contains(&AttrValue::from("x")));
+    }
+
+    #[test]
+    fn intersection_of_intervals() {
+        let a = AttrRange::between(1, 10);
+        let b = AttrRange::between(5, 20);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!((c.lo, c.hi), (Some(5), Some(10)));
+        assert!(a.intersect(&AttrRange::between(11, 20)).is_none());
+    }
+
+    #[test]
+    fn intersection_with_exact_value() {
+        let a = AttrRange::between(1, 10);
+        let b = AttrRange::exactly(AttrValue::Int(7));
+        let c = a.intersect(&b).unwrap();
+        assert!(c.contains(&AttrValue::Int(7)));
+        assert!(a.intersect(&AttrRange::exactly(AttrValue::Int(12))).is_none());
+        // Conflicting exact values.
+        assert!(AttrRange::exactly(AttrValue::from("a"))
+            .intersect(&AttrRange::exactly(AttrValue::from("b")))
+            .is_none());
+        // Exact value killed by an exclusion.
+        assert!(AttrRange::exactly(AttrValue::Int(3))
+            .intersect(&AttrRange::from_cmp(CmpOp::Ne, &AttrValue::Int(3)).unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn any_is_identity_for_intersection() {
+        let r = AttrRange::between(2, 4);
+        assert_eq!(AttrRange::any().intersect(&r), Some(r.clone()));
+        assert!(AttrRange::any().is_any());
+        assert!(AttrRange::any().contains(&AttrValue::from("anything")));
+    }
+
+    #[test]
+    fn non_integer_value_fails_interval() {
+        let r = AttrRange::between(1, 10);
+        assert!(!r.contains(&AttrValue::from("five")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrRange::any().to_string(), "*");
+        assert_eq!(AttrRange::between(1, 3).to_string(), "[1, 3]");
+        assert_eq!(
+            AttrRange::exactly(AttrValue::from("w")).to_string(),
+            "= \"w\""
+        );
+    }
+}

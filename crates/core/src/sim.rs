@@ -1,0 +1,102 @@
+//! Similarity values `(a, m)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A similarity value: the pair `(act, max)` of §2.5, with
+/// `0 ≤ act ≤ max`. `act` is the achieved similarity, `max` the highest
+/// value possible for the formula (a function of the formula only); an
+/// exact match has `act == max`. The *fractional similarity* is
+/// `act / max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sim {
+    /// Actual similarity.
+    pub act: f64,
+    /// Maximum possible similarity for the formula.
+    pub max: f64,
+}
+
+impl Sim {
+    /// Creates a similarity value, checking the invariants
+    /// `0 ≤ act ≤ max` and finiteness in debug builds.
+    #[must_use]
+    pub fn new(act: f64, max: f64) -> Sim {
+        debug_assert!(act.is_finite() && max.is_finite(), "similarities are finite");
+        debug_assert!(
+            0.0 <= act && act <= max,
+            "similarity invariant violated: 0 <= {act} <= {max}"
+        );
+        Sim { act, max }
+    }
+
+    /// The zero similarity for a formula with maximum `max`.
+    #[must_use]
+    pub fn zero(max: f64) -> Sim {
+        Sim::new(0.0, max)
+    }
+
+    /// The fractional similarity `act / max`; zero when `max == 0`.
+    #[must_use]
+    pub fn frac(self) -> f64 {
+        if self.max > 0.0 {
+            self.act / self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether this value denotes an exact match.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        self.act == self.max && self.max > 0.0
+    }
+
+    /// Conjunction: component-wise sum (§2.5). Even when one operand's
+    /// actual similarity is zero the sum may be non-zero — partial
+    /// satisfaction of one conjunct counts.
+    #[must_use]
+    pub fn and(self, other: Sim) -> Sim {
+        Sim::new(self.act + other.act, self.max + other.max)
+    }
+}
+
+impl fmt::Display for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.act, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_and_exactness() {
+        let s = Sim::new(3.0, 4.0);
+        assert!((s.frac() - 0.75).abs() < 1e-12);
+        assert!(!s.is_exact());
+        assert!(Sim::new(4.0, 4.0).is_exact());
+        assert!(!Sim::zero(4.0).is_exact());
+        assert_eq!(Sim::new(0.0, 0.0).frac(), 0.0);
+    }
+
+    #[test]
+    fn conjunction_sums_components() {
+        let s = Sim::new(1.0, 2.0).and(Sim::new(0.0, 3.0));
+        assert_eq!(s, Sim::new(1.0, 5.0));
+        // Partial satisfaction survives a zero conjunct.
+        assert!(s.act > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant")]
+    #[cfg(debug_assertions)]
+    fn act_above_max_rejected() {
+        let _ = Sim::new(5.0, 4.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sim::new(1.5, 2.0).to_string(), "(1.5, 2)");
+    }
+}

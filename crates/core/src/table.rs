@@ -1,0 +1,363 @@
+//! Similarity tables for type (2) and conjunctive formulas (§3.2–§3.3).
+//!
+//! A similarity table for a subformula with free object variables
+//! `x₁ … x_k` and free attribute variables `y₁ … y_m` has one row per
+//! relevant evaluation: `k` object-id columns, `m` attribute-range columns,
+//! and a similarity list giving the subformula's values under that
+//! evaluation. Tables combine by natural join on the shared columns, with
+//! the lists merged by the operator's list algorithm.
+
+use crate::{list, AttrRange, SimilarityList};
+use serde::{Deserialize, Serialize};
+use simvid_model::ObjectId;
+
+/// One evaluation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Object ids, aligned with [`SimilarityTable::obj_cols`].
+    pub objs: Vec<ObjectId>,
+    /// Attribute ranges, aligned with [`SimilarityTable::attr_cols`].
+    pub ranges: Vec<AttrRange>,
+    /// The similarity list under this evaluation.
+    pub list: SimilarityList,
+}
+
+/// A similarity table: evaluations × similarity lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityTable {
+    /// Names of the object-variable columns.
+    pub obj_cols: Vec<String>,
+    /// Names of the attribute-variable columns.
+    pub attr_cols: Vec<String>,
+    /// The formula's maximum similarity (shared by all rows).
+    pub max: f64,
+    /// The evaluation rows.
+    pub rows: Vec<Row>,
+}
+
+impl SimilarityTable {
+    /// An empty table with the given columns.
+    #[must_use]
+    pub fn new(obj_cols: Vec<String>, attr_cols: Vec<String>, max: f64) -> SimilarityTable {
+        SimilarityTable { obj_cols, attr_cols, max, rows: Vec::new() }
+    }
+
+    /// A closed (column-less) table holding a single list.
+    #[must_use]
+    pub fn from_list(list: SimilarityList) -> SimilarityTable {
+        let max = list.max();
+        SimilarityTable {
+            obj_cols: Vec::new(),
+            attr_cols: Vec::new(),
+            max,
+            rows: vec![Row { objs: Vec::new(), ranges: Vec::new(), list }],
+        }
+    }
+
+    /// Appends a row; panics if the shape disagrees with the columns.
+    pub fn push_row(&mut self, row: Row) {
+        assert_eq!(row.objs.len(), self.obj_cols.len(), "object column count");
+        assert_eq!(row.ranges.len(), self.attr_cols.len(), "attr column count");
+        self.rows.push(row);
+    }
+
+    /// Index of an object column.
+    #[must_use]
+    pub fn obj_col(&self, name: &str) -> Option<usize> {
+        self.obj_cols.iter().position(|c| c == name)
+    }
+
+    /// Index of an attribute column.
+    #[must_use]
+    pub fn attr_col(&self, name: &str) -> Option<usize> {
+        self.attr_cols.iter().position(|c| c == name)
+    }
+
+    /// Whether the table has no variable columns (a closed formula).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.obj_cols.is_empty() && self.attr_cols.is_empty()
+    }
+
+    /// Restores the closed-table invariant: a closed formula has exactly
+    /// one evaluation (the empty one), so its table always holds exactly
+    /// one row — possibly with an empty list. Without this, joining an
+    /// empty closed table would wrongly drop the other operand (e.g.
+    /// `g until h` with unsatisfiable `g` must still yield `h`, since
+    /// `u'' = u` requires nothing of `g`).
+    #[must_use]
+    pub fn ensure_closed_row(mut self) -> SimilarityTable {
+        if self.is_closed() && self.rows.is_empty() {
+            let max = self.max;
+            self.rows.push(Row {
+                objs: Vec::new(),
+                ranges: Vec::new(),
+                list: SimilarityList::empty(max),
+            });
+        }
+        self
+    }
+
+    /// Applies a list transformation to every row (used for `next` and
+    /// `eventually`, which act row-wise).
+    #[must_use]
+    pub fn map_lists(mut self, max: f64, f: impl Fn(&SimilarityList) -> SimilarityList) -> SimilarityTable {
+        for row in &mut self.rows {
+            row.list = f(&row.list);
+        }
+        self.max = max;
+        self.rows.retain(|r| !r.list.is_empty());
+        self.ensure_closed_row()
+    }
+
+    /// Natural join with `other`: rows pair up when their shared object
+    /// columns agree and their shared attribute ranges intersect; the paired
+    /// lists are combined with `combine` (the `∧` or `until` list
+    /// algorithm). `max` is the combined formula's maximum.
+    #[must_use]
+    pub fn join(
+        &self,
+        other: &SimilarityTable,
+        max: f64,
+        combine: impl Fn(&SimilarityList, &SimilarityList) -> SimilarityList,
+    ) -> SimilarityTable {
+        // Column plan.
+        let shared_objs: Vec<(usize, usize)> = self
+            .obj_cols
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| other.obj_col(c).map(|j| (i, j)))
+            .collect();
+        let other_only_objs: Vec<usize> = (0..other.obj_cols.len())
+            .filter(|j| !self.obj_cols.contains(&other.obj_cols[*j]))
+            .collect();
+        let shared_attrs: Vec<(usize, usize)> = self
+            .attr_cols
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| other.attr_col(c).map(|j| (i, j)))
+            .collect();
+        let other_only_attrs: Vec<usize> = (0..other.attr_cols.len())
+            .filter(|j| !self.attr_cols.contains(&other.attr_cols[*j]))
+            .collect();
+
+        let mut obj_cols = self.obj_cols.clone();
+        obj_cols.extend(other_only_objs.iter().map(|&j| other.obj_cols[j].clone()));
+        let mut attr_cols = self.attr_cols.clone();
+        attr_cols.extend(other_only_attrs.iter().map(|&j| other.attr_cols[j].clone()));
+
+        let mut out = SimilarityTable::new(obj_cols, attr_cols, max);
+        // Row counts are evaluation counts (small); a nested loop keeps the
+        // code obviously correct. The list work dominates.
+        for r1 in &self.rows {
+            'pair: for r2 in &other.rows {
+                for &(i, j) in &shared_objs {
+                    if r1.objs[i] != r2.objs[j] {
+                        continue 'pair;
+                    }
+                }
+                let mut ranges = r1.ranges.clone();
+                for &(i, j) in &shared_attrs {
+                    match r1.ranges[i].intersect(&r2.ranges[j]) {
+                        Some(r) => ranges[i] = r,
+                        None => continue 'pair,
+                    }
+                }
+                let mut objs = r1.objs.clone();
+                objs.extend(other_only_objs.iter().map(|&j| r2.objs[j]));
+                ranges.extend(other_only_attrs.iter().map(|&j| r2.ranges[j].clone()));
+                let combined = combine(&r1.list, &r2.list);
+                out.rows.push(Row { objs, ranges, list: combined });
+            }
+        }
+        out
+    }
+
+    /// Collapses an existential quantifier over `var`: rows that agree on
+    /// every *other* column are merged, their lists combined by point-wise
+    /// maximum (the similarity of `∃x g` is the max over evaluations of
+    /// `x`, §2.5). The `var` column disappears.
+    #[must_use]
+    pub fn project_out_obj(mut self, var: &str) -> SimilarityTable {
+        let Some(idx) = self.obj_col(var) else {
+            // Vacuous quantifier.
+            return self;
+        };
+        self.obj_cols.remove(idx);
+        for row in &mut self.rows {
+            row.objs.remove(idx);
+        }
+        // Group rows by remaining binding; row counts are small, so a
+        // quadratic scan with PartialEq keys (ranges hold floats) is fine.
+        let mut groups: Vec<Row> = Vec::new();
+        let mut pending: Vec<Vec<SimilarityList>> = Vec::new();
+        for row in self.rows.drain(..) {
+            match groups
+                .iter()
+                .position(|g| g.objs == row.objs && g.ranges == row.ranges)
+            {
+                Some(gi) => pending[gi].push(row.list),
+                None => {
+                    pending.push(vec![row.list.clone()]);
+                    groups.push(row);
+                }
+            }
+        }
+        for (g, lists) in groups.iter_mut().zip(&pending) {
+            g.list = list::max_merge_many(lists);
+        }
+        groups.retain(|g| !g.list.is_empty());
+        self.rows = groups;
+        self.ensure_closed_row()
+    }
+
+    /// Extracts the single similarity list of a closed table (max-merging
+    /// rows if several remain). Returns the empty list when no rows exist.
+    #[must_use]
+    pub fn into_closed_list(self) -> SimilarityList {
+        debug_assert!(
+            self.obj_cols.is_empty() && self.attr_cols.is_empty(),
+            "closed table has no columns"
+        );
+        let lists: Vec<SimilarityList> = self.rows.into_iter().map(|r| r.list).collect();
+        if lists.is_empty() {
+            return SimilarityList::empty(self.max);
+        }
+        list::max_merge_many(&lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_model::ObjectId;
+
+    fn sl(tuples: Vec<(u32, u32, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    fn table_xy() -> SimilarityTable {
+        let mut t = SimilarityTable::new(vec!["x".into(), "y".into()], vec![], 2.0);
+        t.push_row(Row {
+            objs: vec![ObjectId(1), ObjectId(2)],
+            ranges: vec![],
+            list: sl(vec![(1, 5, 2.0)], 2.0),
+        });
+        t.push_row(Row {
+            objs: vec![ObjectId(1), ObjectId(3)],
+            ranges: vec![],
+            list: sl(vec![(4, 8, 1.0)], 2.0),
+        });
+        t
+    }
+
+    fn table_yz() -> SimilarityTable {
+        let mut t = SimilarityTable::new(vec!["y".into(), "z".into()], vec![], 3.0);
+        t.push_row(Row {
+            objs: vec![ObjectId(2), ObjectId(9)],
+            ranges: vec![],
+            list: sl(vec![(3, 6, 3.0)], 3.0),
+        });
+        t.push_row(Row {
+            objs: vec![ObjectId(4), ObjectId(9)],
+            ranges: vec![],
+            list: sl(vec![(1, 2, 3.0)], 3.0),
+        });
+        t
+    }
+
+    #[test]
+    fn join_matches_shared_object_columns() {
+        let t = table_xy().join(&table_yz(), 5.0, list::and);
+        assert_eq!(t.obj_cols, vec!["x", "y", "z"]);
+        // Only (x=1, y=2) ⋈ (y=2, z=9) matches.
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].objs, vec![ObjectId(1), ObjectId(2), ObjectId(9)]);
+        assert_eq!(
+            t.rows[0].list.to_tuples(),
+            vec![(1, 2, 2.0), (3, 5, 5.0), (6, 6, 3.0)]
+        );
+        assert_eq!(t.max, 5.0);
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cross_product() {
+        let mut a = SimilarityTable::new(vec!["x".into()], vec![], 1.0);
+        a.push_row(Row { objs: vec![ObjectId(1)], ranges: vec![], list: sl(vec![(1, 1, 1.0)], 1.0) });
+        a.push_row(Row { objs: vec![ObjectId(2)], ranges: vec![], list: sl(vec![(2, 2, 1.0)], 1.0) });
+        let mut b = SimilarityTable::new(vec!["y".into()], vec![], 1.0);
+        b.push_row(Row { objs: vec![ObjectId(7)], ranges: vec![], list: sl(vec![(1, 2, 1.0)], 1.0) });
+        let t = a.join(&b, 2.0, list::and);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn join_intersects_attribute_ranges() {
+        let mut a = SimilarityTable::new(vec![], vec!["h".into()], 1.0);
+        a.push_row(Row {
+            objs: vec![],
+            ranges: vec![AttrRange::between(1, 10)],
+            list: sl(vec![(1, 4, 1.0)], 1.0),
+        });
+        let mut b = SimilarityTable::new(vec![], vec!["h".into()], 1.0);
+        b.push_row(Row {
+            objs: vec![],
+            ranges: vec![AttrRange::between(5, 20)],
+            list: sl(vec![(2, 6, 1.0)], 1.0),
+        });
+        b.push_row(Row {
+            objs: vec![],
+            ranges: vec![AttrRange::between(50, 60)],
+            list: sl(vec![(1, 9, 1.0)], 1.0),
+        });
+        let t = a.join(&b, 2.0, list::and);
+        // The [50,60] row is incompatible with [1,10].
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!((t.rows[0].ranges[0].lo, t.rows[0].ranges[0].hi), (Some(5), Some(10)));
+    }
+
+    #[test]
+    fn project_out_max_merges_groups() {
+        let t = table_xy().project_out_obj("y");
+        assert_eq!(t.obj_cols, vec!["x"]);
+        // Both rows had x=1: they merge into one with point-wise max.
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(
+            t.rows[0].list.to_tuples(),
+            vec![(1, 5, 2.0), (6, 8, 1.0)]
+        );
+    }
+
+    #[test]
+    fn project_out_missing_var_is_noop() {
+        let t = table_xy().project_out_obj("nope");
+        assert_eq!(t.obj_cols, vec!["x", "y"]);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn closed_list_extraction() {
+        let t = table_xy().project_out_obj("x").project_out_obj("y");
+        assert!(t.obj_cols.is_empty());
+        let l = t.into_closed_list();
+        assert_eq!(l.to_tuples(), vec![(1, 5, 2.0), (6, 8, 1.0)]);
+        // Empty closed table yields the empty list.
+        let empty = SimilarityTable::new(vec![], vec![], 4.0);
+        assert!(empty.into_closed_list().is_empty());
+    }
+
+    #[test]
+    fn map_lists_applies_rowwise_and_drops_empty() {
+        let t = table_xy().map_lists(2.0, list::next);
+        // [1,5] -> [1,4]; [4,8] -> [3,7].
+        assert_eq!(t.rows[0].list.to_tuples(), vec![(1, 4, 2.0)]);
+        assert_eq!(t.rows[1].list.to_tuples(), vec![(3, 7, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "object column count")]
+    fn push_row_checks_shape() {
+        let mut t = SimilarityTable::new(vec!["x".into()], vec![], 1.0);
+        t.push_row(Row { objs: vec![], ranges: vec![], list: SimilarityList::empty(1.0) });
+    }
+}

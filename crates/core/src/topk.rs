@@ -1,0 +1,130 @@
+//! Top-`k` ranked retrieval.
+//!
+//! "Under our similarity based retrieval, the `k` top video segments that
+//! have the highest similarity values with respect to the user query will
+//! be retrieved; here, `k` may be a parameter specified by the user."
+
+use crate::{Interval, SegPos, Sim, SimilarityList};
+
+/// A retrieved segment with its similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedSegment {
+    /// 1-based position within the queried sequence.
+    pub pos: SegPos,
+    /// The similarity value.
+    pub sim: Sim,
+}
+
+/// The list's entries ranked by actual similarity, descending; ties keep
+/// temporal order. This is the presentation format of the paper's result
+/// tables (Table 4).
+#[must_use]
+pub fn rank_entries(list: &SimilarityList) -> Vec<(Interval, Sim)> {
+    let mut ranked: Vec<(Interval, Sim)> = list
+        .entries()
+        .iter()
+        .map(|e| (e.iv, Sim::new(e.act, list.max())))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.act
+            .partial_cmp(&a.1.act)
+            .expect("similarities are finite")
+            .then(a.0.beg.cmp(&b.0.beg))
+    });
+    ranked
+}
+
+/// The `k` segments with the highest similarity values (ties broken by
+/// temporal order). Segments absent from the list have similarity zero and
+/// are never returned.
+#[must_use]
+pub fn top_k(list: &SimilarityList, k: usize) -> Vec<RankedSegment> {
+    let mut out = Vec::with_capacity(k);
+    for (iv, sim) in rank_entries(list) {
+        for pos in iv.beg..=iv.end {
+            if out.len() == k {
+                return out;
+            }
+            out.push(RankedSegment { pos, sim });
+        }
+    }
+    out
+}
+
+/// All segments whose *fractional* similarity reaches `threshold`, in
+/// temporal order — the alternative retrieval mode for users who want a
+/// quality floor rather than a count ("the user may not know exactly what
+/// he/she wants", §1: sometimes the right `k` is "everything close
+/// enough").
+#[must_use]
+pub fn retrieve_above(list: &SimilarityList, threshold: f64) -> Vec<RankedSegment> {
+    let cut = threshold * list.max();
+    let mut out = Vec::new();
+    for e in list.entries() {
+        if e.act + 1e-12 < cut {
+            continue;
+        }
+        for pos in e.iv.beg..=e.iv.end {
+            out.push(RankedSegment { pos, sim: Sim::new(e.act, list.max()) });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimilarityList {
+        SimilarityList::from_tuples(
+            vec![(1, 4, 12.382), (5, 5, 9.787), (6, 6, 11.047), (8, 8, 11.047), (10, 44, 1.26)],
+            16.047,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rank_orders_by_value_then_position() {
+        let ranked = rank_entries(&sample());
+        let order: Vec<(u32, f64)> = ranked.iter().map(|(iv, s)| (iv.beg, s.act)).collect();
+        assert_eq!(
+            order,
+            vec![(1, 12.382), (6, 11.047), (8, 11.047), (5, 9.787), (10, 1.26)]
+        );
+    }
+
+    #[test]
+    fn top_k_expands_intervals_in_rank_order() {
+        let top = top_k(&sample(), 6);
+        let positions: Vec<u32> = top.iter().map(|r| r.pos).collect();
+        assert_eq!(positions, vec![1, 2, 3, 4, 6, 8]);
+        assert_eq!(top[0].sim.act, 12.382);
+    }
+
+    #[test]
+    fn top_k_never_returns_zero_similarity() {
+        let l = SimilarityList::from_tuples(vec![(3, 3, 1.0)], 2.0).unwrap();
+        let top = top_k(&l, 10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].pos, 3);
+    }
+
+    #[test]
+    fn top_zero_is_empty() {
+        assert!(top_k(&sample(), 0).is_empty());
+    }
+
+    #[test]
+    fn retrieve_above_applies_a_fraction_floor() {
+        let l = sample(); // max 16.047
+        let hits = retrieve_above(&l, 0.6); // cut = 9.6282
+        // Intervals [1,4] (12.382), [5,5] (9.787), [6,6] and [8,8] (11.047).
+        let positions: Vec<u32> = hits.iter().map(|r| r.pos).collect();
+        assert_eq!(positions, vec![1, 2, 3, 4, 5, 6, 8]);
+        // Threshold zero returns every listed segment, in temporal order.
+        let all = retrieve_above(&l, 0.0);
+        assert_eq!(all.len(), l.coverage() as usize);
+        // Threshold above every fraction returns nothing.
+        assert!(retrieve_above(&l, 0.99).is_empty());
+    }
+}

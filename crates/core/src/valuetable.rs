@@ -1,0 +1,221 @@
+//! Value tables and the freeze-quantifier join (§3.3).
+//!
+//! The freeze quantifier `[y := q] g` captures the value of the attribute
+//! function `q` at the current segment. The paper evaluates it by joining
+//! `g`'s similarity table with a **value table** for `q`: each value-table
+//! row gives, for one evaluation of the object variables free in `q`, a
+//! value of `q` and the list of segment-id intervals where `q` holds that
+//! value. The join keeps evaluations whose `y`-range admits the value and
+//! intersects the similarity list with those intervals.
+
+use crate::{list, Interval, Row, SimilarityTable};
+use serde::{Deserialize, Serialize};
+use simvid_model::{AttrValue, ObjectId};
+
+/// One row of a value table: an evaluation of the object variables, a value
+/// of the attribute function, and the intervals where it holds that value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueRow {
+    /// Object ids, aligned with [`ValueTable::obj_cols`].
+    pub objs: Vec<ObjectId>,
+    /// The attribute value.
+    pub value: AttrValue,
+    /// Sorted, disjoint intervals of positions where the attribute equals
+    /// `value` under this evaluation.
+    pub spans: Vec<Interval>,
+}
+
+/// A value table for one attribute function.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ValueTable {
+    /// Names of the object-variable columns (usually zero or one: the
+    /// object the attribute belongs to).
+    pub obj_cols: Vec<String>,
+    /// The rows.
+    pub rows: Vec<ValueRow>,
+}
+
+impl ValueTable {
+    /// An empty value table.
+    #[must_use]
+    pub fn new(obj_cols: Vec<String>) -> ValueTable {
+        ValueTable { obj_cols, rows: Vec::new() }
+    }
+}
+
+/// Computes the similarity table of `[var := q] body` from `body`'s table
+/// and `q`'s value table.
+///
+/// For every pair of rows agreeing on shared object variables, and whose
+/// value satisfies the body row's range for `var` (if the body constrains
+/// `var` at all), the output row restricts the body's similarity list to
+/// the value row's spans. The `var` column disappears. Output rows with the
+/// same remaining evaluation are merged point-wise (their spans are
+/// disjoint, so this is a union).
+#[must_use]
+pub fn freeze_join(body: &SimilarityTable, values: &ValueTable, var: &str) -> SimilarityTable {
+    let var_idx = body.attr_col(var);
+    let shared: Vec<(usize, usize)> = body
+        .obj_cols
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| values.obj_cols.iter().position(|vc| vc == c).map(|j| (i, j)))
+        .collect();
+    let values_only: Vec<usize> = (0..values.obj_cols.len())
+        .filter(|j| !body.obj_cols.contains(&values.obj_cols[*j]))
+        .collect();
+
+    let mut obj_cols = body.obj_cols.clone();
+    obj_cols.extend(values_only.iter().map(|&j| values.obj_cols[j].clone()));
+    let mut attr_cols = body.attr_cols.clone();
+    if let Some(idx) = var_idx {
+        attr_cols.remove(idx);
+    }
+
+    let mut out = SimilarityTable::new(obj_cols, attr_cols, body.max);
+    for brow in &body.rows {
+        'pair: for vrow in &values.rows {
+            for &(i, j) in &shared {
+                if brow.objs[i] != vrow.objs[j] {
+                    continue 'pair;
+                }
+            }
+            if let Some(idx) = var_idx {
+                if !brow.ranges[idx].contains(&vrow.value) {
+                    continue;
+                }
+            }
+            let restricted = brow.list.restrict_to(&vrow.spans);
+            if restricted.is_empty() {
+                continue;
+            }
+            let mut objs = brow.objs.clone();
+            objs.extend(values_only.iter().map(|&j| vrow.objs[j]));
+            let mut ranges = brow.ranges.clone();
+            if let Some(idx) = var_idx {
+                ranges.remove(idx);
+            }
+            // Merge into an existing row with the same evaluation if any
+            // (spans of distinct values are disjoint, so max = union).
+            match out
+                .rows
+                .iter_mut()
+                .find(|r| r.objs == objs && r.ranges == ranges)
+            {
+                Some(existing) => {
+                    existing.list = list::max_merge(&existing.list, &restricted);
+                }
+                None => out.rows.push(Row { objs, ranges, list: restricted }),
+            }
+        }
+    }
+    out.ensure_closed_row()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrRange, SimilarityList};
+
+    fn sl(tuples: Vec<(u32, u32, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    /// Body: `eventually (present(z) and height(z) > h)` with free obj `z`
+    /// and free attr `h`; value table: `height(z)`.
+    #[test]
+    fn freeze_join_restricts_by_value_and_spans() {
+        let mut body = SimilarityTable::new(vec!["z".into()], vec!["h".into()], 2.0);
+        // Under z = o1: satisfied (eventually ...) on [1,8] when h < 250,
+        // i.e. h in (-inf, 249]; on [1,3] when h < 100.
+        body.push_row(Row {
+            objs: vec![ObjectId(1)],
+            ranges: vec![AttrRange { hi: Some(249), ..AttrRange::any() }],
+            list: sl(vec![(1, 8, 2.0)], 2.0),
+        });
+        body.push_row(Row {
+            objs: vec![ObjectId(1)],
+            ranges: vec![AttrRange { hi: Some(99), ..AttrRange::any() }],
+            list: sl(vec![(1, 3, 2.0)], 2.0),
+        });
+        // height(o1) = 100 on [1,2] and 250 on [3,4].
+        let mut vt = ValueTable::new(vec!["z".into()]);
+        vt.rows.push(ValueRow {
+            objs: vec![ObjectId(1)],
+            value: AttrValue::Int(100),
+            spans: vec![Interval::new(1, 2)],
+        });
+        vt.rows.push(ValueRow {
+            objs: vec![ObjectId(1)],
+            value: AttrValue::Int(250),
+            spans: vec![Interval::new(3, 4)],
+        });
+        let out = freeze_join(&body, &vt, "h");
+        assert_eq!(out.obj_cols, vec!["z"]);
+        assert!(out.attr_cols.is_empty());
+        // h = 100 admits row 1 (hi 249) on spans [1,2] -> [1,2];
+        // h = 250 admits neither (250 > 249, 250 > 99).
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].list.to_tuples(), vec![(1, 2, 2.0)]);
+    }
+
+    #[test]
+    fn freeze_join_without_var_column_restricts_to_defined_spans() {
+        // var unused in body: the join still limits to positions where the
+        // attribute is defined.
+        let mut body = SimilarityTable::new(vec![], vec![], 1.0);
+        body.push_row(Row { objs: vec![], ranges: vec![], list: sl(vec![(1, 10, 1.0)], 1.0) });
+        let mut vt = ValueTable::new(vec![]);
+        vt.rows.push(ValueRow {
+            objs: vec![],
+            value: AttrValue::Int(5),
+            spans: vec![Interval::new(4, 6)],
+        });
+        let out = freeze_join(&body, &vt, "unused");
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].list.to_tuples(), vec![(4, 6, 1.0)]);
+    }
+
+    #[test]
+    fn freeze_join_merges_rows_across_values() {
+        // Two values, both admitted by an unconstrained range: rows merge.
+        let mut body = SimilarityTable::new(vec![], vec!["h".into()], 1.0);
+        body.push_row(Row {
+            objs: vec![],
+            ranges: vec![AttrRange::any()],
+            list: sl(vec![(1, 10, 1.0)], 1.0),
+        });
+        let mut vt = ValueTable::new(vec![]);
+        vt.rows.push(ValueRow {
+            objs: vec![],
+            value: AttrValue::Int(1),
+            spans: vec![Interval::new(1, 3)],
+        });
+        vt.rows.push(ValueRow {
+            objs: vec![],
+            value: AttrValue::Int(2),
+            spans: vec![Interval::new(7, 9)],
+        });
+        let out = freeze_join(&body, &vt, "h");
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].list.to_tuples(), vec![(1, 3, 1.0), (7, 9, 1.0)]);
+    }
+
+    #[test]
+    fn freeze_join_respects_object_binding() {
+        let mut body = SimilarityTable::new(vec!["z".into()], vec!["h".into()], 1.0);
+        body.push_row(Row {
+            objs: vec![ObjectId(1)],
+            ranges: vec![AttrRange::any()],
+            list: sl(vec![(1, 5, 1.0)], 1.0),
+        });
+        let mut vt = ValueTable::new(vec!["z".into()]);
+        vt.rows.push(ValueRow {
+            objs: vec![ObjectId(2)], // different object
+            value: AttrValue::Int(1),
+            spans: vec![Interval::new(1, 5)],
+        });
+        let out = freeze_join(&body, &vt, "h");
+        assert!(out.rows.is_empty());
+    }
+}

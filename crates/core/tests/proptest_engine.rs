@@ -1,0 +1,161 @@
+//! Property tests for the engine: on random type (1) formulas over random
+//! fixture lists, the table-based engine must agree with direct composition
+//! of the list algorithms.
+
+use proptest::prelude::*;
+use simvid_core::{
+    list, AtomicProvider, Engine, SeqContext, SimilarityList, SimilarityTable, ValueTable,
+};
+use simvid_htl::{AtomicUnit, AttrFn, Formula};
+use simvid_model::VideoBuilder;
+
+const N: usize = 48;
+const THETA: f64 = 0.5;
+
+/// A random type (1) formula over atomic predicates `a0()..a3()`, paired
+/// with the oracle evaluation as a function of the four lists.
+#[derive(Debug, Clone)]
+enum F {
+    Atom(usize),
+    And(Box<F>, Box<F>),
+    Until(Box<F>, Box<F>),
+    Next(Box<F>),
+    Eventually(Box<F>),
+}
+
+impl F {
+    fn to_formula(&self) -> Formula {
+        match self {
+            F::Atom(i) => Formula::rel(format!("a{i}"), Vec::<String>::new()),
+            F::And(a, b) => a.to_formula().and(b.to_formula()),
+            F::Until(a, b) => a.to_formula().until(b.to_formula()),
+            F::Next(a) => a.to_formula().next(),
+            F::Eventually(a) => a.to_formula().eventually(),
+        }
+    }
+
+    fn oracle(&self, lists: &[SimilarityList]) -> SimilarityList {
+        match self {
+            F::Atom(i) => lists[*i].clone(),
+            F::And(a, b) => list::and(&a.oracle(lists), &b.oracle(lists)),
+            F::Until(a, b) => list::until(&a.oracle(lists), &b.oracle(lists), THETA),
+            F::Next(a) => list::next(&a.oracle(lists)),
+            F::Eventually(a) => list::eventually(&a.oracle(lists)),
+        }
+    }
+}
+
+fn formula_strategy(depth: u32) -> BoxedStrategy<F> {
+    if depth == 0 {
+        return (0usize..4).prop_map(F::Atom).boxed();
+    }
+    let sub = move || formula_strategy(depth - 1);
+    prop_oneof![
+        2 => (0usize..4).prop_map(F::Atom),
+        2 => (sub(), sub()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+        2 => (sub(), sub()).prop_map(|(a, b)| F::Until(Box::new(a), Box::new(b))),
+        1 => sub().prop_map(|a| F::Next(Box::new(a))),
+        1 => sub().prop_map(|a| F::Eventually(Box::new(a))),
+    ]
+    .boxed()
+}
+
+fn dense(max: f64) -> impl Strategy<Value = Vec<f64>> {
+    let pool = vec![0.0, 0.0, 0.3 * max, 0.6 * max, max];
+    prop::collection::vec(prop::sample::select(pool), N)
+}
+
+/// Serves fixed lists for `a0()..a3()`, window-sliced like a real
+/// provider. A pure unit may be a *conjunction* of predicates (the engine
+/// hands maximal non-temporal subtrees to the picture system whole), so
+/// the provider folds `and` over the unit's structure — exactly the
+/// weighted-conjunct sum the real picture system computes.
+struct Lists(Vec<SimilarityList>);
+
+impl Lists {
+    fn eval_pure(&self, f: &Formula) -> SimilarityList {
+        match f {
+            Formula::And(a, b) => list::and(&self.eval_pure(a), &self.eval_pure(b)),
+            Formula::Atom(simvid_htl::Atom::Rel { name, .. }) => {
+                let idx: usize = name[1..].parse().expect("a<i> predicate");
+                self.0[idx].clone()
+            }
+            other => panic!("unexpected pure unit {other}"),
+        }
+    }
+}
+
+impl AtomicProvider for Lists {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        SimilarityTable::from_list(
+            self.eval_pure(&unit.formula).slice_window(ctx.lo + 1, ctx.hi),
+        )
+    }
+
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+        self.eval_pure(&unit.formula).max()
+    }
+
+    fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+        ValueTable::default()
+    }
+}
+
+fn flat_video(n: usize) -> simvid_model::VideoTree {
+    let mut b = VideoBuilder::new("flat");
+    for i in 0..n {
+        b.leaf(format!("s{i}"));
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn engine_matches_list_algebra_on_type1(
+        f in formula_strategy(3),
+        d0 in dense(1.0),
+        d1 in dense(2.0),
+        d2 in dense(5.0),
+        d3 in dense(0.5),
+    ) {
+        let lists = vec![
+            SimilarityList::from_dense(&d0, 1.0),
+            SimilarityList::from_dense(&d1, 2.0),
+            SimilarityList::from_dense(&d2, 5.0),
+            SimilarityList::from_dense(&d3, 0.5),
+        ];
+        let provider = Lists(lists.clone());
+        let tree = flat_video(N);
+        let engine = Engine::new(&provider, &tree);
+        let formula = f.to_formula();
+        let got = engine.eval_closed_at_level(&formula, 1).unwrap();
+        let want = f.oracle(&lists);
+        let (a, b) = (got.to_dense(N), want.to_dense(N));
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!(
+                (x - y).abs() < 1e-9,
+                "`{}` at {}: engine {} vs oracle {}",
+                formula, i + 1, x, y
+            );
+        }
+        prop_assert!((got.max() - want.max()).abs() < 1e-9);
+        got.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn formula_max_matches_oracle_max(f in formula_strategy(3)) {
+        let lists = vec![
+            SimilarityList::empty(1.0),
+            SimilarityList::empty(2.0),
+            SimilarityList::empty(5.0),
+            SimilarityList::empty(0.5),
+        ];
+        let provider = Lists(lists.clone());
+        let tree = flat_video(4);
+        let engine = Engine::new(&provider, &tree);
+        let formula = f.to_formula();
+        prop_assert!((engine.formula_max(&formula) - f.oracle(&lists).max()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests: every list algorithm agrees with a brute-force oracle on
+//! dense arrays, and preserves the canonical-form invariants.
+
+use proptest::prelude::*;
+use simvid_core::{list, SimilarityList};
+
+const N: usize = 64;
+
+/// Random dense similarity array: values from a small pool so runs form.
+fn dense(max: f64) -> impl Strategy<Value = Vec<f64>> {
+    let pool = vec![0.0, 0.0, 0.0, 0.2 * max, 0.5 * max, 0.8 * max, max];
+    prop::collection::vec(prop::sample::select(pool), N)
+}
+
+fn approx(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+}
+
+// ---- oracles -------------------------------------------------------------
+
+fn oracle_and(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+fn oracle_max(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+}
+
+fn oracle_next(a: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len()];
+    let n = a.len().saturating_sub(1);
+    out[..n].copy_from_slice(&a[1..=n]);
+    out
+}
+
+fn oracle_eventually(a: &[f64]) -> Vec<f64> {
+    let mut out = a.to_vec();
+    for i in (0..a.len().saturating_sub(1)).rev() {
+        out[i] = out[i].max(out[i + 1]);
+    }
+    out
+}
+
+/// Direct transcription of the similarity semantics of `g until h`:
+/// value(i) = max over u'' = i, or u'' > i with frac_g ≥ θ on [i, u''−1].
+fn oracle_until(g: &[f64], gmax: f64, h: &[f64], theta: f64) -> Vec<f64> {
+    let cut = theta * gmax - 1e-12;
+    let n = g.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut best = h[i];
+        let mut k = i;
+        // A position absent from the list has similarity zero and never
+        // counts as satisfying g, even at threshold zero.
+        while k < n - 1 && g[k] > 0.0 && g[k] >= cut {
+            k += 1;
+            best = best.max(h[k]);
+        }
+        out[i] = best;
+    }
+    out
+}
+
+// ---- properties ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn and_matches_oracle(a in dense(2.0), b in dense(3.0)) {
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let lb = SimilarityList::from_dense(&b, 3.0);
+        let out = list::and(&la, &lb);
+        out.check_invariants().unwrap();
+        prop_assert!(approx(&out.to_dense(N), &oracle_and(&a, &b)));
+        prop_assert_eq!(out.max(), 5.0);
+    }
+
+    #[test]
+    fn and_is_commutative(a in dense(2.0), b in dense(3.0)) {
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let lb = SimilarityList::from_dense(&b, 3.0);
+        prop_assert_eq!(list::and(&la, &lb).to_tuples(), list::and(&lb, &la).to_tuples());
+    }
+
+    #[test]
+    fn max_merge_matches_oracle(a in dense(4.0), b in dense(4.0)) {
+        let la = SimilarityList::from_dense(&a, 4.0);
+        let lb = SimilarityList::from_dense(&b, 4.0);
+        let out = list::max_merge(&la, &lb);
+        out.check_invariants().unwrap();
+        prop_assert!(approx(&out.to_dense(N), &oracle_max(&a, &b)));
+    }
+
+    #[test]
+    fn max_merge_many_matches_pairwise_fold(
+        arrays in prop::collection::vec(dense(4.0), 1..6)
+    ) {
+        let lists: Vec<SimilarityList> =
+            arrays.iter().map(|a| SimilarityList::from_dense(a, 4.0)).collect();
+        let dc = list::max_merge_many(&lists);
+        let mut expect = vec![0.0; N];
+        for a in &arrays {
+            expect = oracle_max(&expect, a);
+        }
+        prop_assert!(approx(&dc.to_dense(N), &expect));
+    }
+
+    #[test]
+    fn next_matches_oracle(a in dense(2.0)) {
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let out = list::next(&la);
+        out.check_invariants().unwrap();
+        prop_assert!(approx(&out.to_dense(N), &oracle_next(&a)));
+    }
+
+    #[test]
+    fn eventually_matches_oracle(a in dense(2.0)) {
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let out = list::eventually(&la);
+        out.check_invariants().unwrap();
+        prop_assert!(approx(&out.to_dense(N), &oracle_eventually(&a)));
+    }
+
+    #[test]
+    fn until_matches_oracle(
+        g in dense(1.0),
+        h in dense(5.0),
+        theta in prop::sample::select(vec![0.0, 0.3, 0.5, 0.9]),
+    ) {
+        let lg = SimilarityList::from_dense(&g, 1.0);
+        let lh = SimilarityList::from_dense(&h, 5.0);
+        let out = list::until(&lg, &lh, theta);
+        out.check_invariants().unwrap();
+        prop_assert!(
+            approx(&out.to_dense(N), &oracle_until(&g, 1.0, &h, theta)),
+            "g={:?} h={:?} theta={} got={:?} want={:?}",
+            g, h, theta, out.to_dense(N), oracle_until(&g, 1.0, &h, theta)
+        );
+        prop_assert_eq!(out.max(), 5.0);
+    }
+
+    #[test]
+    fn eventually_equals_until_true(h in dense(5.0)) {
+        // eventually h == (true until h) when `true` covers every position.
+        let lh = SimilarityList::from_dense(&h, 5.0);
+        let tt = SimilarityList::from_tuples(vec![(1, N as u32, 1.0)], 1.0).unwrap();
+        let via_until = list::until(&tt, &lh, 0.5);
+        let direct = list::eventually(&lh);
+        prop_assert!(approx(&via_until.to_dense(N), &direct.to_dense(N)));
+    }
+
+    #[test]
+    fn dense_round_trip(a in dense(3.0)) {
+        let l = SimilarityList::from_dense(&a, 3.0);
+        l.check_invariants().unwrap();
+        prop_assert!(approx(&l.to_dense(N), &a));
+    }
+
+    #[test]
+    fn slice_unslice_round_trip(a in dense(2.0), lo in 1u32..30, len in 1u32..30) {
+        let l = SimilarityList::from_dense(&a, 2.0);
+        let hi = (lo + len).min(N as u32);
+        let sliced = l.slice_window(lo, hi);
+        sliced.check_invariants().unwrap();
+        let back = sliced.unslice_window(lo);
+        // The round trip equals the original restricted to [lo, hi].
+        let mut expect = vec![0.0; N];
+        for (i, item) in expect.iter_mut().enumerate() {
+            let pos = i as u32 + 1;
+            if pos >= lo && pos <= hi {
+                *item = a[i];
+            }
+        }
+        prop_assert!(approx(&back.to_dense(N), &expect));
+    }
+
+    #[test]
+    fn until_value_never_below_h(g in dense(1.0), h in dense(5.0)) {
+        // u'' = u is always allowed, so the output dominates h point-wise.
+        let lg = SimilarityList::from_dense(&g, 1.0);
+        let lh = SimilarityList::from_dense(&h, 5.0);
+        let out = list::until(&lg, &lh, 0.5).to_dense(N);
+        for (o, hv) in out.iter().zip(&h) {
+            prop_assert!(o >= hv);
+        }
+    }
+
+    #[test]
+    fn coalesce_preserves_semantics(a in dense(2.0)) {
+        let l = SimilarityList::from_dense(&a, 2.0);
+        let c = l.clone().coalesce();
+        c.check_invariants().unwrap();
+        prop_assert!(approx(&c.to_dense(N), &l.to_dense(N)));
+        prop_assert!(c.len() <= l.len());
+    }
+}

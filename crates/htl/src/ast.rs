@@ -1,0 +1,351 @@
+//! Abstract syntax of HTL.
+
+use serde::{Deserialize, Serialize};
+use simvid_model::AttrValue;
+
+/// An object variable, ranging over object ids. Bound by `exists`, or free
+/// (free object variables become binding columns in similarity tables).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjVar(pub String);
+
+/// An attribute variable, holding an attribute value captured by the freeze
+/// quantifier `[y := q]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrVar(pub String);
+
+/// An attribute function application.
+///
+/// `of = Some(x)` is an object attribute like `height(x)`; the attribute
+/// names `type` and `name` are special-cased to the object registry's class
+/// and proper name. `of = None` reads a segment-level attribute (e.g. the
+/// bare `type` in `type = "western"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrFn {
+    /// Attribute name.
+    pub attr: String,
+    /// Object the attribute belongs to; `None` for segment attributes.
+    pub of: Option<ObjVar>,
+}
+
+/// Terms (expressions) of HTL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// An object variable (only meaningful as a predicate argument).
+    Obj(ObjVar),
+    /// An attribute variable (only meaningful as a comparison operand).
+    Attr(AttrVar),
+    /// A constant value.
+    Const(AttrValue),
+    /// An attribute function application.
+    Fn(AttrFn),
+}
+
+/// Comparison operators of HTL's attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The textual operator.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluates the comparison on an [`Ordering`](std::cmp::Ordering).
+    #[must_use]
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// Atomic predicates — properties of a single video segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Atom {
+    /// Boolean constant.
+    Bool(bool),
+    /// `present(x)`: object `x` appears in the segment.
+    Present(ObjVar),
+    /// Attribute comparison, e.g. `height(z) > h` or `type = "western"`.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+    /// Named predicate over objects: a relationship (`fires_at(x, y)`) or,
+    /// for unary applications, equivalently a class test (`person(x)` holds
+    /// when `x`'s class is `person` *or* a unary relationship `person` is
+    /// recorded on `x`). String-constant arguments match objects by class or
+    /// name (`holds(x, "gun")`).
+    Rel {
+        /// Predicate name.
+        name: String,
+        /// Arguments (object variables or string constants).
+        args: Vec<Expr>,
+    },
+}
+
+/// How a level modal operator names its target level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelSpec {
+    /// `at next level f` — the children of the current segment.
+    Next,
+    /// `at level i f` — paper-style 1-based level number.
+    Number(u8),
+    /// `at scene level f`, `at shot level f`, … — a named level.
+    Named(String),
+}
+
+/// HTL formulas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Formula {
+    /// An atomic predicate.
+    Atom(Atom),
+    /// Negation (outside the conjunctive classes).
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// `next f`: `f` holds at the immediately following segment.
+    Next(Box<Formula>),
+    /// `g until h`.
+    Until(Box<Formula>, Box<Formula>),
+    /// `eventually f` (≡ `true until f`).
+    Eventually(Box<Formula>),
+    /// `exists x . f` over object ids.
+    Exists(ObjVar, Box<Formula>),
+    /// `[y := q] f`: freeze the current value of `q` into `y`.
+    Freeze {
+        /// The attribute variable being bound.
+        var: AttrVar,
+        /// The attribute function whose current value is captured.
+        func: AttrFn,
+        /// The scope.
+        body: Box<Formula>,
+    },
+    /// Level modal operator.
+    AtLevel(LevelSpec, Box<Formula>),
+}
+
+impl Formula {
+    /// `true`.
+    #[must_use]
+    pub fn tt() -> Formula {
+        Formula::Atom(Atom::Bool(true))
+    }
+
+    /// `false`.
+    #[must_use]
+    pub fn ff() -> Formula {
+        Formula::Atom(Atom::Bool(false))
+    }
+
+    /// `self and rhs`.
+    #[must_use]
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `not self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `next self`.
+    #[must_use]
+    pub fn next(self) -> Formula {
+        Formula::Next(Box::new(self))
+    }
+
+    /// `self until rhs`.
+    #[must_use]
+    pub fn until(self, rhs: Formula) -> Formula {
+        Formula::Until(Box::new(self), Box::new(rhs))
+    }
+
+    /// `eventually self`.
+    #[must_use]
+    pub fn eventually(self) -> Formula {
+        Formula::Eventually(Box::new(self))
+    }
+
+    /// `exists x . self`.
+    #[must_use]
+    pub fn exists(self, var: impl Into<String>) -> Formula {
+        Formula::Exists(ObjVar(var.into()), Box::new(self))
+    }
+
+    /// `[var := attr(of)] self`.
+    #[must_use]
+    pub fn freeze(
+        self,
+        var: impl Into<String>,
+        attr: impl Into<String>,
+        of: impl Into<String>,
+    ) -> Formula {
+        Formula::Freeze {
+            var: AttrVar(var.into()),
+            func: AttrFn {
+                attr: attr.into(),
+                of: Some(ObjVar(of.into())),
+            },
+            body: Box::new(self),
+        }
+    }
+
+    /// `at <spec> level self`.
+    #[must_use]
+    pub fn at_level(self, spec: LevelSpec) -> Formula {
+        Formula::AtLevel(spec, Box::new(self))
+    }
+
+    /// `present(x)` as a formula.
+    #[must_use]
+    pub fn present(var: impl Into<String>) -> Formula {
+        Formula::Atom(Atom::Present(ObjVar(var.into())))
+    }
+
+    /// A named predicate over object variables, e.g. `rel("fires_at", ["x", "y"])`.
+    #[must_use]
+    pub fn rel<S: Into<String>>(name: impl Into<String>, args: impl IntoIterator<Item = S>) -> Formula {
+        Formula::Atom(Atom::Rel {
+            name: name.into(),
+            args: args
+                .into_iter()
+                .map(|a| Expr::Obj(ObjVar(a.into())))
+                .collect(),
+        })
+    }
+
+    /// Comparison of an object attribute against a constant, e.g.
+    /// `cmp_attr_const("type", "z", CmpOp::Eq, "airplane".into())`.
+    #[must_use]
+    pub fn cmp_attr_const(
+        attr: impl Into<String>,
+        of: impl Into<String>,
+        op: CmpOp,
+        value: AttrValue,
+    ) -> Formula {
+        Formula::Atom(Atom::Cmp {
+            op,
+            lhs: Expr::Fn(AttrFn {
+                attr: attr.into(),
+                of: Some(ObjVar(of.into())),
+            }),
+            rhs: Expr::Const(value),
+        })
+    }
+
+    /// Comparison of a segment attribute against a constant, e.g.
+    /// `cmp_seg_const("type", CmpOp::Eq, "western".into())`.
+    #[must_use]
+    pub fn cmp_seg_const(attr: impl Into<String>, op: CmpOp, value: AttrValue) -> Formula {
+        Formula::Atom(Atom::Cmp {
+            op,
+            lhs: Expr::Fn(AttrFn {
+                attr: attr.into(),
+                of: None,
+            }),
+            rhs: Expr::Const(value),
+        })
+    }
+
+    /// Number of operators and atoms — the formula length `p` used in the
+    /// paper's complexity bounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Formula::Atom(_) => 1,
+            Formula::Not(f)
+            | Formula::Next(f)
+            | Formula::Eventually(f)
+            | Formula::Exists(_, f)
+            | Formula::Freeze { body: f, .. }
+            | Formula::AtLevel(_, f) => 1 + f.len(),
+            Formula::And(f, g) | Formula::Until(f, g) => 1 + f.len() + g.len(),
+        }
+    }
+
+    /// `len() == 0` is impossible; provided for lint friendliness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_tests_orderings() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.test(Equal));
+        assert!(!CmpOp::Eq.test(Less));
+        assert!(CmpOp::Ne.test(Greater));
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Le.test(Less));
+        assert!(!CmpOp::Lt.test(Equal));
+        assert!(CmpOp::Ge.test(Greater));
+        assert!(!CmpOp::Gt.test(Equal));
+    }
+
+    #[test]
+    fn builder_combinators_produce_expected_shape() {
+        let f = Formula::present("x")
+            .and(Formula::rel("person", ["x"]))
+            .eventually()
+            .exists("x");
+        match &f {
+            Formula::Exists(v, body) => {
+                assert_eq!(v.0, "x");
+                assert!(matches!(**body, Formula::Eventually(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn formula_length_counts_all_nodes() {
+        // M1 and next (M2 until M3): And + Atom + Next + Until + Atom + Atom = 6
+        let f = Formula::rel("M1", Vec::<String>::new()).and(
+            Formula::rel("M2", Vec::<String>::new())
+                .until(Formula::rel("M3", Vec::<String>::new()))
+                .next(),
+        );
+        assert_eq!(f.len(), 6);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's formula-class hierarchy (§2.5, §3):
+//! type (1) ⊂ type (2) ⊂ conjunctive ⊂ extended conjunctive ⊂ HTL.
+
+use crate::{is_closed, Formula};
+
+/// Classification of an HTL formula, driving which retrieval algorithm the
+/// engine can use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FormulaClass {
+    /// No temporal and no level modal operators: evaluable on a single
+    /// segment's meta-data (handled entirely by the picture system).
+    NonTemporal,
+    /// Conjunctive, no freeze quantifiers, and no temporal operators inside
+    /// any existential quantifier's scope: non-temporal blocks glued by
+    /// `and` and temporal operators. Evaluated with similarity *lists*.
+    Type1,
+    /// Conjunctive without freeze quantifiers. Evaluated with similarity
+    /// *tables* (one row per object-variable binding).
+    Type2,
+    /// No negation, no level modals, all variables bound, and every
+    /// existential quantifier either prefixes the whole formula or has a
+    /// temporal-free scope. May use freeze quantifiers (value tables).
+    Conjunctive,
+    /// Conjunctive plus level modal operators.
+    ExtendedConjunctive,
+    /// Anything else; only the exact evaluator handles this class.
+    General,
+}
+
+#[derive(Default)]
+struct Flags {
+    has_temporal: bool,
+    has_level: bool,
+    has_not: bool,
+    has_freeze: bool,
+    exists_ok: bool,
+    exists_pure: bool,
+}
+
+pub(crate) fn scope_temporal_free(f: &Formula) -> bool {
+    match f {
+        Formula::Atom(_) => true,
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Freeze { body: g, .. } => {
+            scope_temporal_free(g)
+        }
+        Formula::And(g, h) => scope_temporal_free(g) && scope_temporal_free(h),
+        Formula::Next(_) | Formula::Until(..) | Formula::Eventually(_) | Formula::AtLevel(..) => {
+            false
+        }
+    }
+}
+
+fn scan(f: &Formula, on_prefix: bool, flags: &mut Flags) {
+    match f {
+        Formula::Atom(_) => {}
+        Formula::Not(g) => {
+            flags.has_not = true;
+            scan(g, false, flags);
+        }
+        Formula::And(g, h) => {
+            scan(g, false, flags);
+            scan(h, false, flags);
+        }
+        Formula::Next(g) | Formula::Eventually(g) => {
+            flags.has_temporal = true;
+            scan(g, false, flags);
+        }
+        Formula::Until(g, h) => {
+            flags.has_temporal = true;
+            scan(g, false, flags);
+            scan(h, false, flags);
+        }
+        Formula::Exists(_, g) => {
+            let pure = scope_temporal_free(g);
+            if !pure {
+                flags.exists_pure = false;
+                if !on_prefix {
+                    flags.exists_ok = false;
+                }
+            }
+            scan(g, on_prefix, flags);
+        }
+        Formula::Freeze { body, .. } => {
+            flags.has_freeze = true;
+            scan(body, false, flags);
+        }
+        Formula::AtLevel(_, g) => {
+            flags.has_level = true;
+            scan(g, false, flags);
+        }
+    }
+}
+
+/// Classifies a formula into the paper's hierarchy. The returned class is
+/// the *smallest* class containing the formula.
+#[must_use]
+pub fn classify(f: &Formula) -> FormulaClass {
+    let mut flags = Flags {
+        exists_ok: true,
+        exists_pure: true,
+        ..Flags::default()
+    };
+    scan(f, true, &mut flags);
+    if !flags.has_temporal && !flags.has_level {
+        return FormulaClass::NonTemporal;
+    }
+    if flags.has_not || !flags.exists_ok || !is_closed(f) {
+        return FormulaClass::General;
+    }
+    if flags.has_level {
+        return FormulaClass::ExtendedConjunctive;
+    }
+    if flags.has_freeze {
+        return FormulaClass::Conjunctive;
+    }
+    if flags.exists_pure {
+        FormulaClass::Type1
+    } else {
+        FormulaClass::Type2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn class_of(src: &str) -> FormulaClass {
+        classify(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn paper_formula_a_is_type1_modulo_level() {
+        // Without the level modal prefix, (A) is type (1).
+        assert_eq!(class_of("M1() and next (M2() until M3())"), FormulaClass::Type1);
+        // With it, it is extended conjunctive.
+        assert_eq!(
+            class_of("at shot level (M1() and next (M2() until M3()))"),
+            FormulaClass::ExtendedConjunctive
+        );
+    }
+
+    #[test]
+    fn paper_formula_b_is_type2() {
+        let src = "exists x . exists y . \
+                   (present(x) and present(y) and fires_at(x, y)) \
+                   and eventually on_floor(y)";
+        assert_eq!(class_of(src), FormulaClass::Type2);
+    }
+
+    #[test]
+    fn paper_formula_c_is_conjunctive_only() {
+        let src = "exists z . (present(z) and type(z) = \"airplane\" and \
+                   [h := height(z)] eventually (present(z) and height(z) > h))";
+        assert_eq!(class_of(src), FormulaClass::Conjunctive);
+    }
+
+    #[test]
+    fn exists_with_pure_scope_keeps_type1() {
+        assert_eq!(
+            class_of("(exists x . (p(x) and q(x))) and eventually r()"),
+            FormulaClass::Type1
+        );
+    }
+
+    #[test]
+    fn non_prefix_exists_with_temporal_scope_is_general() {
+        assert_eq!(
+            class_of("p() and exists x . eventually q(x)"),
+            FormulaClass::General
+        );
+    }
+
+    #[test]
+    fn prefix_exists_chain_with_temporal_scope_is_type2() {
+        assert_eq!(
+            class_of("exists x . exists y . (p(x) and eventually q(y))"),
+            FormulaClass::Type2
+        );
+    }
+
+    #[test]
+    fn negation_of_temporal_is_general() {
+        assert_eq!(class_of("not eventually p()"), FormulaClass::General);
+    }
+
+    #[test]
+    fn free_variables_make_it_general() {
+        assert_eq!(class_of("eventually p(x)"), FormulaClass::General);
+    }
+
+    #[test]
+    fn non_temporal_class() {
+        assert_eq!(class_of("type = \"western\""), FormulaClass::NonTemporal);
+        // Negation is fine inside the non-temporal class.
+        assert_eq!(class_of("not type = \"western\""), FormulaClass::NonTemporal);
+    }
+
+    #[test]
+    fn class_ordering_matches_the_hierarchy() {
+        assert!(FormulaClass::Type1 < FormulaClass::Type2);
+        assert!(FormulaClass::Type2 < FormulaClass::Conjunctive);
+        assert!(FormulaClass::Conjunctive < FormulaClass::ExtendedConjunctive);
+        assert!(FormulaClass::ExtendedConjunctive < FormulaClass::General);
+    }
+
+    #[test]
+    fn eventually_inside_freeze_is_conjunctive() {
+        assert_eq!(
+            class_of("[t := temperature] eventually temperature > t"),
+            FormulaClass::Conjunctive
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing HTL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new(17, "expected ')'");
+        let s = e.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("expected ')'"));
+    }
+}

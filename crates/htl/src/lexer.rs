@@ -1,0 +1,362 @@
+//! Tokenizer for the HTL concrete syntax.
+
+use crate::ParseError;
+
+/// Tokens of the HTL concrete syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Assign, // :=
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    KwAnd,
+    KwNot,
+    KwNext,
+    KwUntil,
+    KwEventually,
+    KwExists,
+    KwPresent,
+    KwAt,
+    KwLevel,
+    KwTrue,
+    KwFalse,
+    Eof,
+}
+
+impl Tok {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Int(i) => format!("integer {i}"),
+            Tok::Float(x) => format!("number {x}"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Assign => "`:=`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::KwAnd => "`and`".into(),
+            Tok::KwNot => "`not`".into(),
+            Tok::KwNext => "`next`".into(),
+            Tok::KwUntil => "`until`".into(),
+            Tok::KwEventually => "`eventually`".into(),
+            Tok::KwExists => "`exists`".into(),
+            Tok::KwPresent => "`present`".into(),
+            Tok::KwAt => "`at`".into(),
+            Tok::KwLevel => "`level`".into(),
+            Tok::KwTrue => "`true`".into(),
+            Tok::KwFalse => "`false`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "and" => Tok::KwAnd,
+        "not" => Tok::KwNot,
+        "next" => Tok::KwNext,
+        "until" => Tok::KwUntil,
+        "eventually" => Tok::KwEventually,
+        "exists" => Tok::KwExists,
+        "present" => Tok::KwPresent,
+        "at" => Tok::KwAt,
+        "level" => Tok::KwLevel,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        _ => return None,
+    })
+}
+
+/// Lexes the whole input, appending an `Eof` token.
+pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                toks.push(Spanned { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                toks.push(Spanned { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            b'[' => {
+                toks.push(Spanned { tok: Tok::LBracket, pos: i });
+                i += 1;
+            }
+            b']' => {
+                toks.push(Spanned { tok: Tok::RBracket, pos: i });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Spanned { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            b'.' => {
+                toks.push(Spanned { tok: Tok::Dot, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                toks.push(Spanned { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Le, pos: i });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Ge, pos: i });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Assign, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected `:=`"));
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new(start, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                _ => {
+                                    return Err(ParseError::new(i, "invalid escape sequence"));
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 character.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Spanned { tok: Tok::Str(s), pos: start });
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                if c == b'-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(ParseError::new(start, "expected digits after `-`"));
+                    }
+                }
+                while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid number `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid integer `{text}`"))
+                    })?)
+                };
+                toks.push(Spanned { tok, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while bytes
+                    .get(i)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned()));
+                toks.push(Spanned { tok, pos: start });
+            }
+            _ => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                ));
+            }
+        }
+    }
+    toks.push(Spanned { tok: Tok::Eof, pos: input.len() });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_keywords() {
+        assert_eq!(
+            kinds("a and b until next c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::KwAnd,
+                Tok::Ident("b".into()),
+                Tok::KwUntil,
+                Tok::KwNext,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(
+            kinds("< <= > >= = !="),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("12 -3 4.5 -0.25"),
+            vec![
+                Tok::Int(12),
+                Tok::Int(-3),
+                Tok::Float(4.5),
+                Tok::Float(-0.25),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""John Wayne" "a\"b""#),
+            vec![
+                Tok::Str("John Wayne".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_freeze_brackets() {
+        assert_eq!(
+            kinds("[h := height(z)]"),
+            vec![
+                Tok::LBracket,
+                Tok::Ident("h".into()),
+                Tok::Assign,
+                Tok::Ident("height".into()),
+                Tok::LParen,
+                Tok::Ident("z".into()),
+                Tok::RParen,
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a ; b").is_err());
+        assert!(lex("a : b").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 4);
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        assert_eq!(
+            kinds("AND And"),
+            vec![Tok::Ident("AND".into()), Tok::Ident("And".into()), Tok::Eof]
+        );
+    }
+}

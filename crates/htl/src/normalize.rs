@@ -1,0 +1,408 @@
+//! Quantifier hoisting: rewriting formulas into the prefix-quantified form
+//! the conjunctive classes require.
+//!
+//! The paper believes "most queries of interest can be expressed as
+//! conjunctive formulas", whose existential quantifiers must sit at the
+//! *beginning* of the formula (or have temporal-free scope). Users rarely
+//! write them that way. This module hoists `exists` binders towards the
+//! root along the semantics-preserving axes — under both the exact boolean
+//! semantics and the similarity semantics, because `max` over evaluations
+//! commutes with each rewritten operator:
+//!
+//! * `f ∧ (∃x g) ⇝ ∃x (f ∧ g)` and symmetrically, when `x ∉ free(f)`
+//!   (renaming `x` apart otherwise);
+//! * `next (∃x g) ⇝ ∃x next g`, `eventually (∃x g) ⇝ ∃x eventually g`
+//!   (both sides pick one witness at one position);
+//! * `f until (∃x g) ⇝ ∃x (f until g)` when `x ∉ free(f)` — the witness is
+//!   chosen at the single position where `g` holds;
+//! * `[y := q] (∃x g) ⇝ ∃x [y := q] g` when `x ∉ q`;
+//! * `at ℓ level (∃x g) ⇝ ∃x at ℓ level g`.
+//!
+//! **Not** hoisted, because the rewrite would change meaning: the *left*
+//! side of `until` (`(∃x g) until h` allows a different witness at every
+//! intermediate position) and anything under negation (`¬∃` is `∀`).
+//!
+//! A formula that classifies as [`FormulaClass::General`] only because its
+//! quantifiers sit inline often becomes type (2) after
+//! [`hoist_quantifiers`] — see [`normalize_for_engine`].
+
+use crate::{classify, Formula, FormulaClass, ObjVar};
+use std::collections::BTreeSet;
+
+/// Picks a variable name not occurring (free or bound) in any of `taken`.
+fn fresh_name(base: &str, taken: &BTreeSet<String>) -> String {
+    if !taken.contains(base) {
+        return base.to_owned();
+    }
+    let mut i = 1usize;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if !taken.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+fn all_obj_names(f: &Formula, out: &mut BTreeSet<String>) {
+    let (bound, _) = crate::bound_vars(f);
+    out.extend(bound.into_iter().map(|v| v.0));
+    out.extend(crate::free_obj_vars(f).into_iter().map(|v| v.0));
+}
+
+/// Renames free occurrences of an object variable (shadow-aware).
+fn rename_free_obj(f: &Formula, from: &str, to: &str) -> Formula {
+    use crate::{Atom, Expr};
+    fn ren_expr(e: &Expr, from: &str, to: &str) -> Expr {
+        match e {
+            Expr::Obj(ObjVar(v)) if v == from => Expr::Obj(ObjVar(to.to_owned())),
+            Expr::Fn(af) if af.of.as_ref().is_some_and(|o| o.0 == from) => {
+                Expr::Fn(crate::AttrFn { attr: af.attr.clone(), of: Some(ObjVar(to.to_owned())) })
+            }
+            other => other.clone(),
+        }
+    }
+    match f {
+        Formula::Atom(a) => Formula::Atom(match a {
+            Atom::Bool(b) => Atom::Bool(*b),
+            Atom::Present(ObjVar(v)) if v == from => Atom::Present(ObjVar(to.to_owned())),
+            Atom::Present(v) => Atom::Present(v.clone()),
+            Atom::Cmp { op, lhs, rhs } => Atom::Cmp {
+                op: *op,
+                lhs: ren_expr(lhs, from, to),
+                rhs: ren_expr(rhs, from, to),
+            },
+            Atom::Rel { name, args } => Atom::Rel {
+                name: name.clone(),
+                args: args.iter().map(|a| ren_expr(a, from, to)).collect(),
+            },
+        }),
+        Formula::Not(g) => rename_free_obj(g, from, to).not(),
+        Formula::And(g, h) => rename_free_obj(g, from, to).and(rename_free_obj(h, from, to)),
+        Formula::Next(g) => rename_free_obj(g, from, to).next(),
+        Formula::Eventually(g) => rename_free_obj(g, from, to).eventually(),
+        Formula::Until(g, h) => rename_free_obj(g, from, to).until(rename_free_obj(h, from, to)),
+        Formula::Exists(v, _) if v.0 == from => f.clone(),
+        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(rename_free_obj(g, from, to))),
+        Formula::Freeze { var, func, body } => Formula::Freeze {
+            var: var.clone(),
+            func: if func.of.as_ref().is_some_and(|o| o.0 == from) {
+                crate::AttrFn { attr: func.attr.clone(), of: Some(ObjVar(to.to_owned())) }
+            } else {
+                func.clone()
+            },
+            body: Box::new(rename_free_obj(body, from, to)),
+        },
+        Formula::AtLevel(spec, g) => {
+            Formula::AtLevel(spec.clone(), Box::new(rename_free_obj(g, from, to)))
+        }
+    }
+}
+
+/// Hoists existential quantifiers towards the root along the
+/// semantics-preserving axes described in the module docs. Binders are
+/// renamed apart as needed; the result is semantically equivalent under
+/// both HTL semantics.
+#[must_use]
+pub fn hoist_quantifiers(f: &Formula) -> Formula {
+    // `global` holds every variable name occurring anywhere (so fresh
+    // names never collide with inner binders and get captured); `taken`
+    // tracks the binder names already emitted above the current position.
+    let mut global = BTreeSet::new();
+    all_obj_names(f, &mut global);
+    hoist(f, &BTreeSet::new(), &mut global)
+}
+
+/// Resolves the binder name for a pull: renames apart when the name
+/// collides with an enclosing binder or the sibling context.
+fn pull_name(
+    var: &ObjVar,
+    body: Formula,
+    sibling_names: &BTreeSet<String>,
+    taken: &BTreeSet<String>,
+    global: &mut BTreeSet<String>,
+) -> (String, Formula) {
+    let conflict = taken.contains(&var.0) || sibling_names.contains(&var.0);
+    if !conflict {
+        return (var.0.clone(), body);
+    }
+    let mut avoid = global.clone();
+    avoid.extend(taken.iter().cloned());
+    avoid.extend(sibling_names.iter().cloned());
+    let fresh = fresh_name(&var.0, &avoid);
+    global.insert(fresh.clone());
+    let renamed = rename_free_obj(&body, &var.0, &fresh);
+    (fresh, renamed)
+}
+
+fn context_names(f: &Formula) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    all_obj_names(f, &mut names);
+    names
+}
+
+/// Splits off a hoistable binder: `Some` only when `f` is an existential
+/// whose scope contains temporal structure — a binder with temporal-free
+/// scope already belongs to an atomic unit and pulling it would only
+/// *demote* the classification (type (1) → type (2)).
+fn take_pullable(f: Formula) -> Result<(ObjVar, Formula), Formula> {
+    match f {
+        Formula::Exists(v, body) if !crate::classify::scope_temporal_free(&body) => {
+            Ok((v, *body))
+        }
+        other => Err(other),
+    }
+}
+
+fn hoist(f: &Formula, taken: &BTreeSet<String>, global: &mut BTreeSet<String>) -> Formula {
+    match f {
+        Formula::Atom(_) => f.clone(),
+        Formula::Not(g) => hoist(g, taken, global).not(),
+        Formula::And(g, h) => {
+            let g = hoist(g, taken, global);
+            let h = hoist(h, taken, global);
+            // Pull binders off both sides, left first.
+            let g = match take_pullable(g) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &context_names(&h), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    return Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(&body.and(h), &taken2, global)),
+                    );
+                }
+                Err(g) => g,
+            };
+            let h = match take_pullable(h) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &context_names(&g), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    return Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(&g.and(body), &taken2, global)),
+                    );
+                }
+                Err(h) => h,
+            };
+            g.and(h)
+        }
+        Formula::Next(g) => {
+            let g = hoist(g, taken, global);
+            match take_pullable(g) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &BTreeSet::new(), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    Formula::Exists(ObjVar(name), Box::new(hoist(&body.next(), &taken2, global)))
+                }
+                Err(g) => g.next(),
+            }
+        }
+        Formula::Eventually(g) => {
+            let g = hoist(g, taken, global);
+            match take_pullable(g) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &BTreeSet::new(), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(&body.eventually(), &taken2, global)),
+                    )
+                }
+                Err(g) => g.eventually(),
+            }
+        }
+        Formula::Until(g, h) => {
+            let g = hoist(g, taken, global);
+            let h = hoist(h, taken, global);
+            // Only the right side admits hoisting.
+            match take_pullable(h) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &context_names(&g), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(&g.until(body), &taken2, global)),
+                    )
+                }
+                Err(h) => g.until(h),
+            }
+        }
+        Formula::Exists(v, g) => {
+            let mut taken2 = taken.clone();
+            taken2.insert(v.0.clone());
+            Formula::Exists(v.clone(), Box::new(hoist(g, &taken2, global)))
+        }
+        Formula::Freeze { var, func, body } => {
+            let body = hoist(body, taken, global);
+            if let Formula::Exists(xv, inner) = body {
+                if crate::classify::scope_temporal_free(&inner) {
+                    return Formula::Freeze {
+                        var: var.clone(),
+                        func: func.clone(),
+                        body: Box::new(Formula::Exists(xv, inner)),
+                    };
+                }
+                let func_obj = func.of.as_ref().map(|o| o.0.clone());
+                if func_obj.as_deref() != Some(xv.0.as_str()) {
+                    // x does not occur in q; commute.
+                    let sibling: BTreeSet<String> = func_obj.into_iter().collect();
+                    let (name, inner) = pull_name(&xv, *inner, &sibling, taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    return Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(
+                            &Formula::Freeze {
+                                var: var.clone(),
+                                func: func.clone(),
+                                body: Box::new(inner),
+                            },
+                            &taken2,
+                            global,
+                        )),
+                    );
+                }
+                // q reads the bound variable: cannot commute.
+                return Formula::Freeze {
+                    var: var.clone(),
+                    func: func.clone(),
+                    body: Box::new(Formula::Exists(xv, inner)),
+                };
+            }
+            Formula::Freeze { var: var.clone(), func: func.clone(), body: Box::new(body) }
+        }
+        Formula::AtLevel(spec, g) => {
+            let g = hoist(g, taken, global);
+            match take_pullable(g) {
+                Ok((v, body)) => {
+                    let (name, body) = pull_name(&v, body, &BTreeSet::new(), taken, global);
+                    let mut taken2 = taken.clone();
+                    taken2.insert(name.clone());
+                    Formula::Exists(
+                        ObjVar(name),
+                        Box::new(hoist(&body.at_level(spec.clone()), &taken2, global)),
+                    )
+                }
+                Err(g) => g.at_level(spec.clone()),
+            }
+        }
+    }
+}
+
+/// Hoists quantifiers and reports the classification before and after.
+/// Returns the normalized formula when hoisting improves (or preserves)
+/// the class, which it always does — hoisting never moves a formula *out*
+/// of a class the original inhabited.
+#[must_use]
+pub fn normalize_for_engine(f: &Formula) -> (Formula, FormulaClass, FormulaClass) {
+    let before = classify(f);
+    let hoisted = hoist_quantifiers(f);
+    let after = classify(&hoisted);
+    if after <= before {
+        (hoisted, before, after)
+    } else {
+        (f.clone(), before, before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn hoist(src: &str) -> Formula {
+        hoist_quantifiers(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn hoists_out_of_conjunction() {
+        let f = hoist("p() and (exists x . eventually q(x))");
+        assert_eq!(f.to_string(), "exists x . p() and eventually q(x)");
+    }
+
+    #[test]
+    fn hoists_out_of_until_rhs() {
+        let f = hoist("p() until (exists x . next q(x))");
+        assert_eq!(f.to_string(), "exists x . p() until next q(x)");
+    }
+
+    #[test]
+    fn pure_scope_binders_stay_in_place() {
+        // An existential with temporal-free scope is part of an atomic
+        // unit; pulling it would demote type (1) to type (2).
+        let f = hoist("p() and (exists x . q(x))");
+        assert_eq!(f.to_string(), "p() and (exists x . q(x))");
+        let f = hoist("p() until eventually (exists x . q(x))");
+        assert_eq!(f.to_string(), "p() until eventually (exists x . q(x))");
+    }
+
+    #[test]
+    fn renames_colliding_binders() {
+        // The left binder is pulled first and renamed apart from the right
+        // side's `x`.
+        let f = hoist("(exists x . eventually p(x)) and (exists x . eventually q(x))");
+        assert_eq!(
+            f.to_string(),
+            "exists x_1 . exists x . eventually p(x_1) and eventually q(x)"
+        );
+    }
+
+    #[test]
+    fn does_not_hoist_from_until_lhs() {
+        let f = hoist("(exists x . eventually p(x)) until q()");
+        assert_eq!(f.to_string(), "(exists x . eventually p(x)) until q()");
+    }
+
+    #[test]
+    fn does_not_hoist_through_negation() {
+        let f = hoist("not (exists x . p(x))");
+        assert_eq!(f.to_string(), "not (exists x . p(x))");
+    }
+
+    #[test]
+    fn upgrades_general_to_type2() {
+        // A non-prefix quantifier with temporal scope: General as written…
+        let f = parse("p() and (exists x . eventually q(x))").unwrap();
+        assert_eq!(classify(&f), FormulaClass::General);
+        // …type (2) after hoisting.
+        let (g, before, after) = normalize_for_engine(&f);
+        assert_eq!(before, FormulaClass::General);
+        assert_eq!(after, FormulaClass::Type2);
+        assert_eq!(g.to_string(), "exists x . p() and eventually q(x)");
+    }
+
+    #[test]
+    fn inline_exists_with_pure_scope_is_already_fine() {
+        // `exists` whose scope is temporal-free is part of an atomic unit:
+        // type (1) without any rewriting needed.
+        let f = parse("p() and eventually (exists x . q(x))").unwrap();
+        assert_eq!(classify(&f), FormulaClass::Type1);
+    }
+
+    #[test]
+    fn freeze_commutes_unless_it_reads_the_binder() {
+        let f = hoist("[h := height(z)] (exists x . eventually size(x) > h)");
+        assert!(f.to_string().starts_with("exists x . "), "got {f}");
+        // q reads x: must not commute.
+        let f = hoist("[h := height(x)] (exists x . eventually present(x))");
+        assert!(f.to_string().starts_with("[h := height(x)]"), "got {f}");
+    }
+
+    #[test]
+    fn hoists_through_level_modalities() {
+        let f = hoist("at shot level (exists x . eventually q(x))");
+        assert_eq!(f.to_string(), "exists x . at shot level eventually q(x)");
+    }
+
+    #[test]
+    fn idempotent_on_prefix_form() {
+        let src = "exists x . exists y . p(x) and eventually q(y)";
+        let f = parse(src).unwrap();
+        assert_eq!(hoist_quantifiers(&f), f);
+    }
+}

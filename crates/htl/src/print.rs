@@ -1,0 +1,223 @@
+//! Pretty printer emitting the concrete syntax accepted by [`crate::parse`].
+
+use crate::{Atom, AttrFn, Expr, Formula, LevelSpec};
+use simvid_model::AttrValue;
+use std::fmt::{self, Write as _};
+
+/// Binding strength used to decide parenthesisation.
+/// until = 1, and = 2, unary = 3, atom = 4.
+fn prec(f: &Formula) -> u8 {
+    match f {
+        // Quantifier bodies extend maximally to the right, so a quantifier
+        // binds as loosely as `until` and needs parens in tighter contexts.
+        Formula::Until(..) | Formula::Exists(..) | Formula::Freeze { .. } => 1,
+        Formula::And(..) => 2,
+        Formula::Not(_)
+        | Formula::Next(_)
+        | Formula::Eventually(_)
+        | Formula::AtLevel(..) => 3,
+        Formula::Atom(_) => 4,
+    }
+}
+
+fn write_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_const(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        // Debug formatting keeps a trailing `.0` so floats re-parse as floats.
+        AttrValue::Float(x) => {
+            let _ = write!(out, "{x:?}");
+        }
+        AttrValue::Str(s) => write_str_lit(out, s),
+        AttrValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn write_attr_fn(out: &mut String, f: &AttrFn) {
+    out.push_str(&f.attr);
+    if let Some(of) = &f.of {
+        out.push('(');
+        out.push_str(&of.0);
+        out.push(')');
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Obj(v) => out.push_str(&v.0),
+        Expr::Attr(v) => out.push_str(&v.0),
+        Expr::Const(c) => write_const(out, c),
+        Expr::Fn(f) => write_attr_fn(out, f),
+    }
+}
+
+fn write_atom(out: &mut String, a: &Atom) {
+    match a {
+        Atom::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Atom::Present(v) => {
+            let _ = write!(out, "present({})", v.0);
+        }
+        Atom::Cmp { op, lhs, rhs } => {
+            write_expr(out, lhs);
+            let _ = write!(out, " {} ", op.symbol());
+            write_expr(out, rhs);
+        }
+        Atom::Rel { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Writes `f` requiring at least binding strength `min`.
+fn write_formula(out: &mut String, f: &Formula, min: u8) {
+    let p = prec(f);
+    if p < min {
+        out.push('(');
+        write_formula(out, f, 1);
+        out.push(')');
+        return;
+    }
+    match f {
+        Formula::Atom(a) => write_atom(out, a),
+        Formula::Not(g) => {
+            out.push_str("not ");
+            write_formula(out, g, 3);
+        }
+        Formula::Next(g) => {
+            out.push_str("next ");
+            write_formula(out, g, 3);
+        }
+        Formula::Eventually(g) => {
+            out.push_str("eventually ");
+            write_formula(out, g, 3);
+        }
+        Formula::Exists(v, g) => {
+            let _ = write!(out, "exists {} . ", v.0);
+            // The body is maximal-scope; no parens needed at any level.
+            write_formula(out, g, 1);
+        }
+        Formula::Freeze { var, func, body } => {
+            let _ = write!(out, "[{} := ", var.0);
+            write_attr_fn(out, func);
+            out.push_str("] ");
+            write_formula(out, body, 1);
+        }
+        Formula::AtLevel(spec, g) => {
+            match spec {
+                LevelSpec::Next => out.push_str("at next level "),
+                LevelSpec::Number(n) => {
+                    let _ = write!(out, "at level {n} ");
+                }
+                LevelSpec::Named(n) => {
+                    let _ = write!(out, "at {n} level ");
+                }
+            }
+            write_formula(out, g, 3);
+        }
+        Formula::And(g, h) => {
+            write_formula(out, g, 2);
+            out.push_str(" and ");
+            write_formula(out, h, 3);
+        }
+        Formula::Until(g, h) => {
+            write_formula(out, g, 2);
+            out.push_str(" until ");
+            write_formula(out, h, 1);
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_formula(&mut s, self, 1);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, CmpOp, Formula};
+    use simvid_model::AttrValue;
+
+    fn round_trip(src: &str) {
+        let f = parse(src).expect("parses");
+        let printed = f.to_string();
+        let f2 = parse(&printed).unwrap_or_else(|e| panic!("reprint `{printed}` failed: {e}"));
+        assert_eq!(f, f2, "round trip through `{printed}`");
+    }
+
+    #[test]
+    fn round_trips_paper_formulas() {
+        round_trip("at shot level (M1() and next (M2() until M3()))");
+        round_trip(
+            "exists x . exists y . (present(x) and person(x) and name(x) = \"John Wayne\") \
+             and eventually (fires_at(x, y) and eventually on_floor(y))",
+        );
+        round_trip(
+            "exists z . (present(z) and type(z) = \"airplane\" and \
+             [h := height(z)] eventually (present(z) and height(z) > h))",
+        );
+    }
+
+    #[test]
+    fn round_trips_operator_nests() {
+        round_trip("(a() until b()) until c()");
+        round_trip("a() until (b() and c())");
+        round_trip("not (a() and b())");
+        round_trip("next next a()");
+        round_trip("eventually (a() until b())");
+        round_trip("at level 2 at next level a()");
+        round_trip("true and false");
+    }
+
+    #[test]
+    fn printed_form_is_minimal_for_common_shapes() {
+        let f = parse("a() and b() and c()").unwrap();
+        assert_eq!(f.to_string(), "a() and b() and c()");
+        let f = parse("a() until b() until c()").unwrap();
+        assert_eq!(f.to_string(), "a() until b() until c()");
+        let f = parse("(a() and b()) until c()").unwrap();
+        assert_eq!(f.to_string(), "a() and b() until c()");
+    }
+
+    #[test]
+    fn floats_keep_their_type_through_printing() {
+        let f = Formula::cmp_seg_const("x", CmpOp::Eq, AttrValue::Float(5.0));
+        assert_eq!(f.to_string(), "x = 5.0");
+        let f2 = parse(&f.to_string()).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let f = Formula::cmp_seg_const("x", CmpOp::Eq, AttrValue::from("a\"b\\c"));
+        round_trip(&f.to_string());
+    }
+}

@@ -1,0 +1,196 @@
+//! Free/bound variable analysis.
+
+use crate::{Atom, AttrVar, Expr, Formula, ObjVar};
+use std::collections::BTreeSet;
+
+fn expr_vars(e: &Expr, objs: &mut BTreeSet<ObjVar>, attrs: &mut BTreeSet<AttrVar>) {
+    match e {
+        Expr::Obj(v) => {
+            objs.insert(v.clone());
+        }
+        Expr::Attr(v) => {
+            attrs.insert(v.clone());
+        }
+        Expr::Const(_) => {}
+        Expr::Fn(f) => {
+            if let Some(of) = &f.of {
+                objs.insert(of.clone());
+            }
+        }
+    }
+}
+
+fn atom_vars(a: &Atom, objs: &mut BTreeSet<ObjVar>, attrs: &mut BTreeSet<AttrVar>) {
+    match a {
+        Atom::Bool(_) => {}
+        Atom::Present(v) => {
+            objs.insert(v.clone());
+        }
+        Atom::Cmp { lhs, rhs, .. } => {
+            expr_vars(lhs, objs, attrs);
+            expr_vars(rhs, objs, attrs);
+        }
+        Atom::Rel { args, .. } => {
+            for a in args {
+                expr_vars(a, objs, attrs);
+            }
+        }
+    }
+}
+
+fn walk(
+    f: &Formula,
+    bound_objs: &mut Vec<ObjVar>,
+    bound_attrs: &mut Vec<AttrVar>,
+    free_objs: &mut BTreeSet<ObjVar>,
+    free_attrs: &mut BTreeSet<AttrVar>,
+    all_bound_objs: &mut BTreeSet<ObjVar>,
+    all_bound_attrs: &mut BTreeSet<AttrVar>,
+) {
+    match f {
+        Formula::Atom(a) => {
+            let mut objs = BTreeSet::new();
+            let mut attrs = BTreeSet::new();
+            atom_vars(a, &mut objs, &mut attrs);
+            for v in objs {
+                if !bound_objs.contains(&v) {
+                    free_objs.insert(v);
+                }
+            }
+            for v in attrs {
+                if !bound_attrs.contains(&v) {
+                    free_attrs.insert(v);
+                }
+            }
+        }
+        Formula::Not(g)
+        | Formula::Next(g)
+        | Formula::Eventually(g)
+        | Formula::AtLevel(_, g) => walk(
+            g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs, all_bound_attrs,
+        ),
+        Formula::And(g, h) | Formula::Until(g, h) => {
+            walk(
+                g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                all_bound_attrs,
+            );
+            walk(
+                h, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                all_bound_attrs,
+            );
+        }
+        Formula::Exists(v, g) => {
+            all_bound_objs.insert(v.clone());
+            bound_objs.push(v.clone());
+            walk(
+                g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                all_bound_attrs,
+            );
+            bound_objs.pop();
+        }
+        Formula::Freeze { var, func, body } => {
+            // The frozen attribute function reads an object variable *here*.
+            if let Some(of) = &func.of {
+                if !bound_objs.contains(of) {
+                    free_objs.insert(of.clone());
+                }
+            }
+            all_bound_attrs.insert(var.clone());
+            bound_attrs.push(var.clone());
+            walk(
+                body, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                all_bound_attrs,
+            );
+            bound_attrs.pop();
+        }
+    }
+}
+
+/// The object variables occurring free in `f`.
+#[must_use]
+pub fn free_obj_vars(f: &Formula) -> BTreeSet<ObjVar> {
+    let (mut bo, mut ba) = (Vec::new(), Vec::new());
+    let (mut fo, mut fa) = (BTreeSet::new(), BTreeSet::new());
+    let (mut abo, mut aba) = (BTreeSet::new(), BTreeSet::new());
+    walk(f, &mut bo, &mut ba, &mut fo, &mut fa, &mut abo, &mut aba);
+    fo
+}
+
+/// The attribute variables occurring free in `f`.
+#[must_use]
+pub fn free_attr_vars(f: &Formula) -> BTreeSet<AttrVar> {
+    let (mut bo, mut ba) = (Vec::new(), Vec::new());
+    let (mut fo, mut fa) = (BTreeSet::new(), BTreeSet::new());
+    let (mut abo, mut aba) = (BTreeSet::new(), BTreeSet::new());
+    walk(f, &mut bo, &mut ba, &mut fo, &mut fa, &mut abo, &mut aba);
+    fa
+}
+
+/// All variables bound anywhere in `f` (by `exists` / freeze).
+#[must_use]
+pub fn bound_vars(f: &Formula) -> (BTreeSet<ObjVar>, BTreeSet<AttrVar>) {
+    let (mut bo, mut ba) = (Vec::new(), Vec::new());
+    let (mut fo, mut fa) = (BTreeSet::new(), BTreeSet::new());
+    let (mut abo, mut aba) = (BTreeSet::new(), BTreeSet::new());
+    walk(f, &mut bo, &mut ba, &mut fo, &mut fa, &mut abo, &mut aba);
+    (abo, aba)
+}
+
+/// Whether `f` has no free variables of either kind.
+#[must_use]
+pub fn is_closed(f: &Formula) -> bool {
+    free_obj_vars(f).is_empty() && free_attr_vars(f).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn closed_formula_has_no_free_vars() {
+        let f = parse(
+            "exists z . (present(z) and [h := height(z)] eventually height(z) > h)",
+        )
+        .unwrap();
+        assert!(is_closed(&f));
+    }
+
+    #[test]
+    fn free_object_variables_detected() {
+        let f = parse("present(x) and fires_at(x, y)").unwrap();
+        let free: Vec<String> = free_obj_vars(&f).into_iter().map(|v| v.0).collect();
+        assert_eq!(free, vec!["x".to_owned(), "y".to_owned()]);
+        assert!(!is_closed(&f));
+    }
+
+    #[test]
+    fn exists_binds_only_its_scope() {
+        let f = parse("(exists x . present(x)) and present(x)").unwrap();
+        let free: Vec<String> = free_obj_vars(&f).into_iter().map(|v| v.0).collect();
+        assert_eq!(free, vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn freeze_function_object_is_free() {
+        let f = parse("[h := height(z)] height(z) > h").unwrap();
+        let free: Vec<String> = free_obj_vars(&f).into_iter().map(|v| v.0).collect();
+        assert_eq!(free, vec!["z".to_owned()]);
+        assert!(free_attr_vars(&f).is_empty());
+    }
+
+    #[test]
+    fn bound_vars_collects_both_kinds() {
+        let f = parse("exists z . [h := height(z)] height(z) > h").unwrap();
+        let (objs, attrs) = bound_vars(&f);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(attrs.len(), 1);
+        assert!(is_closed(&f));
+    }
+
+    #[test]
+    fn segment_attr_is_not_a_variable() {
+        let f = parse("type = \"western\"").unwrap();
+        assert!(is_closed(&f));
+    }
+}

@@ -1,0 +1,104 @@
+//! Quantifier hoisting must preserve the exact semantics at every segment
+//! of every video, and never demote a formula's class.
+
+use proptest::prelude::*;
+use simvid_htl::{classify, hoist_quantifiers, Env, ExactEvaluator, Formula};
+use simvid_model::{VideoBuilder, VideoTree};
+
+const SHOTS: u32 = 8;
+const OBJECTS: u64 = 3;
+
+/// A small random video: per shot, a subset of 3 objects with classes
+/// p/q/r and unary relationships m/n sprinkled by bitmask.
+fn video(masks: &[u16]) -> VideoTree {
+    let mut b = VideoBuilder::new("prop");
+    for (i, &mask) in masks.iter().enumerate() {
+        b.child(format!("s{i}"));
+        for oid in 0..OBJECTS {
+            if mask & (1 << oid) != 0 {
+                let class = ["p", "q", "r"][oid as usize % 3];
+                let id = b.object(oid + 1, class, None);
+                if mask & (1 << (3 + oid)) != 0 {
+                    b.relationship("m", [id]);
+                }
+                if mask & (1 << (6 + oid)) != 0 {
+                    b.relationship("n", [id]);
+                }
+            }
+        }
+        b.up();
+    }
+    b.finish().unwrap()
+}
+
+/// Random formulas biased towards inline existential quantifiers (the
+/// shapes hoisting rewrites).
+fn formula(depth: u32) -> BoxedStrategy<Formula> {
+    let atom = prop_oneof![
+        prop::sample::select(vec!["p", "q", "r", "m", "n"])
+            .prop_flat_map(|name| {
+                prop::sample::select(vec!["x", "y"])
+                    .prop_map(move |v| Formula::rel(name, [v]))
+            }),
+        Just(Formula::tt()),
+    ];
+    if depth == 0 {
+        // Close stray variables locally.
+        return atom
+            .prop_map(|a| a.exists("x").exists("y"))
+            .boxed();
+    }
+    let sub = move || formula(depth - 1);
+    prop_oneof![
+        2 => sub().prop_map(|a| a.exists("x")),
+        2 => (sub(), sub()).prop_map(|(a, b)| a.and(b)),
+        2 => (sub(), sub()).prop_map(|(a, b)| a.until(b)),
+        1 => sub().prop_map(Formula::eventually),
+        1 => sub().prop_map(Formula::next),
+        2 => formula(0),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn hoisting_preserves_exact_semantics(
+        f in formula(3),
+        masks in prop::collection::vec(0u16..512, SHOTS as usize..=SHOTS as usize),
+    ) {
+        let tree = video(&masks);
+        let hoisted = hoist_quantifiers(&f);
+        let eval = ExactEvaluator::new(&tree);
+        for pos in 0..SHOTS {
+            let mut e1 = Env::new();
+            let mut e2 = Env::new();
+            let a = eval.satisfies_at(1, (0, SHOTS), pos, &f, &mut e1);
+            let b = eval.satisfies_at(1, (0, SHOTS), pos, &hoisted, &mut e2);
+            prop_assert_eq!(
+                a, b,
+                "position {}: `{}` vs hoisted `{}`",
+                pos + 1, f, hoisted
+            );
+        }
+    }
+
+    #[test]
+    fn hoisting_never_demotes_the_class(f in formula(3)) {
+        let before = classify(&f);
+        let after = classify(&hoist_quantifiers(&f));
+        prop_assert!(
+            after <= before,
+            "`{}` was {:?}, hoisted to {:?}",
+            f, before, after
+        );
+    }
+
+    #[test]
+    fn hoisting_is_idempotent(f in formula(3)) {
+        let once = hoist_quantifiers(&f);
+        let twice = hoist_quantifiers(&once);
+        prop_assert_eq!(&once, &twice, "hoisting `{}` twice diverged", f);
+    }
+}

@@ -1,0 +1,45 @@
+//! Robustness: the parser never panics — every input either parses or
+//! returns a positioned error — and errors point inside the input.
+
+use proptest::prelude::*;
+use simvid_htl::parse;
+
+/// Soup of tokens likely to stress the grammar more than raw bytes.
+fn token_soup() -> impl Strategy<Value = String> {
+    let token = prop::sample::select(vec![
+        "and", "not", "next", "until", "eventually", "exists", "present", "at", "level",
+        "true", "false", "(", ")", "[", "]", ",", ".", ":=", "=", "!=", "<", "<=", ">",
+        ">=", "x", "y", "height", "person", "\"str\"", "3", "4.5", "-7", "shot",
+    ]);
+    prop::collection::vec(token, 0..24).prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(s in "\\PC{0,40}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(s in token_soup()) {
+        match parse(&s) {
+            Ok(f) => {
+                // Whatever parsed must round-trip.
+                let printed = f.to_string();
+                let again = parse(&printed)
+                    .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+                prop_assert_eq!(f, again);
+            }
+            Err(e) => prop_assert!(e.pos <= s.len(), "error position outside input"),
+        }
+    }
+
+    #[test]
+    fn error_positions_within_input(s in "[a-z() .<>=!\\[\\]:0-9\"]{0,30}") {
+        if let Err(e) = parse(&s) {
+            prop_assert!(e.pos <= s.len());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: printing then reparsing any formula yields the same AST,
+//! and classification is stable under round-tripping.
+
+use proptest::prelude::*;
+use simvid_htl::{classify, parse, Atom, AttrFn, AttrVar, CmpOp, Expr, Formula, LevelSpec, ObjVar};
+use simvid_model::AttrValue;
+
+/// Object variables come from a small pool distinct from attribute
+/// variables and attribute names, mirroring the parser's resolution rules
+/// (a bare comparison operand is an attr var only when freeze-bound).
+fn obj_var() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["x", "y", "z", "w"]).prop_map(str::to_owned)
+}
+
+fn attr_var() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["h0", "h1", "h2"]).prop_map(str::to_owned)
+}
+
+fn attr_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["height", "speed", "size", "temperature"]).prop_map(str::to_owned)
+}
+
+fn rel_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["person", "fires_at", "holds", "M1", "M2"]).prop_map(str::to_owned)
+}
+
+fn const_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(AttrValue::Int),
+        (-100i32..100).prop_map(|i| AttrValue::Float(f64::from(i) * 0.5)),
+        "[a-z]{0,6}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+/// Comparison operand. `bound_attrs` lists freeze variables in scope; bare
+/// identifiers that are not in it print as segment attributes, which is
+/// exactly how the parser will re-read them.
+fn operand(bound_attrs: Vec<String>) -> BoxedStrategy<Expr> {
+    let mut options: Vec<BoxedStrategy<Expr>> = vec![
+        const_value().prop_map(Expr::Const).boxed(),
+        attr_name()
+            .prop_map(|attr| Expr::Fn(AttrFn { attr, of: None }))
+            .boxed(),
+        (attr_name(), obj_var())
+            .prop_map(|(attr, of)| {
+                Expr::Fn(AttrFn {
+                    attr,
+                    of: Some(ObjVar(of)),
+                })
+            })
+            .boxed(),
+    ];
+    if !bound_attrs.is_empty() {
+        options.push(
+            prop::sample::select(bound_attrs)
+                .prop_map(|v| Expr::Attr(AttrVar(v)))
+                .boxed(),
+        );
+    }
+    prop::strategy::Union::new(options).boxed()
+}
+
+fn atom(bound_attrs: Vec<String>) -> BoxedStrategy<Formula> {
+    let cmp = (cmp_op(), operand(bound_attrs.clone()), operand(bound_attrs)).prop_map(
+        |(op, lhs, rhs)| Formula::Atom(Atom::Cmp { op, lhs, rhs }),
+    );
+    let rel = (rel_name(), prop::collection::vec(obj_var(), 0..3)).prop_map(|(name, args)| {
+        Formula::Atom(Atom::Rel {
+            name,
+            args: args.into_iter().map(|a| Expr::Obj(ObjVar(a))).collect(),
+        })
+    });
+    let present = obj_var().prop_map(Formula::present);
+    prop_oneof![
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+        present,
+        cmp,
+        rel,
+    ]
+    .boxed()
+}
+
+/// Recursive formula strategy carrying the set of freeze-bound attribute
+/// variables in scope.
+fn formula(depth: u32, bound_attrs: Vec<String>) -> BoxedStrategy<Formula> {
+    if depth == 0 {
+        return atom(bound_attrs);
+    }
+    let ba = bound_attrs.clone();
+    let sub = move || formula(depth - 1, ba.clone());
+    let with_new_attr = {
+        let bound = bound_attrs.clone();
+        (attr_var(), attr_name(), obj_var()).prop_flat_map(move |(v, attr, of)| {
+            let mut inner_bound = bound.clone();
+            if !inner_bound.contains(&v) {
+                inner_bound.push(v.clone());
+            }
+            let func = AttrFn {
+                attr,
+                of: Some(ObjVar(of)),
+            };
+            formula(depth - 1, inner_bound).prop_map(move |body| Formula::Freeze {
+                var: AttrVar(v.clone()),
+                func: func.clone(),
+                body: Box::new(body),
+            })
+        })
+    };
+    prop_oneof![
+        3 => atom(bound_attrs.clone()),
+        1 => sub().prop_map(Formula::not),
+        1 => sub().prop_map(Formula::next),
+        1 => sub().prop_map(Formula::eventually),
+        2 => (sub(), sub()).prop_map(|(a, b)| a.and(b)),
+        2 => (sub(), sub()).prop_map(|(a, b)| a.until(b)),
+        1 => (obj_var(), sub()).prop_map(|(v, b)| b.exists(v)),
+        1 => with_new_attr,
+        1 => (1u8..5, sub()).prop_map(|(n, b)| b.at_level(LevelSpec::Number(n))),
+        1 => sub().prop_map(|b| b.at_level(LevelSpec::Next)),
+        1 => (prop::sample::select(vec!["scene", "shot", "frame"]), sub())
+            .prop_map(|(n, b)| b.at_level(LevelSpec::Named(n.to_owned()))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_round_trip(f in formula(4, vec![])) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(&f, &reparsed, "round trip through `{}`", printed);
+    }
+
+    #[test]
+    fn classification_stable_under_round_trip(f in formula(4, vec![])) {
+        let reparsed = parse(&f.to_string()).unwrap();
+        prop_assert_eq!(classify(&f), classify(&reparsed));
+    }
+
+    #[test]
+    fn printed_length_reflects_formula_len(f in formula(3, vec![])) {
+        // Sanity: every operator/atom contributes some text.
+        prop_assert!(f.to_string().len() >= f.len());
+    }
+}

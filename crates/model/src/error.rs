@@ -1,0 +1,48 @@
+//! Model construction errors.
+
+use crate::ObjectId;
+use std::fmt;
+
+/// Errors raised while validating a video model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The video has no segments at all.
+    EmptyVideo,
+    /// Leaves of the hierarchy do not all lie at the same depth; the paper's
+    /// model requires a uniform leaf level.
+    NonUniformLeafDepth,
+    /// A relationship references an object id that was never registered.
+    UnknownObject(ObjectId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyVideo => write!(f, "video has no segments"),
+            ModelError::NonUniformLeafDepth => {
+                write!(f, "all leaves of a video hierarchy must lie at the same depth")
+            }
+            ModelError::UnknownObject(id) => {
+                write!(f, "relationship references unregistered object {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ModelError::EmptyVideo.to_string().contains("no segments"));
+        assert!(ModelError::NonUniformLeafDepth
+            .to_string()
+            .contains("same depth"));
+        assert!(ModelError::UnknownObject(ObjectId(3))
+            .to_string()
+            .contains("o3"));
+    }
+}

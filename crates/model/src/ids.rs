@@ -1,0 +1,115 @@
+//! Strongly typed identifiers for videos, segments, objects and levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a video within a [`crate::VideoStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VideoId(pub u32);
+
+/// Identifier of a segment (a node in the hierarchy tree) within one video.
+///
+/// Segment ids are arena indices assigned in construction order; they are
+/// *not* the 1-based temporal positions used by the retrieval algorithms
+/// (see [`crate::VideoTree::position_at_level`] for those).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+/// Globally unique identifier of a tracked object.
+///
+/// The paper assumes an object-tracking front end assigns the same id to the
+/// same real-world object across all segments, and distinct ids to distinct
+/// objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// A level in the video hierarchy.
+///
+/// Levels are 0-based depths internally (root = 0); the paper numbers them
+/// 1-based (root = 1). Use [`Level::paper_number`] for the paper convention,
+/// which is also what the HTL `at level i` modality uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// The root level (depth 0, paper level 1).
+    pub const ROOT: Level = Level(0);
+
+    /// 1-based level number as used in the paper and in HTL `at level i`.
+    #[must_use]
+    pub fn paper_number(self) -> u8 {
+        self.0 + 1
+    }
+
+    /// Builds a level from the paper's 1-based numbering.
+    ///
+    /// Returns `None` for 0, which is not a valid paper level number.
+    #[must_use]
+    pub fn from_paper_number(n: u8) -> Option<Level> {
+        n.checked_sub(1).map(Level)
+    }
+
+    /// The level immediately below this one (children of this level's nodes).
+    #[must_use]
+    pub fn child(self) -> Level {
+        Level(self.0 + 1)
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.paper_number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbering_round_trips() {
+        for depth in 0..10 {
+            let l = Level(depth);
+            assert_eq!(Level::from_paper_number(l.paper_number()), Some(l));
+        }
+        assert_eq!(Level::from_paper_number(0), None);
+    }
+
+    #[test]
+    fn child_level_is_one_deeper() {
+        assert_eq!(Level::ROOT.child(), Level(1));
+        assert_eq!(Level(3).child(), Level(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VideoId(7).to_string(), "v7");
+        assert_eq!(SegmentId(3).to_string(), "s3");
+        assert_eq!(ObjectId(42).to_string(), "o42");
+        assert_eq!(Level(0).to_string(), "L1");
+    }
+
+    #[test]
+    fn ids_order_by_inner_value() {
+        assert!(SegmentId(1) < SegmentId(2));
+        assert!(ObjectId(9) > ObjectId(3));
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-segment meta-data: objects, relationships, segment attributes.
+
+use crate::{AttrValue, ObjectId, ObjectInstance};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named relationship among objects in a segment, e.g.
+/// `fires_at(john, bandit)` or `holds(x, "gun")`.
+///
+/// Arguments are object ids; relationships with constant arguments (like a
+/// held item named by a string) are modelled by naming the relationship
+/// accordingly (e.g. `holds_gun(x)`) or by introducing an object for the
+/// item — both styles appear in the examples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// Relationship name (case-sensitive).
+    pub name: String,
+    /// Ordered argument objects.
+    pub args: Vec<ObjectId>,
+}
+
+impl Relationship {
+    /// Creates a relationship.
+    pub fn new(name: impl Into<String>, args: impl IntoIterator<Item = ObjectId>) -> Self {
+        Relationship {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Arity of the relationship.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+/// Meta-data attached to a single video segment.
+///
+/// At upper levels this typically holds descriptive segment attributes
+/// ("this video is a western, starring …"); at shot/frame level it holds the
+/// objects detected by the video analyzer, their attributes, and the
+/// relationships among them.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// Objects appearing in this segment.
+    pub objects: Vec<ObjectInstance>,
+    /// Relationships among objects in this segment.
+    pub relationships: Vec<Relationship>,
+    /// Segment-level attributes (`type`, `title`, …).
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl SegmentMeta {
+    /// Empty meta-data.
+    #[must_use]
+    pub fn new() -> Self {
+        SegmentMeta::default()
+    }
+
+    /// Whether the object appears in this segment.
+    #[must_use]
+    pub fn contains_object(&self, id: ObjectId) -> bool {
+        self.objects.iter().any(|o| o.id == id)
+    }
+
+    /// The appearance record of an object, if present.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> Option<&ObjectInstance> {
+        self.objects.iter().find(|o| o.id == id)
+    }
+
+    /// Value of an object's attribute in this segment.
+    #[must_use]
+    pub fn object_attr(&self, id: ObjectId, attr: &str) -> Option<&AttrValue> {
+        self.object(id).and_then(|o| o.attr(attr))
+    }
+
+    /// Value of a segment-level attribute.
+    #[must_use]
+    pub fn segment_attr(&self, attr: &str) -> Option<&AttrValue> {
+        self.attrs.get(attr)
+    }
+
+    /// Whether a relationship with the given name holds among exactly the
+    /// given argument objects, in order.
+    #[must_use]
+    pub fn has_relationship(&self, name: &str, args: &[ObjectId]) -> bool {
+        self.relationships
+            .iter()
+            .any(|r| r.name == name && r.args == args)
+    }
+
+    /// All ids of objects present in this segment.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.iter().map(|o| o.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SegmentMeta {
+        let mut m = SegmentMeta::new();
+        m.objects.push(
+            ObjectInstance::new(ObjectId(1)).with_attr("height", AttrValue::Int(100)),
+        );
+        m.objects.push(ObjectInstance::new(ObjectId(2)));
+        m.relationships
+            .push(Relationship::new("fires_at", [ObjectId(1), ObjectId(2)]));
+        m.attrs.insert("type".into(), AttrValue::from("western"));
+        m
+    }
+
+    #[test]
+    fn object_presence_and_attrs() {
+        let m = sample();
+        assert!(m.contains_object(ObjectId(1)));
+        assert!(!m.contains_object(ObjectId(3)));
+        assert_eq!(m.object_attr(ObjectId(1), "height"), Some(&AttrValue::Int(100)));
+        assert_eq!(m.object_attr(ObjectId(2), "height"), None);
+    }
+
+    #[test]
+    fn relationship_lookup_is_ordered() {
+        let m = sample();
+        assert!(m.has_relationship("fires_at", &[ObjectId(1), ObjectId(2)]));
+        assert!(!m.has_relationship("fires_at", &[ObjectId(2), ObjectId(1)]));
+        assert!(!m.has_relationship("near", &[ObjectId(1), ObjectId(2)]));
+    }
+
+    #[test]
+    fn segment_attrs() {
+        let m = sample();
+        assert_eq!(m.segment_attr("type"), Some(&AttrValue::from("western")));
+        assert_eq!(m.segment_attr("title"), None);
+    }
+
+    #[test]
+    fn object_ids_iterates_in_order() {
+        let m = sample();
+        let ids: Vec<_> = m.object_ids().collect();
+        assert_eq!(ids, vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn relationship_arity() {
+        assert_eq!(Relationship::new("solo", [ObjectId(5)]).arity(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Objects: video-global identity plus per-segment appearances.
+
+use crate::{AttrValue, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Video-global information about a tracked object: its class (the paper's
+/// `type(x)`, e.g. `"airplane"`, `"person"`) and an optional proper name
+/// (`name(x)`, e.g. `"John Wayne"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectInfo {
+    /// Object class, e.g. `"person"`.
+    pub class: String,
+    /// Proper name, if any.
+    pub name: Option<String>,
+}
+
+impl ObjectInfo {
+    /// Creates object info with a class and optional name.
+    pub fn new(class: impl Into<String>, name: Option<&str>) -> Self {
+        ObjectInfo {
+            class: class.into(),
+            name: name.map(str::to_owned),
+        }
+    }
+}
+
+/// One appearance of an object in one segment, with the attribute values it
+/// has *in that segment* (e.g. the height of an airplane in a given frame).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectInstance {
+    /// Which object this is.
+    pub id: ObjectId,
+    /// Per-segment attribute values, keyed by attribute name.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl ObjectInstance {
+    /// An appearance with no attributes.
+    #[must_use]
+    pub fn new(id: ObjectId) -> Self {
+        ObjectInstance {
+            id,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) an attribute value; builder-style.
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: AttrValue) -> Self {
+        self.attrs.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up an attribute value by name.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_attr_lookup() {
+        let inst = ObjectInstance::new(ObjectId(1))
+            .with_attr("height", AttrValue::Int(300))
+            .with_attr("speed", AttrValue::Float(1.5));
+        assert_eq!(inst.attr("height"), Some(&AttrValue::Int(300)));
+        assert_eq!(inst.attr("missing"), None);
+    }
+
+    #[test]
+    fn with_attr_replaces() {
+        let inst = ObjectInstance::new(ObjectId(1))
+            .with_attr("h", AttrValue::Int(1))
+            .with_attr("h", AttrValue::Int(2));
+        assert_eq!(inst.attr("h"), Some(&AttrValue::Int(2)));
+    }
+
+    #[test]
+    fn info_construction() {
+        let info = ObjectInfo::new("person", Some("John Wayne"));
+        assert_eq!(info.class, "person");
+        assert_eq!(info.name.as_deref(), Some("John Wayne"));
+        let anon = ObjectInfo::new("horse", None);
+        assert_eq!(anon.name, None);
+    }
+}

@@ -1,0 +1,110 @@
+//! A collection of videos, as held by a video database.
+
+use crate::{SegmentId, VideoId, VideoTree};
+use serde::{Deserialize, Serialize};
+
+/// Reference to one segment of one video in a store.
+///
+/// The retrieval algorithms handle multiple videos "by using two numbers,
+/// one of which gives the video id and the other the id of the video segment
+/// within the video" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalSegmentRef {
+    /// The video.
+    pub video: VideoId,
+    /// The segment within that video.
+    pub segment: SegmentId,
+}
+
+/// An in-memory collection of [`VideoTree`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VideoStore {
+    videos: Vec<VideoTree>,
+}
+
+impl VideoStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        VideoStore::default()
+    }
+
+    /// Adds a video and returns its id.
+    pub fn add(&mut self, video: VideoTree) -> VideoId {
+        let id = VideoId(self.videos.len() as u32);
+        self.videos.push(video);
+        id
+    }
+
+    /// Looks up a video. Panics on a foreign id.
+    #[must_use]
+    pub fn video(&self, id: VideoId) -> &VideoTree {
+        &self.videos[id.0 as usize]
+    }
+
+    /// Looks up a video if the id is in range.
+    #[must_use]
+    pub fn get(&self, id: VideoId) -> Option<&VideoTree> {
+        self.videos.get(id.0 as usize)
+    }
+
+    /// Number of videos.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Iterates over all videos with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (VideoId, &VideoTree)> + '_ {
+        self.videos
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VideoId(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VideoBuilder;
+
+    fn tiny(title: &str) -> VideoTree {
+        let mut b = VideoBuilder::new(title);
+        b.leaf("shot");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = VideoStore::new();
+        assert!(s.is_empty());
+        let a = s.add(tiny("a"));
+        let b = s.add(tiny("b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.video(a).title(), "a");
+        assert_eq!(s.video(b).title(), "b");
+        assert!(s.get(VideoId(99)).is_none());
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut s = VideoStore::new();
+        s.add(tiny("x"));
+        s.add(tiny("y"));
+        let titles: Vec<&str> = s.iter().map(|(_, v)| v.title()).collect();
+        assert_eq!(titles, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn global_refs_order_lexicographically() {
+        let r1 = GlobalSegmentRef { video: VideoId(0), segment: SegmentId(5) };
+        let r2 = GlobalSegmentRef { video: VideoId(1), segment: SegmentId(0) };
+        assert!(r1 < r2);
+    }
+}

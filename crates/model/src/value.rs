@@ -1,0 +1,200 @@
+//! Attribute values attached to objects and segments.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed attribute value.
+///
+/// The extended E-R meta-data of the paper attaches attributes to objects
+/// (e.g. `height(z)`) and to whole segments (e.g. `type = 'western'`).
+/// HTL's comparison predicates (`=`, `<`, `>`, `<=`, `>=`) are defined on
+/// these values; ordering comparisons are only meaningful for numeric
+/// values, equality for all of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is rejected by constructors that validate.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The name of this value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "str",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// Returns the numeric content as `f64` if this value is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content if this value is an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string content if this value is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether two values are equal under the model's comparison semantics.
+    ///
+    /// Int/Float compare numerically (`Int(2) == Float(2.0)`); other mixed
+    /// types are never equal.
+    #[must_use]
+    pub fn sem_eq(&self, other: &AttrValue) -> bool {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => a == b,
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// Orders two values under the model's comparison semantics, if they are
+    /// comparable (both numeric, or both strings, or both booleans).
+    #[must_use]
+    pub fn sem_cmp(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_crosses_int_float() {
+        assert!(AttrValue::Int(2).sem_eq(&AttrValue::Float(2.0)));
+        assert!(!AttrValue::Int(2).sem_eq(&AttrValue::Float(2.5)));
+    }
+
+    #[test]
+    fn strings_and_numbers_never_equal() {
+        assert!(!AttrValue::from("2").sem_eq(&AttrValue::Int(2)));
+        assert!(!AttrValue::Bool(true).sem_eq(&AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn ordering_on_numbers() {
+        assert_eq!(
+            AttrValue::Int(1).sem_cmp(&AttrValue::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::Float(3.0).sem_cmp(&AttrValue::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn ordering_on_strings_is_lexicographic() {
+        assert_eq!(
+            AttrValue::from("abc").sem_cmp(&AttrValue::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_yield_none() {
+        assert_eq!(AttrValue::from("x").sem_cmp(&AttrValue::Int(1)), None);
+        assert_eq!(AttrValue::Bool(true).sem_cmp(&AttrValue::Float(0.0)), None);
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(AttrValue::from("hi").to_string(), "\"hi\"");
+        assert_eq!(AttrValue::Int(5).to_string(), "5");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AttrValue::Int(4).as_int(), Some(4));
+        assert_eq!(AttrValue::Float(4.0).as_int(), None);
+        assert_eq!(AttrValue::from("s").as_str(), Some("s"));
+        assert_eq!(AttrValue::Int(4).as_f64(), Some(4.0));
+    }
+}

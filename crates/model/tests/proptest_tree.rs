@@ -1,0 +1,100 @@
+//! Structural invariants of randomly shaped video trees: level sequences
+//! partition the nodes, descendant spans are consistent with parent-child
+//! edges, and positions are dense and 1-based.
+
+use proptest::prelude::*;
+use simvid_model::{SegmentId, VideoBuilder, VideoTree};
+
+/// Builds a tree from a random shape: `shape[d]` gives, per node at depth
+/// `d`, its child count (uniform per level so leaves stay at one depth).
+fn build(shape: &[u8]) -> VideoTree {
+    fn go(b: &mut VideoBuilder, shape: &[u8], depth: usize) {
+        let Some(&fanout) = shape.get(depth) else { return };
+        for i in 0..fanout.max(1) {
+            b.child(format!("n{depth}.{i}"));
+            go(b, shape, depth + 1);
+            b.up();
+        }
+    }
+    let mut b = VideoBuilder::new("shape");
+    go(&mut b, shape, 0);
+    b.finish().expect("uniform shapes are valid")
+}
+
+fn shape() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(1u8..4, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn level_sequences_partition_the_tree(s in shape()) {
+        let t = build(&s);
+        let mut seen = 0usize;
+        for d in 0..t.depth() {
+            seen += t.level_sequence(d).len();
+            // Expected width: product of fanouts above.
+            let width: usize = s[..usize::from(d)].iter().map(|&f| f as usize).product();
+            prop_assert_eq!(t.level_sequence(d).len(), width);
+        }
+        prop_assert_eq!(seen, t.segment_count());
+    }
+
+    #[test]
+    fn positions_are_dense_and_one_based(s in shape()) {
+        let t = build(&s);
+        for d in 0..t.depth() {
+            for (i, &id) in t.level_sequence(d).iter().enumerate() {
+                prop_assert_eq!(t.position_at_level(id), i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_spans_match_recursive_children(s in shape()) {
+        let t = build(&s);
+        // For every node and every deeper level, the span must equal the
+        // positions of the descendants found by walking children.
+        fn descendants(t: &VideoTree, id: SegmentId, depth: u8, out: &mut Vec<SegmentId>) {
+            let node = t.node(id);
+            if node.level.0 == depth {
+                out.push(id);
+                return;
+            }
+            for &c in &node.children {
+                descendants(t, c, depth, out);
+            }
+        }
+        for d in 0..t.depth() {
+            for &id in t.level_sequence(d) {
+                for target in d..t.depth() {
+                    let mut walked = Vec::new();
+                    descendants(&t, id, target, &mut walked);
+                    let via_span = t.descendants_at_level(id, target);
+                    prop_assert_eq!(via_span, walked.as_slice(), "node {} level {}", id, target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_nested(s in shape()) {
+        let t = build(&s);
+        let leaf = t.leaf_level();
+        // Sibling spans at the leaf level tile the parent's span in order.
+        for d in 0..leaf {
+            for &id in t.level_sequence(d) {
+                let node = t.node(id);
+                let Some((plo, phi)) = t.descendant_span(id, leaf) else { continue };
+                let mut cursor = plo;
+                for &c in &node.children {
+                    let (clo, chi) = t.descendant_span(c, leaf).expect("child has leaves");
+                    prop_assert_eq!(clo, cursor, "gap before child of {}", id);
+                    cursor = chi;
+                }
+                prop_assert_eq!(cursor, phi, "children do not tile parent {}", id);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Scoring weights.
+
+use std::collections::HashMap;
+
+/// Weights for the weighted-partial-match similarity of atomic queries.
+///
+/// Each conjunct of an atomic query contributes a weight to the maximum
+/// similarity; satisfied conjuncts contribute theirs to the actual
+/// similarity. Weights are looked up by key:
+///
+/// * relationship / class predicates use the predicate name
+///   (`"fires_at"`, `"person"`);
+/// * attribute comparisons use the attribute name (`"height"`, `"type"`);
+/// * `present(x)` uses the key `"present"`.
+///
+/// Keys absent from the table use [`ScoringConfig::default_weight`].
+#[derive(Debug, Clone)]
+pub struct ScoringConfig {
+    /// Weight for conjuncts without an explicit entry.
+    pub default_weight: f64,
+    /// Per-key overrides.
+    pub weights: HashMap<String, f64>,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        ScoringConfig { default_weight: 1.0, weights: HashMap::new() }
+    }
+}
+
+impl ScoringConfig {
+    /// Config where every conjunct weighs 1.
+    #[must_use]
+    pub fn uniform() -> Self {
+        ScoringConfig::default()
+    }
+
+    /// Sets the weight for a key; builder style.
+    #[must_use]
+    pub fn with_weight(mut self, key: impl Into<String>, weight: f64) -> Self {
+        assert!(weight > 0.0, "weights must be positive");
+        self.weights.insert(key.into(), weight);
+        self
+    }
+
+    /// The weight for a key.
+    #[must_use]
+    pub fn weight(&self, key: &str) -> f64 {
+        self.weights.get(key).copied().unwrap_or(self.default_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weight_applies_to_unknown_keys() {
+        let c = ScoringConfig::default();
+        assert_eq!(c.weight("anything"), 1.0);
+    }
+
+    #[test]
+    fn overrides_win() {
+        let c = ScoringConfig::default()
+            .with_weight("near", 3.665)
+            .with_weight("present", 0.5);
+        assert_eq!(c.weight("near"), 3.665);
+        assert_eq!(c.weight("present"), 0.5);
+        assert_eq!(c.weight("person"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = ScoringConfig::default().with_weight("x", 0.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Weighted partial-match scoring over candidate segments and bindings.
+
+use crate::index::LevelIndex;
+use crate::query::{AtomicQuery, ConjunctKind};
+use simvid_core::{AttrRange, Row, SimilarityList, SimilarityTable};
+use simvid_htl::{eval_expr, Atom, Env, ExactEvaluator, Expr, Formula};
+use simvid_model::{AttrValue, ObjectId, VideoTree};
+
+/// Accumulator rows while scoring: one per `(free binding, attribute
+/// ranges)` evaluation, collecting `(local position, actual similarity)`
+/// pairs in ascending position order.
+type BindingAcc = Vec<(Vec<ObjectId>, Vec<AttrRange>, Vec<(u32, f64)>)>;
+
+/// Candidate positions for one conjunct, or `None` for "any segment".
+fn conjunct_candidates(ix: &LevelIndex, f: &Formula) -> Option<Vec<u32>> {
+    match f {
+        Formula::Atom(Atom::Bool(false)) => Some(Vec::new()),
+        Formula::Atom(Atom::Bool(true)) | Formula::Not(_) => None,
+        Formula::Atom(Atom::Present(_)) => {
+            let mut out: Vec<u32> = ix.presence.values().flatten().copied().collect();
+            out.sort_unstable();
+            out.dedup();
+            Some(out)
+        }
+        Formula::Atom(Atom::Rel { name, args }) => {
+            let mut out = ix.rel_by_name.get(name).cloned().unwrap_or_default();
+            if args.len() == 1 {
+                out.extend(ix.class_positions(name));
+                out.sort_unstable();
+                out.dedup();
+            }
+            Some(out)
+        }
+        Formula::Atom(Atom::Cmp { op, lhs, rhs }) => {
+            // Index through whichever side applies an attribute function.
+            let fn_side = match (lhs, rhs) {
+                (Expr::Fn(af), other) | (other, Expr::Fn(af)) => Some((af, other)),
+                _ => None,
+            };
+            let (af, other) = fn_side?;
+            match (&af.of, af.attr.as_str()) {
+                (Some(_), "type" | "class") => match (op, other) {
+                    (simvid_htl::CmpOp::Eq, Expr::Const(AttrValue::Str(s))) => {
+                        Some(ix.class_positions(s))
+                    }
+                    _ => all_presence(ix),
+                },
+                (Some(_), "name") => match (op, other) {
+                    (simvid_htl::CmpOp::Eq, Expr::Const(AttrValue::Str(s))) => {
+                        let mut out: Vec<u32> = ix
+                            .name_objects
+                            .get(s)
+                            .into_iter()
+                            .flatten()
+                            .filter_map(|oid| ix.presence.get(oid))
+                            .flatten()
+                            .copied()
+                            .collect();
+                        out.sort_unstable();
+                        out.dedup();
+                        Some(out)
+                    }
+                    _ => all_presence(ix),
+                },
+                (Some(_), attr) => Some(ix.obj_attr_segments.get(attr).cloned().unwrap_or_default()),
+                (None, attr) => Some(ix.seg_attr_segments.get(attr).cloned().unwrap_or_default()),
+            }
+        }
+        // Nested structure (existentials etc.): no index pruning.
+        _ => None,
+    }
+}
+
+fn all_presence(ix: &LevelIndex) -> Option<Vec<u32>> {
+    let mut out: Vec<u32> = ix.presence.values().flatten().copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+/// Computes the candidate positions of a whole query within `[lo, hi)`.
+fn candidates(ix: &LevelIndex, query: &AtomicQuery, lo: u32, hi: u32) -> Vec<u32> {
+    let mut acc: Vec<u32> = Vec::new();
+    for c in &query.conjuncts {
+        match conjunct_candidates(ix, &c.formula) {
+            None => return (lo..hi).collect(),
+            Some(ps) => acc.extend(ps),
+        }
+    }
+    acc.sort_unstable();
+    acc.dedup();
+    acc.retain(|&p| p >= lo && p < hi);
+    acc
+}
+
+/// Scores an atomic query over the window `[lo, hi)` of level `depth`,
+/// producing a similarity table with positions local to the window
+/// (1-based).
+#[must_use]
+pub fn score_window(
+    tree: &VideoTree,
+    ix: &LevelIndex,
+    depth: u8,
+    lo: u32,
+    hi: u32,
+    query: &AtomicQuery,
+) -> SimilarityTable {
+    let evaluator = ExactEvaluator::new(tree);
+    let vars = query.binding_vars();
+    let n_free = query.free_objs.len();
+    let n_attrs = query.free_attrs.len();
+    // Accumulated rows: (free binding, ranges, per-position values).
+    let mut acc: BindingAcc = Vec::new();
+
+    for p in candidates(ix, query, lo, hi) {
+        let meta = tree.meta_at(depth, p).expect("candidate within level");
+        let objs: Vec<ObjectId> = meta.object_ids().collect();
+        if !vars.is_empty() && objs.is_empty() {
+            continue;
+        }
+        let local = p - lo + 1;
+        // Odometer over object assignments to all binding variables.
+        let mut counters = vec![0usize; vars.len()];
+        loop {
+            let mut env = Env::new();
+            for (vi, var) in vars.iter().enumerate() {
+                env.objs.insert((*var).to_owned(), objs[counters[vi]]);
+            }
+            score_binding(
+                tree, &evaluator, depth, p, local, query, &env, n_free, n_attrs, &mut acc,
+            );
+            // Advance the odometer.
+            let mut vi = 0;
+            loop {
+                if vi == counters.len() {
+                    break;
+                }
+                counters[vi] += 1;
+                if counters[vi] < objs.len() {
+                    break;
+                }
+                counters[vi] = 0;
+                vi += 1;
+            }
+            if vi == counters.len() {
+                break;
+            }
+        }
+    }
+
+    let mut out = SimilarityTable::new(query.free_objs.clone(), query.free_attrs.clone(), query.max);
+    for (objs, ranges, entries) in acc {
+        let list = SimilarityList::from_tuples(
+            entries.into_iter().map(|(p, v)| (p, p, v)).collect(),
+            query.max,
+        )
+        .expect("entries are per-position and ascending")
+        .coalesce();
+        out.push_row(Row { objs, ranges, list });
+    }
+    out
+}
+
+/// Scores one joint binding at one segment and folds the result into `acc`,
+/// keeping the max over existential assignments.
+#[allow(clippy::too_many_arguments)]
+fn score_binding(
+    tree: &VideoTree,
+    evaluator: &ExactEvaluator<'_>,
+    depth: u8,
+    pos: u32,
+    local: u32,
+    query: &AtomicQuery,
+    env: &Env,
+    n_free: usize,
+    n_attrs: usize,
+    acc: &mut BindingAcc,
+) {
+    let meta = tree.meta_at(depth, pos).expect("valid position");
+    let mut base = 0.0f64;
+    // Outcomes per range conjunct: (attr column, range, weight-if-satisfied).
+    let mut range_outcomes: Vec<Vec<(usize, AttrRange, f64)>> = Vec::new();
+    for c in &query.conjuncts {
+        match &c.kind {
+            ConjunctKind::Plain => {
+                let mut scratch = env.clone();
+                if evaluator.satisfies_at(depth, (pos, pos + 1), pos, &c.formula, &mut scratch) {
+                    base += c.weight;
+                }
+            }
+            ConjunctKind::Range { var, op, value } => {
+                let col = query
+                    .free_attrs
+                    .iter()
+                    .position(|a| a == var)
+                    .expect("range var is a free attr");
+                let mut outcomes = Vec::with_capacity(2);
+                if let Some(v) = eval_expr(tree, meta, value, env) {
+                    if let Some(r) = AttrRange::from_cmp(*op, &v) {
+                        outcomes.push((col, r, c.weight));
+                    }
+                    if let Some(r) = AttrRange::from_cmp_negated(*op, &v) {
+                        outcomes.push((col, r, 0.0));
+                    }
+                }
+                if outcomes.is_empty() {
+                    // Value undefined: the predicate fails for every y.
+                    outcomes.push((col, AttrRange::any(), 0.0));
+                }
+                range_outcomes.push(outcomes);
+            }
+        }
+    }
+    // Product of outcomes across range conjuncts.
+    let mut combos: Vec<(Vec<AttrRange>, f64)> = vec![(vec![AttrRange::any(); n_attrs], 0.0)];
+    for outcomes in &range_outcomes {
+        let mut next = Vec::with_capacity(combos.len() * outcomes.len());
+        for (ranges, w) in &combos {
+            for (col, r, dw) in outcomes {
+                if let Some(merged) = ranges[*col].intersect(r) {
+                    let mut ranges = ranges.clone();
+                    ranges[*col] = merged;
+                    next.push((ranges, w + dw));
+                }
+            }
+        }
+        combos = next;
+    }
+    let free_binding: Vec<ObjectId> = query
+        .free_objs
+        .iter()
+        .map(|v| env.objs[v])
+        .take(n_free)
+        .collect();
+    for (ranges, extra) in combos {
+        let act = base + extra;
+        if act <= 0.0 {
+            continue;
+        }
+        match acc
+            .iter_mut()
+            .find(|(o, r, _)| *o == free_binding && *r == ranges)
+        {
+            Some((_, _, entries)) => match entries.last_mut() {
+                Some((p, v)) if *p == local => *v = v.max(act),
+                _ => entries.push((local, act)),
+            },
+            None => acc.push((free_binding.clone(), ranges, vec![(local, act)])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoringConfig;
+    use simvid_htl::parse;
+    use simvid_model::VideoBuilder;
+
+    fn compile(src: &str, cfg: &ScoringConfig) -> AtomicQuery {
+        AtomicQuery::compile(&parse(src).unwrap(), cfg).unwrap()
+    }
+
+    /// Three shots: (1) two men, (2) man + woman near each other, (3) train.
+    fn bar_scene() -> VideoTree {
+        let mut b = VideoBuilder::new("t");
+        b.set_level_names(["video", "shot"]);
+        b.child("two-men");
+        let m1 = b.object(1, "person", Some("Rick"));
+        b.object_attr(m1, "sex", AttrValue::from("male"));
+        let m2 = b.object(2, "person", Some("Sam"));
+        b.object_attr(m2, "sex", AttrValue::from("male"));
+        b.up();
+        b.child("couple");
+        let m = b.object(1, "person", Some("Rick"));
+        b.object_attr(m, "sex", AttrValue::from("male"));
+        let w = b.object(3, "person", Some("Ilsa"));
+        b.object_attr(w, "sex", AttrValue::from("female"));
+        b.relationship("near", [m, w]);
+        b.up();
+        b.child("train");
+        b.object(4, "train", None);
+        b.up();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn partial_matches_scored_below_full_matches() {
+        let tree = bar_scene();
+        let ix = LevelIndex::build(&tree, 1);
+        let cfg = ScoringConfig::default();
+        let q = compile(
+            "exists x . exists y . person(x) and person(y) and \
+             sex(x) = \"male\" and sex(y) = \"female\" and near(x, y)",
+            &cfg,
+        );
+        let t = score_window(&tree, &ix, 1, 0, 3, &q);
+        assert_eq!(t.rows.len(), 1, "closed query yields one row");
+        let list = &t.rows[0].list;
+        // Shot 1 (two men): person+person+male = 3 of 5.
+        // Shot 2 (couple with near): all 5.
+        assert_eq!(list.to_tuples(), vec![(1, 1, 3.0), (2, 2, 5.0)]);
+        assert_eq!(t.max, 5.0);
+    }
+
+    #[test]
+    fn free_variables_produce_binding_rows() {
+        let tree = bar_scene();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = compile("person(x) and sex(x) = \"female\"", &ScoringConfig::default());
+        let t = score_window(&tree, &ix, 1, 0, 3, &q);
+        // Bindings: o1 (person, male) scores 1 in shots 1-2; o2 scores 1 in
+        // shot 1; o3 (female) scores 2 in shot 2; o4 (train) scores 0.
+        let find = |oid: u64| {
+            t.rows
+                .iter()
+                .find(|r| r.objs == vec![ObjectId(oid)])
+                .map(|r| r.list.to_tuples())
+        };
+        assert_eq!(find(1), Some(vec![(1, 2, 1.0)]));
+        assert_eq!(find(2), Some(vec![(1, 1, 1.0)]));
+        assert_eq!(find(3), Some(vec![(2, 2, 2.0)]));
+        assert_eq!(find(4), None);
+    }
+
+    #[test]
+    fn windows_renumber_locally() {
+        let tree = bar_scene();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = compile("exists t . type(t) = \"train\"", &ScoringConfig::default());
+        let full = score_window(&tree, &ix, 1, 0, 3, &q);
+        assert_eq!(full.rows[0].list.to_tuples(), vec![(3, 3, 1.0)]);
+        let windowed = score_window(&tree, &ix, 1, 2, 3, &q);
+        assert_eq!(windowed.rows[0].list.to_tuples(), vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn range_conjuncts_split_rows_by_attribute_range() {
+        let mut b = VideoBuilder::new("flight");
+        b.set_level_names(["video", "frame"]);
+        for h in [100i64, 250] {
+            b.child(format!("frame-h{h}"));
+            let plane = b.object(9, "airplane", None);
+            b.object_attr(plane, "height", AttrValue::Int(h));
+            b.up();
+        }
+        let tree = b.finish().unwrap();
+        let ix = LevelIndex::build(&tree, 1);
+        // `h` must be freeze-bound to resolve as an attribute variable;
+        // extract the unit the way the engine does.
+        let f = parse("[h := height(z)] (present(z) and height(z) > h)").unwrap();
+        let unit = simvid_htl::atomic_units(&f).remove(0);
+        let q = AtomicQuery::compile(&unit.formula, &ScoringConfig::default()).unwrap();
+        let t = score_window(&tree, &ix, 1, 0, 2, &q);
+        // For z = plane: frame 1 (height 100) is fully satisfied when
+        // h <= 99 (act 2) and partially otherwise (h >= 100, act 1 for the
+        // present(z) conjunct); frame 2 splits at 249/250. For any concrete
+        // h exactly one row covers each frame: e.g. h = 150 reads frame 1
+        // from the [100, ∞) row (act 1) and frame 2 from the (-∞, 249] row
+        // (act 2).
+        assert_eq!(t.attr_cols, vec!["h"]);
+        #[allow(clippy::type_complexity)]
+        let mut acts: Vec<(Option<i64>, Option<i64>, Vec<(u32, u32, f64)>)> = t
+            .rows
+            .iter()
+            .map(|r| (r.ranges[0].lo, r.ranges[0].hi, r.list.to_tuples()))
+            .collect();
+        acts.sort_by_key(|(lo, hi, _)| (*lo, *hi));
+        assert_eq!(
+            acts,
+            vec![
+                (None, Some(99), vec![(1, 1, 2.0)]),
+                (None, Some(249), vec![(2, 2, 2.0)]),
+                (Some(100), None, vec![(1, 1, 1.0)]),
+                (Some(250), None, vec![(2, 2, 1.0)]),
+            ]
+        );
+        // Cross-check the per-evaluation read-out for h = 150.
+        let h150 = simvid_model::AttrValue::Int(150);
+        let covering: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|r| r.ranges[0].contains(&h150))
+            .collect();
+        assert_eq!(covering.len(), 2);
+    }
+
+    #[test]
+    fn empty_segments_are_skipped_for_object_queries() {
+        let mut b = VideoBuilder::new("t");
+        b.leaf("empty1");
+        b.leaf("empty2");
+        let tree = b.finish().unwrap();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = compile("present(x)", &ScoringConfig::default());
+        let t = score_window(&tree, &ix, 1, 0, 2, &q);
+        assert!(t.rows.is_empty());
+    }
+
+    #[test]
+    fn segment_attribute_queries_work_without_objects() {
+        let mut b = VideoBuilder::new("t");
+        b.child("s0");
+        b.segment_attr("type", AttrValue::from("western"));
+        b.up();
+        b.leaf("s1");
+        let tree = b.finish().unwrap();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = compile("type = \"western\"", &ScoringConfig::default());
+        let t = score_window(&tree, &ix, 1, 0, 2, &q);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].list.to_tuples(), vec![(1, 1, 1.0)]);
+    }
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+    use crate::ScoringConfig;
+    use simvid_htl::parse;
+    use simvid_model::VideoBuilder;
+
+    /// Conjuncts sharing an existential variable must be satisfied by a
+    /// *single* joint witness, not independently.
+    #[test]
+    fn shared_existential_variable_needs_a_joint_witness() {
+        let mut b = VideoBuilder::new("witness");
+        b.set_level_names(["video", "shot"]);
+        // Shot 1: one object is armed, a DIFFERENT object is mounted.
+        b.child("split");
+        let a = b.object(1, "person", None);
+        let c = b.object(2, "person", None);
+        b.relationship("armed", [a]);
+        b.relationship("mounted", [c]);
+        b.up();
+        // Shot 2: one object is both.
+        b.child("joint");
+        let d = b.object(3, "person", None);
+        b.relationship("armed", [d]);
+        b.relationship("mounted", [d]);
+        b.up();
+        let tree = b.finish().unwrap();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = AtomicQuery::compile(
+            &parse("exists x . armed(x) and mounted(x)").unwrap(),
+            &ScoringConfig::default(),
+        )
+        .unwrap();
+        let t = score_window(&tree, &ix, 1, 0, 2, &q);
+        let list = t.into_closed_list();
+        // Shot 1: best single witness satisfies one conjunct -> act 1.
+        assert_eq!(list.value_at(1), 1.0);
+        // Shot 2: the joint witness satisfies both -> act 2 (exact).
+        assert_eq!(list.value_at(2), 2.0);
+    }
+
+    /// Distinct existential variables may pick distinct witnesses.
+    #[test]
+    fn distinct_variables_may_split_witnesses() {
+        let mut b = VideoBuilder::new("split-ok");
+        b.set_level_names(["video", "shot"]);
+        b.child("split");
+        let a = b.object(1, "person", None);
+        let c = b.object(2, "person", None);
+        b.relationship("armed", [a]);
+        b.relationship("mounted", [c]);
+        b.up();
+        let tree = b.finish().unwrap();
+        let ix = LevelIndex::build(&tree, 1);
+        let q = AtomicQuery::compile(
+            &parse("exists x . exists y . armed(x) and mounted(y)").unwrap(),
+            &ScoringConfig::default(),
+        )
+        .unwrap();
+        let t = score_window(&tree, &ix, 1, 0, 1, &q);
+        assert_eq!(t.into_closed_list().value_at(1), 2.0, "independent witnesses allowed");
+    }
+}

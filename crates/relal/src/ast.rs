@@ -1,0 +1,250 @@
+//! SQL abstract syntax.
+
+use crate::ColType;
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col TYPE, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        cols: Vec<(String, ColType)>,
+    },
+    /// `CREATE TABLE name AS SELECT …`
+    CreateTableAs {
+        /// Table name.
+        name: String,
+        /// Defining query.
+        query: Query,
+    },
+    /// `CREATE INDEX ON table (col)`
+    CreateIndex {
+        /// Table to index.
+        table: String,
+        /// Column to index.
+        col: String,
+    },
+    /// `DROP TABLE [IF EXISTS] name`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Suppress the error when absent.
+        if_exists: bool,
+    },
+    /// `INSERT INTO t VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `INSERT INTO t SELECT …`
+    InsertSelect {
+        /// Target table.
+        table: String,
+        /// Source query.
+        query: Query,
+    },
+    /// A bare query.
+    Select(Query),
+}
+
+/// A query: one or more `UNION ALL` bodies plus an optional ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The select bodies, concatenated by `UNION ALL`.
+    pub bodies: Vec<SelectBody>,
+    /// `ORDER BY` keys (expression over result columns, ascending flag).
+    pub order_by: Vec<(Expr, bool)>,
+}
+
+/// One `SELECT … FROM … WHERE … GROUP BY …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBody {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables (comma joins).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_: Option<Expr>,
+    /// `GROUP BY` keys.
+    pub group_by: Vec<Expr>,
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression (or `Expr::Star`).
+    pub expr: Expr,
+    /// `AS` alias.
+    pub alias: Option<String>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference binds in the row context.
+    #[must_use]
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified by a table alias.
+    Col {
+        /// Table alias.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `*` (only valid in `COUNT(*)` and `SELECT *` / `EXISTS (SELECT *)`).
+    Star,
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Scalar function (`LEAST`, `GREATEST`, `ABS`).
+    Func {
+        /// Function name (lowercase).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate application.
+    Agg {
+        /// The aggregate.
+        func: AggFunc,
+        /// The argument; `None` for `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        query: Box<Query>,
+        /// Whether negated.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Unqualified column reference.
+    #[must_use]
+    pub fn col(name: &str) -> Expr {
+        Expr::Col { qualifier: None, name: name.to_owned() }
+    }
+
+    /// Qualified column reference.
+    #[must_use]
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Col { qualifier: Some(q.to_owned()), name: name.to_owned() }
+    }
+
+    /// Binary operation.
+    #[must_use]
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Whether this expression tree contains an aggregate.
+    #[must_use]
+    pub fn has_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Bin { lhs, rhs, .. } => lhs.has_agg() || rhs.has_agg(),
+            Expr::Not(e) => e.has_agg(),
+            Expr::Func { args, .. } => args.iter().any(Expr::has_agg),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef { table: "nums".into(), alias: Some("n".into()) };
+        assert_eq!(t.binding(), "n");
+        let t = TableRef { table: "nums".into(), alias: None };
+        assert_eq!(t.binding(), "nums");
+    }
+
+    #[test]
+    fn has_agg_walks_the_tree() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Int(1),
+            Expr::Agg { func: AggFunc::Max, arg: Some(Box::new(Expr::col("x"))) },
+        );
+        assert!(e.has_agg());
+        assert!(!Expr::col("x").has_agg());
+    }
+}

@@ -1,0 +1,99 @@
+//! The table catalog.
+
+use crate::{SqlError, Table};
+use std::collections::HashMap;
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a new table.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TableExists`] when the name is taken.
+    pub fn create(&mut self, name: &str, table: Table) -> Result<(), SqlError> {
+        if self.tables.contains_key(name) {
+            return Err(SqlError::TableExists(name.to_owned()));
+        }
+        self.tables.insert(name.to_owned(), table);
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`] unless `if_exists`.
+    pub fn drop(&mut self, name: &str, if_exists: bool) -> Result<(), SqlError> {
+        if self.tables.remove(name).is_none() && !if_exists {
+            return Err(SqlError::NoSuchTable(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Looks up a table.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`] on a missing table.
+    pub fn get(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`] on a missing table.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Whether the catalog holds a table with this name.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColType, Schema};
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        let t = Table::new(Schema::new(vec![("x".into(), ColType::Int)]));
+        c.create("t", t).unwrap();
+        assert!(c.contains("t"));
+        assert!(c.get("t").is_ok());
+        assert!(matches!(
+            c.create("t", Table::default()),
+            Err(SqlError::TableExists(_))
+        ));
+        c.drop("t", false).unwrap();
+        assert!(matches!(c.get("t"), Err(SqlError::NoSuchTable(_))));
+        assert!(c.drop("t", false).is_err());
+        c.drop("t", true).unwrap();
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`Database`] facade: parse + execute statements against a catalog.
+
+use crate::ast::Stmt;
+use crate::expr::{eval, EvalCtx, RowScope};
+use crate::parser::parse_script;
+use crate::{Catalog, Schema, SqlError, Table, Value};
+
+pub use crate::exec::ResultSet;
+
+/// An in-memory database: a catalog plus a SQL entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    cat: Catalog,
+    /// Statements executed so far (all-time).
+    stmt_count: usize,
+}
+
+impl Database {
+    /// Empty database.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The underlying catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.cat
+    }
+
+    /// Total statements executed.
+    #[must_use]
+    pub fn statements_executed(&self) -> usize {
+        self.stmt_count
+    }
+
+    /// Executes one statement; returns rows for `SELECT`s.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SqlError`] from parsing or execution.
+    pub fn execute(&mut self, sql: &str) -> Result<Option<ResultSet>, SqlError> {
+        let mut last = None;
+        for stmt in parse_script(sql)? {
+            last = self.execute_stmt(&stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes a `;`-separated script, returning the last `SELECT`'s rows.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SqlError`]; execution stops at the first failure.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Option<ResultSet>, SqlError> {
+        self.execute(sql)
+    }
+
+    /// Executes one `SELECT` and returns its rows together with one trace
+    /// line per physical join decision ("hash join on 1 key(s)",
+    /// "index range join on `n`", "nested loop", "scan") — a lightweight
+    /// `EXPLAIN`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SqlError`]; non-`SELECT` statements are rejected.
+    pub fn execute_traced(
+        &mut self,
+        sql: &str,
+    ) -> Result<(ResultSet, Vec<String>), SqlError> {
+        let stmt = crate::parser::parse_stmt(sql)?;
+        let Stmt::Select(query) = stmt else {
+            return Err(SqlError::Unsupported("execute_traced expects a SELECT".into()));
+        };
+        self.stmt_count += 1;
+        let mut trace = Vec::new();
+        let rs = crate::exec::run_query_traced(&self.cat, &query, None, &mut trace)?;
+        Ok((rs, trace))
+    }
+
+    /// Executes a parsed statement.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SqlError`] from execution.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Option<ResultSet>, SqlError> {
+        self.stmt_count += 1;
+        match stmt {
+            Stmt::CreateTable { name, cols } => {
+                let schema = Schema::new(cols.iter().cloned());
+                self.cat.create(name, Table::new(schema))?;
+                Ok(None)
+            }
+            Stmt::CreateTableAs { name, query } => {
+                let rs = crate::exec::run_query(&self.cat, query)?;
+                let schema = Schema::new(rs.cols.iter().cloned().zip(rs.types.iter().copied()));
+                let mut table = Table::new(schema);
+                table.insert_many(rs.rows)?;
+                self.cat.create(name, table)?;
+                Ok(None)
+            }
+            Stmt::CreateIndex { table, col } => {
+                self.cat.get_mut(table)?.create_index(col)?;
+                Ok(None)
+            }
+            Stmt::DropTable { name, if_exists } => {
+                self.cat.drop(name, *if_exists)?;
+                Ok(None)
+            }
+            Stmt::Insert { table, rows } => {
+                // Literal rows: evaluate in an empty scope.
+                let scope = RowScope::default();
+                let empty: Vec<Value> = Vec::new();
+                let mut values = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let ctx = EvalCtx {
+                        cat: &self.cat,
+                        scope: &scope,
+                        row: &empty,
+                        outer: None,
+                        group: None,
+                    };
+                    values.push(
+                        row.iter()
+                            .map(|e| eval(e, &ctx))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                self.cat.get_mut(table)?.insert_many(values)?;
+                Ok(None)
+            }
+            Stmt::InsertSelect { table, query } => {
+                let rs = crate::exec::run_query(&self.cat, query)?;
+                self.cat.get_mut(table)?.insert_many(rs.rows)?;
+                Ok(None)
+            }
+            Stmt::Select(query) => Ok(Some(crate::exec::run_query(&self.cat, query)?)),
+        }
+    }
+
+    /// Bulk-creates a table (bypassing SQL parsing, for loaders).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TableExists`] when the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), SqlError> {
+        self.cat.create(name, Table::new(schema))
+    }
+
+    /// Bulk-inserts rows (bypassing SQL parsing, for loaders).
+    ///
+    /// # Errors
+    ///
+    /// Schema violations or a missing table.
+    pub fn insert_rows(
+        &mut self,
+        name: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<(), SqlError> {
+        self.cat.get_mut(name)?.insert_many(rows)
+    }
+
+    /// Drops a table if present (loader convenience).
+    pub fn drop_if_exists(&mut self, name: &str) {
+        let _ = self.cat.drop(name, true);
+    }
+
+    /// Builds a sorted index on a column (loader convenience).
+    ///
+    /// # Errors
+    ///
+    /// Missing table or column.
+    pub fn create_index(&mut self, table: &str, col: &str) -> Result<(), SqlError> {
+        self.cat.get_mut(table)?.create_index(col)
+    }
+
+    /// Reads a whole table (loader convenience).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`].
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.cat.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColType;
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (id INT, act FLOAT, tag TEXT);
+             INSERT INTO t VALUES (1, 1.5, 'a'), (2, 2.5, 'b'), (3, 0.5, 'a');",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT id, act FROM t WHERE tag = 'a' ORDER BY id")
+            .unwrap()
+            .unwrap();
+        assert_eq!(rs.cols, vec!["id", "act"]);
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Int(1), Value::Float(1.5)],
+                vec![Value::Int(3), Value::Float(0.5)]
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_on_equality() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (x INT); INSERT INTO a VALUES (1), (2), (3);
+             CREATE TABLE b (y INT, lbl TEXT);
+             INSERT INTO b VALUES (2, 'two'), (3, 'three'), (4, 'four');",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT a.x, b.lbl FROM a, b WHERE a.x = b.y ORDER BY x")
+            .unwrap()
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Str("two".into())]);
+    }
+
+    #[test]
+    fn index_range_join_point_expansion() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE numbers (n INT)").unwrap();
+        db.insert_rows("numbers", (1..=100i64).map(|i| vec![Value::Int(i)]))
+            .unwrap();
+        db.create_index("numbers", "n").unwrap();
+        db.execute_script(
+            "CREATE TABLE iv (beg INT, end INT, act FLOAT);
+             INSERT INTO iv VALUES (10, 12, 1.5), (50, 51, 2.0);",
+        )
+        .unwrap();
+        let rs = db
+            .execute(
+                "SELECT n.n AS id, i.act AS act FROM iv i, numbers n \
+                 WHERE n.n >= i.beg AND n.n <= i.end ORDER BY id",
+            )
+            .unwrap()
+            .unwrap();
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![10, 11, 12, 50, 51]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (k INT, v FLOAT);
+             INSERT INTO t VALUES (1, 2.0), (1, 3.0), (2, 5.0);",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT k, SUM(v) AS s, MAX(v) AS m, COUNT(*) AS c FROM t GROUP BY k ORDER BY k")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Int(1), Value::Float(5.0), Value::Float(3.0), Value::Int(2)],
+                vec![Value::Int(2), Value::Float(5.0), Value::Float(5.0), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (x INT); INSERT INTO a VALUES (1);
+             CREATE TABLE b (x INT); INSERT INTO b VALUES (2);",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x DESC")
+            .unwrap()
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn correlated_not_exists_gaps_and_islands() {
+        // The classic run-start detection from the translation scripts.
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE p (id INT, act FLOAT);
+             INSERT INTO p VALUES (1, 1.0), (2, 1.0), (3, 2.0), (5, 2.0);",
+        )
+        .unwrap();
+        let rs = db
+            .execute(
+                "SELECT s.id FROM p s WHERE NOT EXISTS \
+                 (SELECT * FROM p q WHERE q.id = s.id - 1 AND q.act = s.act) ORDER BY s.id",
+            )
+            .unwrap()
+            .unwrap();
+        // Run starts: 1 (act 1), 3 (act changes), 5 (gap).
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn create_table_as_and_insert_select() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (5);
+             CREATE TABLE u AS SELECT x + 1 AS y FROM t;
+             INSERT INTO u SELECT x FROM t;",
+        )
+        .unwrap();
+        let rs = db.execute("SELECT y FROM u ORDER BY y").unwrap().unwrap();
+        let ys: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ys, vec![1, 2, 5, 6]);
+        assert_eq!(db.table("u").unwrap().schema.cols[0].ty, ColType::Int);
+    }
+
+    #[test]
+    fn least_greatest_in_select() {
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (3, 7);")
+            .unwrap();
+        let rs = db
+            .execute("SELECT LEAST(a, b), GREATEST(a, b), LEAST(a + 10, b) FROM t")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            rs.rows[0],
+            vec![Value::Int(3), Value::Int(7), Value::Int(7)]
+        );
+    }
+
+    #[test]
+    fn select_star() {
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (a INT, b TEXT); INSERT INTO t VALUES (1, 'x');")
+            .unwrap();
+        let rs = db.execute("SELECT * FROM t").unwrap().unwrap();
+        assert_eq!(rs.cols, vec!["a", "b"]);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Str("x".into())]);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.execute("SELECT x FROM missing"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert!(db.execute("SELECT nope FROM t").is_err());
+        assert!(matches!(
+            db.execute("CREATE TABLE t (x INT)"),
+            Err(SqlError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (x INT); INSERT INTO t VALUES (4), (9);")
+            .unwrap();
+        let rs = db.execute("SELECT MAX(x), COUNT(*) FROM t").unwrap().unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(9), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn drop_table_if_exists() {
+        let mut db = Database::new();
+        db.execute("DROP TABLE IF EXISTS ghost").unwrap();
+        assert!(db.execute("DROP TABLE ghost").is_err());
+    }
+}

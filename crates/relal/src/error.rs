@@ -1,0 +1,60 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lex/parse error with byte position.
+    Parse {
+        /// Byte offset into the statement text.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Unknown or ambiguous column.
+    Column(String),
+    /// Schema violation.
+    Schema(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// Unsupported construct.
+    Unsupported(String),
+}
+
+impl SqlError {
+    pub(crate) fn parse(pos: usize, msg: impl Into<String>) -> SqlError {
+        SqlError::Parse { pos, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { pos, msg } => write!(f, "SQL parse error at byte {pos}: {msg}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::Column(c) => write!(f, "column error: {c}"),
+            SqlError::Schema(s) => write!(f, "schema error: {s}"),
+            SqlError::Type(s) => write!(f, "type error: {s}"),
+            SqlError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SqlError::NoSuchTable("t".into()).to_string().contains("t"));
+        assert!(SqlError::parse(3, "oops").to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,641 @@
+//! The query executor: incremental joins (hash / index-range / nested
+//! loop), EXISTS probes, grouping, projection and ordering.
+
+use crate::ast::{Expr, Query, SelectBody, TableRef};
+use crate::expr::{col_refs, eval, infer_type, truthy, EvalCtx, RowScope, ScopeCol};
+use crate::value::Key;
+use crate::{BinOp, Catalog, ColType, SqlError, Value};
+use std::collections::HashMap;
+
+/// The rows and column metadata a query produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub cols: Vec<String>,
+    /// Output column types.
+    pub types: Vec<ColType>,
+    /// The rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Runs a query with no outer (correlation) context.
+pub(crate) fn run_query(cat: &Catalog, q: &Query) -> Result<ResultSet, SqlError> {
+    run_query_outer(cat, q, None)
+}
+
+/// Runs a query, optionally correlated to an outer row context.
+pub(crate) fn run_query_outer(
+    cat: &Catalog,
+    q: &Query,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<ResultSet, SqlError> {
+    let mut trace = Vec::new();
+    run_query_traced(cat, q, outer, &mut trace)
+}
+
+/// Runs a query, recording one line per physical join decision.
+pub(crate) fn run_query_traced(
+    cat: &Catalog,
+    q: &Query,
+    outer: Option<&EvalCtx<'_>>,
+    trace: &mut Vec<String>,
+) -> Result<ResultSet, SqlError> {
+    let mut result: Option<ResultSet> = None;
+    for body in &q.bodies {
+        let rs = run_body(cat, body, outer, trace)?;
+        match &mut result {
+            None => result = Some(rs),
+            Some(acc) => {
+                if acc.cols.len() != rs.cols.len() {
+                    return Err(SqlError::Schema(
+                        "UNION ALL arms have different column counts".into(),
+                    ));
+                }
+                for (t, t2) in acc.types.iter_mut().zip(&rs.types) {
+                    if *t != *t2 {
+                        if *t == ColType::Text || *t2 == ColType::Text {
+                            return Err(SqlError::Schema(
+                                "UNION ALL arms mix text and numbers".into(),
+                            ));
+                        }
+                        *t = ColType::Float;
+                    }
+                }
+                acc.rows.extend(rs.rows);
+            }
+        }
+    }
+    let mut rs = result.ok_or_else(|| SqlError::Unsupported("query with no bodies".into()))?;
+    if !q.order_by.is_empty() {
+        let scope = RowScope {
+            cols: rs
+                .cols
+                .iter()
+                .zip(&rs.types)
+                .map(|(n, t)| ScopeCol { alias: String::new(), name: n.clone(), ty: *t })
+                .collect(),
+        };
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rs.rows.len());
+        for row in rs.rows.drain(..) {
+            let mut keys = Vec::with_capacity(q.order_by.len());
+            for (e, _) in &q.order_by {
+                // An integer literal names a 1-based output column.
+                let v = if let Expr::Int(i) = e {
+                    let idx = usize::try_from(*i)
+                        .ok()
+                        .and_then(|i| i.checked_sub(1))
+                        .filter(|&i| i < row.len())
+                        .ok_or_else(|| {
+                            SqlError::Column(format!("ORDER BY position {i} out of range"))
+                        })?;
+                    row[idx].clone()
+                } else {
+                    // ORDER BY runs over the result columns, which carry no
+                    // table qualifiers: resolve by bare name.
+                    let e = strip_qualifiers(e);
+                    let ctx = EvalCtx { cat, scope: &scope, row: &row, outer: None, group: None };
+                    eval(&e, &ctx)?
+                };
+                keys.push(v);
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, asc)) in q.order_by.iter().enumerate() {
+                let ord = ka[i].sql_cmp(&kb[i]).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rs.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    Ok(rs)
+}
+
+fn strip_qualifiers(e: &Expr) -> Expr {
+    match e {
+        Expr::Col { name, .. } => Expr::Col { qualifier: None, name: name.clone() },
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op: *op,
+            lhs: Box::new(strip_qualifiers(lhs)),
+            rhs: Box::new(strip_qualifiers(rhs)),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(strip_qualifiers(x))),
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(strip_qualifiers).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Bin { op: BinOp::And, lhs, rhs } = e {
+        flatten_and(lhs, out);
+        flatten_and(rhs, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn contains_exists(e: &Expr) -> bool {
+    match e {
+        Expr::Exists { .. } => true,
+        Expr::Bin { lhs, rhs, .. } => contains_exists(lhs) || contains_exists(rhs),
+        Expr::Not(x) => contains_exists(x),
+        Expr::Func { args, .. } => args.iter().any(contains_exists),
+        _ => false,
+    }
+}
+
+/// Where an expression's column references live, relative to the table
+/// being joined in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Only the new table.
+    NewOnly,
+    /// Only prior tables (or the outer context, or no references at all).
+    Prior,
+    /// Both, or unresolvable.
+    Mixed,
+}
+
+fn outer_resolves(outer: Option<&EvalCtx<'_>>, q: Option<&str>, name: &str) -> bool {
+    let mut cur = outer;
+    while let Some(ctx) = cur {
+        if ctx.scope.try_resolve(q, name).is_some() {
+            return true;
+        }
+        cur = ctx.outer;
+    }
+    false
+}
+
+fn side_of(
+    e: &Expr,
+    new_scope: &RowScope,
+    prior_scope: &RowScope,
+    outer: Option<&EvalCtx<'_>>,
+) -> Side {
+    let mut refs = Vec::new();
+    col_refs(e, &mut refs);
+    let mut new = false;
+    let mut prior = false;
+    for (q, name) in refs {
+        if prior_scope.try_resolve(q, name).is_some() {
+            prior = true;
+        } else if new_scope.try_resolve(q, name).is_some() {
+            new = true;
+        } else if outer_resolves(outer, q, name) {
+            prior = true;
+        } else {
+            return Side::Mixed;
+        }
+    }
+    match (new, prior) {
+        (true, false) => Side::NewOnly,
+        (false, _) => Side::Prior,
+        (true, true) => Side::Mixed,
+    }
+}
+
+/// Is this expression a bare column of the new table? Returns the column
+/// index within the table schema.
+fn bare_new_col(e: &Expr, new_scope: &RowScope) -> Option<usize> {
+    if let Expr::Col { qualifier, name } = e {
+        new_scope.try_resolve(qualifier.as_deref(), name)
+    } else {
+        None
+    }
+}
+
+struct EquiCond {
+    new_expr: Expr,
+    prior_expr: Expr,
+}
+
+struct BoundCond {
+    col: usize,
+    lower: bool,
+    prior_expr: Expr,
+}
+
+fn run_body(
+    cat: &Catalog,
+    body: &SelectBody,
+    outer: Option<&EvalCtx<'_>>,
+    trace: &mut Vec<String>,
+) -> Result<ResultSet, SqlError> {
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(w) = &body.where_ {
+        flatten_and(w, &mut conjuncts);
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    let mut scope = RowScope::default();
+    let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+
+    for tref in &body.from {
+        (scope, rows) = join_table(cat, scope, rows, tref, &conjuncts, &mut used, outer, trace)?;
+    }
+
+    // Leftover conjuncts: EXISTS (probed or generic) and anything else.
+    for (ci, c) in conjuncts.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        rows = apply_conjunct(cat, &scope, rows, c, outer)?;
+    }
+
+    project(cat, body, &scope, rows, outer)
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn join_table(
+    cat: &Catalog,
+    prior_scope: RowScope,
+    prior_rows: Vec<Vec<Value>>,
+    tref: &TableRef,
+    conjuncts: &[Expr],
+    used: &mut [bool],
+    outer: Option<&EvalCtx<'_>>,
+    trace: &mut Vec<String>,
+) -> Result<(RowScope, Vec<Vec<Value>>), SqlError> {
+    let table = cat.get(&tref.table)?;
+    let binding = tref.binding();
+    if prior_scope.cols.iter().any(|c| c.alias == binding) {
+        return Err(SqlError::Schema(format!("duplicate table binding `{binding}`")));
+    }
+    let new_scope_solo = RowScope {
+        cols: table
+            .schema
+            .cols
+            .iter()
+            .map(|c| ScopeCol { alias: binding.to_owned(), name: c.name.clone(), ty: c.ty })
+            .collect(),
+    };
+    let mut combined = prior_scope.clone();
+    combined.cols.extend(new_scope_solo.cols.iter().cloned());
+
+    // Classify ready conjuncts.
+    let mut equi: Vec<EquiCond> = Vec::new();
+    let mut bounds: Vec<BoundCond> = Vec::new();
+    let mut filters: Vec<usize> = Vec::new();
+    for (ci, c) in conjuncts.iter().enumerate() {
+        if used[ci] || contains_exists(c) {
+            continue;
+        }
+        // Ready: every reference resolves in the combined scope or outer.
+        let mut refs = Vec::new();
+        col_refs(c, &mut refs);
+        let ready = refs
+            .iter()
+            .all(|(q, n)| combined.try_resolve(*q, n).is_some() || outer_resolves(outer, *q, n));
+        if !ready {
+            continue;
+        }
+        used[ci] = true;
+        filters.push(ci);
+        // Join-condition patterns (also kept as filters for safety; the
+        // re-check is cheap and keeps strategies simple).
+        if let Expr::Bin { op, lhs, rhs } = c {
+            let l_side = side_of(lhs, &new_scope_solo, &prior_scope, outer);
+            let r_side = side_of(rhs, &new_scope_solo, &prior_scope, outer);
+            match op {
+                BinOp::Eq => {
+                    if l_side == Side::NewOnly && r_side == Side::Prior {
+                        equi.push(EquiCond { new_expr: (**lhs).clone(), prior_expr: (**rhs).clone() });
+                    } else if r_side == Side::NewOnly && l_side == Side::Prior {
+                        equi.push(EquiCond { new_expr: (**rhs).clone(), prior_expr: (**lhs).clone() });
+                    }
+                }
+                BinOp::Ge | BinOp::Gt | BinOp::Le | BinOp::Lt => {
+                    // Orient to `new_col OP prior_expr`.
+                    let oriented = if l_side == Side::NewOnly && r_side == Side::Prior {
+                        bare_new_col(lhs, &new_scope_solo).map(|col| (col, *op, (**rhs).clone()))
+                    } else if r_side == Side::NewOnly && l_side == Side::Prior {
+                        let flipped = match op {
+                            BinOp::Ge => BinOp::Le,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Lt => BinOp::Gt,
+                            _ => unreachable!(),
+                        };
+                        bare_new_col(rhs, &new_scope_solo).map(|col| (col, flipped, (**lhs).clone()))
+                    } else {
+                        None
+                    };
+                    if let Some((col, op, prior_expr)) = oriented {
+                        bounds.push(BoundCond {
+                            col,
+                            lower: matches!(op, BinOp::Ge | BinOp::Gt),
+                            prior_expr,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Strategy selection.
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+    if !equi.is_empty() {
+        trace.push(format!(
+            "{} AS {binding}: hash join on {} key(s)",
+            tref.table,
+            equi.len()
+        ));
+        // Hash join: build on the new table.
+        let mut built: HashMap<Key, Vec<u32>> = HashMap::new();
+        for (ri, row) in table.rows.iter().enumerate() {
+            let ctx = EvalCtx { cat, scope: &new_scope_solo, row, outer: None, group: None };
+            let key = Key(
+                equi.iter()
+                    .map(|c| eval(&c.new_expr, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+            built.entry(key).or_default().push(ri as u32);
+        }
+        for prow in &prior_rows {
+            let ctx = EvalCtx { cat, scope: &prior_scope, row: prow, outer, group: None };
+            let key = Key(
+                equi.iter()
+                    .map(|c| eval(&c.prior_expr, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+            if let Some(matches) = built.get(&key) {
+                for &ri in matches {
+                    let mut row = prow.clone();
+                    row.extend(table.rows[ri as usize].iter().cloned());
+                    out_rows.push(row);
+                }
+            }
+        }
+    } else if let Some(col) = table.indexed_col().filter(|&c| {
+        bounds.iter().any(|b| b.col == c && b.lower) && bounds.iter().any(|b| b.col == c && !b.lower)
+    }) {
+        trace.push(format!(
+            "{} AS {binding}: index range join on `{}`",
+            tref.table, table.schema.cols[col].name
+        ));
+        // Index range join on the indexed column.
+        let lo_expr = &bounds.iter().find(|b| b.col == col && b.lower).expect("lower").prior_expr;
+        let hi_expr = &bounds.iter().find(|b| b.col == col && !b.lower).expect("upper").prior_expr;
+        for prow in &prior_rows {
+            let ctx = EvalCtx { cat, scope: &prior_scope, row: prow, outer, group: None };
+            let lo = eval(lo_expr, &ctx)?;
+            let hi = eval(hi_expr, &ctx)?;
+            let hits = table
+                .index_range(col, &lo, &hi)
+                .expect("index exists on this column");
+            for ri in hits {
+                let mut row = prow.clone();
+                row.extend(table.rows[ri as usize].iter().cloned());
+                out_rows.push(row);
+            }
+        }
+    } else {
+        if prior_scope.cols.is_empty() {
+            trace.push(format!("{} AS {binding}: scan", tref.table));
+        } else {
+            trace.push(format!("{} AS {binding}: nested loop", tref.table));
+        }
+        // Nested loop.
+        for prow in &prior_rows {
+            for trow in &table.rows {
+                let mut row = prow.clone();
+                row.extend(trow.iter().cloned());
+                out_rows.push(row);
+            }
+        }
+    }
+
+    // Apply every ready conjunct as a filter (idempotent for the join
+    // conditions already enforced by the strategy).
+    let mut filtered = Vec::with_capacity(out_rows.len());
+    'rows: for row in out_rows {
+        for &ci in &filters {
+            let ctx = EvalCtx { cat, scope: &combined, row: &row, outer, group: None };
+            if !truthy(&eval(&conjuncts[ci], &ctx)?) {
+                continue 'rows;
+            }
+        }
+        filtered.push(row);
+    }
+    Ok((combined, filtered))
+}
+
+/// A prepared EXISTS probe: a hash set over the subquery keyed by the
+/// correlation expressions.
+struct ExistsProbe {
+    set: std::collections::HashSet<Key>,
+    outer_exprs: Vec<Expr>,
+}
+
+fn prepare_exists(
+    cat: &Catalog,
+    q: &Query,
+    outer_scope: &RowScope,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Option<ExistsProbe>, SqlError> {
+    let [body] = q.bodies.as_slice() else { return Ok(None) };
+    let [tref] = body.from.as_slice() else { return Ok(None) };
+    if !body.group_by.is_empty() {
+        return Ok(None);
+    }
+    let table = cat.get(&tref.table)?;
+    let binding = tref.binding();
+    let inner_scope = RowScope {
+        cols: table
+            .schema
+            .cols
+            .iter()
+            .map(|c| ScopeCol { alias: binding.to_owned(), name: c.name.clone(), ty: c.ty })
+            .collect(),
+    };
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &body.where_ {
+        flatten_and(w, &mut conjuncts);
+    }
+    let mut inner_filters: Vec<Expr> = Vec::new();
+    let mut pairs: Vec<(Expr, Expr)> = Vec::new(); // (inner, outer)
+    for c in &conjuncts {
+        if contains_exists(c) {
+            return Ok(None);
+        }
+        match side_of(c, &inner_scope, outer_scope, outer) {
+            Side::NewOnly => inner_filters.push(c.clone()),
+            _ => {
+                let Expr::Bin { op: BinOp::Eq, lhs, rhs } = c else { return Ok(None) };
+                let l = side_of(lhs, &inner_scope, outer_scope, outer);
+                let r = side_of(rhs, &inner_scope, outer_scope, outer);
+                if l == Side::NewOnly && r == Side::Prior {
+                    pairs.push(((**lhs).clone(), (**rhs).clone()));
+                } else if r == Side::NewOnly && l == Side::Prior {
+                    pairs.push(((**rhs).clone(), (**lhs).clone()));
+                } else {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Ok(None); // uncorrelated; generic path handles it fine
+    }
+    let mut set = std::collections::HashSet::new();
+    'rows: for row in &table.rows {
+        let ctx = EvalCtx { cat, scope: &inner_scope, row, outer: None, group: None };
+        for f in &inner_filters {
+            if !truthy(&eval(f, &ctx)?) {
+                continue 'rows;
+            }
+        }
+        let key = Key(
+            pairs
+                .iter()
+                .map(|(inner, _)| eval(inner, &ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        set.insert(key);
+    }
+    Ok(Some(ExistsProbe {
+        set,
+        outer_exprs: pairs.into_iter().map(|(_, o)| o).collect(),
+    }))
+}
+
+fn apply_conjunct(
+    cat: &Catalog,
+    scope: &RowScope,
+    rows: Vec<Vec<Value>>,
+    c: &Expr,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Vec<Vec<Value>>, SqlError> {
+    if let Expr::Exists { query, negated } = c {
+        if let Some(probe) = prepare_exists(cat, query, scope, outer)? {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+                let key = Key(
+                    probe
+                        .outer_exprs
+                        .iter()
+                        .map(|e| eval(e, &ctx))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+                if probe.set.contains(&key) != *negated {
+                    out.push(row);
+                }
+            }
+            return Ok(out);
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+        if truthy(&eval(c, &ctx)?) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn project(
+    cat: &Catalog,
+    body: &SelectBody,
+    scope: &RowScope,
+    rows: Vec<Vec<Value>>,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<ResultSet, SqlError> {
+    // Expand `*`.
+    let mut items: Vec<(Expr, Option<String>)> = Vec::new();
+    for item in &body.items {
+        if matches!(item.expr, Expr::Star) {
+            for c in &scope.cols {
+                items.push((
+                    Expr::Col { qualifier: Some(c.alias.clone()), name: c.name.clone() },
+                    Some(c.name.clone()),
+                ));
+            }
+        } else {
+            items.push((item.expr.clone(), item.alias.clone()));
+        }
+    }
+    let cols: Vec<String> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (e, alias))| {
+            alias.clone().unwrap_or_else(|| match e {
+                Expr::Col { name, .. } => name.clone(),
+                _ => format!("col{}", i + 1),
+            })
+        })
+        .collect();
+    let types: Vec<ColType> = items
+        .iter()
+        .map(|(e, _)| infer_type(e, scope))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let has_agg = items.iter().any(|(e, _)| e.has_agg());
+    let mut out = Vec::new();
+    if !body.group_by.is_empty() || has_agg {
+        // Group rows.
+        let mut order: Vec<Key> = Vec::new();
+        let mut groups: HashMap<Key, Vec<Vec<Value>>> = HashMap::new();
+        if body.group_by.is_empty() {
+            let key = Key(vec![]);
+            order.push(key.clone());
+            groups.insert(key, rows);
+        } else {
+            for row in rows {
+                let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+                let key = Key(
+                    body.group_by
+                        .iter()
+                        .map(|e| eval(e, &ctx))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(row);
+            }
+        }
+        let empty_row: Vec<Value> = Vec::new();
+        for key in order {
+            let group = &groups[&key];
+            let first = group.first().unwrap_or(&empty_row);
+            let ctx = EvalCtx { cat, scope, row: first, outer, group: Some(group) };
+            let row = items
+                .iter()
+                .map(|(e, _)| eval(e, &ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push(row);
+        }
+    } else {
+        for row in rows {
+            let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+            let projected = items
+                .iter()
+                .map(|(e, _)| eval(e, &ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push(projected);
+        }
+    }
+    // Coerce ints living in float columns so that CREATE TABLE AS stays
+    // consistent with the inferred schema.
+    for row in &mut out {
+        for (v, t) in row.iter_mut().zip(&types) {
+            if *t == ColType::Float {
+                if let Value::Int(i) = *v {
+                    *v = Value::Float(i as f64);
+                }
+            }
+        }
+    }
+    Ok(ResultSet { cols, types, rows: out })
+}

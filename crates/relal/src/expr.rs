@@ -1,0 +1,428 @@
+//! Expression evaluation and static type inference.
+
+use crate::ast::{AggFunc, BinOp, Expr};
+use crate::{Catalog, ColType, SqlError, Value};
+
+/// One column of a row scope: which table binding it came from, its name
+/// and type.
+#[derive(Debug, Clone)]
+pub(crate) struct ScopeCol {
+    pub alias: String,
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// The flattened column layout of the rows being processed.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowScope {
+    pub cols: Vec<ScopeCol>,
+}
+
+impl RowScope {
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, SqlError> {
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let hit = match qualifier {
+                Some(q) => c.alias == q && c.name == name,
+                None => c.name == name,
+            };
+            if hit {
+                if found.is_some() {
+                    return Err(SqlError::Column(format!("ambiguous column `{name}`")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            SqlError::Column(match qualifier {
+                Some(q) => format!("no column `{q}.{name}`"),
+                None => format!("no column `{name}`"),
+            })
+        })
+    }
+
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        self.resolve(qualifier, name).ok()
+    }
+}
+
+/// Evaluation context: the current row, its scope, the catalog (for
+/// subqueries), an optional outer context (correlation), and the rows of
+/// the current group (for aggregates).
+pub(crate) struct EvalCtx<'a> {
+    pub cat: &'a Catalog,
+    pub scope: &'a RowScope,
+    pub row: &'a [Value],
+    pub outer: Option<&'a EvalCtx<'a>>,
+    pub group: Option<&'a [Vec<Value>]>,
+}
+
+impl EvalCtx<'_> {
+    fn with_row<'b>(&'b self, row: &'b [Value]) -> EvalCtx<'b> {
+        EvalCtx { cat: self.cat, scope: self.scope, row, outer: self.outer, group: None }
+    }
+}
+
+pub(crate) fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Str(s) => !s.is_empty(),
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::Int(i64::from(b))
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a + b),
+            BinOp::Sub => Value::Int(a - b),
+            BinOp::Mul => Value::Int(a * b),
+            BinOp::Div => {
+                if *b == 0 {
+                    return Err(SqlError::Type("division by zero".into()));
+                }
+                Value::Float(*a as f64 / *b as f64)
+            }
+            _ => unreachable!("arith ops only"),
+        });
+    }
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Err(SqlError::Type(format!("arithmetic on non-numbers: {l} and {r}")));
+    };
+    Ok(match op {
+        BinOp::Add => Value::Float(a + b),
+        BinOp::Sub => Value::Float(a - b),
+        BinOp::Mul => Value::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(SqlError::Type("division by zero".into()));
+            }
+            Value::Float(a / b)
+        }
+        _ => unreachable!("arith ops only"),
+    })
+}
+
+/// Evaluates an expression in a context.
+pub(crate) fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, SqlError> {
+    match expr {
+        Expr::Int(i) => Ok(Value::Int(*i)),
+        Expr::Float(f) => Ok(Value::Float(*f)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Star => Err(SqlError::Unsupported("`*` outside COUNT(*) / SELECT".into())),
+        Expr::Col { qualifier, name } => {
+            match ctx.scope.try_resolve(qualifier.as_deref(), name) {
+                Some(i) => Ok(ctx.row[i].clone()),
+                None => match ctx.outer {
+                    Some(outer) => eval(expr, outer),
+                    None => Err(SqlError::Column(format!(
+                        "cannot resolve column `{}`",
+                        name
+                    ))),
+                },
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::And => {
+                if !truthy(&eval(lhs, ctx)?) {
+                    return Ok(bool_val(false));
+                }
+                Ok(bool_val(truthy(&eval(rhs, ctx)?)))
+            }
+            BinOp::Or => {
+                if truthy(&eval(lhs, ctx)?) {
+                    return Ok(bool_val(true));
+                }
+                Ok(bool_val(truthy(&eval(rhs, ctx)?)))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = eval(lhs, ctx)?;
+                let r = eval(rhs, ctx)?;
+                arith(*op, &l, &r)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = eval(lhs, ctx)?;
+                let r = eval(rhs, ctx)?;
+                let Some(ord) = l.sql_cmp(&r) else {
+                    return Err(SqlError::Type(format!("cannot compare {l} with {r}")));
+                };
+                use std::cmp::Ordering::*;
+                Ok(bool_val(match op {
+                    BinOp::Eq => ord == Equal,
+                    BinOp::Ne => ord != Equal,
+                    BinOp::Lt => ord == Less,
+                    BinOp::Le => ord != Greater,
+                    BinOp::Gt => ord == Greater,
+                    BinOp::Ge => ord != Less,
+                    _ => unreachable!(),
+                }))
+            }
+        },
+        Expr::Not(e) => Ok(bool_val(!truthy(&eval(e, ctx)?))),
+        Expr::Func { name, args } => match name.as_str() {
+            "least" | "greatest" => {
+                if args.is_empty() {
+                    return Err(SqlError::Type(format!("{name} needs arguments")));
+                }
+                let mut best = eval(&args[0], ctx)?;
+                for a in &args[1..] {
+                    let v = eval(a, ctx)?;
+                    let Some(ord) = v.sql_cmp(&best) else {
+                        return Err(SqlError::Type(format!("cannot compare {v} with {best}")));
+                    };
+                    let take = if name == "least" {
+                        ord == std::cmp::Ordering::Less
+                    } else {
+                        ord == std::cmp::Ordering::Greater
+                    };
+                    if take {
+                        best = v;
+                    }
+                }
+                Ok(best)
+            }
+            "abs" => match eval(&args[0], ctx)? {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                v => Err(SqlError::Type(format!("ABS of non-number {v}"))),
+            },
+            other => Err(SqlError::Unsupported(format!("function `{other}`"))),
+        },
+        Expr::Agg { func, arg } => {
+            let Some(group) = ctx.group else {
+                return Err(SqlError::Type("aggregate outside GROUP BY context".into()));
+            };
+            eval_agg(*func, arg.as_deref(), group, ctx)
+        }
+        Expr::Exists { query, negated } => {
+            let rs = crate::exec::run_query_outer(ctx.cat, query, Some(ctx))?;
+            Ok(bool_val(rs.rows.is_empty() == *negated))
+        }
+    }
+}
+
+fn eval_agg(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    group: &[Vec<Value>],
+    ctx: &EvalCtx<'_>,
+) -> Result<Value, SqlError> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(group.len() as i64)),
+        AggFunc::Sum => {
+            let arg = arg.ok_or_else(|| SqlError::Type("SUM needs an argument".into()))?;
+            let mut int_sum = 0i64;
+            let mut float_sum = 0.0f64;
+            let mut any_float = false;
+            for row in group {
+                match eval(arg, &ctx.with_row(row))? {
+                    Value::Int(i) => {
+                        int_sum += i;
+                        float_sum += i as f64;
+                    }
+                    Value::Float(f) => {
+                        any_float = true;
+                        float_sum += f;
+                    }
+                    v => return Err(SqlError::Type(format!("SUM of non-number {v}"))),
+                }
+            }
+            Ok(if any_float { Value::Float(float_sum) } else { Value::Int(int_sum) })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let arg = arg.ok_or_else(|| SqlError::Type("MIN/MAX need an argument".into()))?;
+            let mut best: Option<Value> = None;
+            for row in group {
+                let v = eval(arg, &ctx.with_row(row))?;
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let Some(ord) = v.sql_cmp(&b) else {
+                            return Err(SqlError::Type(format!("cannot compare {v} with {b}")));
+                        };
+                        let take = if func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.ok_or_else(|| SqlError::Type("MIN/MAX over an empty group".into()))
+        }
+    }
+}
+
+/// Statically infers the result type of an expression over a scope.
+pub(crate) fn infer_type(expr: &Expr, scope: &RowScope) -> Result<ColType, SqlError> {
+    Ok(match expr {
+        Expr::Int(_) => ColType::Int,
+        Expr::Float(_) => ColType::Float,
+        Expr::Str(_) => ColType::Text,
+        Expr::Star => return Err(SqlError::Unsupported("`*` has no type".into())),
+        Expr::Col { qualifier, name } => match scope.try_resolve(qualifier.as_deref(), name) {
+            Some(i) => scope.cols[i].ty,
+            // Correlated reference: assume float (safe for our numerics).
+            None => ColType::Float,
+        },
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                if infer_type(lhs, scope)? == ColType::Float
+                    || infer_type(rhs, scope)? == ColType::Float
+                {
+                    ColType::Float
+                } else {
+                    ColType::Int
+                }
+            }
+            BinOp::Div => ColType::Float,
+            _ => ColType::Int,
+        },
+        Expr::Not(_) | Expr::Exists { .. } => ColType::Int,
+        Expr::Func { name, args } => match name.as_str() {
+            "least" | "greatest" => {
+                let mut ty = ColType::Int;
+                for a in args {
+                    if infer_type(a, scope)? == ColType::Float {
+                        ty = ColType::Float;
+                    }
+                }
+                ty
+            }
+            "abs" => infer_type(&args[0], scope)?,
+            other => return Err(SqlError::Unsupported(format!("function `{other}`"))),
+        },
+        Expr::Agg { func, arg } => match func {
+            AggFunc::Count => ColType::Int,
+            _ => match arg {
+                Some(a) => infer_type(a, scope)?,
+                None => ColType::Int,
+            },
+        },
+    })
+}
+
+/// Collects all column references of an expression (not descending into
+/// EXISTS subqueries — those resolve in their own scope).
+pub(crate) fn col_refs<'e>(expr: &'e Expr, out: &mut Vec<(Option<&'e str>, &'e str)>) {
+    match expr {
+        Expr::Col { qualifier, name } => out.push((qualifier.as_deref(), name)),
+        Expr::Bin { lhs, rhs, .. } => {
+            col_refs(lhs, out);
+            col_refs(rhs, out);
+        }
+        Expr::Not(e) => col_refs(e, out),
+        Expr::Func { args, .. } => {
+            for a in args {
+                col_refs(a, out);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                col_refs(a, out);
+            }
+        }
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Star | Expr::Exists { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> RowScope {
+        RowScope {
+            cols: vec![
+                ScopeCol { alias: "t".into(), name: "id".into(), ty: ColType::Int },
+                ScopeCol { alias: "t".into(), name: "act".into(), ty: ColType::Float },
+            ],
+        }
+    }
+
+    fn eval_str(expr: &Expr, row: &[Value]) -> Value {
+        let cat = Catalog::new();
+        let s = scope();
+        let ctx = EvalCtx { cat: &cat, scope: &s, row, outer: None, group: None };
+        eval(expr, &ctx).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let row = vec![Value::Int(4), Value::Float(2.5)];
+        let e = Expr::bin(BinOp::Add, Expr::col("id"), Expr::Int(1));
+        assert_eq!(eval_str(&e, &row), Value::Int(5));
+        let e = Expr::bin(BinOp::Mul, Expr::col("act"), Expr::Int(2));
+        assert_eq!(eval_str(&e, &row), Value::Float(5.0));
+        let e = Expr::bin(BinOp::Ge, Expr::col("id"), Expr::Float(3.5));
+        assert_eq!(eval_str(&e, &row), Value::Int(1));
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        let row = vec![Value::Int(1), Value::Float(0.0)];
+        // `act != 0 AND (1/0 = 1)` — rhs would error, but lhs is false.
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Ne, Expr::col("act"), Expr::Int(0)),
+            Expr::bin(BinOp::Eq, Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0)), Expr::Int(1)),
+        );
+        assert_eq!(eval_str(&e, &row), Value::Int(0));
+    }
+
+    #[test]
+    fn least_and_greatest() {
+        let row = vec![Value::Int(4), Value::Float(2.5)];
+        let e = Expr::Func {
+            name: "least".into(),
+            args: vec![Expr::col("id"), Expr::col("act")],
+        };
+        assert_eq!(eval_str(&e, &row), Value::Float(2.5));
+        let e = Expr::Func {
+            name: "greatest".into(),
+            args: vec![Expr::col("id"), Expr::Int(10)],
+        };
+        assert_eq!(eval_str(&e, &row), Value::Int(10));
+    }
+
+    #[test]
+    fn ambiguous_columns_error() {
+        let s = RowScope {
+            cols: vec![
+                ScopeCol { alias: "a".into(), name: "x".into(), ty: ColType::Int },
+                ScopeCol { alias: "b".into(), name: "x".into(), ty: ColType::Int },
+            ],
+        };
+        assert!(s.resolve(None, "x").is_err());
+        assert_eq!(s.resolve(Some("b"), "x"), Ok(1));
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = scope();
+        let e = Expr::bin(BinOp::Add, Expr::col("id"), Expr::Int(1));
+        assert_eq!(infer_type(&e, &s).unwrap(), ColType::Int);
+        let e = Expr::bin(BinOp::Add, Expr::col("id"), Expr::col("act"));
+        assert_eq!(infer_type(&e, &s).unwrap(), ColType::Float);
+        let e = Expr::Agg { func: AggFunc::Count, arg: None };
+        assert_eq!(infer_type(&e, &s).unwrap(), ColType::Int);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let row = vec![Value::Int(1), Value::Float(1.0)];
+        let cat = Catalog::new();
+        let s = scope();
+        let ctx = EvalCtx { cat: &cat, scope: &s, row: &row, outer: None, group: None };
+        let e = Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0));
+        assert!(eval(&e, &ctx).is_err());
+    }
+}

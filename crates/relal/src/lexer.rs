@@ -1,0 +1,294 @@
+//! SQL tokenizer. Keywords are case-insensitive; identifiers are folded to
+//! lowercase.
+
+use crate::SqlError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl Tok {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(i) => format!("integer {i}"),
+            Tok::Float(f) => format!("number {f}"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push(Spanned { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                toks.push(Spanned { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Spanned { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            b'.' => {
+                toks.push(Spanned { tok: Tok::Dot, pos: i });
+                i += 1;
+            }
+            b';' => {
+                toks.push(Spanned { tok: Tok::Semi, pos: i });
+                i += 1;
+            }
+            b'*' => {
+                toks.push(Spanned { tok: Tok::Star, pos: i });
+                i += 1;
+            }
+            b'+' => {
+                toks.push(Spanned { tok: Tok::Plus, pos: i });
+                i += 1;
+            }
+            b'-' => {
+                toks.push(Spanned { tok: Tok::Minus, pos: i });
+                i += 1;
+            }
+            b'/' => {
+                toks.push(Spanned { tok: Tok::Slash, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                toks.push(Spanned { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    return Err(SqlError::parse(i, "expected `!=`"));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    toks.push(Spanned { tok: Tok::Le, pos: i });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Spanned { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Ge, pos: i });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::parse(start, "unterminated string")),
+                        Some(b'\'') => {
+                            // Doubled quote escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Spanned { tok: Tok::Str(s), pos: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::parse(start, format!("bad number `{text}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| SqlError::parse(start, format!("bad integer `{text}`")))?,
+                    )
+                };
+                toks.push(Spanned { tok, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while bytes
+                    .get(i)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(input[start..i].to_ascii_lowercase()),
+                    pos: start,
+                });
+            }
+            _ => {
+                return Err(SqlError::parse(
+                    i,
+                    format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                ));
+            }
+        }
+    }
+    toks.push(Spanned { tok: Tok::Eof, pos: input.len() });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_fold_to_lowercase_idents() {
+        assert_eq!(
+            kinds("SELECT foo FROM Bar"),
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("foo".into()),
+                Tok::Ident("from".into()),
+                Tok::Ident("bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= + - * /"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_doubled_quotes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![Tok::Str("it's".into()), Tok::Eof]
+        );
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- comment here\n 2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! `simvid-relal`: a small in-memory relational engine with a 1996-era SQL
+//! subset, plus the HTL→SQL translation used as the paper's baseline.
+//!
+//! The paper's second system evaluates HTL temporal operators "by
+//! translating the formulas into SQL queries" executed on a commercial
+//! RDBMS (Sybase on SUN workstations). Sybase is proprietary and long
+//! obsolete, so this crate substitutes a from-scratch engine that executes
+//! the same *kind* of statement sequences a mid-90s system would:
+//!
+//! * `CREATE TABLE … AS SELECT`, `INSERT INTO … SELECT`, multi-table
+//!   `FROM` with `WHERE` joins, `GROUP BY` with `MIN`/`MAX`/`SUM`/`COUNT`,
+//!   `ORDER BY`, `UNION ALL`, and correlated `[NOT] EXISTS` — but **no
+//!   window functions** (they did not exist), so interval coalescing uses
+//!   classic gaps-and-islands self-joins;
+//! * hash joins for equality predicates, sorted-index range joins for
+//!   `BETWEEN`-shaped predicates (the `numbers` point-expansion join), and
+//!   nested loops otherwise;
+//! * the [`translate`] module emits, for each HTL list operator
+//!   (conjunction, `until`, `eventually`, `next`), the SQL statement
+//!   sequence computing the output similarity list from input lists.
+//!
+//! The performance-relevant property of the original — large point-expanded
+//! intermediate relations and join/sort overhead that the direct algorithms
+//! avoid — is preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use simvid_relal::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_script(
+//!     "CREATE TABLE t (id INT, act FLOAT);
+//!      INSERT INTO t VALUES (1, 2.5), (2, 0.5), (3, 2.5);",
+//! )
+//! .unwrap();
+//! let rs = db
+//!     .execute("SELECT id, act FROM t WHERE act > 1.0 ORDER BY id DESC")
+//!     .unwrap()
+//!     .expect("rows");
+//! assert_eq!(rs.rows.len(), 2);
+//! ```
+
+mod ast;
+mod catalog;
+mod db;
+mod error;
+mod exec;
+mod expr;
+mod lexer;
+mod parser;
+mod schema;
+mod table;
+pub mod translate;
+pub mod translate_table;
+mod value;
+
+pub use ast::{BinOp, Expr, Query, SelectBody, SelectItem, Stmt, TableRef};
+pub use catalog::Catalog;
+pub use db::{Database, ResultSet};
+pub use error::SqlError;
+pub use parser::{parse_script, parse_stmt};
+pub use schema::{ColType, Column, Schema};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,567 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::{AggFunc, BinOp, Expr, Query, SelectBody, SelectItem, Stmt, TableRef};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::{ColType, SqlError};
+
+/// Parses a script of `;`-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Stmt>, SqlError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.peek_is(&Tok::Semi) {
+            p.bump();
+        }
+        if matches!(p.peek(), Tok::Eof) {
+            break;
+        }
+        stmts.push(p.stmt()?);
+        if !p.peek_is(&Tok::Semi) && !matches!(p.peek(), Tok::Eof) {
+            return Err(SqlError::parse(
+                p.pos(),
+                format!("expected `;` or end of script, found {}", p.peek().describe()),
+            ));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parses a single statement.
+pub fn parse_stmt(input: &str) -> Result<Stmt, SqlError> {
+    let mut stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(SqlError::parse(0, format!("expected one statement, found {n}"))),
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek_is(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), SqlError> {
+        if self.peek_is(t) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.pos(),
+                format!("expected {}, found {}", t.describe(), self.peek().describe()),
+            ))
+        }
+    }
+
+    /// Consumes the given keyword (lowercased identifier).
+    fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(SqlError::parse(
+                self.pos(),
+                format!("expected `{}`, found {}", kw.to_uppercase(), other.describe()),
+            )),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(SqlError::parse(
+                pos,
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SqlError> {
+        if self.at_keyword("create") {
+            self.bump();
+            if self.eat_keyword("index") {
+                self.keyword("on")?;
+                let table = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let col = self.ident()?;
+                self.expect(&Tok::RParen)?;
+                return Ok(Stmt::CreateIndex { table, col });
+            }
+            self.keyword("table")?;
+            let name = self.ident()?;
+            if self.eat_keyword("as") {
+                let query = self.query()?;
+                return Ok(Stmt::CreateTableAs { name, query });
+            }
+            self.expect(&Tok::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty_pos = self.pos();
+                let ty = match self.ident()?.as_str() {
+                    "int" | "integer" => ColType::Int,
+                    "float" | "real" | "double" => ColType::Float,
+                    "text" | "varchar" | "char" => ColType::Text,
+                    other => {
+                        return Err(SqlError::parse(ty_pos, format!("unknown type `{other}`")))
+                    }
+                };
+                cols.push((col, ty));
+                if !self.peek_is(&Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(Stmt::CreateTable { name, cols });
+        }
+        if self.at_keyword("drop") {
+            self.bump();
+            self.keyword("table")?;
+            let if_exists = if self.eat_keyword("if") {
+                self.keyword("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Stmt::DropTable { name, if_exists });
+        }
+        if self.at_keyword("insert") {
+            self.bump();
+            self.keyword("into")?;
+            let table = self.ident()?;
+            if self.at_keyword("values") {
+                self.bump();
+                let mut rows = Vec::new();
+                loop {
+                    self.expect(&Tok::LParen)?;
+                    let mut row = Vec::new();
+                    loop {
+                        row.push(self.expr()?);
+                        if !self.peek_is(&Tok::Comma) {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.expect(&Tok::RParen)?;
+                    rows.push(row);
+                    if !self.peek_is(&Tok::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+                return Ok(Stmt::Insert { table, rows });
+            }
+            let query = self.query()?;
+            return Ok(Stmt::InsertSelect { table, query });
+        }
+        if self.at_keyword("select") {
+            return Ok(Stmt::Select(self.query()?));
+        }
+        Err(SqlError::parse(
+            self.pos(),
+            format!("expected a statement, found {}", self.peek().describe()),
+        ))
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        let mut bodies = vec![self.select_body()?];
+        while self.at_keyword("union") {
+            self.bump();
+            self.keyword("all")?;
+            bodies.push(self.select_body()?);
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.keyword("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    let _ = self.eat_keyword("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.peek_is(&Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        Ok(Query { bodies, order_by })
+    }
+
+    fn select_body(&mut self) -> Result<SelectBody, SqlError> {
+        self.keyword("select")?;
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_keyword("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.peek_is(&Tok::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword("from") {
+            loop {
+                let table = self.ident()?;
+                // Optional alias: a bare identifier that is not a clause
+                // keyword.
+                let alias = match self.peek() {
+                    Tok::Ident(s)
+                        if !matches!(
+                            s.as_str(),
+                            "where" | "group" | "order" | "union" | "on" | "as"
+                        ) =>
+                    {
+                        Some(self.ident()?)
+                    }
+                    Tok::Ident(s) if s == "as" => {
+                        self.bump();
+                        Some(self.ident()?)
+                    }
+                    _ => None,
+                };
+                from.push(TableRef { table, alias });
+                if !self.peek_is(&Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let where_ = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.keyword("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.peek_is(&Tok::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        Ok(SelectBody { items, from, where_, group_by })
+    }
+
+    // Expression precedence: OR < AND < NOT < cmp < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_expr()?;
+            e = Expr::bin(BinOp::Or, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let rhs = self.not_expr()?;
+            e = Expr::bin(BinOp::And, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.at_keyword("not") {
+            self.bump();
+            if self.at_keyword("exists") {
+                return self.exists_expr(true);
+            }
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        if self.at_keyword("exists") {
+            return self.exists_expr(false);
+        }
+        self.cmp_expr()
+    }
+
+    fn exists_expr(&mut self, negated: bool) -> Result<Expr, SqlError> {
+        self.keyword("exists")?;
+        self.expect(&Tok::LParen)?;
+        let query = self.query()?;
+        self.expect(&Tok::RParen)?;
+        Ok(Expr::Exists { query: Box::new(query), negated })
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.peek_is(&Tok::Minus) {
+            self.bump();
+            let e = self.unary_expr()?;
+            return Ok(Expr::bin(BinOp::Sub, Expr::Int(0), e));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(i) => Ok(Expr::Int(i)),
+            Tok::Float(f) => Ok(Expr::Float(f)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Star => Ok(Expr::Star),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // Aggregate or scalar function call?
+                if self.peek_is(&Tok::LParen) {
+                    let agg = match name.as_str() {
+                        "min" => Some(AggFunc::Min),
+                        "max" => Some(AggFunc::Max),
+                        "sum" => Some(AggFunc::Sum),
+                        "count" => Some(AggFunc::Count),
+                        _ => None,
+                    };
+                    self.bump();
+                    if let Some(func) = agg {
+                        if self.peek_is(&Tok::Star) {
+                            self.bump();
+                            self.expect(&Tok::RParen)?;
+                            return Ok(Expr::Agg { func, arg: None });
+                        }
+                        let arg = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                    }
+                    let mut args = Vec::new();
+                    if !self.peek_is(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.peek_is(&Tok::Comma) {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Expr::Func { name, args });
+                }
+                // Qualified column?
+                if self.peek_is(&Tok::Dot) {
+                    self.bump();
+                    if self.peek_is(&Tok::Star) {
+                        self.bump();
+                        // `t.*` — treated like `*`.
+                        return Ok(Expr::Star);
+                    }
+                    let col = self.ident()?;
+                    return Ok(Expr::Col { qualifier: Some(name), name: col });
+                }
+                Ok(Expr::Col { qualifier: None, name })
+            }
+            other => Err(SqlError::parse(
+                pos,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_and_insert() {
+        let stmts = parse_script(
+            "CREATE TABLE t (id INT, act FLOAT); INSERT INTO t VALUES (1, 2.5), (2, 3.0);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(stmts[0], Stmt::CreateTable { .. }));
+        match &stmts[1] {
+            Stmt::Insert { rows, .. } => assert_eq!(rows.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_everything() {
+        let s = parse_stmt(
+            "SELECT n.n AS id, MAX(a.act) AS act FROM numbers n, lists a \
+             WHERE n.n >= a.beg AND n.n <= a.end GROUP BY n.n ORDER BY id DESC",
+        )
+        .unwrap();
+        let Stmt::Select(q) = s else { panic!("not a select") };
+        assert_eq!(q.bodies.len(), 1);
+        let b = &q.bodies[0];
+        assert_eq!(b.items.len(), 2);
+        assert_eq!(b.from.len(), 2);
+        assert_eq!(b.from[1].binding(), "a");
+        assert_eq!(b.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].1, "descending");
+    }
+
+    #[test]
+    fn parses_union_all() {
+        let s = parse_stmt("SELECT id FROM a UNION ALL SELECT id FROM b").unwrap();
+        let Stmt::Select(q) = s else { panic!() };
+        assert_eq!(q.bodies.len(), 2);
+    }
+
+    #[test]
+    fn parses_not_exists() {
+        let s = parse_stmt(
+            "SELECT s.id FROM sums s WHERE NOT EXISTS \
+             (SELECT * FROM sums p WHERE p.id = s.id - 1 AND p.act = s.act)",
+        )
+        .unwrap();
+        let Stmt::Select(q) = s else { panic!() };
+        match q.bodies[0].where_.as_ref().unwrap() {
+            Expr::Exists { negated, .. } => assert!(*negated),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_as_and_index() {
+        let stmts = parse_script(
+            "CREATE TABLE out AS SELECT 1 AS x; CREATE INDEX ON numbers (n); \
+             DROP TABLE IF EXISTS out;",
+        )
+        .unwrap();
+        assert!(matches!(stmts[0], Stmt::CreateTableAs { .. }));
+        assert!(matches!(stmts[1], Stmt::CreateIndex { .. }));
+        assert!(matches!(stmts[2], Stmt::DropTable { if_exists: true, .. }));
+    }
+
+    #[test]
+    fn parses_scalar_functions_and_arith() {
+        let s = parse_stmt("SELECT LEAST(a + 1, b * 2), GREATEST(a, 1) FROM t").unwrap();
+        let Stmt::Select(q) = s else { panic!() };
+        assert!(matches!(
+            q.bodies[0].items[0].expr,
+            Expr::Func { ref name, .. } if name == "least"
+        ));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_stmt("select X from T where X > 1").is_ok());
+        assert!(parse_stmt("SeLeCt x FrOm t").is_ok());
+    }
+
+    #[test]
+    fn reports_position_on_error() {
+        let err = parse_stmt("SELECT )").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        let err = parse_stmt("CREATE TABLE t (x BLOB)").unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+    }
+
+    #[test]
+    fn insert_select() {
+        let s = parse_stmt("INSERT INTO t SELECT a FROM b").unwrap();
+        assert!(matches!(s, Stmt::InsertSelect { .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let s = parse_stmt("SELECT -x FROM t").unwrap();
+        let Stmt::Select(q) = s else { panic!() };
+        assert!(matches!(q.bodies[0].items[0].expr, Expr::Bin { op: BinOp::Sub, .. }));
+    }
+}

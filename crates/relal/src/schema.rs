@@ -1,0 +1,138 @@
+//! Table schemas.
+
+use crate::{SqlError, Value};
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String.
+    Text,
+}
+
+impl ColType {
+    /// Whether a value inhabits this type (ints are accepted for `Float`).
+    #[must_use]
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColType::Int, Value::Int(_))
+                | (ColType::Float, Value::Float(_) | Value::Int(_))
+                | (ColType::Text, Value::Str(_))
+        )
+    }
+
+    /// The type of a value.
+    #[must_use]
+    pub fn of(v: &Value) -> ColType {
+        match v {
+            Value::Int(_) => ColType::Int,
+            Value::Float(_) => ColType::Float,
+            Value::Str(_) => ColType::Text,
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lowercase).
+    pub name: String,
+    /// Column type.
+    pub ty: ColType,
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The columns.
+    pub cols: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    pub fn new(cols: impl IntoIterator<Item = (String, ColType)>) -> Schema {
+        Schema {
+            cols: cols
+                .into_iter()
+                .map(|(name, ty)| Column { name, ty })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    #[must_use]
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Validates a row against the schema, coercing ints into float
+    /// columns.
+    pub fn check_row(&self, mut row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
+        if row.len() != self.cols.len() {
+            return Err(SqlError::Schema(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.cols.len()
+            )));
+        }
+        for (v, c) in row.iter_mut().zip(&self.cols) {
+            if c.ty == ColType::Float {
+                if let Value::Int(i) = *v {
+                    *v = Value::Float(i as f64);
+                }
+            }
+            if !c.ty.admits(v) {
+                return Err(SqlError::Schema(format!(
+                    "value {v} does not fit column `{}`",
+                    c.name
+                )));
+            }
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_len() {
+        let s = Schema::new(vec![("id".into(), ColType::Int), ("act".into(), ColType::Float)]);
+        assert_eq!(s.col("act"), Some(1));
+        assert_eq!(s.col("nope"), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn check_row_coerces_int_to_float() {
+        let s = Schema::new(vec![("act".into(), ColType::Float)]);
+        let row = s.check_row(vec![Value::Int(3)]).unwrap();
+        assert_eq!(row, vec![Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_and_type() {
+        let s = Schema::new(vec![("id".into(), ColType::Int)]);
+        assert!(s.check_row(vec![]).is_err());
+        assert!(s.check_row(vec![Value::Str("x".into())]).is_err());
+        assert!(s.check_row(vec![Value::Float(1.5)]).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! In-memory row-store tables.
+
+use crate::{Schema, SqlError, Value};
+
+/// A heap of rows plus an optional sorted index on one column (the
+/// mid-90s-DBMS feature the point-expansion joins rely on).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// The schema.
+    pub schema: Schema,
+    /// The rows.
+    pub rows: Vec<Vec<Value>>,
+    /// `(column, permutation of row indices sorted by that column)`.
+    index: Option<(usize, Vec<u32>)>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    #[must_use]
+    pub fn new(schema: Schema) -> Table {
+        Table { schema, rows: Vec::new(), index: None }
+    }
+
+    /// Appends a row after schema validation. Invalidates the index.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), SqlError> {
+        let row = self.schema.check_row(row)?;
+        self.rows.push(row);
+        self.index = None;
+        Ok(())
+    }
+
+    /// Appends many rows (bulk load). Invalidates the index.
+    pub fn insert_many(
+        &mut self,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<(), SqlError> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) the sorted index on a column.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Column`] on an unknown column.
+    pub fn create_index(&mut self, col: &str) -> Result<(), SqlError> {
+        let ci = self
+            .schema
+            .col(col)
+            .ok_or_else(|| SqlError::Column(format!("no column `{col}` to index")))?;
+        let mut perm: Vec<u32> = (0..self.rows.len() as u32).collect();
+        perm.sort_by(|&a, &b| {
+            self.rows[a as usize][ci]
+                .sql_cmp(&self.rows[b as usize][ci])
+                .expect("indexable column values are comparable")
+        });
+        self.index = Some((ci, perm));
+        Ok(())
+    }
+
+    /// The indexed column, if an index exists.
+    #[must_use]
+    pub fn indexed_col(&self) -> Option<usize> {
+        self.index.as_ref().map(|(c, _)| *c)
+    }
+
+    /// Row indices whose indexed column lies within `[lo, hi]`, via binary
+    /// search on the sorted index. Returns `None` when no usable index
+    /// exists on `col`.
+    #[must_use]
+    pub fn index_range(&self, col: usize, lo: &Value, hi: &Value) -> Option<Vec<u32>> {
+        let (ci, perm) = self.index.as_ref()?;
+        if *ci != col {
+            return None;
+        }
+        use std::cmp::Ordering;
+        let first = perm.partition_point(|&r| {
+            self.rows[r as usize][col].sql_cmp(lo) == Some(Ordering::Less)
+        });
+        let last = perm.partition_point(|&r| {
+            self.rows[r as usize][col].sql_cmp(hi) != Some(Ordering::Greater)
+        });
+        Some(perm[first..last].to_vec())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColType;
+
+    fn numbers(n: i64) -> Table {
+        let mut t = Table::new(Schema::new(vec![("n".into(), ColType::Int)]));
+        for i in 1..=n {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = numbers(3);
+        assert!(t.insert(vec![Value::Str("x".into())]).is_err());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn index_range_scans() {
+        let mut t = numbers(100);
+        t.create_index("n").unwrap();
+        let hits = t.index_range(0, &Value::Int(10), &Value::Int(13)).unwrap();
+        let vals: Vec<i64> = hits
+            .iter()
+            .map(|&r| t.rows[r as usize][0].as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10, 11, 12, 13]);
+        // Empty range.
+        assert!(t.index_range(0, &Value::Int(200), &Value::Int(300)).unwrap().is_empty());
+        // Inverted bounds.
+        assert!(t.index_range(0, &Value::Int(5), &Value::Int(4)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_survives_unsorted_input() {
+        let mut t = Table::new(Schema::new(vec![("n".into(), ColType::Int)]));
+        for i in [5i64, 1, 9, 3] {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        t.create_index("n").unwrap();
+        let hits = t.index_range(0, &Value::Int(2), &Value::Int(6)).unwrap();
+        let mut vals: Vec<i64> = hits
+            .iter()
+            .map(|&r| t.rows[r as usize][0].as_int().unwrap())
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![3, 5]);
+    }
+
+    #[test]
+    fn insert_invalidates_index() {
+        let mut t = numbers(5);
+        t.create_index("n").unwrap();
+        t.insert(vec![Value::Int(0)]).unwrap();
+        assert!(t.index_range(0, &Value::Int(0), &Value::Int(0)).is_none());
+    }
+
+    #[test]
+    fn indexing_missing_column_errors() {
+        let mut t = numbers(1);
+        assert!(t.create_index("missing").is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! HTL list operators as SQL statement sequences — the paper's baseline.
+//!
+//! "The second system, i.e. the SQL based system, first generates a
+//! sequence of SQL queries which take as inputs the tables for g1 and g2
+//! and output the table corresponding to g" (§4). The statement sequences
+//! below follow the style a mid-90s relational system imposes:
+//!
+//! * similarity lists are interval tables `(beg, end, act)`;
+//! * interval algebra happens by **point expansion** through an indexed
+//!   `numbers` table, grouping per point, then re-coalescing runs with
+//!   gaps-and-islands self-joins (no window functions in 1996);
+//! * the intermediate point relations are large — exactly the inefficiency
+//!   the paper observed ("the intermediate relations may become quite
+//!   large").
+//!
+//! Each operator provides a script generator (the SQL text, inspectable)
+//! and a runner that loads inputs, executes the script, and reads the
+//! output list back.
+
+use crate::{ColType, Database, Schema, SqlError, Value};
+use simvid_core::SimilarityList;
+
+/// Creates and indexes the `numbers` utility table holding `1..=n` (the
+/// standard point-expansion helper; real systems keep one permanently).
+pub fn load_numbers(db: &mut Database, n: u32) -> Result<(), SqlError> {
+    db.drop_if_exists("numbers");
+    db.create_table(
+        "numbers",
+        Schema::new(vec![("n".to_owned(), ColType::Int)]),
+    )?;
+    db.insert_rows("numbers", (1..=i64::from(n)).map(|i| vec![Value::Int(i)]))?;
+    db.create_index("numbers", "n")
+}
+
+/// Loads a similarity list as an interval table `name(beg, end, act)`.
+pub fn load_list(db: &mut Database, name: &str, list: &SimilarityList) -> Result<(), SqlError> {
+    db.drop_if_exists(name);
+    db.create_table(
+        name,
+        Schema::new(vec![
+            ("beg".to_owned(), ColType::Int),
+            ("end".to_owned(), ColType::Int),
+            ("act".to_owned(), ColType::Float),
+        ]),
+    )?;
+    db.insert_rows(
+        name,
+        list.entries().iter().map(|e| {
+            vec![
+                Value::Int(i64::from(e.iv.beg)),
+                Value::Int(i64::from(e.iv.end)),
+                Value::Float(e.act),
+            ]
+        }),
+    )
+}
+
+/// Reads an interval table back into a similarity list with the given
+/// formula maximum.
+pub fn read_list(db: &Database, name: &str, max: f64) -> Result<SimilarityList, SqlError> {
+    let table = db.table(name)?;
+    let (bi, ei, ai) = (
+        table.schema.col("beg").ok_or_else(|| SqlError::Column("beg".into()))?,
+        table.schema.col("end").ok_or_else(|| SqlError::Column("end".into()))?,
+        table.schema.col("act").ok_or_else(|| SqlError::Column("act".into()))?,
+    );
+    let tuples = table
+        .rows
+        .iter()
+        .map(|r| {
+            let beg = r[bi].as_int().ok_or_else(|| SqlError::Type("beg not int".into()))?;
+            let end = r[ei].as_int().ok_or_else(|| SqlError::Type("end not int".into()))?;
+            let act = r[ai].as_f64().ok_or_else(|| SqlError::Type("act not numeric".into()))?;
+            Ok((beg as u32, end as u32, act))
+        })
+        .collect::<Result<Vec<_>, SqlError>>()?;
+    SimilarityList::from_tuples(tuples, max)
+        .map_err(|e| SqlError::Schema(format!("bad output list: {e}")))
+}
+
+/// The statements that coalesce a point table `pts(id, act)` into the
+/// interval table `out(beg, end, act)` — the gaps-and-islands idiom.
+fn coalesce_script(pts: &str, out: &str) -> String {
+    format!(
+        "DROP TABLE IF EXISTS {out}_starts;\n\
+         CREATE TABLE {out}_starts AS SELECT s.id AS id, s.act AS act FROM {pts} s \
+         WHERE NOT EXISTS (SELECT * FROM {pts} p WHERE p.id = s.id - 1 AND p.act = s.act);\n\
+         DROP TABLE IF EXISTS {out}_ends;\n\
+         CREATE TABLE {out}_ends AS SELECT s.id AS id, s.act AS act FROM {pts} s \
+         WHERE NOT EXISTS (SELECT * FROM {pts} p WHERE p.id = s.id + 1 AND p.act = s.act);\n\
+         DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT st.id AS beg, MIN(en.id) AS end, st.act AS act \
+         FROM {out}_starts st, {out}_ends en \
+         WHERE en.act = st.act AND en.id >= st.id GROUP BY st.id, st.act;"
+    )
+}
+
+/// SQL script computing `out = a ∧ b` (point expansion, per-point sum,
+/// coalesce).
+#[must_use]
+pub fn conjunction_script(a: &str, b: &str, out: &str) -> String {
+    format!(
+        "DROP TABLE IF EXISTS {out}_pts;\n\
+         CREATE TABLE {out}_pts AS \
+         SELECT n.n AS id, a.act AS act FROM {a} a, numbers n \
+         WHERE n.n >= a.beg AND n.n <= a.end \
+         UNION ALL \
+         SELECT n.n AS id, b.act AS act FROM {b} b, numbers n \
+         WHERE n.n >= b.beg AND n.n <= b.end;\n\
+         DROP TABLE IF EXISTS {out}_sums;\n\
+         CREATE TABLE {out}_sums AS SELECT id AS id, SUM(act) AS act FROM {out}_pts GROUP BY id;\n{}",
+        coalesce_script(&format!("{out}_sums"), out)
+    )
+}
+
+/// SQL script computing `out = g until h` at the absolute threshold `cut`
+/// (= θ · max(g)): threshold + coalesce the `g` runs, expand the reachable
+/// `h` values per run, take per-point maxima, re-coalesce.
+#[must_use]
+pub fn until_script(g: &str, h: &str, out: &str, cut: f64) -> String {
+    format!(
+        "DROP TABLE IF EXISTS {out}_gpts;\n\
+         CREATE TABLE {out}_gpts AS SELECT n.n AS id FROM {g} g, numbers n \
+         WHERE g.act >= {cut} AND n.n >= g.beg AND n.n <= g.end;\n\
+         DROP TABLE IF EXISTS {out}_gs;\n\
+         CREATE TABLE {out}_gs AS SELECT p.id AS id FROM {out}_gpts p \
+         WHERE NOT EXISTS (SELECT * FROM {out}_gpts q WHERE q.id = p.id - 1);\n\
+         DROP TABLE IF EXISTS {out}_ge;\n\
+         CREATE TABLE {out}_ge AS SELECT p.id AS id FROM {out}_gpts p \
+         WHERE NOT EXISTS (SELECT * FROM {out}_gpts q WHERE q.id = p.id + 1);\n\
+         DROP TABLE IF EXISTS {out}_gruns;\n\
+         CREATE TABLE {out}_gruns AS SELECT s.id AS beg, MIN(e.id) AS end \
+         FROM {out}_gs s, {out}_ge e WHERE e.id >= s.id GROUP BY s.id;\n\
+         DROP TABLE IF EXISTS {out}_reach;\n\
+         CREATE TABLE {out}_reach AS SELECT n.n AS id, h.act AS act \
+         FROM {out}_gruns r, {h} h, numbers n \
+         WHERE h.end >= r.beg AND h.beg <= r.end + 1 \
+         AND n.n >= r.beg AND n.n <= LEAST(r.end, h.end);\n\
+         DROP TABLE IF EXISTS {out}_allpts;\n\
+         CREATE TABLE {out}_allpts AS \
+         SELECT id AS id, act AS act FROM {out}_reach \
+         UNION ALL \
+         SELECT n.n AS id, h.act AS act FROM {h} h, numbers n \
+         WHERE n.n >= h.beg AND n.n <= h.end;\n\
+         DROP TABLE IF EXISTS {out}_maxpts;\n\
+         CREATE TABLE {out}_maxpts AS SELECT id AS id, MAX(act) AS act FROM {out}_allpts GROUP BY id;\n{}",
+        coalesce_script(&format!("{out}_maxpts"), out)
+    )
+}
+
+/// SQL script computing `out = eventually h` without point expansion: a
+/// suffix-max self-join over entry end points plus segment boundaries.
+#[must_use]
+pub fn eventually_script(h: &str, out: &str) -> String {
+    format!(
+        "DROP TABLE IF EXISTS {out}_sfx;\n\
+         CREATE TABLE {out}_sfx AS SELECT h1.end AS end, MAX(h2.act) AS act \
+         FROM {h} h1, {h} h2 WHERE h2.end >= h1.end GROUP BY h1.end;\n\
+         DROP TABLE IF EXISTS {out}_beg;\n\
+         CREATE TABLE {out}_beg AS \
+         SELECT h1.end AS end, MAX(h2.end) + 1 AS beg FROM {h} h1, {h} h2 \
+         WHERE h2.end < h1.end GROUP BY h1.end \
+         UNION ALL \
+         SELECT h1.end AS end, 1 AS beg FROM {h} h1 \
+         WHERE NOT EXISTS (SELECT * FROM {h} h2 WHERE h2.end < h1.end);\n\
+         DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT b.beg AS beg, b.end AS end, s.act AS act \
+         FROM {out}_beg b, {out}_sfx s WHERE s.end = b.end;"
+    )
+}
+
+/// SQL script computing `out = next l`: intervals shift down by one.
+#[must_use]
+pub fn next_script(l: &str, out: &str) -> String {
+    format!(
+        "DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT GREATEST(l.beg - 1, 1) AS beg, l.end - 1 AS end, \
+         l.act AS act FROM {l} l WHERE l.end >= 2;"
+    )
+}
+
+/// Runs the conjunction baseline end to end: loads the lists, executes the
+/// script, reads the result back. The `numbers` table must already cover
+/// the sequence length (see [`load_numbers`]).
+pub fn run_conjunction(
+    db: &mut Database,
+    a: &SimilarityList,
+    b: &SimilarityList,
+) -> Result<SimilarityList, SqlError> {
+    load_list(db, "a_in", a)?;
+    load_list(db, "b_in", b)?;
+    db.execute_script(&conjunction_script("a_in", "b_in", "conj_out"))?;
+    read_list(db, "conj_out", a.max() + b.max())
+}
+
+/// Runs the `until` baseline end to end with the fractional threshold
+/// `theta`.
+pub fn run_until(
+    db: &mut Database,
+    g: &SimilarityList,
+    h: &SimilarityList,
+    theta: f64,
+) -> Result<SimilarityList, SqlError> {
+    load_list(db, "g_in", g)?;
+    load_list(db, "h_in", h)?;
+    // The paper keeps a small epsilon of slack for float thresholds; match
+    // the direct algorithm's comparison.
+    let cut = theta * g.max() - 1e-12;
+    db.execute_script(&until_script("g_in", "h_in", "until_out", cut))?;
+    read_list(db, "until_out", h.max())
+}
+
+/// Runs the `eventually` baseline end to end.
+pub fn run_eventually(
+    db: &mut Database,
+    h: &SimilarityList,
+) -> Result<SimilarityList, SqlError> {
+    load_list(db, "h_in", h)?;
+    db.execute_script(&eventually_script("h_in", "ev_out"))?;
+    read_list(db, "ev_out", h.max())
+}
+
+/// Runs the `next` baseline end to end.
+pub fn run_next(db: &mut Database, l: &SimilarityList) -> Result<SimilarityList, SqlError> {
+    load_list(db, "l_in", l)?;
+    db.execute_script(&next_script("l_in", "next_out"))?;
+    read_list(db, "next_out", l.max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_core::list;
+
+    fn sl(tuples: Vec<(u32, u32, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    fn fresh_db(n: u32) -> Database {
+        let mut db = Database::new();
+        load_numbers(&mut db, n).unwrap();
+        db
+    }
+
+    fn assert_same(a: &SimilarityList, b: &SimilarityList, n: usize) {
+        let (da, db_) = (a.to_dense(n), b.to_dense(n));
+        for (i, (x, y)) in da.iter().zip(&db_).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "position {}: direct {} vs sql {}\ndirect: {:?}\nsql: {:?}",
+                i + 1,
+                x,
+                y,
+                a.to_tuples(),
+                b.to_tuples()
+            );
+        }
+    }
+
+    #[test]
+    fn sql_conjunction_matches_direct() {
+        let a = sl(vec![(1, 4, 2.595), (6, 6, 1.26), (10, 14, 1.26)], 6.26);
+        let b = sl(vec![(1, 9, 9.787)], 9.787);
+        let mut db = fresh_db(20);
+        let got = run_conjunction(&mut db, &a, &b).unwrap();
+        assert_same(&got, &list::and(&a, &b), 20);
+    }
+
+    #[test]
+    fn sql_until_matches_direct_on_figure2() {
+        let g = sl(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0);
+        let h = sl(
+            vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+            20.0,
+        );
+        let mut db = fresh_db(260);
+        let got = run_until(&mut db, &g, &h, 0.5).unwrap();
+        assert_same(&got, &list::until(&g, &h, 0.5), 260);
+    }
+
+    #[test]
+    fn sql_until_threshold_filters() {
+        let g = sl(vec![(1, 10, 0.4)], 1.0);
+        let h = sl(vec![(4, 4, 5.0)], 10.0);
+        let mut db = fresh_db(12);
+        let got = run_until(&mut db, &g, &h, 0.5).unwrap();
+        assert_same(&got, &list::until(&g, &h, 0.5), 12);
+        let got = run_until(&mut db, &g, &h, 0.4).unwrap();
+        assert_same(&got, &list::until(&g, &h, 0.4), 12);
+    }
+
+    #[test]
+    fn sql_eventually_matches_direct() {
+        let h = sl(vec![(3, 4, 2.0), (8, 8, 5.0), (12, 13, 1.0)], 5.0);
+        let mut db = fresh_db(15);
+        let got = run_eventually(&mut db, &h).unwrap();
+        assert_same(&got, &list::eventually(&h), 15);
+        // Table 3 of the paper: eventually Moving-Train.
+        let mt = sl(vec![(9, 9, 9.787)], 9.787);
+        let got = run_eventually(&mut db, &mt).unwrap();
+        assert_same(&got, &list::eventually(&mt), 15);
+        assert_eq!(got.coalesce().to_tuples(), vec![(1, 9, 9.787)]);
+    }
+
+    #[test]
+    fn sql_next_matches_direct() {
+        let l = sl(vec![(1, 1, 1.0), (3, 5, 2.0)], 2.0);
+        let mut db = fresh_db(8);
+        let got = run_next(&mut db, &l).unwrap();
+        assert_same(&got, &list::next(&l), 8);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut db = fresh_db(10);
+        let e = SimilarityList::empty(2.0);
+        let l = sl(vec![(2, 3, 1.0)], 2.0);
+        let got = run_conjunction(&mut db, &e, &l).unwrap();
+        assert_same(&got, &list::and(&e, &l), 10);
+        let got = run_until(&mut db, &e, &l, 0.5).unwrap();
+        assert_same(&got, &list::until(&e, &l, 0.5), 10);
+        let got = run_eventually(&mut db, &e).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn scripts_are_inspectable_sql() {
+        let s = conjunction_script("a", "b", "o");
+        assert!(s.contains("UNION ALL"));
+        assert!(s.contains("GROUP BY"));
+        let s = until_script("g", "h", "o", 0.5);
+        assert!(s.contains("LEAST"));
+        assert!(s.to_lowercase().contains("not exists"));
+    }
+}

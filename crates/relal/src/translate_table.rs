@@ -1,0 +1,714 @@
+//! SQL translation for **type (2)** formulas — similarity *tables* with
+//! object-variable binding columns (§3.2 via SQL, the full scope of the
+//! paper's second system for formulas without freeze quantifiers).
+//!
+//! A similarity table with object columns `x1 … xk` becomes a relation
+//! `(x1 INT, …, xk INT, beg INT, end INT, act FLOAT)`. The operators are
+//! the list scripts of [`crate::translate`] *keyed by the binding columns*:
+//! natural join on shared variables, point expansion per binding,
+//! per-binding gaps-and-islands coalescing, and existential quantifiers as
+//! `GROUP BY remaining-columns, id MAX(act)`.
+//!
+//! [`SqlType2System`] drives the translation over a whole formula tree,
+//! mirroring the direct engine: load one relation per atomic unit, then
+//! emit and execute a statement sequence bottom-up.
+
+use crate::{ColType, Database, Schema, SqlError, Value};
+use simvid_core::{Row, SimilarityList, SimilarityTable};
+use simvid_htl::{atomic_units, classify, is_pure, Formula, FormulaClass};
+use simvid_model::ObjectId;
+use std::fmt::Write as _;
+
+/// Rows grouped by object binding: `(binding, (beg, end, act) tuples)`.
+type BindingGroups = Vec<(Vec<ObjectId>, Vec<(u32, u32, f64)>)>;
+
+/// Loads a similarity table (object columns only; attribute ranges are the
+/// freeze machinery, outside type (2)) as a relation.
+pub fn load_table(db: &mut Database, name: &str, table: &SimilarityTable) -> Result<(), SqlError> {
+    if !table.attr_cols.is_empty() {
+        return Err(SqlError::Unsupported(
+            "attribute-range columns are outside the type (2) translation".into(),
+        ));
+    }
+    db.drop_if_exists(name);
+    let mut cols: Vec<(String, ColType)> =
+        table.obj_cols.iter().map(|c| (c.clone(), ColType::Int)).collect();
+    cols.push(("beg".into(), ColType::Int));
+    cols.push(("end".into(), ColType::Int));
+    cols.push(("act".into(), ColType::Float));
+    db.create_table(name, Schema::new(cols))?;
+    let mut rows = Vec::new();
+    for row in &table.rows {
+        for e in row.list.entries() {
+            let mut r: Vec<Value> =
+                row.objs.iter().map(|o| Value::Int(o.0 as i64)).collect();
+            r.push(Value::Int(i64::from(e.iv.beg)));
+            r.push(Value::Int(i64::from(e.iv.end)));
+            r.push(Value::Float(e.act));
+            rows.push(r);
+        }
+    }
+    db.insert_rows(name, rows)
+}
+
+/// Reads a relation back into a similarity table with the given columns
+/// and maximum.
+pub fn read_table(
+    db: &Database,
+    name: &str,
+    obj_cols: &[String],
+    max: f64,
+) -> Result<SimilarityTable, SqlError> {
+    let table = db.table(name)?;
+    let key_idx: Vec<usize> = obj_cols
+        .iter()
+        .map(|c| table.schema.col(c).ok_or_else(|| SqlError::Column(c.clone())))
+        .collect::<Result<_, _>>()?;
+    let bi = table.schema.col("beg").ok_or_else(|| SqlError::Column("beg".into()))?;
+    let ei = table.schema.col("end").ok_or_else(|| SqlError::Column("end".into()))?;
+    let ai = table.schema.col("act").ok_or_else(|| SqlError::Column("act".into()))?;
+    // Group rows by binding.
+    let mut out = SimilarityTable::new(obj_cols.to_vec(), Vec::new(), max);
+    let mut groups: BindingGroups = Vec::new();
+    for r in &table.rows {
+        let key: Vec<ObjectId> = key_idx
+            .iter()
+            .map(|&i| ObjectId(r[i].as_int().unwrap_or(0) as u64))
+            .collect();
+        let tuple = (
+            r[bi].as_int().unwrap_or(0) as u32,
+            r[ei].as_int().unwrap_or(0) as u32,
+            r[ai].as_f64().unwrap_or(0.0),
+        );
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(tuple),
+            None => groups.push((key, vec![tuple])),
+        }
+    }
+    for (objs, tuples) in groups {
+        let list = SimilarityList::from_tuples(tuples, max)
+            .map_err(|e| SqlError::Schema(format!("bad list for binding {objs:?}: {e}")))?;
+        out.push_row(Row { objs, ranges: Vec::new(), list });
+    }
+    Ok(out.ensure_closed_row())
+}
+
+fn cols_list(prefix: &str, cols: &[String]) -> String {
+    cols.iter()
+        .map(|c| format!("{prefix}.{c} AS {c}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn eq_conds(a: &str, b: &str, cols: &[String]) -> String {
+    cols.iter()
+        .map(|c| format!("{a}.{c} = {b}.{c}"))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+fn bare_list(cols: &[String]) -> String {
+    cols.join(", ")
+}
+
+/// `sep`-prefixed comma list, empty-safe ("x1, x2, " or "").
+fn lead(cols: &[String]) -> String {
+    if cols.is_empty() {
+        String::new()
+    } else {
+        format!("{}, ", bare_list(cols))
+    }
+}
+
+/// Qualified comma list with trailing separator ("st.x1, st.x2, " or "").
+fn qlead(prefix: &str, cols: &[String]) -> String {
+    if cols.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "{}, ",
+            cols.iter().map(|c| format!("{prefix}.{c}")).collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+/// Statements coalescing a keyed point relation `pts(cols…, id, act)` into
+/// interval form `out(cols…, beg, end, act)` — gaps-and-islands per
+/// binding.
+fn coalesce_keyed(pts: &str, out: &str, cols: &[String]) -> String {
+    let key_eq_s = eq_conds("p", "s", cols);
+    let and_keys = if cols.is_empty() { String::new() } else { format!("{key_eq_s} AND ") };
+    let st_cols = cols_list("st", cols);
+    let st_lead = if st_cols.is_empty() { String::new() } else { format!("{st_cols}, ") };
+    let en_eq = eq_conds("en", "st", cols);
+    let en_and = if cols.is_empty() { String::new() } else { format!("{en_eq} AND ") };
+    let group_keys = qlead("st", cols);
+    format!(
+        "DROP TABLE IF EXISTS {out}_starts;\n\
+         CREATE TABLE {out}_starts AS SELECT {sel} s.id AS id, s.act AS act FROM {pts} s \
+         WHERE NOT EXISTS (SELECT * FROM {pts} p WHERE {and_keys}p.id = s.id - 1 AND p.act = s.act);\n\
+         DROP TABLE IF EXISTS {out}_ends;\n\
+         CREATE TABLE {out}_ends AS SELECT {sel} s.id AS id, s.act AS act FROM {pts} s \
+         WHERE NOT EXISTS (SELECT * FROM {pts} p WHERE {and_keys}p.id = s.id + 1 AND p.act = s.act);\n\
+         DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT {st_lead}st.id AS beg, MIN(en.id) AS end, st.act AS act \
+         FROM {out}_starts st, {out}_ends en \
+         WHERE {en_and}en.act = st.act AND en.id >= st.id \
+         GROUP BY {group_keys}st.id, st.act;",
+        sel = {
+            let c = cols_list("s", cols);
+            if c.is_empty() { c } else { format!("{c},") }
+        },
+    )
+}
+
+/// The union of output binding columns: `a`'s columns then `b`'s new ones.
+fn joined_cols(a_cols: &[String], b_cols: &[String]) -> (Vec<String>, Vec<String>) {
+    let shared: Vec<String> =
+        a_cols.iter().filter(|c| b_cols.contains(c)).cloned().collect();
+    let mut out = a_cols.to_vec();
+    out.extend(b_cols.iter().filter(|c| !a_cols.contains(c)).cloned());
+    (out, shared)
+}
+
+/// Script: the distinct joined bindings of two keyed relations.
+fn bindings_script(a: &str, b: &str, out: &str, a_cols: &[String], b_cols: &[String]) -> String {
+    let (out_cols, shared) = joined_cols(a_cols, b_cols);
+    if out_cols.is_empty() {
+        // Both operands are closed: the single (empty) evaluation always
+        // joins — a constant one-row relation keeps the point expansion
+        // alive even when an operand has no intervals (the closed-table
+        // invariant: `g until h` with empty `g` still yields `h`).
+        return format!(
+            "DROP TABLE IF EXISTS {out};\nCREATE TABLE {out} AS SELECT 1 AS one;"
+        );
+    }
+    let mut sels: Vec<String> = Vec::new();
+    for c in &out_cols {
+        let src = if a_cols.contains(c) { "a" } else { "b" };
+        sels.push(format!("{src}.{c} AS {c}"));
+    }
+    let join = eq_conds("a", "b", &shared);
+    let where_ = if join.is_empty() { String::new() } else { format!(" WHERE {join}") };
+    let group: Vec<String> = out_cols
+        .iter()
+        .map(|c| {
+            let src = if a_cols.contains(c) { "a" } else { "b" };
+            format!("{src}.{c}")
+        })
+        .collect();
+    format!(
+        "DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT {} FROM {a} a, {b} b{where_} GROUP BY {};",
+        sels.join(", "),
+        group.join(", "),
+    )
+}
+
+/// Script computing `out = a ∧ b` over keyed relations.
+#[must_use]
+pub fn conjunction_table_script(
+    a: &str,
+    b: &str,
+    out: &str,
+    a_cols: &[String],
+    b_cols: &[String],
+) -> String {
+    let (out_cols, _) = joined_cols(a_cols, b_cols);
+    let k = format!("{out}_bind");
+    let mut s = bindings_script(a, b, &k, a_cols, b_cols);
+    let ksel = cols_list("k", &out_cols);
+    let klead = if ksel.is_empty() { String::new() } else { format!("{ksel}, ") };
+    let a_match = eq_conds("t", "k", a_cols);
+    let a_and = if a_cols.is_empty() { String::new() } else { format!("{a_match} AND ") };
+    let b_match = eq_conds("t", "k", b_cols);
+    let b_and = if b_cols.is_empty() { String::new() } else { format!("{b_match} AND ") };
+    let _ = write!(
+        s,
+        "\nDROP TABLE IF EXISTS {out}_pts;\n\
+         CREATE TABLE {out}_pts AS \
+         SELECT {klead}n.n AS id, t.act AS act FROM {k} k, {a} t, numbers n \
+         WHERE {a_and}n.n >= t.beg AND n.n <= t.end \
+         UNION ALL \
+         SELECT {klead}n.n AS id, t.act AS act FROM {k} k, {b} t, numbers n \
+         WHERE {b_and}n.n >= t.beg AND n.n <= t.end;\n\
+         DROP TABLE IF EXISTS {out}_sums;\n\
+         CREATE TABLE {out}_sums AS SELECT {cols}id AS id, SUM(act) AS act \
+         FROM {out}_pts GROUP BY {cols}id;\n{coal}",
+        cols = lead(&out_cols),
+        coal = coalesce_keyed(&format!("{out}_sums"), out, &out_cols),
+    );
+    s
+}
+
+/// Script computing `out = g until h` over keyed relations at absolute
+/// threshold `cut`.
+#[must_use]
+pub fn until_table_script(
+    g: &str,
+    h: &str,
+    out: &str,
+    g_cols: &[String],
+    h_cols: &[String],
+    cut: f64,
+) -> String {
+    let (out_cols, _) = joined_cols(g_cols, h_cols);
+    let k = format!("{out}_bind");
+    let mut s = bindings_script(g, h, &k, g_cols, h_cols);
+    let ksel = cols_list("k", &out_cols);
+    let klead = if ksel.is_empty() { String::new() } else { format!("{ksel}, ") };
+    let g_match = eq_conds("t", "k", g_cols);
+    let g_and = if g_cols.is_empty() { String::new() } else { format!("{g_match} AND ") };
+    let h_match = eq_conds("h2", "k", h_cols);
+    let h_and = if h_cols.is_empty() { String::new() } else { format!("{h_match} AND ") };
+    let key_eq = eq_conds("q", "p", &out_cols);
+    let key_and = if out_cols.is_empty() { String::new() } else { format!("{key_eq} AND ") };
+    let run_eq = eq_conds("e", "s", &out_cols);
+    let run_and = if out_cols.is_empty() { String::new() } else { format!("{run_eq} AND ") };
+    let psel = cols_list("p", &out_cols);
+    let plead = if psel.is_empty() { String::new() } else { format!("{psel}, ") };
+    let ssel = cols_list("s", &out_cols);
+    let slead = if ssel.is_empty() { String::new() } else { format!("{ssel}, ") };
+    let rsel = cols_list("r", &out_cols);
+    let rlead = if rsel.is_empty() { String::new() } else { format!("{rsel}, ") };
+    let _ = write!(
+        s,
+        "\nDROP TABLE IF EXISTS {out}_gpts;\n\
+         CREATE TABLE {out}_gpts AS SELECT {klead}n.n AS id FROM {k} k, {g} t, numbers n \
+         WHERE {g_and}t.act >= {cut} AND n.n >= t.beg AND n.n <= t.end;\n\
+         DROP TABLE IF EXISTS {out}_gs;\n\
+         CREATE TABLE {out}_gs AS SELECT {plead}p.id AS id FROM {out}_gpts p \
+         WHERE NOT EXISTS (SELECT * FROM {out}_gpts q WHERE {key_and}q.id = p.id - 1);\n\
+         DROP TABLE IF EXISTS {out}_ge;\n\
+         CREATE TABLE {out}_ge AS SELECT {plead}p.id AS id FROM {out}_gpts p \
+         WHERE NOT EXISTS (SELECT * FROM {out}_gpts q WHERE {key_and}q.id = p.id + 1);\n\
+         DROP TABLE IF EXISTS {out}_gruns;\n\
+         CREATE TABLE {out}_gruns AS SELECT {slead}s.id AS beg, MIN(e.id) AS end \
+         FROM {out}_gs s, {out}_ge e WHERE {run_and}e.id >= s.id GROUP BY {group}s.id;\n\
+         DROP TABLE IF EXISTS {out}_reach;\n\
+         CREATE TABLE {out}_reach AS SELECT {rlead}n.n AS id, h2.act AS act \
+         FROM {out}_gruns r, {h} h2, numbers n \
+         WHERE {r_and2}h2.end >= r.beg AND h2.beg <= r.end + 1 \
+         AND n.n >= r.beg AND n.n <= LEAST(r.end, h2.end);\n\
+         DROP TABLE IF EXISTS {out}_allpts;\n\
+         CREATE TABLE {out}_allpts AS \
+         SELECT {cols}id AS id, act AS act FROM {out}_reach \
+         UNION ALL \
+         SELECT {klead}n.n AS id, h2.act AS act FROM {k} k, {h} h2, numbers n \
+         WHERE {h_and}n.n >= h2.beg AND n.n <= h2.end;\n\
+         DROP TABLE IF EXISTS {out}_maxpts;\n\
+         CREATE TABLE {out}_maxpts AS SELECT {cols}id AS id, MAX(act) AS act \
+         FROM {out}_allpts GROUP BY {cols}id;\n{coal}",
+        group = qlead("s", &out_cols),
+        cols = lead(&out_cols),
+        r_and2 = {
+            // The h side joins the run's binding on h's own columns only.
+            let e = eq_conds("h2", "r", h_cols);
+            if h_cols.is_empty() { String::new() } else { format!("{e} AND ") }
+        },
+        coal = coalesce_keyed(&format!("{out}_maxpts"), out, &out_cols),
+    );
+    s
+}
+
+/// Script computing `out = next l` over a keyed relation.
+#[must_use]
+pub fn next_table_script(l: &str, out: &str, cols: &[String]) -> String {
+    let sel = cols_list("l", cols);
+    let slead = if sel.is_empty() { String::new() } else { format!("{sel}, ") };
+    format!(
+        "DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT {slead}GREATEST(l.beg - 1, 1) AS beg, \
+         l.end - 1 AS end, l.act AS act FROM {l} l WHERE l.end >= 2;"
+    )
+}
+
+/// Script computing `out = eventually l` over a keyed relation
+/// (per-binding suffix max, no point expansion).
+#[must_use]
+pub fn eventually_table_script(l: &str, out: &str, cols: &[String]) -> String {
+    let k12 = eq_conds("h2", "h1", cols);
+    let k12_and = if cols.is_empty() { String::new() } else { format!("{k12} AND ") };
+    let sel1 = cols_list("h1", cols);
+    let lead1 = if sel1.is_empty() { String::new() } else { format!("{sel1}, ") };
+    let bs_eq = eq_conds("s", "b", cols);
+    let bs_and = if cols.is_empty() { String::new() } else { format!("{bs_eq} AND ") };
+    let selb = cols_list("b", cols);
+    let leadb = if selb.is_empty() { String::new() } else { format!("{selb}, ") };
+    format!(
+        "DROP TABLE IF EXISTS {out}_sfx;\n\
+         CREATE TABLE {out}_sfx AS SELECT {lead1}h1.end AS end, MAX(h2.act) AS act \
+         FROM {l} h1, {l} h2 WHERE {k12_and}h2.end >= h1.end GROUP BY {group}h1.end;\n\
+         DROP TABLE IF EXISTS {out}_beg;\n\
+         CREATE TABLE {out}_beg AS \
+         SELECT {lead1}h1.end AS end, MAX(h2.end) + 1 AS beg FROM {l} h1, {l} h2 \
+         WHERE {k12_and}h2.end < h1.end GROUP BY {group}h1.end \
+         UNION ALL \
+         SELECT {lead1}h1.end AS end, 1 AS beg FROM {l} h1 \
+         WHERE NOT EXISTS (SELECT * FROM {l} h2 WHERE {k12_and}h2.end < h1.end);\n\
+         DROP TABLE IF EXISTS {out};\n\
+         CREATE TABLE {out} AS SELECT {leadb}b.beg AS beg, b.end AS end, s.act AS act \
+         FROM {out}_beg b, {out}_sfx s WHERE {bs_and}s.end = b.end;",
+        group = qlead("h1", cols),
+    )
+}
+
+/// Script collapsing `exists var`: drop the column, per-point max over the
+/// remaining binding, re-coalesce.
+#[must_use]
+pub fn project_table_script(l: &str, out: &str, cols: &[String], var: &str) -> String {
+    let remaining: Vec<String> = cols.iter().filter(|c| *c != var).cloned().collect();
+    format!(
+        "DROP TABLE IF EXISTS {out}_pts;\n\
+         CREATE TABLE {out}_pts AS SELECT {lead}n.n AS id, t.act AS act FROM {l} t, numbers n \
+         WHERE n.n >= t.beg AND n.n <= t.end;\n\
+         DROP TABLE IF EXISTS {out}_max;\n\
+         CREATE TABLE {out}_max AS SELECT {cols2}id AS id, MAX(act) AS act \
+         FROM {out}_pts GROUP BY {cols2}id;\n{coal}",
+        lead = {
+            let c = cols_list("t", &remaining);
+            if c.is_empty() { c } else { format!("{c}, ") }
+        },
+        cols2 = lead(&remaining),
+        coal = coalesce_keyed(&format!("{out}_max"), out, &remaining),
+    )
+}
+
+/// The SQL-based evaluation system for type (2) (and simpler) formulas:
+/// the paper's "second system".
+pub struct SqlType2System {
+    db: Database,
+    counter: usize,
+    theta: f64,
+}
+
+/// An evaluated subformula: its relation name, binding columns and
+/// maximum similarity.
+#[derive(Debug, Clone)]
+struct Rel {
+    name: String,
+    cols: Vec<String>,
+    max: f64,
+}
+
+impl SqlType2System {
+    /// Creates a system for sequences of length `n` with the given `until`
+    /// threshold.
+    pub fn new(n: u32, theta: f64) -> Result<SqlType2System, SqlError> {
+        let mut db = Database::new();
+        crate::translate::load_numbers(&mut db, n)?;
+        Ok(SqlType2System { db, counter: 0, theta })
+    }
+
+    /// Direct access to the underlying database (for inspection).
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Evaluates a type (2) (or simpler) formula given the similarity
+    /// tables of its atomic units, in `atomic_units(f)` order. Returns the
+    /// final similarity table.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Unsupported`] for freeze quantifiers, level modalities
+    /// or general formulas; any engine error from the scripts.
+    pub fn eval(
+        &mut self,
+        f: &Formula,
+        atoms: &[SimilarityTable],
+    ) -> Result<SimilarityTable, SqlError> {
+        match classify(f) {
+            FormulaClass::NonTemporal | FormulaClass::Type1 | FormulaClass::Type2 => {}
+            other => {
+                return Err(SqlError::Unsupported(format!(
+                    "SQL translation covers type (2) formulas; this one is {other:?}"
+                )))
+            }
+        }
+        let expected = atomic_units(f).len();
+        if atoms.len() != expected {
+            return Err(SqlError::Unsupported(format!(
+                "expected {expected} atomic tables, got {}",
+                atoms.len()
+            )));
+        }
+        let mut iter = atoms.iter();
+        let rel = self.eval_rec(f, &mut iter)?;
+        read_table(&self.db, &rel.name, &rel.cols, rel.max)
+    }
+
+    fn fresh(&mut self, what: &str) -> String {
+        self.counter += 1;
+        format!("t{}_{}", self.counter, what)
+    }
+
+    fn eval_rec<'a>(
+        &mut self,
+        f: &Formula,
+        atoms: &mut impl Iterator<Item = &'a SimilarityTable>,
+    ) -> Result<Rel, SqlError> {
+        if is_pure(f) {
+            let table = atoms
+                .next()
+                .ok_or_else(|| SqlError::Unsupported("missing atomic table".into()))?;
+            let name = self.fresh("atom");
+            load_table(&mut self.db, &name, table)?;
+            return Ok(Rel { name, cols: table.obj_cols.clone(), max: table.max });
+        }
+        match f {
+            Formula::And(g, h) => {
+                let rg = self.eval_rec(g, atoms)?;
+                let rh = self.eval_rec(h, atoms)?;
+                let out = self.fresh("and");
+                let script =
+                    conjunction_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols);
+                self.db.execute_script(&script)?;
+                let (cols, _) = joined_cols(&rg.cols, &rh.cols);
+                Ok(Rel { name: out, cols, max: rg.max + rh.max })
+            }
+            Formula::Until(g, h) => {
+                let rg = self.eval_rec(g, atoms)?;
+                let rh = self.eval_rec(h, atoms)?;
+                let out = self.fresh("until");
+                let cut = self.theta * rg.max - 1e-12;
+                let script =
+                    until_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols, cut);
+                self.db.execute_script(&script)?;
+                let (cols, _) = joined_cols(&rg.cols, &rh.cols);
+                Ok(Rel { name: out, cols, max: rh.max })
+            }
+            Formula::Next(g) => {
+                let rg = self.eval_rec(g, atoms)?;
+                let out = self.fresh("next");
+                self.db.execute_script(&next_table_script(&rg.name, &out, &rg.cols))?;
+                Ok(Rel { name: out, cols: rg.cols, max: rg.max })
+            }
+            Formula::Eventually(g) => {
+                let rg = self.eval_rec(g, atoms)?;
+                let out = self.fresh("ev");
+                self.db
+                    .execute_script(&eventually_table_script(&rg.name, &out, &rg.cols))?;
+                Ok(Rel { name: out, cols: rg.cols, max: rg.max })
+            }
+            Formula::Exists(var, g) => {
+                let rg = self.eval_rec(g, atoms)?;
+                if !rg.cols.contains(&var.0) {
+                    return Ok(rg); // vacuous quantifier
+                }
+                let out = self.fresh("proj");
+                self.db
+                    .execute_script(&project_table_script(&rg.name, &out, &rg.cols, &var.0))?;
+                let cols: Vec<String> =
+                    rg.cols.into_iter().filter(|c| *c != var.0).collect();
+                Ok(Rel { name: out, cols, max: rg.max })
+            }
+            other => Err(SqlError::Unsupported(format!(
+                "operator not in the type (2) translation: {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_core::list;
+    use simvid_htl::parse;
+
+    type RawRows = Vec<(Vec<u64>, Vec<(u32, u32, f64)>)>;
+
+    fn table(cols: &[&str], rows: RawRows, max: f64) -> SimilarityTable {
+        let mut t = SimilarityTable::new(
+            cols.iter().map(|c| (*c).to_owned()).collect(),
+            vec![],
+            max,
+        );
+        for (objs, tuples) in rows {
+            t.push_row(Row {
+                objs: objs.into_iter().map(ObjectId).collect(),
+                ranges: vec![],
+                list: SimilarityList::from_tuples(tuples, max).unwrap(),
+            });
+        }
+        t
+    }
+
+    /// Dense comparison of tables: same bindings, same per-position values.
+    fn assert_tables_agree(a: &SimilarityTable, b: &SimilarityTable, n: usize) {
+        assert_eq!(a.obj_cols, b.obj_cols, "column sets differ");
+        let nonempty =
+            |t: &SimilarityTable| t.rows.iter().filter(|r| !r.list.is_empty()).count();
+        assert_eq!(nonempty(a), nonempty(b), "row counts differ: {a:?} vs {b:?}");
+        for ra in &a.rows {
+            if ra.list.is_empty() {
+                continue;
+            }
+            let rb = b
+                .rows
+                .iter()
+                .find(|r| r.objs == ra.objs)
+                .unwrap_or_else(|| panic!("binding {:?} missing", ra.objs));
+            let (da, db) = (ra.list.to_dense(n), rb.list.to_dense(n));
+            for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "binding {:?}, position {}: {x} vs {y}",
+                    ra.objs,
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_conjunction_matches_direct_join() {
+        let a = table(
+            &["x", "y"],
+            vec![
+                (vec![1, 2], vec![(1, 5, 2.0)]),
+                (vec![1, 3], vec![(4, 8, 1.0)]),
+            ],
+            2.0,
+        );
+        let b = table(
+            &["y", "z"],
+            vec![
+                (vec![2, 9], vec![(3, 6, 3.0)]),
+                (vec![4, 9], vec![(1, 2, 3.0)]),
+            ],
+            3.0,
+        );
+        let direct = a.join(&b, 5.0, list::and);
+        let mut sys = SqlType2System::new(10, 0.5).unwrap();
+        let na = "a_tbl";
+        let nb = "b_tbl";
+        load_table(&mut sys.db, na, &a).unwrap();
+        load_table(&mut sys.db, nb, &b).unwrap();
+        let script = conjunction_table_script(na, nb, "o_tbl", &a.obj_cols, &b.obj_cols);
+        sys.db.execute_script(&script).unwrap();
+        let (cols, _) = joined_cols(&a.obj_cols, &b.obj_cols);
+        let got = read_table(&sys.db, "o_tbl", &cols, 5.0).unwrap();
+        assert_tables_agree(&direct, &got, 10);
+    }
+
+    #[test]
+    fn keyed_until_matches_direct_join() {
+        let g = table(
+            &["x"],
+            vec![
+                (vec![1], vec![(1, 6, 1.0)]),
+                (vec![2], vec![(2, 3, 0.2)]),
+            ],
+            1.0,
+        );
+        let h = table(
+            &["x"],
+            vec![
+                (vec![1], vec![(7, 8, 4.0)]),
+                (vec![2], vec![(8, 8, 2.0)]),
+            ],
+            4.0,
+        );
+        let theta = 0.5;
+        let direct = g.join(&h, 4.0, |a, b| list::until(a, b, theta));
+        let mut sys = SqlType2System::new(10, theta).unwrap();
+        load_table(&mut sys.db, "g_tbl", &g).unwrap();
+        load_table(&mut sys.db, "h_tbl", &h).unwrap();
+        let cut = theta * g.max - 1e-12;
+        let script = until_table_script("g_tbl", "h_tbl", "u_tbl", &g.obj_cols, &h.obj_cols, cut);
+        sys.db.execute_script(&script).unwrap();
+        let got = read_table(&sys.db, "u_tbl", &g.obj_cols, 4.0).unwrap();
+        assert_tables_agree(&direct, &got, 10);
+    }
+
+    #[test]
+    fn projection_matches_direct_collapse() {
+        let t = table(
+            &["x", "y"],
+            vec![
+                (vec![1, 2], vec![(1, 5, 2.0)]),
+                (vec![1, 3], vec![(4, 8, 1.0)]),
+                (vec![7, 3], vec![(2, 2, 3.0)]),
+            ],
+            3.0,
+        );
+        let direct = t.clone().project_out_obj("y");
+        let mut sys = SqlType2System::new(10, 0.5).unwrap();
+        load_table(&mut sys.db, "t_tbl", &t).unwrap();
+        sys.db
+            .execute_script(&project_table_script("t_tbl", "p_tbl", &t.obj_cols, "y"))
+            .unwrap();
+        let got = read_table(&sys.db, "p_tbl", &["x".to_owned()], 3.0).unwrap();
+        assert_tables_agree(&direct, &got, 10);
+    }
+
+    #[test]
+    fn full_type2_formula_via_sql_system() {
+        // exists x . exists y . (p(x,y) and eventually q(y))
+        let f = parse("exists x . exists y . p(x, y) and eventually q(y)").unwrap();
+        let p = table(
+            &["x", "y"],
+            vec![
+                (vec![1, 2], vec![(1, 3, 1.0)]),
+                (vec![4, 5], vec![(2, 6, 0.5)]),
+            ],
+            1.0,
+        );
+        let q = table(
+            &["y"],
+            vec![(vec![2], vec![(5, 5, 2.0)]), (vec![5], vec![(9, 9, 1.0)])],
+            2.0,
+        );
+        let mut sys = SqlType2System::new(10, 0.5).unwrap();
+        let got = sys.eval(&f, &[p.clone(), q.clone()]).unwrap();
+
+        // Direct computation for comparison.
+        let qe = q.map_lists(2.0, list::eventually);
+        let joined = p.join(&qe, 3.0, list::and);
+        let direct = joined.project_out_obj("x").project_out_obj("y");
+        assert_tables_agree(&direct, &got, 10);
+        // The closed result is a single list.
+        assert!(got.is_closed());
+    }
+
+    #[test]
+    fn unsupported_classes_rejected() {
+        let mut sys = SqlType2System::new(10, 0.5).unwrap();
+        let f = parse("[h := height(z)] eventually height(z) > h").unwrap();
+        assert!(matches!(
+            sys.eval(&f, &[]),
+            Err(SqlError::Unsupported(_))
+        ));
+        let f = parse("at shot level p()").unwrap();
+        assert!(sys.eval(&f, &[]).is_err());
+    }
+
+    #[test]
+    fn keyed_eventually_and_next() {
+        let t = table(
+            &["x"],
+            vec![
+                (vec![1], vec![(3, 4, 2.0), (8, 8, 5.0)]),
+                (vec![2], vec![(2, 2, 1.0)]),
+            ],
+            5.0,
+        );
+        let mut sys = SqlType2System::new(10, 0.5).unwrap();
+        load_table(&mut sys.db, "t_ev", &t).unwrap();
+        sys.db
+            .execute_script(&eventually_table_script("t_ev", "o_ev", &t.obj_cols))
+            .unwrap();
+        let got = read_table(&sys.db, "o_ev", &t.obj_cols, 5.0).unwrap();
+        let direct = t.clone().map_lists(5.0, list::eventually);
+        assert_tables_agree(&direct, &got, 10);
+
+        sys.db
+            .execute_script(&next_table_script("t_ev", "o_nx", &t.obj_cols))
+            .unwrap();
+        let got = read_table(&sys.db, "o_nx", &t.obj_cols, 5.0).unwrap();
+        let direct = t.map_lists(5.0, list::next);
+        assert_tables_agree(&direct, &got, 10);
+    }
+}

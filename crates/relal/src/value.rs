@@ -1,0 +1,140 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A SQL value. The engine has no NULL: every column of every row holds a
+/// concrete value (the translation scripts never need missing data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float (never NaN; arithmetic producing NaN errors instead).
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Numeric view, if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view, if an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: numerics compare numerically across Int/Float;
+    /// strings compare lexicographically; mixed string/number is an error
+    /// (`None`).
+    #[must_use]
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// SQL equality (numeric coercion applies).
+    #[must_use]
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A hashable key over values, used by hash joins, `GROUP BY` and
+/// `EXISTS` probes. Numeric values hash by their `f64` image so that
+/// `Int(1)` and `Float(1.0)` collide (matching [`Value::sql_eq`]).
+#[derive(Debug, Clone)]
+pub struct Key(pub Vec<Value>);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Key) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.sql_eq(b))
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            match v {
+                Value::Str(s) => {
+                    state.write_u8(2);
+                    s.hash(state);
+                }
+                other => {
+                    state.write_u8(1);
+                    let f = other.as_f64().expect("numeric");
+                    // Normalise -0.0 so it collides with 0.0.
+                    let f = if f == 0.0 { 0.0 } else { f };
+                    state.write_u64(f.to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn numeric_coercion_in_comparisons() {
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn keys_collide_across_numeric_types() {
+        let mut set = HashSet::new();
+        set.insert(Key(vec![Value::Int(1), Value::Str("x".into())]));
+        assert!(set.contains(&Key(vec![Value::Float(1.0), Value::Str("x".into())])));
+        assert!(!set.contains(&Key(vec![Value::Float(1.5), Value::Str("x".into())])));
+    }
+
+    #[test]
+    fn negative_zero_normalised() {
+        let mut set = HashSet::new();
+        set.insert(Key(vec![Value::Float(0.0)]));
+        assert!(set.contains(&Key(vec![Value::Float(-0.0)])));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("a".into()).to_string(), "'a'");
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness: the SQL parser never panics; whatever parses either
+//! executes or fails with a typed error (no internal panics end to end).
+
+use proptest::prelude::*;
+use simvid_relal::{parse_script, Database};
+
+fn token_soup() -> impl Strategy<Value = String> {
+    let token = prop::sample::select(vec![
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "UNION", "ALL", "CREATE", "TABLE",
+        "AS", "DROP", "IF", "EXISTS", "NOT", "INSERT", "INTO", "VALUES", "AND", "OR", "MIN",
+        "MAX", "SUM", "COUNT", "LEAST", "INDEX", "ON", "INT", "FLOAT", "TEXT", "t", "x", "y",
+        "(", ")", ",", ".", ";", "*", "+", "-", "/", "=", "<>", "<", "<=", ">", ">=", "'s'",
+        "1", "2.5",
+    ]);
+    prop::collection::vec(token, 0..20).prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(s in "\\PC{0,50}") {
+        let _ = parse_script(&s);
+    }
+
+    #[test]
+    fn parse_and_execute_never_panic_on_token_soup(s in token_soup()) {
+        // Parsing must not panic; execution of whatever parses must return
+        // a typed error or succeed against a tiny database.
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (x INT, y FLOAT); INSERT INTO t VALUES (1, 2.0);")
+            .unwrap();
+        let _ = db.execute_script(&s);
+    }
+
+    #[test]
+    fn error_positions_are_in_range(s in "[a-zA-Z(),.;*<>=' 0-9]{0,40}") {
+        if let Err(simvid_relal::SqlError::Parse { pos, .. }) = parse_script(&s) {
+            prop_assert!(pos <= s.len());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the keyed SQL translation agrees with the direct table
+//! algebra on random binding tables.
+
+use proptest::prelude::*;
+use simvid_core::{list, SimilarityTable};
+use simvid_relal::translate;
+use simvid_relal::translate_table::{
+    conjunction_table_script, eventually_table_script, load_table, next_table_script,
+    project_table_script, read_table, until_table_script,
+};
+use simvid_relal::Database;
+use simvid_workload::randomlists::ListGenConfig;
+use simvid_workload::randomtables::{generate, TableGenConfig};
+
+const N: u32 = 40;
+const THETA: f64 = 0.5;
+
+fn cfg(cols: &[&str], rows: usize, seed_max: f64) -> TableGenConfig {
+    TableGenConfig {
+        cols: cols.iter().map(|c| (*c).to_owned()).collect(),
+        rows,
+        universe: 4,
+        lists: ListGenConfig { n: N, coverage: 0.3, mean_run: 3.0, max_sim: seed_max },
+    }
+}
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    translate::load_numbers(&mut db, N).unwrap();
+    db
+}
+
+fn assert_tables_agree(direct: &SimilarityTable, sql: &SimilarityTable, what: &str) {
+    let nonempty = |t: &SimilarityTable| t.rows.iter().filter(|r| !r.list.is_empty()).count();
+    assert_eq!(nonempty(direct), nonempty(sql), "{what}: row counts");
+    for ra in &direct.rows {
+        if ra.list.is_empty() {
+            continue;
+        }
+        let rb = sql
+            .rows
+            .iter()
+            .find(|r| r.objs == ra.objs)
+            .unwrap_or_else(|| panic!("{what}: binding {:?} missing from SQL side", ra.objs));
+        let (da, db) = (ra.list.to_dense(N as usize), rb.list.to_dense(N as usize));
+        for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "{what}: binding {:?} position {}: {x} vs {y}",
+                ra.objs,
+                i + 1
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn keyed_conjunction_random(seed in 0u64..10_000) {
+        let a = generate(&cfg(&["x", "y"], 4, 2.0), seed);
+        let b = generate(&cfg(&["y", "z"], 4, 3.0), seed ^ 0xdead);
+        let direct = a.join(&b, 5.0, list::and);
+        let mut db = fresh_db();
+        load_table(&mut db, "a_t", &a).unwrap();
+        load_table(&mut db, "b_t", &b).unwrap();
+        db.execute_script(&conjunction_table_script("a_t", "b_t", "o_t", &a.obj_cols, &b.obj_cols))
+            .unwrap();
+        let cols = ["x", "y", "z"].map(str::to_owned).to_vec();
+        let got = read_table(&db, "o_t", &cols, 5.0).unwrap();
+        assert_tables_agree(&direct, &got, "conjunction");
+    }
+
+    #[test]
+    fn keyed_until_random(seed in 0u64..10_000) {
+        let g = generate(&cfg(&["x"], 3, 1.0), seed);
+        let h = generate(&cfg(&["x"], 3, 4.0), seed ^ 0xbeef);
+        let direct = g.join(&h, 4.0, |a, b| list::until(a, b, THETA));
+        let mut db = fresh_db();
+        load_table(&mut db, "g_t", &g).unwrap();
+        load_table(&mut db, "h_t", &h).unwrap();
+        let cut = THETA * g.max - 1e-12;
+        db.execute_script(&until_table_script("g_t", "h_t", "u_t", &g.obj_cols, &h.obj_cols, cut))
+            .unwrap();
+        let got = read_table(&db, "u_t", &g.obj_cols, 4.0).unwrap();
+        assert_tables_agree(&direct, &got, "until");
+    }
+
+    #[test]
+    fn keyed_unary_ops_random(seed in 0u64..10_000) {
+        let t = generate(&cfg(&["x"], 4, 2.5), seed);
+        let mut db = fresh_db();
+        load_table(&mut db, "t_t", &t).unwrap();
+
+        db.execute_script(&eventually_table_script("t_t", "ev_t", &t.obj_cols)).unwrap();
+        let got = read_table(&db, "ev_t", &t.obj_cols, 2.5).unwrap();
+        assert_tables_agree(&t.clone().map_lists(2.5, list::eventually), &got, "eventually");
+
+        db.execute_script(&next_table_script("t_t", "nx_t", &t.obj_cols)).unwrap();
+        let got = read_table(&db, "nx_t", &t.obj_cols, 2.5).unwrap();
+        assert_tables_agree(&t.clone().map_lists(2.5, list::next), &got, "next");
+
+        db.execute_script(&project_table_script("t_t", "pj_t", &t.obj_cols, "x")).unwrap();
+        let got = read_table(&db, "pj_t", &[], 2.5).unwrap();
+        assert_tables_agree(&t.clone().project_out_obj("x"), &got, "project");
+    }
+}

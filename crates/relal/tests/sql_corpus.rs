@@ -1,0 +1,339 @@
+//! A corpus of small SQL scenarios exercising the engine's surface:
+//! expressions, joins, grouping, ordering, set operations, DDL/DML
+//! interactions and error handling.
+
+use simvid_relal::{ColType, Database, SqlError, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary FLOAT);
+         INSERT INTO emp VALUES
+           (1, 'ada', 'eng', 120.0),
+           (2, 'bob', 'eng', 95.5),
+           (3, 'cyd', 'ops', 80.0),
+           (4, 'dee', 'ops', 80.0),
+           (5, 'eli', 'mgmt', 200.0);",
+    )
+    .unwrap();
+    db
+}
+
+fn ints(rs: &simvid_relal::ResultSet, col: usize) -> Vec<i64> {
+    rs.rows.iter().map(|r| r[col].as_int().unwrap()).collect()
+}
+
+#[test]
+fn where_with_boolean_combinations() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT id FROM emp WHERE dept = 'eng' OR salary > 150.0 ORDER BY id")
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 0), vec![1, 2, 5]);
+    let rs = db
+        .execute("SELECT id FROM emp WHERE NOT (dept = 'eng') AND salary >= 80.0 ORDER BY id")
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 0), vec![3, 4, 5]);
+}
+
+#[test]
+fn arithmetic_precedence_in_projection() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT id + 2 * 3, (id + 2) * 3 FROM emp WHERE id = 1")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Int(7), Value::Int(9)]);
+}
+
+#[test]
+fn multi_key_order_by_with_directions() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT dept, id FROM emp ORDER BY dept ASC, id DESC")
+        .unwrap()
+        .unwrap();
+    let pairs: Vec<(String, i64)> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            let Value::Str(d) = &r[0] else { panic!() };
+            (d.clone(), r[1].as_int().unwrap())
+        })
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![
+            ("eng".into(), 2),
+            ("eng".into(), 1),
+            ("mgmt".into(), 5),
+            ("ops".into(), 4),
+            ("ops".into(), 3)
+        ]
+    );
+}
+
+#[test]
+fn order_by_column_position() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT salary, id FROM emp ORDER BY 1 DESC, 2")
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 1), vec![5, 1, 2, 3, 4]);
+}
+
+#[test]
+fn group_by_expression_key() {
+    let mut db = db();
+    // Group by a computed bucket: salary rounded down to hundreds.
+    let rs = db
+        .execute(
+            "SELECT COUNT(*) AS c FROM emp GROUP BY salary >= 100.0 ORDER BY c",
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 0), vec![2, 3]);
+}
+
+#[test]
+fn count_distinct_groups_and_global() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 1), vec![2, 1, 2]);
+    let rs = db.execute("SELECT COUNT(*) FROM emp").unwrap().unwrap();
+    assert_eq!(ints(&rs, 0), vec![5]);
+}
+
+#[test]
+fn self_join_with_theta_condition() {
+    let mut db = db();
+    // Pairs of employees in the same dept with the first earning more.
+    let rs = db
+        .execute(
+            "SELECT a.id AS aid, b.id AS bid FROM emp a, emp b \
+             WHERE a.dept = b.dept AND a.salary > b.salary ORDER BY aid",
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(2)]);
+}
+
+#[test]
+fn three_way_join() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE dept (name TEXT, floor INT);
+         INSERT INTO dept VALUES ('eng', 3), ('ops', 1), ('mgmt', 5);
+         CREATE TABLE floors (floor INT, city TEXT);
+         INSERT INTO floors VALUES (3, 'zurich'), (1, 'basel'), (5, 'zug');",
+    )
+    .unwrap();
+    let rs = db
+        .execute(
+            "SELECT e.name, f.city FROM emp e, dept d, floors f \
+             WHERE e.dept = d.name AND d.floor = f.floor AND e.salary > 100.0 \
+             ORDER BY e.name",
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][1], Value::Str("zurich".into()));
+    assert_eq!(rs.rows[1][1], Value::Str("zug".into()));
+}
+
+#[test]
+fn union_all_promotes_int_to_float() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT id FROM emp WHERE id = 1 UNION ALL SELECT salary FROM emp WHERE id = 3")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.types[0], ColType::Float);
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn union_all_rejects_mixed_text_and_number() {
+    let mut db = db();
+    assert!(matches!(
+        db.execute("SELECT id FROM emp UNION ALL SELECT name FROM emp"),
+        Err(SqlError::Schema(_))
+    ));
+}
+
+#[test]
+fn strings_compare_lexicographically() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT id FROM emp WHERE name < 'cyd' ORDER BY id")
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 0), vec![1, 2]);
+}
+
+#[test]
+fn create_table_as_preserves_group_types() {
+    let mut db = db();
+    db.execute("CREATE TABLE summary AS SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept")
+        .unwrap();
+    let t = db.table("summary").unwrap();
+    assert_eq!(t.schema.cols[0].ty, ColType::Text);
+    assert_eq!(t.schema.cols[1].ty, ColType::Float);
+    assert_eq!(t.len(), 3);
+}
+
+#[test]
+fn insert_select_appends_with_coercion() {
+    let mut db = db();
+    db.execute("CREATE TABLE pay (amount FLOAT)").unwrap();
+    db.execute("INSERT INTO pay SELECT id FROM emp WHERE id <= 2").unwrap();
+    let t = db.table("pay").unwrap();
+    assert_eq!(t.rows[0][0], Value::Float(1.0));
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+fn exists_against_empty_table() {
+    let mut db = db();
+    db.execute("CREATE TABLE ghost (id INT)").unwrap();
+    let rs = db
+        .execute("SELECT id FROM emp WHERE NOT EXISTS (SELECT * FROM ghost WHERE ghost.id = emp.id)")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows.len(), 5, "NOT EXISTS over empty keeps everything");
+    let rs = db
+        .execute("SELECT id FROM emp WHERE EXISTS (SELECT * FROM ghost WHERE ghost.id = emp.id)")
+        .unwrap()
+        .unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn uncorrelated_exists() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT id FROM emp WHERE EXISTS (SELECT * FROM emp e2 WHERE e2.salary > 199.0)")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows.len(), 5);
+}
+
+#[test]
+fn least_greatest_mixed_types() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT LEAST(salary, 100), GREATEST(salary, 100) FROM emp WHERE id = 1")
+        .unwrap()
+        .unwrap();
+    // Projection coerces to the inferred (promoted) float column type.
+    assert_eq!(rs.rows[0][0], Value::Float(100.0));
+    assert_eq!(rs.rows[0][1], Value::Float(120.0));
+}
+
+#[test]
+fn abs_function() {
+    let mut db = db();
+    let rs = db
+        .execute("SELECT ABS(0 - id), ABS(salary - 200.0) FROM emp WHERE id = 5")
+        .unwrap()
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Int(5), Value::Float(0.0)]);
+}
+
+#[test]
+fn quoted_strings_with_embedded_quotes() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE q (s TEXT); INSERT INTO q VALUES ('it''s');")
+        .unwrap();
+    let rs = db.execute("SELECT s FROM q WHERE s = 'it''s'").unwrap().unwrap();
+    assert_eq!(rs.rows[0][0], Value::Str("it's".into()));
+}
+
+#[test]
+fn duplicate_alias_rejected() {
+    let mut db = db();
+    assert!(db.execute("SELECT * FROM emp e, emp e").is_err());
+}
+
+#[test]
+fn type_errors_surface() {
+    let mut db = db();
+    assert!(matches!(
+        db.execute("SELECT id + name FROM emp"),
+        Err(SqlError::Type(_))
+    ));
+    assert!(matches!(
+        db.execute("SELECT id FROM emp WHERE name > 3"),
+        Err(SqlError::Type(_))
+    ));
+}
+
+#[test]
+fn comments_in_scripts() {
+    let mut db = db();
+    let rs = db
+        .execute(
+            "SELECT id -- trailing comment\nFROM emp -- another\nWHERE id = 1",
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(ints(&rs, 0), vec![1]);
+}
+
+#[test]
+fn statement_count_tracks_executions() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT x FROM t;")
+        .unwrap();
+    assert_eq!(db.statements_executed(), 3);
+}
+
+#[test]
+fn planner_traces_show_strategy_selection() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE nums (n INT);
+         INSERT INTO nums VALUES (1), (2), (3), (4), (5);",
+    )
+    .unwrap();
+    db.create_index("nums", "n").unwrap();
+
+    // Equality predicate: hash join.
+    let (_, trace) = db
+        .execute_traced("SELECT e.id FROM emp e, emp f WHERE e.dept = f.dept")
+        .unwrap();
+    assert!(trace.iter().any(|t| t.contains("hash join")), "{trace:?}");
+
+    // Two range bounds against the indexed column: index range join.
+    let (_, trace) = db
+        .execute_traced(
+            "SELECT n.n FROM emp e, nums n WHERE n.n >= e.id AND n.n <= e.id + 1",
+        )
+        .unwrap();
+    assert!(
+        trace.iter().any(|t| t.contains("index range join on `n`")),
+        "{trace:?}"
+    );
+
+    // No usable pattern: nested loop.
+    let (_, trace) = db
+        .execute_traced("SELECT e.id FROM emp e, emp f WHERE e.salary > f.salary")
+        .unwrap();
+    assert!(trace.iter().any(|t| t.contains("nested loop")), "{trace:?}");
+
+    // First table is always a scan.
+    assert!(trace.first().unwrap().contains("scan"), "{trace:?}");
+}
+
+#[test]
+fn traced_rejects_non_select() {
+    let mut db = db();
+    assert!(db.execute_traced("DROP TABLE emp").is_err());
+}

@@ -1,0 +1,193 @@
+//! The Casablanca fixture (§4.1).
+//!
+//! The paper's real data — the video itself and the manually entered
+//! meta-data — is not available. What *is* printed are the similarity
+//! tables the picture system produced for the two atomic predicates
+//! (`Moving-Train`, Table 1; `Man-Woman`, Table 2), and all the evaluated
+//! results (Tables 3–4) are functions of those tables. This module crafts
+//! a 50-shot synthetic video plus scoring weights under which our picture
+//! system reproduces Tables 1 and 2 exactly, so the whole pipeline
+//! (meta-data → indices → atomic lists → temporal combination → ranking)
+//! can be exercised end to end against the paper's numbers.
+
+use simvid_htl::{parse, Formula};
+use simvid_model::{VideoBuilder, VideoTree};
+use simvid_picture::ScoringConfig;
+
+/// Number of shots after cut detection ("we had 50 shots").
+pub const SHOT_COUNT: usize = 50;
+
+/// Table 1: the `Moving-Train` similarity list, `(beg, end, act)`.
+pub const TABLE1_MOVING_TRAIN: &[(u32, u32, f64)] = &[(9, 9, 9.787)];
+
+/// Maximum similarity of the `Moving-Train` predicate.
+pub const MOVING_TRAIN_MAX: f64 = 9.787;
+
+/// Table 2: the `Man-Woman` similarity list. "The entries in this table
+/// having lower similarity values correspond to pictures/shots containing
+/// two men instead of a man and a woman."
+pub const TABLE2_MAN_WOMAN: &[(u32, u32, f64)] = &[
+    (1, 4, 2.595),
+    (6, 6, 1.26),
+    (8, 8, 1.26),
+    (10, 44, 1.26),
+    (47, 49, 6.26),
+];
+
+/// Maximum similarity of the `Man-Woman` predicate.
+pub const MAN_WOMAN_MAX: f64 = 6.26;
+
+/// Table 3: `eventually Moving-Train`.
+pub const TABLE3_EVENTUALLY: &[(u32, u32, f64)] = &[(1, 9, 9.787)];
+
+/// Table 4: the final result of Query 1 in ranked order
+/// (`start, end, similarity`).
+pub const TABLE4_QUERY1_RANKED: &[(u32, u32, f64)] = &[
+    (1, 4, 12.382),
+    (6, 6, 11.047),
+    (8, 8, 11.047),
+    (5, 5, 9.787),
+    (7, 7, 9.787),
+    (9, 9, 9.787),
+    (47, 49, 6.26),
+    (10, 44, 1.26),
+];
+
+/// The final Query 1 list in temporal order (before ranking).
+pub const QUERY1_LIST: &[(u32, u32, f64)] = &[
+    (1, 4, 12.382),
+    (5, 5, 9.787),
+    (6, 6, 11.047),
+    (7, 7, 9.787),
+    (8, 8, 11.047),
+    (9, 9, 9.787),
+    (10, 44, 1.26),
+    (47, 49, 6.26),
+];
+
+/// Scoring weights under which the crafted meta-data reproduces Tables 1–2.
+///
+/// * `Man-Woman` = 2·person + male + female + near
+///   = 1.0 + 0.26 + 1.335 + 3.665 = 6.26 (the class predicate `person(x)`
+///   already requires presence, so no separate `present` conjunct — that
+///   keeps object-bearing but person-free shots, like the train shot, out
+///   of the table as in the paper);
+/// * two men score 2·person + male = 1.26;
+/// * man + woman apart score 1.26 + female = 2.595;
+/// * `Moving-Train` = train + moving = 5.0 + 4.787 = 9.787.
+#[must_use]
+pub fn weights() -> ScoringConfig {
+    ScoringConfig::default()
+        .with_weight("person", 0.5)
+        .with_weight("male", 0.26)
+        .with_weight("female", 1.335)
+        .with_weight("near", 3.665)
+        .with_weight("train", 5.0)
+        .with_weight("moving", 4.787)
+}
+
+/// The `Man-Woman` atomic predicate as an HTL formula.
+#[must_use]
+pub fn man_woman() -> Formula {
+    parse(
+        "exists x . exists y . person(x) and person(y) \
+         and male(x) and female(y) and near(x, y)",
+    )
+    .expect("fixture formula parses")
+}
+
+/// The `Moving-Train` atomic predicate as an HTL formula.
+#[must_use]
+pub fn moving_train() -> Formula {
+    parse("exists t . train(t) and moving(t)").expect("fixture formula parses")
+}
+
+/// Query 1: `Man-Woman and eventually Moving-Train`.
+#[must_use]
+pub fn query1() -> Formula {
+    man_woman().and(moving_train().eventually())
+}
+
+/// Builds the 50-shot video. Object cast: Rick (o1, male lead), Ilsa (o2,
+/// female lead), Sam and Louis (o3, o4, the "two men"), and the train (o5).
+#[must_use]
+pub fn video() -> VideoTree {
+    let mut b = VideoBuilder::new("The Making of Casablanca");
+    b.set_level_names(["video", "shot"]);
+    b.segment_attr("type", simvid_model::AttrValue::from("documentary"));
+
+    let man_and_woman_apart = |b: &mut VideoBuilder| {
+        let rick = b.object(1, "person", Some("Rick"));
+        let ilsa = b.object(2, "person", Some("Ilsa"));
+        b.relationship("male", [rick]);
+        b.relationship("female", [ilsa]);
+    };
+    let two_men = |b: &mut VideoBuilder| {
+        let sam = b.object(3, "person", Some("Sam"));
+        let louis = b.object(4, "person", Some("Louis"));
+        b.relationship("male", [sam]);
+        b.relationship("male", [louis]);
+    };
+    let couple_near = |b: &mut VideoBuilder| {
+        let rick = b.object(1, "person", Some("Rick"));
+        let ilsa = b.object(2, "person", Some("Ilsa"));
+        b.relationship("male", [rick]);
+        b.relationship("female", [ilsa]);
+        b.relationship("near", [rick, ilsa]);
+    };
+
+    for shot in 1..=SHOT_COUNT as u32 {
+        b.child(format!("shot{shot}"));
+        match shot {
+            1..=4 => man_and_woman_apart(&mut b),
+            6 | 8 => two_men(&mut b),
+            9 => {
+                let train = b.object(5, "train", None);
+                b.relationship("moving", [train]);
+            }
+            10..=44 => two_men(&mut b),
+            47..=49 => couple_near(&mut b),
+            _ => {} // 5, 7, 45, 46, 50: nothing relevant entered
+        }
+        b.up();
+    }
+    b.finish().expect("fixture video is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_picture::PictureSystem;
+
+    fn approx(got: &[(u32, u32, f64)], want: &[(u32, u32, f64)]) {
+        assert_eq!(got.len(), want.len(), "got {got:?}, want {want:?}");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!((g.0, g.1), (w.0, w.1), "got {got:?}, want {want:?}");
+            assert!((g.2 - w.2).abs() < 1e-9, "got {got:?}, want {want:?}");
+        }
+    }
+
+    #[test]
+    fn picture_system_reproduces_table1() {
+        let tree = video();
+        let sys = PictureSystem::new(&tree, weights());
+        let l = sys.query_closed(&moving_train(), 1).unwrap().coalesce();
+        approx(&l.to_tuples(), TABLE1_MOVING_TRAIN);
+        assert!((l.max() - MOVING_TRAIN_MAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picture_system_reproduces_table2() {
+        let tree = video();
+        let sys = PictureSystem::new(&tree, weights());
+        let l = sys.query_closed(&man_woman(), 1).unwrap().coalesce();
+        approx(&l.to_tuples(), TABLE2_MAN_WOMAN);
+        assert!((l.max() - MAN_WOMAN_MAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn video_has_fifty_shots() {
+        let tree = video();
+        assert_eq!(tree.level_sequence(1).len(), SHOT_COUNT);
+    }
+}

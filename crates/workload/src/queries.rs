@@ -1,0 +1,96 @@
+//! The query zoo: the paper's example formulas and the performance
+//! workloads of §4.2.
+
+use simvid_htl::{parse, Formula};
+
+/// Formula (A), §2.4: "the sequence starts with a shot in which some
+/// planes are on the ground, followed immediately by a sequence of shots
+/// in which some planes are in the air until a shot in which a plane was
+/// shot down", asserted at the shot level.
+#[must_use]
+pub fn formula_a() -> Formula {
+    parse(
+        "at shot level ((exists p . type(p) = \"airplane\" and on_ground(p)) and \
+         next ((exists q . type(q) = \"airplane\" and in_air(q)) until \
+         (exists r . type(r) = \"airplane\" and shot_down(r))))",
+    )
+    .expect("formula A parses")
+}
+
+/// Formula (B), §2.4: John Wayne shoots a bandit — three frames: both hold
+/// guns, John fires at the bandit, the bandit is on the floor.
+#[must_use]
+pub fn formula_b() -> Formula {
+    parse(
+        "exists x . exists y . \
+         (present(x) and present(y) and person(x) and person(y) and \
+          name(x) = \"John Wayne\" and bandit(y) and holds_gun(x) and holds_gun(y)) \
+         and eventually ((present(x) and present(y) and fires_at(x, y)) \
+         and eventually (present(y) and on_floor(y)))",
+    )
+    .expect("formula B parses")
+}
+
+/// Formula (C), §2.4: a plane appears, and later the same plane appears at
+/// a greater height (the freeze-quantifier example).
+#[must_use]
+pub fn formula_c() -> Formula {
+    parse(
+        "exists z . present(z) and type(z) = \"airplane\" and \
+         [h := height(z)] eventually (present(z) and height(z) > h)",
+    )
+    .expect("formula C parses")
+}
+
+/// The §4.2 performance formula `P1 ∧ P2` over two abstract atomic
+/// predicates.
+#[must_use]
+pub fn p1_and_p2() -> Formula {
+    parse("P1() and P2()").expect("parses")
+}
+
+/// The §4.2 performance formula `P1 until P2`.
+#[must_use]
+pub fn p1_until_p2() -> Formula {
+    parse("P1() until P2()").expect("parses")
+}
+
+/// One of the paper's "two other more complex formulas" (results reported
+/// as consistent with the simple ones): `(P1 ∧ P2) until P3`.
+#[must_use]
+pub fn complex_1() -> Formula {
+    parse("(P1() and P2()) until P3()").expect("parses")
+}
+
+/// The second complex formula: `P1 ∧ eventually (P2 until P3)`.
+#[must_use]
+pub fn complex_2() -> Formula {
+    parse("P1() and eventually (P2() until P3())").expect("parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_htl::{classify, FormulaClass};
+
+    #[test]
+    fn formula_classes_match_the_paper() {
+        // (A) without its level prefix is type (1); with it, extended.
+        assert_eq!(classify(&formula_a()), FormulaClass::ExtendedConjunctive);
+        assert_eq!(classify(&formula_b()), FormulaClass::Type2);
+        assert_eq!(classify(&formula_c()), FormulaClass::Conjunctive);
+        // P1 ∧ P2 has no temporal operator at all — the smallest class.
+        assert_eq!(classify(&p1_and_p2()), FormulaClass::NonTemporal);
+        assert_eq!(classify(&p1_until_p2()), FormulaClass::Type1);
+        assert_eq!(classify(&complex_1()), FormulaClass::Type1);
+        assert_eq!(classify(&complex_2()), FormulaClass::Type1);
+    }
+
+    #[test]
+    fn formulas_round_trip_through_printing() {
+        for f in [formula_a(), formula_b(), formula_c(), complex_1(), complex_2()] {
+            let reparsed = parse(&f.to_string()).unwrap();
+            assert_eq!(f, reparsed);
+        }
+    }
+}

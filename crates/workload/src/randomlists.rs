@@ -1,0 +1,117 @@
+//! Seeded random similarity lists (the §4.2 synthetic workload).
+//!
+//! "Since we do not have access to large amount of real world data, we
+//! compared the performance of the two approaches on randomly generated
+//! data. … the first column corresponds to the size, which is the number
+//! of shots in the movie; approximately about one tenth of these shots
+//! satisfy the atomic predicates P1 and P2."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simvid_core::SimilarityList;
+
+/// Parameters of the random list generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ListGenConfig {
+    /// Sequence length (the paper's "size" — number of shots).
+    pub n: u32,
+    /// Fraction of shots with non-zero similarity (paper: ~0.1).
+    pub coverage: f64,
+    /// Mean length of a satisfied run (consecutive shots sharing one
+    /// interval entry).
+    pub mean_run: f64,
+    /// Maximum similarity of the simulated predicate.
+    pub max_sim: f64,
+}
+
+impl Default for ListGenConfig {
+    fn default() -> Self {
+        ListGenConfig { n: 10_000, coverage: 0.1, mean_run: 10.0, max_sim: 10.0 }
+    }
+}
+
+impl ListGenConfig {
+    /// Same parameters, different size.
+    #[must_use]
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n = n;
+        self
+    }
+}
+
+/// Samples a geometric-ish positive length with the given mean.
+fn sample_len(rng: &mut StdRng, mean: f64) -> u32 {
+    // Geometric with success probability 1/mean, shifted to be >= 1.
+    let p = 1.0 / mean.max(1.0);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let len = (1.0 - u).ln() / (1.0 - p).ln();
+    (len.floor() as u32).saturating_add(1)
+}
+
+/// Generates a random similarity list: alternating gaps and satisfied runs
+/// whose expected lengths realise the requested coverage. Deterministic in
+/// the seed.
+#[must_use]
+pub fn generate(cfg: &ListGenConfig, seed: u64) -> SimilarityList {
+    assert!(cfg.coverage > 0.0 && cfg.coverage < 1.0, "coverage in (0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap = cfg.mean_run * (1.0 - cfg.coverage) / cfg.coverage;
+    let mut tuples: Vec<(u32, u32, f64)> = Vec::new();
+    let mut pos: u32 = 1;
+    loop {
+        let gap = sample_len(&mut rng, mean_gap);
+        pos = pos.saturating_add(gap);
+        if pos > cfg.n {
+            break;
+        }
+        let run = sample_len(&mut rng, cfg.mean_run).min(cfg.n - pos + 1);
+        let act = rng.gen_range(0.05..=1.0) * cfg.max_sim;
+        tuples.push((pos, pos + run - 1, act));
+        pos += run + 1; // +1 keeps entries non-adjacent (distinct entries)
+    }
+    SimilarityList::from_tuples(tuples, cfg.max_sim).expect("generated entries are disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ListGenConfig::default().with_n(5_000);
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 43);
+        assert_ne!(a.to_tuples(), c.to_tuples());
+    }
+
+    #[test]
+    fn respects_bounds_and_invariants() {
+        let cfg = ListGenConfig { n: 2_000, coverage: 0.2, mean_run: 5.0, max_sim: 3.0 };
+        let l = generate(&cfg, 7);
+        l.check_invariants().unwrap();
+        let last = l.entries().last().unwrap();
+        assert!(last.iv.end <= cfg.n);
+        assert!(l.entries().iter().all(|e| e.act > 0.0 && e.act <= 3.0));
+    }
+
+    #[test]
+    fn coverage_is_approximately_requested() {
+        let cfg = ListGenConfig { n: 100_000, coverage: 0.1, mean_run: 10.0, max_sim: 1.0 };
+        let l = generate(&cfg, 1);
+        let cov = l.coverage() as f64 / f64::from(cfg.n);
+        assert!(
+            (0.05..=0.2).contains(&cov),
+            "coverage {cov} too far from requested 0.1"
+        );
+    }
+
+    #[test]
+    fn entry_count_scales_linearly() {
+        let small = generate(&ListGenConfig::default().with_n(10_000), 5);
+        let large = generate(&ListGenConfig::default().with_n(100_000), 5);
+        let ratio = large.len() as f64 / small.len() as f64;
+        assert!((5.0..=20.0).contains(&ratio), "ratio {ratio}");
+    }
+}

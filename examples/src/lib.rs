@@ -1,0 +1,29 @@
+//! Shared pretty-printing helpers for the example binaries.
+
+use simvid_core::{rank_entries, SimilarityList};
+
+/// Prints a similarity list as a paper-style result table.
+pub fn print_list(title: &str, list: &SimilarityList) {
+    println!("{title}  (max similarity {:.3})", list.max());
+    println!("{:>9}  {:>7}  {:>12}  {:>9}", "Start-id", "End-id", "Similarity", "Fraction");
+    for e in list.entries() {
+        println!(
+            "{:>9}  {:>7}  {:>12.3}  {:>8.1}%",
+            e.iv.beg,
+            e.iv.end,
+            e.act,
+            100.0 * e.act / list.max()
+        );
+    }
+    println!();
+}
+
+/// Prints the top entries of a list in ranked order.
+pub fn print_ranked(title: &str, list: &SimilarityList, k: usize) {
+    println!("{title}");
+    println!("{:>4}  {:>9}  {:>7}  {:>12}", "#", "Start-id", "End-id", "Similarity");
+    for (i, (iv, sim)) in rank_entries(list).into_iter().take(k).enumerate() {
+        println!("{:>4}  {:>9}  {:>7}  {:>12.3}", i + 1, iv.beg, iv.end, sim.act);
+    }
+    println!();
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the cross-crate integration suite (the tests live in
+//! `suite/`).
+
+use simvid_core::SimilarityList;
+
+/// Asserts two lists are value-equal over positions `1..=n`.
+#[track_caller]
+pub fn assert_lists_agree(a: &SimilarityList, b: &SimilarityList, n: usize, what: &str) {
+    let (da, db) = (a.to_dense(n), b.to_dense(n));
+    for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-9,
+            "{what}: disagreement at position {}: {x} vs {y}\n  a = {:?}\n  b = {:?}",
+            i + 1,
+            a.to_tuples(),
+            b.to_tuples()
+        );
+    }
+}
+
+/// Asserts a tuple list equals the expectation within float tolerance.
+#[track_caller]
+pub fn assert_tuples(got: &[(u32, u32, f64)], want: &[(u32, u32, f64)], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: got {got:?}, want {want:?}");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!((g.0, g.1), (w.0, w.1), "{what}: got {got:?}, want {want:?}");
+        assert!(
+            (g.2 - w.2).abs() < 1e-9,
+            "{what}: value mismatch, got {got:?}, want {want:?}"
+        );
+    }
+}

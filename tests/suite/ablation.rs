@@ -1,0 +1,96 @@
+//! The similarity-function ablation (the conclusion's future work) pinned
+//! as tests: Query 1 rankings under Sum / WeakestLink / Product
+//! conjunction semantics, plus the invariants the alternatives must share
+//! with the paper's semantics.
+
+use simvid_core::{rank_entries, ConjunctionSemantics, Engine, EngineConfig};
+use simvid_picture::PictureSystem;
+use simvid_tests::assert_tuples;
+use simvid_workload::casablanca;
+
+fn query1_under(sem: ConjunctionSemantics) -> Vec<(u32, u32, f64)> {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let engine = Engine::with_config(
+        &sys,
+        &tree,
+        EngineConfig { conjunction: sem, ..EngineConfig::default() },
+    );
+    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    rank_entries(&out)
+        .into_iter()
+        .map(|(iv, s)| (iv.beg, iv.end, s.act))
+        .collect()
+}
+
+#[test]
+fn sum_reproduces_the_paper_ranking() {
+    assert_tuples(
+        &query1_under(ConjunctionSemantics::Sum),
+        casablanca::TABLE4_QUERY1_RANKED,
+        "Sum semantics (the paper's)",
+    );
+}
+
+#[test]
+fn weakest_link_drops_one_sided_matches() {
+    let ranked = query1_under(ConjunctionSemantics::WeakestLink);
+    // Only shots that partially satisfy *both* conjuncts survive: the
+    // man-woman shots before the train (1-4, 6, 8). Everything after shot 9
+    // (no train follows) and the train-only shots vanish.
+    let max = 6.26 + 9.787;
+    assert_tuples(
+        &ranked,
+        &[
+            // [1,4]: min(2.595/6.26, 9.787/9.787) * max = 0.4145... * max
+            (1, 4, 2.595 / 6.26 * max),
+            (6, 6, 1.26 / 6.26 * max),
+            (8, 8, 1.26 / 6.26 * max),
+        ],
+        "WeakestLink semantics",
+    );
+}
+
+#[test]
+fn product_keeps_the_same_support_with_lower_scores() {
+    let weak = query1_under(ConjunctionSemantics::WeakestLink);
+    let prod = query1_under(ConjunctionSemantics::Product);
+    assert_eq!(weak.len(), prod.len(), "same surviving intervals");
+    for ((wb, we, wa), (pb, pe, pa)) in weak.iter().zip(&prod) {
+        assert_eq!((wb, we), (pb, pe));
+        assert!(*pa <= wa + 1e-12, "product never exceeds weakest-link");
+    }
+}
+
+#[test]
+fn all_semantics_agree_on_exact_matches_end_to_end() {
+    // A fully satisfied segment scores fraction 1 under every semantics.
+    // Build a store where a full match exists: give the train shot a
+    // man-woman pair too.
+    let mut b = simvid_model::VideoBuilder::new("both");
+    b.set_level_names(["video", "shot"]);
+    b.child("everything");
+    let rick = b.object(1, "person", Some("Rick"));
+    let ilsa = b.object(2, "person", Some("Ilsa"));
+    b.relationship("male", [rick]);
+    b.relationship("female", [ilsa]);
+    b.relationship("near", [rick, ilsa]);
+    let train = b.object(5, "train", None);
+    b.relationship("moving", [train]);
+    b.up();
+    let tree = b.finish().unwrap();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    for sem in [
+        ConjunctionSemantics::Sum,
+        ConjunctionSemantics::WeakestLink,
+        ConjunctionSemantics::Product,
+    ] {
+        let engine = Engine::with_config(
+            &sys,
+            &tree,
+            EngineConfig { conjunction: sem, ..EngineConfig::default() },
+        );
+        let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+        assert!(out.sim_at(1).is_exact(), "{sem:?} must mark the full match exact");
+    }
+}

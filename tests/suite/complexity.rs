@@ -1,0 +1,115 @@
+//! Complexity validation: the engine's work counters realise the paper's
+//! bounds — the type (1) algorithms process `O(l·p)` list entries (linear
+//! in total input-list length for a fixed formula).
+
+use simvid_core::{
+    list, AtomicProvider, Engine, SeqContext, SimilarityList, SimilarityTable, ValueTable,
+};
+use simvid_htl::{parse, AtomicUnit, AttrFn};
+use simvid_model::VideoBuilder;
+use simvid_workload::randomlists::{generate, ListGenConfig};
+
+/// Serves the same two random lists for `P1()` / `P2()`.
+struct TwoLists {
+    p1: SimilarityList,
+    p2: SimilarityList,
+}
+
+impl AtomicProvider for TwoLists {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        let l = match unit.formula.to_string().as_str() {
+            "P1()" => &self.p1,
+            "P2()" => &self.p2,
+            other => panic!("unexpected unit {other}"),
+        };
+        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+    }
+
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+        match unit.formula.to_string().as_str() {
+            "P1()" => self.p1.max(),
+            _ => self.p2.max(),
+        }
+    }
+
+    fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+        ValueTable::default()
+    }
+}
+
+fn flat(n: u32) -> simvid_model::VideoTree {
+    let mut b = VideoBuilder::new("flat");
+    for i in 0..n {
+        b.leaf(format!("s{i}"));
+    }
+    b.finish().unwrap()
+}
+
+fn entries_processed(n: u32, src: &str) -> (usize, usize) {
+    let cfg = ListGenConfig::default().with_n(n);
+    let p1 = generate(&cfg, 1);
+    let p2 = generate(&cfg, 2);
+    let input = p1.len() + p2.len();
+    let provider = TwoLists { p1, p2 };
+    let tree = flat(n);
+    let engine = Engine::new(&provider, &tree);
+    engine.eval_closed_at_level(&parse(src).unwrap(), 1).unwrap();
+    (input, engine.stats().entries_processed)
+}
+
+#[test]
+fn until_work_grows_linearly_with_input_entries() {
+    // The paper: "the over all complexity of the above algorithm when
+    // applied to f is O(l·p)". Entries processed per input entry must stay
+    // bounded as the input grows 16x.
+    let (in_small, work_small) = entries_processed(20_000, "P1() until P2()");
+    let (in_large, work_large) = entries_processed(320_000, "P1() until P2()");
+    let ratio_small = work_small as f64 / in_small as f64;
+    let ratio_large = work_large as f64 / in_large as f64;
+    assert!(
+        ratio_large < ratio_small * 2.0,
+        "work per entry grew superlinearly: {ratio_small:.2} -> {ratio_large:.2}"
+    );
+}
+
+#[test]
+fn conjunction_work_grows_linearly_with_input_entries() {
+    // `P1() and P2()` alone is a single atomic unit (no engine join); wrap
+    // the operands temporally so the conjunction merge actually runs.
+    let (in_small, work_small) =
+        entries_processed(20_000, "(eventually P1()) and (eventually P2())");
+    let (in_large, work_large) =
+        entries_processed(320_000, "(eventually P1()) and (eventually P2())");
+    let ratio_small = work_small as f64 / in_small as f64;
+    let ratio_large = work_large as f64 / in_large as f64;
+    assert!(
+        ratio_large < ratio_small * 2.0,
+        "work per entry grew superlinearly: {ratio_small:.2} -> {ratio_large:.2}"
+    );
+}
+
+#[test]
+fn direct_until_wall_time_is_subquadratic() {
+    // Time-based sanity on the O(l1 + l2) claim: 16x the input should cost
+    // far less than 256x the time (allowing generous noise).
+    let cfg = ListGenConfig::default().with_n(50_000);
+    let (a1, b1) = (generate(&cfg, 3), generate(&cfg, 4));
+    let cfg = ListGenConfig::default().with_n(800_000);
+    let (a2, b2) = (generate(&cfg, 3), generate(&cfg, 4));
+
+    let timer = std::time::Instant::now();
+    for _ in 0..20 {
+        std::hint::black_box(list::until(&a1, &b1, 0.5));
+    }
+    let t_small = timer.elapsed();
+    let timer = std::time::Instant::now();
+    for _ in 0..20 {
+        std::hint::black_box(list::until(&a2, &b2, 0.5));
+    }
+    let t_large = timer.elapsed();
+    let scale = t_large.as_secs_f64() / t_small.as_secs_f64().max(1e-9);
+    assert!(
+        scale < 160.0,
+        "16x input cost {scale:.0}x the time — not linear-ish"
+    );
+}

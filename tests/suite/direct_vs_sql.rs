@@ -1,0 +1,130 @@
+//! Differential testing of the two evaluation approaches: the direct list
+//! algorithms and the SQL translation must produce identical similarity
+//! lists (§4.1: "Both approaches produced identical final values as well
+//! as identical intermediate similarity tables").
+
+use simvid_core::list;
+use simvid_relal::{translate, Database};
+use simvid_tests::assert_lists_agree;
+use simvid_workload::randomlists::{generate, ListGenConfig};
+
+const THETA: f64 = 0.5;
+
+fn db_for(n: u32) -> Database {
+    let mut db = Database::new();
+    translate::load_numbers(&mut db, n).unwrap();
+    db
+}
+
+#[test]
+fn conjunction_agrees_across_seeds() {
+    let n = 800;
+    let cfg = ListGenConfig { n, coverage: 0.15, mean_run: 4.0, max_sim: 5.0 };
+    for seed in 0..8 {
+        let a = generate(&cfg, seed);
+        let b = generate(&cfg, seed + 100);
+        let mut db = db_for(n);
+        let sql = translate::run_conjunction(&mut db, &a, &b).unwrap();
+        assert_lists_agree(&list::and(&a, &b), &sql, n as usize, "conjunction");
+    }
+}
+
+#[test]
+fn until_agrees_across_seeds_and_thresholds() {
+    let n = 600;
+    let cfg = ListGenConfig { n, coverage: 0.2, mean_run: 6.0, max_sim: 2.0 };
+    for seed in 0..6 {
+        let g = generate(&cfg, seed);
+        let h = generate(&cfg, seed + 50);
+        for theta in [0.1, 0.5, 0.9] {
+            let mut db = db_for(n);
+            let sql = translate::run_until(&mut db, &g, &h, theta).unwrap();
+            assert_lists_agree(&list::until(&g, &h, theta), &sql, n as usize, "until");
+        }
+    }
+}
+
+#[test]
+fn eventually_agrees_across_seeds() {
+    let n = 500;
+    let cfg = ListGenConfig { n, coverage: 0.1, mean_run: 3.0, max_sim: 7.0 };
+    for seed in 0..8 {
+        let h = generate(&cfg, seed);
+        let mut db = db_for(n);
+        let sql = translate::run_eventually(&mut db, &h).unwrap();
+        assert_lists_agree(&list::eventually(&h), &sql, n as usize, "eventually");
+    }
+}
+
+#[test]
+fn next_agrees_across_seeds() {
+    let n = 400;
+    let cfg = ListGenConfig { n, coverage: 0.25, mean_run: 2.0, max_sim: 1.0 };
+    for seed in 0..8 {
+        let l = generate(&cfg, seed);
+        let mut db = db_for(n);
+        let sql = translate::run_next(&mut db, &l).unwrap();
+        assert_lists_agree(&list::next(&l), &sql, n as usize, "next");
+    }
+}
+
+#[test]
+fn composed_formulas_agree() {
+    // (P1 ∧ P2) until P3 and P1 ∧ eventually (P2 until P3), composed from
+    // the per-operator scripts exactly as the bench harness does.
+    let n = 500;
+    let cfg = ListGenConfig { n, coverage: 0.15, mean_run: 5.0, max_sim: 3.0 };
+    for seed in [3u64, 17] {
+        let p1 = generate(&cfg, seed);
+        let p2 = generate(&cfg, seed + 1);
+        let p3 = generate(&cfg, seed + 2);
+
+        // Direct.
+        let direct1 = list::until(&list::and(&p1, &p2), &p3, THETA);
+        let direct2 = list::and(&p1, &list::eventually(&list::until(&p2, &p3, THETA)));
+
+        // SQL.
+        let mut db = db_for(n);
+        translate::load_list(&mut db, "p1", &p1).unwrap();
+        translate::load_list(&mut db, "p2", &p2).unwrap();
+        translate::load_list(&mut db, "p3", &p3).unwrap();
+        let cut12 = THETA * (p1.max() + p2.max()) - 1e-12;
+        db.execute_script(&translate::conjunction_script("p1", "p2", "c12")).unwrap();
+        db.execute_script(&translate::until_script("c12", "p3", "cx1", cut12)).unwrap();
+        let sql1 = translate::read_list(&db, "cx1", p3.max()).unwrap();
+        assert_lists_agree(&direct1, &sql1, n as usize, "complex 1");
+
+        let cut23 = THETA * p2.max() - 1e-12;
+        db.execute_script(&translate::until_script("p2", "p3", "u23", cut23)).unwrap();
+        db.execute_script(&translate::eventually_script("u23", "ev23")).unwrap();
+        db.execute_script(&translate::conjunction_script("p1", "ev23", "cx2")).unwrap();
+        let sql2 = translate::read_list(&db, "cx2", p1.max() + p3.max()).unwrap();
+        assert_lists_agree(&direct2, &sql2, n as usize, "complex 2");
+    }
+}
+
+#[test]
+fn intermediate_tables_match_too() {
+    // Check an intermediate: the thresholded g-runs of the until pipeline
+    // equal the direct algorithm's runs.
+    let n = 300;
+    let cfg = ListGenConfig { n, coverage: 0.3, mean_run: 4.0, max_sim: 1.0 };
+    let g = generate(&cfg, 9);
+    let h = generate(&cfg, 10);
+    let mut db = db_for(n);
+    translate::load_list(&mut db, "g_in", &g).unwrap();
+    translate::load_list(&mut db, "h_in", &h).unwrap();
+    let cut = THETA * g.max() - 1e-12;
+    db.execute_script(&translate::until_script("g_in", "h_in", "u_out", cut)).unwrap();
+    // The SQL pipeline's run table.
+    let runs_sql = db
+        .execute("SELECT beg, end FROM u_out_gruns ORDER BY beg")
+        .unwrap()
+        .unwrap();
+    let runs_direct = simvid_core::list::threshold_runs(&g, THETA);
+    assert_eq!(runs_sql.rows.len(), runs_direct.len(), "run counts differ");
+    for (row, iv) in runs_sql.rows.iter().zip(&runs_direct) {
+        assert_eq!(row[0].as_int().unwrap() as u32, iv.beg);
+        assert_eq!(row[1].as_int().unwrap() as u32, iv.end);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end sweeps over random videos: parse → classify → evaluate, with
+//! structural invariants checked at every step.
+
+use simvid_core::{Engine, EngineConfig, SimilarityList};
+use simvid_htl::{atomic_units, classify, parse, FormulaClass};
+use simvid_picture::{PictureSystem, ScoringConfig};
+use simvid_workload::queries;
+use simvid_workload::randomvideo::{generate, VideoGenConfig};
+
+const QUERY_SOURCES: &[&str] = &[
+    "exists x . person(x) and eventually (moving(x) and near(x, x))",
+    "(exists x . holds_gun(x)) until ((exists y . horse(y)) until (exists z . person(z)))",
+    "next next eventually (exists x . train(x))",
+    "(exists x . person(x)) and (exists y . airplane(y)) and eventually (exists z . moving(z))",
+    "exists x . exists y . fires_at(x, y) and eventually (near(x, y) until on_floor(y))",
+    "[s := speed] eventually speed > s",
+    "exists x . [h := height(x)] eventually height(x) > h",
+];
+
+fn check_list(list: &SimilarityList, n: u32, what: &str) {
+    list.check_invariants().unwrap_or_else(|e| panic!("{what}: {e}"));
+    if let Some(last) = list.entries().last() {
+        assert!(last.iv.end <= n, "{what}: entry beyond sequence end");
+    }
+}
+
+#[test]
+fn random_videos_evaluate_cleanly() {
+    for seed in 0..10u64 {
+        let cfg = VideoGenConfig {
+            branching: vec![20],
+            objects_per_leaf: 2.5,
+            ..VideoGenConfig::default()
+        };
+        let tree = generate(&cfg, seed);
+        let n = tree.level_sequence(1).len() as u32;
+        let sys = PictureSystem::new(&tree, ScoringConfig::default());
+        let engine = Engine::new(&sys, &tree);
+        for src in QUERY_SOURCES {
+            let f = parse(src).unwrap();
+            assert_ne!(classify(&f), FormulaClass::General, "{src} should be supported");
+            let list = engine
+                .eval_closed_at_level(&f, 1)
+                .unwrap_or_else(|e| panic!("seed {seed}, `{src}`: {e}"));
+            check_list(&list, n, src);
+            // All values bounded by the formula maximum.
+            let max = engine.formula_max(&f);
+            for e in list.entries() {
+                assert!(e.act <= max + 1e-9, "{src}: act {} above max {max}", e.act);
+            }
+        }
+    }
+}
+
+#[test]
+fn atomic_unit_count_matches_engine_fetches() {
+    let tree = generate(&VideoGenConfig { branching: vec![10], ..VideoGenConfig::default() }, 3);
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    for src in QUERY_SOURCES {
+        let f = parse(src).unwrap();
+        engine.eval_closed_at_level(&f, 1).unwrap();
+        assert_eq!(
+            engine.stats().atomic_fetches,
+            atomic_units(&f).len(),
+            "fetch count for `{src}`"
+        );
+    }
+}
+
+#[test]
+fn until_threshold_is_monotone() {
+    // Raising the threshold can only remove reach, never add similarity.
+    let tree = generate(&VideoGenConfig { branching: vec![30], ..VideoGenConfig::default() }, 8);
+    let n = tree.level_sequence(1).len();
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let f = parse("(exists x . person(x)) until (exists y . moving(y))").unwrap();
+    let mut prev: Option<Vec<f64>> = None;
+    for theta in [0.1, 0.5, 0.9] {
+        let engine = Engine::with_config(
+            &sys,
+            &tree,
+            EngineConfig { until_threshold: theta, ..EngineConfig::default() },
+        );
+        let dense = engine.eval_closed_at_level(&f, 1).unwrap().to_dense(n);
+        if let Some(p) = &prev {
+            for (lo, hi) in dense.iter().zip(p) {
+                assert!(lo <= hi, "similarity grew when threshold rose");
+            }
+        }
+        prev = Some(dense);
+    }
+}
+
+#[test]
+fn paper_example_formulas_evaluate_on_random_videos() {
+    // Formulas (B) and (C) from §2.4 and the complex §4.2 shapes run on
+    // random flat videos without errors.
+    let tree = generate(&VideoGenConfig { branching: vec![25], ..VideoGenConfig::default() }, 21);
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    for f in [queries::formula_b(), queries::formula_c()] {
+        let list = engine.eval_closed_at_level(&f, 1).unwrap();
+        check_list(&list, tree.level_sequence(1).len() as u32, "paper formula");
+    }
+    // Formula (A) needs a deep hierarchy.
+    let deep = generate(
+        &VideoGenConfig { branching: vec![3, 3, 4], ..VideoGenConfig::default() },
+        22,
+    );
+    let sys = PictureSystem::new(&deep, ScoringConfig::default());
+    let engine = Engine::new(&sys, &deep);
+    let sim = engine.eval_video(&queries::formula_a()).unwrap();
+    assert!(sim.act >= 0.0);
+}
+
+#[test]
+fn query_classification_gates_the_engine() {
+    let tree = generate(&VideoGenConfig { branching: vec![5], ..VideoGenConfig::default() }, 2);
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    // General formulas are rejected up front...
+    let general = parse("not eventually (exists x . person(x))").unwrap();
+    assert!(engine.eval_closed_at_level(&general, 1).is_err());
+    // ...but the exact evaluator still handles them.
+    let _ = simvid_htl::satisfies_video(&tree, &general);
+}
+
+#[test]
+fn exact_retrieve_agrees_with_engine_on_supported_formulas() {
+    let tree = generate(&VideoGenConfig { branching: vec![18], ..VideoGenConfig::default() }, 13);
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    for src in [
+        "(exists x . person(x)) until (exists y . moving(y))",
+        "eventually (exists x . train(x))",
+        "exists x . holds_gun(x) and eventually near(x, x)",
+    ] {
+        let f = parse(src).unwrap();
+        let list = engine.eval_closed_at_level(&f, 1).unwrap();
+        let exact: Vec<u32> = simvid_htl::exact_retrieve(&tree, &f, 1);
+        let via_similarity: Vec<u32> = (1..=tree.level_sequence(1).len() as u32)
+            .filter(|&p| list.sim_at(p).frac() > 1.0 - 1e-9)
+            .collect();
+        assert_eq!(exact, via_similarity, "`{src}`");
+    }
+}
+
+#[test]
+fn exact_retrieve_handles_the_general_class() {
+    // Negation: rejected by the engine, served by the brute-force path.
+    let tree = generate(&VideoGenConfig { branching: vec![12], ..VideoGenConfig::default() }, 14);
+    let f = parse("not eventually (exists x . train(x))").unwrap();
+    assert!(Engine::new(&PictureSystem::new(&tree, ScoringConfig::default()), &tree)
+        .eval_closed_at_level(&f, 1)
+        .is_err());
+    let hits = simvid_htl::exact_retrieve(&tree, &f, 1);
+    // Complementarity with the positive query.
+    let pos = simvid_htl::exact_retrieve(
+        &tree,
+        &parse("eventually (exists x . train(x))").unwrap(),
+        1,
+    );
+    let n = tree.level_sequence(1).len() as u32;
+    assert_eq!(hits.len() + pos.len(), n as usize);
+    assert!(hits.iter().all(|p| !pos.contains(p)));
+}

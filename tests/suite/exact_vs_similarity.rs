@@ -1,0 +1,118 @@
+//! Cross-validation of the two semantics: for conjunctive formulas whose
+//! atomic units are single predicates (so every unit's fractional
+//! similarity is 0 or 1), a segment's fractional similarity is 1 exactly
+//! when the boolean semantics of §2.3 accepts — the paper's property (a):
+//! "for an exact match a and m will be equal".
+
+use simvid_core::Engine;
+use simvid_htl::{parse, Env, ExactEvaluator, Formula};
+use simvid_picture::{PictureSystem, ScoringConfig};
+use simvid_workload::randomvideo::{generate, VideoGenConfig};
+
+/// Closed queries built from single-predicate units (0/1 fractional
+/// similarity per unit), covering ∧, until, eventually, next, ∃ at prefix.
+fn queries() -> Vec<Formula> {
+    [
+        "(exists x . person(x)) and eventually (exists y . moving(y))",
+        "(exists x . holds_gun(x)) until (exists y . on_floor(y))",
+        "next (exists x . near(x, x))",
+        "(exists x . person(x)) until ((exists y . horse(y)) and (exists z . moving(z)))",
+        "exists x . person(x) and eventually moving(x)",
+        "exists x . exists y . fires_at(x, y) and eventually near(x, y)",
+        "eventually (exists x . train(x))",
+        "(exists x . airplane(x)) and next next (exists y . person(y))",
+    ]
+    .iter()
+    .map(|s| parse(s).unwrap())
+    .collect()
+}
+
+#[test]
+fn fractional_one_iff_exactly_satisfied() {
+    for seed in 0..6u64 {
+        let cfg = VideoGenConfig {
+            branching: vec![12],
+            objects_per_leaf: 2.5,
+            ..VideoGenConfig::default()
+        };
+        let tree = generate(&cfg, seed);
+        let n = tree.level_sequence(1).len() as u32;
+        let sys = PictureSystem::new(&tree, ScoringConfig::default());
+        let engine = Engine::new(&sys, &tree);
+        let exact = ExactEvaluator::new(&tree);
+        for f in queries() {
+            let list = engine
+                .eval_closed_at_level(&f, 1)
+                .unwrap_or_else(|e| panic!("{f} fails: {e}"));
+            for pos in 0..n {
+                let mut env = Env::new();
+                let holds = exact.satisfies_at(1, (0, n), pos, &f, &mut env);
+                let frac = list.sim_at(pos + 1).frac();
+                assert_eq!(
+                    frac > 1.0 - 1e-9,
+                    holds,
+                    "seed {seed}, `{f}` at shot {}: fraction {frac}, exact {holds}",
+                    pos + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_similarity_implies_not_satisfied() {
+    // The contrapositive sanity: similarity 0 at a position means the
+    // boolean semantics rejects too (no false negatives in the lists).
+    let tree = generate(&VideoGenConfig { branching: vec![15], ..VideoGenConfig::default() }, 99);
+    let n = tree.level_sequence(1).len() as u32;
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    let exact = ExactEvaluator::new(&tree);
+    for f in queries() {
+        let list = engine.eval_closed_at_level(&f, 1).unwrap();
+        for pos in 0..n {
+            if list.sim_at(pos + 1).act == 0.0 {
+                let mut env = Env::new();
+                assert!(
+                    !exact.satisfies_at(1, (0, n), pos, &f, &mut env),
+                    "`{f}` at shot {}: similarity 0 but exactly satisfied",
+                    pos + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn freeze_formula_exactness_matches() {
+    // Formula (C)-style query on a deterministic video: frames where the
+    // plane later flies higher are exact matches, others are not.
+    let mut b = simvid_model::VideoBuilder::new("heights");
+    b.set_level_names(["video", "frame"]);
+    for h in [100i64, 300, 200, 250, 240] {
+        b.child(format!("h{h}"));
+        let p = b.object(1, "airplane", None);
+        b.object_attr(p, "height", simvid_model::AttrValue::Int(h));
+        b.up();
+    }
+    let tree = b.finish().unwrap();
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    let exact = ExactEvaluator::new(&tree);
+    let f = parse(
+        "exists z . present(z) and [h := height(z)] eventually (present(z) and height(z) > h)",
+    )
+    .unwrap();
+    let list = engine.eval_closed_at_level(&f, 1).unwrap();
+    // Frames 1 (100 < 300), 3 (200 < 250) match exactly; 2, 4, 5 do not.
+    for (pos, expect) in [(1u32, true), (2, false), (3, true), (4, false), (5, false)] {
+        let frac = list.sim_at(pos).frac();
+        assert_eq!(frac > 1.0 - 1e-9, expect, "frame {pos}: fraction {frac}");
+        let mut env = Env::new();
+        assert_eq!(
+            exact.satisfies_at(1, (0, 5), pos - 1, &f, &mut env),
+            expect,
+            "exact at frame {pos}"
+        );
+    }
+}

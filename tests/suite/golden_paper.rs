@@ -1,0 +1,103 @@
+//! Golden tests pinning every number the paper prints: Figure 2 and
+//! Tables 1–4, regenerated through the real pipeline.
+
+use simvid_core::{list, rank_entries, Engine, SimilarityList};
+use simvid_picture::PictureSystem;
+use simvid_tests::assert_tuples;
+use simvid_workload::casablanca;
+
+#[test]
+fn figure2_until_backward_merge() {
+    let l1 = SimilarityList::from_tuples(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0).unwrap();
+    let l2 = SimilarityList::from_tuples(
+        vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+        20.0,
+    )
+    .unwrap();
+    let out = list::until(&l1, &l2, 0.5);
+    assert_tuples(
+        &out.to_tuples(),
+        &[(10, 24, 10.0), (25, 60, 15.0), (61, 110, 12.0), (125, 175, 10.0)],
+        "Figure 2",
+    );
+    // The maximum similarity carries over from h (all paper entries show 20).
+    assert_eq!(out.max(), 20.0);
+}
+
+#[test]
+fn table1_moving_train_via_picture_system() {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let mt = sys.query_closed(&casablanca::moving_train(), 1).unwrap().coalesce();
+    assert_tuples(&mt.to_tuples(), casablanca::TABLE1_MOVING_TRAIN, "Table 1");
+    assert!((mt.max() - casablanca::MOVING_TRAIN_MAX).abs() < 1e-9);
+}
+
+#[test]
+fn table2_man_woman_via_picture_system() {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let mw = sys.query_closed(&casablanca::man_woman(), 1).unwrap().coalesce();
+    assert_tuples(&mw.to_tuples(), casablanca::TABLE2_MAN_WOMAN, "Table 2");
+    assert!((mw.max() - casablanca::MAN_WOMAN_MAX).abs() < 1e-9);
+}
+
+#[test]
+fn table3_eventually_moving_train() {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let mt = sys.query_closed(&casablanca::moving_train(), 1).unwrap();
+    let ev = list::eventually(&mt);
+    assert_tuples(&ev.to_tuples(), casablanca::TABLE3_EVENTUALLY, "Table 3");
+}
+
+#[test]
+fn table4_query1_through_the_engine() {
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let engine = Engine::new(&sys, &tree);
+    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    // Temporal order first.
+    assert_tuples(&out.to_tuples(), casablanca::QUERY1_LIST, "Query 1 list");
+    // Then the ranked presentation of Table 4.
+    let ranked: Vec<(u32, u32, f64)> = rank_entries(&out)
+        .into_iter()
+        .map(|(iv, s)| (iv.beg, iv.end, s.act))
+        .collect();
+    assert_tuples(&ranked, casablanca::TABLE4_QUERY1_RANKED, "Table 4");
+    // Max similarity is the sum of the two predicates' maxima.
+    assert!((out.max() - (6.26 + 9.787)).abs() < 1e-9);
+}
+
+#[test]
+fn table4_also_via_raw_list_algebra() {
+    // The same final numbers straight from the fixture tables — the
+    // pipeline-independent route the paper's §4.1 describes.
+    let mw = SimilarityList::from_tuples(casablanca::TABLE2_MAN_WOMAN.to_vec(), 6.26).unwrap();
+    let mt = SimilarityList::from_tuples(casablanca::TABLE1_MOVING_TRAIN.to_vec(), 9.787).unwrap();
+    let out = list::and(&mw, &list::eventually(&mt));
+    assert_tuples(&out.to_tuples(), casablanca::QUERY1_LIST, "Query 1 via fixtures");
+}
+
+#[test]
+fn table4_also_via_the_sql_baseline() {
+    // §4.1 ran Query 1 through both systems; close the loop by computing
+    // Table 4 with the SQL translation over the fixture tables.
+    use simvid_relal::{translate, Database};
+    let mw = SimilarityList::from_tuples(casablanca::TABLE2_MAN_WOMAN.to_vec(), 6.26).unwrap();
+    let mt = SimilarityList::from_tuples(casablanca::TABLE1_MOVING_TRAIN.to_vec(), 9.787).unwrap();
+    let mut db = Database::new();
+    translate::load_numbers(&mut db, 50).unwrap();
+    let ev = translate::run_eventually(&mut db, &mt).unwrap();
+    assert_tuples(
+        &ev.clone().coalesce().to_tuples(),
+        casablanca::TABLE3_EVENTUALLY,
+        "Table 3 via SQL",
+    );
+    let out = translate::run_conjunction(&mut db, &mw, &ev).unwrap();
+    assert_tuples(
+        &out.coalesce().to_tuples(),
+        casablanca::QUERY1_LIST,
+        "Query 1 via SQL",
+    );
+}

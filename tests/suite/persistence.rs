@@ -1,0 +1,69 @@
+//! Persistence: retrieval behaves identically on a store that has been
+//! serialised to JSON and loaded back (the `videoql` save/load path).
+
+use simvid_htl::parse;
+use simvid_model::{VideoStore, VideoTree};
+use simvid_picture::{QueryLevel, VideoDatabase};
+use simvid_workload::casablanca;
+use simvid_workload::randomvideo::{generate, VideoGenConfig};
+
+fn round_trip(store: &VideoStore) -> VideoStore {
+    let json = serde_json::to_string(store).expect("serialises");
+    serde_json::from_str(&json).expect("deserialises")
+}
+
+#[test]
+fn casablanca_results_survive_round_trip() {
+    let mut store = VideoStore::new();
+    store.add(casablanca::video());
+    let back = round_trip(&store);
+
+    let q = casablanca::query1();
+    let level = QueryLevel::Named("shot".into());
+    let before = VideoDatabase::new(&store)
+        .with_scoring(casablanca::weights())
+        .retrieve(&q, &level, 20)
+        .unwrap();
+    let after = VideoDatabase::new(&back)
+        .with_scoring(casablanca::weights())
+        .retrieve(&q, &level, 20)
+        .unwrap();
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!((a.video, a.pos), (b.video, b.pos));
+        assert!((a.sim.act - b.sim.act).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn exact_semantics_survive_round_trip_on_random_videos() {
+    for seed in 0..4u64 {
+        let tree = generate(
+            &VideoGenConfig { branching: vec![3, 4], ..VideoGenConfig::default() },
+            seed,
+        );
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: VideoTree = serde_json::from_str(&json).unwrap();
+        for src in [
+            "at shot level eventually (exists x . moving(x))",
+            "at next level (exists x . person(x))",
+            "type = \"western\"",
+        ] {
+            let f = parse(src).unwrap();
+            assert_eq!(
+                simvid_htl::satisfies_video(&tree, &f),
+                simvid_htl::satisfies_video(&back, &f),
+                "seed {seed}, `{src}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_is_stable_across_double_round_trip() {
+    let mut store = VideoStore::new();
+    store.add(casablanca::video());
+    let once = serde_json::to_string(&round_trip(&store)).unwrap();
+    let twice = serde_json::to_string(&round_trip(&round_trip(&store))).unwrap();
+    assert_eq!(once, twice);
+}

@@ -1,0 +1,70 @@
+//! Top-k retrieval against a brute-force oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simvid_core::{rank_entries, top_k, Engine};
+use simvid_picture::PictureSystem;
+use simvid_workload::casablanca;
+use simvid_workload::randomlists::{generate, ListGenConfig};
+
+#[test]
+fn top_k_matches_brute_force_on_random_lists() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..20 {
+        let n = rng.gen_range(20..400u32);
+        let cfg = ListGenConfig { n, coverage: 0.3, mean_run: 3.0, max_sim: 9.0 };
+        let list = generate(&cfg, rng.gen());
+        let k = rng.gen_range(0..30usize);
+
+        let got = top_k(&list, k);
+        // Brute force: sort all positions by (value desc, pos asc), keep
+        // positive, take k.
+        let dense = list.to_dense(n as usize);
+        let mut all: Vec<(u32, f64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| (i as u32 + 1, *v))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+
+        assert_eq!(got.len(), all.len());
+        for (g, (pos, val)) in got.iter().zip(&all) {
+            assert_eq!(g.pos, *pos);
+            assert!((g.sim.act - val).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn ranked_entries_are_monotone() {
+    let cfg = ListGenConfig { n: 500, coverage: 0.2, mean_run: 4.0, max_sim: 3.0 };
+    let list = generate(&cfg, 77);
+    let ranked = rank_entries(&list);
+    for w in ranked.windows(2) {
+        assert!(
+            w[0].1.act > w[1].1.act
+                || ((w[0].1.act - w[1].1.act).abs() < 1e-15 && w[0].0.beg <= w[1].0.beg),
+            "ranking not monotone: {:?} before {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn paper_query1_top_k_order() {
+    // "the top k video segments ... will be retrieved": the Casablanca
+    // Query 1 top-4 shots are 1, 2, 3, 4 (interval [1,4] at 12.382), then
+    // shot 6 (11.047).
+    let tree = casablanca::video();
+    let sys = PictureSystem::new(&tree, casablanca::weights());
+    let engine = Engine::new(&sys, &tree);
+    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    let top = top_k(&out, 5);
+    let positions: Vec<u32> = top.iter().map(|r| r.pos).collect();
+    assert_eq!(positions, vec![1, 2, 3, 4, 6]);
+    assert!((top[0].sim.act - 12.382).abs() < 1e-9);
+    assert!((top[4].sim.act - 11.047).abs() < 1e-9);
+}
