@@ -1,12 +1,17 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [figure2|table1..table6|complex|ablation|all] [--json PATH]
+//! repro [figure2|table1..table6|complex|ablation|parallel|all]
+//!       [--json PATH] [--threads N]
 //! ```
+//!
+//! `--threads` caps the worker threads of the `parallel` section
+//! (default: the machine's available parallelism).
 
 use simvid_bench::{
-    format_list_table, format_perf_table, measure_complex1, measure_complex2,
-    measure_conjunction, measure_until, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    format_engine_mode_table, format_list_table, format_perf_table, measure_complex1,
+    measure_complex2, measure_conjunction, measure_engine_modes, measure_until, EngineModeRow,
+    PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_picture::PictureSystem;
@@ -29,25 +34,37 @@ fn casablanca_lists() -> (SimilarityList, SimilarityList) {
 fn figure2() {
     let l1 = SimilarityList::from_tuples(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0).unwrap();
     let l2 = SimilarityList::from_tuples(
-        vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+        vec![
+            (10, 50, 10.0),
+            (55, 60, 15.0),
+            (90, 110, 12.0),
+            (125, 175, 10.0),
+        ],
         20.0,
     )
     .unwrap();
     let out = list::until(&l1, &l2, THETA);
     println!("Figure 2: the `until` list algorithm on the paper's example\n");
-    println!("{}", format_list_table("Input L1 (g, after thresholding):", &l1.to_tuples()));
-    println!("{}", format_list_table("Input L2 (h):", &l2.to_tuples()));
-    println!("{}", format_list_table("Output (g until h):", &out.to_tuples()));
     println!(
-        "Paper's output: [10 24](10 20) [25 60](15 20) [61 110](12 20) [125 175](10 20)\n"
+        "{}",
+        format_list_table("Input L1 (g, after thresholding):", &l1.to_tuples())
     );
+    println!("{}", format_list_table("Input L2 (h):", &l2.to_tuples()));
+    println!(
+        "{}",
+        format_list_table("Output (g until h):", &out.to_tuples())
+    );
+    println!("Paper's output: [10 24](10 20) [25 60](15 20) [61 110](12 20) [125 175](10 20)\n");
 }
 
 fn table1() {
     let (mt, _) = casablanca_lists();
     println!(
         "{}",
-        format_list_table("Table 1. Moving-Train (from crafted meta-data)", &mt.to_tuples())
+        format_list_table(
+            "Table 1. Moving-Train (from crafted meta-data)",
+            &mt.to_tuples()
+        )
     );
     println!(
         "{}",
@@ -59,7 +76,10 @@ fn table2() {
     let (_, mw) = casablanca_lists();
     println!(
         "{}",
-        format_list_table("Table 2. Man-Woman (from crafted meta-data)", &mw.to_tuples())
+        format_list_table(
+            "Table 2. Man-Woman (from crafted meta-data)",
+            &mw.to_tuples()
+        )
     );
     println!(
         "{}",
@@ -72,7 +92,10 @@ fn table3() {
     let ev = list::eventually(&mt);
     println!(
         "{}",
-        format_list_table("Table 3. Result of eventually Moving-Train", &ev.to_tuples())
+        format_list_table(
+            "Table 3. Result of eventually Moving-Train",
+            &ev.to_tuples()
+        )
     );
     println!(
         "{}",
@@ -120,7 +143,10 @@ fn ablation() {
         let engine = Engine::with_config(
             &sys,
             &tree,
-            EngineConfig { conjunction: sem, ..EngineConfig::default() },
+            EngineConfig {
+                conjunction: sem,
+                ..EngineConfig::default()
+            },
         );
         let out = engine
             .eval_closed_at_level(&casablanca::query1(), 1)
@@ -129,7 +155,10 @@ fn ablation() {
             .into_iter()
             .map(|(iv, sim)| (iv.beg, iv.end, sim.act))
             .collect();
-        println!("{}", format_list_table(&format!("{sem:?} semantics:"), &ranked));
+        println!(
+            "{}",
+            format_list_table(&format!("{sem:?} semantics:"), &ranked)
+        );
     }
     println!(
         "Sum (the paper's) rewards strong one-sided matches; weakest-link and\n\
@@ -147,6 +176,22 @@ fn perf(
     rows
 }
 
+fn parallel_modes(threads: usize) -> Vec<EngineModeRow> {
+    let rows: Vec<EngineModeRow> = PAPER_SIZES
+        .iter()
+        .map(|&n| measure_engine_modes(n, 42, threads))
+        .collect();
+    println!(
+        "{}",
+        format_engine_mode_table(
+            "Engine execution modes on the Table 5-6 workloads \
+             (sequential vs parallel vs memoized)",
+            &rows
+        )
+    );
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map_or("all", String::as_str);
@@ -155,6 +200,12 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
     let mut json = serde_json::Map::new();
 
     if matches!(what, "figure2" | "all") {
@@ -192,11 +243,7 @@ fn main() {
         ablation();
     }
     if matches!(what, "complex" | "all") {
-        let rows = perf(
-            "Extra (§4.2): (P1 and P2) until P3",
-            &[],
-            measure_complex1,
-        );
+        let rows = perf("Extra (§4.2): (P1 and P2) until P3", &[], measure_complex1);
         json.insert("complex1".into(), serde_json::to_value(&rows).unwrap());
         let rows = perf(
             "Extra (§4.2): P1 and eventually (P2 until P3)",
@@ -204,6 +251,10 @@ fn main() {
             measure_complex2,
         );
         json.insert("complex2".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(what, "parallel" | "all") {
+        let rows = parallel_modes(threads);
+        json.insert("parallel".into(), serde_json::to_value(&rows).unwrap());
     }
     if let Some(path) = json_path {
         std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())

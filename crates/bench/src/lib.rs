@@ -2,7 +2,12 @@
 //! binary that regenerates every table and figure of the paper.
 
 use serde::Serialize;
-use simvid_core::{list, SimilarityList};
+use simvid_core::{
+    list, AtomicProvider, Engine, EngineConfig, ParallelConfig, SeqContext, SimilarityList,
+    SimilarityTable, ValueTable,
+};
+use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
+use simvid_model::{VideoBuilder, VideoTree};
 use simvid_relal::{translate, Database};
 use simvid_workload::randomlists::{generate, ListGenConfig};
 use std::time::{Duration, Instant};
@@ -56,7 +61,10 @@ impl PerfRow {
 #[must_use]
 pub fn workload_lists(n: u32, seed: u64) -> (SimilarityList, SimilarityList) {
     let cfg = ListGenConfig::default().with_n(n);
-    (generate(&cfg, seed), generate(&cfg, seed ^ 0x9e37_79b9_7f4a_7c15))
+    (
+        generate(&cfg, seed),
+        generate(&cfg, seed ^ 0x9e37_79b9_7f4a_7c15),
+    )
 }
 
 /// A third input for the complex formulas.
@@ -79,6 +87,192 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// A provider serving fixed similarity lists keyed by the atomic unit's
+/// printed form (`P1()`, `P2()`, …), sliced to the requested window — the
+/// engine-level analogue of the raw list workloads.
+pub struct ListProvider {
+    lists: Vec<(String, SimilarityList)>,
+}
+
+impl ListProvider {
+    /// Wraps `(predicate, list)` pairs.
+    #[must_use]
+    pub fn new(lists: Vec<(String, SimilarityList)>) -> ListProvider {
+        ListProvider { lists }
+    }
+
+    fn lookup(&self, key: &str) -> &SimilarityList {
+        self.lists
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, l)| l)
+            .unwrap_or_else(|| panic!("no workload list for `{key}`"))
+    }
+}
+
+impl AtomicProvider for ListProvider {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        let l = self.lookup(&unit.formula.to_string());
+        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+    }
+
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+        self.lookup(&unit.formula.to_string()).max()
+    }
+
+    fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+        ValueTable::default()
+    }
+}
+
+/// A scene/shot hierarchy: root → `scenes` scenes → `shots_per_scene`
+/// shots each. The shape the level-modal fan-out parallelises over.
+#[must_use]
+pub fn scene_tree(scenes: u32, shots_per_scene: u32) -> VideoTree {
+    let mut b = VideoBuilder::new("bench");
+    b.set_level_names(["video", "scene", "shot"]);
+    for s in 0..scenes {
+        b.child(format!("scene{s}"));
+        for i in 0..shots_per_scene {
+            b.leaf(format!("s{s}.{i}"));
+        }
+        b.up();
+    }
+    b.finish().expect("bench tree builds")
+}
+
+/// Shots per scene in the engine-mode workload.
+pub const SHOTS_PER_SCENE: u32 = 250;
+
+/// The engine-mode workload: an `n`-shot video split into scenes plus a
+/// provider serving Table 5/6-shaped random lists for `P1()` and `P2()`.
+#[must_use]
+pub fn parallel_workload(n: u32, seed: u64) -> (VideoTree, ListProvider) {
+    let scenes = n.div_ceil(SHOTS_PER_SCENE).max(1);
+    let tree = scene_tree(scenes, SHOTS_PER_SCENE);
+    let (p1, p2) = workload_lists(scenes * SHOTS_PER_SCENE, seed);
+    let provider = ListProvider::new(vec![("P1()".into(), p1), ("P2()".into(), p2)]);
+    (tree, provider)
+}
+
+/// The engine-mode query: the level-modal block fans out across scenes,
+/// and its repetition under `eventually` is a whole-subtree memo hit.
+#[must_use]
+pub fn parallel_query() -> Formula {
+    parse("(at shot level (P1() until P2())) and eventually at shot level (P1() until P2())")
+        .expect("workload query parses")
+}
+
+/// One row of the engine execution-mode comparison: the same query under
+/// sequential, parallel and memoized evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineModeRow {
+    /// Total shot count.
+    pub n: u32,
+    /// Worker-thread cap used for the parallel measurement.
+    pub threads: usize,
+    /// Sequential, un-memoized wall time.
+    pub sequential: Duration,
+    /// Parallel (fan-out across scenes and branches), un-memoized.
+    pub parallel: Duration,
+    /// Sequential with the memo layer on.
+    pub memoized: Duration,
+}
+
+impl EngineModeRow {
+    /// Sequential time over parallel time.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.parallel.as_secs_f64().max(1e-12)
+    }
+
+    /// Sequential time over memoized time.
+    #[must_use]
+    pub fn memo_speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.memoized.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measures the engine-mode comparison for one workload size, asserting
+/// along the way that all three modes produce identical results.
+#[must_use]
+pub fn measure_engine_modes(n: u32, seed: u64, threads: usize) -> EngineModeRow {
+    let (tree, provider) = parallel_workload(n, seed);
+    let query = parallel_query();
+    let base = EngineConfig {
+        memoize: false,
+        parallel: ParallelConfig::sequential(),
+        ..EngineConfig::default()
+    };
+    // Best of several runs: each top-level eval redoes the full work (the
+    // engine resets stats and memo per call), and the minimum filters out
+    // scheduler noise at millisecond scales.
+    let run = |cfg: EngineConfig| {
+        let engine = Engine::with_config(&provider, &tree, cfg);
+        let mut best: Option<(SimilarityList, Duration)> = None;
+        for _ in 0..5 {
+            let (out, d) = time(|| {
+                engine
+                    .eval_closed_at_level(&query, 1)
+                    .expect("workload query evaluates")
+            });
+            if best.as_ref().is_none_or(|(_, b)| d < *b) {
+                best = Some((out, d));
+            }
+        }
+        best.expect("at least one run")
+    };
+    let (seq_out, sequential) = run(base);
+    let fanout = ParallelConfig {
+        max_threads: threads.max(1),
+        min_seqs_per_thread: 1,
+    };
+    let (par_out, parallel) = run(EngineConfig {
+        parallel: fanout,
+        ..base
+    });
+    let (memo_out, memoized) = run(EngineConfig {
+        memoize: true,
+        ..base
+    });
+    assert_eq!(seq_out, par_out, "parallel evaluation diverged");
+    assert_eq!(seq_out, memo_out, "memoized evaluation diverged");
+    EngineModeRow {
+        n,
+        threads,
+        sequential,
+        parallel,
+        memoized,
+    }
+}
+
+/// Formats the engine execution-mode table.
+#[must_use]
+pub fn format_engine_mode_table(title: &str, rows: &[EngineModeRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>8}  {:>10}  {:>10}  {:>8}  {:>10}  {:>8}",
+        "Size", "Threads", "Seq (s)", "Par (s)", "Par ×", "Memo (s)", "Memo ×"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>8}  {:>10.4}  {:>10.4}  {:>8.2}  {:>10.4}  {:>8.2}",
+            r.n,
+            r.threads,
+            r.sequential.as_secs_f64(),
+            r.parallel.as_secs_f64(),
+            r.parallel_speedup(),
+            r.memoized.as_secs_f64(),
+            r.memo_speedup(),
+        );
+    }
+    out
 }
 
 /// Measures `P1 ∧ P2` both ways (Table 5). The SQL measurement excludes
@@ -183,8 +377,7 @@ pub fn measure_complex2(n: u32, seed: u64) -> PerfRow {
         translate::conjunction_script("p1", "ev23", "out_cx2")
     );
     let (_, sql) = time(|| db.execute_script(&script).expect("sql complex2 runs"));
-    let sql_out =
-        translate::read_list(&db, "out_cx2", p1.max() + p3.max()).expect("read output");
+    let sql_out = translate::read_list(&db, "out_cx2", p1.max() + p3.max()).expect("read output");
     assert_lists_equal(&direct_out, &sql_out, n);
     PerfRow {
         n,
@@ -213,7 +406,11 @@ fn assert_lists_equal(direct: &SimilarityList, sql: &SimilarityList, n: u32) {
 
 /// Formats a performance table in the paper's layout.
 #[must_use]
-pub fn format_perf_table(title: &str, rows: &[PerfRow], paper: &[(u32, Option<f64>, Option<f64>)]) -> String {
+pub fn format_perf_table(
+    title: &str,
+    rows: &[PerfRow],
+    paper: &[(u32, Option<f64>, Option<f64>)],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
@@ -248,7 +445,11 @@ pub fn format_list_table(title: &str, tuples: &[(u32, u32, f64)]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "{:>9}  {:>7}  {:>16}", "Start-id", "End-id", "Similarity-value");
+    let _ = writeln!(
+        out,
+        "{:>9}  {:>7}  {:>16}",
+        "Start-id", "End-id", "Similarity-value"
+    );
     for (b, e, a) in tuples {
         let _ = writeln!(out, "{b:>9}  {e:>7}  {a:>16.3}");
     }
@@ -273,6 +474,15 @@ mod tests {
         let r1 = measure_complex1(1_000, 3);
         assert!(r1.direct <= r1.sql, "direct should not be slower than SQL");
         let _r2 = measure_complex2(1_000, 4);
+    }
+
+    #[test]
+    fn engine_modes_agree_and_run() {
+        let row = measure_engine_modes(2_000, 5, 4);
+        assert_eq!(row.n, 2_000);
+        assert_eq!(row.threads, 4);
+        let s = format_engine_mode_table("Engine modes", &[row]);
+        assert!(s.contains("2000"));
     }
 
     #[test]

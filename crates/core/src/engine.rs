@@ -9,13 +9,14 @@
 //! the subformula on each segment's descendant sequence and reading the
 //! value at its first element.
 
+use crate::memo::MemoCache;
 use crate::valuetable::freeze_join;
 use crate::{list, EngineError, Row, SimilarityList, SimilarityTable, ValueTable};
 use simvid_htl::{
     atomic_units, classify, is_pure, AtomicUnit, AttrFn, Formula, FormulaClass, LevelSpec,
 };
 use simvid_model::VideoTree;
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The proper sequence a formula is being evaluated on: the segments at
 /// depth `depth` with 0-based positions `lo..hi` within the level sequence.
@@ -47,7 +48,12 @@ impl SeqContext {
 
 /// Source of similarity tables for atomic units — the picture retrieval
 /// system of the paper's architecture (Figure 1).
-pub trait AtomicProvider {
+///
+/// Providers must be [`Sync`]: the engine fans evaluation out over scoped
+/// threads (independent descendant sequences of level-modal operators,
+/// independent branches of binary operators), and every worker queries the
+/// provider through a shared reference.
+pub trait AtomicProvider: Sync {
     /// The similarity table of a non-temporal atomic unit over the given
     /// sequence, with positions numbered 1-based relative to `ctx.lo`.
     fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable;
@@ -61,6 +67,51 @@ pub trait AtomicProvider {
     fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable;
 }
 
+/// Thread fan-out policy for the parallel evaluation paths.
+///
+/// Evaluation results are *bit-identical* for every setting: parallelism
+/// only changes which thread computes which independent piece, never the
+/// order results are merged in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Upper bound on worker threads (1 disables fan-out entirely).
+    pub max_threads: usize,
+    /// Minimum number of descendant sequences a level-modal fan-out must
+    /// hand each worker before it splits across threads. Guards against
+    /// spawning threads for trivial work.
+    pub min_seqs_per_thread: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            max_threads: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            min_seqs_per_thread: 8,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A fully sequential policy.
+    #[must_use]
+    pub fn sequential() -> ParallelConfig {
+        ParallelConfig {
+            max_threads: 1,
+            min_seqs_per_thread: usize::MAX,
+        }
+    }
+
+    /// A policy with an explicit thread cap (0 is treated as 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            max_threads: threads.max(1),
+            ..ParallelConfig::default()
+        }
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -71,6 +122,11 @@ pub struct EngineConfig {
     /// the alternatives realise the conclusion's "other similarity
     /// functions" ablation).
     pub conjunction: crate::ConjunctionSemantics,
+    /// Whether subformula evaluations are memoized (common-subexpression
+    /// elimination keyed by printed subformula + sequence context).
+    pub memoize: bool,
+    /// Thread fan-out policy.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +134,8 @@ impl Default for EngineConfig {
         EngineConfig {
             until_threshold: 0.5,
             conjunction: crate::ConjunctionSemantics::Sum,
+            memoize: true,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -93,6 +151,44 @@ pub struct EvalStats {
     pub entries_processed: usize,
     /// Level-modal descents into child sequences.
     pub level_descents: usize,
+    /// Subformula evaluations answered from the memo cache.
+    pub memo_hits: usize,
+    /// Subformula evaluations that had to be computed (and were cached).
+    pub memo_misses: usize,
+}
+
+/// Internal counters: atomics so parallel workers can report through a
+/// shared `&Engine` without locking.
+#[derive(Debug, Default)]
+struct StatCounters {
+    atomic_fetches: AtomicUsize,
+    joins: AtomicUsize,
+    entries_processed: AtomicUsize,
+    level_descents: AtomicUsize,
+    memo_hits: AtomicUsize,
+    memo_misses: AtomicUsize,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            atomic_fetches: self.atomic_fetches.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            entries_processed: self.entries_processed.load(Ordering::Relaxed),
+            level_descents: self.level_descents.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.atomic_fetches.store(0, Ordering::Relaxed);
+        self.joins.store(0, Ordering::Relaxed);
+        self.entries_processed.store(0, Ordering::Relaxed);
+        self.level_descents.store(0, Ordering::Relaxed);
+        self.memo_hits.store(0, Ordering::Relaxed);
+        self.memo_misses.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Evaluates extended conjunctive HTL formulas over one video.
@@ -100,7 +196,8 @@ pub struct Engine<'a, P: AtomicProvider> {
     provider: &'a P,
     tree: &'a VideoTree,
     config: EngineConfig,
-    stats: RefCell<EvalStats>,
+    stats: StatCounters,
+    memo: MemoCache,
 }
 
 impl<'a, P: AtomicProvider> Engine<'a, P> {
@@ -111,12 +208,18 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(provider: &'a P, tree: &'a VideoTree, config: EngineConfig) -> Self {
-        Engine { provider, tree, config, stats: RefCell::new(EvalStats::default()) }
+        Engine {
+            provider,
+            tree,
+            config,
+            stats: StatCounters::default(),
+            memo: MemoCache::new(),
+        }
     }
 
     /// Work counters accumulated since the last top-level evaluation call.
     pub fn stats(&self) -> EvalStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Evaluates `f` over the full sequence of segments at `depth`,
@@ -135,9 +238,17 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     .into(),
             ));
         }
-        *self.stats.borrow_mut() = EvalStats::default();
+        self.stats.reset();
+        self.memo.clear();
         let n = self.tree.level_sequence(depth).len() as u32;
-        self.eval(f, SeqContext { depth, lo: 0, hi: n })
+        self.eval(
+            f,
+            SeqContext {
+                depth,
+                lo: 0,
+                hi: n,
+            },
+        )
     }
 
     /// Evaluates `f` over the full sequence at `depth` *without* the
@@ -156,9 +267,17 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         depth: u8,
     ) -> Result<SimilarityTable, EngineError> {
-        *self.stats.borrow_mut() = EvalStats::default();
+        self.stats.reset();
+        self.memo.clear();
         let n = self.tree.level_sequence(depth).len() as u32;
-        self.eval(f, SeqContext { depth, lo: 0, hi: n })
+        self.eval(
+            f,
+            SeqContext {
+                depth,
+                lo: 0,
+                hi: n,
+            },
+        )
     }
 
     /// Evaluates a *closed* `f` over the full sequence at `depth`, returning
@@ -214,23 +333,71 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         }
     }
 
+    /// Evaluates one subformula, answering from the memo cache when the
+    /// same (printed subformula, context) pair has been computed before.
     fn eval(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
+        if !self.config.memoize {
+            return self.eval_uncached(f, ctx);
+        }
+        let key = MemoCache::key(f, ctx);
+        if let Some(hit) = self.memo.lookup(&key) {
+            self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.stats.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let out = self.eval_uncached(f, ctx)?;
+        self.memo.store(key, out.clone());
+        Ok(out)
+    }
+
+    /// Whether a branch promises enough work to repay a thread spawn:
+    /// either a wide context, or a level-modal descent (whose cost scales
+    /// with the descendant segments below the context, not its width).
+    fn branch_is_heavy(&self, f: &Formula, ctx: SeqContext) -> bool {
+        const HEAVY_SEGMENTS: u32 = 4096;
+        ctx.len() >= HEAVY_SEGMENTS || contains_level_modal(f)
+    }
+
+    /// Evaluates the two independent branches of a binary operator,
+    /// fanning them out over scoped threads when *both* branches carry
+    /// enough work to pay for a spawn (parallelising a trivial branch
+    /// only adds overhead — the heavy one stays on the critical path).
+    /// Results (and the winning error, when both fail) are identical to
+    /// sequential evaluation.
+    fn eval_pair(
+        &self,
+        g: &Formula,
+        h: &Formula,
+        ctx: SeqContext,
+    ) -> Result<(SimilarityTable, SimilarityTable), EngineError> {
+        let p = self.config.parallel;
+        if p.max_threads >= 2 && self.branch_is_heavy(g, ctx) && self.branch_is_heavy(h, ctx) {
+            let (rg, rh) = std::thread::scope(|scope| {
+                let worker = scope.spawn(|| self.eval(g, ctx));
+                let rh = self.eval(h, ctx);
+                (worker.join().expect("engine worker panicked"), rh)
+            });
+            Ok((rg?, rh?))
+        } else {
+            Ok((self.eval(g, ctx)?, self.eval(h, ctx)?))
+        }
+    }
+
+    fn eval_uncached(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
         if is_pure(f) {
-            self.stats.borrow_mut().atomic_fetches += 1;
+            self.stats.atomic_fetches.fetch_add(1, Ordering::Relaxed);
             let unit = unit_of(f);
             return Ok(self.provider.atomic_table(&unit, ctx).ensure_closed_row());
         }
         match f {
             Formula::And(g, h) => {
-                let tg = self.eval(g, ctx)?;
-                let th = self.eval(h, ctx)?;
+                let (tg, th) = self.eval_pair(g, h, ctx)?;
                 self.note_join(&tg, &th);
                 let sem = self.config.conjunction;
                 Ok(tg.join(&th, tg.max + th.max, move |a, b| list::and_with(a, b, sem)))
             }
             Formula::Until(g, h) => {
-                let tg = self.eval(g, ctx)?;
-                let th = self.eval(h, ctx)?;
+                let (tg, th) = self.eval_pair(g, h, ctx)?;
                 self.note_join(&tg, &th);
                 let theta = self.config.until_threshold;
                 Ok(tg.join(&th, th.max, |a, b| list::until(a, b, theta)))
@@ -283,22 +450,29 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             )));
         }
         let gmax = self.formula_max(g);
+        // Collect the non-empty descendant spans up front: each is an
+        // independent proper sequence, so they can fan out over workers.
+        let seq = self.tree.level_sequence(ctx.depth);
+        let spans: Vec<(u32, u32, u32)> = seq[ctx.lo as usize..ctx.hi as usize]
+            .iter()
+            .enumerate()
+            .filter_map(|(local0, &node)| {
+                let (lo, hi) = self.tree.descendant_span(node, target)?;
+                (lo != hi).then_some((local0 as u32 + 1, lo, hi))
+            })
+            .collect();
+        let subs = self.eval_spans(g, target, &spans)?;
         let mut out: Option<SimilarityTable> = None;
         // (binding, entries) accumulated across parents; entries arrive in
-        // ascending position order because parents are processed in order.
-        type Acc = Vec<(Vec<simvid_model::ObjectId>, Vec<crate::AttrRange>, Vec<(u32, f64)>)>;
+        // ascending position order because parents are merged in order
+        // (regardless of which worker evaluated which span).
+        type Acc = Vec<(
+            Vec<simvid_model::ObjectId>,
+            Vec<crate::AttrRange>,
+            Vec<(u32, f64)>,
+        )>;
         let mut acc: Acc = Vec::new();
-        let seq = self.tree.level_sequence(ctx.depth);
-        for (local0, &node) in seq[ctx.lo as usize..ctx.hi as usize].iter().enumerate() {
-            let Some((lo, hi)) = self.tree.descendant_span(node, target) else {
-                continue;
-            };
-            if lo == hi {
-                continue;
-            }
-            self.stats.borrow_mut().level_descents += 1;
-            let sub = self.eval(g, SeqContext { depth: target, lo, hi })?;
-            let local_pos = local0 as u32 + 1;
+        for (&(local_pos, _, _), sub) in spans.iter().zip(&subs) {
             for row in &sub.rows {
                 // The modal operator reads the value at the *first* segment
                 // of the descendant sequence.
@@ -343,11 +517,75 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         Ok(out.ensure_closed_row())
     }
 
+    /// Evaluates `g` over every span, splitting the spans into contiguous
+    /// chunks across scoped threads when there are enough of them. The
+    /// returned tables are ordered like `spans` in both paths, and the
+    /// winning error (the earliest span whose chunk failed) matches the
+    /// sequential short-circuit.
+    fn eval_spans(
+        &self,
+        g: &Formula,
+        target: u8,
+        spans: &[(u32, u32, u32)],
+    ) -> Result<Vec<SimilarityTable>, EngineError> {
+        let p = self.config.parallel;
+        let workers = (spans.len() / p.min_seqs_per_thread.max(1)).min(p.max_threads);
+        let eval_span = |&(_, lo, hi): &(u32, u32, u32)| {
+            self.stats.level_descents.fetch_add(1, Ordering::Relaxed);
+            self.eval(
+                g,
+                SeqContext {
+                    depth: target,
+                    lo,
+                    hi,
+                },
+            )
+        };
+        if workers < 2 {
+            return spans.iter().map(eval_span).collect();
+        }
+        let chunk = spans.len().div_ceil(workers);
+        let results: Vec<Result<Vec<SimilarityTable>, EngineError>> = std::thread::scope(|scope| {
+            let eval_span = &eval_span;
+            let handles: Vec<_> = spans
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(eval_span).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(spans.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
     fn note_join(&self, a: &SimilarityTable, b: &SimilarityTable) {
-        let mut s = self.stats.borrow_mut();
-        s.joins += 1;
-        s.entries_processed += a.rows.iter().map(|r| r.list.len()).sum::<usize>()
+        self.stats.joins.fetch_add(1, Ordering::Relaxed);
+        let entries = a.rows.iter().map(|r| r.list.len()).sum::<usize>()
             + b.rows.iter().map(|r| r.list.len()).sum::<usize>();
+        self.stats
+            .entries_processed
+            .fetch_add(entries, Ordering::Relaxed);
+    }
+}
+
+/// Whether the formula contains a level-modal operator anywhere.
+fn contains_level_modal(f: &Formula) -> bool {
+    match f {
+        Formula::AtLevel(..) => true,
+        Formula::Atom(_) => false,
+        Formula::Not(g)
+        | Formula::Next(g)
+        | Formula::Eventually(g)
+        | Formula::Exists(_, g)
+        | Formula::Freeze { body: g, .. } => contains_level_modal(g),
+        Formula::And(g, h) | Formula::Until(g, h) => {
+            contains_level_modal(g) || contains_level_modal(h)
+        }
     }
 }
 
@@ -373,7 +611,10 @@ mod tests {
     impl FixtureProvider {
         fn new(entries: Vec<(&str, SimilarityList)>) -> Self {
             FixtureProvider {
-                tables: entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+                tables: entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect(),
             }
         }
 
@@ -393,7 +634,8 @@ mod tests {
         }
 
         fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
-            self.lookup(&unit.formula.to_string()).map_or(1.0, SimilarityList::max)
+            self.lookup(&unit.formula.to_string())
+                .map_or(1.0, SimilarityList::max)
         }
 
         fn value_table(&self, _func: &AttrFn, _ctx: SeqContext) -> ValueTable {
@@ -422,7 +664,13 @@ mod tests {
             (
                 "MW()",
                 sl(
-                    vec![(1, 4, 2.595), (6, 6, 1.26), (8, 8, 1.26), (10, 44, 1.26), (47, 49, 6.26)],
+                    vec![
+                        (1, 4, 2.595),
+                        (6, 6, 1.26),
+                        (8, 8, 1.26),
+                        (10, 44, 1.26),
+                        (47, 49, 6.26),
+                    ],
                     6.26,
                 ),
             ),
@@ -449,6 +697,85 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.atomic_fetches, 2);
         assert_eq!(stats.joins, 1);
+    }
+
+    #[test]
+    fn memoization_elides_repeated_subformulas() {
+        let provider = FixtureProvider::new(vec![("p()", sl(vec![(1, 4, 1.0), (8, 9, 0.5)], 1.0))]);
+        let tree = flat_video(10);
+        // `p() and eventually p()` evaluates `p()` twice over the same
+        // window: the second occurrence must come from the memo.
+        let f = parse("p() and eventually p()").unwrap();
+        let memoized = Engine::new(&provider, &tree);
+        let out = memoized.eval_closed_at_level(&f, 1).unwrap();
+        let stats = memoized.stats();
+        assert_eq!(stats.atomic_fetches, 1, "second p() fetch is a cache hit");
+        assert!(stats.memo_hits >= 1);
+        assert!(stats.memo_misses >= 2);
+        // Memoization must not change the result.
+        let plain = Engine::with_config(
+            &provider,
+            &tree,
+            EngineConfig {
+                memoize: false,
+                ..EngineConfig::default()
+            },
+        );
+        let expected = plain.eval_closed_at_level(&f, 1).unwrap();
+        assert_eq!(plain.stats().atomic_fetches, 2);
+        assert_eq!(plain.stats().memo_hits, 0);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_to_sequential() {
+        // 6 scenes × 4 shots, evaluated with an aggressive fan-out policy
+        // versus the sequential one: every similarity value must agree
+        // exactly.
+        let mut b = VideoBuilder::new("v");
+        b.set_level_names(["video", "scene", "shot"]);
+        for s in 0..6 {
+            b.child(format!("scene{s}"));
+            for i in 0..4 {
+                b.leaf(format!("s{s}.{i}"));
+            }
+            b.up();
+        }
+        let tree = b.finish().unwrap();
+        let provider = FixtureProvider::new(vec![
+            ("p()", sl(vec![(1, 9, 1.0), (13, 22, 0.7)], 1.0)),
+            (
+                "q()",
+                sl(vec![(3, 3, 2.0), (11, 16, 1.5), (24, 24, 2.0)], 2.0),
+            ),
+        ]);
+        let f = parse("at shot level (p() until q())").unwrap();
+        let sequential = Engine::with_config(
+            &provider,
+            &tree,
+            EngineConfig {
+                parallel: ParallelConfig::sequential(),
+                ..EngineConfig::default()
+            },
+        );
+        let parallel = Engine::with_config(
+            &provider,
+            &tree,
+            EngineConfig {
+                parallel: ParallelConfig {
+                    max_threads: 4,
+                    min_seqs_per_thread: 1,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let seq_out = sequential.eval_closed_at_level(&f, 1).unwrap();
+        let par_out = parallel.eval_closed_at_level(&f, 1).unwrap();
+        assert_eq!(seq_out, par_out);
+        assert_eq!(
+            sequential.stats().level_descents,
+            parallel.stats().level_descents
+        );
     }
 
     #[test]
@@ -480,10 +807,7 @@ mod tests {
         }
         b.up();
         let tree = b.finish().unwrap();
-        let provider = FixtureProvider::new(vec![(
-            "p()",
-            sl(vec![(1, 2, 1.0), (4, 4, 0.5)], 1.0),
-        )]);
+        let provider = FixtureProvider::new(vec![("p()", sl(vec![(1, 2, 1.0), (4, 4, 0.5)], 1.0))]);
         let engine = Engine::new(&provider, &tree);
         let f = parse("at shot level p()").unwrap();
         // Evaluated on the scene sequence: scene 1's first shot is global
@@ -542,16 +866,16 @@ mod tests {
 
     #[test]
     fn eval_video_scores_the_root() {
-        let provider = FixtureProvider::new(vec![(
-            "type = \"western\"",
-            sl(vec![(1, 1, 1.0)], 1.0),
-        )]);
+        let provider =
+            FixtureProvider::new(vec![("type = \"western\"", sl(vec![(1, 1, 1.0)], 1.0))]);
         let mut b = VideoBuilder::new("v");
         b.segment_attr("type", AttrValue::from("western"));
         b.leaf("shot");
         let tree = b.finish().unwrap();
         let engine = Engine::new(&provider, &tree);
-        let sim = engine.eval_video(&parse("type = \"western\"").unwrap()).unwrap();
+        let sim = engine
+            .eval_video(&parse("type = \"western\"").unwrap())
+            .unwrap();
         assert!(sim.is_exact());
     }
 

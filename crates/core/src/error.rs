@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(EngineError::OverlappingEntries.to_string().contains("overlap"));
+        assert!(EngineError::OverlappingEntries
+            .to_string()
+            .contains("overlap"));
         assert!(EngineError::UnsupportedFormula("negation".into())
             .to_string()
             .contains("negation"));

@@ -100,7 +100,10 @@ mod tests {
         assert_eq!(a.intersection(c), None);
         assert!(!a.intersects(c));
         // Touching at one point.
-        assert_eq!(a.intersection(Interval::new(5, 7)), Some(Interval::new(5, 5)));
+        assert_eq!(
+            a.intersection(Interval::new(5, 7)),
+            Some(Interval::new(5, 5))
+        );
     }
 
     #[test]

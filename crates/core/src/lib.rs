@@ -49,16 +49,18 @@ pub mod engine;
 mod error;
 mod interval;
 pub mod list;
+pub mod memo;
 mod range;
 mod sim;
 pub mod table;
 pub mod topk;
 pub mod valuetable;
 
-pub use engine::{AtomicProvider, Engine, EngineConfig, EvalStats, SeqContext};
+pub use engine::{AtomicProvider, Engine, EngineConfig, EvalStats, ParallelConfig, SeqContext};
 pub use error::EngineError;
 pub use interval::{Interval, SegPos};
 pub use list::{ConjunctionSemantics, SimilarityList};
+pub use memo::{MemoCache, MemoKey};
 pub use range::AttrRange;
 pub use sim::Sim;
 pub use table::{Row, SimilarityTable};

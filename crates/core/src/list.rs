@@ -30,7 +30,10 @@ impl SimilarityList {
     /// The empty list (every segment has similarity zero).
     #[must_use]
     pub fn empty(max: f64) -> SimilarityList {
-        SimilarityList { entries: Vec::new(), max }
+        SimilarityList {
+            entries: Vec::new(),
+            max,
+        }
     }
 
     /// Builds a list from entries, sorting them and dropping non-positive
@@ -66,7 +69,10 @@ impl SimilarityList {
         Self::from_entries(
             tuples
                 .into_iter()
-                .map(|(b, e, act)| Entry { iv: Interval::new(b, e), act })
+                .map(|(b, e, act)| Entry {
+                    iv: Interval::new(b, e),
+                    act,
+                })
                 .collect(),
             max,
         )
@@ -85,7 +91,10 @@ impl SimilarityList {
                 current => {
                     if let Some((beg, act)) = current {
                         if act > 0.0 {
-                            entries.push(Entry { iv: Interval::new(beg, pos - 1), act });
+                            entries.push(Entry {
+                                iv: Interval::new(beg, pos - 1),
+                                act,
+                            });
                         }
                     }
                     run = Some((pos, v));
@@ -144,10 +153,7 @@ impl SimilarityList {
     /// The actual similarity at a position (zero if absent).
     #[must_use]
     pub fn value_at(&self, pos: SegPos) -> f64 {
-        match self
-            .entries
-            .binary_search_by(|e| e.iv.end.cmp(&pos))
-        {
+        match self.entries.binary_search_by(|e| e.iv.end.cmp(&pos)) {
             Ok(i) => self.entries[i].act,
             Err(i) => self
                 .entries
@@ -184,14 +190,17 @@ impl SimilarityList {
                 _ => out.push(e),
             }
         }
-        SimilarityList { entries: out, max: self.max }
+        SimilarityList {
+            entries: out,
+            max: self.max,
+        }
     }
 
     /// Restricts the list to a window `[lo, hi]` of absolute positions and
     /// renumbers so the window starts at position 1.
     #[must_use]
     pub fn slice_window(&self, lo: SegPos, hi: SegPos) -> SimilarityList {
-        let mut entries = Vec::new();
+        let mut entries = Vec::with_capacity(self.entries.len());
         for e in &self.entries {
             if let Some(iv) = e.iv.intersection(Interval::new(lo, hi)) {
                 entries.push(Entry {
@@ -200,7 +209,10 @@ impl SimilarityList {
                 });
             }
         }
-        SimilarityList { entries, max: self.max }
+        SimilarityList {
+            entries,
+            max: self.max,
+        }
     }
 
     /// Inverse of [`SimilarityList::slice_window`]: renumbers local
@@ -215,7 +227,10 @@ impl SimilarityList {
                 act: e.act,
             })
             .collect();
-        SimilarityList { entries, max: self.max }
+        SimilarityList {
+            entries,
+            max: self.max,
+        }
     }
 
     /// Restricts the list to the union of `spans` (sorted, disjoint),
@@ -225,7 +240,7 @@ impl SimilarityList {
     /// `O(l + s)`.
     #[must_use]
     pub fn restrict_to(&self, spans: &[Interval]) -> SimilarityList {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.entries.len());
         let mut si = 0usize;
         for e in &self.entries {
             while si < spans.len() && spans[si].end < e.iv.beg {
@@ -239,7 +254,10 @@ impl SimilarityList {
                 k += 1;
             }
         }
-        SimilarityList { entries: out, max: self.max }
+        SimilarityList {
+            entries: out,
+            max: self.max,
+        }
     }
 
     /// Total number of positions covered by entries.
@@ -255,7 +273,11 @@ impl SimilarityList {
                 return Err(EngineError::OverlappingEntries);
             }
         }
-        if self.entries.iter().any(|e| e.act > self.max || e.act <= 0.0) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.act > self.max || e.act <= 0.0)
+        {
             return Err(EngineError::ActAboveMax);
         }
         Ok(())
@@ -265,38 +287,48 @@ impl SimilarityList {
 /// Sweeps two lists in lock step, combining per-position values with `f`
 /// (absent positions count as 0); positions where `f` yields `<= 0` are
 /// dropped. `O(l₁ + l₂)`.
-fn sweep2(l1: &SimilarityList, l2: &SimilarityList, max: f64, f: impl Fn(f64, f64) -> f64) -> SimilarityList {
-    // Merge the two sorted boundary streams. Boundaries are entry begins and
-    // one-past-ends.
+fn sweep2(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    max: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> SimilarityList {
+    // Merge the two sorted boundary streams. Boundaries are entry begins
+    // and one-past-ends; within one list the stream `beg₁, end₁+1, beg₂,
+    // end₂+1, …` is already non-decreasing (entries are sorted and
+    // disjoint), so the streams are read off the entries directly instead
+    // of being materialised first.
+    let bound = |entries: &[Entry], k: usize| -> Option<SegPos> {
+        let e = entries.get(k / 2)?;
+        Some(if k.is_multiple_of(2) {
+            e.iv.beg
+        } else {
+            e.iv.end + 1
+        })
+    };
     let mut bounds: Vec<SegPos> = Vec::with_capacity(2 * (l1.len() + l2.len()));
-    {
-        // Flatten each list's boundaries into sorted streams and merge them.
-        let stream1: Vec<SegPos> =
-            l1.entries.iter().flat_map(|e| [e.iv.beg, e.iv.end + 1]).collect();
-        let stream2: Vec<SegPos> =
-            l2.entries.iter().flat_map(|e| [e.iv.beg, e.iv.end + 1]).collect();
-        let (mut i, mut j) = (0usize, 0usize);
-        let push = |bounds: &mut Vec<SegPos>, b: SegPos| {
-            if bounds.last() != Some(&b) {
-                bounds.push(b);
-            }
-        };
-        while i < stream1.len() || j < stream2.len() {
-            let take1 = match (stream1.get(i), stream2.get(j)) {
-                (Some(&a), Some(&b)) => a <= b,
-                (Some(_), None) => true,
-                _ => false,
-            };
-            if take1 {
-                push(&mut bounds, stream1[i]);
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let b = match (bound(&l1.entries, i), bound(&l2.entries, j)) {
+            (Some(a), Some(b)) if a <= b => {
                 i += 1;
-            } else {
-                push(&mut bounds, stream2[j]);
-                j += 1;
+                a
             }
+            (_, Some(b)) => {
+                j += 1;
+                b
+            }
+            (Some(a), None) => {
+                i += 1;
+                a
+            }
+            (None, None) => break,
+        };
+        if bounds.last() != Some(&b) {
+            bounds.push(b);
         }
     }
-    let mut out: Vec<Entry> = Vec::new();
+    let mut out: Vec<Entry> = Vec::with_capacity(bounds.len().saturating_sub(1));
     let (mut i, mut j) = (0usize, 0usize);
     for w in bounds.windows(2) {
         let (b, next_b) = (w[0], w[1]);
@@ -306,8 +338,16 @@ fn sweep2(l1: &SimilarityList, l2: &SimilarityList, max: f64, f: impl Fn(f64, f6
         while j < l2.entries.len() && l2.entries[j].iv.end < b {
             j += 1;
         }
-        let v1 = l1.entries.get(i).filter(|e| e.iv.contains(b)).map_or(0.0, |e| e.act);
-        let v2 = l2.entries.get(j).filter(|e| e.iv.contains(b)).map_or(0.0, |e| e.act);
+        let v1 = l1
+            .entries
+            .get(i)
+            .filter(|e| e.iv.contains(b))
+            .map_or(0.0, |e| e.act);
+        let v2 = l2
+            .entries
+            .get(j)
+            .filter(|e| e.iv.contains(b))
+            .map_or(0.0, |e| e.act);
         let v = f(v1, v2);
         if v > 0.0 {
             let iv = Interval::new(b, next_b - 1);
@@ -409,7 +449,10 @@ pub fn next(l: &SimilarityList) -> SimilarityList {
             act: e.act,
         })
         .collect();
-    SimilarityList { entries, max: l.max }
+    SimilarityList {
+        entries,
+        max: l.max,
+    }
 }
 
 /// The maximal runs of positions where the fractional similarity reaches
@@ -449,7 +492,7 @@ pub fn threshold_runs(l: &SimilarityList, theta: f64) -> Vec<Interval> {
 pub fn until(lg: &SimilarityList, lh: &SimilarityList, theta: f64) -> SimilarityList {
     let runs = threshold_runs(lg, theta);
     let js = &lh.entries;
-    let mut reach_entries: Vec<Entry> = Vec::new();
+    let mut reach_entries: Vec<Entry> = Vec::with_capacity(js.len() + runs.len());
     let mut j_start = 0usize;
     let mut suffix_max: Vec<f64> = Vec::new();
     for run in runs {
@@ -490,7 +533,10 @@ pub fn until(lg: &SimilarityList, lh: &SimilarityList, theta: f64) -> Similarity
             }
         }
     }
-    let reach = SimilarityList { entries: reach_entries, max: lh.max };
+    let reach = SimilarityList {
+        entries: reach_entries,
+        max: lh.max,
+    };
     // u'' = u is always allowed: h's own list joins the max.
     max_merge(&reach, lh)
 }
@@ -518,24 +564,34 @@ pub fn eventually(l: &SimilarityList) -> SimilarityList {
             Some(last) if last.act == act && last.iv.adjacent_before(Interval::new(lo, hi)) => {
                 last.iv.end = hi;
             }
-            _ => entries.push(Entry { iv: Interval::new(lo, hi), act }),
+            _ => entries.push(Entry {
+                iv: Interval::new(lo, hi),
+                act,
+            }),
         }
     }
-    SimilarityList { entries, max: l.max }
+    SimilarityList {
+        entries,
+        max: l.max,
+    }
 }
 
 /// Compares tuple lists with a small tolerance on the values (sums of
 /// decimal fractions are not exactly representable). Test helper.
 #[cfg(test)]
 #[track_caller]
-pub(crate) fn assert_tuples_approx(
-    got: &[(SegPos, SegPos, f64)],
-    want: &[(SegPos, SegPos, f64)],
-) {
+pub(crate) fn assert_tuples_approx(got: &[(SegPos, SegPos, f64)], want: &[(SegPos, SegPos, f64)]) {
     assert_eq!(got.len(), want.len(), "lengths differ: {got:?} vs {want:?}");
     for (g, w) in got.iter().zip(want) {
-        assert_eq!((g.0, g.1), (w.0, w.1), "intervals differ: {got:?} vs {want:?}");
-        assert!((g.2 - w.2).abs() < 1e-9, "values differ: {got:?} vs {want:?}");
+        assert_eq!(
+            (g.0, g.1),
+            (w.0, w.1),
+            "intervals differ: {got:?} vs {want:?}"
+        );
+        assert!(
+            (g.2 - w.2).abs() < 1e-9,
+            "values differ: {got:?} vs {want:?}"
+        );
     }
 }
 
@@ -588,7 +644,13 @@ mod tests {
         // The paper's Query 1 final combination: Man-Woman ∧ eventually
         // Moving-Train over the Casablanca shots.
         let man_woman = sl(
-            vec![(1, 4, 2.595), (6, 6, 1.26), (8, 8, 1.26), (10, 44, 1.26), (47, 49, 6.26)],
+            vec![
+                (1, 4, 2.595),
+                (6, 6, 1.26),
+                (8, 8, 1.26),
+                (10, 44, 1.26),
+                (47, 49, 6.26),
+            ],
             6.26,
         );
         let ev_train = sl(vec![(1, 9, 9.787)], 9.787);
@@ -640,13 +702,23 @@ mod tests {
     fn figure2_until_example_matches_paper() {
         let l1 = sl(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0);
         let l2 = sl(
-            vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+            vec![
+                (10, 50, 10.0),
+                (55, 60, 15.0),
+                (90, 110, 12.0),
+                (125, 175, 10.0),
+            ],
             20.0,
         );
         let out = until(&l1, &l2, 0.5);
         assert_eq!(
             out.to_tuples(),
-            vec![(10, 24, 10.0), (25, 60, 15.0), (61, 110, 12.0), (125, 175, 10.0)]
+            vec![
+                (10, 24, 10.0),
+                (25, 60, 15.0),
+                (61, 110, 12.0),
+                (125, 175, 10.0)
+            ]
         );
         assert_eq!(out.max(), 20.0);
     }
@@ -685,10 +757,7 @@ mod tests {
         let g = sl(vec![(1, 10, 1.0)], 1.0);
         let h = sl(vec![(2, 2, 3.0), (6, 6, 9.0), (9, 9, 4.0)], 10.0);
         let out = until(&g, &h, 0.5);
-        assert_eq!(
-            out.to_tuples(),
-            vec![(1, 6, 9.0), (7, 9, 4.0)]
-        );
+        assert_eq!(out.to_tuples(), vec![(1, 6, 9.0), (7, 9, 4.0)]);
     }
 
     #[test]
@@ -704,10 +773,7 @@ mod tests {
         let h = sl(vec![(9, 9, 9.787)], 9.787);
         assert_eq!(eventually(&h).to_tuples(), vec![(1, 9, 9.787)]);
         let h2 = sl(vec![(3, 4, 2.0), (8, 8, 5.0), (12, 13, 1.0)], 5.0);
-        assert_eq!(
-            eventually(&h2).to_tuples(),
-            vec![(1, 8, 5.0), (9, 13, 1.0)]
-        );
+        assert_eq!(eventually(&h2).to_tuples(), vec![(1, 8, 5.0), (9, 13, 1.0)]);
         assert!(eventually(&SimilarityList::empty(3.0)).is_empty());
     }
 
@@ -738,7 +804,10 @@ mod tests {
 
     #[test]
     fn threshold_runs_merges_adjacent() {
-        let l = sl(vec![(1, 3, 0.9), (4, 6, 0.6), (8, 9, 0.2), (11, 12, 0.8)], 1.0);
+        let l = sl(
+            vec![(1, 3, 0.9), (4, 6, 0.6), (8, 9, 0.2), (11, 12, 0.8)],
+            1.0,
+        );
         assert_eq!(
             threshold_runs(&l, 0.5),
             vec![Interval::new(1, 6), Interval::new(11, 12)]
@@ -758,16 +827,17 @@ mod tests {
     #[test]
     fn coalesce_merges_equal_adjacent() {
         let l = sl(vec![(1, 3, 1.0), (4, 6, 1.0), (8, 9, 1.0)], 2.0);
-        assert_eq!(
-            l.coalesce().to_tuples(),
-            vec![(1, 6, 1.0), (8, 9, 1.0)]
-        );
+        assert_eq!(l.coalesce().to_tuples(), vec![(1, 6, 1.0), (8, 9, 1.0)]);
     }
 
     #[test]
     fn restrict_to_intersects_spans() {
         let l = sl(vec![(1, 10, 2.0), (20, 30, 3.0)], 3.0);
-        let spans = vec![Interval::new(5, 8), Interval::new(9, 22), Interval::new(28, 40)];
+        let spans = vec![
+            Interval::new(5, 8),
+            Interval::new(9, 22),
+            Interval::new(28, 40),
+        ];
         let out = l.restrict_to(&spans);
         assert_eq!(
             out.to_tuples(),
@@ -823,7 +893,7 @@ mod semantics_tests {
         // Weakest-link: the one-sided segment collapses to zero.
         assert_eq!(weak.value_at(1), 0.0);
         assert!((weak.value_at(2) - 2.0).abs() < 1e-12); // min(0.5, 0.5)*4
-        // Product is equally harsh on one-sided matches.
+                                                         // Product is equally harsh on one-sided matches.
         assert_eq!(prod.value_at(1), 0.0);
         assert!((prod.value_at(2) - 1.0).abs() < 1e-12); // 0.25 * 4
     }

@@ -1,0 +1,96 @@
+//! Memoization of subformula evaluations.
+//!
+//! The engine's recursion treats the query as a tree, but queries are
+//! DAGs in practice: the same subformula often occurs several times
+//! (`g ∧ eventually g`, repeated atomic units, shared level-modal
+//! blocks). The memo layer caches every evaluated [`SimilarityTable`]
+//! keyed by the *printed* (normalized) subformula plus the exact
+//! [`SeqContext`] it was evaluated on, turning repeated subformulas into
+//! O(1) lookups — common-subexpression elimination over the formula DAG.
+//!
+//! The cache is internally synchronised so the parallel fan-out paths of
+//! the engine can share it: lookups and stores take a [`Mutex`], which is
+//! cheap next to the list work a hit saves.
+
+use crate::{SeqContext, SimilarityTable};
+use simvid_htl::Formula;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A memo key: the subformula's canonical printed form plus the sequence
+/// context it was evaluated on. Two occurrences of a subformula hit the
+/// same entry exactly when they print identically and run over the same
+/// segment window.
+pub type MemoKey = (String, u8, u32, u32);
+
+/// A thread-safe cache of evaluated similarity tables.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    map: Mutex<HashMap<MemoKey, SimilarityTable>>,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> MemoCache {
+        MemoCache::default()
+    }
+
+    /// The key of a subformula evaluation.
+    #[must_use]
+    pub fn key(f: &Formula, ctx: SeqContext) -> MemoKey {
+        (f.to_string(), ctx.depth, ctx.lo, ctx.hi)
+    }
+
+    /// The cached table for a key, if present.
+    #[must_use]
+    pub fn lookup(&self, key: &MemoKey) -> Option<SimilarityTable> {
+        self.map.lock().expect("memo lock").get(key).cloned()
+    }
+
+    /// Stores an evaluated table. Later stores for the same key win (they
+    /// hold the same value: evaluation is deterministic).
+    pub fn store(&self, key: MemoKey, table: SimilarityTable) {
+        self.map.lock().expect("memo lock").insert(key, table);
+    }
+
+    /// Number of cached evaluations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.map.lock().expect("memo lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimilarityList;
+
+    #[test]
+    fn lookup_returns_stored_tables() {
+        let cache = MemoCache::new();
+        let key: MemoKey = ("p()".into(), 1, 0, 50);
+        assert!(cache.lookup(&key).is_none());
+        let table = SimilarityTable::from_list(
+            SimilarityList::from_tuples(vec![(1, 3, 1.0)], 2.0).unwrap(),
+        );
+        cache.store(key.clone(), table.clone());
+        assert_eq!(cache.lookup(&key), Some(table));
+        assert_eq!(cache.len(), 1);
+        // A different window is a different key.
+        assert!(cache.lookup(&("p()".into(), 1, 0, 10)).is_none());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

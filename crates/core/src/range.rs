@@ -36,13 +36,20 @@ impl AttrRange {
     /// Requires `y == value`.
     #[must_use]
     pub fn exactly(value: AttrValue) -> AttrRange {
-        AttrRange { eq: Some(value), ..AttrRange::default() }
+        AttrRange {
+            eq: Some(value),
+            ..AttrRange::default()
+        }
     }
 
     /// An inclusive integer interval.
     #[must_use]
     pub fn between(lo: i64, hi: i64) -> AttrRange {
-        AttrRange { lo: Some(lo), hi: Some(hi), ..AttrRange::default() }
+        AttrRange {
+            lo: Some(lo),
+            hi: Some(hi),
+            ..AttrRange::default()
+        }
     }
 
     /// The range of values satisfying `y <op> value`. Returns `None` when
@@ -51,14 +58,29 @@ impl AttrRange {
     pub fn from_cmp(op: CmpOp, value: &AttrValue) -> Option<AttrRange> {
         match op {
             CmpOp::Eq => Some(AttrRange::exactly(value.clone())),
-            CmpOp::Ne => Some(AttrRange { ne: vec![value.clone()], ..AttrRange::default() }),
+            CmpOp::Ne => Some(AttrRange {
+                ne: vec![value.clone()],
+                ..AttrRange::default()
+            }),
             _ => {
                 let v = value.as_int()?;
                 Some(match op {
-                    CmpOp::Lt => AttrRange { hi: Some(v - 1), ..AttrRange::default() },
-                    CmpOp::Le => AttrRange { hi: Some(v), ..AttrRange::default() },
-                    CmpOp::Gt => AttrRange { lo: Some(v + 1), ..AttrRange::default() },
-                    CmpOp::Ge => AttrRange { lo: Some(v), ..AttrRange::default() },
+                    CmpOp::Lt => AttrRange {
+                        hi: Some(v - 1),
+                        ..AttrRange::default()
+                    },
+                    CmpOp::Le => AttrRange {
+                        hi: Some(v),
+                        ..AttrRange::default()
+                    },
+                    CmpOp::Gt => AttrRange {
+                        lo: Some(v + 1),
+                        ..AttrRange::default()
+                    },
+                    CmpOp::Ge => AttrRange {
+                        lo: Some(v),
+                        ..AttrRange::default()
+                    },
                     CmpOp::Eq | CmpOp::Ne => unreachable!(),
                 })
             }
@@ -92,7 +114,9 @@ impl AttrRange {
             return false;
         }
         if self.lo.is_some() || self.hi.is_some() {
-            let Some(v) = value.as_int() else { return false };
+            let Some(v) = value.as_int() else {
+                return false;
+            };
             if self.lo.is_some_and(|lo| v < lo) || self.hi.is_some_and(|hi| v > hi) {
                 return false;
             }
@@ -220,7 +244,9 @@ mod tests {
         let b = AttrRange::exactly(AttrValue::Int(7));
         let c = a.intersect(&b).unwrap();
         assert!(c.contains(&AttrValue::Int(7)));
-        assert!(a.intersect(&AttrRange::exactly(AttrValue::Int(12))).is_none());
+        assert!(a
+            .intersect(&AttrRange::exactly(AttrValue::Int(12)))
+            .is_none());
         // Conflicting exact values.
         assert!(AttrRange::exactly(AttrValue::from("a"))
             .intersect(&AttrRange::exactly(AttrValue::from("b")))

@@ -21,7 +21,10 @@ impl Sim {
     /// `0 ≤ act ≤ max` and finiteness in debug builds.
     #[must_use]
     pub fn new(act: f64, max: f64) -> Sim {
-        debug_assert!(act.is_finite() && max.is_finite(), "similarities are finite");
+        debug_assert!(
+            act.is_finite() && max.is_finite(),
+            "similarities are finite"
+        );
         debug_assert!(
             0.0 <= act && act <= max,
             "similarity invariant violated: 0 <= {act} <= {max}"

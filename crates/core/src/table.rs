@@ -10,6 +10,7 @@
 use crate::{list, AttrRange, SimilarityList};
 use serde::{Deserialize, Serialize};
 use simvid_model::ObjectId;
+use std::collections::HashMap;
 
 /// One evaluation row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,7 +40,12 @@ impl SimilarityTable {
     /// An empty table with the given columns.
     #[must_use]
     pub fn new(obj_cols: Vec<String>, attr_cols: Vec<String>, max: f64) -> SimilarityTable {
-        SimilarityTable { obj_cols, attr_cols, max, rows: Vec::new() }
+        SimilarityTable {
+            obj_cols,
+            attr_cols,
+            max,
+            rows: Vec::new(),
+        }
     }
 
     /// A closed (column-less) table holding a single list.
@@ -50,7 +56,11 @@ impl SimilarityTable {
             obj_cols: Vec::new(),
             attr_cols: Vec::new(),
             max,
-            rows: vec![Row { objs: Vec::new(), ranges: Vec::new(), list }],
+            rows: vec![Row {
+                objs: Vec::new(),
+                ranges: Vec::new(),
+                list,
+            }],
         }
     }
 
@@ -101,7 +111,11 @@ impl SimilarityTable {
     /// Applies a list transformation to every row (used for `next` and
     /// `eventually`, which act row-wise).
     #[must_use]
-    pub fn map_lists(mut self, max: f64, f: impl Fn(&SimilarityList) -> SimilarityList) -> SimilarityTable {
+    pub fn map_lists(
+        mut self,
+        max: f64,
+        f: impl Fn(&SimilarityList) -> SimilarityList,
+    ) -> SimilarityTable {
         for row in &mut self.rows {
             row.list = f(&row.list);
         }
@@ -147,15 +161,27 @@ impl SimilarityTable {
         attr_cols.extend(other_only_attrs.iter().map(|&j| other.attr_cols[j].clone()));
 
         let mut out = SimilarityTable::new(obj_cols, attr_cols, max);
-        // Row counts are evaluation counts (small); a nested loop keeps the
-        // code obviously correct. The list work dominates.
+        // Hash-partition `other` on the shared object columns, then probe
+        // with each of our rows: O(n + m + matches) instead of the n·m
+        // nested loop. Buckets keep their rows in insertion order and the
+        // probe side runs in row order, so the output row order is exactly
+        // the nested loop's. Attribute ranges join by *intersection*, not
+        // equality, so they stay a per-candidate filter rather than part
+        // of the hash key. With no shared object columns every row lands
+        // in the single empty-key bucket — the cross product.
+        let mut buckets: HashMap<Vec<ObjectId>, Vec<&Row>> = HashMap::new();
+        for r2 in &other.rows {
+            let key: Vec<ObjectId> = shared_objs.iter().map(|&(_, j)| r2.objs[j]).collect();
+            buckets.entry(key).or_default().push(r2);
+        }
+        let mut probe: Vec<ObjectId> = Vec::with_capacity(shared_objs.len());
         for r1 in &self.rows {
-            'pair: for r2 in &other.rows {
-                for &(i, j) in &shared_objs {
-                    if r1.objs[i] != r2.objs[j] {
-                        continue 'pair;
-                    }
-                }
+            probe.clear();
+            probe.extend(shared_objs.iter().map(|&(i, _)| r1.objs[i]));
+            let Some(candidates) = buckets.get(&probe) else {
+                continue;
+            };
+            'pair: for &r2 in candidates {
                 let mut ranges = r1.ranges.clone();
                 for &(i, j) in &shared_attrs {
                     match r1.ranges[i].intersect(&r2.ranges[j]) {
@@ -163,11 +189,17 @@ impl SimilarityTable {
                         None => continue 'pair,
                     }
                 }
-                let mut objs = r1.objs.clone();
+                let mut objs = Vec::with_capacity(r1.objs.len() + other_only_objs.len());
+                objs.extend_from_slice(&r1.objs);
                 objs.extend(other_only_objs.iter().map(|&j| r2.objs[j]));
+                ranges.reserve(other_only_attrs.len());
                 ranges.extend(other_only_attrs.iter().map(|&j| r2.ranges[j].clone()));
                 let combined = combine(&r1.list, &r2.list);
-                out.rows.push(Row { objs, ranges, list: combined });
+                out.rows.push(Row {
+                    objs,
+                    ranges,
+                    list: combined,
+                });
             }
         }
         out
@@ -283,10 +315,22 @@ mod tests {
     #[test]
     fn join_without_shared_columns_is_cross_product() {
         let mut a = SimilarityTable::new(vec!["x".into()], vec![], 1.0);
-        a.push_row(Row { objs: vec![ObjectId(1)], ranges: vec![], list: sl(vec![(1, 1, 1.0)], 1.0) });
-        a.push_row(Row { objs: vec![ObjectId(2)], ranges: vec![], list: sl(vec![(2, 2, 1.0)], 1.0) });
+        a.push_row(Row {
+            objs: vec![ObjectId(1)],
+            ranges: vec![],
+            list: sl(vec![(1, 1, 1.0)], 1.0),
+        });
+        a.push_row(Row {
+            objs: vec![ObjectId(2)],
+            ranges: vec![],
+            list: sl(vec![(2, 2, 1.0)], 1.0),
+        });
         let mut b = SimilarityTable::new(vec!["y".into()], vec![], 1.0);
-        b.push_row(Row { objs: vec![ObjectId(7)], ranges: vec![], list: sl(vec![(1, 2, 1.0)], 1.0) });
+        b.push_row(Row {
+            objs: vec![ObjectId(7)],
+            ranges: vec![],
+            list: sl(vec![(1, 2, 1.0)], 1.0),
+        });
         let t = a.join(&b, 2.0, list::and);
         assert_eq!(t.rows.len(), 2);
     }
@@ -313,7 +357,10 @@ mod tests {
         let t = a.join(&b, 2.0, list::and);
         // The [50,60] row is incompatible with [1,10].
         assert_eq!(t.rows.len(), 1);
-        assert_eq!((t.rows[0].ranges[0].lo, t.rows[0].ranges[0].hi), (Some(5), Some(10)));
+        assert_eq!(
+            (t.rows[0].ranges[0].lo, t.rows[0].ranges[0].hi),
+            (Some(5), Some(10))
+        );
     }
 
     #[test]
@@ -322,10 +369,7 @@ mod tests {
         assert_eq!(t.obj_cols, vec!["x"]);
         // Both rows had x=1: they merge into one with point-wise max.
         assert_eq!(t.rows.len(), 1);
-        assert_eq!(
-            t.rows[0].list.to_tuples(),
-            vec![(1, 5, 2.0), (6, 8, 1.0)]
-        );
+        assert_eq!(t.rows[0].list.to_tuples(), vec![(1, 5, 2.0), (6, 8, 1.0)]);
     }
 
     #[test]
@@ -358,6 +402,10 @@ mod tests {
     #[should_panic(expected = "object column count")]
     fn push_row_checks_shape() {
         let mut t = SimilarityTable::new(vec!["x".into()], vec![], 1.0);
-        t.push_row(Row { objs: vec![], ranges: vec![], list: SimilarityList::empty(1.0) });
+        t.push_row(Row {
+            objs: vec![],
+            ranges: vec![],
+            list: SimilarityList::empty(1.0),
+        });
     }
 }

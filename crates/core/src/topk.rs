@@ -5,6 +5,8 @@
 //! be retrieved; here, `k` may be a parameter specified by the user."
 
 use crate::{Interval, SegPos, Sim, SimilarityList};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// A retrieved segment with its similarity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,14 +36,62 @@ pub fn rank_entries(list: &SimilarityList) -> Vec<(Interval, Sim)> {
     ranked
 }
 
+/// A heap element ordering entries by actual similarity descending, ties
+/// by begin position ascending (temporal order) — the retrieval rank
+/// order. `BinaryHeap` pops its greatest element, so "greater" means
+/// "retrieved earlier".
+struct HeapEntry {
+    iv: Interval,
+    act: f64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.act == other.act && self.iv.beg == other.iv.beg
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.act
+            .partial_cmp(&other.act)
+            .expect("similarities are finite")
+            .then(other.iv.beg.cmp(&self.iv.beg))
+    }
+}
+
 /// The `k` segments with the highest similarity values (ties broken by
 /// temporal order). Segments absent from the list have similarity zero and
 /// are never returned.
+///
+/// Selection is heap-bounded: the entries are heapified in `O(n)` and only
+/// as many are popped as the `k` positions require — `O(n + e log n)` for
+/// the `e ≤ k` entries touched, instead of sorting all `n` entries.
 #[must_use]
 pub fn top_k(list: &SimilarityList, k: usize) -> Vec<RankedSegment> {
-    let mut out = Vec::with_capacity(k);
-    for (iv, sim) in rank_entries(list) {
-        for pos in iv.beg..=iv.end {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = list
+        .entries()
+        .iter()
+        .map(|e| HeapEntry {
+            iv: e.iv,
+            act: e.act,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k.min(list.coverage() as usize));
+    while let Some(entry) = heap.pop() {
+        let sim = Sim::new(entry.act, list.max());
+        for pos in entry.iv.beg..=entry.iv.end {
             if out.len() == k {
                 return out;
             }
@@ -65,7 +115,10 @@ pub fn retrieve_above(list: &SimilarityList, threshold: f64) -> Vec<RankedSegmen
             continue;
         }
         for pos in e.iv.beg..=e.iv.end {
-            out.push(RankedSegment { pos, sim: Sim::new(e.act, list.max()) });
+            out.push(RankedSegment {
+                pos,
+                sim: Sim::new(e.act, list.max()),
+            });
         }
     }
     out
@@ -77,7 +130,13 @@ mod tests {
 
     fn sample() -> SimilarityList {
         SimilarityList::from_tuples(
-            vec![(1, 4, 12.382), (5, 5, 9.787), (6, 6, 11.047), (8, 8, 11.047), (10, 44, 1.26)],
+            vec![
+                (1, 4, 12.382),
+                (5, 5, 9.787),
+                (6, 6, 11.047),
+                (8, 8, 11.047),
+                (10, 44, 1.26),
+            ],
             16.047,
         )
         .unwrap()
@@ -89,7 +148,13 @@ mod tests {
         let order: Vec<(u32, f64)> = ranked.iter().map(|(iv, s)| (iv.beg, s.act)).collect();
         assert_eq!(
             order,
-            vec![(1, 12.382), (6, 11.047), (8, 11.047), (5, 9.787), (10, 1.26)]
+            vec![
+                (1, 12.382),
+                (6, 11.047),
+                (8, 11.047),
+                (5, 9.787),
+                (10, 1.26)
+            ]
         );
     }
 
@@ -115,10 +180,63 @@ mod tests {
     }
 
     #[test]
+    fn top_k_breaks_similarity_ties_in_temporal_order() {
+        // Three entries share the maximal similarity; a fourth sits below.
+        // Ties must expand earliest-interval-first, and a `k` cutting into
+        // the middle of an interval truncates mid-interval: [5,9] expands
+        // 5, 6 and stops, and neither [12,12] (tied, later) nor the
+        // lower-valued [1,3] may jump the queue once the tied block
+        // exhausts `k`.
+        let l = SimilarityList::from_tuples(
+            vec![(1, 3, 1.5), (5, 9, 2.0), (12, 12, 2.0), (20, 21, 2.0)],
+            2.0,
+        )
+        .unwrap();
+        let positions: Vec<u32> = top_k(&l, 2).iter().map(|r| r.pos).collect();
+        assert_eq!(positions, vec![5, 6]);
+        let positions: Vec<u32> = top_k(&l, 7).iter().map(|r| r.pos).collect();
+        assert_eq!(positions, vec![5, 6, 7, 8, 9, 12, 20]);
+        let positions: Vec<u32> = top_k(&l, 10).iter().map(|r| r.pos).collect();
+        assert_eq!(positions, vec![5, 6, 7, 8, 9, 12, 20, 21, 1, 2]);
+    }
+
+    #[test]
+    fn heap_selection_matches_sort_based_expansion() {
+        // Oracle: expand rank_entries (full sort) and truncate at k.
+        let lists = vec![
+            sample(),
+            SimilarityList::from_tuples(
+                vec![
+                    (1, 3, 1.0),
+                    (4, 4, 3.0),
+                    (6, 9, 1.0),
+                    (11, 11, 3.0),
+                    (13, 20, 2.0),
+                ],
+                3.0,
+            )
+            .unwrap(),
+            SimilarityList::empty(1.0),
+        ];
+        for l in &lists {
+            for k in 0..=(l.coverage() as usize + 2) {
+                let oracle: Vec<RankedSegment> = rank_entries(l)
+                    .into_iter()
+                    .flat_map(|(iv, sim)| {
+                        (iv.beg..=iv.end).map(move |pos| RankedSegment { pos, sim })
+                    })
+                    .take(k)
+                    .collect();
+                assert_eq!(top_k(l, k), oracle, "k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn retrieve_above_applies_a_fraction_floor() {
         let l = sample(); // max 16.047
         let hits = retrieve_above(&l, 0.6); // cut = 9.6282
-        // Intervals [1,4] (12.382), [5,5] (9.787), [6,6] and [8,8] (11.047).
+                                            // Intervals [1,4] (12.382), [5,5] (9.787), [6,6] and [8,8] (11.047).
         let positions: Vec<u32> = hits.iter().map(|r| r.pos).collect();
         assert_eq!(positions, vec![1, 2, 3, 4, 5, 6, 8]);
         // Threshold zero returns every listed segment, in temporal order.

@@ -39,7 +39,10 @@ impl ValueTable {
     /// An empty value table.
     #[must_use]
     pub fn new(obj_cols: Vec<String>) -> ValueTable {
-        ValueTable { obj_cols, rows: Vec::new() }
+        ValueTable {
+            obj_cols,
+            rows: Vec::new(),
+        }
     }
 }
 
@@ -59,7 +62,13 @@ pub fn freeze_join(body: &SimilarityTable, values: &ValueTable, var: &str) -> Si
         .obj_cols
         .iter()
         .enumerate()
-        .filter_map(|(i, c)| values.obj_cols.iter().position(|vc| vc == c).map(|j| (i, j)))
+        .filter_map(|(i, c)| {
+            values
+                .obj_cols
+                .iter()
+                .position(|vc| vc == c)
+                .map(|j| (i, j))
+        })
         .collect();
     let values_only: Vec<usize> = (0..values.obj_cols.len())
         .filter(|j| !body.obj_cols.contains(&values.obj_cols[*j]))
@@ -105,7 +114,11 @@ pub fn freeze_join(body: &SimilarityTable, values: &ValueTable, var: &str) -> Si
                 Some(existing) => {
                     existing.list = list::max_merge(&existing.list, &restricted);
                 }
-                None => out.rows.push(Row { objs, ranges, list: restricted }),
+                None => out.rows.push(Row {
+                    objs,
+                    ranges,
+                    list: restricted,
+                }),
             }
         }
     }
@@ -130,12 +143,18 @@ mod tests {
         // i.e. h in (-inf, 249]; on [1,3] when h < 100.
         body.push_row(Row {
             objs: vec![ObjectId(1)],
-            ranges: vec![AttrRange { hi: Some(249), ..AttrRange::any() }],
+            ranges: vec![AttrRange {
+                hi: Some(249),
+                ..AttrRange::any()
+            }],
             list: sl(vec![(1, 8, 2.0)], 2.0),
         });
         body.push_row(Row {
             objs: vec![ObjectId(1)],
-            ranges: vec![AttrRange { hi: Some(99), ..AttrRange::any() }],
+            ranges: vec![AttrRange {
+                hi: Some(99),
+                ..AttrRange::any()
+            }],
             list: sl(vec![(1, 3, 2.0)], 2.0),
         });
         // height(o1) = 100 on [1,2] and 250 on [3,4].
@@ -164,7 +183,11 @@ mod tests {
         // var unused in body: the join still limits to positions where the
         // attribute is defined.
         let mut body = SimilarityTable::new(vec![], vec![], 1.0);
-        body.push_row(Row { objs: vec![], ranges: vec![], list: sl(vec![(1, 10, 1.0)], 1.0) });
+        body.push_row(Row {
+            objs: vec![],
+            ranges: vec![],
+            list: sl(vec![(1, 10, 1.0)], 1.0),
+        });
         let mut vt = ValueTable::new(vec![]);
         vt.rows.push(ValueRow {
             objs: vec![],

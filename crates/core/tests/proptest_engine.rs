@@ -88,7 +88,8 @@ impl Lists {
 impl AtomicProvider for Lists {
     fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
         SimilarityTable::from_list(
-            self.eval_pure(&unit.formula).slice_window(ctx.lo + 1, ctx.hi),
+            self.eval_pure(&unit.formula)
+                .slice_window(ctx.lo + 1, ctx.hi),
         )
     }
 

@@ -239,7 +239,10 @@ impl Formula {
 
     /// A named predicate over object variables, e.g. `rel("fires_at", ["x", "y"])`.
     #[must_use]
-    pub fn rel<S: Into<String>>(name: impl Into<String>, args: impl IntoIterator<Item = S>) -> Formula {
+    pub fn rel<S: Into<String>>(
+        name: impl Into<String>,
+        args: impl IntoIterator<Item = S>,
+    ) -> Formula {
         Formula::Atom(Atom::Rel {
             name: name.into(),
             args: args

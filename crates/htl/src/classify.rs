@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn paper_formula_a_is_type1_modulo_level() {
         // Without the level modal prefix, (A) is type (1).
-        assert_eq!(class_of("M1() and next (M2() until M3())"), FormulaClass::Type1);
+        assert_eq!(
+            class_of("M1() and next (M2() until M3())"),
+            FormulaClass::Type1
+        );
         // With it, it is extended conjunctive.
         assert_eq!(
             class_of("at shot level (M1() and next (M2() until M3()))"),
@@ -193,7 +196,10 @@ mod tests {
     fn non_temporal_class() {
         assert_eq!(class_of("type = \"western\""), FormulaClass::NonTemporal);
         // Negation is fine inside the non-temporal class.
-        assert_eq!(class_of("not type = \"western\""), FormulaClass::NonTemporal);
+        assert_eq!(
+            class_of("not type = \"western\""),
+            FormulaClass::NonTemporal
+        );
     }
 
     #[test]

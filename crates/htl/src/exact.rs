@@ -76,7 +76,9 @@ pub fn eval_attr_fn(
         Some(ObjVar(var)) => {
             let oid = *env.objs.get(var)?;
             match f.attr.as_str() {
-                "type" | "class" => tree.object_info(oid).map(|i| AttrValue::from(i.class.clone())),
+                "type" | "class" => tree
+                    .object_info(oid)
+                    .map(|i| AttrValue::from(i.class.clone())),
                 "name" => tree
                     .object_info(oid)
                     .and_then(|i| i.name.clone())
@@ -238,9 +240,7 @@ impl<'a> ExactEvaluator<'a> {
                     return false;
                 }
                 match self.tree.descendant_span(node, target) {
-                    Some((lo, hi)) if lo < hi => {
-                        self.satisfies_at(target, (lo, hi), lo, g, env)
-                    }
+                    Some((lo, hi)) if lo < hi => self.satisfies_at(target, (lo, hi), lo, g, env),
                     _ => false,
                 }
             }
@@ -376,10 +376,7 @@ mod tests {
             &t,
             "at shot level next (exists x . exists y . fires_at(x, y))"
         ));
-        assert!(!holds(
-            &t,
-            "at shot level next (exists x . holds_gun(x))"
-        ));
+        assert!(!holds(&t, "at shot level next (exists x . holds_gun(x))"));
         // next beyond the end of the sequence is false.
         assert!(!holds(&t, "at shot level next next next true"));
     }
@@ -441,18 +438,9 @@ mod tests {
         b.relationship("holds", [man, gun]);
         b.up();
         let t = b.finish().unwrap();
-        assert!(holds(
-            &t,
-            "at next level (exists x . holds(x, \"gun\"))"
-        ));
-        assert!(holds(
-            &t,
-            "at next level (exists y . holds(\"Rick\", y))"
-        ));
-        assert!(!holds(
-            &t,
-            "at next level (exists x . holds(x, \"sword\"))"
-        ));
+        assert!(holds(&t, "at next level (exists x . holds(x, \"gun\"))"));
+        assert!(holds(&t, "at next level (exists y . holds(\"Rick\", y))"));
+        assert!(!holds(&t, "at next level (exists x . holds(x, \"sword\"))"));
     }
 
     #[test]

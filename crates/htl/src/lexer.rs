@@ -106,36 +106,60 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
         match c {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'(' => {
-                toks.push(Spanned { tok: Tok::LParen, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                toks.push(Spanned { tok: Tok::RParen, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b'[' => {
-                toks.push(Spanned { tok: Tok::LBracket, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             b']' => {
-                toks.push(Spanned { tok: Tok::RBracket, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos: i,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(Spanned { tok: Tok::Comma, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             b'.' => {
-                toks.push(Spanned { tok: Tok::Dot, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             b'=' => {
-                toks.push(Spanned { tok: Tok::Eq, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "expected `!=`"));
@@ -143,25 +167,40 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Le, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Spanned { tok: Tok::Lt, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Ge, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Spanned { tok: Tok::Gt, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b':' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Assign, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Assign,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "expected `:=`"));
@@ -198,7 +237,10 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                toks.push(Spanned { tok: Tok::Str(s), pos: start });
+                toks.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             b'0'..=b'9' | b'-' => {
                 let start = i;
@@ -212,8 +254,7 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
-                {
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     is_float = true;
                     i += 1;
                     while bytes.get(i).is_some_and(u8::is_ascii_digit) {
@@ -221,15 +262,16 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     }
                 }
                 let text = &input[start..i];
-                let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| {
-                        ParseError::new(start, format!("invalid number `{text}`"))
-                    })?)
-                } else {
-                    Tok::Int(text.parse().map_err(|_| {
-                        ParseError::new(start, format!("invalid integer `{text}`"))
-                    })?)
-                };
+                let tok =
+                    if is_float {
+                        Tok::Float(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("invalid number `{text}`"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("invalid integer `{text}`"))
+                        })?)
+                    };
                 toks.push(Spanned { tok, pos: start });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -247,12 +289,18 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             _ => {
                 return Err(ParseError::new(
                     i,
-                    format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character `{}`",
+                        &input[i..].chars().next().unwrap()
+                    ),
                 ));
             }
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, pos: input.len() });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        pos: input.len(),
+    });
     Ok(toks)
 }
 
@@ -284,7 +332,15 @@ mod tests {
     fn lexes_comparisons() {
         assert_eq!(
             kinds("< <= > >= = !="),
-            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Eof]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Eof
+            ]
         );
     }
 

@@ -57,7 +57,10 @@ fn rename_free_obj(f: &Formula, from: &str, to: &str) -> Formula {
         match e {
             Expr::Obj(ObjVar(v)) if v == from => Expr::Obj(ObjVar(to.to_owned())),
             Expr::Fn(af) if af.of.as_ref().is_some_and(|o| o.0 == from) => {
-                Expr::Fn(crate::AttrFn { attr: af.attr.clone(), of: Some(ObjVar(to.to_owned())) })
+                Expr::Fn(crate::AttrFn {
+                    attr: af.attr.clone(),
+                    of: Some(ObjVar(to.to_owned())),
+                })
             }
             other => other.clone(),
         }
@@ -87,7 +90,10 @@ fn rename_free_obj(f: &Formula, from: &str, to: &str) -> Formula {
         Formula::Freeze { var, func, body } => Formula::Freeze {
             var: var.clone(),
             func: if func.of.as_ref().is_some_and(|o| o.0 == from) {
-                crate::AttrFn { attr: func.attr.clone(), of: Some(ObjVar(to.to_owned())) }
+                crate::AttrFn {
+                    attr: func.attr.clone(),
+                    of: Some(ObjVar(to.to_owned())),
+                }
             } else {
                 func.clone()
             },
@@ -147,9 +153,7 @@ fn context_names(f: &Formula) -> BTreeSet<String> {
 /// *demote* the classification (type (1) → type (2)).
 fn take_pullable(f: Formula) -> Result<(ObjVar, Formula), Formula> {
     match f {
-        Formula::Exists(v, body) if !crate::classify::scope_temporal_free(&body) => {
-            Ok((v, *body))
-        }
+        Formula::Exists(v, body) if !crate::classify::scope_temporal_free(&body) => Ok((v, *body)),
         other => Err(other),
     }
 }
@@ -274,7 +278,11 @@ fn hoist(f: &Formula, taken: &BTreeSet<String>, global: &mut BTreeSet<String>) -
                     body: Box::new(Formula::Exists(xv, inner)),
                 };
             }
-            Formula::Freeze { var: var.clone(), func: func.clone(), body: Box::new(body) }
+            Formula::Freeze {
+                var: var.clone(),
+                func: func.clone(),
+                body: Box::new(body),
+            }
         }
         Formula::AtLevel(spec, g) => {
             let g = hoist(g, taken, global);

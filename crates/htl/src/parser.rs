@@ -67,7 +67,11 @@ impl Parser {
         } else {
             Err(ParseError::new(
                 self.pos(),
-                format!("expected {}, found {}", want.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    want.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -326,7 +330,10 @@ impl Parser {
                         format!("object variable `{name}` cannot be used as an attribute value"),
                     ))
                 } else {
-                    Ok(Expr::Fn(AttrFn { attr: name, of: None }))
+                    Ok(Expr::Fn(AttrFn {
+                        attr: name,
+                        of: None,
+                    }))
                 }
             }
             Term::Call(name, args, call_pos) => match args.as_slice() {
@@ -357,7 +364,10 @@ impl Parser {
     /// Resolves the right-hand side of a freeze quantifier.
     fn term_to_attr_fn(&self, term: Term) -> Result<AttrFn, ParseError> {
         match term {
-            Term::Ident(name) => Ok(AttrFn { attr: name, of: None }),
+            Term::Ident(name) => Ok(AttrFn {
+                attr: name,
+                of: None,
+            }),
             Term::Call(name, args, pos) => match args.as_slice() {
                 [Term::Ident(obj)] => Ok(AttrFn {
                     attr: name,
@@ -413,7 +423,11 @@ mod tests {
         // Find the freeze node and check the comparison inside uses Attr(h).
         fn find_cmp(f: &Formula) -> Option<&Atom> {
             match f {
-                Formula::Atom(a @ Atom::Cmp { rhs: Expr::Attr(_), .. }) => Some(a),
+                Formula::Atom(
+                    a @ Atom::Cmp {
+                        rhs: Expr::Attr(_), ..
+                    },
+                ) => Some(a),
                 Formula::Atom(_) => None,
                 Formula::Not(g)
                 | Formula::Next(g)
@@ -430,7 +444,10 @@ mod tests {
                 assert_eq!(*op, CmpOp::Gt);
                 assert_eq!(
                     *lhs,
-                    Expr::Fn(AttrFn { attr: "height".into(), of: Some(ObjVar("z".into())) })
+                    Expr::Fn(AttrFn {
+                        attr: "height".into(),
+                        of: Some(ObjVar("z".into()))
+                    })
                 );
                 assert_eq!(*rhs, Expr::Attr(AttrVar("h".into())));
             }
@@ -522,7 +539,10 @@ mod tests {
         let f = parse("M1()").unwrap();
         assert_eq!(
             f,
-            Formula::Atom(Atom::Rel { name: "M1".into(), args: vec![] })
+            Formula::Atom(Atom::Rel {
+                name: "M1".into(),
+                args: vec![]
+            })
         );
     }
 
@@ -538,7 +558,13 @@ mod tests {
         match f {
             Formula::Freeze { var, func, .. } => {
                 assert_eq!(var.0, "t");
-                assert_eq!(func, AttrFn { attr: "temperature".into(), of: None });
+                assert_eq!(
+                    func,
+                    AttrFn {
+                        attr: "temperature".into(),
+                        of: None
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -557,7 +583,13 @@ mod tests {
         if let Formula::And(_, rhs) = f {
             match *rhs {
                 Formula::Atom(Atom::Cmp { ref lhs, .. }) => {
-                    assert_eq!(*lhs, Expr::Fn(AttrFn { attr: "h".into(), of: None }));
+                    assert_eq!(
+                        *lhs,
+                        Expr::Fn(AttrFn {
+                            attr: "h".into(),
+                            of: None
+                        })
+                    );
                 }
                 ref other => panic!("unexpected {other:?}"),
             }

@@ -12,10 +12,7 @@ fn prec(f: &Formula) -> u8 {
         // binds as loosely as `until` and needs parens in tighter contexts.
         Formula::Until(..) | Formula::Exists(..) | Formula::Freeze { .. } => 1,
         Formula::And(..) => 2,
-        Formula::Not(_)
-        | Formula::Next(_)
-        | Formula::Eventually(_)
-        | Formula::AtLevel(..) => 3,
+        Formula::Not(_) | Formula::Next(_) | Formula::Eventually(_) | Formula::AtLevel(..) => 3,
         Formula::Atom(_) => 4,
     }
 }

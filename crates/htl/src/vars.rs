@@ -63,19 +63,34 @@ fn walk(
                 }
             }
         }
-        Formula::Not(g)
-        | Formula::Next(g)
-        | Formula::Eventually(g)
-        | Formula::AtLevel(_, g) => walk(
-            g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs, all_bound_attrs,
-        ),
+        Formula::Not(g) | Formula::Next(g) | Formula::Eventually(g) | Formula::AtLevel(_, g) => {
+            walk(
+                g,
+                bound_objs,
+                bound_attrs,
+                free_objs,
+                free_attrs,
+                all_bound_objs,
+                all_bound_attrs,
+            )
+        }
         Formula::And(g, h) | Formula::Until(g, h) => {
             walk(
-                g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                g,
+                bound_objs,
+                bound_attrs,
+                free_objs,
+                free_attrs,
+                all_bound_objs,
                 all_bound_attrs,
             );
             walk(
-                h, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                h,
+                bound_objs,
+                bound_attrs,
+                free_objs,
+                free_attrs,
+                all_bound_objs,
                 all_bound_attrs,
             );
         }
@@ -83,7 +98,12 @@ fn walk(
             all_bound_objs.insert(v.clone());
             bound_objs.push(v.clone());
             walk(
-                g, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                g,
+                bound_objs,
+                bound_attrs,
+                free_objs,
+                free_attrs,
+                all_bound_objs,
                 all_bound_attrs,
             );
             bound_objs.pop();
@@ -98,7 +118,12 @@ fn walk(
             all_bound_attrs.insert(var.clone());
             bound_attrs.push(var.clone());
             walk(
-                body, bound_objs, bound_attrs, free_objs, free_attrs, all_bound_objs,
+                body,
+                bound_objs,
+                bound_attrs,
+                free_objs,
+                free_attrs,
+                all_bound_objs,
                 all_bound_attrs,
             );
             bound_attrs.pop();
@@ -149,10 +174,8 @@ mod tests {
 
     #[test]
     fn closed_formula_has_no_free_vars() {
-        let f = parse(
-            "exists z . (present(z) and [h := height(z)] eventually height(z) > h)",
-        )
-        .unwrap();
+        let f =
+            parse("exists z . (present(z) and [h := height(z)] eventually height(z) > h)").unwrap();
         assert!(is_closed(&f));
     }
 

@@ -35,18 +35,14 @@ fn video(masks: &[u16]) -> VideoTree {
 /// shapes hoisting rewrites).
 fn formula(depth: u32) -> BoxedStrategy<Formula> {
     let atom = prop_oneof![
-        prop::sample::select(vec!["p", "q", "r", "m", "n"])
-            .prop_flat_map(|name| {
-                prop::sample::select(vec!["x", "y"])
-                    .prop_map(move |v| Formula::rel(name, [v]))
-            }),
+        prop::sample::select(vec!["p", "q", "r", "m", "n"]).prop_flat_map(|name| {
+            prop::sample::select(vec!["x", "y"]).prop_map(move |v| Formula::rel(name, [v]))
+        }),
         Just(Formula::tt()),
     ];
     if depth == 0 {
         // Close stray variables locally.
-        return atom
-            .prop_map(|a| a.exists("x").exists("y"))
-            .boxed();
+        return atom.prop_map(|a| a.exists("x").exists("y")).boxed();
     }
     let sub = move || formula(depth - 1);
     prop_oneof![

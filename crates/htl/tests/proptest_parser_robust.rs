@@ -7,9 +7,39 @@ use simvid_htl::parse;
 /// Soup of tokens likely to stress the grammar more than raw bytes.
 fn token_soup() -> impl Strategy<Value = String> {
     let token = prop::sample::select(vec![
-        "and", "not", "next", "until", "eventually", "exists", "present", "at", "level",
-        "true", "false", "(", ")", "[", "]", ",", ".", ":=", "=", "!=", "<", "<=", ">",
-        ">=", "x", "y", "height", "person", "\"str\"", "3", "4.5", "-7", "shot",
+        "and",
+        "not",
+        "next",
+        "until",
+        "eventually",
+        "exists",
+        "present",
+        "at",
+        "level",
+        "true",
+        "false",
+        "(",
+        ")",
+        "[",
+        "]",
+        ",",
+        ".",
+        ":=",
+        "=",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "x",
+        "y",
+        "height",
+        "person",
+        "\"str\"",
+        "3",
+        "4.5",
+        "-7",
+        "shot",
     ]);
     prop::collection::vec(token, 0..24).prop_map(|toks| toks.join(" "))
 }

@@ -73,9 +73,8 @@ fn operand(bound_attrs: Vec<String>) -> BoxedStrategy<Expr> {
 }
 
 fn atom(bound_attrs: Vec<String>) -> BoxedStrategy<Formula> {
-    let cmp = (cmp_op(), operand(bound_attrs.clone()), operand(bound_attrs)).prop_map(
-        |(op, lhs, rhs)| Formula::Atom(Atom::Cmp { op, lhs, rhs }),
-    );
+    let cmp = (cmp_op(), operand(bound_attrs.clone()), operand(bound_attrs))
+        .prop_map(|(op, lhs, rhs)| Formula::Atom(Atom::Cmp { op, lhs, rhs }));
     let rel = (rel_name(), prop::collection::vec(obj_var(), 0..3)).prop_map(|(name, args)| {
         Formula::Atom(Atom::Rel {
             name,
@@ -83,14 +82,7 @@ fn atom(bound_attrs: Vec<String>) -> BoxedStrategy<Formula> {
         })
     });
     let present = obj_var().prop_map(Formula::present);
-    prop_oneof![
-        Just(Formula::tt()),
-        Just(Formula::ff()),
-        present,
-        cmp,
-        rel,
-    ]
-    .boxed()
+    prop_oneof![Just(Formula::tt()), Just(Formula::ff()), present, cmp, rel,].boxed()
 }
 
 /// Recursive formula strategy carrying the set of freeze-bound attribute

@@ -126,7 +126,10 @@ impl VideoBuilder {
 
     /// Sets a segment-level attribute of the current segment.
     pub fn segment_attr(&mut self, attr: impl Into<String>, value: AttrValue) {
-        self.current_node_mut().meta.attrs.insert(attr.into(), value);
+        self.current_node_mut()
+            .meta
+            .attrs
+            .insert(attr.into(), value);
     }
 
     /// Records a relationship among objects in the current segment.
@@ -192,7 +195,10 @@ mod tests {
             meta.object_attr(john, "holding"),
             Some(&AttrValue::from("gun"))
         );
-        assert_eq!(t.object_info(john).unwrap().name.as_deref(), Some("John Wayne"));
+        assert_eq!(
+            t.object_info(john).unwrap().name.as_deref(),
+            Some("John Wayne")
+        );
         assert_eq!(t.object_info(bandit).unwrap().class, "person");
     }
 

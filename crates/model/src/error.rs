@@ -20,7 +20,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::EmptyVideo => write!(f, "video has no segments"),
             ModelError::NonUniformLeafDepth => {
-                write!(f, "all leaves of a video hierarchy must lie at the same depth")
+                write!(
+                    f,
+                    "all leaves of a video hierarchy must lie at the same depth"
+                )
             }
             ModelError::UnknownObject(id) => {
                 write!(f, "relationship references unregistered object {id}")

@@ -103,9 +103,8 @@ mod tests {
 
     fn sample() -> SegmentMeta {
         let mut m = SegmentMeta::new();
-        m.objects.push(
-            ObjectInstance::new(ObjectId(1)).with_attr("height", AttrValue::Int(100)),
-        );
+        m.objects
+            .push(ObjectInstance::new(ObjectId(1)).with_attr("height", AttrValue::Int(100)));
         m.objects.push(ObjectInstance::new(ObjectId(2)));
         m.relationships
             .push(Relationship::new("fires_at", [ObjectId(1), ObjectId(2)]));
@@ -118,7 +117,10 @@ mod tests {
         let m = sample();
         assert!(m.contains_object(ObjectId(1)));
         assert!(!m.contains_object(ObjectId(3)));
-        assert_eq!(m.object_attr(ObjectId(1), "height"), Some(&AttrValue::Int(100)));
+        assert_eq!(
+            m.object_attr(ObjectId(1), "height"),
+            Some(&AttrValue::Int(100))
+        );
         assert_eq!(m.object_attr(ObjectId(2), "height"), None);
     }
 

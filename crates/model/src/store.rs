@@ -103,8 +103,14 @@ mod tests {
 
     #[test]
     fn global_refs_order_lexicographically() {
-        let r1 = GlobalSegmentRef { video: VideoId(0), segment: SegmentId(5) };
-        let r2 = GlobalSegmentRef { video: VideoId(1), segment: SegmentId(0) };
+        let r1 = GlobalSegmentRef {
+            video: VideoId(0),
+            segment: SegmentId(5),
+        };
+        let r2 = GlobalSegmentRef {
+            video: VideoId(1),
+            segment: SegmentId(0),
+        };
         assert!(r1 < r2);
     }
 }

@@ -9,7 +9,9 @@ use simvid_model::{SegmentId, VideoBuilder, VideoTree};
 /// `d`, its child count (uniform per level so leaves stay at one depth).
 fn build(shape: &[u8]) -> VideoTree {
     fn go(b: &mut VideoBuilder, shape: &[u8], depth: usize) {
-        let Some(&fanout) = shape.get(depth) else { return };
+        let Some(&fanout) = shape.get(depth) else {
+            return;
+        };
         for i in 0..fanout.max(1) {
             b.child(format!("n{depth}.{i}"));
             go(b, shape, depth + 1);

@@ -47,10 +47,16 @@ fn video_tree_round_trips_through_json() {
     let shot0 = v.level_sequence(2)[0];
     let shot0b = back.level_sequence(2)[0];
     assert_eq!(v.node(shot0).meta, back.node(shot0b).meta);
-    assert_eq!(v.descendant_span(v.root().id, 2), back.descendant_span(back.root().id, 2));
+    assert_eq!(
+        v.descendant_span(v.root().id, 2),
+        back.descendant_span(back.root().id, 2)
+    );
     assert_eq!(back.level_by_name("shot"), Some(2));
     assert_eq!(
-        back.object_info(simvid_model::ObjectId(1)).unwrap().name.as_deref(),
+        back.object_info(simvid_model::ObjectId(1))
+            .unwrap()
+            .name
+            .as_deref(),
         Some("John Wayne")
     );
 }

@@ -24,7 +24,10 @@ pub struct ScoringConfig {
 
 impl Default for ScoringConfig {
     fn default() -> Self {
-        ScoringConfig { default_weight: 1.0, weights: HashMap::new() }
+        ScoringConfig {
+            default_weight: 1.0,
+            weights: HashMap::new(),
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl ScoringConfig {
     /// The weight for a key.
     #[must_use]
     pub fn weight(&self, key: &str) -> f64 {
-        self.weights.get(key).copied().unwrap_or(self.default_weight)
+        self.weights
+            .get(key)
+            .copied()
+            .unwrap_or(self.default_weight)
     }
 }
 

@@ -39,7 +39,10 @@ impl LevelIndex {
             ..LevelIndex::default()
         };
         for (oid, info) in tree.objects() {
-            ix.class_objects.entry(info.class.clone()).or_default().push(oid);
+            ix.class_objects
+                .entry(info.class.clone())
+                .or_default()
+                .push(oid);
             if let Some(name) = &info.name {
                 ix.name_objects.entry(name.clone()).or_default().push(oid);
             }

@@ -9,16 +9,19 @@ use simvid_core::{
 };
 use simvid_htl::{AtomicUnit, AttrFn, Formula};
 use simvid_model::{AttrValue, VideoTree};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The picture retrieval system over one video: index-backed similarity
 /// scoring of atomic (non-temporal) queries.
+///
+/// The index cache is behind a [`Mutex`] (and hands out [`Arc`]s) so the
+/// system is [`Sync`], as the engine's parallel evaluation paths require
+/// of every [`AtomicProvider`].
 pub struct PictureSystem<'a> {
     tree: &'a VideoTree,
     config: ScoringConfig,
-    indices: RefCell<HashMap<u8, Rc<LevelIndex>>>,
+    indices: Mutex<HashMap<u8, Arc<LevelIndex>>>,
 }
 
 impl<'a> PictureSystem<'a> {
@@ -26,7 +29,11 @@ impl<'a> PictureSystem<'a> {
     /// level and cached.
     #[must_use]
     pub fn new(tree: &'a VideoTree, config: ScoringConfig) -> Self {
-        PictureSystem { tree, config, indices: RefCell::new(HashMap::new()) }
+        PictureSystem {
+            tree,
+            config,
+            indices: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The video this system serves.
@@ -36,11 +43,12 @@ impl<'a> PictureSystem<'a> {
     }
 
     /// The (cached) index for a level.
-    fn index(&self, depth: u8) -> Rc<LevelIndex> {
+    fn index(&self, depth: u8) -> Arc<LevelIndex> {
         self.indices
-            .borrow_mut()
+            .lock()
+            .expect("index cache lock")
             .entry(depth)
-            .or_insert_with(|| Rc::new(LevelIndex::build(self.tree, depth)))
+            .or_insert_with(|| Arc::new(LevelIndex::build(self.tree, depth)))
             .clone()
     }
 
@@ -99,7 +107,9 @@ impl AtomicProvider for PictureSystem<'_> {
             None => Vec::new(),
         });
         for p in ctx.lo..ctx.hi {
-            let Some(meta) = self.tree.meta_at(ctx.depth, p) else { continue };
+            let Some(meta) = self.tree.meta_at(ctx.depth, p) else {
+                continue;
+            };
             let local = p - ctx.lo + 1;
             match &func.of {
                 None => {
@@ -151,7 +161,11 @@ fn extend_value_row(
             _ => row.spans.push(Interval::new(pos, pos)),
         }
     } else {
-        table.rows.push(ValueRow { objs, value, spans: vec![Interval::new(pos, pos)] });
+        table.rows.push(ValueRow {
+            objs,
+            value,
+            spans: vec![Interval::new(pos, pos)],
+        });
     }
 }
 
@@ -188,14 +202,29 @@ mod tests {
         let tree = b.finish().unwrap();
         let sys = PictureSystem::new(&tree, ScoringConfig::default());
         let vt = sys.value_table(
-            &AttrFn { attr: "height".into(), of: Some(simvid_htl::ObjVar("z".into())) },
-            SeqContext { depth: 1, lo: 0, hi: 4 },
+            &AttrFn {
+                attr: "height".into(),
+                of: Some(simvid_htl::ObjVar("z".into())),
+            },
+            SeqContext {
+                depth: 1,
+                lo: 0,
+                hi: 4,
+            },
         );
         assert_eq!(vt.obj_cols, vec!["z"]);
         assert_eq!(vt.rows.len(), 2);
-        let five = vt.rows.iter().find(|r| r.value.sem_eq(&AttrValue::Int(5))).unwrap();
+        let five = vt
+            .rows
+            .iter()
+            .find(|r| r.value.sem_eq(&AttrValue::Int(5)))
+            .unwrap();
         assert_eq!(five.spans, vec![Interval::new(1, 2), Interval::new(4, 4)]);
-        let seven = vt.rows.iter().find(|r| r.value.sem_eq(&AttrValue::Int(7))).unwrap();
+        let seven = vt
+            .rows
+            .iter()
+            .find(|r| r.value.sem_eq(&AttrValue::Int(7)))
+            .unwrap();
         assert_eq!(seven.spans, vec![Interval::new(3, 3)]);
     }
 

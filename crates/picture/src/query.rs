@@ -20,14 +20,20 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::NotPure => {
-                write!(f, "atomic queries must be free of temporal and level operators")
+                write!(
+                    f,
+                    "atomic queries must be free of temporal and level operators"
+                )
             }
             QueryError::BadAttrPredicate(s) => write!(
                 f,
                 "attribute-variable predicates must have the form `y OP value`: {s}"
             ),
             QueryError::TooManyVariables(n) => {
-                write!(f, "atomic query binds {n} object variables; at most 5 are supported")
+                write!(
+                    f,
+                    "atomic query binds {n} object variables; at most 5 are supported"
+                )
             }
         }
     }
@@ -120,7 +126,10 @@ fn rename_obj(f: &Formula, from: &str, to: &str) -> Formula {
         Formula::Freeze { var, func, body } => Formula::Freeze {
             var: var.clone(),
             func: if func.of.as_ref().is_some_and(|o| o.0 == from) {
-                simvid_htl::AttrFn { attr: func.attr.clone(), of: Some(ObjVar(to.to_owned())) }
+                simvid_htl::AttrFn {
+                    attr: func.attr.clone(),
+                    of: Some(ObjVar(to.to_owned())),
+                }
             } else {
                 func.clone()
             },
@@ -134,12 +143,7 @@ fn rename_obj(f: &Formula, from: &str, to: &str) -> Formula {
 
 /// Flattens the ∧/∃ structure of a pure formula into conjuncts, pulling
 /// existential binders to a prefix (renaming them apart as needed).
-fn flatten(
-    f: &Formula,
-    taken: &mut Vec<String>,
-    exist: &mut Vec<String>,
-    out: &mut Vec<Formula>,
-) {
+fn flatten(f: &Formula, taken: &mut Vec<String>, exist: &mut Vec<String>, out: &mut Vec<Formula>) {
     match f {
         Formula::And(g, h) => {
             flatten(g, taken, exist, out);
@@ -207,16 +211,22 @@ impl AtomicQuery {
         if !simvid_htl::is_pure(f) {
             return Err(QueryError::NotPure);
         }
-        let free_objs: Vec<String> =
-            simvid_htl::free_obj_vars(f).into_iter().map(|v| v.0).collect();
-        let free_attrs: Vec<String> =
-            simvid_htl::free_attr_vars(f).into_iter().map(|v| v.0).collect();
+        let free_objs: Vec<String> = simvid_htl::free_obj_vars(f)
+            .into_iter()
+            .map(|v| v.0)
+            .collect();
+        let free_attrs: Vec<String> = simvid_htl::free_attr_vars(f)
+            .into_iter()
+            .map(|v| v.0)
+            .collect();
         let mut taken = free_objs.clone();
         let mut exist_objs = Vec::new();
         let mut parts = Vec::new();
         flatten(f, &mut taken, &mut exist_objs, &mut parts);
         if free_objs.len() + exist_objs.len() > 5 {
-            return Err(QueryError::TooManyVariables(free_objs.len() + exist_objs.len()));
+            return Err(QueryError::TooManyVariables(
+                free_objs.len() + exist_objs.len(),
+            ));
         }
         let mut conjuncts = Vec::with_capacity(parts.len());
         let mut max = 0.0;
@@ -224,9 +234,19 @@ impl AtomicQuery {
             let weight = config.weight(weight_key(&part));
             let kind = Self::kind_of(&part)?;
             max += weight;
-            conjuncts.push(Conjunct { formula: part, weight, kind });
+            conjuncts.push(Conjunct {
+                formula: part,
+                weight,
+                kind,
+            });
         }
-        Ok(AtomicQuery { free_objs, free_attrs, exist_objs, conjuncts, max })
+        Ok(AtomicQuery {
+            free_objs,
+            free_attrs,
+            exist_objs,
+            conjuncts,
+            max,
+        })
     }
 
     fn kind_of(part: &Formula) -> Result<ConjunctKind, QueryError> {
@@ -240,10 +260,18 @@ impl AtomicQuery {
         };
         match (lhs, rhs) {
             (Expr::Attr(AttrVar(v)), value) if free_attr_vars_of_expr(value).is_empty() => {
-                Ok(ConjunctKind::Range { var: v.clone(), op: *op, value: value.clone() })
+                Ok(ConjunctKind::Range {
+                    var: v.clone(),
+                    op: *op,
+                    value: value.clone(),
+                })
             }
             (value, Expr::Attr(AttrVar(v))) if free_attr_vars_of_expr(value).is_empty() => {
-                Ok(ConjunctKind::Range { var: v.clone(), op: flip(*op), value: value.clone() })
+                Ok(ConjunctKind::Range {
+                    var: v.clone(),
+                    op: flip(*op),
+                    value: value.clone(),
+                })
             }
             _ => Err(QueryError::BadAttrPredicate(part.to_string())),
         }
@@ -360,11 +388,13 @@ mod tests {
         let f = parse("[a := height(z)] true").unwrap();
         // Construct h0 = h1 style manually via parse inside two freezes is
         // awkward; instead compare attr var to attr var via the parser:
-        let bad = parse("present(z)").unwrap().and(simvid_htl::Formula::Atom(Atom::Cmp {
-            op: CmpOp::Eq,
-            lhs: Expr::Attr(AttrVar("a".into())),
-            rhs: Expr::Attr(AttrVar("b".into())),
-        }));
+        let bad = parse("present(z)")
+            .unwrap()
+            .and(simvid_htl::Formula::Atom(Atom::Cmp {
+                op: CmpOp::Eq,
+                lhs: Expr::Attr(AttrVar("a".into())),
+                rhs: Expr::Attr(AttrVar("b".into())),
+            }));
         assert!(matches!(
             AtomicQuery::compile(&bad, &ScoringConfig::default()),
             Err(QueryError::BadAttrPredicate(_))
@@ -374,10 +404,7 @@ mod tests {
 
     #[test]
     fn too_many_variables_rejected() {
-        let f = parse(
-            "p(a) and p(b) and p(c) and p(d) and p(e) and p(g)",
-        )
-        .unwrap();
+        let f = parse("p(a) and p(b) and p(c) and p(d) and p(e) and p(g)").unwrap();
         assert!(matches!(
             AtomicQuery::compile(&f, &ScoringConfig::default()),
             Err(QueryError::TooManyVariables(6))

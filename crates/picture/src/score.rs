@@ -62,7 +62,9 @@ fn conjunct_candidates(ix: &LevelIndex, f: &Formula) -> Option<Vec<u32>> {
                     }
                     _ => all_presence(ix),
                 },
-                (Some(_), attr) => Some(ix.obj_attr_segments.get(attr).cloned().unwrap_or_default()),
+                (Some(_), attr) => {
+                    Some(ix.obj_attr_segments.get(attr).cloned().unwrap_or_default())
+                }
                 (None, attr) => Some(ix.seg_attr_segments.get(attr).cloned().unwrap_or_default()),
             }
         }
@@ -148,7 +150,8 @@ pub fn score_window(
         }
     }
 
-    let mut out = SimilarityTable::new(query.free_objs.clone(), query.free_attrs.clone(), query.max);
+    let mut out =
+        SimilarityTable::new(query.free_objs.clone(), query.free_attrs.clone(), query.max);
     for (objs, ranges, entries) in acc {
         let list = SimilarityList::from_tuples(
             entries.into_iter().map(|(p, v)| (p, p, v)).collect(),
@@ -307,7 +310,10 @@ mod tests {
     fn free_variables_produce_binding_rows() {
         let tree = bar_scene();
         let ix = LevelIndex::build(&tree, 1);
-        let q = compile("person(x) and sex(x) = \"female\"", &ScoringConfig::default());
+        let q = compile(
+            "person(x) and sex(x) = \"female\"",
+            &ScoringConfig::default(),
+        );
         let t = score_window(&tree, &ix, 1, 0, 3, &q);
         // Bindings: o1 (person, male) scores 1 in shots 1-2; o2 scores 1 in
         // shot 1; o3 (female) scores 2 in shot 2; o4 (train) scores 0.
@@ -473,6 +479,10 @@ mod witness_tests {
         )
         .unwrap();
         let t = score_window(&tree, &ix, 1, 0, 1, &q);
-        assert_eq!(t.into_closed_list().value_at(1), 2.0, "independent witnesses allowed");
+        assert_eq!(
+            t.into_closed_list().value_at(1),
+            2.0,
+            "independent witnesses allowed"
+        );
     }
 }

@@ -264,7 +264,9 @@ mod tests {
         let v1 = store.add(video_with_shots("b", &[true, true]));
         let db = VideoDatabase::new(&store);
         let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
-        let hits = db.retrieve(&q, &QueryLevel::Named("shot".into()), 10).unwrap();
+        let hits = db
+            .retrieve(&q, &QueryLevel::Named("shot".into()), 10)
+            .unwrap();
         // Three exact matches; ties break by video id then position.
         assert_eq!(hits.len(), 3);
         assert_eq!((hits[0].video, hits[0].pos), (v0, 2));
@@ -303,7 +305,9 @@ mod tests {
         let deep = store.add(b.finish().unwrap());
         let db = VideoDatabase::new(&store);
         let q = parse("exists x . holds_gun(x)").unwrap();
-        let hits = db.retrieve(&q, &QueryLevel::Named("frame".into()), 10).unwrap();
+        let hits = db
+            .retrieve(&q, &QueryLevel::Named("frame".into()), 10)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].video, deep);
         // Depth(2) only exists in the deep video.

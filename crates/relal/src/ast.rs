@@ -197,19 +197,29 @@ impl Expr {
     /// Unqualified column reference.
     #[must_use]
     pub fn col(name: &str) -> Expr {
-        Expr::Col { qualifier: None, name: name.to_owned() }
+        Expr::Col {
+            qualifier: None,
+            name: name.to_owned(),
+        }
     }
 
     /// Qualified column reference.
     #[must_use]
     pub fn qcol(q: &str, name: &str) -> Expr {
-        Expr::Col { qualifier: Some(q.to_owned()), name: name.to_owned() }
+        Expr::Col {
+            qualifier: Some(q.to_owned()),
+            name: name.to_owned(),
+        }
     }
 
     /// Binary operation.
     #[must_use]
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Whether this expression tree contains an aggregate.
@@ -231,9 +241,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding_prefers_alias() {
-        let t = TableRef { table: "nums".into(), alias: Some("n".into()) };
+        let t = TableRef {
+            table: "nums".into(),
+            alias: Some("n".into()),
+        };
         assert_eq!(t.binding(), "n");
-        let t = TableRef { table: "nums".into(), alias: None };
+        let t = TableRef {
+            table: "nums".into(),
+            alias: None,
+        };
         assert_eq!(t.binding(), "nums");
     }
 
@@ -242,7 +258,10 @@ mod tests {
         let e = Expr::bin(
             BinOp::Add,
             Expr::Int(1),
-            Expr::Agg { func: AggFunc::Max, arg: Some(Box::new(Expr::col("x"))) },
+            Expr::Agg {
+                func: AggFunc::Max,
+                arg: Some(Box::new(Expr::col("x"))),
+            },
         );
         assert!(e.has_agg());
         assert!(!Expr::col("x").has_agg());

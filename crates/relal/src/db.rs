@@ -64,13 +64,12 @@ impl Database {
     /// # Errors
     ///
     /// Any [`SqlError`]; non-`SELECT` statements are rejected.
-    pub fn execute_traced(
-        &mut self,
-        sql: &str,
-    ) -> Result<(ResultSet, Vec<String>), SqlError> {
+    pub fn execute_traced(&mut self, sql: &str) -> Result<(ResultSet, Vec<String>), SqlError> {
         let stmt = crate::parser::parse_stmt(sql)?;
         let Stmt::Select(query) = stmt else {
-            return Err(SqlError::Unsupported("execute_traced expects a SELECT".into()));
+            return Err(SqlError::Unsupported(
+                "execute_traced expects a SELECT".into(),
+            ));
         };
         self.stmt_count += 1;
         let mut trace = Vec::new();
@@ -260,14 +259,26 @@ mod tests {
         )
         .unwrap();
         let rs = db
-            .execute("SELECT k, SUM(v) AS s, MAX(v) AS m, COUNT(*) AS c FROM t GROUP BY k ORDER BY k")
+            .execute(
+                "SELECT k, SUM(v) AS s, MAX(v) AS m, COUNT(*) AS c FROM t GROUP BY k ORDER BY k",
+            )
             .unwrap()
             .unwrap();
         assert_eq!(
             rs.rows,
             vec![
-                vec![Value::Int(1), Value::Float(5.0), Value::Float(3.0), Value::Int(2)],
-                vec![Value::Int(2), Value::Float(5.0), Value::Float(5.0), Value::Int(1)],
+                vec![
+                    Value::Int(1),
+                    Value::Float(5.0),
+                    Value::Float(3.0),
+                    Value::Int(2)
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Float(5.0),
+                    Value::Float(5.0),
+                    Value::Int(1)
+                ],
             ]
         );
     }
@@ -369,7 +380,10 @@ mod tests {
         let mut db = Database::new();
         db.execute_script("CREATE TABLE t (x INT); INSERT INTO t VALUES (4), (9);")
             .unwrap();
-        let rs = db.execute("SELECT MAX(x), COUNT(*) FROM t").unwrap().unwrap();
+        let rs = db
+            .execute("SELECT MAX(x), COUNT(*) FROM t")
+            .unwrap()
+            .unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Int(9), Value::Int(2)]]);
     }
 

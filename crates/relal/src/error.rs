@@ -28,7 +28,10 @@ pub enum SqlError {
 
 impl SqlError {
     pub(crate) fn parse(pos: usize, msg: impl Into<String>) -> SqlError {
-        SqlError::Parse { pos, msg: msg.into() }
+        SqlError::Parse {
+            pos,
+            msg: msg.into(),
+        }
     }
 }
 

@@ -72,7 +72,11 @@ pub(crate) fn run_query_traced(
                 .cols
                 .iter()
                 .zip(&rs.types)
-                .map(|(n, t)| ScopeCol { alias: String::new(), name: n.clone(), ty: *t })
+                .map(|(n, t)| ScopeCol {
+                    alias: String::new(),
+                    name: n.clone(),
+                    ty: *t,
+                })
                 .collect(),
         };
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rs.rows.len());
@@ -93,7 +97,13 @@ pub(crate) fn run_query_traced(
                     // ORDER BY runs over the result columns, which carry no
                     // table qualifiers: resolve by bare name.
                     let e = strip_qualifiers(e);
-                    let ctx = EvalCtx { cat, scope: &scope, row: &row, outer: None, group: None };
+                    let ctx = EvalCtx {
+                        cat,
+                        scope: &scope,
+                        row: &row,
+                        outer: None,
+                        group: None,
+                    };
                     eval(&e, &ctx)?
                 };
                 keys.push(v);
@@ -117,7 +127,10 @@ pub(crate) fn run_query_traced(
 
 fn strip_qualifiers(e: &Expr) -> Expr {
     match e {
-        Expr::Col { name, .. } => Expr::Col { qualifier: None, name: name.clone() },
+        Expr::Col { name, .. } => Expr::Col {
+            qualifier: None,
+            name: name.clone(),
+        },
         Expr::Bin { op, lhs, rhs } => Expr::Bin {
             op: *op,
             lhs: Box::new(strip_qualifiers(lhs)),
@@ -133,7 +146,12 @@ fn strip_qualifiers(e: &Expr) -> Expr {
 }
 
 fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
-    if let Expr::Bin { op: BinOp::And, lhs, rhs } = e {
+    if let Expr::Bin {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
         flatten_and(lhs, out);
         flatten_and(rhs, out);
     } else {
@@ -267,14 +285,20 @@ fn join_table(
     let table = cat.get(&tref.table)?;
     let binding = tref.binding();
     if prior_scope.cols.iter().any(|c| c.alias == binding) {
-        return Err(SqlError::Schema(format!("duplicate table binding `{binding}`")));
+        return Err(SqlError::Schema(format!(
+            "duplicate table binding `{binding}`"
+        )));
     }
     let new_scope_solo = RowScope {
         cols: table
             .schema
             .cols
             .iter()
-            .map(|c| ScopeCol { alias: binding.to_owned(), name: c.name.clone(), ty: c.ty })
+            .map(|c| ScopeCol {
+                alias: binding.to_owned(),
+                name: c.name.clone(),
+                ty: c.ty,
+            })
             .collect(),
     };
     let mut combined = prior_scope.clone();
@@ -307,9 +331,15 @@ fn join_table(
             match op {
                 BinOp::Eq => {
                     if l_side == Side::NewOnly && r_side == Side::Prior {
-                        equi.push(EquiCond { new_expr: (**lhs).clone(), prior_expr: (**rhs).clone() });
+                        equi.push(EquiCond {
+                            new_expr: (**lhs).clone(),
+                            prior_expr: (**rhs).clone(),
+                        });
                     } else if r_side == Side::NewOnly && l_side == Side::Prior {
-                        equi.push(EquiCond { new_expr: (**rhs).clone(), prior_expr: (**lhs).clone() });
+                        equi.push(EquiCond {
+                            new_expr: (**rhs).clone(),
+                            prior_expr: (**lhs).clone(),
+                        });
                     }
                 }
                 BinOp::Ge | BinOp::Gt | BinOp::Le | BinOp::Lt => {
@@ -324,7 +354,8 @@ fn join_table(
                             BinOp::Lt => BinOp::Gt,
                             _ => unreachable!(),
                         };
-                        bare_new_col(rhs, &new_scope_solo).map(|col| (col, flipped, (**lhs).clone()))
+                        bare_new_col(rhs, &new_scope_solo)
+                            .map(|col| (col, flipped, (**lhs).clone()))
                     } else {
                         None
                     };
@@ -352,21 +383,31 @@ fn join_table(
         // Hash join: build on the new table.
         let mut built: HashMap<Key, Vec<u32>> = HashMap::new();
         for (ri, row) in table.rows.iter().enumerate() {
-            let ctx = EvalCtx { cat, scope: &new_scope_solo, row, outer: None, group: None };
-            let key = Key(
-                equi.iter()
-                    .map(|c| eval(&c.new_expr, &ctx))
-                    .collect::<Result<Vec<_>, _>>()?,
-            );
+            let ctx = EvalCtx {
+                cat,
+                scope: &new_scope_solo,
+                row,
+                outer: None,
+                group: None,
+            };
+            let key = Key(equi
+                .iter()
+                .map(|c| eval(&c.new_expr, &ctx))
+                .collect::<Result<Vec<_>, _>>()?);
             built.entry(key).or_default().push(ri as u32);
         }
         for prow in &prior_rows {
-            let ctx = EvalCtx { cat, scope: &prior_scope, row: prow, outer, group: None };
-            let key = Key(
-                equi.iter()
-                    .map(|c| eval(&c.prior_expr, &ctx))
-                    .collect::<Result<Vec<_>, _>>()?,
-            );
+            let ctx = EvalCtx {
+                cat,
+                scope: &prior_scope,
+                row: prow,
+                outer,
+                group: None,
+            };
+            let key = Key(equi
+                .iter()
+                .map(|c| eval(&c.prior_expr, &ctx))
+                .collect::<Result<Vec<_>, _>>()?);
             if let Some(matches) = built.get(&key) {
                 for &ri in matches {
                     let mut row = prow.clone();
@@ -376,17 +417,32 @@ fn join_table(
             }
         }
     } else if let Some(col) = table.indexed_col().filter(|&c| {
-        bounds.iter().any(|b| b.col == c && b.lower) && bounds.iter().any(|b| b.col == c && !b.lower)
+        bounds.iter().any(|b| b.col == c && b.lower)
+            && bounds.iter().any(|b| b.col == c && !b.lower)
     }) {
         trace.push(format!(
             "{} AS {binding}: index range join on `{}`",
             tref.table, table.schema.cols[col].name
         ));
         // Index range join on the indexed column.
-        let lo_expr = &bounds.iter().find(|b| b.col == col && b.lower).expect("lower").prior_expr;
-        let hi_expr = &bounds.iter().find(|b| b.col == col && !b.lower).expect("upper").prior_expr;
+        let lo_expr = &bounds
+            .iter()
+            .find(|b| b.col == col && b.lower)
+            .expect("lower")
+            .prior_expr;
+        let hi_expr = &bounds
+            .iter()
+            .find(|b| b.col == col && !b.lower)
+            .expect("upper")
+            .prior_expr;
         for prow in &prior_rows {
-            let ctx = EvalCtx { cat, scope: &prior_scope, row: prow, outer, group: None };
+            let ctx = EvalCtx {
+                cat,
+                scope: &prior_scope,
+                row: prow,
+                outer,
+                group: None,
+            };
             let lo = eval(lo_expr, &ctx)?;
             let hi = eval(hi_expr, &ctx)?;
             let hits = table
@@ -419,7 +475,13 @@ fn join_table(
     let mut filtered = Vec::with_capacity(out_rows.len());
     'rows: for row in out_rows {
         for &ci in &filters {
-            let ctx = EvalCtx { cat, scope: &combined, row: &row, outer, group: None };
+            let ctx = EvalCtx {
+                cat,
+                scope: &combined,
+                row: &row,
+                outer,
+                group: None,
+            };
             if !truthy(&eval(&conjuncts[ci], &ctx)?) {
                 continue 'rows;
             }
@@ -442,8 +504,12 @@ fn prepare_exists(
     outer_scope: &RowScope,
     outer: Option<&EvalCtx<'_>>,
 ) -> Result<Option<ExistsProbe>, SqlError> {
-    let [body] = q.bodies.as_slice() else { return Ok(None) };
-    let [tref] = body.from.as_slice() else { return Ok(None) };
+    let [body] = q.bodies.as_slice() else {
+        return Ok(None);
+    };
+    let [tref] = body.from.as_slice() else {
+        return Ok(None);
+    };
     if !body.group_by.is_empty() {
         return Ok(None);
     }
@@ -454,7 +520,11 @@ fn prepare_exists(
             .schema
             .cols
             .iter()
-            .map(|c| ScopeCol { alias: binding.to_owned(), name: c.name.clone(), ty: c.ty })
+            .map(|c| ScopeCol {
+                alias: binding.to_owned(),
+                name: c.name.clone(),
+                ty: c.ty,
+            })
             .collect(),
     };
     let mut conjuncts = Vec::new();
@@ -470,7 +540,14 @@ fn prepare_exists(
         match side_of(c, &inner_scope, outer_scope, outer) {
             Side::NewOnly => inner_filters.push(c.clone()),
             _ => {
-                let Expr::Bin { op: BinOp::Eq, lhs, rhs } = c else { return Ok(None) };
+                let Expr::Bin {
+                    op: BinOp::Eq,
+                    lhs,
+                    rhs,
+                } = c
+                else {
+                    return Ok(None);
+                };
                 let l = side_of(lhs, &inner_scope, outer_scope, outer);
                 let r = side_of(rhs, &inner_scope, outer_scope, outer);
                 if l == Side::NewOnly && r == Side::Prior {
@@ -488,18 +565,22 @@ fn prepare_exists(
     }
     let mut set = std::collections::HashSet::new();
     'rows: for row in &table.rows {
-        let ctx = EvalCtx { cat, scope: &inner_scope, row, outer: None, group: None };
+        let ctx = EvalCtx {
+            cat,
+            scope: &inner_scope,
+            row,
+            outer: None,
+            group: None,
+        };
         for f in &inner_filters {
             if !truthy(&eval(f, &ctx)?) {
                 continue 'rows;
             }
         }
-        let key = Key(
-            pairs
-                .iter()
-                .map(|(inner, _)| eval(inner, &ctx))
-                .collect::<Result<Vec<_>, _>>()?,
-        );
+        let key = Key(pairs
+            .iter()
+            .map(|(inner, _)| eval(inner, &ctx))
+            .collect::<Result<Vec<_>, _>>()?);
         set.insert(key);
     }
     Ok(Some(ExistsProbe {
@@ -519,14 +600,18 @@ fn apply_conjunct(
         if let Some(probe) = prepare_exists(cat, query, scope, outer)? {
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
-                let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
-                let key = Key(
-                    probe
-                        .outer_exprs
-                        .iter()
-                        .map(|e| eval(e, &ctx))
-                        .collect::<Result<Vec<_>, _>>()?,
-                );
+                let ctx = EvalCtx {
+                    cat,
+                    scope,
+                    row: &row,
+                    outer,
+                    group: None,
+                };
+                let key = Key(probe
+                    .outer_exprs
+                    .iter()
+                    .map(|e| eval(e, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?);
                 if probe.set.contains(&key) != *negated {
                     out.push(row);
                 }
@@ -536,7 +621,13 @@ fn apply_conjunct(
     }
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
-        let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+        let ctx = EvalCtx {
+            cat,
+            scope,
+            row: &row,
+            outer,
+            group: None,
+        };
         if truthy(&eval(c, &ctx)?) {
             out.push(row);
         }
@@ -557,7 +648,10 @@ fn project(
         if matches!(item.expr, Expr::Star) {
             for c in &scope.cols {
                 items.push((
-                    Expr::Col { qualifier: Some(c.alias.clone()), name: c.name.clone() },
+                    Expr::Col {
+                        qualifier: Some(c.alias.clone()),
+                        name: c.name.clone(),
+                    },
                     Some(c.name.clone()),
                 ));
             }
@@ -592,13 +686,18 @@ fn project(
             groups.insert(key, rows);
         } else {
             for row in rows {
-                let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
-                let key = Key(
-                    body.group_by
-                        .iter()
-                        .map(|e| eval(e, &ctx))
-                        .collect::<Result<Vec<_>, _>>()?,
-                );
+                let ctx = EvalCtx {
+                    cat,
+                    scope,
+                    row: &row,
+                    outer,
+                    group: None,
+                };
+                let key = Key(body
+                    .group_by
+                    .iter()
+                    .map(|e| eval(e, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?);
                 if !groups.contains_key(&key) {
                     order.push(key.clone());
                 }
@@ -609,7 +708,13 @@ fn project(
         for key in order {
             let group = &groups[&key];
             let first = group.first().unwrap_or(&empty_row);
-            let ctx = EvalCtx { cat, scope, row: first, outer, group: Some(group) };
+            let ctx = EvalCtx {
+                cat,
+                scope,
+                row: first,
+                outer,
+                group: Some(group),
+            };
             let row = items
                 .iter()
                 .map(|(e, _)| eval(e, &ctx))
@@ -618,7 +723,13 @@ fn project(
         }
     } else {
         for row in rows {
-            let ctx = EvalCtx { cat, scope, row: &row, outer, group: None };
+            let ctx = EvalCtx {
+                cat,
+                scope,
+                row: &row,
+                outer,
+                group: None,
+            };
             let projected = items
                 .iter()
                 .map(|(e, _)| eval(e, &ctx))
@@ -637,5 +748,9 @@ fn project(
             }
         }
     }
-    Ok(ResultSet { cols, types, rows: out })
+    Ok(ResultSet {
+        cols,
+        types,
+        rows: out,
+    })
 }

@@ -59,7 +59,13 @@ pub(crate) struct EvalCtx<'a> {
 
 impl EvalCtx<'_> {
     fn with_row<'b>(&'b self, row: &'b [Value]) -> EvalCtx<'b> {
-        EvalCtx { cat: self.cat, scope: self.scope, row, outer: self.outer, group: None }
+        EvalCtx {
+            cat: self.cat,
+            scope: self.scope,
+            row,
+            outer: self.outer,
+            group: None,
+        }
     }
 }
 
@@ -91,7 +97,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
         });
     }
     let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-        return Err(SqlError::Type(format!("arithmetic on non-numbers: {l} and {r}")));
+        return Err(SqlError::Type(format!(
+            "arithmetic on non-numbers: {l} and {r}"
+        )));
     };
     Ok(match op {
         BinOp::Add => Value::Float(a + b),
@@ -113,19 +121,19 @@ pub(crate) fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, SqlError> {
         Expr::Int(i) => Ok(Value::Int(*i)),
         Expr::Float(f) => Ok(Value::Float(*f)),
         Expr::Str(s) => Ok(Value::Str(s.clone())),
-        Expr::Star => Err(SqlError::Unsupported("`*` outside COUNT(*) / SELECT".into())),
-        Expr::Col { qualifier, name } => {
-            match ctx.scope.try_resolve(qualifier.as_deref(), name) {
-                Some(i) => Ok(ctx.row[i].clone()),
-                None => match ctx.outer {
-                    Some(outer) => eval(expr, outer),
-                    None => Err(SqlError::Column(format!(
-                        "cannot resolve column `{}`",
-                        name
-                    ))),
-                },
-            }
-        }
+        Expr::Star => Err(SqlError::Unsupported(
+            "`*` outside COUNT(*) / SELECT".into(),
+        )),
+        Expr::Col { qualifier, name } => match ctx.scope.try_resolve(qualifier.as_deref(), name) {
+            Some(i) => Ok(ctx.row[i].clone()),
+            None => match ctx.outer {
+                Some(outer) => eval(expr, outer),
+                None => Err(SqlError::Column(format!(
+                    "cannot resolve column `{}`",
+                    name
+                ))),
+            },
+        },
         Expr::Bin { op, lhs, rhs } => match op {
             BinOp::And => {
                 if !truthy(&eval(lhs, ctx)?) {
@@ -231,7 +239,11 @@ fn eval_agg(
                     v => return Err(SqlError::Type(format!("SUM of non-number {v}"))),
                 }
             }
-            Ok(if any_float { Value::Float(float_sum) } else { Value::Int(int_sum) })
+            Ok(if any_float {
+                Value::Float(float_sum)
+            } else {
+                Value::Int(int_sum)
+            })
         }
         AggFunc::Min | AggFunc::Max => {
             let arg = arg.ok_or_else(|| SqlError::Type("MIN/MAX need an argument".into()))?;
@@ -342,8 +354,16 @@ mod tests {
     fn scope() -> RowScope {
         RowScope {
             cols: vec![
-                ScopeCol { alias: "t".into(), name: "id".into(), ty: ColType::Int },
-                ScopeCol { alias: "t".into(), name: "act".into(), ty: ColType::Float },
+                ScopeCol {
+                    alias: "t".into(),
+                    name: "id".into(),
+                    ty: ColType::Int,
+                },
+                ScopeCol {
+                    alias: "t".into(),
+                    name: "act".into(),
+                    ty: ColType::Float,
+                },
             ],
         }
     }
@@ -351,7 +371,13 @@ mod tests {
     fn eval_str(expr: &Expr, row: &[Value]) -> Value {
         let cat = Catalog::new();
         let s = scope();
-        let ctx = EvalCtx { cat: &cat, scope: &s, row, outer: None, group: None };
+        let ctx = EvalCtx {
+            cat: &cat,
+            scope: &s,
+            row,
+            outer: None,
+            group: None,
+        };
         eval(expr, &ctx).unwrap()
     }
 
@@ -373,7 +399,11 @@ mod tests {
         let e = Expr::bin(
             BinOp::And,
             Expr::bin(BinOp::Ne, Expr::col("act"), Expr::Int(0)),
-            Expr::bin(BinOp::Eq, Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0)), Expr::Int(1)),
+            Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0)),
+                Expr::Int(1),
+            ),
         );
         assert_eq!(eval_str(&e, &row), Value::Int(0));
     }
@@ -397,8 +427,16 @@ mod tests {
     fn ambiguous_columns_error() {
         let s = RowScope {
             cols: vec![
-                ScopeCol { alias: "a".into(), name: "x".into(), ty: ColType::Int },
-                ScopeCol { alias: "b".into(), name: "x".into(), ty: ColType::Int },
+                ScopeCol {
+                    alias: "a".into(),
+                    name: "x".into(),
+                    ty: ColType::Int,
+                },
+                ScopeCol {
+                    alias: "b".into(),
+                    name: "x".into(),
+                    ty: ColType::Int,
+                },
             ],
         };
         assert!(s.resolve(None, "x").is_err());
@@ -412,7 +450,10 @@ mod tests {
         assert_eq!(infer_type(&e, &s).unwrap(), ColType::Int);
         let e = Expr::bin(BinOp::Add, Expr::col("id"), Expr::col("act"));
         assert_eq!(infer_type(&e, &s).unwrap(), ColType::Float);
-        let e = Expr::Agg { func: AggFunc::Count, arg: None };
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
         assert_eq!(infer_type(&e, &s).unwrap(), ColType::Int);
     }
 
@@ -421,7 +462,13 @@ mod tests {
         let row = vec![Value::Int(1), Value::Float(1.0)];
         let cat = Catalog::new();
         let s = scope();
-        let ctx = EvalCtx { cat: &cat, scope: &s, row: &row, outer: None, group: None };
+        let ctx = EvalCtx {
+            cat: &cat,
+            scope: &s,
+            row: &row,
+            outer: None,
+            group: None,
+        };
         let e = Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0));
         assert!(eval(&e, &ctx).is_err());
     }

@@ -75,48 +75,81 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 }
             }
             b'(' => {
-                toks.push(Spanned { tok: Tok::LParen, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                toks.push(Spanned { tok: Tok::RParen, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(Spanned { tok: Tok::Comma, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             b'.' => {
-                toks.push(Spanned { tok: Tok::Dot, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(Spanned { tok: Tok::Semi, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Semi,
+                    pos: i,
+                });
                 i += 1;
             }
             b'*' => {
-                toks.push(Spanned { tok: Tok::Star, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             b'+' => {
-                toks.push(Spanned { tok: Tok::Plus, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'-' => {
-                toks.push(Spanned { tok: Tok::Minus, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'/' => {
-                toks.push(Spanned { tok: Tok::Slash, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'=' => {
-                toks.push(Spanned { tok: Tok::Eq, pos: i });
+                toks.push(Spanned {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::parse(i, "expected `!=`"));
@@ -124,24 +157,39 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
             }
             b'<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    toks.push(Spanned { tok: Tok::Le, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Le,
+                        pos: i,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    toks.push(Spanned { tok: Tok::Ne, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    toks.push(Spanned { tok: Tok::Lt, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::Ge, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Spanned { tok: Tok::Gt, pos: i });
+                    toks.push(Spanned {
+                        tok: Tok::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
@@ -169,7 +217,10 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
                         }
                     }
                 }
-                toks.push(Spanned { tok: Tok::Str(s), pos: start });
+                toks.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -177,8 +228,7 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
-                {
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     is_float = true;
                     i += 1;
                     while bytes.get(i).is_some_and(u8::is_ascii_digit) {
@@ -215,12 +265,18 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
             _ => {
                 return Err(SqlError::parse(
                     i,
-                    format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character `{}`",
+                        &input[i..].chars().next().unwrap()
+                    ),
                 ));
             }
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, pos: input.len() });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        pos: input.len(),
+    });
     Ok(toks)
 }
 
@@ -269,10 +325,7 @@ mod tests {
 
     #[test]
     fn strings_with_doubled_quotes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![Tok::Str("it's".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
         assert!(lex("'open").is_err());
     }
 

@@ -20,7 +20,10 @@ pub fn parse_script(input: &str) -> Result<Vec<Stmt>, SqlError> {
         if !p.peek_is(&Tok::Semi) && !matches!(p.peek(), Tok::Eof) {
             return Err(SqlError::parse(
                 p.pos(),
-                format!("expected `;` or end of script, found {}", p.peek().describe()),
+                format!(
+                    "expected `;` or end of script, found {}",
+                    p.peek().describe()
+                ),
             ));
         }
     }
@@ -32,7 +35,10 @@ pub fn parse_stmt(input: &str) -> Result<Stmt, SqlError> {
     let mut stmts = parse_script(input)?;
     match stmts.len() {
         1 => Ok(stmts.remove(0)),
-        n => Err(SqlError::parse(0, format!("expected one statement, found {n}"))),
+        n => Err(SqlError::parse(
+            0,
+            format!("expected one statement, found {n}"),
+        )),
     }
 }
 
@@ -69,7 +75,11 @@ impl Parser {
         } else {
             Err(SqlError::parse(
                 self.pos(),
-                format!("expected {}, found {}", t.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    t.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -83,7 +93,11 @@ impl Parser {
             }
             other => Err(SqlError::parse(
                 self.pos(),
-                format!("expected `{}`, found {}", kw.to_uppercase(), other.describe()),
+                format!(
+                    "expected `{}`, found {}",
+                    kw.to_uppercase(),
+                    other.describe()
+                ),
             )),
         }
     }
@@ -289,7 +303,12 @@ impl Parser {
                 self.bump();
             }
         }
-        Ok(SelectBody { items, from, where_, group_by })
+        Ok(SelectBody {
+            items,
+            from,
+            where_,
+            group_by,
+        })
     }
 
     // Expression precedence: OR < AND < NOT < cmp < add < mul < unary.
@@ -334,7 +353,10 @@ impl Parser {
         self.expect(&Tok::LParen)?;
         let query = self.query()?;
         self.expect(&Tok::RParen)?;
-        Ok(Expr::Exists { query: Box::new(query), negated })
+        Ok(Expr::Exists {
+            query: Box::new(query),
+            negated,
+        })
     }
 
     fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
@@ -423,7 +445,10 @@ impl Parser {
                         }
                         let arg = self.expr()?;
                         self.expect(&Tok::RParen)?;
-                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
                     }
                     let mut args = Vec::new();
                     if !self.peek_is(&Tok::RParen) {
@@ -447,9 +472,15 @@ impl Parser {
                         return Ok(Expr::Star);
                     }
                     let col = self.ident()?;
-                    return Ok(Expr::Col { qualifier: Some(name), name: col });
+                    return Ok(Expr::Col {
+                        qualifier: Some(name),
+                        name: col,
+                    });
                 }
-                Ok(Expr::Col { qualifier: None, name })
+                Ok(Expr::Col {
+                    qualifier: None,
+                    name,
+                })
             }
             other => Err(SqlError::parse(
                 pos,
@@ -484,7 +515,9 @@ mod tests {
              WHERE n.n >= a.beg AND n.n <= a.end GROUP BY n.n ORDER BY id DESC",
         )
         .unwrap();
-        let Stmt::Select(q) = s else { panic!("not a select") };
+        let Stmt::Select(q) = s else {
+            panic!("not a select")
+        };
         assert_eq!(q.bodies.len(), 1);
         let b = &q.bodies[0];
         assert_eq!(b.items.len(), 2);
@@ -525,7 +558,13 @@ mod tests {
         .unwrap();
         assert!(matches!(stmts[0], Stmt::CreateTableAs { .. }));
         assert!(matches!(stmts[1], Stmt::CreateIndex { .. }));
-        assert!(matches!(stmts[2], Stmt::DropTable { if_exists: true, .. }));
+        assert!(matches!(
+            stmts[2],
+            Stmt::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -562,6 +601,9 @@ mod tests {
     fn unary_minus() {
         let s = parse_stmt("SELECT -x FROM t").unwrap();
         let Stmt::Select(q) = s else { panic!() };
-        assert!(matches!(q.bodies[0].items[0].expr, Expr::Bin { op: BinOp::Sub, .. }));
+        assert!(matches!(
+            q.bodies[0].items[0].expr,
+            Expr::Bin { op: BinOp::Sub, .. }
+        ));
     }
 }

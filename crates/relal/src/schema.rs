@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn lookup_and_len() {
-        let s = Schema::new(vec![("id".into(), ColType::Int), ("act".into(), ColType::Float)]);
+        let s = Schema::new(vec![
+            ("id".into(), ColType::Int),
+            ("act".into(), ColType::Float),
+        ]);
         assert_eq!(s.col("act"), Some(1));
         assert_eq!(s.col("nope"), None);
         assert_eq!(s.len(), 2);

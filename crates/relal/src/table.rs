@@ -18,7 +18,11 @@ impl Table {
     /// An empty table with the given schema.
     #[must_use]
     pub fn new(schema: Schema) -> Table {
-        Table { schema, rows: Vec::new(), index: None }
+        Table {
+            schema,
+            rows: Vec::new(),
+            index: None,
+        }
     }
 
     /// Appends a row after schema validation. Invalidates the index.
@@ -76,9 +80,8 @@ impl Table {
             return None;
         }
         use std::cmp::Ordering;
-        let first = perm.partition_point(|&r| {
-            self.rows[r as usize][col].sql_cmp(lo) == Some(Ordering::Less)
-        });
+        let first = perm
+            .partition_point(|&r| self.rows[r as usize][col].sql_cmp(lo) == Some(Ordering::Less));
         let last = perm.partition_point(|&r| {
             self.rows[r as usize][col].sql_cmp(hi) != Some(Ordering::Greater)
         });
@@ -129,9 +132,15 @@ mod tests {
             .collect();
         assert_eq!(vals, vec![10, 11, 12, 13]);
         // Empty range.
-        assert!(t.index_range(0, &Value::Int(200), &Value::Int(300)).unwrap().is_empty());
+        assert!(t
+            .index_range(0, &Value::Int(200), &Value::Int(300))
+            .unwrap()
+            .is_empty());
         // Inverted bounds.
-        assert!(t.index_range(0, &Value::Int(5), &Value::Int(4)).unwrap().is_empty());
+        assert!(t
+            .index_range(0, &Value::Int(5), &Value::Int(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

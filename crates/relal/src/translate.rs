@@ -24,10 +24,7 @@ use simvid_core::SimilarityList;
 /// standard point-expansion helper; real systems keep one permanently).
 pub fn load_numbers(db: &mut Database, n: u32) -> Result<(), SqlError> {
     db.drop_if_exists("numbers");
-    db.create_table(
-        "numbers",
-        Schema::new(vec![("n".to_owned(), ColType::Int)]),
-    )?;
+    db.create_table("numbers", Schema::new(vec![("n".to_owned(), ColType::Int)]))?;
     db.insert_rows("numbers", (1..=i64::from(n)).map(|i| vec![Value::Int(i)]))?;
     db.create_index("numbers", "n")
 }
@@ -60,17 +57,32 @@ pub fn load_list(db: &mut Database, name: &str, list: &SimilarityList) -> Result
 pub fn read_list(db: &Database, name: &str, max: f64) -> Result<SimilarityList, SqlError> {
     let table = db.table(name)?;
     let (bi, ei, ai) = (
-        table.schema.col("beg").ok_or_else(|| SqlError::Column("beg".into()))?,
-        table.schema.col("end").ok_or_else(|| SqlError::Column("end".into()))?,
-        table.schema.col("act").ok_or_else(|| SqlError::Column("act".into()))?,
+        table
+            .schema
+            .col("beg")
+            .ok_or_else(|| SqlError::Column("beg".into()))?,
+        table
+            .schema
+            .col("end")
+            .ok_or_else(|| SqlError::Column("end".into()))?,
+        table
+            .schema
+            .col("act")
+            .ok_or_else(|| SqlError::Column("act".into()))?,
     );
     let tuples = table
         .rows
         .iter()
         .map(|r| {
-            let beg = r[bi].as_int().ok_or_else(|| SqlError::Type("beg not int".into()))?;
-            let end = r[ei].as_int().ok_or_else(|| SqlError::Type("end not int".into()))?;
-            let act = r[ai].as_f64().ok_or_else(|| SqlError::Type("act not numeric".into()))?;
+            let beg = r[bi]
+                .as_int()
+                .ok_or_else(|| SqlError::Type("beg not int".into()))?;
+            let end = r[ei]
+                .as_int()
+                .ok_or_else(|| SqlError::Type("end not int".into()))?;
+            let act = r[ai]
+                .as_f64()
+                .ok_or_else(|| SqlError::Type("act not numeric".into()))?;
             Ok((beg as u32, end as u32, act))
         })
         .collect::<Result<Vec<_>, SqlError>>()?;
@@ -211,10 +223,7 @@ pub fn run_until(
 }
 
 /// Runs the `eventually` baseline end to end.
-pub fn run_eventually(
-    db: &mut Database,
-    h: &SimilarityList,
-) -> Result<SimilarityList, SqlError> {
+pub fn run_eventually(db: &mut Database, h: &SimilarityList) -> Result<SimilarityList, SqlError> {
     load_list(db, "h_in", h)?;
     db.execute_script(&eventually_script("h_in", "ev_out"))?;
     read_list(db, "ev_out", h.max())
@@ -270,7 +279,12 @@ mod tests {
     fn sql_until_matches_direct_on_figure2() {
         let g = sl(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0);
         let h = sl(
-            vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+            vec![
+                (10, 50, 10.0),
+                (55, 60, 15.0),
+                (90, 110, 12.0),
+                (125, 175, 10.0),
+            ],
             20.0,
         );
         let mut db = fresh_db(260);

@@ -31,8 +31,11 @@ pub fn load_table(db: &mut Database, name: &str, table: &SimilarityTable) -> Res
         ));
     }
     db.drop_if_exists(name);
-    let mut cols: Vec<(String, ColType)> =
-        table.obj_cols.iter().map(|c| (c.clone(), ColType::Int)).collect();
+    let mut cols: Vec<(String, ColType)> = table
+        .obj_cols
+        .iter()
+        .map(|c| (c.clone(), ColType::Int))
+        .collect();
     cols.push(("beg".into(), ColType::Int));
     cols.push(("end".into(), ColType::Int));
     cols.push(("act".into(), ColType::Float));
@@ -40,8 +43,7 @@ pub fn load_table(db: &mut Database, name: &str, table: &SimilarityTable) -> Res
     let mut rows = Vec::new();
     for row in &table.rows {
         for e in row.list.entries() {
-            let mut r: Vec<Value> =
-                row.objs.iter().map(|o| Value::Int(o.0 as i64)).collect();
+            let mut r: Vec<Value> = row.objs.iter().map(|o| Value::Int(o.0 as i64)).collect();
             r.push(Value::Int(i64::from(e.iv.beg)));
             r.push(Value::Int(i64::from(e.iv.end)));
             r.push(Value::Float(e.act));
@@ -62,11 +64,25 @@ pub fn read_table(
     let table = db.table(name)?;
     let key_idx: Vec<usize> = obj_cols
         .iter()
-        .map(|c| table.schema.col(c).ok_or_else(|| SqlError::Column(c.clone())))
+        .map(|c| {
+            table
+                .schema
+                .col(c)
+                .ok_or_else(|| SqlError::Column(c.clone()))
+        })
         .collect::<Result<_, _>>()?;
-    let bi = table.schema.col("beg").ok_or_else(|| SqlError::Column("beg".into()))?;
-    let ei = table.schema.col("end").ok_or_else(|| SqlError::Column("end".into()))?;
-    let ai = table.schema.col("act").ok_or_else(|| SqlError::Column("act".into()))?;
+    let bi = table
+        .schema
+        .col("beg")
+        .ok_or_else(|| SqlError::Column("beg".into()))?;
+    let ei = table
+        .schema
+        .col("end")
+        .ok_or_else(|| SqlError::Column("end".into()))?;
+    let ai = table
+        .schema
+        .col("act")
+        .ok_or_else(|| SqlError::Column("act".into()))?;
     // Group rows by binding.
     let mut out = SimilarityTable::new(obj_cols.to_vec(), Vec::new(), max);
     let mut groups: BindingGroups = Vec::new();
@@ -88,7 +104,11 @@ pub fn read_table(
     for (objs, tuples) in groups {
         let list = SimilarityList::from_tuples(tuples, max)
             .map_err(|e| SqlError::Schema(format!("bad list for binding {objs:?}: {e}")))?;
-        out.push_row(Row { objs, ranges: Vec::new(), list });
+        out.push_row(Row {
+            objs,
+            ranges: Vec::new(),
+            list,
+        });
     }
     Ok(out.ensure_closed_row())
 }
@@ -127,7 +147,10 @@ fn qlead(prefix: &str, cols: &[String]) -> String {
     } else {
         format!(
             "{}, ",
-            cols.iter().map(|c| format!("{prefix}.{c}")).collect::<Vec<_>>().join(", ")
+            cols.iter()
+                .map(|c| format!("{prefix}.{c}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 }
@@ -137,11 +160,23 @@ fn qlead(prefix: &str, cols: &[String]) -> String {
 /// binding.
 fn coalesce_keyed(pts: &str, out: &str, cols: &[String]) -> String {
     let key_eq_s = eq_conds("p", "s", cols);
-    let and_keys = if cols.is_empty() { String::new() } else { format!("{key_eq_s} AND ") };
+    let and_keys = if cols.is_empty() {
+        String::new()
+    } else {
+        format!("{key_eq_s} AND ")
+    };
     let st_cols = cols_list("st", cols);
-    let st_lead = if st_cols.is_empty() { String::new() } else { format!("{st_cols}, ") };
+    let st_lead = if st_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{st_cols}, ")
+    };
     let en_eq = eq_conds("en", "st", cols);
-    let en_and = if cols.is_empty() { String::new() } else { format!("{en_eq} AND ") };
+    let en_and = if cols.is_empty() {
+        String::new()
+    } else {
+        format!("{en_eq} AND ")
+    };
     let group_keys = qlead("st", cols);
     format!(
         "DROP TABLE IF EXISTS {out}_starts;\n\
@@ -164,8 +199,11 @@ fn coalesce_keyed(pts: &str, out: &str, cols: &[String]) -> String {
 
 /// The union of output binding columns: `a`'s columns then `b`'s new ones.
 fn joined_cols(a_cols: &[String], b_cols: &[String]) -> (Vec<String>, Vec<String>) {
-    let shared: Vec<String> =
-        a_cols.iter().filter(|c| b_cols.contains(c)).cloned().collect();
+    let shared: Vec<String> = a_cols
+        .iter()
+        .filter(|c| b_cols.contains(c))
+        .cloned()
+        .collect();
     let mut out = a_cols.to_vec();
     out.extend(b_cols.iter().filter(|c| !a_cols.contains(c)).cloned());
     (out, shared)
@@ -179,9 +217,7 @@ fn bindings_script(a: &str, b: &str, out: &str, a_cols: &[String], b_cols: &[Str
         // joins — a constant one-row relation keeps the point expansion
         // alive even when an operand has no intervals (the closed-table
         // invariant: `g until h` with empty `g` still yields `h`).
-        return format!(
-            "DROP TABLE IF EXISTS {out};\nCREATE TABLE {out} AS SELECT 1 AS one;"
-        );
+        return format!("DROP TABLE IF EXISTS {out};\nCREATE TABLE {out} AS SELECT 1 AS one;");
     }
     let mut sels: Vec<String> = Vec::new();
     for c in &out_cols {
@@ -189,7 +225,11 @@ fn bindings_script(a: &str, b: &str, out: &str, a_cols: &[String], b_cols: &[Str
         sels.push(format!("{src}.{c} AS {c}"));
     }
     let join = eq_conds("a", "b", &shared);
-    let where_ = if join.is_empty() { String::new() } else { format!(" WHERE {join}") };
+    let where_ = if join.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {join}")
+    };
     let group: Vec<String> = out_cols
         .iter()
         .map(|c| {
@@ -218,11 +258,23 @@ pub fn conjunction_table_script(
     let k = format!("{out}_bind");
     let mut s = bindings_script(a, b, &k, a_cols, b_cols);
     let ksel = cols_list("k", &out_cols);
-    let klead = if ksel.is_empty() { String::new() } else { format!("{ksel}, ") };
+    let klead = if ksel.is_empty() {
+        String::new()
+    } else {
+        format!("{ksel}, ")
+    };
     let a_match = eq_conds("t", "k", a_cols);
-    let a_and = if a_cols.is_empty() { String::new() } else { format!("{a_match} AND ") };
+    let a_and = if a_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{a_match} AND ")
+    };
     let b_match = eq_conds("t", "k", b_cols);
-    let b_and = if b_cols.is_empty() { String::new() } else { format!("{b_match} AND ") };
+    let b_and = if b_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{b_match} AND ")
+    };
     let _ = write!(
         s,
         "\nDROP TABLE IF EXISTS {out}_pts;\n\
@@ -256,21 +308,53 @@ pub fn until_table_script(
     let k = format!("{out}_bind");
     let mut s = bindings_script(g, h, &k, g_cols, h_cols);
     let ksel = cols_list("k", &out_cols);
-    let klead = if ksel.is_empty() { String::new() } else { format!("{ksel}, ") };
+    let klead = if ksel.is_empty() {
+        String::new()
+    } else {
+        format!("{ksel}, ")
+    };
     let g_match = eq_conds("t", "k", g_cols);
-    let g_and = if g_cols.is_empty() { String::new() } else { format!("{g_match} AND ") };
+    let g_and = if g_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{g_match} AND ")
+    };
     let h_match = eq_conds("h2", "k", h_cols);
-    let h_and = if h_cols.is_empty() { String::new() } else { format!("{h_match} AND ") };
+    let h_and = if h_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{h_match} AND ")
+    };
     let key_eq = eq_conds("q", "p", &out_cols);
-    let key_and = if out_cols.is_empty() { String::new() } else { format!("{key_eq} AND ") };
+    let key_and = if out_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{key_eq} AND ")
+    };
     let run_eq = eq_conds("e", "s", &out_cols);
-    let run_and = if out_cols.is_empty() { String::new() } else { format!("{run_eq} AND ") };
+    let run_and = if out_cols.is_empty() {
+        String::new()
+    } else {
+        format!("{run_eq} AND ")
+    };
     let psel = cols_list("p", &out_cols);
-    let plead = if psel.is_empty() { String::new() } else { format!("{psel}, ") };
+    let plead = if psel.is_empty() {
+        String::new()
+    } else {
+        format!("{psel}, ")
+    };
     let ssel = cols_list("s", &out_cols);
-    let slead = if ssel.is_empty() { String::new() } else { format!("{ssel}, ") };
+    let slead = if ssel.is_empty() {
+        String::new()
+    } else {
+        format!("{ssel}, ")
+    };
     let rsel = cols_list("r", &out_cols);
-    let rlead = if rsel.is_empty() { String::new() } else { format!("{rsel}, ") };
+    let rlead = if rsel.is_empty() {
+        String::new()
+    } else {
+        format!("{rsel}, ")
+    };
     let _ = write!(
         s,
         "\nDROP TABLE IF EXISTS {out}_gpts;\n\
@@ -304,7 +388,11 @@ pub fn until_table_script(
         r_and2 = {
             // The h side joins the run's binding on h's own columns only.
             let e = eq_conds("h2", "r", h_cols);
-            if h_cols.is_empty() { String::new() } else { format!("{e} AND ") }
+            if h_cols.is_empty() {
+                String::new()
+            } else {
+                format!("{e} AND ")
+            }
         },
         coal = coalesce_keyed(&format!("{out}_maxpts"), out, &out_cols),
     );
@@ -315,7 +403,11 @@ pub fn until_table_script(
 #[must_use]
 pub fn next_table_script(l: &str, out: &str, cols: &[String]) -> String {
     let sel = cols_list("l", cols);
-    let slead = if sel.is_empty() { String::new() } else { format!("{sel}, ") };
+    let slead = if sel.is_empty() {
+        String::new()
+    } else {
+        format!("{sel}, ")
+    };
     format!(
         "DROP TABLE IF EXISTS {out};\n\
          CREATE TABLE {out} AS SELECT {slead}GREATEST(l.beg - 1, 1) AS beg, \
@@ -328,13 +420,29 @@ pub fn next_table_script(l: &str, out: &str, cols: &[String]) -> String {
 #[must_use]
 pub fn eventually_table_script(l: &str, out: &str, cols: &[String]) -> String {
     let k12 = eq_conds("h2", "h1", cols);
-    let k12_and = if cols.is_empty() { String::new() } else { format!("{k12} AND ") };
+    let k12_and = if cols.is_empty() {
+        String::new()
+    } else {
+        format!("{k12} AND ")
+    };
     let sel1 = cols_list("h1", cols);
-    let lead1 = if sel1.is_empty() { String::new() } else { format!("{sel1}, ") };
+    let lead1 = if sel1.is_empty() {
+        String::new()
+    } else {
+        format!("{sel1}, ")
+    };
     let bs_eq = eq_conds("s", "b", cols);
-    let bs_and = if cols.is_empty() { String::new() } else { format!("{bs_eq} AND ") };
+    let bs_and = if cols.is_empty() {
+        String::new()
+    } else {
+        format!("{bs_eq} AND ")
+    };
     let selb = cols_list("b", cols);
-    let leadb = if selb.is_empty() { String::new() } else { format!("{selb}, ") };
+    let leadb = if selb.is_empty() {
+        String::new()
+    } else {
+        format!("{selb}, ")
+    };
     format!(
         "DROP TABLE IF EXISTS {out}_sfx;\n\
          CREATE TABLE {out}_sfx AS SELECT {lead1}h1.end AS end, MAX(h2.act) AS act \
@@ -367,7 +475,11 @@ pub fn project_table_script(l: &str, out: &str, cols: &[String], var: &str) -> S
          FROM {out}_pts GROUP BY {cols2}id;\n{coal}",
         lead = {
             let c = cols_list("t", &remaining);
-            if c.is_empty() { c } else { format!("{c}, ") }
+            if c.is_empty() {
+                c
+            } else {
+                format!("{c}, ")
+            }
         },
         cols2 = lead(&remaining),
         coal = coalesce_keyed(&format!("{out}_max"), out, &remaining),
@@ -397,7 +509,11 @@ impl SqlType2System {
     pub fn new(n: u32, theta: f64) -> Result<SqlType2System, SqlError> {
         let mut db = Database::new();
         crate::translate::load_numbers(&mut db, n)?;
-        Ok(SqlType2System { db, counter: 0, theta })
+        Ok(SqlType2System {
+            db,
+            counter: 0,
+            theta,
+        })
     }
 
     /// Direct access to the underlying database (for inspection).
@@ -455,42 +571,61 @@ impl SqlType2System {
                 .ok_or_else(|| SqlError::Unsupported("missing atomic table".into()))?;
             let name = self.fresh("atom");
             load_table(&mut self.db, &name, table)?;
-            return Ok(Rel { name, cols: table.obj_cols.clone(), max: table.max });
+            return Ok(Rel {
+                name,
+                cols: table.obj_cols.clone(),
+                max: table.max,
+            });
         }
         match f {
             Formula::And(g, h) => {
                 let rg = self.eval_rec(g, atoms)?;
                 let rh = self.eval_rec(h, atoms)?;
                 let out = self.fresh("and");
-                let script =
-                    conjunction_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols);
+                let script = conjunction_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols);
                 self.db.execute_script(&script)?;
                 let (cols, _) = joined_cols(&rg.cols, &rh.cols);
-                Ok(Rel { name: out, cols, max: rg.max + rh.max })
+                Ok(Rel {
+                    name: out,
+                    cols,
+                    max: rg.max + rh.max,
+                })
             }
             Formula::Until(g, h) => {
                 let rg = self.eval_rec(g, atoms)?;
                 let rh = self.eval_rec(h, atoms)?;
                 let out = self.fresh("until");
                 let cut = self.theta * rg.max - 1e-12;
-                let script =
-                    until_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols, cut);
+                let script = until_table_script(&rg.name, &rh.name, &out, &rg.cols, &rh.cols, cut);
                 self.db.execute_script(&script)?;
                 let (cols, _) = joined_cols(&rg.cols, &rh.cols);
-                Ok(Rel { name: out, cols, max: rh.max })
+                Ok(Rel {
+                    name: out,
+                    cols,
+                    max: rh.max,
+                })
             }
             Formula::Next(g) => {
                 let rg = self.eval_rec(g, atoms)?;
                 let out = self.fresh("next");
-                self.db.execute_script(&next_table_script(&rg.name, &out, &rg.cols))?;
-                Ok(Rel { name: out, cols: rg.cols, max: rg.max })
+                self.db
+                    .execute_script(&next_table_script(&rg.name, &out, &rg.cols))?;
+                Ok(Rel {
+                    name: out,
+                    cols: rg.cols,
+                    max: rg.max,
+                })
             }
             Formula::Eventually(g) => {
                 let rg = self.eval_rec(g, atoms)?;
                 let out = self.fresh("ev");
                 self.db
                     .execute_script(&eventually_table_script(&rg.name, &out, &rg.cols))?;
-                Ok(Rel { name: out, cols: rg.cols, max: rg.max })
+                Ok(Rel {
+                    name: out,
+                    cols: rg.cols,
+                    max: rg.max,
+                })
             }
             Formula::Exists(var, g) => {
                 let rg = self.eval_rec(g, atoms)?;
@@ -500,9 +635,12 @@ impl SqlType2System {
                 let out = self.fresh("proj");
                 self.db
                     .execute_script(&project_table_script(&rg.name, &out, &rg.cols, &var.0))?;
-                let cols: Vec<String> =
-                    rg.cols.into_iter().filter(|c| *c != var.0).collect();
-                Ok(Rel { name: out, cols, max: rg.max })
+                let cols: Vec<String> = rg.cols.into_iter().filter(|c| *c != var.0).collect();
+                Ok(Rel {
+                    name: out,
+                    cols,
+                    max: rg.max,
+                })
             }
             other => Err(SqlError::Unsupported(format!(
                 "operator not in the type (2) translation: {other}"
@@ -520,11 +658,8 @@ mod tests {
     type RawRows = Vec<(Vec<u64>, Vec<(u32, u32, f64)>)>;
 
     fn table(cols: &[&str], rows: RawRows, max: f64) -> SimilarityTable {
-        let mut t = SimilarityTable::new(
-            cols.iter().map(|c| (*c).to_owned()).collect(),
-            vec![],
-            max,
-        );
+        let mut t =
+            SimilarityTable::new(cols.iter().map(|c| (*c).to_owned()).collect(), vec![], max);
         for (objs, tuples) in rows {
             t.push_row(Row {
                 objs: objs.into_iter().map(ObjectId).collect(),
@@ -538,9 +673,12 @@ mod tests {
     /// Dense comparison of tables: same bindings, same per-position values.
     fn assert_tables_agree(a: &SimilarityTable, b: &SimilarityTable, n: usize) {
         assert_eq!(a.obj_cols, b.obj_cols, "column sets differ");
-        let nonempty =
-            |t: &SimilarityTable| t.rows.iter().filter(|r| !r.list.is_empty()).count();
-        assert_eq!(nonempty(a), nonempty(b), "row counts differ: {a:?} vs {b:?}");
+        let nonempty = |t: &SimilarityTable| t.rows.iter().filter(|r| !r.list.is_empty()).count();
+        assert_eq!(
+            nonempty(a),
+            nonempty(b),
+            "row counts differ: {a:?} vs {b:?}"
+        );
         for ra in &a.rows {
             if ra.list.is_empty() {
                 continue;
@@ -597,18 +735,12 @@ mod tests {
     fn keyed_until_matches_direct_join() {
         let g = table(
             &["x"],
-            vec![
-                (vec![1], vec![(1, 6, 1.0)]),
-                (vec![2], vec![(2, 3, 0.2)]),
-            ],
+            vec![(vec![1], vec![(1, 6, 1.0)]), (vec![2], vec![(2, 3, 0.2)])],
             1.0,
         );
         let h = table(
             &["x"],
-            vec![
-                (vec![1], vec![(7, 8, 4.0)]),
-                (vec![2], vec![(8, 8, 2.0)]),
-            ],
+            vec![(vec![1], vec![(7, 8, 4.0)]), (vec![2], vec![(8, 8, 2.0)])],
             4.0,
         );
         let theta = 0.5;
@@ -677,10 +809,7 @@ mod tests {
     fn unsupported_classes_rejected() {
         let mut sys = SqlType2System::new(10, 0.5).unwrap();
         let f = parse("[h := height(z)] eventually height(z) > h").unwrap();
-        assert!(matches!(
-            sys.eval(&f, &[]),
-            Err(SqlError::Unsupported(_))
-        ));
+        assert!(matches!(sys.eval(&f, &[]), Err(SqlError::Unsupported(_))));
         let f = parse("at shot level p()").unwrap();
         assert!(sys.eval(&f, &[]).is_err());
     }

@@ -75,8 +75,7 @@ pub struct Key(pub Vec<Value>);
 
 impl PartialEq for Key {
     fn eq(&self, other: &Key) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.sql_eq(b))
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.sql_eq(b))
     }
 }
 

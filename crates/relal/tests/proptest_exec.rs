@@ -8,10 +8,12 @@ use simvid_relal::{Database, Value};
 use std::collections::HashMap;
 
 fn load_pairs(db: &mut Database, name: &str, rows: &[(i64, i64)]) {
-    db.execute(&format!("CREATE TABLE {name} (k INT, v INT)")).unwrap();
+    db.execute(&format!("CREATE TABLE {name} (k INT, v INT)"))
+        .unwrap();
     db.insert_rows(
         name,
-        rows.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]),
+        rows.iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]),
     )
     .unwrap();
 }

@@ -6,11 +6,10 @@ use simvid_relal::{parse_script, Database};
 
 fn token_soup() -> impl Strategy<Value = String> {
     let token = prop::sample::select(vec![
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "UNION", "ALL", "CREATE", "TABLE",
-        "AS", "DROP", "IF", "EXISTS", "NOT", "INSERT", "INTO", "VALUES", "AND", "OR", "MIN",
-        "MAX", "SUM", "COUNT", "LEAST", "INDEX", "ON", "INT", "FLOAT", "TEXT", "t", "x", "y",
-        "(", ")", ",", ".", ";", "*", "+", "-", "/", "=", "<>", "<", "<=", ">", ">=", "'s'",
-        "1", "2.5",
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "UNION", "ALL", "CREATE", "TABLE", "AS",
+        "DROP", "IF", "EXISTS", "NOT", "INSERT", "INTO", "VALUES", "AND", "OR", "MIN", "MAX",
+        "SUM", "COUNT", "LEAST", "INDEX", "ON", "INT", "FLOAT", "TEXT", "t", "x", "y", "(", ")",
+        ",", ".", ";", "*", "+", "-", "/", "=", "<>", "<", "<=", ">", ">=", "'s'", "1", "2.5",
     ]);
     prop::collection::vec(token, 0..20).prop_map(|toks| toks.join(" "))
 }

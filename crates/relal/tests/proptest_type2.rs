@@ -20,7 +20,12 @@ fn cfg(cols: &[&str], rows: usize, seed_max: f64) -> TableGenConfig {
         cols: cols.iter().map(|c| (*c).to_owned()).collect(),
         rows,
         universe: 4,
-        lists: ListGenConfig { n: N, coverage: 0.3, mean_run: 3.0, max_sim: seed_max },
+        lists: ListGenConfig {
+            n: N,
+            coverage: 0.3,
+            mean_run: 3.0,
+            max_sim: seed_max,
+        },
     }
 }
 

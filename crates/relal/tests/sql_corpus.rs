@@ -90,9 +90,7 @@ fn group_by_expression_key() {
     let mut db = db();
     // Group by a computed bucket: salary rounded down to hundreds.
     let rs = db
-        .execute(
-            "SELECT COUNT(*) AS c FROM emp GROUP BY salary >= 100.0 ORDER BY c",
-        )
+        .execute("SELECT COUNT(*) AS c FROM emp GROUP BY salary >= 100.0 ORDER BY c")
         .unwrap()
         .unwrap();
     assert_eq!(ints(&rs, 0), vec![2, 3]);
@@ -193,7 +191,8 @@ fn create_table_as_preserves_group_types() {
 fn insert_select_appends_with_coercion() {
     let mut db = db();
     db.execute("CREATE TABLE pay (amount FLOAT)").unwrap();
-    db.execute("INSERT INTO pay SELECT id FROM emp WHERE id <= 2").unwrap();
+    db.execute("INSERT INTO pay SELECT id FROM emp WHERE id <= 2")
+        .unwrap();
     let t = db.table("pay").unwrap();
     assert_eq!(t.rows[0][0], Value::Float(1.0));
     assert_eq!(t.len(), 2);
@@ -204,7 +203,9 @@ fn exists_against_empty_table() {
     let mut db = db();
     db.execute("CREATE TABLE ghost (id INT)").unwrap();
     let rs = db
-        .execute("SELECT id FROM emp WHERE NOT EXISTS (SELECT * FROM ghost WHERE ghost.id = emp.id)")
+        .execute(
+            "SELECT id FROM emp WHERE NOT EXISTS (SELECT * FROM ghost WHERE ghost.id = emp.id)",
+        )
         .unwrap()
         .unwrap();
     assert_eq!(rs.rows.len(), 5, "NOT EXISTS over empty keeps everything");
@@ -252,7 +253,10 @@ fn quoted_strings_with_embedded_quotes() {
     let mut db = Database::new();
     db.execute_script("CREATE TABLE q (s TEXT); INSERT INTO q VALUES ('it''s');")
         .unwrap();
-    let rs = db.execute("SELECT s FROM q WHERE s = 'it''s'").unwrap().unwrap();
+    let rs = db
+        .execute("SELECT s FROM q WHERE s = 'it''s'")
+        .unwrap()
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Str("it's".into()));
 }
 
@@ -279,9 +283,7 @@ fn type_errors_surface() {
 fn comments_in_scripts() {
     let mut db = db();
     let rs = db
-        .execute(
-            "SELECT id -- trailing comment\nFROM emp -- another\nWHERE id = 1",
-        )
+        .execute("SELECT id -- trailing comment\nFROM emp -- another\nWHERE id = 1")
         .unwrap()
         .unwrap();
     assert_eq!(ints(&rs, 0), vec![1]);
@@ -313,9 +315,7 @@ fn planner_traces_show_strategy_selection() {
 
     // Two range bounds against the indexed column: index range join.
     let (_, trace) = db
-        .execute_traced(
-            "SELECT n.n FROM emp e, nums n WHERE n.n >= e.id AND n.n <= e.id + 1",
-        )
+        .execute_traced("SELECT n.n FROM emp e, nums n WHERE n.n >= e.id AND n.n <= e.id + 1")
         .unwrap();
     assert!(
         trace.iter().any(|t| t.contains("index range join on `n`")),

@@ -88,7 +88,13 @@ mod tests {
 
     #[test]
     fn formulas_round_trip_through_printing() {
-        for f in [formula_a(), formula_b(), formula_c(), complex_1(), complex_2()] {
+        for f in [
+            formula_a(),
+            formula_b(),
+            formula_c(),
+            complex_1(),
+            complex_2(),
+        ] {
             let reparsed = parse(&f.to_string()).unwrap();
             assert_eq!(f, reparsed);
         }

@@ -26,7 +26,12 @@ pub struct ListGenConfig {
 
 impl Default for ListGenConfig {
     fn default() -> Self {
-        ListGenConfig { n: 10_000, coverage: 0.1, mean_run: 10.0, max_sim: 10.0 }
+        ListGenConfig {
+            n: 10_000,
+            coverage: 0.1,
+            mean_run: 10.0,
+            max_sim: 10.0,
+        }
     }
 }
 
@@ -53,7 +58,10 @@ fn sample_len(rng: &mut StdRng, mean: f64) -> u32 {
 /// the seed.
 #[must_use]
 pub fn generate(cfg: &ListGenConfig, seed: u64) -> SimilarityList {
-    assert!(cfg.coverage > 0.0 && cfg.coverage < 1.0, "coverage in (0, 1)");
+    assert!(
+        cfg.coverage > 0.0 && cfg.coverage < 1.0,
+        "coverage in (0, 1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mean_gap = cfg.mean_run * (1.0 - cfg.coverage) / cfg.coverage;
     let mut tuples: Vec<(u32, u32, f64)> = Vec::new();
@@ -88,7 +96,12 @@ mod tests {
 
     #[test]
     fn respects_bounds_and_invariants() {
-        let cfg = ListGenConfig { n: 2_000, coverage: 0.2, mean_run: 5.0, max_sim: 3.0 };
+        let cfg = ListGenConfig {
+            n: 2_000,
+            coverage: 0.2,
+            mean_run: 5.0,
+            max_sim: 3.0,
+        };
         let l = generate(&cfg, 7);
         l.check_invariants().unwrap();
         let last = l.entries().last().unwrap();
@@ -98,7 +111,12 @@ mod tests {
 
     #[test]
     fn coverage_is_approximately_requested() {
-        let cfg = ListGenConfig { n: 100_000, coverage: 0.1, mean_run: 10.0, max_sim: 1.0 };
+        let cfg = ListGenConfig {
+            n: 100_000,
+            coverage: 0.1,
+            mean_run: 10.0,
+            max_sim: 1.0,
+        };
         let l = generate(&cfg, 1);
         let cov = l.coverage() as f64 / f64::from(cfg.n);
         assert!(

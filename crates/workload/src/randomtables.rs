@@ -26,7 +26,12 @@ impl Default for TableGenConfig {
             cols: vec!["x".into()],
             rows: 4,
             universe: 5,
-            lists: ListGenConfig { n: 60, coverage: 0.3, mean_run: 4.0, max_sim: 3.0 },
+            lists: ListGenConfig {
+                n: 60,
+                coverage: 0.3,
+                mean_run: 4.0,
+                max_sim: 3.0,
+            },
         }
     }
 }
@@ -52,7 +57,11 @@ pub fn generate(cfg: &TableGenConfig, seed: u64) -> SimilarityTable {
             continue;
         }
         used.push(objs.clone());
-        table.push_row(Row { objs, ranges: Vec::new(), list });
+        table.push_row(Row {
+            objs,
+            ranges: Vec::new(),
+            list,
+        });
     }
     table.ensure_closed_row()
 }
@@ -63,7 +72,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_distinct_bindings() {
-        let cfg = TableGenConfig { rows: 6, ..TableGenConfig::default() };
+        let cfg = TableGenConfig {
+            rows: 6,
+            ..TableGenConfig::default()
+        };
         let a = generate(&cfg, 5);
         let b = generate(&cfg, 5);
         assert_eq!(a, b);
@@ -91,7 +103,11 @@ mod tests {
 
     #[test]
     fn zero_rows_yields_closed_invariant_only_when_closed() {
-        let cfg = TableGenConfig { cols: vec![], rows: 0, ..TableGenConfig::default() };
+        let cfg = TableGenConfig {
+            cols: vec![],
+            rows: 0,
+            ..TableGenConfig::default()
+        };
         let t = generate(&cfg, 1);
         assert!(t.is_closed());
         assert_eq!(t.rows.len(), 1, "closed tables keep their single row");

@@ -54,7 +54,11 @@ pub fn generate(cfg: &VideoGenConfig, seed: u64) -> VideoTree {
     b.set_level_names(names);
     b.segment_attr(
         "type",
-        AttrValue::from(*["western", "news", "documentary"].get(seed as usize % 3).unwrap()),
+        AttrValue::from(
+            *["western", "news", "documentary"]
+                .get(seed as usize % 3)
+                .unwrap(),
+        ),
     );
     build_level(&mut b, &mut rng, cfg, 0);
     b.finish().expect("generated tree is well formed")
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn respects_branching() {
-        let cfg = VideoGenConfig { branching: vec![2, 3, 4], ..VideoGenConfig::default() };
+        let cfg = VideoGenConfig {
+            branching: vec![2, 3, 4],
+            ..VideoGenConfig::default()
+        };
         let t = generate(&cfg, 3);
         assert_eq!(t.depth(), 4);
         assert_eq!(t.level_sequence(1).len(), 2);
@@ -141,6 +148,9 @@ mod tests {
             .iter()
             .map(|&s| t.node(s).meta.objects.len())
             .sum();
-        assert!(total_objects > 0, "random video should not be empty of objects");
+        assert!(
+            total_objects > 0,
+            "random video should not be empty of objects"
+        );
     }
 }

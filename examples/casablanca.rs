@@ -39,7 +39,10 @@ fn main() {
     print_list("Table 3 — eventually Moving-Train:", &eventually_train);
 
     let combined = list::and(&man_woman, &eventually_train);
-    print_list("Query 1 — Man-Woman and eventually Moving-Train:", &combined);
+    print_list(
+        "Query 1 — Man-Woman and eventually Moving-Train:",
+        &combined,
+    );
 
     // And the same through the engine, ranked like the paper's Table 4.
     let engine = Engine::new(&system, &video);

@@ -21,7 +21,11 @@ fn main() {
         video.level_sequence(3).len(),
     );
     for (d, name) in (0..video.depth()).filter_map(|d| video.level_name(d).map(|n| (d, n))) {
-        println!("  level {} = {name} ({} segments)", d + 1, video.level_sequence(d).len());
+        println!(
+            "  level {} = {name} ({} segments)",
+            d + 1,
+            video.level_sequence(d).len()
+        );
     }
     println!();
 
@@ -36,14 +40,20 @@ fn main() {
     let per_scene = engine
         .eval_closed_at_level(&formula_a, 2)
         .expect("formula A evaluates");
-    print_list("per-scene similarity (formula A at each scene):", &per_scene);
+    print_list(
+        "per-scene similarity (formula A at each scene):",
+        &per_scene,
+    );
     println!("scene 1 (command centers) realises the whole pattern — an exact match;");
     println!("scene 2 (airfields) has planes in the air but none shot down — partial.\n");
 
     // Browsing query on the whole video (top of the hierarchy).
     let browse = gulfwar::browse_query();
     let sim: Sim = engine.eval_video(&browse).expect("browse query");
-    println!("browsing query {browse}:\n  similarity {sim} (exact: {})\n", sim.is_exact());
+    println!(
+        "browsing query {browse}:\n  similarity {sim} (exact: {})\n",
+        sim.is_exact()
+    );
 
     // A cross-level query: somewhere a sub-plot whose shots show a
     // surrender.

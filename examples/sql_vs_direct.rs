@@ -48,13 +48,13 @@ fn main() {
 
     // Agreement check (the paper: both systems produced identical tables).
     let (a, b) = (direct.to_dense(n as usize), sql.to_dense(n as usize));
-    let agree = a
-        .iter()
-        .zip(&b)
-        .all(|(x, y)| (x - y).abs() < 1e-9);
+    let agree = a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-9);
     println!("outputs agree: {agree}");
     println!("direct: {direct_time:?}  ({} output entries)", direct.len());
-    println!("sql:    {sql_time:?}  ({} statements)", db.statements_executed());
+    println!(
+        "sql:    {sql_time:?}  ({} statements)",
+        db.statements_executed()
+    );
     println!(
         "speedup of the direct method: {:.0}x",
         sql_time.as_secs_f64() / direct_time.as_secs_f64().max(1e-12)

@@ -5,7 +5,10 @@ use simvid_core::{rank_entries, SimilarityList};
 /// Prints a similarity list as a paper-style result table.
 pub fn print_list(title: &str, list: &SimilarityList) {
     println!("{title}  (max similarity {:.3})", list.max());
-    println!("{:>9}  {:>7}  {:>12}  {:>9}", "Start-id", "End-id", "Similarity", "Fraction");
+    println!(
+        "{:>9}  {:>7}  {:>12}  {:>9}",
+        "Start-id", "End-id", "Similarity", "Fraction"
+    );
     for e in list.entries() {
         println!(
             "{:>9}  {:>7}  {:>12.3}  {:>8.1}%",
@@ -21,9 +24,18 @@ pub fn print_list(title: &str, list: &SimilarityList) {
 /// Prints the top entries of a list in ranked order.
 pub fn print_ranked(title: &str, list: &SimilarityList, k: usize) {
     println!("{title}");
-    println!("{:>4}  {:>9}  {:>7}  {:>12}", "#", "Start-id", "End-id", "Similarity");
+    println!(
+        "{:>4}  {:>9}  {:>7}  {:>12}",
+        "#", "Start-id", "End-id", "Similarity"
+    );
     for (i, (iv, sim)) in rank_entries(list).into_iter().take(k).enumerate() {
-        println!("{:>4}  {:>9}  {:>7}  {:>12.3}", i + 1, iv.beg, iv.end, sim.act);
+        println!(
+            "{:>4}  {:>9}  {:>7}  {:>12.3}",
+            i + 1,
+            iv.beg,
+            iv.end,
+            sim.act
+        );
     }
     println!();
 }

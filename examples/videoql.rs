@@ -116,8 +116,7 @@ fn main() {
             },
             "query" => match parse(rest) {
                 Ok(f) => {
-                    let db = VideoDatabase::new(&store)
-                        .with_scoring(casablanca::weights());
+                    let db = VideoDatabase::new(&store).with_scoring(casablanca::weights());
                     match db.retrieve(&f, &level, k) {
                         Ok(hits) if hits.is_empty() => println!("no segments match"),
                         Ok(hits) => {

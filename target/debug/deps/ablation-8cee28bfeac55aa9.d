@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8cee28bfeac55aa9.d: tests/suite/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8cee28bfeac55aa9: tests/suite/ablation.rs
+
+tests/suite/ablation.rs:

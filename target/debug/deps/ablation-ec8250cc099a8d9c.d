@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ec8250cc099a8d9c.d: tests/suite/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ec8250cc099a8d9c: tests/suite/ablation.rs
+
+tests/suite/ablation.rs:

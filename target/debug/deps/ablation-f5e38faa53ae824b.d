@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-f5e38faa53ae824b.d: tests/suite/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-f5e38faa53ae824b.rmeta: tests/suite/ablation.rs Cargo.toml
+
+tests/suite/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airplane-0406f36452b3e1d3.d: examples/airplane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairplane-0406f36452b3e1d3.rmeta: examples/airplane.rs Cargo.toml
+
+examples/airplane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

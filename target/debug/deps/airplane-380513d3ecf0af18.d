@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/airplane-380513d3ecf0af18.d: examples/airplane.rs
+
+/root/repo/target/debug/deps/airplane-380513d3ecf0af18: examples/airplane.rs
+
+examples/airplane.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/airplane-41b47bbd2476d53e.d: examples/airplane.rs
+
+/root/repo/target/debug/deps/airplane-41b47bbd2476d53e: examples/airplane.rs
+
+examples/airplane.rs:

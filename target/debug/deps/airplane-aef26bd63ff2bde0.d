@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/airplane-aef26bd63ff2bde0.d: examples/airplane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libairplane-aef26bd63ff2bde0.rmeta: examples/airplane.rs Cargo.toml
+
+examples/airplane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

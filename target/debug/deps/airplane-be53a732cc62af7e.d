@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/airplane-be53a732cc62af7e.d: examples/airplane.rs
+
+/root/repo/target/debug/deps/airplane-be53a732cc62af7e: examples/airplane.rs
+
+examples/airplane.rs:

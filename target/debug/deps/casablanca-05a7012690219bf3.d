@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casablanca-05a7012690219bf3.d: examples/casablanca.rs
+
+/root/repo/target/debug/deps/casablanca-05a7012690219bf3: examples/casablanca.rs
+
+examples/casablanca.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casablanca-10845dcdce3dd49c.d: examples/casablanca.rs
+
+/root/repo/target/debug/deps/casablanca-10845dcdce3dd49c: examples/casablanca.rs
+
+examples/casablanca.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casablanca-609625bc7d7a09e2.d: examples/casablanca.rs
+
+/root/repo/target/debug/deps/casablanca-609625bc7d7a09e2: examples/casablanca.rs
+
+examples/casablanca.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casablanca-6a4c5e22c6dd392a.d: examples/casablanca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasablanca-6a4c5e22c6dd392a.rmeta: examples/casablanca.rs Cargo.toml
+
+examples/casablanca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

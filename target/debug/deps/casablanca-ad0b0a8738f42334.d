@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casablanca-ad0b0a8738f42334.d: examples/casablanca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasablanca-ad0b0a8738f42334.rmeta: examples/casablanca.rs Cargo.toml
+
+examples/casablanca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

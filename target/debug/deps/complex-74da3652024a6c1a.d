@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complex-74da3652024a6c1a.d: crates/bench/benches/complex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplex-74da3652024a6c1a.rmeta: crates/bench/benches/complex.rs Cargo.toml
+
+crates/bench/benches/complex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complex-77203bc1757af540.d: crates/bench/benches/complex.rs
+
+/root/repo/target/debug/deps/complex-77203bc1757af540: crates/bench/benches/complex.rs
+
+crates/bench/benches/complex.rs:

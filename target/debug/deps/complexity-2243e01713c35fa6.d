@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complexity-2243e01713c35fa6.d: tests/suite/complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplexity-2243e01713c35fa6.rmeta: tests/suite/complexity.rs Cargo.toml
+
+tests/suite/complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-5973ed86b894f89f.d: tests/suite/complexity.rs
+
+/root/repo/target/debug/deps/complexity-5973ed86b894f89f: tests/suite/complexity.rs
+
+tests/suite/complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity-b61411f7b77b9187.d: tests/suite/complexity.rs
+
+/root/repo/target/debug/deps/complexity-b61411f7b77b9187: tests/suite/complexity.rs
+
+tests/suite/complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conjunction-4d2dee403c4f41a5.d: crates/bench/benches/conjunction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconjunction-4d2dee403c4f41a5.rmeta: crates/bench/benches/conjunction.rs Cargo.toml
+
+crates/bench/benches/conjunction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

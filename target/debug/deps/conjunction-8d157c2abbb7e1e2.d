@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjunction-8d157c2abbb7e1e2.d: crates/bench/benches/conjunction.rs
+
+/root/repo/target/debug/deps/conjunction-8d157c2abbb7e1e2: crates/bench/benches/conjunction.rs
+
+crates/bench/benches/conjunction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/direct_vs_sql-070955bf038cd0e8.d: tests/suite/direct_vs_sql.rs
+
+/root/repo/target/debug/deps/direct_vs_sql-070955bf038cd0e8: tests/suite/direct_vs_sql.rs
+
+tests/suite/direct_vs_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/direct_vs_sql-6d8b5e5d46e4b297.d: tests/suite/direct_vs_sql.rs
+
+/root/repo/target/debug/deps/direct_vs_sql-6d8b5e5d46e4b297: tests/suite/direct_vs_sql.rs
+
+tests/suite/direct_vs_sql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/direct_vs_sql-fbb814a16b4cabdc.d: tests/suite/direct_vs_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirect_vs_sql-fbb814a16b4cabdc.rmeta: tests/suite/direct_vs_sql.rs Cargo.toml
+
+tests/suite/direct_vs_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

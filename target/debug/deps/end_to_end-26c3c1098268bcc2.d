@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-26c3c1098268bcc2.d: tests/suite/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-26c3c1098268bcc2: tests/suite/end_to_end.rs
+
+tests/suite/end_to_end.rs:

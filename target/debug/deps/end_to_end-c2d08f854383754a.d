@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c2d08f854383754a.d: tests/suite/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c2d08f854383754a: tests/suite/end_to_end.rs
+
+tests/suite/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact_vs_similarity-065b41898b05bb93.d: tests/suite/exact_vs_similarity.rs
+
+/root/repo/target/debug/deps/exact_vs_similarity-065b41898b05bb93: tests/suite/exact_vs_similarity.rs
+
+tests/suite/exact_vs_similarity.rs:

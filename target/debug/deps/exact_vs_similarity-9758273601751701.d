@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact_vs_similarity-9758273601751701.d: tests/suite/exact_vs_similarity.rs
+
+/root/repo/target/debug/deps/exact_vs_similarity-9758273601751701: tests/suite/exact_vs_similarity.rs
+
+tests/suite/exact_vs_similarity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exact_vs_similarity-be2c48198881fac3.d: tests/suite/exact_vs_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexact_vs_similarity-be2c48198881fac3.rmeta: tests/suite/exact_vs_similarity.rs Cargo.toml
+
+tests/suite/exact_vs_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

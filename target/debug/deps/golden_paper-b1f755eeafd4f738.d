@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_paper-b1f755eeafd4f738.d: tests/suite/golden_paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_paper-b1f755eeafd4f738.rmeta: tests/suite/golden_paper.rs Cargo.toml
+
+tests/suite/golden_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

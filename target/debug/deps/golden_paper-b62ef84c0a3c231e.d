@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_paper-b62ef84c0a3c231e.d: tests/suite/golden_paper.rs
+
+/root/repo/target/debug/deps/golden_paper-b62ef84c0a3c231e: tests/suite/golden_paper.rs
+
+tests/suite/golden_paper.rs:

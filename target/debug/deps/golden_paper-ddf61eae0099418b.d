@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_paper-ddf61eae0099418b.d: tests/suite/golden_paper.rs
+
+/root/repo/target/debug/deps/golden_paper-ddf61eae0099418b: tests/suite/golden_paper.rs
+
+tests/suite/golden_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gulf_war-12c42582cfc36632.d: examples/gulf_war.rs
+
+/root/repo/target/debug/deps/gulf_war-12c42582cfc36632: examples/gulf_war.rs
+
+examples/gulf_war.rs:

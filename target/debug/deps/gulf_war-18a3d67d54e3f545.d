@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gulf_war-18a3d67d54e3f545.d: examples/gulf_war.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgulf_war-18a3d67d54e3f545.rmeta: examples/gulf_war.rs Cargo.toml
+
+examples/gulf_war.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gulf_war-65d6599a78023940.d: examples/gulf_war.rs
+
+/root/repo/target/debug/deps/gulf_war-65d6599a78023940: examples/gulf_war.rs
+
+examples/gulf_war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gulf_war-e20be067dc75826e.d: examples/gulf_war.rs
+
+/root/repo/target/debug/deps/gulf_war-e20be067dc75826e: examples/gulf_war.rs
+
+examples/gulf_war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy-0823a6416e953b08.d: tests/suite/hierarchy.rs
+
+/root/repo/target/debug/deps/hierarchy-0823a6416e953b08: tests/suite/hierarchy.rs
+
+tests/suite/hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy-b5fd50ed8bdde0ae.d: tests/suite/hierarchy.rs
+
+/root/repo/target/debug/deps/hierarchy-b5fd50ed8bdde0ae: tests/suite/hierarchy.rs
+
+tests/suite/hierarchy.rs:

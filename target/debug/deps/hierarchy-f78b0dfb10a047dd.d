@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy-f78b0dfb10a047dd.d: tests/suite/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy-f78b0dfb10a047dd.rmeta: tests/suite/hierarchy.rs Cargo.toml
+
+tests/suite/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

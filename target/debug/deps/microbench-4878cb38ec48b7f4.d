@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-4878cb38ec48b7f4.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-4878cb38ec48b7f4: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-427888c38e827634.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/debug/deps/parallel-427888c38e827634: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-b8a74ec3cd89301b.d: crates/bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-b8a74ec3cd89301b.rmeta: crates/bench/benches/parallel.rs Cargo.toml
+
+crates/bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

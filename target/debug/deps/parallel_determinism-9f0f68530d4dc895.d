@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-9f0f68530d4dc895.d: tests/suite/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-9f0f68530d4dc895: tests/suite/parallel_determinism.rs
+
+tests/suite/parallel_determinism.rs:

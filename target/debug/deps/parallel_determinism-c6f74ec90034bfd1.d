@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-c6f74ec90034bfd1.d: tests/suite/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-c6f74ec90034bfd1: tests/suite/parallel_determinism.rs
+
+tests/suite/parallel_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-e5bb7ddccf2b7640.d: tests/suite/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-e5bb7ddccf2b7640.rmeta: tests/suite/parallel_determinism.rs Cargo.toml
+
+tests/suite/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

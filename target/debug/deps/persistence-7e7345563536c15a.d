@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-7e7345563536c15a.d: tests/suite/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-7e7345563536c15a.rmeta: tests/suite/persistence.rs Cargo.toml
+
+tests/suite/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-c4870bd8bef0cb03.d: tests/suite/persistence.rs
+
+/root/repo/target/debug/deps/persistence-c4870bd8bef0cb03: tests/suite/persistence.rs
+
+tests/suite/persistence.rs:

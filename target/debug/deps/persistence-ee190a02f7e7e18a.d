@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-ee190a02f7e7e18a.d: tests/suite/persistence.rs
+
+/root/repo/target/debug/deps/persistence-ee190a02f7e7e18a: tests/suite/persistence.rs
+
+tests/suite/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-09f0e73795fd03ac.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-09f0e73795fd03ac: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

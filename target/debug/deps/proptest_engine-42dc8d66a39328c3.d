@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-42dc8d66a39328c3.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-42dc8d66a39328c3: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

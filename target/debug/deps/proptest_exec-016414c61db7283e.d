@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exec-016414c61db7283e.d: crates/relal/tests/proptest_exec.rs
+
+/root/repo/target/debug/deps/proptest_exec-016414c61db7283e: crates/relal/tests/proptest_exec.rs
+
+crates/relal/tests/proptest_exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_exec-5020ad85b197fe11.d: crates/relal/tests/proptest_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_exec-5020ad85b197fe11.rmeta: crates/relal/tests/proptest_exec.rs Cargo.toml
+
+crates/relal/tests/proptest_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

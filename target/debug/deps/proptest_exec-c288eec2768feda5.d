@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exec-c288eec2768feda5.d: crates/relal/tests/proptest_exec.rs
+
+/root/repo/target/debug/deps/proptest_exec-c288eec2768feda5: crates/relal/tests/proptest_exec.rs
+
+crates/relal/tests/proptest_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lists-24875276e3397952.d: crates/core/tests/proptest_lists.rs
+
+/root/repo/target/debug/deps/proptest_lists-24875276e3397952: crates/core/tests/proptest_lists.rs
+
+crates/core/tests/proptest_lists.rs:

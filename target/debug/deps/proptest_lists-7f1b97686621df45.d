@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_lists-7f1b97686621df45.d: crates/core/tests/proptest_lists.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_lists-7f1b97686621df45.rmeta: crates/core/tests/proptest_lists.rs Cargo.toml
+
+crates/core/tests/proptest_lists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

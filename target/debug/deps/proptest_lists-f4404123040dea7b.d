@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lists-f4404123040dea7b.d: crates/core/tests/proptest_lists.rs
+
+/root/repo/target/debug/deps/proptest_lists-f4404123040dea7b: crates/core/tests/proptest_lists.rs
+
+crates/core/tests/proptest_lists.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_normalize-05f7bd1e90238a2c.d: crates/htl/tests/proptest_normalize.rs
+
+/root/repo/target/debug/deps/proptest_normalize-05f7bd1e90238a2c: crates/htl/tests/proptest_normalize.rs
+
+crates/htl/tests/proptest_normalize.rs:

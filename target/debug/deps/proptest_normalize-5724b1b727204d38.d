@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_normalize-5724b1b727204d38.d: crates/htl/tests/proptest_normalize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_normalize-5724b1b727204d38.rmeta: crates/htl/tests/proptest_normalize.rs Cargo.toml
+
+crates/htl/tests/proptest_normalize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

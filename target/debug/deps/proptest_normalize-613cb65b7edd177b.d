@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_normalize-613cb65b7edd177b.d: crates/htl/tests/proptest_normalize.rs
+
+/root/repo/target/debug/deps/proptest_normalize-613cb65b7edd177b: crates/htl/tests/proptest_normalize.rs
+
+crates/htl/tests/proptest_normalize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_parser-5ab0aa924fc21d84.d: crates/relal/tests/proptest_parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_parser-5ab0aa924fc21d84.rmeta: crates/relal/tests/proptest_parser.rs Cargo.toml
+
+crates/relal/tests/proptest_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

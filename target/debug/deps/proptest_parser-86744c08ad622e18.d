@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_parser-86744c08ad622e18.d: crates/relal/tests/proptest_parser.rs
+
+/root/repo/target/debug/deps/proptest_parser-86744c08ad622e18: crates/relal/tests/proptest_parser.rs
+
+crates/relal/tests/proptest_parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_parser-cb34f43df952b4bc.d: crates/relal/tests/proptest_parser.rs
+
+/root/repo/target/debug/deps/proptest_parser-cb34f43df952b4bc: crates/relal/tests/proptest_parser.rs
+
+crates/relal/tests/proptest_parser.rs:

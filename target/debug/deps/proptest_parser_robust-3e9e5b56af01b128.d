@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_parser_robust-3e9e5b56af01b128.d: crates/htl/tests/proptest_parser_robust.rs
+
+/root/repo/target/debug/deps/proptest_parser_robust-3e9e5b56af01b128: crates/htl/tests/proptest_parser_robust.rs
+
+crates/htl/tests/proptest_parser_robust.rs:

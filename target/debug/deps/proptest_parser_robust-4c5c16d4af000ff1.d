@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_parser_robust-4c5c16d4af000ff1.d: crates/htl/tests/proptest_parser_robust.rs
+
+/root/repo/target/debug/deps/proptest_parser_robust-4c5c16d4af000ff1: crates/htl/tests/proptest_parser_robust.rs
+
+crates/htl/tests/proptest_parser_robust.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_parser_robust-68d2c0e5515339a0.d: crates/htl/tests/proptest_parser_robust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_parser_robust-68d2c0e5515339a0.rmeta: crates/htl/tests/proptest_parser_robust.rs Cargo.toml
+
+crates/htl/tests/proptest_parser_robust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-3bd8519c5e5fe742.d: crates/htl/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-3bd8519c5e5fe742: crates/htl/tests/proptest_roundtrip.rs
+
+crates/htl/tests/proptest_roundtrip.rs:

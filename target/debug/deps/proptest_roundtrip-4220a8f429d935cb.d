@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-4220a8f429d935cb.d: crates/htl/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-4220a8f429d935cb: crates/htl/tests/proptest_roundtrip.rs
+
+crates/htl/tests/proptest_roundtrip.rs:

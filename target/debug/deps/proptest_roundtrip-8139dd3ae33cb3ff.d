@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-8139dd3ae33cb3ff.d: crates/htl/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-8139dd3ae33cb3ff.rmeta: crates/htl/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/htl/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

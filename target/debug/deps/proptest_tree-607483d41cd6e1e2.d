@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tree-607483d41cd6e1e2.d: crates/model/tests/proptest_tree.rs
+
+/root/repo/target/debug/deps/proptest_tree-607483d41cd6e1e2: crates/model/tests/proptest_tree.rs
+
+crates/model/tests/proptest_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tree-bff16af402ac6fd2.d: crates/model/tests/proptest_tree.rs
+
+/root/repo/target/debug/deps/proptest_tree-bff16af402ac6fd2: crates/model/tests/proptest_tree.rs
+
+crates/model/tests/proptest_tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_tree-ff89de443aa452a3.d: crates/model/tests/proptest_tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_tree-ff89de443aa452a3.rmeta: crates/model/tests/proptest_tree.rs Cargo.toml
+
+crates/model/tests/proptest_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_type2-0d6a2f438c41e892.d: crates/relal/tests/proptest_type2.rs
+
+/root/repo/target/debug/deps/proptest_type2-0d6a2f438c41e892: crates/relal/tests/proptest_type2.rs
+
+crates/relal/tests/proptest_type2.rs:

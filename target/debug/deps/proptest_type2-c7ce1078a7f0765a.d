@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_type2-c7ce1078a7f0765a.d: crates/relal/tests/proptest_type2.rs
+
+/root/repo/target/debug/deps/proptest_type2-c7ce1078a7f0765a: crates/relal/tests/proptest_type2.rs
+
+crates/relal/tests/proptest_type2.rs:

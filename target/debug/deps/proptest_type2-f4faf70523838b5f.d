@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_type2-f4faf70523838b5f.d: crates/relal/tests/proptest_type2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_type2-f4faf70523838b5f.rmeta: crates/relal/tests/proptest_type2.rs Cargo.toml
+
+crates/relal/tests/proptest_type2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pruning-897cec6a58521b2f.d: tests/suite/pruning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpruning-897cec6a58521b2f.rmeta: tests/suite/pruning.rs Cargo.toml
+
+tests/suite/pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-b309041e7c17139a.d: tests/suite/pruning.rs
+
+/root/repo/target/debug/deps/pruning-b309041e7c17139a: tests/suite/pruning.rs
+
+tests/suite/pruning.rs:

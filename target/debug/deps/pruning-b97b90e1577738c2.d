@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-b97b90e1577738c2.d: tests/suite/pruning.rs
+
+/root/repo/target/debug/deps/pruning-b97b90e1577738c2: tests/suite/pruning.rs
+
+tests/suite/pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-8947f1e93753137c.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-8947f1e93753137c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-b23b0e0de43e4b7e.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-b23b0e0de43e4b7e: examples/quickstart.rs
+
+examples/quickstart.rs:

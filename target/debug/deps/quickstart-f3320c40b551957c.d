@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-f3320c40b551957c.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-f3320c40b551957c: examples/quickstart.rs
+
+examples/quickstart.rs:

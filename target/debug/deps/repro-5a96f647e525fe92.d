@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5a96f647e525fe92.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5a96f647e525fe92: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b3f65a80fbd74773.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b3f65a80fbd74773: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

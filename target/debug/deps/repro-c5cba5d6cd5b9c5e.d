@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c5cba5d6cd5b9c5e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c5cba5d6cd5b9c5e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-0f854eb376b4dd57.d: crates/model/tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-0f854eb376b4dd57.rmeta: crates/model/tests/serde_roundtrip.rs Cargo.toml
+
+crates/model/tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

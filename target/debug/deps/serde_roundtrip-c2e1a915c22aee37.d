@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-c2e1a915c22aee37.d: crates/model/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-c2e1a915c22aee37: crates/model/tests/serde_roundtrip.rs
+
+crates/model/tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-c9b194cc71add06a.d: crates/model/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-c9b194cc71add06a: crates/model/tests/serde_roundtrip.rs
+
+crates/model/tests/serde_roundtrip.rs:

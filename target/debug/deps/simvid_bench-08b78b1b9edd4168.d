@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simvid_bench-08b78b1b9edd4168.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_bench-08b78b1b9edd4168.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_bench-2ed9e31346aec137.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_bench-2ed9e31346aec137.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_bench-2ed9e31346aec137.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

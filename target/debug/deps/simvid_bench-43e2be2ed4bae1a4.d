@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_bench-43e2be2ed4bae1a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_bench-43e2be2ed4bae1a4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

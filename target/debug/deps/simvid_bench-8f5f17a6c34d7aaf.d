@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_bench-8f5f17a6c34d7aaf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_bench-8f5f17a6c34d7aaf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_bench-8f5f17a6c34d7aaf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

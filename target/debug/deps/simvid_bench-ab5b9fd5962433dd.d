@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simvid_bench-ab5b9fd5962433dd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_bench-ab5b9fd5962433dd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

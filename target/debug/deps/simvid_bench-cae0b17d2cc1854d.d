@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_bench-cae0b17d2cc1854d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_bench-cae0b17d2cc1854d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

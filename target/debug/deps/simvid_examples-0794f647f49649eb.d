@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_examples-0794f647f49649eb.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_examples-0794f647f49649eb.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_examples-0794f647f49649eb.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

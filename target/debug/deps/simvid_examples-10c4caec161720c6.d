@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_examples-10c4caec161720c6.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_examples-10c4caec161720c6: examples/src/lib.rs
+
+examples/src/lib.rs:

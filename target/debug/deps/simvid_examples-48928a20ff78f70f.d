@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_examples-48928a20ff78f70f.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_examples-48928a20ff78f70f.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_examples-48928a20ff78f70f.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_examples-5caa762c77f5bcad.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_examples-5caa762c77f5bcad: examples/src/lib.rs
+
+examples/src/lib.rs:

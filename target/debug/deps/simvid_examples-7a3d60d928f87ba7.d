@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simvid_examples-7a3d60d928f87ba7.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_examples-7a3d60d928f87ba7.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

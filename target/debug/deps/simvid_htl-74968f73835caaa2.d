@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/simvid_htl-74968f73835caaa2.d: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_htl-74968f73835caaa2.rmeta: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs Cargo.toml
+
+crates/htl/src/lib.rs:
+crates/htl/src/ast.rs:
+crates/htl/src/atoms.rs:
+crates/htl/src/classify.rs:
+crates/htl/src/error.rs:
+crates/htl/src/exact.rs:
+crates/htl/src/lexer.rs:
+crates/htl/src/normalize.rs:
+crates/htl/src/parser.rs:
+crates/htl/src/print.rs:
+crates/htl/src/vars.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/simvid_model-69b12fc6bdcf5b04.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_model-69b12fc6bdcf5b04.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/meta.rs:
+crates/model/src/object.rs:
+crates/model/src/store.rs:
+crates/model/src/tree.rs:
+crates/model/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

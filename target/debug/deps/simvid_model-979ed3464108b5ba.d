@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simvid_model-979ed3464108b5ba.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+/root/repo/target/debug/deps/simvid_model-979ed3464108b5ba: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/meta.rs:
+crates/model/src/object.rs:
+crates/model/src/store.rs:
+crates/model/src/tree.rs:
+crates/model/src/value.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/simvid_relal-71e00f85da0c8212.d: crates/relal/src/lib.rs crates/relal/src/ast.rs crates/relal/src/catalog.rs crates/relal/src/db.rs crates/relal/src/error.rs crates/relal/src/exec.rs crates/relal/src/expr.rs crates/relal/src/lexer.rs crates/relal/src/parser.rs crates/relal/src/schema.rs crates/relal/src/table.rs crates/relal/src/translate.rs crates/relal/src/translate_table.rs crates/relal/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_relal-71e00f85da0c8212.rmeta: crates/relal/src/lib.rs crates/relal/src/ast.rs crates/relal/src/catalog.rs crates/relal/src/db.rs crates/relal/src/error.rs crates/relal/src/exec.rs crates/relal/src/expr.rs crates/relal/src/lexer.rs crates/relal/src/parser.rs crates/relal/src/schema.rs crates/relal/src/table.rs crates/relal/src/translate.rs crates/relal/src/translate_table.rs crates/relal/src/value.rs Cargo.toml
+
+crates/relal/src/lib.rs:
+crates/relal/src/ast.rs:
+crates/relal/src/catalog.rs:
+crates/relal/src/db.rs:
+crates/relal/src/error.rs:
+crates/relal/src/exec.rs:
+crates/relal/src/expr.rs:
+crates/relal/src/lexer.rs:
+crates/relal/src/parser.rs:
+crates/relal/src/schema.rs:
+crates/relal/src/table.rs:
+crates/relal/src/translate.rs:
+crates/relal/src/translate_table.rs:
+crates/relal/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_tests-16f048c839644a18.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_tests-16f048c839644a18: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_tests-42d97b25a91b01d9.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_tests-42d97b25a91b01d9.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_tests-42d97b25a91b01d9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_tests-5b570dde8dec15e8.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/simvid_tests-5b570dde8dec15e8: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simvid_tests-cbae5f53ae280ffd.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_tests-cbae5f53ae280ffd.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_tests-cbae5f53ae280ffd.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

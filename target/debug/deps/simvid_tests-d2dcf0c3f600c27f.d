@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simvid_tests-d2dcf0c3f600c27f.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimvid_tests-d2dcf0c3f600c27f.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simvid_workload-88c867bd4523771c.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+
+/root/repo/target/debug/deps/libsimvid_workload-88c867bd4523771c.rlib: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+
+/root/repo/target/debug/deps/libsimvid_workload-88c867bd4523771c.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/casablanca.rs:
+crates/workload/src/gulfwar.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/randomlists.rs:
+crates/workload/src/randomtables.rs:
+crates/workload/src/randomvideo.rs:

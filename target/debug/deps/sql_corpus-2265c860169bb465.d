@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_corpus-2265c860169bb465.d: crates/relal/tests/sql_corpus.rs
+
+/root/repo/target/debug/deps/sql_corpus-2265c860169bb465: crates/relal/tests/sql_corpus.rs
+
+crates/relal/tests/sql_corpus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_corpus-6d2073ebb003b291.d: crates/relal/tests/sql_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_corpus-6d2073ebb003b291.rmeta: crates/relal/tests/sql_corpus.rs Cargo.toml
+
+crates/relal/tests/sql_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

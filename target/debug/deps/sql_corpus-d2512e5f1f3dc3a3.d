@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_corpus-d2512e5f1f3dc3a3.d: crates/relal/tests/sql_corpus.rs
+
+/root/repo/target/debug/deps/sql_corpus-d2512e5f1f3dc3a3: crates/relal/tests/sql_corpus.rs
+
+crates/relal/tests/sql_corpus.rs:

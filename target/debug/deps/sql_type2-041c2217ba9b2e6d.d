@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_type2-041c2217ba9b2e6d.d: tests/suite/sql_type2.rs
+
+/root/repo/target/debug/deps/sql_type2-041c2217ba9b2e6d: tests/suite/sql_type2.rs
+
+tests/suite/sql_type2.rs:

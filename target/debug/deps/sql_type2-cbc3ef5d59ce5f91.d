@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_type2-cbc3ef5d59ce5f91.d: tests/suite/sql_type2.rs
+
+/root/repo/target/debug/deps/sql_type2-cbc3ef5d59ce5f91: tests/suite/sql_type2.rs
+
+tests/suite/sql_type2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_type2-f35c52c407949a59.d: tests/suite/sql_type2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_type2-f35c52c407949a59.rmeta: tests/suite/sql_type2.rs Cargo.toml
+
+tests/suite/sql_type2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

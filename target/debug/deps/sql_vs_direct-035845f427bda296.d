@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_vs_direct-035845f427bda296.d: examples/sql_vs_direct.rs
+
+/root/repo/target/debug/deps/sql_vs_direct-035845f427bda296: examples/sql_vs_direct.rs
+
+examples/sql_vs_direct.rs:

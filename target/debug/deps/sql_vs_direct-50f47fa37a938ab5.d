@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_vs_direct-50f47fa37a938ab5.d: examples/sql_vs_direct.rs
+
+/root/repo/target/debug/deps/sql_vs_direct-50f47fa37a938ab5: examples/sql_vs_direct.rs
+
+examples/sql_vs_direct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_vs_direct-77edcc79fa5d8b76.d: examples/sql_vs_direct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_vs_direct-77edcc79fa5d8b76.rmeta: examples/sql_vs_direct.rs Cargo.toml
+
+examples/sql_vs_direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

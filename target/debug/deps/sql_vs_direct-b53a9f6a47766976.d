@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_vs_direct-b53a9f6a47766976.d: examples/sql_vs_direct.rs
+
+/root/repo/target/debug/deps/sql_vs_direct-b53a9f6a47766976: examples/sql_vs_direct.rs
+
+examples/sql_vs_direct.rs:

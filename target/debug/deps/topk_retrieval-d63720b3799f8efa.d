@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topk_retrieval-d63720b3799f8efa.d: tests/suite/topk_retrieval.rs
+
+/root/repo/target/debug/deps/topk_retrieval-d63720b3799f8efa: tests/suite/topk_retrieval.rs
+
+tests/suite/topk_retrieval.rs:

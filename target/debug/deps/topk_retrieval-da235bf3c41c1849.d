@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topk_retrieval-da235bf3c41c1849.d: tests/suite/topk_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopk_retrieval-da235bf3c41c1849.rmeta: tests/suite/topk_retrieval.rs Cargo.toml
+
+tests/suite/topk_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

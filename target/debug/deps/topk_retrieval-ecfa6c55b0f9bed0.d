@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topk_retrieval-ecfa6c55b0f9bed0.d: tests/suite/topk_retrieval.rs
+
+/root/repo/target/debug/deps/topk_retrieval-ecfa6c55b0f9bed0: tests/suite/topk_retrieval.rs
+
+tests/suite/topk_retrieval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/until-1e5da80f5cfdc80f.d: crates/bench/benches/until.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuntil-1e5da80f5cfdc80f.rmeta: crates/bench/benches/until.rs Cargo.toml
+
+crates/bench/benches/until.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/until-fb17e58365c1a99c.d: crates/bench/benches/until.rs
+
+/root/repo/target/debug/deps/until-fb17e58365c1a99c: crates/bench/benches/until.rs
+
+crates/bench/benches/until.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/videoql-17ac564fdba2d3bb.d: examples/videoql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvideoql-17ac564fdba2d3bb.rmeta: examples/videoql.rs Cargo.toml
+
+examples/videoql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

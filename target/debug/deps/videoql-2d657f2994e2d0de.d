@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/videoql-2d657f2994e2d0de.d: examples/videoql.rs
+
+/root/repo/target/debug/deps/videoql-2d657f2994e2d0de: examples/videoql.rs
+
+examples/videoql.rs:

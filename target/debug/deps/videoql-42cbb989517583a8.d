@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/videoql-42cbb989517583a8.d: examples/videoql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvideoql-42cbb989517583a8.rmeta: examples/videoql.rs Cargo.toml
+
+examples/videoql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

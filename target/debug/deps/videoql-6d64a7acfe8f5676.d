@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/videoql-6d64a7acfe8f5676.d: examples/videoql.rs
+
+/root/repo/target/debug/deps/videoql-6d64a7acfe8f5676: examples/videoql.rs
+
+examples/videoql.rs:

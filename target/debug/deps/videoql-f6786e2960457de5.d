@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/videoql-f6786e2960457de5.d: examples/videoql.rs
+
+/root/repo/target/debug/deps/videoql-f6786e2960457de5: examples/videoql.rs
+
+examples/videoql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/airplane-d0f2ad3151c6d846.d: examples/airplane.rs
+
+/root/repo/target/release/deps/airplane-d0f2ad3151c6d846: examples/airplane.rs
+
+examples/airplane.rs:

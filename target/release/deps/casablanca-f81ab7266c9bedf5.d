@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/casablanca-f81ab7266c9bedf5.d: examples/casablanca.rs
+
+/root/repo/target/release/deps/casablanca-f81ab7266c9bedf5: examples/casablanca.rs
+
+examples/casablanca.rs:

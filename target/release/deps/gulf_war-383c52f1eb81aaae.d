@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gulf_war-383c52f1eb81aaae.d: examples/gulf_war.rs
+
+/root/repo/target/release/deps/gulf_war-383c52f1eb81aaae: examples/gulf_war.rs
+
+examples/gulf_war.rs:

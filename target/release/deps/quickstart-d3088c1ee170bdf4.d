@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-d3088c1ee170bdf4.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-d3088c1ee170bdf4: examples/quickstart.rs
+
+examples/quickstart.rs:

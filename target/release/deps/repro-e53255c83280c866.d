@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e53255c83280c866.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e53255c83280c866: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

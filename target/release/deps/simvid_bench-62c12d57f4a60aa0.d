@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simvid_bench-62c12d57f4a60aa0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_bench-62c12d57f4a60aa0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_bench-62c12d57f4a60aa0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

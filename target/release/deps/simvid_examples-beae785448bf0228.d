@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simvid_examples-beae785448bf0228.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_examples-beae785448bf0228.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_examples-beae785448bf0228.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/simvid_htl-733d787dfc4329c7.d: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs
+
+/root/repo/target/release/deps/libsimvid_htl-733d787dfc4329c7.rlib: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs
+
+/root/repo/target/release/deps/libsimvid_htl-733d787dfc4329c7.rmeta: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs
+
+crates/htl/src/lib.rs:
+crates/htl/src/ast.rs:
+crates/htl/src/atoms.rs:
+crates/htl/src/classify.rs:
+crates/htl/src/error.rs:
+crates/htl/src/exact.rs:
+crates/htl/src/lexer.rs:
+crates/htl/src/normalize.rs:
+crates/htl/src/parser.rs:
+crates/htl/src/print.rs:
+crates/htl/src/vars.rs:

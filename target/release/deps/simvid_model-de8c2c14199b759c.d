@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/simvid_model-de8c2c14199b759c.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libsimvid_model-de8c2c14199b759c.rlib: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libsimvid_model-de8c2c14199b759c.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/meta.rs:
+crates/model/src/object.rs:
+crates/model/src/store.rs:
+crates/model/src/tree.rs:
+crates/model/src/value.rs:

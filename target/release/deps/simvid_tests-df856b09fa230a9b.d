@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/simvid_tests-df856b09fa230a9b.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_tests-df856b09fa230a9b.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsimvid_tests-df856b09fa230a9b.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sql_vs_direct-f6db6a2603be75cc.d: examples/sql_vs_direct.rs
+
+/root/repo/target/release/deps/sql_vs_direct-f6db6a2603be75cc: examples/sql_vs_direct.rs
+
+examples/sql_vs_direct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/videoql-28cad773c5b6152d.d: examples/videoql.rs
+
+/root/repo/target/release/deps/videoql-28cad773c5b6152d: examples/videoql.rs
+
+examples/videoql.rs:

@@ -14,9 +14,14 @@ fn query1_under(sem: ConjunctionSemantics) -> Vec<(u32, u32, f64)> {
     let engine = Engine::with_config(
         &sys,
         &tree,
-        EngineConfig { conjunction: sem, ..EngineConfig::default() },
+        EngineConfig {
+            conjunction: sem,
+            ..EngineConfig::default()
+        },
     );
-    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    let out = engine
+        .eval_closed_at_level(&casablanca::query1(), 1)
+        .unwrap();
     rank_entries(&out)
         .into_iter()
         .map(|(iv, s)| (iv.beg, iv.end, s.act))
@@ -88,9 +93,17 @@ fn all_semantics_agree_on_exact_matches_end_to_end() {
         let engine = Engine::with_config(
             &sys,
             &tree,
-            EngineConfig { conjunction: sem, ..EngineConfig::default() },
+            EngineConfig {
+                conjunction: sem,
+                ..EngineConfig::default()
+            },
         );
-        let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
-        assert!(out.sim_at(1).is_exact(), "{sem:?} must mark the full match exact");
+        let out = engine
+            .eval_closed_at_level(&casablanca::query1(), 1)
+            .unwrap();
+        assert!(
+            out.sim_at(1).is_exact(),
+            "{sem:?} must mark the full match exact"
+        );
     }
 }

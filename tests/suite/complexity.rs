@@ -53,7 +53,9 @@ fn entries_processed(n: u32, src: &str) -> (usize, usize) {
     let provider = TwoLists { p1, p2 };
     let tree = flat(n);
     let engine = Engine::new(&provider, &tree);
-    engine.eval_closed_at_level(&parse(src).unwrap(), 1).unwrap();
+    engine
+        .eval_closed_at_level(&parse(src).unwrap(), 1)
+        .unwrap();
     (input, engine.stats().entries_processed)
 }
 

@@ -19,7 +19,12 @@ fn db_for(n: u32) -> Database {
 #[test]
 fn conjunction_agrees_across_seeds() {
     let n = 800;
-    let cfg = ListGenConfig { n, coverage: 0.15, mean_run: 4.0, max_sim: 5.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.15,
+        mean_run: 4.0,
+        max_sim: 5.0,
+    };
     for seed in 0..8 {
         let a = generate(&cfg, seed);
         let b = generate(&cfg, seed + 100);
@@ -32,7 +37,12 @@ fn conjunction_agrees_across_seeds() {
 #[test]
 fn until_agrees_across_seeds_and_thresholds() {
     let n = 600;
-    let cfg = ListGenConfig { n, coverage: 0.2, mean_run: 6.0, max_sim: 2.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.2,
+        mean_run: 6.0,
+        max_sim: 2.0,
+    };
     for seed in 0..6 {
         let g = generate(&cfg, seed);
         let h = generate(&cfg, seed + 50);
@@ -47,7 +57,12 @@ fn until_agrees_across_seeds_and_thresholds() {
 #[test]
 fn eventually_agrees_across_seeds() {
     let n = 500;
-    let cfg = ListGenConfig { n, coverage: 0.1, mean_run: 3.0, max_sim: 7.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.1,
+        mean_run: 3.0,
+        max_sim: 7.0,
+    };
     for seed in 0..8 {
         let h = generate(&cfg, seed);
         let mut db = db_for(n);
@@ -59,7 +74,12 @@ fn eventually_agrees_across_seeds() {
 #[test]
 fn next_agrees_across_seeds() {
     let n = 400;
-    let cfg = ListGenConfig { n, coverage: 0.25, mean_run: 2.0, max_sim: 1.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.25,
+        mean_run: 2.0,
+        max_sim: 1.0,
+    };
     for seed in 0..8 {
         let l = generate(&cfg, seed);
         let mut db = db_for(n);
@@ -73,7 +93,12 @@ fn composed_formulas_agree() {
     // (P1 ∧ P2) until P3 and P1 ∧ eventually (P2 until P3), composed from
     // the per-operator scripts exactly as the bench harness does.
     let n = 500;
-    let cfg = ListGenConfig { n, coverage: 0.15, mean_run: 5.0, max_sim: 3.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.15,
+        mean_run: 5.0,
+        max_sim: 3.0,
+    };
     for seed in [3u64, 17] {
         let p1 = generate(&cfg, seed);
         let p2 = generate(&cfg, seed + 1);
@@ -89,15 +114,20 @@ fn composed_formulas_agree() {
         translate::load_list(&mut db, "p2", &p2).unwrap();
         translate::load_list(&mut db, "p3", &p3).unwrap();
         let cut12 = THETA * (p1.max() + p2.max()) - 1e-12;
-        db.execute_script(&translate::conjunction_script("p1", "p2", "c12")).unwrap();
-        db.execute_script(&translate::until_script("c12", "p3", "cx1", cut12)).unwrap();
+        db.execute_script(&translate::conjunction_script("p1", "p2", "c12"))
+            .unwrap();
+        db.execute_script(&translate::until_script("c12", "p3", "cx1", cut12))
+            .unwrap();
         let sql1 = translate::read_list(&db, "cx1", p3.max()).unwrap();
         assert_lists_agree(&direct1, &sql1, n as usize, "complex 1");
 
         let cut23 = THETA * p2.max() - 1e-12;
-        db.execute_script(&translate::until_script("p2", "p3", "u23", cut23)).unwrap();
-        db.execute_script(&translate::eventually_script("u23", "ev23")).unwrap();
-        db.execute_script(&translate::conjunction_script("p1", "ev23", "cx2")).unwrap();
+        db.execute_script(&translate::until_script("p2", "p3", "u23", cut23))
+            .unwrap();
+        db.execute_script(&translate::eventually_script("u23", "ev23"))
+            .unwrap();
+        db.execute_script(&translate::conjunction_script("p1", "ev23", "cx2"))
+            .unwrap();
         let sql2 = translate::read_list(&db, "cx2", p1.max() + p3.max()).unwrap();
         assert_lists_agree(&direct2, &sql2, n as usize, "complex 2");
     }
@@ -108,14 +138,20 @@ fn intermediate_tables_match_too() {
     // Check an intermediate: the thresholded g-runs of the until pipeline
     // equal the direct algorithm's runs.
     let n = 300;
-    let cfg = ListGenConfig { n, coverage: 0.3, mean_run: 4.0, max_sim: 1.0 };
+    let cfg = ListGenConfig {
+        n,
+        coverage: 0.3,
+        mean_run: 4.0,
+        max_sim: 1.0,
+    };
     let g = generate(&cfg, 9);
     let h = generate(&cfg, 10);
     let mut db = db_for(n);
     translate::load_list(&mut db, "g_in", &g).unwrap();
     translate::load_list(&mut db, "h_in", &h).unwrap();
     let cut = THETA * g.max() - 1e-12;
-    db.execute_script(&translate::until_script("g_in", "h_in", "u_out", cut)).unwrap();
+    db.execute_script(&translate::until_script("g_in", "h_in", "u_out", cut))
+        .unwrap();
     // The SQL pipeline's run table.
     let runs_sql = db
         .execute("SELECT beg, end FROM u_out_gruns ORDER BY beg")

@@ -18,7 +18,8 @@ const QUERY_SOURCES: &[&str] = &[
 ];
 
 fn check_list(list: &SimilarityList, n: u32, what: &str) {
-    list.check_invariants().unwrap_or_else(|e| panic!("{what}: {e}"));
+    list.check_invariants()
+        .unwrap_or_else(|e| panic!("{what}: {e}"));
     if let Some(last) = list.entries().last() {
         assert!(last.iv.end <= n, "{what}: entry beyond sequence end");
     }
@@ -38,7 +39,11 @@ fn random_videos_evaluate_cleanly() {
         let engine = Engine::new(&sys, &tree);
         for src in QUERY_SOURCES {
             let f = parse(src).unwrap();
-            assert_ne!(classify(&f), FormulaClass::General, "{src} should be supported");
+            assert_ne!(
+                classify(&f),
+                FormulaClass::General,
+                "{src} should be supported"
+            );
             let list = engine
                 .eval_closed_at_level(&f, 1)
                 .unwrap_or_else(|e| panic!("seed {seed}, `{src}`: {e}"));
@@ -54,7 +59,13 @@ fn random_videos_evaluate_cleanly() {
 
 #[test]
 fn atomic_unit_count_matches_engine_fetches() {
-    let tree = generate(&VideoGenConfig { branching: vec![10], ..VideoGenConfig::default() }, 3);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![10],
+            ..VideoGenConfig::default()
+        },
+        3,
+    );
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let engine = Engine::new(&sys, &tree);
     for src in QUERY_SOURCES {
@@ -71,7 +82,13 @@ fn atomic_unit_count_matches_engine_fetches() {
 #[test]
 fn until_threshold_is_monotone() {
     // Raising the threshold can only remove reach, never add similarity.
-    let tree = generate(&VideoGenConfig { branching: vec![30], ..VideoGenConfig::default() }, 8);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![30],
+            ..VideoGenConfig::default()
+        },
+        8,
+    );
     let n = tree.level_sequence(1).len();
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let f = parse("(exists x . person(x)) until (exists y . moving(y))").unwrap();
@@ -80,7 +97,10 @@ fn until_threshold_is_monotone() {
         let engine = Engine::with_config(
             &sys,
             &tree,
-            EngineConfig { until_threshold: theta, ..EngineConfig::default() },
+            EngineConfig {
+                until_threshold: theta,
+                ..EngineConfig::default()
+            },
         );
         let dense = engine.eval_closed_at_level(&f, 1).unwrap().to_dense(n);
         if let Some(p) = &prev {
@@ -96,7 +116,13 @@ fn until_threshold_is_monotone() {
 fn paper_example_formulas_evaluate_on_random_videos() {
     // Formulas (B) and (C) from §2.4 and the complex §4.2 shapes run on
     // random flat videos without errors.
-    let tree = generate(&VideoGenConfig { branching: vec![25], ..VideoGenConfig::default() }, 21);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![25],
+            ..VideoGenConfig::default()
+        },
+        21,
+    );
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let engine = Engine::new(&sys, &tree);
     for f in [queries::formula_b(), queries::formula_c()] {
@@ -105,7 +131,10 @@ fn paper_example_formulas_evaluate_on_random_videos() {
     }
     // Formula (A) needs a deep hierarchy.
     let deep = generate(
-        &VideoGenConfig { branching: vec![3, 3, 4], ..VideoGenConfig::default() },
+        &VideoGenConfig {
+            branching: vec![3, 3, 4],
+            ..VideoGenConfig::default()
+        },
         22,
     );
     let sys = PictureSystem::new(&deep, ScoringConfig::default());
@@ -116,7 +145,13 @@ fn paper_example_formulas_evaluate_on_random_videos() {
 
 #[test]
 fn query_classification_gates_the_engine() {
-    let tree = generate(&VideoGenConfig { branching: vec![5], ..VideoGenConfig::default() }, 2);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![5],
+            ..VideoGenConfig::default()
+        },
+        2,
+    );
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let engine = Engine::new(&sys, &tree);
     // General formulas are rejected up front...
@@ -128,7 +163,13 @@ fn query_classification_gates_the_engine() {
 
 #[test]
 fn exact_retrieve_agrees_with_engine_on_supported_formulas() {
-    let tree = generate(&VideoGenConfig { branching: vec![18], ..VideoGenConfig::default() }, 13);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![18],
+            ..VideoGenConfig::default()
+        },
+        13,
+    );
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let engine = Engine::new(&sys, &tree);
     for src in [
@@ -149,11 +190,19 @@ fn exact_retrieve_agrees_with_engine_on_supported_formulas() {
 #[test]
 fn exact_retrieve_handles_the_general_class() {
     // Negation: rejected by the engine, served by the brute-force path.
-    let tree = generate(&VideoGenConfig { branching: vec![12], ..VideoGenConfig::default() }, 14);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![12],
+            ..VideoGenConfig::default()
+        },
+        14,
+    );
     let f = parse("not eventually (exists x . train(x))").unwrap();
-    assert!(Engine::new(&PictureSystem::new(&tree, ScoringConfig::default()), &tree)
-        .eval_closed_at_level(&f, 1)
-        .is_err());
+    assert!(
+        Engine::new(&PictureSystem::new(&tree, ScoringConfig::default()), &tree)
+            .eval_closed_at_level(&f, 1)
+            .is_err()
+    );
     let hits = simvid_htl::exact_retrieve(&tree, &f, 1);
     // Complementarity with the positive query.
     let pos = simvid_htl::exact_retrieve(

@@ -63,7 +63,13 @@ fn fractional_one_iff_exactly_satisfied() {
 fn zero_similarity_implies_not_satisfied() {
     // The contrapositive sanity: similarity 0 at a position means the
     // boolean semantics rejects too (no false negatives in the lists).
-    let tree = generate(&VideoGenConfig { branching: vec![15], ..VideoGenConfig::default() }, 99);
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![15],
+            ..VideoGenConfig::default()
+        },
+        99,
+    );
     let n = tree.level_sequence(1).len() as u32;
     let sys = PictureSystem::new(&tree, ScoringConfig::default());
     let engine = Engine::new(&sys, &tree);

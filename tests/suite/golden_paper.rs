@@ -10,14 +10,24 @@ use simvid_workload::casablanca;
 fn figure2_until_backward_merge() {
     let l1 = SimilarityList::from_tuples(vec![(25, 100, 1.0), (200, 250, 1.0)], 1.0).unwrap();
     let l2 = SimilarityList::from_tuples(
-        vec![(10, 50, 10.0), (55, 60, 15.0), (90, 110, 12.0), (125, 175, 10.0)],
+        vec![
+            (10, 50, 10.0),
+            (55, 60, 15.0),
+            (90, 110, 12.0),
+            (125, 175, 10.0),
+        ],
         20.0,
     )
     .unwrap();
     let out = list::until(&l1, &l2, 0.5);
     assert_tuples(
         &out.to_tuples(),
-        &[(10, 24, 10.0), (25, 60, 15.0), (61, 110, 12.0), (125, 175, 10.0)],
+        &[
+            (10, 24, 10.0),
+            (25, 60, 15.0),
+            (61, 110, 12.0),
+            (125, 175, 10.0),
+        ],
         "Figure 2",
     );
     // The maximum similarity carries over from h (all paper entries show 20).
@@ -28,7 +38,10 @@ fn figure2_until_backward_merge() {
 fn table1_moving_train_via_picture_system() {
     let tree = casablanca::video();
     let sys = PictureSystem::new(&tree, casablanca::weights());
-    let mt = sys.query_closed(&casablanca::moving_train(), 1).unwrap().coalesce();
+    let mt = sys
+        .query_closed(&casablanca::moving_train(), 1)
+        .unwrap()
+        .coalesce();
     assert_tuples(&mt.to_tuples(), casablanca::TABLE1_MOVING_TRAIN, "Table 1");
     assert!((mt.max() - casablanca::MOVING_TRAIN_MAX).abs() < 1e-9);
 }
@@ -37,7 +50,10 @@ fn table1_moving_train_via_picture_system() {
 fn table2_man_woman_via_picture_system() {
     let tree = casablanca::video();
     let sys = PictureSystem::new(&tree, casablanca::weights());
-    let mw = sys.query_closed(&casablanca::man_woman(), 1).unwrap().coalesce();
+    let mw = sys
+        .query_closed(&casablanca::man_woman(), 1)
+        .unwrap()
+        .coalesce();
     assert_tuples(&mw.to_tuples(), casablanca::TABLE2_MAN_WOMAN, "Table 2");
     assert!((mw.max() - casablanca::MAN_WOMAN_MAX).abs() < 1e-9);
 }
@@ -56,7 +72,9 @@ fn table4_query1_through_the_engine() {
     let tree = casablanca::video();
     let sys = PictureSystem::new(&tree, casablanca::weights());
     let engine = Engine::new(&sys, &tree);
-    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    let out = engine
+        .eval_closed_at_level(&casablanca::query1(), 1)
+        .unwrap();
     // Temporal order first.
     assert_tuples(&out.to_tuples(), casablanca::QUERY1_LIST, "Query 1 list");
     // Then the ranked presentation of Table 4.
@@ -76,7 +94,11 @@ fn table4_also_via_raw_list_algebra() {
     let mw = SimilarityList::from_tuples(casablanca::TABLE2_MAN_WOMAN.to_vec(), 6.26).unwrap();
     let mt = SimilarityList::from_tuples(casablanca::TABLE1_MOVING_TRAIN.to_vec(), 9.787).unwrap();
     let out = list::and(&mw, &list::eventually(&mt));
-    assert_tuples(&out.to_tuples(), casablanca::QUERY1_LIST, "Query 1 via fixtures");
+    assert_tuples(
+        &out.to_tuples(),
+        casablanca::QUERY1_LIST,
+        "Query 1 via fixtures",
+    );
 }
 
 #[test]

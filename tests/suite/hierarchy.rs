@@ -118,7 +118,10 @@ fn unknown_level_names_are_errors_not_zeroes() {
 fn level_numbers_use_paper_numbering() {
     // branching [3, 4]: level 1 = root, 2 = scenes, 3 = shots.
     let tree = generate(
-        &VideoGenConfig { branching: vec![3, 4], ..VideoGenConfig::default() },
+        &VideoGenConfig {
+            branching: vec![3, 4],
+            ..VideoGenConfig::default()
+        },
         5,
     );
     let sys = PictureSystem::new(&tree, ScoringConfig::default());

@@ -39,7 +39,10 @@ fn casablanca_results_survive_round_trip() {
 fn exact_semantics_survive_round_trip_on_random_videos() {
     for seed in 0..4u64 {
         let tree = generate(
-            &VideoGenConfig { branching: vec![3, 4], ..VideoGenConfig::default() },
+            &VideoGenConfig {
+                branching: vec![3, 4],
+                ..VideoGenConfig::default()
+            },
             seed,
         );
         let json = serde_json::to_string(&tree).unwrap();

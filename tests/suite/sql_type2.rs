@@ -13,7 +13,16 @@ const THETA: f64 = 0.5;
 fn atomic_tables(sys: &PictureSystem<'_>, f: &Formula, n: u32) -> Vec<SimilarityTable> {
     atomic_units(f)
         .iter()
-        .map(|u| sys.atomic_table(u, SeqContext { depth: 1, lo: 0, hi: n }))
+        .map(|u| {
+            sys.atomic_table(
+                u,
+                SeqContext {
+                    depth: 1,
+                    lo: 0,
+                    hi: n,
+                },
+            )
+        })
         .collect()
 }
 
@@ -74,7 +83,11 @@ fn open_formulas_produce_matching_binding_tables() {
     // Evaluate without the quantifier prefix: the full tables must agree,
     // mirroring the paper's "identical intermediate similarity tables".
     let tree = generate(
-        &VideoGenConfig { branching: vec![10], objects_per_leaf: 2.0, ..VideoGenConfig::default() },
+        &VideoGenConfig {
+            branching: vec![10],
+            objects_per_leaf: 2.0,
+            ..VideoGenConfig::default()
+        },
         7,
     );
     let n = tree.level_sequence(1).len() as u32;
@@ -90,7 +103,10 @@ fn open_formulas_produce_matching_binding_tables() {
     let closed = parse("exists x . person(x) and eventually moving(x)").unwrap();
     let sql_closed = sql.eval(&closed, &atoms).unwrap().into_closed_list();
     let direct_closed = direct.project_out_obj("x").into_closed_list();
-    let (a, b) = (direct_closed.to_dense(n as usize), sql_closed.to_dense(n as usize));
+    let (a, b) = (
+        direct_closed.to_dense(n as usize),
+        sql_closed.to_dense(n as usize),
+    );
     for (x, y) in a.iter().zip(&b) {
         assert!((x - y).abs() < 1e-9);
     }

@@ -12,7 +12,12 @@ fn top_k_matches_brute_force_on_random_lists() {
     let mut rng = StdRng::seed_from_u64(4);
     for _ in 0..20 {
         let n = rng.gen_range(20..400u32);
-        let cfg = ListGenConfig { n, coverage: 0.3, mean_run: 3.0, max_sim: 9.0 };
+        let cfg = ListGenConfig {
+            n,
+            coverage: 0.3,
+            mean_run: 3.0,
+            max_sim: 9.0,
+        };
         let list = generate(&cfg, rng.gen());
         let k = rng.gen_range(0..30usize);
 
@@ -39,7 +44,12 @@ fn top_k_matches_brute_force_on_random_lists() {
 
 #[test]
 fn ranked_entries_are_monotone() {
-    let cfg = ListGenConfig { n: 500, coverage: 0.2, mean_run: 4.0, max_sim: 3.0 };
+    let cfg = ListGenConfig {
+        n: 500,
+        coverage: 0.2,
+        mean_run: 4.0,
+        max_sim: 3.0,
+    };
     let list = generate(&cfg, 77);
     let ranked = rank_entries(&list);
     for w in ranked.windows(2) {
@@ -61,7 +71,9 @@ fn paper_query1_top_k_order() {
     let tree = casablanca::video();
     let sys = PictureSystem::new(&tree, casablanca::weights());
     let engine = Engine::new(&sys, &tree);
-    let out = engine.eval_closed_at_level(&casablanca::query1(), 1).unwrap();
+    let out = engine
+        .eval_closed_at_level(&casablanca::query1(), 1)
+        .unwrap();
     let top = top_k(&out, 5);
     let positions: Vec<u32> = top.iter().map(|r| r.pos).collect();
     assert_eq!(positions, vec![1, 2, 3, 4, 6]);

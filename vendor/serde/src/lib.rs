@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crate registry, so the workspace vendors a
+//! minimal serialization framework under the `serde` name. It is
+//! intentionally much simpler than the real crate: serialization goes
+//! through an owned JSON-like [`Value`] tree instead of visitor-based
+//! streaming. The derive macros (`#[derive(Serialize, Deserialize)]`,
+//! re-exported from the sibling `serde_derive` stand-in) generate
+//! [`Serialize::to_value`] / [`Deserialize::from_value`] impls that follow
+//! the same data conventions as real serde's JSON representation:
+//!
+//! * named structs → objects, newtype structs → their inner value;
+//! * unit enum variants → `"Variant"`, data-carrying variants →
+//!   `{"Variant": ...}` (arrays for tuple variants, objects for struct
+//!   variants);
+//! * `Option` → the value or `null`; sequences → arrays; maps → objects
+//!   (non-string keys are stringified, as `serde_json` does for integer
+//!   keys).
+//!
+//! The sibling `serde_json` stand-in renders [`Value`] to JSON text and
+//! parses it back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The self-describing value tree every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (also carries unsigned values that fit).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An insertion-ordered string-keyed map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// A short description of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// An object field by name, or `Null` when absent (`Option` fields treat
+/// absence as `None`). Used by generated `Deserialize` impls.
+#[must_use]
+pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    // u64 values above i64::MAX: keep full precision as a
+                    // decimal string (serde_json would use a u64 arm).
+                    Err(_) => Value::Str(self.to_string()),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom(format!("integer {i} out of range"))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| DeError::custom(format!("bad integer string `{s}`"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                let want = [$($i,)+].len();
+                if items.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected {want}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$i])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Map keys become object-field strings; string keys pass through, other
+/// keys use their value's canonical text (as `serde_json` stringifies
+/// integer keys).
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key kind `{}`", other.kind()),
+    }
+}
+
+/// Inverse of [`key_to_string`]: rebuilds a key of type `K` from the field
+/// name, trying the string form first and the numeric form second.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return K::from_value(&Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return K::from_value(&Value::Float(f));
+    }
+    Err(DeError::custom(format!(
+        "cannot rebuild map key from `{s}`"
+    )))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+            .collect();
+        // Hash iteration order is unstable; sort for reproducible output.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_owned(), self.as_secs().to_value()),
+            ("nanos".to_owned(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(std::time::Duration::new(
+            u64::from_value(field(fields, "secs"))?,
+            u32::from_value(field(fields, "nanos"))?,
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&5i64.to_value()).unwrap(), 5);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u32> = Deserialize::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (u32, String) = Deserialize::from_value(&(7u32, "x".to_owned()).to_value()).unwrap();
+        assert_eq!(t, (7, "x".to_owned()));
+    }
+
+    #[test]
+    fn integer_keyed_maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(10u64, "a".to_owned());
+        m.insert(2u64, "b".to_owned());
+        let v = m.to_value();
+        let back: BTreeMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = std::time::Duration::new(3, 141_592_653);
+        let back = std::time::Duration::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
+    }
+}
