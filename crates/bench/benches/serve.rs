@@ -1,0 +1,65 @@
+//! Benchmarks of the serving layer: repeated top-`k` traffic with the
+//! cross-query atomic cache on/off, and upper-bound-pruned top-`k`
+//! retrieval against the unpruned oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simvid_bench::{flat_tree, ListProvider};
+use simvid_core::{top_k, Engine};
+use simvid_htl::parse;
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_workload::randomlists::{generate, ListGenConfig};
+use simvid_workload::serve::{self, ServeConfig};
+
+fn serve_traffic(c: &mut Criterion) {
+    let w = serve::build(&ServeConfig {
+        shots: 120,
+        requests: 40,
+        ..ServeConfig::default()
+    });
+    let mut g = c.benchmark_group("serve_traffic");
+    g.sample_size(10);
+    for (name, cache) in [
+        ("cold", CacheConfig::disabled()),
+        ("warm", CacheConfig::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("cache", name), &cache, |b, cache| {
+            let sys = PictureSystem::with_cache(&w.tree, ScoringConfig::default(), *cache);
+            let engine = Engine::new(&sys, &w.tree);
+            b.iter(|| {
+                for &q in &w.schedule {
+                    let _ = engine.top_k_closed(&w.queries[q], w.depth(), w.k).unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn pruned_topk(c: &mut Criterion) {
+    let n = 50_000u32;
+    let cfg = ListGenConfig {
+        coverage: 0.35,
+        ..ListGenConfig::default().with_n(n)
+    };
+    let provider = ListProvider::new(vec![
+        ("P1()".into(), generate(&cfg, 42)),
+        ("P2()".into(), generate(&cfg, 43)),
+        ("P3()".into(), generate(&cfg, 44)),
+    ]);
+    let tree = flat_tree(n);
+    let engine = Engine::new(&provider, &tree);
+    let query = parse("P1() and next P2() and (P1() until P3())").unwrap();
+    let mut g = c.benchmark_group("pruned_topk");
+    for k in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("pruned", k), &k, |b, &k| {
+            b.iter(|| engine.top_k_closed(&query, 1, k).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", k), &k, |b, &k| {
+            b.iter(|| top_k(&engine.eval_closed_at_level(&query, 1).unwrap(), k));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, serve_traffic, pruned_topk);
+criterion_main!(benches);

@@ -1,21 +1,27 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [figure2|table1..table6|complex|ablation|parallel|all]
-//!       [--json PATH] [--threads N]
+//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|all]...
+//!       [--json PATH] [--threads N] [--smoke]
 //! ```
 //!
+//! Several section names may be given at once (`repro serve topk --json out`)
+//! to run just those sections into one results file.
+//!
 //! `--threads` caps the worker threads of the `parallel` section
-//! (default: the machine's available parallelism).
+//! (default: the machine's available parallelism). `--smoke` shrinks the
+//! `serve` and `topk` workloads to CI-sized smoke runs.
 
 use simvid_bench::{
-    format_engine_mode_table, format_list_table, format_perf_table, measure_complex1,
-    measure_complex2, measure_conjunction, measure_engine_modes, measure_until, EngineModeRow,
-    PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    bench_meta, format_engine_mode_table, format_list_table, format_perf_table,
+    format_pruned_table, format_serve_table, measure_complex1, measure_complex2,
+    measure_conjunction, measure_engine_modes, measure_pruned_topk, measure_serve, measure_until,
+    EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_picture::PictureSystem;
 use simvid_workload::casablanca;
+use simvid_workload::serve::ServeConfig;
 
 fn casablanca_lists() -> (SimilarityList, SimilarityList) {
     let tree = casablanca::video();
@@ -192,9 +198,70 @@ fn parallel_modes(threads: usize) -> Vec<EngineModeRow> {
     rows
 }
 
+fn serve_bench(smoke: bool) -> Vec<simvid_bench::ServeRow> {
+    let cfg = if smoke {
+        ServeConfig {
+            shots: 40,
+            requests: 30,
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    let rows = vec![measure_serve(&cfg)];
+    println!(
+        "{}",
+        format_serve_table(
+            "Serving workload: repeated top-k traffic, cold (no cache) vs \
+             warm (cross-query atomic cache)",
+            &rows
+        )
+    );
+    rows
+}
+
+fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
+    let (sizes, ks): (&[u32], &[usize]) = if smoke {
+        (&[2_000], &[10])
+    } else {
+        (PAPER_SIZES, &[1, 10, 100])
+    };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for &k in ks {
+            rows.push(measure_pruned_topk(n, 42, k));
+        }
+    }
+    println!(
+        "{}",
+        format_pruned_table(
+            "Upper-bound-pruned top-k (P1 and next P2 and (P1 until P3)) \
+             vs full evaluation + top-k",
+            &rows
+        )
+    );
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map_or("all", String::as_str);
+    let mut sections: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" | "--threads" => i += 2,
+            s if !s.starts_with("--") => {
+                sections.push(s.to_string());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if sections.is_empty() {
+        sections.push("all".into());
+    }
+    let wants = |s: &str| sections.iter().any(|w| w == s || w == "all");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -208,22 +275,22 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
     let mut json = serde_json::Map::new();
 
-    if matches!(what, "figure2" | "all") {
+    if wants("figure2") {
         figure2();
     }
-    if matches!(what, "table1" | "all") {
+    if wants("table1") {
         table1();
     }
-    if matches!(what, "table2" | "all") {
+    if wants("table2") {
         table2();
     }
-    if matches!(what, "table3" | "all") {
+    if wants("table3") {
         table3();
     }
-    if matches!(what, "table4" | "all") {
+    if wants("table4") {
         table4();
     }
-    if matches!(what, "table5" | "all") {
+    if wants("table5") {
         let rows = perf(
             "Table 5. Performance, P1 and P2 (direct vs SQL-based)",
             PAPER_TABLE5,
@@ -231,7 +298,7 @@ fn main() {
         );
         json.insert("table5".into(), serde_json::to_value(&rows).unwrap());
     }
-    if matches!(what, "table6" | "all") {
+    if wants("table6") {
         let rows = perf(
             "Table 6. Performance, P1 until P2 (direct vs SQL-based)",
             PAPER_TABLE6,
@@ -239,10 +306,10 @@ fn main() {
         );
         json.insert("table6".into(), serde_json::to_value(&rows).unwrap());
     }
-    if matches!(what, "ablation" | "all") {
+    if wants("ablation") {
         ablation();
     }
-    if matches!(what, "complex" | "all") {
+    if wants("complex") {
         let rows = perf("Extra (§4.2): (P1 and P2) until P3", &[], measure_complex1);
         json.insert("complex1".into(), serde_json::to_value(&rows).unwrap());
         let rows = perf(
@@ -252,11 +319,20 @@ fn main() {
         );
         json.insert("complex2".into(), serde_json::to_value(&rows).unwrap());
     }
-    if matches!(what, "parallel" | "all") {
+    if wants("parallel") {
         let rows = parallel_modes(threads);
         json.insert("parallel".into(), serde_json::to_value(&rows).unwrap());
     }
+    if wants("serve") {
+        let rows = serve_bench(smoke);
+        json.insert("serve".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("topk") {
+        let rows = topk_bench(smoke);
+        json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
+    }
     if let Some(path) = json_path {
+        json.insert("meta".into(), bench_meta(threads));
         std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
             .expect("write json results");
         println!("wrote machine-readable results to {path}");

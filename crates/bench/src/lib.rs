@@ -3,13 +3,15 @@
 
 use serde::Serialize;
 use simvid_core::{
-    list, AtomicProvider, Engine, EngineConfig, ParallelConfig, SeqContext, SimilarityList,
-    SimilarityTable, ValueTable,
+    list, top_k, AtomicProvider, Engine, EngineConfig, ParallelConfig, RankedSegment, SeqContext,
+    SimilarityList, SimilarityTable, ValueTable,
 };
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
 use simvid_model::{VideoBuilder, VideoTree};
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
 use simvid_workload::randomlists::{generate, ListGenConfig};
+use simvid_workload::serve::{self, ServeConfig};
 use std::time::{Duration, Instant};
 
 /// The `until` threshold used throughout the evaluation.
@@ -386,6 +388,264 @@ pub fn measure_complex2(n: u32, seed: u64) -> PerfRow {
         input_entries: (p1.len() + p2.len(), p3.len()),
         output_entries: direct_out.len(),
     }
+}
+
+/// One measurement of the serving workload: the same request schedule
+/// against a cold (cache-disabled) and a warm (cache-enabled, primed)
+/// retrieval system.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeRow {
+    /// Shots in the served video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// Distinct queries the schedule touches.
+    pub distinct_queries: usize,
+    /// `k` of each top-`k` request.
+    pub k: usize,
+    /// Wall time of the schedule with the atomic cache disabled.
+    pub cold: Duration,
+    /// Wall time with the cache enabled and primed by one warm-up pass.
+    pub warm: Duration,
+    /// Atomic-cache hits across the warm run (priming included).
+    pub cache_hits: usize,
+    /// Atomic-cache misses across the warm run.
+    pub cache_misses: usize,
+    /// Entries pruned by the upper-bound top-`k` paths, summed over the
+    /// warm schedule.
+    pub entries_pruned: usize,
+}
+
+impl ServeRow {
+    /// Cold time over warm time — the cross-query cache's throughput win.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the serving workload cold and warm, asserting request-for-request
+/// identical results, and reports both wall times.
+#[must_use]
+pub fn measure_serve(cfg: &ServeConfig) -> ServeRow {
+    let w = serve::build(cfg);
+    let depth = w.depth();
+    let run = |engine: &Engine<PictureSystem>| -> (Vec<Vec<RankedSegment>>, Duration, usize) {
+        let mut pruned = 0;
+        let (results, elapsed) = time(|| {
+            w.schedule
+                .iter()
+                .map(|&q| {
+                    let out = engine
+                        .top_k_closed(&w.queries[q], depth, w.k)
+                        .expect("serve request evaluates");
+                    pruned += engine.stats().entries_pruned;
+                    out
+                })
+                .collect()
+        });
+        (results, elapsed, pruned)
+    };
+    let cold_sys =
+        PictureSystem::with_cache(&w.tree, ScoringConfig::default(), CacheConfig::disabled());
+    let cold_engine = Engine::new(&cold_sys, &w.tree);
+    let (cold_out, cold, _) = run(&cold_engine);
+    let warm_sys =
+        PictureSystem::with_cache(&w.tree, ScoringConfig::default(), CacheConfig::default());
+    let warm_engine = Engine::new(&warm_sys, &w.tree);
+    // Prime: one pass over the pool fills the cache, as a steady-state
+    // server would be after its first few requests.
+    for q in &w.queries {
+        let _ = warm_engine
+            .top_k_closed(q, depth, w.k)
+            .expect("warm-up request evaluates");
+    }
+    let (warm_out, warm, entries_pruned) = run(&warm_engine);
+    assert_eq!(
+        cold_out, warm_out,
+        "cached retrieval must be bit-identical to uncached"
+    );
+    let cache = warm_sys.cache_stats();
+    ServeRow {
+        shots: cfg.shots,
+        requests: w.schedule.len(),
+        distinct_queries: w.distinct_queries(),
+        k: w.k,
+        cold,
+        warm,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        entries_pruned,
+    }
+}
+
+/// Formats the serving-workload comparison.
+#[must_use]
+pub fn format_serve_table(title: &str, rows: &[ServeRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>8}  {:>4}  {:>10}  {:>10}  {:>7}  {:>8}  {:>8}  {:>8}",
+        "Shots", "Requests", "k", "Cold (s)", "Warm (s)", "Warm ×", "Hits", "Misses", "Pruned"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>8}  {:>4}  {:>10.4}  {:>10.4}  {:>7.2}  {:>8}  {:>8}  {:>8}",
+            r.shots,
+            r.requests,
+            r.k,
+            r.cold.as_secs_f64(),
+            r.warm.as_secs_f64(),
+            r.speedup(),
+            r.cache_hits,
+            r.cache_misses,
+            r.entries_pruned,
+        );
+    }
+    out
+}
+
+/// One measurement of upper-bound-pruned top-`k` against the unpruned
+/// oracle (full evaluation followed by [`top_k`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct PrunedTopkRow {
+    /// Sequence length.
+    pub n: u32,
+    /// Top-`k` size.
+    pub k: usize,
+    /// Wall time of the pruned `top_k_closed` path.
+    pub pruned: Duration,
+    /// Wall time of full evaluation + `top_k`.
+    pub baseline: Duration,
+    /// List entries processed by the pruned path.
+    pub pruned_entries: usize,
+    /// List entries the pruned path dropped via upper bounds.
+    pub entries_pruned: usize,
+    /// List entries processed by the baseline.
+    pub baseline_entries: usize,
+}
+
+/// A flat `n`-shot video (depth 1 = the shots), for list-level workloads.
+#[must_use]
+pub fn flat_tree(n: u32) -> VideoTree {
+    let mut b = VideoBuilder::new("bench-flat");
+    b.set_level_names(["video", "shot"]);
+    for i in 0..n {
+        b.leaf(format!("s{i}"));
+    }
+    b.finish().expect("flat tree builds")
+}
+
+/// Measures `P1 ∧ next P2 ∧ (P1 until P3)` top-`k` with and without
+/// upper-bound pruning, asserting identical retrieved segments. (The
+/// conjunction must be impure — a pure one is a single atomic unit and
+/// leaves the engine nothing to prune between.) The lists are denser than
+/// the Table 5/6 workload (35% coverage instead of 10%): pruning pays off
+/// when conjuncts overlap often enough that the top-`k` is dominated by
+/// multi-conjunct sums, which is exactly the regime this measures.
+#[must_use]
+pub fn measure_pruned_topk(n: u32, seed: u64, k: usize) -> PrunedTopkRow {
+    let cfg = ListGenConfig {
+        coverage: 0.35,
+        ..ListGenConfig::default().with_n(n)
+    };
+    let p1 = generate(&cfg, seed);
+    let p2 = generate(&cfg, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let p3 = generate(&cfg, seed ^ 0x1234_5678_9abc_def0);
+    let provider = ListProvider::new(vec![
+        ("P1()".into(), p1),
+        ("P2()".into(), p2),
+        ("P3()".into(), p3),
+    ]);
+    let tree = flat_tree(n);
+    let engine = Engine::new(&provider, &tree);
+    let query = parse("P1() and next P2() and (P1() until P3())").expect("pruning query parses");
+    let (pruned_out, pruned) = time(|| engine.top_k_closed(&query, 1, k).expect("pruned top-k"));
+    let pruned_stats = engine.stats();
+    let (baseline_list, baseline) = time(|| {
+        engine
+            .eval_closed_at_level(&query, 1)
+            .expect("baseline eval")
+    });
+    let baseline_stats = engine.stats();
+    let baseline_out = top_k(&baseline_list, k);
+    assert_eq!(
+        pruned_out, baseline_out,
+        "pruned top-k must match the unpruned oracle"
+    );
+    PrunedTopkRow {
+        n,
+        k,
+        pruned,
+        baseline,
+        pruned_entries: pruned_stats.entries_processed,
+        entries_pruned: pruned_stats.entries_pruned,
+        baseline_entries: baseline_stats.entries_processed,
+    }
+}
+
+/// Formats the pruned-top-`k` comparison.
+#[must_use]
+pub fn format_pruned_table(title: &str, rows: &[PrunedTopkRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>5}  {:>11}  {:>13}  {:>10}  {:>9}  {:>12}",
+        "Size", "k", "Pruned (s)", "Baseline (s)", "Entries", "Dropped", "Base entries"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>5}  {:>11.4}  {:>13.4}  {:>10}  {:>9}  {:>12}",
+            r.n,
+            r.k,
+            r.pruned.as_secs_f64(),
+            r.baseline.as_secs_f64(),
+            r.pruned_entries,
+            r.entries_pruned,
+            r.baseline_entries,
+        );
+    }
+    out
+}
+
+/// Machine-readable context for a benchmark run: code revision, thread
+/// budget, workload sizes and cache configuration.
+#[must_use]
+pub fn bench_meta(threads: usize) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_owned(), |s| s.trim().to_owned());
+    let val = |v: &dyn serde::Serialize| v.to_value();
+    m.insert("git_rev".into(), serde_json::Value::Str(rev));
+    m.insert("threads".into(), val(&threads));
+    m.insert(
+        "available_parallelism".into(),
+        val(&std::thread::available_parallelism().map_or(1, usize::from)),
+    );
+    m.insert("paper_sizes".into(), val(&PAPER_SIZES));
+    let serve = ServeConfig::default();
+    let mut s = serde_json::Map::new();
+    s.insert("shots".into(), val(&serve.shots));
+    s.insert("requests".into(), val(&serve.requests));
+    s.insert("zipf_exponent".into(), val(&serve.zipf_exponent));
+    s.insert("k".into(), val(&serve.k));
+    s.insert(
+        "cache_capacity".into(),
+        val(&CacheConfig::default().capacity),
+    );
+    m.insert("serve_config".into(), val(&s));
+    val(&m)
 }
 
 /// Asserts the two engines agree (the paper: "Both approaches produced

@@ -10,8 +10,9 @@
 //! value at its first element.
 
 use crate::memo::MemoCache;
+use crate::topk::{top_k, RankedSegment};
 use crate::valuetable::freeze_join;
-use crate::{list, EngineError, Row, SimilarityList, SimilarityTable, ValueTable};
+use crate::{list, prune, EngineError, Interval, Row, SimilarityList, SimilarityTable, ValueTable};
 use simvid_htl::{
     atomic_units, classify, is_pure, AtomicUnit, AttrFn, Formula, FormulaClass, LevelSpec,
 };
@@ -65,6 +66,26 @@ pub trait AtomicProvider: Sync {
     /// The value table of an attribute function over the given sequence
     /// (for freeze quantifiers).
     fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable;
+
+    /// Counters of the provider's cross-query atomic-result cache, if it
+    /// keeps one. Cache-less providers report zeros. Unlike per-evaluation
+    /// work counters, these accumulate over the provider's lifetime — the
+    /// cache exists precisely to span queries.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// Hit/miss/eviction counters of a cross-query atomic-result cache (see
+/// [`AtomicProvider::cache_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Atomic-table requests answered from the cache.
+    pub hits: usize,
+    /// Atomic-table requests that had to be computed (and were cached).
+    pub misses: usize,
+    /// Cached results evicted to respect the capacity bound.
+    pub evictions: usize,
 }
 
 /// Thread fan-out policy for the parallel evaluation paths.
@@ -155,6 +176,12 @@ pub struct EvalStats {
     pub memo_hits: usize,
     /// Subformula evaluations that had to be computed (and were cached).
     pub memo_misses: usize,
+    /// Similarity-list entries dropped or skipped by upper-bound pruning
+    /// (only [`Engine::top_k_closed`] prunes; plain evaluation reports 0).
+    pub entries_pruned: usize,
+    /// Counters of the provider's cross-query atomic cache. Cumulative
+    /// over the provider's lifetime, not reset per evaluation.
+    pub atomic_cache: CacheStats,
 }
 
 /// Internal counters: atomics so parallel workers can report through a
@@ -167,6 +194,7 @@ struct StatCounters {
     level_descents: AtomicUsize,
     memo_hits: AtomicUsize,
     memo_misses: AtomicUsize,
+    entries_pruned: AtomicUsize,
 }
 
 impl StatCounters {
@@ -178,6 +206,8 @@ impl StatCounters {
             level_descents: self.level_descents.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            entries_pruned: self.entries_pruned.load(Ordering::Relaxed),
+            atomic_cache: CacheStats::default(),
         }
     }
 
@@ -188,6 +218,7 @@ impl StatCounters {
         self.level_descents.store(0, Ordering::Relaxed);
         self.memo_hits.store(0, Ordering::Relaxed);
         self.memo_misses.store(0, Ordering::Relaxed);
+        self.entries_pruned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -217,9 +248,12 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         }
     }
 
-    /// Work counters accumulated since the last top-level evaluation call.
+    /// Work counters accumulated since the last top-level evaluation call,
+    /// plus the provider's (lifetime-cumulative) atomic-cache counters.
     pub fn stats(&self) -> EvalStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.atomic_cache = self.provider.cache_stats();
+        stats
     }
 
     /// Evaluates `f` over the full sequence of segments at `depth`,
@@ -299,6 +333,234 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             )));
         }
         Ok(t.into_closed_list())
+    }
+
+    /// Retrieves the top-`k` segments of a *closed* formula over the full
+    /// sequence at `depth`, pruning work with a running `k`-th-best
+    /// threshold τ derived from the `(actual, max)` similarity semantics:
+    ///
+    /// * **Conjunctions** (under the paper's Sum semantics) evaluate their
+    ///   conjuncts in ascending maximum-similarity order; after each one,
+    ///   any segment whose accumulated value plus the *remaining* maxima
+    ///   cannot reach τ is dropped before the next merge. Final values are
+    ///   then recombined following the formula's own `∧`-tree shape, so
+    ///   floating-point sums associate exactly as in [`Engine::eval_at_level`].
+    /// * **`eventually`** stops its suffix-max sweep after `k` covered
+    ///   positions (the output is non-increasing).
+    /// * **`until`** skips reach entries dominated by `h`'s own `k`-th
+    ///   best value.
+    /// * Everything else falls back to full evaluation.
+    ///
+    /// The result is *identical* — values bit-for-bit — to
+    /// `top_k(&engine.eval_closed_at_level(f, depth)?, k)`; pruning only
+    /// skips entries that provably cannot surface in the top-`k`. Skipped
+    /// work is reported in [`EvalStats::entries_pruned`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::eval_closed_at_level`].
+    pub fn top_k_closed(
+        &self,
+        f: &Formula,
+        depth: u8,
+        k: usize,
+    ) -> Result<Vec<RankedSegment>, EngineError> {
+        if classify(f) == FormulaClass::General {
+            return Err(EngineError::UnsupportedFormula(
+                "contains negation of temporal structure, unbound variables, or a non-prefix \
+                 existential quantifier with temporal scope"
+                    .into(),
+            ));
+        }
+        self.stats.reset();
+        self.memo.clear();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.tree.level_sequence(depth).len() as u32;
+        let ctx = SeqContext {
+            depth,
+            lo: 0,
+            hi: n,
+        };
+        let out = self.top_k_list(f, ctx, k)?;
+        Ok(top_k(&out, k))
+    }
+
+    /// A list whose top-`k` equals the top-`k` of the full evaluation of
+    /// `f` (positions outside the top-`k` may be missing or lowered).
+    fn top_k_list(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        k: usize,
+    ) -> Result<SimilarityList, EngineError> {
+        match f {
+            // Pure conjunctions are a single atomic unit in `eval`; only
+            // impure ones decompose into independently evaluated conjuncts
+            // the threshold can prune between.
+            Formula::And(..)
+                if !is_pure(f) && self.config.conjunction == crate::ConjunctionSemantics::Sum =>
+            {
+                self.conjunction_top_k(f, ctx, k)
+            }
+            Formula::Eventually(g) => {
+                let inner = self.closed_list(g, ctx)?;
+                let (out, skipped) = prune::eventually_top_k(&inner, k);
+                self.stats
+                    .entries_pruned
+                    .fetch_add(skipped, Ordering::Relaxed);
+                Ok(out)
+            }
+            Formula::Until(g, h) => {
+                let (tg, th) = self.eval_pair(g, h, ctx)?;
+                self.note_join(&tg, &th);
+                let lg = closed_table_list(tg)?;
+                let lh = closed_table_list(th)?;
+                let (out, skipped) = prune::until_top_k(&lg, &lh, self.config.until_threshold, k);
+                self.stats
+                    .entries_pruned
+                    .fetch_add(skipped, Ordering::Relaxed);
+                Ok(out)
+            }
+            _ => self.closed_list(f, ctx),
+        }
+    }
+
+    /// The threshold-pruned conjunction path: bounds run over a cheap
+    /// running sum in ascending-max schedule order, exact values are
+    /// recomputed over the surviving segments in the formula's own tree
+    /// order (f64 addition is commutative but not associative — only the
+    /// tree-shaped recombination is bit-identical to `eval`).
+    fn conjunction_top_k(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        k: usize,
+    ) -> Result<SimilarityList, EngineError> {
+        let mut conjuncts: Vec<&Formula> = Vec::new();
+        flatten_and(f, &mut conjuncts);
+        let maxes: Vec<f64> = conjuncts.iter().map(|g| self.formula_max(g)).collect();
+        // Ascending maximum similarity: the upper bound on what the still
+        // unevaluated conjuncts can add shrinks as fast as possible, so τ
+        // starts biting early. Ties keep formula order (stable).
+        let mut order: Vec<usize> = (0..conjuncts.len()).collect();
+        order.sort_by(|&a, &b| {
+            maxes[a]
+                .partial_cmp(&maxes[b])
+                .expect("maxima are finite")
+                .then(a.cmp(&b))
+        });
+        // When the schedule is the identity and the `∧`-tree is a
+        // left-deep chain, the running partial sums associate exactly like
+        // `eval`'s tree joins — the partial IS the final result, and the
+        // recombination pass (a full second round of joins) is skipped.
+        let schedule_is_tree =
+            order.iter().enumerate().all(|(s, &i)| s == i) && and_chain_is_left_deep(f);
+        let mut lists: Vec<Option<SimilarityList>> = vec![None; conjuncts.len()];
+        // Segments still able to reach the top-k (`None` = all of them).
+        let mut alive: Option<Vec<Interval>> = None;
+        let mut partial: Option<SimilarityList> = None;
+        let mut remaining: f64 = maxes.iter().sum();
+        for (step, &i) in order.iter().enumerate() {
+            let li = self.closed_list(conjuncts[i], ctx)?;
+            remaining -= maxes[i];
+            let li = match &alive {
+                None => li,
+                Some(spans) => {
+                    let restricted = li.restrict_to(spans);
+                    self.stats
+                        .entries_pruned
+                        .fetch_add(li.len().saturating_sub(restricted.len()), Ordering::Relaxed);
+                    restricted
+                }
+            };
+            let last = step + 1 == order.len();
+            if !last || schedule_is_tree {
+                let sum = match &partial {
+                    None => li.clone(),
+                    Some(prev) => {
+                        self.note_list_join(prev, &li);
+                        list::and(prev, &li)
+                    }
+                };
+                // τ = k-th best running sum. Running sums are lower bounds
+                // on final values (every conjunct contributes ≥ 0), so τ
+                // never exceeds the true k-th best. A segment survives iff
+                // value + remaining maxima can still reach τ; the margin
+                // absorbs the ULP-level difference between schedule-order
+                // and tree-order sums so near-ties are never lost. The
+                // last step skips the cut — nothing follows to save.
+                let sum = if last {
+                    sum
+                } else {
+                    let tau = prune::kth_largest_value(&sum, k);
+                    let cut = tau - remaining;
+                    if tau > 0.0 && cut > 0.0 {
+                        let margin = 1e-9 + 1e-12 * tau.abs();
+                        let spans: Vec<Interval> = sum
+                            .entries()
+                            .iter()
+                            .filter(|e| e.act + margin >= cut)
+                            .map(|e| e.iv)
+                            .collect();
+                        let restricted = sum.restrict_to(&spans);
+                        self.stats.entries_pruned.fetch_add(
+                            sum.len().saturating_sub(restricted.len()),
+                            Ordering::Relaxed,
+                        );
+                        alive = Some(spans);
+                        restricted
+                    } else {
+                        sum
+                    }
+                };
+                partial = Some(sum);
+            }
+            lists[i] = Some(li);
+        }
+        if schedule_is_tree {
+            return Ok(partial.expect("a conjunction has at least two conjuncts"));
+        }
+        // Exact values for the survivors: restrict every conjunct to the
+        // final alive set and recombine along the formula's And tree.
+        let leaves: Vec<SimilarityList> = lists
+            .into_iter()
+            .map(|l| {
+                let l = l.expect("every conjunct evaluated");
+                match &alive {
+                    None => l,
+                    Some(spans) => l.restrict_to(spans),
+                }
+            })
+            .collect();
+        let mut iter = leaves.into_iter();
+        let out = self.combine_and_tree(f, &mut iter);
+        debug_assert!(iter.next().is_none(), "leaf count matches tree");
+        Ok(out)
+    }
+
+    /// Recombines per-conjunct lists following the `∧`-tree of `f`,
+    /// consuming one leaf list per non-`And` node in formula order.
+    fn combine_and_tree(
+        &self,
+        f: &Formula,
+        leaves: &mut std::vec::IntoIter<SimilarityList>,
+    ) -> SimilarityList {
+        match f {
+            Formula::And(g, h) if !is_pure(f) => {
+                let a = self.combine_and_tree(g, leaves);
+                let b = self.combine_and_tree(h, leaves);
+                self.note_list_join(&a, &b);
+                list::and(&a, &b)
+            }
+            _ => leaves.next().expect("one list per conjunct"),
+        }
+    }
+
+    /// Evaluates a closed subformula straight to its similarity list.
+    fn closed_list(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityList, EngineError> {
+        closed_table_list(self.eval(f, ctx)?)
     }
 
     /// Evaluates `f` on the whole video — the one-element sequence holding
@@ -570,6 +832,53 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         self.stats
             .entries_processed
             .fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Like [`Engine::note_join`], for the pruned paths that merge bare
+    /// lists instead of tables.
+    fn note_list_join(&self, a: &SimilarityList, b: &SimilarityList) {
+        self.stats.joins.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .entries_processed
+            .fetch_add(a.len() + b.len(), Ordering::Relaxed);
+    }
+}
+
+/// Extracts the similarity list of a closed-formula table, or errors when
+/// free variables remain.
+fn closed_table_list(t: SimilarityTable) -> Result<SimilarityList, EngineError> {
+    if !t.obj_cols.is_empty() || !t.attr_cols.is_empty() {
+        return Err(EngineError::UnsupportedFormula(format!(
+            "free variables remain: {:?} {:?}",
+            t.obj_cols, t.attr_cols
+        )));
+    }
+    Ok(t.into_closed_list())
+}
+
+/// Flattens a chain of `And` nodes into its conjuncts, in formula order.
+/// Pure subtrees stay whole — `eval` hands them to the atomic provider as
+/// one unit, and the decomposition here must match it exactly.
+fn flatten_and<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::And(g, h) if !is_pure(f) => {
+            flatten_and(g, out);
+            flatten_and(h, out);
+        }
+        _ => out.push(f),
+    }
+}
+
+/// Whether the impure-`And` chain of `f` is left-deep, i.e. flattening it
+/// visits conjuncts in the same association order as a left-to-right fold.
+fn and_chain_is_left_deep(f: &Formula) -> bool {
+    match f {
+        Formula::And(g, h) if !is_pure(f) => {
+            // The right child must be a flatten leaf: not itself an
+            // impure `And`.
+            (is_pure(h) || !matches!(h.as_ref(), Formula::And(..))) && and_chain_is_left_deep(g)
+        }
+        _ => true,
     }
 }
 

@@ -50,13 +50,16 @@ mod error;
 mod interval;
 pub mod list;
 pub mod memo;
+pub mod prune;
 mod range;
 mod sim;
 pub mod table;
 pub mod topk;
 pub mod valuetable;
 
-pub use engine::{AtomicProvider, Engine, EngineConfig, EvalStats, ParallelConfig, SeqContext};
+pub use engine::{
+    AtomicProvider, CacheStats, Engine, EngineConfig, EvalStats, ParallelConfig, SeqContext,
+};
 pub use error::EngineError;
 pub use interval::{Interval, SegPos};
 pub use list::{ConjunctionSemantics, SimilarityList};

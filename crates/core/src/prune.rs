@@ -1,0 +1,253 @@
+//! Upper-bound pruning for top-`k` retrieval.
+//!
+//! The similarity semantics hands every formula an `(actual, max)` pair,
+//! and `max` depends on the formula only — a ready-made upper bound on any
+//! segment's final value. The helpers here exploit it Fagin-style: once a
+//! running `k`-th-best threshold τ is known, any segment whose upper bound
+//! cannot reach τ can be dropped before the next (more expensive) list
+//! operation without changing the retrieved top-`k`.
+//!
+//! The soundness argument leans on one property of [`crate::top_k`]: its
+//! output depends only on the *position → value* function a list denotes,
+//! never on how the positions are split into entries. Entries are popped
+//! by `(value desc, begin asc)` and expanded in ascending position order,
+//! so positions with equal values always surface in ascending position
+//! order regardless of fragmentation. Pruning may therefore drop or lower
+//! positions freely as long as every position that can still appear in the
+//! top-`k` keeps its exact value.
+
+use crate::list::Entry;
+use crate::{list, Interval, SimilarityList};
+
+/// The `k`-th largest per-position value of a list (each covered position
+/// counted once). Returns `0.0` when fewer than `k` positions are covered
+/// — uncovered positions have similarity zero — and `+∞` for `k = 0` (an
+/// empty top-`k` is unbeatable). `O(l log l)`.
+#[must_use]
+pub fn kth_largest_value(l: &SimilarityList, k: usize) -> f64 {
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    let mut acts: Vec<(f64, u64)> = l.entries().iter().map(|e| (e.act, e.iv.len())).collect();
+    acts.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("similarities are finite"));
+    let mut need = k as u64;
+    for (act, len) in acts {
+        if len >= need {
+            return act;
+        }
+        need -= len;
+    }
+    0.0
+}
+
+/// `eventually g` with early exit, for top-`k` consumers only.
+///
+/// The output of [`list::eventually`] is non-increasing in position (it is
+/// a suffix maximum), so its top-`k` lives entirely in the leading entries
+/// covering `k` positions: every later position has a value no larger than
+/// the `k`-th and loses any tie on temporal order. The sweep therefore
+/// stops extending entries once `k` positions are covered — the remaining
+/// input entries are never expanded.
+///
+/// Returns the output prefix and the number of input entries skipped. The
+/// top-`k` of the prefix is identical to the top-`k` of the full output.
+#[must_use]
+pub fn eventually_top_k(l: &SimilarityList, k: usize) -> (SimilarityList, usize) {
+    let js = l.entries();
+    if js.is_empty() || k == 0 {
+        return (SimilarityList::empty(l.max()), js.len());
+    }
+    let mut suffix_max = vec![0.0f64; js.len()];
+    let mut acc = 0.0f64;
+    for i in (0..js.len()).rev() {
+        acc = acc.max(js[i].act);
+        suffix_max[i] = acc;
+    }
+    let mut entries: Vec<Entry> = Vec::with_capacity(js.len().min(k));
+    let mut covered = 0u64;
+    let mut emitted = 0usize;
+    for (i, je) in js.iter().enumerate() {
+        let lo = if i == 0 { 1 } else { js[i - 1].iv.end + 1 };
+        let hi = je.iv.end;
+        let act = suffix_max[i];
+        match entries.last_mut() {
+            Some(last) if last.act == act && last.iv.adjacent_before(Interval::new(lo, hi)) => {
+                last.iv.end = hi;
+            }
+            _ => entries.push(Entry {
+                iv: Interval::new(lo, hi),
+                act,
+            }),
+        }
+        covered += u64::from(hi - lo + 1);
+        emitted = i + 1;
+        if covered >= k as u64 {
+            break;
+        }
+    }
+    let out = SimilarityList::from_entries(entries, l.max())
+        .expect("eventually prefix is sorted, disjoint and positive");
+    (out, js.len() - emitted)
+}
+
+/// `g until h` with dominated reach entries skipped, for top-`k` consumers
+/// only.
+///
+/// [`list::until`] builds "reach" entries (positions from which a
+/// `g`-run reaches some `h`-entry, valued at the best reachable `h`) and
+/// max-merges them with `h` itself (`u'' = u` requires nothing of `g`).
+/// Let τ₀ be the `k`-th largest position value of `h`: since `h`
+/// contributes its exact values to the merge, at least `k` positions of
+/// the final result reach τ₀ exactly. A reach entry valued below τ₀ can
+/// only produce positions strictly below the final `k`-th best, so the
+/// backward sweep skips it — those positions keep their `h` value (or
+/// drop out), and no position that can appear in the top-`k` changes.
+///
+/// Returns the merged list and the number of reach entries skipped. The
+/// top-`k` of the result is identical to the top-`k` of
+/// `list::until(lg, lh, theta)`.
+#[must_use]
+pub fn until_top_k(
+    lg: &SimilarityList,
+    lh: &SimilarityList,
+    theta: f64,
+    k: usize,
+) -> (SimilarityList, usize) {
+    let tau0 = kth_largest_value(lh, k);
+    let runs = list::threshold_runs(lg, theta);
+    let js = lh.entries();
+    let mut reach_entries: Vec<Entry> = Vec::with_capacity(js.len() + runs.len());
+    let mut skipped = 0usize;
+    let mut j_start = 0usize;
+    let mut suffix_max: Vec<f64> = Vec::new();
+    for run in runs {
+        let (s, e) = (run.beg, run.end);
+        while j_start < js.len() && js[j_start].iv.end < s {
+            j_start += 1;
+        }
+        let mut j_end = j_start;
+        while j_end < js.len() && js[j_end].iv.beg <= e + 1 {
+            j_end += 1;
+        }
+        let eligible = &js[j_start..j_end];
+        if eligible.is_empty() {
+            continue;
+        }
+        suffix_max.clear();
+        suffix_max.resize(eligible.len(), 0.0);
+        let mut acc = 0.0f64;
+        for i in (0..eligible.len()).rev() {
+            acc = acc.max(eligible[i].act);
+            suffix_max[i] = acc;
+        }
+        for (i, je) in eligible.iter().enumerate() {
+            let lo = if i == 0 {
+                s
+            } else {
+                s.max(eligible[i - 1].iv.end + 1)
+            };
+            let hi = je.iv.end.min(e);
+            if lo <= hi {
+                // The values are copied from `h` untouched, so the τ₀
+                // comparison is exact — no float margin is needed.
+                if suffix_max[i] < tau0 {
+                    skipped += 1;
+                    continue;
+                }
+                reach_entries.push(Entry {
+                    iv: Interval::new(lo, hi),
+                    act: suffix_max[i],
+                });
+            }
+        }
+    }
+    let reach = SimilarityList::from_entries(reach_entries, lh.max())
+        .expect("reach entries are sorted, disjoint and positive");
+    (list::max_merge(&reach, lh), skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{top_k, SegPos};
+
+    fn sl(tuples: Vec<(SegPos, SegPos, f64)>, max: f64) -> SimilarityList {
+        SimilarityList::from_tuples(tuples, max).unwrap()
+    }
+
+    #[test]
+    fn kth_largest_counts_positions_not_entries() {
+        let l = sl(vec![(1, 3, 5.0), (7, 7, 9.0), (10, 12, 2.0)], 9.0);
+        assert_eq!(kth_largest_value(&l, 1), 9.0);
+        assert_eq!(kth_largest_value(&l, 2), 5.0); // positions 1-3 share 5.0
+        assert_eq!(kth_largest_value(&l, 4), 5.0);
+        assert_eq!(kth_largest_value(&l, 5), 2.0);
+        assert_eq!(kth_largest_value(&l, 7), 2.0);
+        assert_eq!(kth_largest_value(&l, 8), 0.0); // only 7 positions covered
+        assert_eq!(kth_largest_value(&l, 0), f64::INFINITY);
+        assert_eq!(kth_largest_value(&SimilarityList::empty(1.0), 3), 0.0);
+    }
+
+    #[test]
+    fn eventually_prefix_matches_oracle_top_k() {
+        let l = sl(
+            vec![(3, 4, 2.0), (8, 8, 5.0), (12, 13, 1.0), (20, 30, 0.5)],
+            5.0,
+        );
+        let oracle = list::eventually(&l);
+        for k in 0..=35 {
+            let (pruned, skipped) = eventually_top_k(&l, k);
+            assert_eq!(top_k(&pruned, k), top_k(&oracle, k), "k={k}");
+            assert_eq!(skipped + prefix_len(&l, k), l.len(), "k={k}");
+        }
+    }
+
+    /// Input entries the pruned sweep must touch for a given `k`.
+    fn prefix_len(l: &SimilarityList, k: usize) -> usize {
+        if l.is_empty() || k == 0 {
+            return 0;
+        }
+        // Output entry i ends at input entry i's end and begins where the
+        // previous one stopped; count input entries until k positions.
+        let mut covered = 0u64;
+        for (i, e) in l.entries().iter().enumerate() {
+            let lo = if i == 0 {
+                1
+            } else {
+                l.entries()[i - 1].iv.end + 1
+            };
+            covered += u64::from(e.iv.end - lo + 1);
+            if covered >= k as u64 {
+                return i + 1;
+            }
+        }
+        l.len()
+    }
+
+    #[test]
+    fn until_pruned_matches_oracle_top_k() {
+        let g = sl(vec![(1, 10, 1.0), (14, 30, 0.8)], 1.0);
+        let h = sl(
+            vec![
+                (2, 2, 3.0),
+                (6, 6, 9.0),
+                (9, 9, 4.0),
+                (16, 18, 2.0),
+                (25, 25, 7.0),
+            ],
+            10.0,
+        );
+        let oracle = list::until(&g, &h, 0.5);
+        for k in 0..=40 {
+            let (pruned, _) = until_top_k(&g, &h, 0.5, k);
+            assert_eq!(top_k(&pruned, k), top_k(&oracle, k), "k={k}");
+        }
+        // Small k actually skips reach entries.
+        let (_, skipped) = until_top_k(&g, &h, 0.5, 1);
+        assert!(skipped > 0);
+        // Huge k skips nothing and reproduces the oracle exactly.
+        let (full, skipped) = until_top_k(&g, &h, 0.5, 100);
+        assert_eq!(skipped, 0);
+        assert_eq!(full, oracle);
+    }
+}

@@ -1,0 +1,309 @@
+//! The cross-query atomic-result cache.
+//!
+//! The ROADMAP's serving workload asks the same handful of popular queries
+//! over and over; the dominant cost is recompiling and rescoring their
+//! atomic units against the level index. This module keeps a bounded,
+//! thread-safe LRU cache of both artifacts:
+//!
+//! * **scored tables**, keyed by the atomic unit's canonical printed
+//!   formula plus the exact [`SeqContext`] it was scored on — the same
+//!   keying discipline as the engine's per-evaluation memo, which stays
+//!   intra-query; this cache is the cross-query layer above it;
+//! * **compiled queries** (including compile *errors*, so a malformed unit
+//!   is diagnosed once, not re-parsed on every call), keyed by the printed
+//!   formula alone — compilation is context-free.
+//!
+//! Results are handed out as [`Arc`]s: hits never copy table rows, and the
+//! cache stays sound because scored tables are immutable. Correctness does
+//! not depend on the cache at all — eviction (or a capacity of zero) only
+//! costs recomputation, which is what the eviction test in the serve suite
+//! pins down.
+
+use crate::query::{AtomicQuery, QueryError};
+use simvid_core::{CacheStats, SeqContext, SimilarityTable};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of the atomic-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of scored atomic tables kept. `0` disables caching
+    /// entirely (every request recompiles and rescores — the pre-cache
+    /// behaviour, useful as a baseline).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 1024 }
+    }
+}
+
+impl CacheConfig {
+    /// A cache bounded to `capacity` scored tables.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> CacheConfig {
+        CacheConfig { capacity }
+    }
+
+    /// A disabled cache (capacity zero).
+    #[must_use]
+    pub fn disabled() -> CacheConfig {
+        CacheConfig { capacity: 0 }
+    }
+
+    /// Whether the cache stores anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+/// A small LRU map: recency is tracked by stamping entries and lazily
+/// discarding stale queue slots, so touches are O(1) amortised without an
+/// intrusive list (the workspace vendors no LRU crate).
+struct Lru<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    queue: VecDeque<(u64, K)>,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            capacity,
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &K) -> u64 {
+        self.tick += 1;
+        self.queue.push_back((self.tick, key.clone()));
+        // Stale stamps pile up one per touch; compact before the queue
+        // outgrows the live set by more than a constant factor.
+        if self.queue.len() > 2 * self.map.len().max(self.capacity) + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(stamp, k)| map.get(k).is_some_and(|(_, live)| live == stamp));
+        }
+        self.tick
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        let stamp = self.touch(key);
+        let slot = self.map.get_mut(key).expect("checked above");
+        slot.1 = stamp;
+        Some(slot.0.clone())
+    }
+
+    /// Inserts a value, returning how many entries were evicted to stay
+    /// within capacity.
+    fn insert(&mut self, key: K, value: V) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let stamp = self.touch(&key);
+        self.map.insert(key, (value, stamp));
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let Some((stamp, k)) = self.queue.pop_front() else {
+                break;
+            };
+            // A stale stamp means the entry was touched again later; only
+            // the slot matching its live stamp evicts it.
+            if self.map.get(&k).is_some_and(|(_, live)| *live == stamp) {
+                self.map.remove(&k);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Key of a scored atomic table: canonical printed formula + the exact
+/// sequence context it was scored on.
+type TableKey = (String, u8, u32, u32);
+
+/// The bounded, `Sync` cache shared by every query a
+/// [`crate::PictureSystem`] serves.
+pub(crate) struct AtomicCache {
+    config: CacheConfig,
+    tables: Mutex<Lru<TableKey, Arc<SimilarityTable>>>,
+    compiled: Mutex<Lru<String, Arc<Result<AtomicQuery, QueryError>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl AtomicCache {
+    pub(crate) fn new(config: CacheConfig) -> AtomicCache {
+        AtomicCache {
+            config,
+            tables: Mutex::new(Lru::new(config.capacity)),
+            // Compiled queries are tiny next to scored tables; a handful
+            // of slots per table slot keeps popular formulas compiled even
+            // when their windows churn the table cache.
+            compiled: Mutex::new(Lru::new(config.capacity)),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The scored table for `(printed, ctx)`, computing and caching it on
+    /// a miss. Hit/miss counters cover exactly this path.
+    pub(crate) fn table_with(
+        &self,
+        printed: &str,
+        ctx: SeqContext,
+        compute: impl FnOnce() -> SimilarityTable,
+    ) -> Arc<SimilarityTable> {
+        if !self.config.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compute());
+        }
+        let key: TableKey = (printed.to_owned(), ctx.depth, ctx.lo, ctx.hi);
+        if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock: scoring is the expensive part, and
+        // recomputing on a rare race is cheaper than serialising scorers.
+        let table = Arc::new(compute());
+        let evicted = self
+            .tables
+            .lock()
+            .expect("atomic cache lock")
+            .insert(key, table.clone());
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        table
+    }
+
+    /// The compiled form of `printed`, compiling (once) on a miss. Errors
+    /// are cached too: a malformed unit panics identically on every use
+    /// without being re-compiled each time.
+    pub(crate) fn compiled_with(
+        &self,
+        printed: &str,
+        compile: impl FnOnce() -> Result<AtomicQuery, QueryError>,
+    ) -> Arc<Result<AtomicQuery, QueryError>> {
+        if !self.config.is_enabled() {
+            return Arc::new(compile());
+        }
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("compiled cache lock")
+            .get(&printed.to_owned())
+        {
+            return hit;
+        }
+        let compiled = Arc::new(compile());
+        self.compiled
+            .lock()
+            .expect("compiled cache lock")
+            .insert(printed.to_owned(), compiled.clone());
+        compiled
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        assert_eq!(lru.insert(1, 10), 0);
+        assert_eq!(lru.insert(2, 20), 0);
+        assert_eq!(lru.get(&1), Some(10)); // 1 is now most recent
+        assert_eq!(lru.insert(3, 30), 1); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_zero_capacity_stores_nothing() {
+        let mut lru: Lru<u32, u32> = Lru::new(0);
+        assert_eq!(lru.insert(1, 10), 0);
+        assert_eq!(lru.get(&1), None);
+    }
+
+    #[test]
+    fn lru_queue_stays_bounded_under_repeated_touches() {
+        let mut lru: Lru<u32, u32> = Lru::new(4);
+        for i in 0..4 {
+            lru.insert(i, i);
+        }
+        for _ in 0..10_000 {
+            for i in 0..4 {
+                assert_eq!(lru.get(&i), Some(i));
+            }
+        }
+        assert!(
+            lru.queue.len() <= 2 * 4 + 17,
+            "stale queue slots must be compacted, got {}",
+            lru.queue.len()
+        );
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_evictions() {
+        let cache = AtomicCache::new(CacheConfig::with_capacity(1));
+        let ctx = |lo| SeqContext {
+            depth: 1,
+            lo,
+            hi: 10,
+        };
+        let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
+        cache.table_with("p()", ctx(0), table);
+        cache.table_with("p()", ctx(0), table);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        cache.table_with("p()", ctx(5), table); // different window: miss + eviction
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let cache = AtomicCache::new(CacheConfig::disabled());
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            cache.table_with("p()", ctx, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
+            });
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+    }
+}

@@ -46,6 +46,7 @@
 //! assert_eq!(table.rows[0].list.to_tuples(), vec![(1, 1, 3.0)]);
 //! ```
 
+mod cache;
 mod config;
 mod index;
 mod provider;
@@ -53,6 +54,7 @@ mod query;
 mod score;
 mod video_db;
 
+pub use cache::CacheConfig;
 pub use config::ScoringConfig;
 pub use index::LevelIndex;
 pub use provider::PictureSystem;

@@ -1,38 +1,51 @@
 //! [`PictureSystem`]: the public facade and [`AtomicProvider`] impl.
 
+use crate::cache::AtomicCache;
 use crate::index::LevelIndex;
 use crate::query::{AtomicQuery, QueryError};
 use crate::score::score_window;
-use crate::ScoringConfig;
+use crate::{CacheConfig, ScoringConfig};
 use simvid_core::{
-    AtomicProvider, Interval, SeqContext, SimilarityList, SimilarityTable, ValueRow, ValueTable,
+    AtomicProvider, CacheStats, Interval, SeqContext, SimilarityList, SimilarityTable, ValueRow,
+    ValueTable,
 };
 use simvid_htl::{AtomicUnit, AttrFn, Formula};
-use simvid_model::{AttrValue, VideoTree};
+use simvid_model::{AttrValue, ObjectId, VideoTree};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// The picture retrieval system over one video: index-backed similarity
-/// scoring of atomic (non-temporal) queries.
+/// scoring of atomic (non-temporal) queries, with a cross-query LRU cache
+/// of compiled queries and scored tables (see [`CacheConfig`]).
 ///
-/// The index cache is behind a [`Mutex`] (and hands out [`Arc`]s) so the
-/// system is [`Sync`], as the engine's parallel evaluation paths require
-/// of every [`AtomicProvider`].
+/// The index and result caches are behind [`Mutex`]es (and hand out
+/// [`Arc`]s) so the system is [`Sync`], as the engine's parallel
+/// evaluation paths require of every [`AtomicProvider`].
 pub struct PictureSystem<'a> {
     tree: &'a VideoTree,
     config: ScoringConfig,
     indices: Mutex<HashMap<u8, Arc<LevelIndex>>>,
+    cache: AtomicCache,
 }
 
 impl<'a> PictureSystem<'a> {
-    /// Creates a picture system for a video; indices are built lazily per
-    /// level and cached.
+    /// Creates a picture system for a video with the default cache
+    /// configuration; indices are built lazily per level and cached.
     #[must_use]
     pub fn new(tree: &'a VideoTree, config: ScoringConfig) -> Self {
+        PictureSystem::with_cache(tree, config, CacheConfig::default())
+    }
+
+    /// Creates a picture system with an explicit atomic-cache
+    /// configuration ([`CacheConfig::disabled`] restores the uncached
+    /// behaviour).
+    #[must_use]
+    pub fn with_cache(tree: &'a VideoTree, config: ScoringConfig, cache: CacheConfig) -> Self {
         PictureSystem {
             tree,
             config,
             indices: Mutex::new(HashMap::new()),
+            cache: AtomicCache::new(cache),
         }
     }
 
@@ -40,6 +53,28 @@ impl<'a> PictureSystem<'a> {
     #[must_use]
     pub fn tree(&self) -> &VideoTree {
         self.tree
+    }
+
+    /// The atomic-cache configuration in effect.
+    #[must_use]
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache.config()
+    }
+
+    /// Hit/miss/eviction counters of the atomic-result cache, cumulative
+    /// over this system's lifetime.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The compiled form of a pure formula, answered from the compiled
+    /// cache when the same printed formula was compiled before. Errors are
+    /// cached alongside successes.
+    fn compiled(&self, f: &Formula) -> Arc<Result<AtomicQuery, QueryError>> {
+        let printed = f.to_string();
+        self.cache
+            .compiled_with(&printed, || AtomicQuery::compile(f, &self.config))
     }
 
     /// The (cached) index for a level.
@@ -59,10 +94,11 @@ impl<'a> PictureSystem<'a> {
     ///
     /// See [`QueryError`].
     pub fn query(&self, f: &Formula, depth: u8) -> Result<SimilarityTable, QueryError> {
-        let q = AtomicQuery::compile(f, &self.config)?;
+        let compiled = self.compiled(f);
+        let q = compiled.as_ref().as_ref().map_err(Clone::clone)?;
         let ix = self.index(depth);
         let n = ix.len;
-        Ok(score_window(self.tree, &ix, depth, 0, n, &q))
+        Ok(score_window(self.tree, &ix, depth, 0, n, q))
     }
 
     /// Evaluates a *closed* pure formula at `depth` and returns its
@@ -87,22 +123,43 @@ impl AtomicProvider for PictureSystem<'_> {
     ///
     /// Panics if the unit fails to compile (malformed attribute predicate
     /// or too many variables); validate queries with
-    /// [`AtomicQuery::compile`] first when handling untrusted input.
+    /// [`AtomicQuery::compile`] first when handling untrusted input. The
+    /// compile runs (and its error is cached) once per printed formula —
+    /// repeated uses of the same malformed unit re-raise the cached error
+    /// without recompiling.
     fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-        let q = AtomicQuery::compile(&unit.formula, &self.config)
+        let printed = unit.formula.to_string();
+        let compiled = self.cache.compiled_with(&printed, || {
+            AtomicQuery::compile(&unit.formula, &self.config)
+        });
+        let q = compiled
+            .as_ref()
+            .as_ref()
             .unwrap_or_else(|e| panic!("invalid atomic unit `{}`: {e}", unit.formula));
-        let ix = self.index(ctx.depth);
-        score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, &q)
+        let table = self.cache.table_with(&printed, ctx, || {
+            let ix = self.index(ctx.depth);
+            score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q)
+        });
+        // The engine owns its tables (it joins and maps them in place);
+        // the cache hands out shared `Arc`s, so hits clone rows — still
+        // far cheaper than rescoring the level index.
+        SimilarityTable::clone(&table)
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
-        AtomicQuery::compile(&unit.formula, &self.config)
+        self.compiled(&unit.formula)
+            .as_ref()
+            .as_ref()
             .unwrap_or_else(|e| panic!("invalid atomic unit `{}`: {e}", unit.formula))
             .max
     }
 
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable {
-        let mut table = ValueTable::new(match &func.of {
+        let mut builder = ValueTableBuilder::new(match &func.of {
             Some(v) => vec![v.0.clone()],
             None => Vec::new(),
         });
@@ -114,7 +171,7 @@ impl AtomicProvider for PictureSystem<'_> {
             match &func.of {
                 None => {
                     if let Some(v) = meta.segment_attr(&func.attr) {
-                        extend_value_row(&mut table, vec![], v.clone(), local);
+                        builder.add(vec![], v.clone(), local);
                     }
                 }
                 Some(_) => {
@@ -132,40 +189,94 @@ impl AtomicProvider for PictureSystem<'_> {
                             attr => inst.attr(attr).cloned(),
                         };
                         if let Some(v) = value {
-                            extend_value_row(&mut table, vec![inst.id], v, local);
+                            builder.add(vec![inst.id], v, local);
                         }
                     }
                 }
             }
         }
-        table
+        builder.finish()
     }
 }
 
-/// Adds position `pos` to the value row for `(objs, value)`, extending the
-/// last span when adjacent.
-fn extend_value_row(
-    table: &mut ValueTable,
-    objs: Vec<simvid_model::ObjectId>,
-    value: AttrValue,
-    pos: u32,
-) {
-    if let Some(row) = table
-        .rows
-        .iter_mut()
-        .find(|r| r.objs == objs && r.value.sem_eq(&value))
-    {
-        match row.spans.last_mut() {
-            Some(span) if span.end + 1 == pos => span.end = pos,
-            Some(span) if span.end >= pos => {}
-            _ => row.spans.push(Interval::new(pos, pos)),
+/// A hashable stand-in for [`AttrValue`] agreeing with
+/// [`AttrValue::sem_eq`]: ints and floats compare numerically (so both map
+/// through the `f64` bit pattern, with `-0.0` normalised to `0.0`), while
+/// strings and booleans hash as themselves. `NaN` has no key — `sem_eq`
+/// never equates it with anything, so a `NaN` value always starts its own
+/// row, exactly like the linear scan did.
+#[derive(PartialEq, Eq, Hash)]
+enum ValueKey {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ValueKey {
+    fn of(value: &AttrValue) -> Option<ValueKey> {
+        match value {
+            AttrValue::Int(_) | AttrValue::Float(_) => {
+                let f = value.as_f64().expect("numeric");
+                if f.is_nan() {
+                    return None;
+                }
+                let f = if f == 0.0 { 0.0 } else { f }; // -0.0 == 0.0 under sem_eq
+                Some(ValueKey::Num(f.to_bits()))
+            }
+            AttrValue::Str(s) => Some(ValueKey::Str(s.clone())),
+            AttrValue::Bool(b) => Some(ValueKey::Bool(*b)),
         }
-    } else {
-        table.rows.push(ValueRow {
-            objs,
-            value,
-            spans: vec![Interval::new(pos, pos)],
-        });
+    }
+}
+
+/// Builds a [`ValueTable`] with an `O(1)` per-position row lookup instead
+/// of a linear scan over the rows: rows are indexed by `(objs, value)`.
+/// Output row order stays first-encounter order, as before.
+struct ValueTableBuilder {
+    table: ValueTable,
+    index: HashMap<(Vec<ObjectId>, ValueKey), usize>,
+}
+
+impl ValueTableBuilder {
+    fn new(obj_cols: Vec<String>) -> ValueTableBuilder {
+        ValueTableBuilder {
+            table: ValueTable::new(obj_cols),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Adds position `pos` to the row for `(objs, value)`, extending the
+    /// row's last span when adjacent. Positions arrive in ascending order.
+    fn add(&mut self, objs: Vec<ObjectId>, value: AttrValue, pos: u32) {
+        let row = match ValueKey::of(&value) {
+            Some(key) => match self.index.entry((objs.clone(), key)) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(*e.get()),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(self.table.rows.len());
+                    None
+                }
+            },
+            None => None, // NaN matches no existing row
+        };
+        match row {
+            Some(i) => {
+                let spans = &mut self.table.rows[i].spans;
+                match spans.last_mut() {
+                    Some(span) if span.end + 1 == pos => span.end = pos,
+                    Some(span) if span.end >= pos => {}
+                    _ => spans.push(Interval::new(pos, pos)),
+                }
+            }
+            None => self.table.rows.push(ValueRow {
+                objs,
+                value,
+                spans: vec![Interval::new(pos, pos)],
+            }),
+        }
+    }
+
+    fn finish(self) -> ValueTable {
+        self.table
     }
 }
 

@@ -16,6 +16,8 @@
 //!   operators.
 //! * [`queries`] — the paper's example formulas (A), (B), (C), Query 1 and
 //!   the performance-comparison formulas.
+//! * [`serve`] — a repeated-traffic serving workload (Zipf-skewed top-`k`
+//!   requests over a fixed query pool), for the cross-query cache.
 
 pub mod casablanca;
 pub mod gulfwar;
@@ -23,3 +25,4 @@ pub mod queries;
 pub mod randomlists;
 pub mod randomtables;
 pub mod randomvideo;
+pub mod serve;

@@ -1,0 +1,187 @@
+//! A repeated-traffic serving workload.
+//!
+//! The serving scenario the ROADMAP targets is a retrieval endpoint that
+//! answers a stream of top-`k` requests against one video database, where
+//! a handful of popular queries dominate the traffic. This module builds
+//! that stream deterministically: a random video (see [`crate::randomvideo`]),
+//! a fixed pool of query formulas exercising every engine path (conjunction,
+//! `until`, `eventually`, `next`, attribute comparisons), and a seeded
+//! Zipf-like request schedule over the pool — query 1 is hot, the tail is
+//! cold, exactly the shape a cross-query cache thrives on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simvid_htl::{parse, Formula};
+use simvid_model::VideoTree;
+
+use crate::randomvideo::{generate, VideoGenConfig};
+
+/// Parameters of the serving workload.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shots in the served video (leaves of a two-level tree).
+    pub shots: u32,
+    /// Number of requests in the schedule.
+    pub requests: usize,
+    /// Skew of the query popularity distribution: request `r` picks query
+    /// `i` with probability ∝ `1 / (i + 1)^zipf_exponent`. `0.0` is
+    /// uniform; larger is hotter.
+    pub zipf_exponent: f64,
+    /// `k` of the top-`k` request each schedule slot issues.
+    pub k: usize,
+    /// Seed for both the video and the schedule.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shots: 400,
+            requests: 200,
+            zipf_exponent: 1.1,
+            k: 10,
+            seed: 97,
+        }
+    }
+}
+
+/// A fully materialised serving workload: the video, the query pool, and
+/// the request schedule (indices into the pool).
+pub struct ServeWorkload {
+    /// The served video: a two-level tree (`video` → `shot`).
+    pub tree: VideoTree,
+    /// The query pool, hottest first.
+    pub queries: Vec<Formula>,
+    /// The request schedule: `schedule[r]` indexes into `queries`.
+    pub schedule: Vec<usize>,
+    /// Top-`k` size of every request.
+    pub k: usize,
+}
+
+impl ServeWorkload {
+    /// The depth requests are evaluated at (the shot level).
+    #[must_use]
+    pub fn depth(&self) -> u8 {
+        1
+    }
+
+    /// How many distinct queries the schedule actually touches.
+    #[must_use]
+    pub fn distinct_queries(&self) -> usize {
+        let mut seen = vec![false; self.queries.len()];
+        for &q in &self.schedule {
+            seen[q] = true;
+        }
+        seen.iter().filter(|s| **s).count()
+    }
+}
+
+/// The fixed query pool, hottest first. Every formula is closed (no free
+/// variables) so each request is a ranked top-`k` retrieval; together they
+/// exercise conjunction pruning, `until`, `eventually`, `next` and
+/// attribute comparisons.
+#[must_use]
+pub fn query_pool() -> Vec<Formula> {
+    [
+        "exists x . person(x) and moving(x)",
+        "(exists x . person(x)) until (exists y . horse(y))",
+        "eventually (exists x . holds_gun(x))",
+        "exists x . exists y . person(y) and near(x, y) and moving(x) and height(x) > 100",
+        "exists x . person(x) and eventually (exists y . near(x, y))",
+        "next (exists x . moving(x))",
+        "exists x . height(x) > 150",
+        "(exists x . moving(x)) and eventually (exists y . fires_at(y))",
+    ]
+    .iter()
+    .map(|q| parse(q).expect("serve pool formula parses"))
+    .collect()
+}
+
+/// Builds the workload. Deterministic in `cfg.seed`.
+#[must_use]
+pub fn build(cfg: &ServeConfig) -> ServeWorkload {
+    let tree = generate(
+        &VideoGenConfig {
+            branching: vec![cfg.shots],
+            object_count: 10,
+            objects_per_leaf: 3.0,
+            ..VideoGenConfig::default()
+        },
+        cfg.seed,
+    );
+    let queries = query_pool();
+    // Zipf-like sampling by inverse-power weights over the pool ranks.
+    let weights: Vec<f64> = (0..queries.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.zipf_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let schedule = (0..cfg.requests)
+        .map(|_| {
+            let mut pick = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    return i;
+                }
+                pick -= w;
+            }
+            queries.len() - 1
+        })
+        .collect();
+    ServeWorkload {
+        tree,
+        queries,
+        schedule,
+        k: cfg.k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_htl::{classify, FormulaClass};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ServeConfig {
+            shots: 20,
+            requests: 50,
+            ..ServeConfig::default()
+        };
+        let a = build(&cfg);
+        let b = build(&cfg);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.tree.segment_count(), b.tree.segment_count());
+    }
+
+    #[test]
+    fn schedule_is_skewed_towards_the_head() {
+        let w = build(&ServeConfig {
+            shots: 4,
+            requests: 400,
+            ..ServeConfig::default()
+        });
+        let head = w.schedule.iter().filter(|&&q| q == 0).count();
+        let tail = w
+            .schedule
+            .iter()
+            .filter(|&&q| q + 1 == w.queries.len())
+            .count();
+        assert!(
+            head > tail,
+            "hot query ({head} hits) should beat the tail ({tail} hits)"
+        );
+        assert!(w.distinct_queries() > 1, "more than one query in play");
+    }
+
+    #[test]
+    fn pool_formulas_are_closed_and_evaluable() {
+        for f in query_pool() {
+            assert_ne!(
+                classify(&f),
+                FormulaClass::General,
+                "serve pool must stay inside the engine's fragment: {f}"
+            );
+        }
+    }
+}

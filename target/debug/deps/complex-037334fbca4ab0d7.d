@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complex-037334fbca4ab0d7.d: crates/bench/benches/complex.rs
+
+/root/repo/target/debug/deps/complex-037334fbca4ab0d7: crates/bench/benches/complex.rs
+
+crates/bench/benches/complex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjunction-2424d5770aa772bb.d: crates/bench/benches/conjunction.rs
+
+/root/repo/target/debug/deps/conjunction-2424d5770aa772bb: crates/bench/benches/conjunction.rs
+
+crates/bench/benches/conjunction.rs:

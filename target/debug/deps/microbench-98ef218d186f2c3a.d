@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-98ef218d186f2c3a.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-98ef218d186f2c3a: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

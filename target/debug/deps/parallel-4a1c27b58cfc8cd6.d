@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-4a1c27b58cfc8cd6.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/debug/deps/parallel-4a1c27b58cfc8cd6: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

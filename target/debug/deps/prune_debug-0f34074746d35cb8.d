@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prune_debug-0f34074746d35cb8.d: crates/bench/tests/prune_debug.rs
+
+/root/repo/target/debug/deps/prune_debug-0f34074746d35cb8: crates/bench/tests/prune_debug.rs
+
+crates/bench/tests/prune_debug.rs:

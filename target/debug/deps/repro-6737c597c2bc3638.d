@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6737c597c2bc3638.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6737c597c2bc3638: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-6f36074b9bf4a1ef.d: crates/bench/benches/serve.rs
+
+/root/repo/target/debug/deps/serve-6f36074b9bf4a1ef: crates/bench/benches/serve.rs
+
+crates/bench/benches/serve.rs:

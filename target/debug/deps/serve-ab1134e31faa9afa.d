@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve-ab1134e31faa9afa.d: tests/suite/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve-ab1134e31faa9afa.rmeta: tests/suite/serve.rs Cargo.toml
+
+tests/suite/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-b88a6d64e2d95d78.d: tests/suite/serve.rs
+
+/root/repo/target/debug/deps/serve-b88a6d64e2d95d78: tests/suite/serve.rs
+
+tests/suite/serve.rs:

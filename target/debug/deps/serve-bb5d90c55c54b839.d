@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve-bb5d90c55c54b839.d: crates/bench/benches/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve-bb5d90c55c54b839.rmeta: crates/bench/benches/serve.rs Cargo.toml
+
+crates/bench/benches/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_bench-74c9a0e7de7e5a28.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_bench-74c9a0e7de7e5a28.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

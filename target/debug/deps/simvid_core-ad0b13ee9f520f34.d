@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simvid_core-ad0b13ee9f520f34.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
+
+/root/repo/target/debug/deps/libsimvid_core-ad0b13ee9f520f34.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/interval.rs:
+crates/core/src/list.rs:
+crates/core/src/memo.rs:
+crates/core/src/prune.rs:
+crates/core/src/range.rs:
+crates/core/src/sim.rs:
+crates/core/src/table.rs:
+crates/core/src/topk.rs:
+crates/core/src/valuetable.rs:

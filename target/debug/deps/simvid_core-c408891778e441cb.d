@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/simvid_core-c408891778e441cb.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs Cargo.toml
+/root/repo/target/debug/deps/simvid_core-c408891778e441cb.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimvid_core-c408891778e441cb.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs Cargo.toml
+/root/repo/target/debug/deps/libsimvid_core-c408891778e441cb.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/engine.rs:
@@ -8,6 +8,7 @@ crates/core/src/error.rs:
 crates/core/src/interval.rs:
 crates/core/src/list.rs:
 crates/core/src/memo.rs:
+crates/core/src/prune.rs:
 crates/core/src/range.rs:
 crates/core/src/sim.rs:
 crates/core/src/table.rs:

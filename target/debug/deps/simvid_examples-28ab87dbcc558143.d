@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simvid_examples-28ab87dbcc558143.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsimvid_examples-28ab87dbcc558143.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simvid_htl-b5d64a4a89c98c44.d: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs
+
+/root/repo/target/debug/deps/libsimvid_htl-b5d64a4a89c98c44.rmeta: crates/htl/src/lib.rs crates/htl/src/ast.rs crates/htl/src/atoms.rs crates/htl/src/classify.rs crates/htl/src/error.rs crates/htl/src/exact.rs crates/htl/src/lexer.rs crates/htl/src/normalize.rs crates/htl/src/parser.rs crates/htl/src/print.rs crates/htl/src/vars.rs
+
+crates/htl/src/lib.rs:
+crates/htl/src/ast.rs:
+crates/htl/src/atoms.rs:
+crates/htl/src/classify.rs:
+crates/htl/src/error.rs:
+crates/htl/src/exact.rs:
+crates/htl/src/lexer.rs:
+crates/htl/src/normalize.rs:
+crates/htl/src/parser.rs:
+crates/htl/src/print.rs:
+crates/htl/src/vars.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simvid_model-f86832c9a721bade.d: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+/root/repo/target/debug/deps/libsimvid_model-f86832c9a721bade.rmeta: crates/model/src/lib.rs crates/model/src/builder.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/meta.rs crates/model/src/object.rs crates/model/src/store.rs crates/model/src/tree.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builder.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/meta.rs:
+crates/model/src/object.rs:
+crates/model/src/store.rs:
+crates/model/src/tree.rs:
+crates/model/src/value.rs:

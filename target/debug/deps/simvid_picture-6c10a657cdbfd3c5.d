@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/simvid_picture-6c10a657cdbfd3c5.d: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/simvid_picture-6c10a657cdbfd3c5.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/debug/deps/libsimvid_picture-6c10a657cdbfd3c5.rlib: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/libsimvid_picture-6c10a657cdbfd3c5.rlib: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/debug/deps/libsimvid_picture-6c10a657cdbfd3c5.rmeta: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/libsimvid_picture-6c10a657cdbfd3c5.rmeta: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
 crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
 crates/picture/src/config.rs:
 crates/picture/src/index.rs:
 crates/picture/src/provider.rs:

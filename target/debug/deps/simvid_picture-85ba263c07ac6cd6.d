@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/simvid_picture-85ba263c07ac6cd6.d: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/simvid_picture-85ba263c07ac6cd6.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/debug/deps/simvid_picture-85ba263c07ac6cd6: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/simvid_picture-85ba263c07ac6cd6: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
 crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
 crates/picture/src/config.rs:
 crates/picture/src/index.rs:
 crates/picture/src/provider.rs:

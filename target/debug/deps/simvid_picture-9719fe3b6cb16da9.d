@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/simvid_picture-9719fe3b6cb16da9.d: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs Cargo.toml
+/root/repo/target/debug/deps/simvid_picture-9719fe3b6cb16da9.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimvid_picture-9719fe3b6cb16da9.rmeta: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs Cargo.toml
+/root/repo/target/debug/deps/libsimvid_picture-9719fe3b6cb16da9.rmeta: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs Cargo.toml
 
 crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
 crates/picture/src/config.rs:
 crates/picture/src/index.rs:
 crates/picture/src/provider.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/simvid_picture-a3d6addff9f1abbe.d: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/simvid_picture-a3d6addff9f1abbe.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/debug/deps/libsimvid_picture-a3d6addff9f1abbe.rlib: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/libsimvid_picture-a3d6addff9f1abbe.rlib: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/debug/deps/libsimvid_picture-a3d6addff9f1abbe.rmeta: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/debug/deps/libsimvid_picture-a3d6addff9f1abbe.rmeta: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
 crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
 crates/picture/src/config.rs:
 crates/picture/src/index.rs:
 crates/picture/src/provider.rs:

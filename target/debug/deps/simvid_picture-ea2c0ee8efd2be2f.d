@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simvid_picture-ea2c0ee8efd2be2f.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+
+/root/repo/target/debug/deps/libsimvid_picture-ea2c0ee8efd2be2f.rmeta: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+
+crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
+crates/picture/src/config.rs:
+crates/picture/src/index.rs:
+crates/picture/src/provider.rs:
+crates/picture/src/query.rs:
+crates/picture/src/score.rs:
+crates/picture/src/video_db.rs:

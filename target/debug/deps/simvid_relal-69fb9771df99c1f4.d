@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/simvid_relal-69fb9771df99c1f4.d: crates/relal/src/lib.rs crates/relal/src/ast.rs crates/relal/src/catalog.rs crates/relal/src/db.rs crates/relal/src/error.rs crates/relal/src/exec.rs crates/relal/src/expr.rs crates/relal/src/lexer.rs crates/relal/src/parser.rs crates/relal/src/schema.rs crates/relal/src/table.rs crates/relal/src/translate.rs crates/relal/src/translate_table.rs crates/relal/src/value.rs
+
+/root/repo/target/debug/deps/libsimvid_relal-69fb9771df99c1f4.rmeta: crates/relal/src/lib.rs crates/relal/src/ast.rs crates/relal/src/catalog.rs crates/relal/src/db.rs crates/relal/src/error.rs crates/relal/src/exec.rs crates/relal/src/expr.rs crates/relal/src/lexer.rs crates/relal/src/parser.rs crates/relal/src/schema.rs crates/relal/src/table.rs crates/relal/src/translate.rs crates/relal/src/translate_table.rs crates/relal/src/value.rs
+
+crates/relal/src/lib.rs:
+crates/relal/src/ast.rs:
+crates/relal/src/catalog.rs:
+crates/relal/src/db.rs:
+crates/relal/src/error.rs:
+crates/relal/src/exec.rs:
+crates/relal/src/expr.rs:
+crates/relal/src/lexer.rs:
+crates/relal/src/parser.rs:
+crates/relal/src/schema.rs:
+crates/relal/src/table.rs:
+crates/relal/src/translate.rs:
+crates/relal/src/translate_table.rs:
+crates/relal/src/value.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/simvid_workload-46b5940738a0c03c.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs Cargo.toml
+/root/repo/target/debug/deps/simvid_workload-46b5940738a0c03c.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimvid_workload-46b5940738a0c03c.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs Cargo.toml
+/root/repo/target/debug/deps/libsimvid_workload-46b5940738a0c03c.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs Cargo.toml
 
 crates/workload/src/lib.rs:
 crates/workload/src/casablanca.rs:
@@ -9,6 +9,7 @@ crates/workload/src/queries.rs:
 crates/workload/src/randomlists.rs:
 crates/workload/src/randomtables.rs:
 crates/workload/src/randomvideo.rs:
+crates/workload/src/serve.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simvid_workload-49a9df8119218f29.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
+
+/root/repo/target/debug/deps/libsimvid_workload-49a9df8119218f29.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/casablanca.rs:
+crates/workload/src/gulfwar.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/randomlists.rs:
+crates/workload/src/randomtables.rs:
+crates/workload/src/randomvideo.rs:
+crates/workload/src/serve.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/simvid_workload-f943bd8a0cdbd227.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+/root/repo/target/debug/deps/simvid_workload-f943bd8a0cdbd227.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
 
-/root/repo/target/debug/deps/simvid_workload-f943bd8a0cdbd227: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+/root/repo/target/debug/deps/simvid_workload-f943bd8a0cdbd227: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/casablanca.rs:
@@ -9,3 +9,4 @@ crates/workload/src/queries.rs:
 crates/workload/src/randomlists.rs:
 crates/workload/src/randomtables.rs:
 crates/workload/src/randomvideo.rs:
+crates/workload/src/serve.rs:

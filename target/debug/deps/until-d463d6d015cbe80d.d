@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/until-d463d6d015cbe80d.d: crates/bench/benches/until.rs
+
+/root/repo/target/debug/deps/until-d463d6d015cbe80d: crates/bench/benches/until.rs
+
+crates/bench/benches/until.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["simvid_bench",[["impl AtomicProvider for <a class=\"struct\" href=\"simvid_bench/struct.ListProvider.html\" title=\"struct simvid_bench::ListProvider\">ListProvider</a>",0]]],["simvid_picture",[["impl AtomicProvider for <a class=\"struct\" href=\"simvid_picture/struct.PictureSystem.html\" title=\"struct simvid_picture::PictureSystem\">PictureSystem</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[176,196]}

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/simvid_core-747adbdabd66ee2d.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
+/root/repo/target/release/deps/simvid_core-747adbdabd66ee2d.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
 
-/root/repo/target/release/deps/libsimvid_core-747adbdabd66ee2d.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
+/root/repo/target/release/deps/libsimvid_core-747adbdabd66ee2d.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
 
-/root/repo/target/release/deps/libsimvid_core-747adbdabd66ee2d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
+/root/repo/target/release/deps/libsimvid_core-747adbdabd66ee2d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/list.rs crates/core/src/memo.rs crates/core/src/prune.rs crates/core/src/range.rs crates/core/src/sim.rs crates/core/src/table.rs crates/core/src/topk.rs crates/core/src/valuetable.rs
 
 crates/core/src/lib.rs:
 crates/core/src/engine.rs:
@@ -10,6 +10,7 @@ crates/core/src/error.rs:
 crates/core/src/interval.rs:
 crates/core/src/list.rs:
 crates/core/src/memo.rs:
+crates/core/src/prune.rs:
 crates/core/src/range.rs:
 crates/core/src/sim.rs:
 crates/core/src/table.rs:

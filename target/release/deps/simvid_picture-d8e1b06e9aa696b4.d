@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/simvid_picture-d8e1b06e9aa696b4.d: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/release/deps/simvid_picture-d8e1b06e9aa696b4.d: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/release/deps/libsimvid_picture-d8e1b06e9aa696b4.rlib: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/release/deps/libsimvid_picture-d8e1b06e9aa696b4.rlib: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
-/root/repo/target/release/deps/libsimvid_picture-d8e1b06e9aa696b4.rmeta: crates/picture/src/lib.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
+/root/repo/target/release/deps/libsimvid_picture-d8e1b06e9aa696b4.rmeta: crates/picture/src/lib.rs crates/picture/src/cache.rs crates/picture/src/config.rs crates/picture/src/index.rs crates/picture/src/provider.rs crates/picture/src/query.rs crates/picture/src/score.rs crates/picture/src/video_db.rs
 
 crates/picture/src/lib.rs:
+crates/picture/src/cache.rs:
 crates/picture/src/config.rs:
 crates/picture/src/index.rs:
 crates/picture/src/provider.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/simvid_workload-748888c97d632163.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+/root/repo/target/release/deps/simvid_workload-748888c97d632163.d: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
 
-/root/repo/target/release/deps/libsimvid_workload-748888c97d632163.rlib: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+/root/repo/target/release/deps/libsimvid_workload-748888c97d632163.rlib: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
 
-/root/repo/target/release/deps/libsimvid_workload-748888c97d632163.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs
+/root/repo/target/release/deps/libsimvid_workload-748888c97d632163.rmeta: crates/workload/src/lib.rs crates/workload/src/casablanca.rs crates/workload/src/gulfwar.rs crates/workload/src/queries.rs crates/workload/src/randomlists.rs crates/workload/src/randomtables.rs crates/workload/src/randomvideo.rs crates/workload/src/serve.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/casablanca.rs:
@@ -11,3 +11,4 @@ crates/workload/src/queries.rs:
 crates/workload/src/randomlists.rs:
 crates/workload/src/randomtables.rs:
 crates/workload/src/randomvideo.rs:
+crates/workload/src/serve.rs:

@@ -1,0 +1,257 @@
+//! Determinism of the serving layer: the cross-query atomic cache and the
+//! upper-bound-pruned top-`k` path are pure performance strategies, so
+//! `Engine::top_k_closed` — pruned, warm-cached, cold-cached, or with a
+//! thrashing capacity-1 cache — must retrieve segments *bit-identical* to
+//! the unpruned oracle (full `eval` followed by `top_k`).
+
+use proptest::prelude::*;
+use simvid_core::{
+    top_k, AtomicProvider, Engine, RankedSegment, SeqContext, SimilarityList, SimilarityTable,
+    ValueTable,
+};
+use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_workload::randomlists::{generate as generate_lists, ListGenConfig};
+use simvid_workload::randomvideo::{generate as generate_video, VideoGenConfig};
+use simvid_workload::serve;
+
+/// The oracle: full evaluation, then ranking.
+fn oracle(engine: &Engine<PictureSystem>, f: &Formula, depth: u8, k: usize) -> Vec<RankedSegment> {
+    let full = engine.eval_closed_at_level(f, depth).unwrap();
+    top_k(&full, k)
+}
+
+#[test]
+fn serve_pool_matches_oracle_on_random_videos_cold_and_warm() {
+    for seed in 0..3u64 {
+        let tree = generate_video(
+            &VideoGenConfig {
+                branching: vec![5, 6],
+                ..VideoGenConfig::default()
+            },
+            seed,
+        );
+        let depth = tree.leaf_level();
+        let n = tree.level_sequence(depth).len();
+        let cold =
+            PictureSystem::with_cache(&tree, ScoringConfig::default(), CacheConfig::disabled());
+        let warm =
+            PictureSystem::with_cache(&tree, ScoringConfig::default(), CacheConfig::default());
+        let cold_engine = Engine::new(&cold, &tree);
+        let warm_engine = Engine::new(&warm, &tree);
+        for f in serve::query_pool() {
+            // Prime the warm cache so repeats are actual hits.
+            let _ = warm_engine.top_k_closed(&f, depth, 1).unwrap();
+            for k in [1usize, 5, n] {
+                let want = oracle(&cold_engine, &f, depth, k);
+                let got_cold = cold_engine.top_k_closed(&f, depth, k).unwrap();
+                let got_warm = warm_engine.top_k_closed(&f, depth, k).unwrap();
+                assert_eq!(got_cold, want, "seed {seed}, `{f}`, k={k}: cold diverged");
+                assert_eq!(got_warm, want, "seed {seed}, `{f}`, k={k}: warm diverged");
+            }
+        }
+        assert!(
+            warm.cache_stats().hits > 0,
+            "repeated queries must hit the warm cache"
+        );
+    }
+}
+
+#[test]
+fn capacity_one_cache_evicts_but_never_changes_results() {
+    let tree = generate_video(
+        &VideoGenConfig {
+            branching: vec![30],
+            ..VideoGenConfig::default()
+        },
+        5,
+    );
+    let thrash = PictureSystem::with_cache(
+        &tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(1),
+    );
+    let off = PictureSystem::with_cache(&tree, ScoringConfig::default(), CacheConfig::disabled());
+    let thrash_engine = Engine::new(&thrash, &tree);
+    let off_engine = Engine::new(&off, &tree);
+    for _round in 0..2 {
+        for f in serve::query_pool() {
+            let got = thrash_engine.top_k_closed(&f, 1, 5).unwrap();
+            let want = off_engine.top_k_closed(&f, 1, 5).unwrap();
+            assert_eq!(got, want, "`{f}`: capacity-1 cache changed the result");
+        }
+    }
+    let stats = thrash.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "a capacity-1 cache under a multi-unit pool must evict (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn cache_and_pruning_counters_are_wired_through_eval_stats() {
+    let tree = generate_video(
+        &VideoGenConfig {
+            branching: vec![40],
+            ..VideoGenConfig::default()
+        },
+        9,
+    );
+    let sys = PictureSystem::new(&tree, ScoringConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    let f = parse("eventually (exists x . holds_gun(x))").unwrap();
+    let _ = engine.top_k_closed(&f, 1, 1).unwrap();
+    let first = engine.stats();
+    assert_eq!(first.atomic_cache.hits, 0, "first request cannot hit");
+    assert!(first.atomic_cache.misses > 0);
+    let _ = engine.top_k_closed(&f, 1, 1).unwrap();
+    let second = engine.stats();
+    assert!(
+        second.atomic_cache.hits > 0,
+        "repeating a request must hit the cross-query cache: {:?}",
+        second.atomic_cache
+    );
+}
+
+/// Serves `P1()`/`P2()`/`P3()` from fixed lists, sliced to the window.
+struct ThreeLists {
+    lists: [(String, SimilarityList); 3],
+}
+
+impl ThreeLists {
+    fn lookup(&self, unit: &AtomicUnit) -> &SimilarityList {
+        let key = unit.formula.to_string();
+        self.lists
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| l)
+            .unwrap_or_else(|| panic!("no list for `{key}`"))
+    }
+}
+
+impl AtomicProvider for ThreeLists {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        SimilarityTable::from_list(self.lookup(unit).slice_window(ctx.lo + 1, ctx.hi))
+    }
+
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+        self.lookup(unit).max()
+    }
+
+    fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+        ValueTable::default()
+    }
+}
+
+fn flat_tree(n: u32) -> simvid_model::VideoTree {
+    let mut b = simvid_model::VideoBuilder::new("serve-test");
+    b.set_level_names(["video", "shot"]);
+    for i in 0..n {
+        b.leaf(format!("s{i}"));
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn pruned_conjunction_processes_strictly_fewer_entries() {
+    let n = 4_000u32;
+    let cfg = ListGenConfig {
+        coverage: 0.35,
+        ..ListGenConfig::default().with_n(n)
+    };
+    let provider = ThreeLists {
+        lists: [
+            ("P1()".into(), generate_lists(&cfg, 1)),
+            ("P2()".into(), generate_lists(&cfg, 2)),
+            ("P3()".into(), generate_lists(&cfg, 3)),
+        ],
+    };
+    let tree = flat_tree(n);
+    let engine = Engine::new(&provider, &tree);
+    let f = parse("P1() and next P2() and (P1() until P3())").unwrap();
+    let got = engine.top_k_closed(&f, 1, 5).unwrap();
+    let pruned_stats = engine.stats();
+    let full = engine.eval_closed_at_level(&f, 1).unwrap();
+    let baseline_stats = engine.stats();
+    assert_eq!(got, top_k(&full, 5), "pruned top-k diverged from oracle");
+    assert!(
+        pruned_stats.entries_pruned > 0,
+        "upper bounds must drop entries on this workload: {pruned_stats:?}"
+    );
+    assert!(
+        pruned_stats.entries_processed < baseline_stats.entries_processed,
+        "pruned path must process strictly fewer entries ({} vs {})",
+        pruned_stats.entries_processed,
+        baseline_stats.entries_processed
+    );
+}
+
+/// The list-workload queries: left-deep and right-deep impure
+/// conjunctions (the latter exercises the tree-recombination path),
+/// `until`, `eventually`, and a nested combination.
+const LIST_QUERIES: &[&str] = &[
+    "P1() and next P2() and (P1() until P3())",
+    "P1() and (next P2() and (P1() until P3()))",
+    "P1() until P2()",
+    "eventually P1()",
+    "eventually (P1() and (P2() until P3()))",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn top_k_closed_matches_oracle_on_random_lists(
+        seed in any::<u64>(),
+        n in 50u32..400,
+        coverage in 0.05f64..0.6,
+        query in 0usize..LIST_QUERIES.len(),
+    ) {
+        let cfg = ListGenConfig {
+            coverage,
+            ..ListGenConfig::default().with_n(n)
+        };
+        let provider = ThreeLists {
+            lists: [
+                ("P1()".into(), generate_lists(&cfg, seed)),
+                ("P2()".into(), generate_lists(&cfg, seed ^ 0xdead_beef)),
+                ("P3()".into(), generate_lists(&cfg, seed ^ 0x1234_5678)),
+            ],
+        };
+        let tree = flat_tree(n);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse(LIST_QUERIES[query]).unwrap();
+        let full = engine.eval_closed_at_level(&f, 1).unwrap();
+        for k in [1usize, 5, n as usize] {
+            let got = engine.top_k_closed(&f, 1, k).unwrap();
+            prop_assert_eq!(
+                got,
+                top_k(&full, k),
+                "`{}` diverged for k={}", LIST_QUERIES[query], k
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_closed_matches_oracle_on_random_videos(
+        seed in any::<u64>(),
+        query in 0usize..8usize,
+    ) {
+        let tree = generate_video(
+            &VideoGenConfig {
+                branching: vec![25],
+                ..VideoGenConfig::default()
+            },
+            seed,
+        );
+        let sys = PictureSystem::new(&tree, ScoringConfig::default());
+        let engine = Engine::new(&sys, &tree);
+        let pool = serve::query_pool();
+        let f = &pool[query % pool.len()];
+        let full = engine.eval_closed_at_level(f, 1).unwrap();
+        for k in [1usize, 5, 25] {
+            let got = engine.top_k_closed(f, 1, k).unwrap();
+            prop_assert_eq!(got, top_k(&full, k), "`{}` diverged for k={}", f, k);
+        }
+    }
+}
