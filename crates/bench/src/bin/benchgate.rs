@@ -1,0 +1,228 @@
+//! CI bench-regression gate over the serving smoke benchmark.
+//!
+//! ```text
+//! benchgate CURRENT.json [--baseline PATH]
+//! ```
+//!
+//! `CURRENT.json` is the output of `repro serve --smoke --json PATH`. The
+//! baseline defaults to the checked-in `crates/bench/baselines/serve_smoke.json`,
+//! measured at the same `--smoke` configuration (see `docs/observability.md`
+//! for how baselines are chosen and refreshed).
+//!
+//! The gate separates *deterministic* metrics from *timing* metrics:
+//!
+//! * **ratio metrics** — the cache hit rate and the pruned-entries-per-
+//!   request fraction. These are machine-independent (the workload is
+//!   seeded and the engine is bit-deterministic), but a 20% regression
+//!   tolerance keeps the gate robust to intentional workload retunes.
+//!   A current value below `baseline × 0.8` fails the gate.
+//! * **result digest** — the FNV-1a digest of every ranked answer must
+//!   match the baseline bit-for-bit when the baseline records one
+//!   (older baselines without a digest skip this check).
+//! * **wall times** — cold/warm seconds and the warm speedup are printed
+//!   for the log but never fail the gate; CI runners are too noisy for
+//!   hard time thresholds.
+//!
+//! Exit status: `0` pass, `1` gate failure, `2` usage or input error.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Regression tolerance on ratio metrics: fail below `baseline × (1 - T)`.
+const TOLERANCE: f64 = 0.20;
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// A `std::time::Duration` serialized as `{secs, nanos}`, in seconds.
+fn duration_secs(v: &Value) -> Option<f64> {
+    Some(num(field(v, "secs")?)? + num(field(v, "nanos")?)? * 1e-9)
+}
+
+/// The first (only) row of the `serve` section.
+fn serve_row(doc: &Value) -> Option<&Value> {
+    match field(doc, "serve")? {
+        Value::Array(rows) => rows.first(),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `a / b`, with an empty denominator reading as zero rate.
+fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check_ratio(&mut self, name: &str, current: f64, baseline: f64) {
+        let floor = baseline * (1.0 - TOLERANCE);
+        let ok = current >= floor;
+        println!(
+            "  {name:<22} {current:>8.4}  baseline {baseline:>8.4}  floor {floor:>8.4}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            self.failures.push(format!(
+                "{name} regressed: {current:.4} < {floor:.4} (baseline {baseline:.4} - {:.0}%)",
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+}
+
+fn run(current_path: &str, baseline_path: &str) -> Result<bool, String> {
+    let current_doc = load(current_path)?;
+    let baseline_doc = load(baseline_path)?;
+    let current = serve_row(&current_doc)
+        .ok_or_else(|| format!("{current_path}: no serve section (run `repro serve --json`)"))?;
+    let baseline = serve_row(&baseline_doc)
+        .ok_or_else(|| format!("{baseline_path}: no serve section in baseline"))?;
+
+    let counter = |row: &Value, key: &str| -> Result<f64, String> {
+        field(row, key)
+            .and_then(num)
+            .ok_or_else(|| format!("serve row missing numeric `{key}`"))
+    };
+    let (cur_hits, cur_misses) = (
+        counter(current, "cache_hits")?,
+        counter(current, "cache_misses")?,
+    );
+    let (base_hits, base_misses) = (
+        counter(baseline, "cache_hits")?,
+        counter(baseline, "cache_misses")?,
+    );
+
+    println!("bench gate: {current_path} vs {baseline_path}");
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    gate.check_ratio(
+        "cache hit rate",
+        ratio(cur_hits, cur_hits + cur_misses),
+        ratio(base_hits, base_hits + base_misses),
+    );
+    gate.check_ratio(
+        "pruned per request",
+        ratio(
+            counter(current, "entries_pruned")?,
+            counter(current, "requests")?,
+        ),
+        ratio(
+            counter(baseline, "entries_pruned")?,
+            counter(baseline, "requests")?,
+        ),
+    );
+
+    // Bit-identity of the ranked answers, when the baseline records it.
+    match (
+        field(baseline, "results_digest"),
+        field(current, "results_digest"),
+    ) {
+        (Some(Value::Str(base_digest)), Some(Value::Str(cur_digest))) => {
+            let ok = base_digest == cur_digest;
+            println!(
+                "  {:<22} {cur_digest}  baseline {base_digest}  {}",
+                "results digest",
+                if ok { "ok" } else { "FAIL" }
+            );
+            if !ok {
+                gate.failures
+                    .push("ranked results diverged from baseline (digest mismatch)".into());
+            }
+        }
+        (Some(Value::Str(_)), _) => {
+            gate.failures
+                .push("baseline records a results digest but the current run has none".into());
+        }
+        _ => println!(
+            "  {:<22} (baseline has no digest; skipped)",
+            "results digest"
+        ),
+    }
+
+    // Wall times: informational only.
+    for key in ["cold", "warm"] {
+        let cur = field(current, key).and_then(duration_secs);
+        let base = field(baseline, key).and_then(duration_secs);
+        if let (Some(cur), Some(base)) = (cur, base) {
+            println!("  {key:<22} {cur:>8.4}s baseline {base:>8.4}s  (informational)");
+        }
+    }
+
+    if gate.failures.is_empty() {
+        println!("PASS");
+        Ok(true)
+    } else {
+        for f in &gate.failures {
+            println!("FAIL: {f}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current: Option<String> = None;
+    let mut baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => baseline = p.clone(),
+                    None => {
+                        eprintln!("--baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            s if !s.starts_with("--") && current.is_none() => {
+                current = Some(s.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: benchgate CURRENT.json [--baseline PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(current) = current else {
+        eprintln!("usage: benchgate CURRENT.json [--baseline PATH]");
+        return ExitCode::from(2);
+    };
+    match run(&current, &baseline) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("benchgate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|all]...
-//!       [--json PATH] [--threads N] [--smoke]
+//!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
+//!       [--cache-capacity N]
 //! ```
 //!
 //! Several section names may be given at once (`repro serve topk --json out`)
@@ -11,17 +12,47 @@
 //! `--threads` caps the worker threads of the `parallel` section
 //! (default: the machine's available parallelism). `--smoke` shrinks the
 //! `serve` and `topk` workloads to CI-sized smoke runs.
+//! `--cache-capacity` overrides the warm serving system's atomic-cache
+//! capacity (`0` disables caching — the bench gate's synthetic
+//! regression). `--metrics` emits the shared metrics registry (`engine.*`,
+//! `cache.*`, `serve.*`) as JSON to stdout, or to a file when a path is
+//! given.
+//!
+//! `-` as the `--json` or `--metrics` path means stdout. Whenever stdout
+//! carries JSON, all human-readable output routes to stderr, so
+//! `repro all --json - | jq .` is valid; with both on stdout the metrics
+//! are embedded in the results document under `"metrics"` to keep it a
+//! single JSON value.
 
 use simvid_bench::{
     bench_meta, format_engine_mode_table, format_list_table, format_perf_table,
     format_pruned_table, format_serve_table, measure_complex1, measure_complex2,
-    measure_conjunction, measure_engine_modes, measure_pruned_topk, measure_serve, measure_until,
-    EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    measure_conjunction, measure_engine_modes, measure_pruned_topk, measure_serve_with_registry,
+    measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
+use simvid_obs::Registry;
 use simvid_picture::PictureSystem;
 use simvid_workload::casablanca;
 use simvid_workload::serve::ServeConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Whether stdout is reserved for machine-readable JSON (`--json -` or
+/// `--metrics` without a file path).
+static STDOUT_RESERVED: AtomicBool = AtomicBool::new(false);
+
+/// Prints human-readable progress: to stdout normally, to stderr when
+/// stdout is reserved for JSON.
+macro_rules! progress {
+    ($($t:tt)*) => {{
+        if STDOUT_RESERVED.load(Ordering::Relaxed) {
+            eprintln!($($t)*);
+        } else {
+            println!($($t)*);
+        }
+    }};
+}
 
 fn casablanca_lists() -> (SimilarityList, SimilarityList) {
     let tree = casablanca::video();
@@ -50,29 +81,29 @@ fn figure2() {
     )
     .unwrap();
     let out = list::until(&l1, &l2, THETA);
-    println!("Figure 2: the `until` list algorithm on the paper's example\n");
-    println!(
+    progress!("Figure 2: the `until` list algorithm on the paper's example\n");
+    progress!(
         "{}",
         format_list_table("Input L1 (g, after thresholding):", &l1.to_tuples())
     );
-    println!("{}", format_list_table("Input L2 (h):", &l2.to_tuples()));
-    println!(
+    progress!("{}", format_list_table("Input L2 (h):", &l2.to_tuples()));
+    progress!(
         "{}",
         format_list_table("Output (g until h):", &out.to_tuples())
     );
-    println!("Paper's output: [10 24](10 20) [25 60](15 20) [61 110](12 20) [125 175](10 20)\n");
+    progress!("Paper's output: [10 24](10 20) [25 60](15 20) [61 110](12 20) [125 175](10 20)\n");
 }
 
 fn table1() {
     let (mt, _) = casablanca_lists();
-    println!(
+    progress!(
         "{}",
         format_list_table(
             "Table 1. Moving-Train (from crafted meta-data)",
             &mt.to_tuples()
         )
     );
-    println!(
+    progress!(
         "{}",
         format_list_table("Paper's Table 1:", casablanca::TABLE1_MOVING_TRAIN)
     );
@@ -80,14 +111,14 @@ fn table1() {
 
 fn table2() {
     let (_, mw) = casablanca_lists();
-    println!(
+    progress!(
         "{}",
         format_list_table(
             "Table 2. Man-Woman (from crafted meta-data)",
             &mw.to_tuples()
         )
     );
-    println!(
+    progress!(
         "{}",
         format_list_table("Paper's Table 2:", casablanca::TABLE2_MAN_WOMAN)
     );
@@ -96,14 +127,14 @@ fn table2() {
 fn table3() {
     let (mt, _) = casablanca_lists();
     let ev = list::eventually(&mt);
-    println!(
+    progress!(
         "{}",
         format_list_table(
             "Table 3. Result of eventually Moving-Train",
             &ev.to_tuples()
         )
     );
-    println!(
+    progress!(
         "{}",
         format_list_table("Paper's Table 3:", casablanca::TABLE3_EVENTUALLY)
     );
@@ -121,14 +152,14 @@ fn table4() {
         .into_iter()
         .map(|(iv, sim)| (iv.beg, iv.end, sim.act))
         .collect();
-    println!(
+    progress!(
         "{}",
         format_list_table(
             "Table 4. Final result of Query 1 (Man-Woman and eventually Moving-Train), ranked",
             &ranked
         )
     );
-    println!(
+    progress!(
         "{}",
         format_list_table("Paper's Table 4:", casablanca::TABLE4_QUERY1_RANKED)
     );
@@ -140,7 +171,7 @@ fn ablation() {
     // the Casablanca data under three conjunction semantics.
     let tree = casablanca::video();
     let sys = PictureSystem::new(&tree, casablanca::weights());
-    println!("Ablation: Query 1 rankings under alternative conjunction semantics\n");
+    progress!("Ablation: Query 1 rankings under alternative conjunction semantics\n");
     for sem in [
         ConjunctionSemantics::Sum,
         ConjunctionSemantics::WeakestLink,
@@ -161,12 +192,12 @@ fn ablation() {
             .into_iter()
             .map(|(iv, sim)| (iv.beg, iv.end, sim.act))
             .collect();
-        println!(
+        progress!(
             "{}",
             format_list_table(&format!("{sem:?} semantics:"), &ranked)
         );
     }
-    println!(
+    progress!(
         "Sum (the paper's) rewards strong one-sided matches; weakest-link and\n\
          product discard segments that miss a conjunct entirely.\n"
     );
@@ -178,7 +209,7 @@ fn perf(
     measure: impl Fn(u32, u64) -> PerfRow,
 ) -> Vec<PerfRow> {
     let rows: Vec<PerfRow> = PAPER_SIZES.iter().map(|&n| measure(n, 42)).collect();
-    println!("{}", format_perf_table(title, &rows, paper));
+    progress!("{}", format_perf_table(title, &rows, paper));
     rows
 }
 
@@ -187,7 +218,7 @@ fn parallel_modes(threads: usize) -> Vec<EngineModeRow> {
         .iter()
         .map(|&n| measure_engine_modes(n, 42, threads))
         .collect();
-    println!(
+    progress!(
         "{}",
         format_engine_mode_table(
             "Engine execution modes on the Table 5-6 workloads \
@@ -198,8 +229,12 @@ fn parallel_modes(threads: usize) -> Vec<EngineModeRow> {
     rows
 }
 
-fn serve_bench(smoke: bool) -> Vec<simvid_bench::ServeRow> {
-    let cfg = if smoke {
+fn serve_bench(
+    smoke: bool,
+    cache_capacity: Option<usize>,
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ServeRow> {
+    let mut cfg = if smoke {
         ServeConfig {
             shots: 40,
             requests: 30,
@@ -208,14 +243,21 @@ fn serve_bench(smoke: bool) -> Vec<simvid_bench::ServeRow> {
     } else {
         ServeConfig::default()
     };
-    let rows = vec![measure_serve(&cfg)];
-    println!(
+    if let Some(capacity) = cache_capacity {
+        cfg.cache_capacity = capacity;
+    }
+    let rows = vec![measure_serve_with_registry(&cfg, registry)];
+    progress!(
         "{}",
         format_serve_table(
             "Serving workload: repeated top-k traffic, cold (no cache) vs \
              warm (cross-query atomic cache)",
             &rows
         )
+    );
+    progress!(
+        "Serve metrics (warm steady-state, priming included):\n{}",
+        registry.snapshot().render_text()
     );
     rows
 }
@@ -232,7 +274,7 @@ fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
             rows.push(measure_pruned_topk(n, 42, k));
         }
     }
-    println!(
+    progress!(
         "{}",
         format_pruned_table(
             "Upper-bound-pruned top-k (P1 and next P2 and (P1 until P3)) \
@@ -243,13 +285,51 @@ fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
     rows
 }
 
+const SECTIONS: &[&str] = &[
+    "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "complex", "ablation",
+    "parallel", "serve", "topk", "all",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sections: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut metrics_target: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut cache_capacity: Option<usize> = None;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" | "--threads" => i += 2,
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--threads" => {
+                threads = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--cache-capacity" => {
+                cache_capacity = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            // `--metrics` takes an optional path: a following token that
+            // is neither a flag nor a section name. Bare `--metrics`
+            // means stdout.
+            "--metrics" => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") && !SECTIONS.contains(&v.as_str()) => {
+                    metrics_target = Some(v.clone());
+                    i += 2;
+                }
+                _ => {
+                    metrics_target = Some("-".into());
+                    i += 1;
+                }
+            },
             s if !s.starts_with("--") => {
                 sections.push(s.to_string());
                 i += 1;
@@ -260,19 +340,17 @@ fn main() {
     if sections.is_empty() {
         sections.push("all".into());
     }
+    let json_to_stdout = json_path.as_deref() == Some("-");
+    let metrics_to_stdout = metrics_target.as_deref() == Some("-");
+    if json_to_stdout || metrics_to_stdout {
+        STDOUT_RESERVED.store(true, Ordering::Relaxed);
+    }
     let wants = |s: &str| sections.iter().any(|w| w == s || w == "all");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    let threads =
+        threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    // The shared registry: sections that serve live traffic publish their
+    // engine/cache/serve metrics here.
+    let registry = Arc::new(Registry::new());
     let mut json = serde_json::Map::new();
 
     if wants("figure2") {
@@ -324,17 +402,43 @@ fn main() {
         json.insert("parallel".into(), serde_json::to_value(&rows).unwrap());
     }
     if wants("serve") {
-        let rows = serve_bench(smoke);
+        let rows = serve_bench(smoke, cache_capacity, &registry);
         json.insert("serve".into(), serde_json::to_value(&rows).unwrap());
     }
     if wants("topk") {
         let rows = topk_bench(smoke);
         json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
     }
+
+    let metrics_json = || -> serde_json::Value {
+        serde_json::from_str(&registry.snapshot().to_json())
+            .expect("registry snapshot renders valid JSON")
+    };
+    // Both documents on stdout would not parse as one JSON value; embed
+    // the metrics into the results instead.
+    let embed_metrics = json_to_stdout && metrics_to_stdout;
     if let Some(path) = json_path {
         json.insert("meta".into(), bench_meta(threads));
-        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap())
-            .expect("write json results");
-        println!("wrote machine-readable results to {path}");
+        if embed_metrics {
+            json.insert("metrics".into(), metrics_json());
+        }
+        let text = serde_json::to_string_pretty(&json).unwrap();
+        if json_to_stdout {
+            println!("{text}");
+        } else {
+            std::fs::write(&path, text).expect("write json results");
+            progress!("wrote machine-readable results to {path}");
+        }
+    }
+    if let Some(target) = metrics_target {
+        if !embed_metrics {
+            let text = serde_json::to_string_pretty(&metrics_json()).unwrap();
+            if metrics_to_stdout {
+                println!("{text}");
+            } else {
+                std::fs::write(&target, text).expect("write metrics json");
+                progress!("wrote metrics to {target}");
+            }
+        }
     }
 }

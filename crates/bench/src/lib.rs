@@ -8,10 +8,12 @@ use simvid_core::{
 };
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
 use simvid_model::{VideoBuilder, VideoTree};
+use simvid_obs::Registry;
 use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
 use simvid_workload::randomlists::{generate, ListGenConfig};
 use simvid_workload::serve::{self, ServeConfig};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The `until` threshold used throughout the evaluation.
@@ -414,6 +416,11 @@ pub struct ServeRow {
     /// Entries pruned by the upper-bound top-`k` paths, summed over the
     /// warm schedule.
     pub entries_pruned: usize,
+    /// FNV-1a digest over the bit patterns of every ranked answer. The
+    /// engine guarantees bit-identical output across execution modes, so
+    /// this is machine-stable — the bench gate compares it against the
+    /// checked-in baseline to catch silent result drift.
+    pub results_digest: String,
 }
 
 impl ServeRow {
@@ -424,35 +431,64 @@ impl ServeRow {
     }
 }
 
+/// FNV-1a (64-bit) over the bit patterns of every ranked segment: request
+/// count, then per request its length and each segment's position and
+/// similarity bits. Equal outputs hash equally on every platform.
+#[must_use]
+pub fn results_digest(results: &[Vec<RankedSegment>]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(results.len() as u64);
+    for request in results {
+        eat(request.len() as u64);
+        for seg in request {
+            eat(u64::from(seg.pos));
+            eat(seg.sim.act.to_bits());
+            eat(seg.sim.max.to_bits());
+        }
+    }
+    format!("{h:016x}")
+}
+
 /// Runs the serving workload cold and warm, asserting request-for-request
-/// identical results, and reports both wall times.
+/// identical results, and reports both wall times. Metrics from the warm
+/// (steady-state) system land in a private registry; use
+/// [`measure_serve_with_registry`] to capture them.
 #[must_use]
 pub fn measure_serve(cfg: &ServeConfig) -> ServeRow {
+    measure_serve_with_registry(cfg, &Arc::new(Registry::new()))
+}
+
+/// [`measure_serve`], publishing the warm run's metrics — `engine.*`
+/// counters and spans, `cache.*` lookup/residency metrics, and the
+/// `serve.*` request-latency histogram — into the given registry. The
+/// cold run records into its own private registry so the shared snapshot
+/// describes only steady-state serving.
+#[must_use]
+pub fn measure_serve_with_registry(cfg: &ServeConfig, registry: &Arc<Registry>) -> ServeRow {
     let w = serve::build(cfg);
     let depth = w.depth();
-    let run = |engine: &Engine<PictureSystem>| -> (Vec<Vec<RankedSegment>>, Duration, usize) {
-        let mut pruned = 0;
-        let (results, elapsed) = time(|| {
-            w.schedule
-                .iter()
-                .map(|&q| {
-                    let out = engine
-                        .top_k_closed(&w.queries[q], depth, w.k)
-                        .expect("serve request evaluates");
-                    pruned += engine.stats().entries_pruned;
-                    out
-                })
-                .collect()
-        });
-        (results, elapsed, pruned)
-    };
     let cold_sys =
         PictureSystem::with_cache(&w.tree, ScoringConfig::default(), CacheConfig::disabled());
     let cold_engine = Engine::new(&cold_sys, &w.tree);
-    let (cold_out, cold, _) = run(&cold_engine);
-    let warm_sys =
-        PictureSystem::with_cache(&w.tree, ScoringConfig::default(), CacheConfig::default());
-    let warm_engine = Engine::new(&warm_sys, &w.tree);
+    let cold_run = serve::run_schedule(&w, &cold_engine);
+    let warm_sys = PictureSystem::with_registry(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    );
+    let warm_engine = Engine::with_registry(
+        &warm_sys,
+        &w.tree,
+        EngineConfig::default(),
+        registry.clone(),
+    );
     // Prime: one pass over the pool fills the cache, as a steady-state
     // server would be after its first few requests.
     for q in &w.queries {
@@ -460,9 +496,9 @@ pub fn measure_serve(cfg: &ServeConfig) -> ServeRow {
             .top_k_closed(q, depth, w.k)
             .expect("warm-up request evaluates");
     }
-    let (warm_out, warm, entries_pruned) = run(&warm_engine);
+    let warm_run = serve::run_schedule(&w, &warm_engine);
     assert_eq!(
-        cold_out, warm_out,
+        cold_run.results, warm_run.results,
         "cached retrieval must be bit-identical to uncached"
     );
     let cache = warm_sys.cache_stats();
@@ -471,11 +507,12 @@ pub fn measure_serve(cfg: &ServeConfig) -> ServeRow {
         requests: w.schedule.len(),
         distinct_queries: w.distinct_queries(),
         k: w.k,
-        cold,
-        warm,
+        cold: cold_run.elapsed,
+        warm: warm_run.elapsed,
         cache_hits: cache.hits,
         cache_misses: cache.misses,
-        entries_pruned,
+        entries_pruned: warm_run.entries_pruned,
+        results_digest: results_digest(&warm_run.results),
     }
 }
 
@@ -640,10 +677,7 @@ pub fn bench_meta(threads: usize) -> serde_json::Value {
     s.insert("requests".into(), val(&serve.requests));
     s.insert("zipf_exponent".into(), val(&serve.zipf_exponent));
     s.insert("k".into(), val(&serve.k));
-    s.insert(
-        "cache_capacity".into(),
-        val(&CacheConfig::default().capacity),
-    );
+    s.insert("cache_capacity".into(), val(&serve.cache_capacity));
     m.insert("serve_config".into(), val(&s));
     val(&m)
 }

@@ -17,7 +17,9 @@ use simvid_htl::{
     atomic_units, classify, is_pure, AtomicUnit, AttrFn, Formula, FormulaClass, LevelSpec,
 };
 use simvid_model::VideoTree;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use simvid_obs::{Counter, Histogram, Registry, Subscriber, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The proper sequence a formula is being evaluated on: the segments at
 /// depth `depth` with 0-based positions `lo..hi` within the level sequence.
@@ -162,6 +164,12 @@ impl Default for EngineConfig {
 }
 
 /// Work counters for complexity validation.
+///
+/// Since the observability refactor this is a thin *per-evaluation view*
+/// over the engine's cumulative [`Registry`] counters (namespace
+/// `engine.*`): each top-level evaluation captures a baseline, and
+/// [`Engine::stats`] reports the delta. Use [`Engine::registry`] for the
+/// cumulative counters and the per-operator span histograms.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EvalStats {
     /// Atomic tables fetched from the provider.
@@ -184,41 +192,136 @@ pub struct EvalStats {
     pub atomic_cache: CacheStats,
 }
 
-/// Internal counters: atomics so parallel workers can report through a
-/// shared `&Engine` without locking.
-#[derive(Debug, Default)]
-struct StatCounters {
-    atomic_fetches: AtomicUsize,
-    joins: AtomicUsize,
-    entries_processed: AtomicUsize,
-    level_descents: AtomicUsize,
-    memo_hits: AtomicUsize,
-    memo_misses: AtomicUsize,
-    entries_pruned: AtomicUsize,
+/// The engine's metric handles in its [`Registry`] (namespace `engine.*`),
+/// plus a per-engine *baseline* of counter readings captured at the start
+/// of each top-level evaluation.
+///
+/// Registry counters are **cumulative** over the registry's lifetime —
+/// that is what cross-query observability and the CI regression gate
+/// consume. The legacy [`EvalStats`] view is per-evaluation, so it is
+/// reconstructed as the delta `current − baseline`: counters only grow,
+/// and parallel workers report through the same shared atomics, exactly
+/// as the bespoke counter struct this replaces did.
+#[derive(Debug)]
+struct EngineMetrics {
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    atomic_fetches: Arc<Counter>,
+    joins: Arc<Counter>,
+    entries_processed: Arc<Counter>,
+    level_descents: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    prune_examined: Arc<Counter>,
+    entries_pruned: Arc<Counter>,
+    threshold_updates: Arc<Counter>,
+    baseline: Baseline,
 }
 
-impl StatCounters {
-    fn snapshot(&self) -> EvalStats {
-        EvalStats {
-            atomic_fetches: self.atomic_fetches.load(Ordering::Relaxed),
-            joins: self.joins.load(Ordering::Relaxed),
-            entries_processed: self.entries_processed.load(Ordering::Relaxed),
-            level_descents: self.level_descents.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-            memo_misses: self.memo_misses.load(Ordering::Relaxed),
-            entries_pruned: self.entries_pruned.load(Ordering::Relaxed),
-            atomic_cache: CacheStats::default(),
+/// Counter readings at the last [`EngineMetrics::reset`].
+#[derive(Debug, Default)]
+struct Baseline {
+    atomic_fetches: AtomicU64,
+    joins: AtomicU64,
+    entries_processed: AtomicU64,
+    level_descents: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    entries_pruned: AtomicU64,
+}
+
+/// The engine's span subscriber: the span-name set is small and fixed, so
+/// durations fold into pre-registered histograms without a registry
+/// lookup on the hot path.
+struct EngineSpans {
+    atomic_fetch: Arc<Histogram>,
+    join: Arc<Histogram>,
+    until_sweep: Arc<Histogram>,
+    eventually_sweep: Arc<Histogram>,
+    eval: Arc<Histogram>,
+    registry: Arc<Registry>,
+}
+
+impl Subscriber for EngineSpans {
+    fn on_exit(&self, name: &'static str, _depth: usize, elapsed: std::time::Duration) {
+        let h = match name {
+            "atomic_fetch" => &self.atomic_fetch,
+            "join" => &self.join,
+            "until_sweep" => &self.until_sweep,
+            "eventually_sweep" => &self.eventually_sweep,
+            "eval" => &self.eval,
+            other => {
+                self.registry
+                    .histogram(&format!("engine.span.{other}"))
+                    .record_duration(elapsed);
+                return;
+            }
+        };
+        h.record_duration(elapsed);
+    }
+}
+
+impl EngineMetrics {
+    fn new(registry: Arc<Registry>) -> EngineMetrics {
+        let spans = EngineSpans {
+            atomic_fetch: registry.histogram("engine.span.atomic_fetch"),
+            join: registry.histogram("engine.span.join"),
+            until_sweep: registry.histogram("engine.span.until_sweep"),
+            eventually_sweep: registry.histogram("engine.span.eventually_sweep"),
+            eval: registry.histogram("engine.span.eval"),
+            registry: registry.clone(),
+        };
+        EngineMetrics {
+            tracer: Tracer::new(Arc::new(spans)),
+            atomic_fetches: registry.counter("engine.atomic_fetches"),
+            joins: registry.counter("engine.joins"),
+            entries_processed: registry.counter("engine.entries_processed"),
+            level_descents: registry.counter("engine.level_descents"),
+            memo_hits: registry.counter("engine.memo.hits"),
+            memo_misses: registry.counter("engine.memo.misses"),
+            prune_examined: registry.counter("engine.prune.entries_examined"),
+            entries_pruned: registry.counter("engine.prune.entries_pruned"),
+            threshold_updates: registry.counter("engine.prune.threshold_updates"),
+            baseline: Baseline::default(),
+            registry,
         }
     }
 
+    /// Marks the start of a top-level evaluation: subsequent
+    /// [`EngineMetrics::snapshot`]s report work done since this point.
     fn reset(&self) {
-        self.atomic_fetches.store(0, Ordering::Relaxed);
-        self.joins.store(0, Ordering::Relaxed);
-        self.entries_processed.store(0, Ordering::Relaxed);
-        self.level_descents.store(0, Ordering::Relaxed);
-        self.memo_hits.store(0, Ordering::Relaxed);
-        self.memo_misses.store(0, Ordering::Relaxed);
-        self.entries_pruned.store(0, Ordering::Relaxed);
+        let b = &self.baseline;
+        b.atomic_fetches
+            .store(self.atomic_fetches.get(), Ordering::Relaxed);
+        b.joins.store(self.joins.get(), Ordering::Relaxed);
+        b.entries_processed
+            .store(self.entries_processed.get(), Ordering::Relaxed);
+        b.level_descents
+            .store(self.level_descents.get(), Ordering::Relaxed);
+        b.memo_hits.store(self.memo_hits.get(), Ordering::Relaxed);
+        b.memo_misses
+            .store(self.memo_misses.get(), Ordering::Relaxed);
+        b.entries_pruned
+            .store(self.entries_pruned.get(), Ordering::Relaxed);
+    }
+
+    /// The per-evaluation [`EvalStats`] view: registry counters minus the
+    /// baseline captured at the last reset.
+    fn snapshot(&self) -> EvalStats {
+        let b = &self.baseline;
+        let delta = |c: &Counter, base: &AtomicU64| {
+            (c.get().saturating_sub(base.load(Ordering::Relaxed))) as usize
+        };
+        EvalStats {
+            atomic_fetches: delta(&self.atomic_fetches, &b.atomic_fetches),
+            joins: delta(&self.joins, &b.joins),
+            entries_processed: delta(&self.entries_processed, &b.entries_processed),
+            level_descents: delta(&self.level_descents, &b.level_descents),
+            memo_hits: delta(&self.memo_hits, &b.memo_hits),
+            memo_misses: delta(&self.memo_misses, &b.memo_misses),
+            entries_pruned: delta(&self.entries_pruned, &b.entries_pruned),
+            atomic_cache: CacheStats::default(),
+        }
     }
 }
 
@@ -227,7 +330,7 @@ pub struct Engine<'a, P: AtomicProvider> {
     provider: &'a P,
     tree: &'a VideoTree,
     config: EngineConfig,
-    stats: StatCounters,
+    metrics: EngineMetrics,
     memo: MemoCache,
 }
 
@@ -237,21 +340,43 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         Engine::with_config(provider, tree, EngineConfig::default())
     }
 
-    /// Creates an engine with an explicit configuration.
+    /// Creates an engine with an explicit configuration and a private
+    /// metrics registry (see [`Engine::with_registry`] to share one).
     pub fn with_config(provider: &'a P, tree: &'a VideoTree, config: EngineConfig) -> Self {
+        Engine::with_registry(provider, tree, config, Arc::new(Registry::new()))
+    }
+
+    /// Creates an engine reporting its `engine.*` metrics (work counters
+    /// and per-operator span histograms) into a shared registry — e.g.
+    /// the process-wide registry `repro --metrics` emits.
+    pub fn with_registry(
+        provider: &'a P,
+        tree: &'a VideoTree,
+        config: EngineConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         Engine {
             provider,
             tree,
             config,
-            stats: StatCounters::default(),
+            metrics: EngineMetrics::new(registry),
             memo: MemoCache::new(),
         }
     }
 
+    /// The metrics registry this engine reports into. Counters there are
+    /// cumulative over the engine's lifetime (unlike the per-evaluation
+    /// [`EvalStats`] view) and span histograms carry per-operator
+    /// latencies; snapshot it for machine-readable observability.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
     /// Work counters accumulated since the last top-level evaluation call,
     /// plus the provider's (lifetime-cumulative) atomic-cache counters.
+    /// A thin per-evaluation view over the cumulative registry counters.
     pub fn stats(&self) -> EvalStats {
-        let mut stats = self.stats.snapshot();
+        let mut stats = self.metrics.snapshot();
         stats.atomic_cache = self.provider.cache_stats();
         stats
     }
@@ -272,9 +397,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     .into(),
             ));
         }
-        self.stats.reset();
+        self.metrics.reset();
         self.memo.clear();
         let n = self.tree.level_sequence(depth).len() as u32;
+        let _eval_span = self.metrics.tracer.span("eval");
         self.eval(
             f,
             SeqContext {
@@ -301,9 +427,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         depth: u8,
     ) -> Result<SimilarityTable, EngineError> {
-        self.stats.reset();
+        self.metrics.reset();
         self.memo.clear();
         let n = self.tree.level_sequence(depth).len() as u32;
+        let _eval_span = self.metrics.tracer.span("eval");
         self.eval(
             f,
             SeqContext {
@@ -372,7 +499,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     .into(),
             ));
         }
-        self.stats.reset();
+        self.metrics.reset();
         self.memo.clear();
         if k == 0 {
             return Ok(Vec::new());
@@ -383,6 +510,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             lo: 0,
             hi: n,
         };
+        let _eval_span = self.metrics.tracer.span("eval");
         let out = self.top_k_list(f, ctx, k)?;
         Ok(top_k(&out, k))
     }
@@ -406,10 +534,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             }
             Formula::Eventually(g) => {
                 let inner = self.closed_list(g, ctx)?;
+                let _sweep = self.metrics.tracer.span("eventually_sweep");
+                self.metrics.prune_examined.add(inner.len() as u64);
                 let (out, skipped) = prune::eventually_top_k(&inner, k);
-                self.stats
-                    .entries_pruned
-                    .fetch_add(skipped, Ordering::Relaxed);
+                self.metrics.entries_pruned.add(skipped as u64);
                 Ok(out)
             }
             Formula::Until(g, h) => {
@@ -417,10 +545,12 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 self.note_join(&tg, &th);
                 let lg = closed_table_list(tg)?;
                 let lh = closed_table_list(th)?;
+                let _sweep = self.metrics.tracer.span("until_sweep");
+                self.metrics
+                    .prune_examined
+                    .add((lg.len() + lh.len()) as u64);
                 let (out, skipped) = prune::until_top_k(&lg, &lh, self.config.until_threshold, k);
-                self.stats
-                    .entries_pruned
-                    .fetch_add(skipped, Ordering::Relaxed);
+                self.metrics.entries_pruned.add(skipped as u64);
                 Ok(out)
             }
             _ => self.closed_list(f, ctx),
@@ -465,13 +595,14 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         for (step, &i) in order.iter().enumerate() {
             let li = self.closed_list(conjuncts[i], ctx)?;
             remaining -= maxes[i];
+            self.metrics.prune_examined.add(li.len() as u64);
             let li = match &alive {
                 None => li,
                 Some(spans) => {
                     let restricted = li.restrict_to(spans);
-                    self.stats
+                    self.metrics
                         .entries_pruned
-                        .fetch_add(li.len().saturating_sub(restricted.len()), Ordering::Relaxed);
+                        .add(li.len().saturating_sub(restricted.len()) as u64);
                     restricted
                 }
             };
@@ -505,10 +636,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                             .map(|e| e.iv)
                             .collect();
                         let restricted = sum.restrict_to(&spans);
-                        self.stats.entries_pruned.fetch_add(
-                            sum.len().saturating_sub(restricted.len()),
-                            Ordering::Relaxed,
-                        );
+                        self.metrics
+                            .entries_pruned
+                            .add(sum.len().saturating_sub(restricted.len()) as u64);
+                        self.metrics.threshold_updates.inc();
                         alive = Some(spans);
                         restricted
                     } else {
@@ -603,10 +734,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         }
         let key = MemoCache::key(f, ctx);
         if let Some(hit) = self.memo.lookup(&key) {
-            self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.memo_hits.inc();
             return Ok(hit);
         }
-        self.stats.memo_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.memo_misses.inc();
         let out = self.eval_uncached(f, ctx)?;
         self.memo.store(key, out.clone());
         Ok(out)
@@ -647,7 +778,8 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
 
     fn eval_uncached(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
         if is_pure(f) {
-            self.stats.atomic_fetches.fetch_add(1, Ordering::Relaxed);
+            self.metrics.atomic_fetches.inc();
+            let _fetch = self.metrics.tracer.span("atomic_fetch");
             let unit = unit_of(f);
             return Ok(self.provider.atomic_table(&unit, ctx).ensure_closed_row());
         }
@@ -656,12 +788,14 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 let (tg, th) = self.eval_pair(g, h, ctx)?;
                 self.note_join(&tg, &th);
                 let sem = self.config.conjunction;
+                let _join = self.metrics.tracer.span("join");
                 Ok(tg.join(&th, tg.max + th.max, move |a, b| list::and_with(a, b, sem)))
             }
             Formula::Until(g, h) => {
                 let (tg, th) = self.eval_pair(g, h, ctx)?;
                 self.note_join(&tg, &th);
                 let theta = self.config.until_threshold;
+                let _sweep = self.metrics.tracer.span("until_sweep");
                 Ok(tg.join(&th, th.max, |a, b| list::until(a, b, theta)))
             }
             Formula::Next(g) => {
@@ -672,6 +806,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             Formula::Eventually(g) => {
                 let t = self.eval(g, ctx)?;
                 let max = t.max;
+                let _sweep = self.metrics.tracer.span("eventually_sweep");
                 Ok(t.map_lists(max, list::eventually))
             }
             Formula::Exists(var, g) => Ok(self.eval(g, ctx)?.project_out_obj(&var.0)),
@@ -793,7 +928,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         let p = self.config.parallel;
         let workers = (spans.len() / p.min_seqs_per_thread.max(1)).min(p.max_threads);
         let eval_span = |&(_, lo, hi): &(u32, u32, u32)| {
-            self.stats.level_descents.fetch_add(1, Ordering::Relaxed);
+            self.metrics.level_descents.inc();
             self.eval(
                 g,
                 SeqContext {
@@ -826,21 +961,19 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
     }
 
     fn note_join(&self, a: &SimilarityTable, b: &SimilarityTable) {
-        self.stats.joins.fetch_add(1, Ordering::Relaxed);
+        self.metrics.joins.inc();
         let entries = a.rows.iter().map(|r| r.list.len()).sum::<usize>()
             + b.rows.iter().map(|r| r.list.len()).sum::<usize>();
-        self.stats
-            .entries_processed
-            .fetch_add(entries, Ordering::Relaxed);
+        self.metrics.entries_processed.add(entries as u64);
     }
 
     /// Like [`Engine::note_join`], for the pruned paths that merge bare
     /// lists instead of tables.
     fn note_list_join(&self, a: &SimilarityList, b: &SimilarityList) {
-        self.stats.joins.fetch_add(1, Ordering::Relaxed);
-        self.stats
+        self.metrics.joins.inc();
+        self.metrics
             .entries_processed
-            .fetch_add(a.len() + b.len(), Ordering::Relaxed);
+            .add((a.len() + b.len()) as u64);
     }
 }
 

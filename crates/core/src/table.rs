@@ -257,6 +257,32 @@ impl SimilarityTable {
         }
         list::max_merge_many(&lists)
     }
+
+    /// A rough estimate of the table's heap footprint in bytes (rows,
+    /// their binding vectors, and list entries). Used by the picture
+    /// system's atomic cache to account for resident bytes; it need not be
+    /// exact, only monotone in the table's actual size.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let cols: usize = self
+            .obj_cols
+            .iter()
+            .chain(self.attr_cols.iter())
+            .map(|c| size_of::<String>() + c.len())
+            .sum();
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                size_of::<Row>()
+                    + r.objs.len() * size_of::<simvid_model::ObjectId>()
+                    + r.ranges.len() * size_of::<crate::AttrRange>()
+                    + r.list.len() * size_of::<crate::list::Entry>()
+            })
+            .sum();
+        size_of::<SimilarityTable>() + cols + rows
+    }
 }
 
 #[cfg(test)]

@@ -21,9 +21,9 @@
 
 use crate::query::{AtomicQuery, QueryError};
 use simvid_core::{CacheStats, SeqContext, SimilarityTable};
+use simvid_obs::{Counter, Gauge, Registry, RegistrySubscriber, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Configuration of the atomic-result cache.
@@ -104,15 +104,22 @@ impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
         Some(slot.0.clone())
     }
 
-    /// Inserts a value, returning how many entries were evicted to stay
-    /// within capacity.
-    fn insert(&mut self, key: K, value: V) -> usize {
+    /// Inserts a value, returning the values displaced by the insert: the
+    /// old value when the key was already present, plus any entries
+    /// evicted to stay within capacity. Returning the values themselves
+    /// (not a count) lets the caller release whatever it accounts per
+    /// entry — resident bytes, in the table cache's case.
+    fn insert(&mut self, key: K, value: V) -> Displaced<V> {
+        let mut out = Displaced {
+            replaced: None,
+            evicted: Vec::new(),
+        };
         if self.capacity == 0 {
-            return 0;
+            out.replaced = Some(value);
+            return out;
         }
         let stamp = self.touch(&key);
-        self.map.insert(key, (value, stamp));
-        let mut evicted = 0;
+        out.replaced = self.map.insert(key, (value, stamp)).map(|(v, _)| v);
         while self.map.len() > self.capacity {
             let Some((stamp, k)) = self.queue.pop_front() else {
                 break;
@@ -120,12 +127,21 @@ impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
             // A stale stamp means the entry was touched again later; only
             // the slot matching its live stamp evicts it.
             if self.map.get(&k).is_some_and(|(_, live)| *live == stamp) {
-                self.map.remove(&k);
-                evicted += 1;
+                let (v, _) = self.map.remove(&k).expect("checked above");
+                out.evicted.push(v);
             }
         }
-        evicted
+        out
     }
+}
+
+/// What an [`Lru::insert`] pushed out of the map.
+struct Displaced<V> {
+    /// The previous value under the inserted key, if any (also set when
+    /// capacity is zero and the insert itself was refused).
+    replaced: Option<V>,
+    /// Entries dropped to get back under capacity, oldest first.
+    evicted: Vec<V>,
 }
 
 /// Key of a scored atomic table: canonical printed formula + the exact
@@ -134,17 +150,26 @@ type TableKey = (String, u8, u32, u32);
 
 /// The bounded, `Sync` cache shared by every query a
 /// [`crate::PictureSystem`] serves.
+///
+/// All counters live in a [`Registry`] under the `cache.*` namespace:
+/// `cache.hits` / `cache.misses` / `cache.evictions` count table lookups,
+/// the `cache.tables_resident` and `cache.bytes_resident` gauges track
+/// what is currently held, and the `cache.span.compile` /
+/// `cache.span.score` histograms time the work a miss triggers.
 pub(crate) struct AtomicCache {
     config: CacheConfig,
     tables: Mutex<Lru<TableKey, Arc<SimilarityTable>>>,
     compiled: Mutex<Lru<String, Arc<Result<AtomicQuery, QueryError>>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    evictions: AtomicUsize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    tables_resident: Arc<Gauge>,
+    bytes_resident: Arc<Gauge>,
+    tracer: Tracer,
 }
 
 impl AtomicCache {
-    pub(crate) fn new(config: CacheConfig) -> AtomicCache {
+    pub(crate) fn new(config: CacheConfig, registry: &Arc<Registry>) -> AtomicCache {
         AtomicCache {
             config,
             tables: Mutex::new(Lru::new(config.capacity)),
@@ -152,9 +177,12 @@ impl AtomicCache {
             // of slots per table slot keeps popular formulas compiled even
             // when their windows churn the table cache.
             compiled: Mutex::new(Lru::new(config.capacity)),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            evictions: AtomicUsize::new(0),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            evictions: registry.counter("cache.evictions"),
+            tables_resident: registry.gauge("cache.tables_resident"),
+            bytes_resident: registry.gauge("cache.bytes_resident"),
+            tracer: RegistrySubscriber::tracer(registry.clone(), "cache"),
         }
     }
 
@@ -171,24 +199,34 @@ impl AtomicCache {
         compute: impl FnOnce() -> SimilarityTable,
     ) -> Arc<SimilarityTable> {
         if !self.config.is_enabled() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
+            let _score = self.tracer.span("score");
             return Arc::new(compute());
         }
         let key: TableKey = (printed.to_owned(), ctx.depth, ctx.lo, ctx.hi);
         if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         // Compute outside the lock: scoring is the expensive part, and
         // recomputing on a rare race is cheaper than serialising scorers.
-        let table = Arc::new(compute());
-        let evicted = self
+        let table = {
+            let _score = self.tracer.span("score");
+            Arc::new(compute())
+        };
+        self.tables_resident.add(1);
+        self.bytes_resident.add(table.approx_bytes() as i64);
+        let displaced = self
             .tables
             .lock()
             .expect("atomic cache lock")
             .insert(key, table.clone());
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.evictions.add(displaced.evicted.len() as u64);
+        for dropped in displaced.evicted.iter().chain(displaced.replaced.as_ref()) {
+            self.tables_resident.sub(1);
+            self.bytes_resident.sub(dropped.approx_bytes() as i64);
+        }
         table
     }
 
@@ -201,6 +239,7 @@ impl AtomicCache {
         compile: impl FnOnce() -> Result<AtomicQuery, QueryError>,
     ) -> Arc<Result<AtomicQuery, QueryError>> {
         if !self.config.is_enabled() {
+            let _compile = self.tracer.span("compile");
             return Arc::new(compile());
         }
         if let Some(hit) = self
@@ -211,7 +250,10 @@ impl AtomicCache {
         {
             return hit;
         }
-        let compiled = Arc::new(compile());
+        let compiled = {
+            let _compile = self.tracer.span("compile");
+            Arc::new(compile())
+        };
         self.compiled
             .lock()
             .expect("compiled cache lock")
@@ -219,11 +261,13 @@ impl AtomicCache {
         compiled
     }
 
+    /// The classic hit/miss/eviction triple, as a thin view over the
+    /// registry's `cache.*` counters.
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
+            evictions: self.evictions.get() as usize,
         }
     }
 }
@@ -235,19 +279,31 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut lru: Lru<u32, u32> = Lru::new(2);
-        assert_eq!(lru.insert(1, 10), 0);
-        assert_eq!(lru.insert(2, 20), 0);
+        assert!(lru.insert(1, 10).evicted.is_empty());
+        assert!(lru.insert(2, 20).evicted.is_empty());
         assert_eq!(lru.get(&1), Some(10)); // 1 is now most recent
-        assert_eq!(lru.insert(3, 30), 1); // evicts 2
+        assert_eq!(lru.insert(3, 30).evicted, vec![20]); // evicts 2
         assert_eq!(lru.get(&2), None);
         assert_eq!(lru.get(&1), Some(10));
         assert_eq!(lru.get(&3), Some(30));
     }
 
     #[test]
+    fn lru_reinsert_returns_replaced_value() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        assert_eq!(lru.insert(1, 10).replaced, None);
+        let displaced = lru.insert(1, 11);
+        assert_eq!(displaced.replaced, Some(10));
+        assert!(displaced.evicted.is_empty());
+        assert_eq!(lru.get(&1), Some(11));
+    }
+
+    #[test]
     fn lru_zero_capacity_stores_nothing() {
         let mut lru: Lru<u32, u32> = Lru::new(0);
-        assert_eq!(lru.insert(1, 10), 0);
+        // The refused value comes back as `replaced` so callers can
+        // release whatever they accounted for it.
+        assert_eq!(lru.insert(1, 10).replaced, Some(10));
         assert_eq!(lru.get(&1), None);
     }
 
@@ -271,7 +327,8 @@ mod tests {
 
     #[test]
     fn cache_counts_hits_misses_and_evictions() {
-        let cache = AtomicCache::new(CacheConfig::with_capacity(1));
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(1), &registry);
         let ctx = |lo| SeqContext {
             depth: 1,
             lo,
@@ -285,25 +342,72 @@ mod tests {
         cache.table_with("p()", ctx(5), table); // different window: miss + eviction
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().evictions, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(1));
+        assert_eq!(snap.counter("cache.evictions"), Some(1));
     }
 
     #[test]
-    fn disabled_cache_always_recomputes() {
-        let cache = AtomicCache::new(CacheConfig::disabled());
+    fn resident_gauges_track_insertions_and_evictions() {
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(2), &registry);
+        let ctx = |lo| SeqContext {
+            depth: 1,
+            lo,
+            hi: 10,
+        };
+        let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
+        let per_table = table().approx_bytes() as i64;
+        cache.table_with("p()", ctx(0), table);
+        cache.table_with("p()", ctx(1), table);
+        let tables = registry.gauge("cache.tables_resident");
+        let bytes = registry.gauge("cache.bytes_resident");
+        assert_eq!(tables.get(), 2);
+        assert_eq!(bytes.get(), 2 * per_table);
+        // A third window evicts one table: residency must not grow.
+        cache.table_with("p()", ctx(2), table);
+        assert_eq!(tables.get(), 2);
+        assert_eq!(bytes.get(), 2 * per_table);
+    }
+
+    #[test]
+    fn miss_compute_is_timed_under_cache_span_score() {
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
         let ctx = SeqContext {
             depth: 1,
             lo: 0,
             hi: 10,
         };
-        let calls = AtomicUsize::new(0);
+        let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
+        cache.table_with("p()", ctx, table); // miss: timed
+        cache.table_with("p()", ctx, table); // hit: not timed
+        let snap = registry.snapshot();
+        match snap.get("cache.span.score") {
+            Some(simvid_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected score span histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::disabled(), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let calls = std::sync::atomic::AtomicUsize::new(0);
         for _ in 0..3 {
             cache.table_with("p()", ctx, || {
-                calls.fetch_add(1, Ordering::Relaxed);
+                calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
             });
         }
-        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 3);
+        assert_eq!(registry.gauge("cache.bytes_resident").get(), 0);
     }
 }

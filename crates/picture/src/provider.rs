@@ -11,6 +11,7 @@ use simvid_core::{
 };
 use simvid_htl::{AtomicUnit, AttrFn, Formula};
 use simvid_model::{AttrValue, ObjectId, VideoTree};
+use simvid_obs::Registry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -26,6 +27,7 @@ pub struct PictureSystem<'a> {
     config: ScoringConfig,
     indices: Mutex<HashMap<u8, Arc<LevelIndex>>>,
     cache: AtomicCache,
+    registry: Arc<Registry>,
 }
 
 impl<'a> PictureSystem<'a> {
@@ -38,15 +40,37 @@ impl<'a> PictureSystem<'a> {
 
     /// Creates a picture system with an explicit atomic-cache
     /// configuration ([`CacheConfig::disabled`] restores the uncached
-    /// behaviour).
+    /// behaviour). Metrics go to a private registry; use
+    /// [`PictureSystem::with_registry`] to share one.
     #[must_use]
     pub fn with_cache(tree: &'a VideoTree, config: ScoringConfig, cache: CacheConfig) -> Self {
+        PictureSystem::with_registry(tree, config, cache, Arc::new(Registry::new()))
+    }
+
+    /// Creates a picture system publishing its `cache.*` metrics (lookup
+    /// counters, residency gauges, compile/score timing spans) into the
+    /// given [`Registry`] — typically the one shared with the engine, so
+    /// one snapshot covers the whole stack.
+    #[must_use]
+    pub fn with_registry(
+        tree: &'a VideoTree,
+        config: ScoringConfig,
+        cache: CacheConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         PictureSystem {
             tree,
             config,
             indices: Mutex::new(HashMap::new()),
-            cache: AtomicCache::new(cache),
+            cache: AtomicCache::new(cache, &registry),
+            registry,
         }
+    }
+
+    /// The metrics registry this system records into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The video this system serves.

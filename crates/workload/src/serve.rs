@@ -11,8 +11,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simvid_core::{AtomicProvider, Engine, RankedSegment};
 use simvid_htl::{parse, Formula};
 use simvid_model::VideoTree;
+use std::time::{Duration, Instant};
 
 use crate::randomvideo::{generate, VideoGenConfig};
 
@@ -31,6 +33,9 @@ pub struct ServeConfig {
     pub k: usize,
     /// Seed for both the video and the schedule.
     pub seed: u64,
+    /// Capacity of the warm system's atomic-result cache (`0` disables
+    /// caching — useful for demonstrating what the bench gate catches).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +46,7 @@ impl Default for ServeConfig {
             zipf_exponent: 1.1,
             k: 10,
             seed: 97,
+            cache_capacity: 1024,
         }
     }
 }
@@ -73,6 +79,60 @@ impl ServeWorkload {
             seen[q] = true;
         }
         seen.iter().filter(|s| **s).count()
+    }
+}
+
+/// The outcome of driving one request schedule through an engine.
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// Per-request ranked top-`k` answers, in schedule order.
+    pub results: Vec<Vec<RankedSegment>>,
+    /// Wall time of the whole schedule.
+    pub elapsed: Duration,
+    /// Entries dropped by the upper-bound top-`k` paths, summed over the
+    /// schedule.
+    pub entries_pruned: usize,
+}
+
+/// Drives the request schedule through `engine`, one top-`k` retrieval
+/// per slot.
+///
+/// Each request increments the `serve.requests` counter and records its
+/// end-to-end latency into the `serve.request_seconds` histogram of the
+/// engine's [`simvid_obs::Registry`] — share a registry across the engine
+/// and picture system ([`Engine::with_registry`]) and one snapshot yields
+/// the whole serving profile: per-operator spans, cache behaviour, and
+/// request latency quantiles.
+///
+/// # Panics
+///
+/// Panics if a pool query fails to evaluate (the pool is fixed and
+/// closed, so this indicates an engine bug).
+#[must_use]
+pub fn run_schedule<P: AtomicProvider>(w: &ServeWorkload, engine: &Engine<P>) -> ScheduleRun {
+    let requests = engine.registry().counter("serve.requests");
+    let latency = engine.registry().histogram("serve.request_seconds");
+    let depth = w.depth();
+    let mut entries_pruned = 0;
+    let start = Instant::now();
+    let results = w
+        .schedule
+        .iter()
+        .map(|&q| {
+            let t0 = Instant::now();
+            let out = engine
+                .top_k_closed(&w.queries[q], depth, w.k)
+                .expect("serve request evaluates");
+            latency.record_duration(t0.elapsed());
+            requests.inc();
+            entries_pruned += engine.stats().entries_pruned;
+            out
+        })
+        .collect();
+    ScheduleRun {
+        results,
+        elapsed: start.elapsed(),
+        entries_pruned,
     }
 }
 

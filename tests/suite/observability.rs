@@ -1,0 +1,185 @@
+//! The observability layer across the whole stack.
+//!
+//! Work counters are part of the engine's deterministic contract: the
+//! same query over the same data must report the same counts no matter
+//! how evaluation is scheduled across threads. Timing histograms are
+//! explicitly *not* deterministic, which is why [`Snapshot::deterministic`]
+//! exists — these tests pin down that split, plus the serve-layer
+//! histogram accounting and the JSON rendering contract the `repro
+//! --metrics` flag and the CI bench gate rely on.
+
+use simvid_core::{
+    AtomicProvider, Engine, EngineConfig, ParallelConfig, SeqContext, SimilarityList,
+    SimilarityTable, ValueTable,
+};
+use simvid_htl::{parse, AtomicUnit, AttrFn};
+use simvid_obs::{MetricValue, Registry, Snapshot};
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_workload::randomlists;
+use simvid_workload::serve::{self, ServeConfig};
+use std::sync::Arc;
+
+/// A provider serving two fixed random lists for `P1()` / `P2()`, sliced
+/// to the requested window (no caching, so engine counters are the only
+/// metrics in play).
+struct TwoLists {
+    p1: SimilarityList,
+    p2: SimilarityList,
+}
+
+impl AtomicProvider for TwoLists {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        let l = match unit.formula.to_string().as_str() {
+            "P1()" => &self.p1,
+            _ => &self.p2,
+        };
+        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+    }
+
+    fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+        match unit.formula.to_string().as_str() {
+            "P1()" => self.p1.max(),
+            _ => self.p2.max(),
+        }
+    }
+
+    fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
+        ValueTable::default()
+    }
+}
+
+fn scene_workload() -> (simvid_model::VideoTree, TwoLists) {
+    let scenes = 12u32;
+    let shots_per_scene = 30u32;
+    let mut b = simvid_model::VideoBuilder::new("obs");
+    b.set_level_names(["video", "scene", "shot"]);
+    for s in 0..scenes {
+        b.child(format!("scene{s}"));
+        for i in 0..shots_per_scene {
+            b.leaf(format!("s{s}.{i}"));
+        }
+        b.up();
+    }
+    let tree = b.finish().unwrap();
+    let lists = randomlists::ListGenConfig::default().with_n(scenes * shots_per_scene);
+    let provider = TwoLists {
+        p1: randomlists::generate(&lists, 7),
+        p2: randomlists::generate(&lists, 8),
+    };
+    (tree, provider)
+}
+
+#[test]
+fn counters_are_identical_across_sequential_and_parallel_engines() {
+    let (tree, provider) = scene_workload();
+    let f =
+        parse("(at shot level (P1() until P2())) and eventually at shot level (P1() until P2())")
+            .unwrap();
+    let snapshot_for = |parallel: ParallelConfig| -> Snapshot {
+        let registry = Arc::new(Registry::new());
+        let engine = Engine::with_registry(
+            &provider,
+            &tree,
+            EngineConfig {
+                memoize: false,
+                parallel,
+                ..EngineConfig::default()
+            },
+            registry.clone(),
+        );
+        engine.eval_closed_at_level(&f, 1).unwrap();
+        registry.snapshot()
+    };
+    let sequential = snapshot_for(ParallelConfig::sequential());
+    let parallel = snapshot_for(ParallelConfig {
+        max_threads: 4,
+        min_seqs_per_thread: 1,
+    });
+    // Counts are scheduling-independent; only the timing histograms (which
+    // `deterministic()` excludes) may differ between the two runs.
+    assert_eq!(
+        sequential.deterministic(),
+        parallel.deterministic(),
+        "engine work counters must not depend on thread fan-out"
+    );
+    assert!(
+        sequential
+            .deterministic()
+            .iter()
+            .any(|(name, v)| name == "engine.entries_processed" && *v > 0),
+        "the workload must actually exercise the engine"
+    );
+}
+
+#[test]
+fn serve_histogram_count_matches_request_count() {
+    let cfg = ServeConfig {
+        shots: 20,
+        requests: 25,
+        ..ServeConfig::default()
+    };
+    let w = serve::build(&cfg);
+    let registry = Arc::new(Registry::new());
+    let sys = PictureSystem::with_registry(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::default(),
+        registry.clone(),
+    );
+    let engine = Engine::with_registry(&sys, &w.tree, EngineConfig::default(), registry.clone());
+    let run = serve::run_schedule(&w, &engine);
+    assert_eq!(run.results.len(), 25);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve.requests"), Some(25));
+    match snap.get("serve.request_seconds") {
+        Some(MetricValue::Histogram(h)) => {
+            assert_eq!(h.count, 25, "one latency sample per request");
+            assert!(h.sum >= 0.0);
+        }
+        other => panic!("expected serve latency histogram, got {other:?}"),
+    }
+    // The shared registry carries all three namespaces after a serve run.
+    for name in ["engine.atomic_fetches", "cache.misses", "serve.requests"] {
+        assert!(
+            snap.get(name).is_some(),
+            "metric `{name}` missing from the shared registry"
+        );
+    }
+}
+
+#[test]
+fn snapshot_json_is_valid_json() {
+    let cfg = ServeConfig {
+        shots: 15,
+        requests: 10,
+        ..ServeConfig::default()
+    };
+    let w = serve::build(&cfg);
+    let registry = Arc::new(Registry::new());
+    let sys = PictureSystem::with_registry(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::default(),
+        registry.clone(),
+    );
+    let engine = Engine::with_registry(&sys, &w.tree, EngineConfig::default(), registry.clone());
+    let _ = serve::run_schedule(&w, &engine);
+    let text = registry.snapshot().to_json();
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).expect("snapshot JSON must parse back");
+    let serde_json::Value::Object(fields) = doc else {
+        panic!("snapshot JSON must be an object");
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    assert!(
+        matches!(get("serve.requests"), Some(serde_json::Value::Int(10))),
+        "serve.requests must render as the number 10"
+    );
+    match get("serve.request_seconds") {
+        Some(serde_json::Value::Object(h)) => {
+            assert!(h.iter().any(|(k, _)| k == "p95"), "histogram has quantiles");
+            assert!(h.iter().any(|(k, _)| k == "buckets"));
+        }
+        other => panic!("expected histogram object, got {other:?}"),
+    }
+}
