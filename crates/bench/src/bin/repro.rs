@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|all]...
+//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
 //!       [--cache-capacity N]
 //! ```
@@ -25,8 +25,8 @@
 //! single JSON value.
 
 use simvid_bench::{
-    bench_meta, format_engine_mode_table, format_list_table, format_perf_table,
-    format_pruned_table, format_serve_table, measure_complex1, measure_complex2,
+    bench_meta, format_chaos_table, format_engine_mode_table, format_list_table, format_perf_table,
+    format_pruned_table, format_serve_table, measure_chaos, measure_complex1, measure_complex2,
     measure_conjunction, measure_engine_modes, measure_pruned_topk, measure_serve_with_registry,
     measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
@@ -262,6 +262,39 @@ fn serve_bench(
     rows
 }
 
+fn chaos_bench(smoke: bool, registry: &Arc<Registry>) -> Vec<simvid_bench::ChaosRow> {
+    let cfg = if smoke {
+        ServeConfig {
+            shots: 40,
+            requests: 30,
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    // Two attempts per call keeps retry give-ups (the degraded path)
+    // frequent enough to show up even in the 30-request smoke schedule.
+    let policy = simvid_resilience::RetryPolicy {
+        max_attempts: 2,
+        ..simvid_resilience::RetryPolicy::default()
+    };
+    let rows = vec![measure_chaos(
+        &cfg,
+        simvid_resilience::FaultPlan::chaos_default(),
+        policy,
+        registry,
+    )];
+    progress!(
+        "{}",
+        format_chaos_table(
+            "Chaos serving mode: the schedule replayed under injected faults \
+             (transient errors + panics), outcomes classified per request",
+            &rows
+        )
+    );
+    rows
+}
+
 fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
     let (sizes, ks): (&[u32], &[usize]) = if smoke {
         (&[2_000], &[10])
@@ -287,7 +320,7 @@ fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
 
 const SECTIONS: &[&str] = &[
     "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "complex", "ablation",
-    "parallel", "serve", "topk", "all",
+    "parallel", "serve", "topk", "chaos", "all",
 ];
 
 fn main() {
@@ -408,6 +441,10 @@ fn main() {
     if wants("topk") {
         let rows = topk_bench(smoke);
         json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("chaos") {
+        let rows = chaos_bench(smoke, &registry);
+        json.insert("chaos".into(), serde_json::to_value(&rows).unwrap());
     }
 
     let metrics_json = || -> serde_json::Value {

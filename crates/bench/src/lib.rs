@@ -3,16 +3,17 @@
 
 use serde::Serialize;
 use simvid_core::{
-    list, top_k, AtomicProvider, Engine, EngineConfig, ParallelConfig, RankedSegment, SeqContext,
-    SimilarityList, SimilarityTable, ValueTable,
+    list, top_k, AtomicProvider, Engine, EngineConfig, Interval, ParallelConfig, RankedSegment,
+    SeqContext, SimilarityList, SimilarityTable, ValueTable,
 };
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
 use simvid_model::{VideoBuilder, VideoTree};
 use simvid_obs::Registry;
 use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
+use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
 use simvid_workload::randomlists::{generate, ListGenConfig};
-use simvid_workload::serve::{self, ServeConfig};
+use simvid_workload::serve::{self, RequestLimits, RequestOutcome, ServeConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -545,6 +546,189 @@ pub fn format_serve_table(title: &str, rows: &[ServeRow]) -> String {
     out
 }
 
+/// One measurement of the chaos serving mode: the request schedule runs
+/// fault-free for ground truth, then replays through a [`FaultyProvider`]
+/// injecting the given [`FaultPlan`], and every per-request outcome is
+/// checked against the resilience contract.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosRow {
+    /// Shots in the served video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each top-`k` request.
+    pub k: usize,
+    /// Seed of the fault plan.
+    pub fault_seed: u64,
+    /// Per-attempt transient-error probability of the plan.
+    pub error_rate: f64,
+    /// Per-attempt panic probability of the plan.
+    pub panic_rate: f64,
+    /// Attempts allowed per provider call.
+    pub max_attempts: u32,
+    /// Requests that resolved with the complete ranking.
+    pub ok: usize,
+    /// Requests that degraded to a partial ranking with sound bounds.
+    pub degraded: usize,
+    /// Requests that failed (captured worker panic).
+    pub failed: usize,
+    /// Transient faults injected across the run.
+    pub injected_transient: u64,
+    /// Panics injected across the run.
+    pub injected_panics: u64,
+    /// Retries spent recovering from transient faults.
+    pub retries: u64,
+    /// Provider calls that exhausted their retry allowance.
+    pub giveups: u64,
+    /// Requests whose epoch saw no injected fault at all.
+    pub fault_free_requests: usize,
+    /// Whether every fault-free request resolved `Ok` with a ranking
+    /// bit-identical to the ground-truth run.
+    pub fault_free_matches: bool,
+    /// Whether every degraded answer's upper bounds cover the true
+    /// similarity of every ground-truth top-`k` segment.
+    pub bounds_sound: bool,
+    /// [`results_digest`] of the fault-free ground-truth run (the same
+    /// digest the serve section gates on).
+    pub fault_free_digest: String,
+    /// Wall time of the chaos replay.
+    pub elapsed: Duration,
+}
+
+/// The sound upper bound a report carries for position `pos`, if any.
+fn report_bound_at(bounds: &[(Interval, f64)], pos: u32) -> Option<f64> {
+    bounds
+        .iter()
+        .find(|(iv, _)| iv.beg <= pos && pos <= iv.end)
+        .map(|(_, b)| *b)
+}
+
+/// Runs the serving schedule under chaos and checks the resilience
+/// contract request by request:
+///
+/// * the schedule never aborts — every request resolves to a classified
+///   outcome (`ok` + `degraded` + `failed` = `requests`);
+/// * a request whose epoch saw zero injected faults must produce the
+///   bit-identical ranking of the fault-free ground-truth run;
+/// * a degraded answer's upper bounds must dominate the true similarity
+///   of every ground-truth top-`k` segment (no true answer is ever
+///   certifiably excluded).
+///
+/// Resilience counters (`resilience.*`) and outcome counters
+/// (`serve.outcome.*`) land in `registry`.
+#[must_use]
+pub fn measure_chaos(
+    cfg: &ServeConfig,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    registry: &Arc<Registry>,
+) -> ChaosRow {
+    let w = serve::build(cfg);
+    // Ground truth: the plain serving path, fault-free.
+    let truth_sys = PictureSystem::with_cache(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+    );
+    let truth_engine = Engine::new(&truth_sys, &w.tree);
+    let truth = serve::run_schedule(&w, &truth_engine);
+    // Chaos replay: same schedule, injected faults, per-request epochs.
+    let chaos_sys = PictureSystem::with_cache(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+    );
+    let faulty = FaultyProvider::with_registry(chaos_sys, plan, policy, registry);
+    let engine = Engine::with_registry(&faulty, &w.tree, EngineConfig::default(), registry.clone());
+    let run = serve::run_schedule_resilient(&w, &engine, RequestLimits::default(), |r| {
+        faulty.set_epoch(r as u64 + 1)
+    });
+    assert_eq!(run.reports.len(), w.schedule.len(), "schedule never aborts");
+    let mut fault_free_requests = 0;
+    let mut fault_free_matches = true;
+    let mut bounds_sound = true;
+    for (r, report) in run.reports.iter().enumerate() {
+        if faulty.faults_in_epoch(r as u64 + 1) == 0 {
+            fault_free_requests += 1;
+            fault_free_matches &=
+                report.outcome == RequestOutcome::Ok && report.ranked == truth.results[r];
+        }
+        if report.outcome == RequestOutcome::Degraded {
+            for seg in &truth.results[r] {
+                let covered = report_bound_at(&report.upper_bounds, seg.pos)
+                    .is_some_and(|b| b >= seg.sim.act - 1e-6);
+                bounds_sound &= covered;
+            }
+        }
+    }
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    ChaosRow {
+        shots: cfg.shots,
+        requests: run.reports.len(),
+        k: w.k,
+        fault_seed: plan.seed,
+        error_rate: plan.error_rate,
+        panic_rate: plan.panic_rate,
+        max_attempts: policy.max_attempts,
+        ok: run.count(RequestOutcome::Ok),
+        degraded: run.count(RequestOutcome::Degraded),
+        failed: run.count(RequestOutcome::Failed),
+        injected_transient: counter("resilience.faults.transient"),
+        injected_panics: counter("resilience.faults.panic"),
+        retries: counter("resilience.retries"),
+        giveups: counter("resilience.giveups"),
+        fault_free_requests,
+        fault_free_matches,
+        bounds_sound,
+        fault_free_digest: results_digest(&truth.results),
+        elapsed: run.elapsed,
+    }
+}
+
+/// Formats the chaos-mode summary.
+#[must_use]
+pub fn format_chaos_table(title: &str, rows: &[ChaosRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>4}  {:>8}  {:>4}  {:>8}  {:>6}  {:>8}  {:>7}  {:>10}  {:>6}",
+        "Requests",
+        "Ok",
+        "Degraded",
+        "Fail",
+        "Injected",
+        "Panics",
+        "Retries",
+        "Giveups",
+        "Fault-free",
+        "Sound"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>4}  {:>8}  {:>4}  {:>8}  {:>6}  {:>8}  {:>7}  {:>10}  {:>6}",
+            r.requests,
+            r.ok,
+            r.degraded,
+            r.failed,
+            r.injected_transient,
+            r.injected_panics,
+            r.retries,
+            r.giveups,
+            format!("{}/{}", r.fault_free_requests, r.requests),
+            if r.fault_free_matches && r.bounds_sound {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    out
+}
+
 /// One measurement of upper-bound-pruned top-`k` against the unpruned
 /// oracle (full evaluation followed by [`top_k`]).
 #[derive(Debug, Clone, Serialize)]
@@ -777,6 +961,34 @@ mod tests {
         assert_eq!(row.threads, 4);
         let s = format_engine_mode_table("Engine modes", &[row]);
         assert!(s.contains("2000"));
+    }
+
+    #[test]
+    fn chaos_contract_holds_on_a_small_schedule() {
+        let cfg = ServeConfig {
+            shots: 20,
+            requests: 12,
+            ..ServeConfig::default()
+        };
+        let registry = Arc::new(Registry::new());
+        let row = measure_chaos(
+            &cfg,
+            FaultPlan::chaos_default(),
+            RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            &registry,
+        );
+        assert_eq!(row.ok + row.degraded + row.failed, row.requests);
+        assert!(row.fault_free_matches, "fault-free requests must match");
+        assert!(row.bounds_sound, "degraded bounds must stay sound");
+        assert!(
+            row.injected_transient + row.injected_panics > 0,
+            "the chaos plan must actually inject"
+        );
+        let s = format_chaos_table("Chaos", &[row]);
+        assert!(s.contains("12"));
     }
 
     #[test]

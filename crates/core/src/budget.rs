@@ -1,0 +1,171 @@
+//! Request budgets: deadlines, fuel, and cooperative cancellation.
+//!
+//! A [`Budget`] is threaded through the engine's recursive evaluation so a
+//! single `top_k_closed_resilient` call can be stopped mid-flight — by a
+//! wall-clock deadline, by an exhausted work allowance ("fuel", one unit per
+//! uncached subformula evaluation), or by an external cancellation signal.
+//! All three checks are lock-free and cheap enough to run at every operator
+//! boundary.
+//!
+//! Budget violations surface as degradable [`EngineError`] variants
+//! ([`EngineError::DeadlineExceeded`], [`EngineError::BudgetExhausted`],
+//! [`EngineError::Cancelled`]) so the engine can salvage a partial answer
+//! with sound upper bounds instead of failing the request outright.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::error::EngineError;
+
+/// Limits on a single evaluation request.
+///
+/// A `Budget` with no deadline, no fuel, and no cancellation never interrupts
+/// evaluation; [`Budget::unlimited`] (a `const fn`) builds that value.
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    fuel: Option<AtomicI64>,
+    cancel: AtomicBool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A fresh unlimited budget (owned; can later be cancelled).
+    #[must_use]
+    pub const fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            fuel: None,
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Builder: set a wall-clock deadline `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Builder: allow at most `units` units of work (one unit per uncached
+    /// subformula evaluation).
+    #[must_use]
+    pub fn with_fuel(mut self, units: u64) -> Budget {
+        self.fuel = Some(AtomicI64::new(i64::try_from(units).unwrap_or(i64::MAX)));
+        self
+    }
+
+    /// Signal cooperative cancellation. Evaluation stops at the next
+    /// operator boundary with [`EngineError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Budget::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Fuel still available, if this budget is fuel-limited. Negative once
+    /// exhausted (the deficit of the failing request).
+    #[must_use]
+    pub fn remaining_fuel(&self) -> Option<i64> {
+        self.fuel.as_ref().map(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Check cancellation and the deadline without consuming fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] if cancelled, [`EngineError::DeadlineExceeded`]
+    /// if the deadline has passed.
+    pub fn check(&self) -> Result<(), EngineError> {
+        if self.is_cancelled() {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Check the budget and consume `units` of fuel.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Budget::check`] returns, plus
+    /// [`EngineError::BudgetExhausted`] once the fuel allowance is spent.
+    /// Fuel keeps decreasing after exhaustion, so every subsequent call also
+    /// fails — exhaustion is sticky.
+    pub fn consume(&self, units: u64) -> Result<(), EngineError> {
+        self.check()?;
+        if let Some(fuel) = &self.fuel {
+            let units = i64::try_from(units).unwrap_or(i64::MAX);
+            let before = fuel.fetch_sub(units, Ordering::Relaxed);
+            if before < units {
+                return Err(EngineError::BudgetExhausted);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            b.consume(1_000_000).unwrap();
+        }
+        assert_eq!(b.remaining_fuel(), None);
+        Budget::unlimited().check().unwrap();
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_sticky() {
+        let b = Budget::unlimited().with_fuel(3);
+        b.consume(1).unwrap();
+        b.consume(2).unwrap();
+        assert_eq!(b.consume(1), Err(EngineError::BudgetExhausted));
+        // Still exhausted on later calls, even tiny ones.
+        assert_eq!(b.consume(1), Err(EngineError::BudgetExhausted));
+        assert!(b.remaining_fuel().unwrap() < 0);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.check(), Err(EngineError::DeadlineExceeded));
+        assert_eq!(b.consume(1), Err(EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_wins_over_everything() {
+        let b = Budget::unlimited().with_fuel(10);
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(b.check(), Err(EngineError::Cancelled));
+        assert_eq!(b.consume(1), Err(EngineError::Cancelled));
+        // Cancellation does not burn fuel.
+        assert_eq!(b.remaining_fuel(), Some(10));
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        b.check().unwrap();
+        b.consume(5).unwrap();
+    }
+}

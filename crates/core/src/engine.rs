@@ -9,10 +9,14 @@
 //! the subformula on each segment's descendant sequence and reading the
 //! value at its first element.
 
+use crate::budget::Budget;
 use crate::memo::MemoCache;
-use crate::topk::{top_k, RankedSegment};
+use crate::topk::{top_k, DegradedAnswer, RankedSegment, TopKAnswer};
 use crate::valuetable::freeze_join;
-use crate::{list, prune, EngineError, Interval, Row, SimilarityList, SimilarityTable, ValueTable};
+use crate::{
+    list, prune, EngineError, Interval, ProviderError, Row, SimilarityList, SimilarityTable,
+    ValueTable,
+};
 use simvid_htl::{
     atomic_units, classify, is_pure, AtomicUnit, AttrFn, Formula, FormulaClass, LevelSpec,
 };
@@ -61,6 +65,25 @@ pub trait AtomicProvider: Sync {
     /// sequence, with positions numbered 1-based relative to `ctx.lo`.
     fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable;
 
+    /// Fallible variant of [`AtomicProvider::atomic_table`] — the call the
+    /// engine actually makes. The default delegates to the infallible
+    /// method, so existing providers need not change; providers that can
+    /// fail (a remote backend, a fault-injection wrapper, a provider that
+    /// validates its units) override this to surface a [`ProviderError`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ProviderError::Transient`] for failures worth retrying upstream,
+    /// [`ProviderError::Permanent`] for calls that can never succeed.
+    fn try_atomic_table(
+        &self,
+        unit: &AtomicUnit,
+        ctx: SeqContext,
+    ) -> Result<SimilarityTable, ProviderError> {
+        Ok(self.atomic_table(unit, ctx))
+    }
+
     /// The maximum similarity of an atomic unit (a function of the unit
     /// only; needed when a sequence yields no rows at all).
     fn atomic_max(&self, unit: &AtomicUnit) -> f64;
@@ -68,6 +91,16 @@ pub trait AtomicProvider: Sync {
     /// The value table of an attribute function over the given sequence
     /// (for freeze quantifiers).
     fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable;
+
+    /// Fallible variant of [`AtomicProvider::value_table`], mirroring
+    /// [`AtomicProvider::try_atomic_table`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AtomicProvider::try_atomic_table`].
+    fn try_value_table(&self, func: &AttrFn, ctx: SeqContext) -> Result<ValueTable, ProviderError> {
+        Ok(self.value_table(func, ctx))
+    }
 
     /// Counters of the provider's cross-query atomic-result cache, if it
     /// keeps one. Cache-less providers report zeros. Unlike per-evaluation
@@ -325,6 +358,66 @@ impl EngineMetrics {
     }
 }
 
+/// Per-call evaluation controls threaded through the engine's recursion:
+/// the request [`Budget`] and, for resilient top-`k` calls, a slot where
+/// the pruned-conjunction path deposits salvageable partial state before
+/// returning a degradable error.
+#[derive(Clone, Copy)]
+struct Ctl<'c> {
+    budget: &'c Budget,
+    salvage: Option<&'c std::sync::Mutex<Option<Salvage>>>,
+}
+
+/// The shared budget behind [`Ctl::UNLIMITED`] (a `static`, because
+/// `Budget` is interior-mutable and so cannot be borrowed from a const).
+static UNLIMITED_BUDGET: Budget = Budget::unlimited();
+
+impl Ctl<'_> {
+    /// Controls that never interrupt and never salvage — the non-resilient
+    /// public entry points.
+    const UNLIMITED: Ctl<'static> = Ctl {
+        budget: &UNLIMITED_BUDGET,
+        salvage: None,
+    };
+}
+
+/// Partial conjunction state captured when the pruned top-`k` path is
+/// interrupted, from which a sound [`DegradedAnswer`] is assembled.
+#[derive(Debug, Clone)]
+struct Salvage {
+    /// Running schedule-order sum over the conjuncts evaluated so far,
+    /// restricted to segments still able to reach the top-`k`. Each value
+    /// is a lower bound on the segment's true similarity.
+    partial: Option<SimilarityList>,
+    /// Sum of the maxima of the conjuncts not yet folded in (including the
+    /// one that failed): what the unevaluated remainder can still add.
+    remaining: f64,
+    /// Sound upper bound for segments *not* in `partial`: they were either
+    /// never covered (true value ≤ `remaining`) or pruned by a τ cut (true
+    /// value < τ + margin ≤ this). Always ≥ `remaining`.
+    gap_bound: f64,
+}
+
+/// Renders a captured panic payload (`&str` or `String`) for the typed
+/// [`EngineError::WorkerPanic`]. Deterministic for deterministic payloads,
+/// which keeps injected-panic outcomes identical across sequential and
+/// parallel evaluation.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Runs `work`, converting a panic into [`EngineError::WorkerPanic`].
+fn catch_eval<T>(work: impl FnOnce() -> Result<T, EngineError>) -> Result<T, EngineError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+        Ok(r) => r,
+        Err(payload) => Err(EngineError::WorkerPanic(panic_message(payload))),
+    }
+}
+
 /// Evaluates extended conjunctive HTL formulas over one video.
 pub struct Engine<'a, P: AtomicProvider> {
     provider: &'a P,
@@ -408,6 +501,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 lo: 0,
                 hi: n,
             },
+            Ctl::UNLIMITED,
         )
     }
 
@@ -438,6 +532,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 lo: 0,
                 hi: n,
             },
+            Ctl::UNLIMITED,
         )
     }
 
@@ -492,6 +587,47 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         depth: u8,
         k: usize,
     ) -> Result<Vec<RankedSegment>, EngineError> {
+        match self.top_k_closed_resilient(f, depth, k, &Budget::unlimited())? {
+            TopKAnswer::Complete(ranked) => Ok(ranked),
+            // With an unlimited budget, degradation can only come from a
+            // failing provider or a captured panic; without a resilient
+            // caller to hand the partial answer to, surface the cause.
+            TopKAnswer::Degraded(d) => Err(d.reason),
+        }
+    }
+
+    /// Resilient top-`k` retrieval: like [`Engine::top_k_closed`], but the
+    /// evaluation honours a request [`Budget`] (deadline, fuel,
+    /// cancellation) and *degrades instead of failing* when interrupted.
+    ///
+    /// On a budget violation, a provider that gave up after retries, or a
+    /// captured worker panic, the call returns
+    /// [`TopKAnswer::Degraded`] carrying the ranking accumulated so far
+    /// (each value a *lower* bound on the segment's true similarity) plus
+    /// per-interval *upper* bounds on every unresolved segment — sound by
+    /// the paper's `(actual, max)` semantics, since a formula's `max` is a
+    /// function of the formula alone. Fault-free evaluations take exactly
+    /// the [`Engine::top_k_closed`] code path, so their rankings are
+    /// bit-identical to it.
+    ///
+    /// Worker panics (from the provider or the engine itself) are captured
+    /// with `catch_unwind` at thread joins and at this boundary and
+    /// surfaced as [`EngineError::WorkerPanic`] inside the degraded
+    /// answer — a panicking provider call can no longer tear down the
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Non-degradable errors only: formula-class rejection
+    /// ([`EngineError::UnsupportedFormula`], [`EngineError::BadLevel`]) and
+    /// permanent provider rejection ([`EngineError::ProviderRejected`]).
+    pub fn top_k_closed_resilient(
+        &self,
+        f: &Formula,
+        depth: u8,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<TopKAnswer, EngineError> {
         if classify(f) == FormulaClass::General {
             return Err(EngineError::UnsupportedFormula(
                 "contains negation of temporal structure, unbound variables, or a non-prefix \
@@ -502,7 +638,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         self.metrics.reset();
         self.memo.clear();
         if k == 0 {
-            return Ok(Vec::new());
+            return Ok(TopKAnswer::Complete(Vec::new()));
         }
         let n = self.tree.level_sequence(depth).len() as u32;
         let ctx = SeqContext {
@@ -510,9 +646,58 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             lo: 0,
             hi: n,
         };
+        let slot: std::sync::Mutex<Option<Salvage>> = std::sync::Mutex::new(None);
+        let ctl = Ctl {
+            budget,
+            salvage: Some(&slot),
+        };
         let _eval_span = self.metrics.tracer.span("eval");
-        let out = self.top_k_list(f, ctx, k)?;
-        Ok(top_k(&out, k))
+        let result = catch_eval(|| self.top_k_list(f, ctx, k, ctl));
+        match result {
+            Ok(out) => Ok(TopKAnswer::Complete(top_k(&out, k))),
+            Err(reason) if reason.is_degradable() => {
+                let salvage = slot.lock().expect("salvage lock").take();
+                Ok(TopKAnswer::Degraded(
+                    self.degraded_answer(f, ctx, k, reason, salvage),
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Assembles a sound [`DegradedAnswer`] from whatever the interrupted
+    /// evaluation salvaged.
+    fn degraded_answer(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        k: usize,
+        reason: EngineError,
+        salvage: Option<Salvage>,
+    ) -> DegradedAnswer {
+        let n = ctx.len();
+        let (ranked_so_far, unresolved_upper_bounds) = match salvage {
+            Some(s) => {
+                let partial = s.partial.unwrap_or_else(|| SimilarityList::empty(0.0));
+                let bounds = bounds_from_partial(&partial, n, s.remaining, s.gap_bound);
+                (top_k(&partial, k), bounds)
+            }
+            // Nothing salvaged: no positions resolved; every segment is
+            // bounded by the formula's own maximum similarity.
+            None => {
+                let bounds = if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![(Interval::new(1, n), self.formula_max(f))]
+                };
+                (Vec::new(), bounds)
+            }
+        };
+        DegradedAnswer {
+            ranked_so_far,
+            unresolved_upper_bounds,
+            reason,
+        }
     }
 
     /// A list whose top-`k` equals the top-`k` of the full evaluation of
@@ -522,6 +707,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         ctx: SeqContext,
         k: usize,
+        ctl: Ctl<'_>,
     ) -> Result<SimilarityList, EngineError> {
         match f {
             // Pure conjunctions are a single atomic unit in `eval`; only
@@ -530,10 +716,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             Formula::And(..)
                 if !is_pure(f) && self.config.conjunction == crate::ConjunctionSemantics::Sum =>
             {
-                self.conjunction_top_k(f, ctx, k)
+                self.conjunction_top_k(f, ctx, k, ctl)
             }
             Formula::Eventually(g) => {
-                let inner = self.closed_list(g, ctx)?;
+                let inner = self.closed_list(g, ctx, ctl)?;
                 let _sweep = self.metrics.tracer.span("eventually_sweep");
                 self.metrics.prune_examined.add(inner.len() as u64);
                 let (out, skipped) = prune::eventually_top_k(&inner, k);
@@ -541,7 +727,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 Ok(out)
             }
             Formula::Until(g, h) => {
-                let (tg, th) = self.eval_pair(g, h, ctx)?;
+                let (tg, th) = self.eval_pair(g, h, ctx, ctl)?;
                 self.note_join(&tg, &th);
                 let lg = closed_table_list(tg)?;
                 let lh = closed_table_list(th)?;
@@ -553,7 +739,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 self.metrics.entries_pruned.add(skipped as u64);
                 Ok(out)
             }
-            _ => self.closed_list(f, ctx),
+            _ => self.closed_list(f, ctx, ctl),
         }
     }
 
@@ -567,6 +753,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         ctx: SeqContext,
         k: usize,
+        ctl: Ctl<'_>,
     ) -> Result<SimilarityList, EngineError> {
         let mut conjuncts: Vec<&Formula> = Vec::new();
         flatten_and(f, &mut conjuncts);
@@ -592,8 +779,39 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         let mut alive: Option<Vec<Interval>> = None;
         let mut partial: Option<SimilarityList> = None;
         let mut remaining: f64 = maxes.iter().sum();
+        // Sound bound for segments cut by a τ prune: a pruned segment's
+        // true value is < τ + margin of the cut that dropped it, and τ only
+        // grows across steps, so the latest cut bounds them all.
+        let mut tau_bound: f64 = 0.0;
+        // Deposits the partial state for a degraded answer before a
+        // degradable failure propagates; the failed conjunct's maximum is
+        // still inside `remaining` at every failure point below.
+        let salvage = |partial: &Option<SimilarityList>, remaining: f64, tau_bound: f64| {
+            if let Some(slot) = ctl.salvage {
+                *slot.lock().expect("salvage lock") = Some(Salvage {
+                    partial: partial.clone(),
+                    remaining,
+                    gap_bound: remaining.max(tau_bound),
+                });
+            }
+        };
         for (step, &i) in order.iter().enumerate() {
-            let li = self.closed_list(conjuncts[i], ctx)?;
+            if let Err(e) = ctl.budget.check() {
+                salvage(&partial, remaining, tau_bound);
+                return Err(e);
+            }
+            // Panics inside a conjunct (an injected fault, a provider bug)
+            // are caught here so the partial sums of earlier conjuncts
+            // survive into the degraded answer.
+            let li = match catch_eval(|| self.closed_list(conjuncts[i], ctx, ctl)) {
+                Ok(li) => li,
+                Err(e) => {
+                    if e.is_degradable() {
+                        salvage(&partial, remaining, tau_bound);
+                    }
+                    return Err(e);
+                }
+            };
             remaining -= maxes[i];
             self.metrics.prune_examined.add(li.len() as u64);
             let li = match &alive {
@@ -629,6 +847,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     let cut = tau - remaining;
                     if tau > 0.0 && cut > 0.0 {
                         let margin = 1e-9 + 1e-12 * tau.abs();
+                        tau_bound = tau_bound.max(tau + margin);
                         let spans: Vec<Interval> = sum
                             .entries()
                             .iter()
@@ -690,8 +909,13 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
     }
 
     /// Evaluates a closed subformula straight to its similarity list.
-    fn closed_list(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityList, EngineError> {
-        closed_table_list(self.eval(f, ctx)?)
+    fn closed_list(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        ctl: Ctl<'_>,
+    ) -> Result<SimilarityList, EngineError> {
+        closed_table_list(self.eval(f, ctx, ctl)?)
     }
 
     /// Evaluates `f` on the whole video — the one-element sequence holding
@@ -728,9 +952,15 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
 
     /// Evaluates one subformula, answering from the memo cache when the
     /// same (printed subformula, context) pair has been computed before.
-    fn eval(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
+    /// Failed evaluations are never stored.
+    fn eval(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        ctl: Ctl<'_>,
+    ) -> Result<SimilarityTable, EngineError> {
         if !self.config.memoize {
-            return self.eval_uncached(f, ctx);
+            return self.eval_uncached(f, ctx, ctl);
         }
         let key = MemoCache::key(f, ctx);
         if let Some(hit) = self.memo.lookup(&key) {
@@ -738,7 +968,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             return Ok(hit);
         }
         self.metrics.memo_misses.inc();
-        let out = self.eval_uncached(f, ctx)?;
+        let out = self.eval_uncached(f, ctx, ctl)?;
         self.memo.store(key, out.clone());
         Ok(out)
     }
@@ -762,60 +992,80 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         g: &Formula,
         h: &Formula,
         ctx: SeqContext,
+        ctl: Ctl<'_>,
     ) -> Result<(SimilarityTable, SimilarityTable), EngineError> {
         let p = self.config.parallel;
         if p.max_threads >= 2 && self.branch_is_heavy(g, ctx) && self.branch_is_heavy(h, ctx) {
+            // A panicking worker surfaces as a typed `WorkerPanic` instead
+            // of tearing down the join; the main-thread branch is caught
+            // symmetrically so both branches degrade identically, and `g`'s
+            // failure wins exactly as in the sequential short-circuit.
             let (rg, rh) = std::thread::scope(|scope| {
-                let worker = scope.spawn(|| self.eval(g, ctx));
-                let rh = self.eval(h, ctx);
-                (worker.join().expect("engine worker panicked"), rh)
+                let worker = scope.spawn(|| self.eval(g, ctx, ctl));
+                let rh = catch_eval(|| self.eval(h, ctx, ctl));
+                let rg = worker
+                    .join()
+                    .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(p))));
+                (rg, rh)
             });
             Ok((rg?, rh?))
         } else {
-            Ok((self.eval(g, ctx)?, self.eval(h, ctx)?))
+            Ok((self.eval(g, ctx, ctl)?, self.eval(h, ctx, ctl)?))
         }
     }
 
-    fn eval_uncached(&self, f: &Formula, ctx: SeqContext) -> Result<SimilarityTable, EngineError> {
+    fn eval_uncached(
+        &self,
+        f: &Formula,
+        ctx: SeqContext,
+        ctl: Ctl<'_>,
+    ) -> Result<SimilarityTable, EngineError> {
+        // One unit of fuel per uncached subformula evaluation: every
+        // operator boundary passes through here, so deadline/cancellation
+        // checks ride along at zero extra traversal cost.
+        ctl.budget.consume(1)?;
         if is_pure(f) {
             self.metrics.atomic_fetches.inc();
             let _fetch = self.metrics.tracer.span("atomic_fetch");
             let unit = unit_of(f);
-            return Ok(self.provider.atomic_table(&unit, ctx).ensure_closed_row());
+            return Ok(self
+                .provider
+                .try_atomic_table(&unit, ctx)?
+                .ensure_closed_row());
         }
         match f {
             Formula::And(g, h) => {
-                let (tg, th) = self.eval_pair(g, h, ctx)?;
+                let (tg, th) = self.eval_pair(g, h, ctx, ctl)?;
                 self.note_join(&tg, &th);
                 let sem = self.config.conjunction;
                 let _join = self.metrics.tracer.span("join");
                 Ok(tg.join(&th, tg.max + th.max, move |a, b| list::and_with(a, b, sem)))
             }
             Formula::Until(g, h) => {
-                let (tg, th) = self.eval_pair(g, h, ctx)?;
+                let (tg, th) = self.eval_pair(g, h, ctx, ctl)?;
                 self.note_join(&tg, &th);
                 let theta = self.config.until_threshold;
                 let _sweep = self.metrics.tracer.span("until_sweep");
                 Ok(tg.join(&th, th.max, |a, b| list::until(a, b, theta)))
             }
             Formula::Next(g) => {
-                let t = self.eval(g, ctx)?;
+                let t = self.eval(g, ctx, ctl)?;
                 let max = t.max;
                 Ok(t.map_lists(max, list::next))
             }
             Formula::Eventually(g) => {
-                let t = self.eval(g, ctx)?;
+                let t = self.eval(g, ctx, ctl)?;
                 let max = t.max;
                 let _sweep = self.metrics.tracer.span("eventually_sweep");
                 Ok(t.map_lists(max, list::eventually))
             }
-            Formula::Exists(var, g) => Ok(self.eval(g, ctx)?.project_out_obj(&var.0)),
+            Formula::Exists(var, g) => Ok(self.eval(g, ctx, ctl)?.project_out_obj(&var.0)),
             Formula::Freeze { var, func, body } => {
-                let t = self.eval(body, ctx)?;
-                let vt = self.provider.value_table(func, ctx);
+                let t = self.eval(body, ctx, ctl)?;
+                let vt = self.provider.try_value_table(func, ctx)?;
                 Ok(freeze_join(&t, &vt, &var.0))
             }
-            Formula::AtLevel(spec, g) => self.eval_at_level_modal(spec, g, ctx),
+            Formula::AtLevel(spec, g) => self.eval_at_level_modal(spec, g, ctx, ctl),
             Formula::Not(_) => Err(EngineError::UnsupportedFormula(
                 "negation outside atomic units".into(),
             )),
@@ -828,6 +1078,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         spec: &LevelSpec,
         g: &Formula,
         ctx: SeqContext,
+        ctl: Ctl<'_>,
     ) -> Result<SimilarityTable, EngineError> {
         let target = match spec {
             LevelSpec::Next => ctx.depth + 1,
@@ -858,7 +1109,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 (lo != hi).then_some((local0 as u32 + 1, lo, hi))
             })
             .collect();
-        let subs = self.eval_spans(g, target, &spans)?;
+        let subs = self.eval_spans(g, target, &spans, ctl)?;
         let mut out: Option<SimilarityTable> = None;
         // (binding, entries) accumulated across parents; entries arrive in
         // ascending position order because parents are merged in order
@@ -924,6 +1175,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         g: &Formula,
         target: u8,
         spans: &[(u32, u32, u32)],
+        ctl: Ctl<'_>,
     ) -> Result<Vec<SimilarityTable>, EngineError> {
         let p = self.config.parallel;
         let workers = (spans.len() / p.min_seqs_per_thread.max(1)).min(p.max_threads);
@@ -936,12 +1188,17 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     lo,
                     hi,
                 },
+                ctl,
             )
         };
         if workers < 2 {
             return spans.iter().map(eval_span).collect();
         }
         let chunk = spans.len().div_ceil(workers);
+        // A panicking worker yields a typed `WorkerPanic` for its chunk
+        // instead of poisoning the join. Spans evaluate in order within a
+        // chunk and chunk results are drained in order below, so the
+        // winning error matches the sequential short-circuit.
         let results: Vec<Result<Vec<SimilarityTable>, EngineError>> = std::thread::scope(|scope| {
             let eval_span = &eval_span;
             let handles: Vec<_> = spans
@@ -950,7 +1207,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(p))))
+                })
                 .collect()
         });
         let mut out = Vec::with_capacity(spans.len());
@@ -987,6 +1247,32 @@ fn closed_table_list(t: SimilarityTable) -> Result<SimilarityList, EngineError> 
         )));
     }
     Ok(t.into_closed_list())
+}
+
+/// Upper bounds for a degraded answer from a salvaged partial sum: listed
+/// segments are bounded by their accumulated value plus what the remaining
+/// conjuncts can add; the gaps between them (never covered, or dropped by
+/// a τ cut) by `gap_bound`. The output covers `1..=n` with disjoint,
+/// sorted intervals.
+fn bounds_from_partial(
+    partial: &SimilarityList,
+    n: u32,
+    remaining: f64,
+    gap_bound: f64,
+) -> Vec<(Interval, f64)> {
+    let mut out = Vec::new();
+    let mut next: u32 = 1;
+    for e in partial.entries() {
+        if e.iv.beg > next {
+            out.push((Interval::new(next, e.iv.beg - 1), gap_bound));
+        }
+        out.push((e.iv, e.act + remaining));
+        next = e.iv.end + 1;
+    }
+    if next <= n {
+        out.push((Interval::new(next, n), gap_bound));
+    }
+    out
 }
 
 /// Flattens a chain of `And` nodes into its conjuncts, in formula order.
@@ -1357,5 +1643,312 @@ mod tests {
         let out = engine.eval_closed_at_level(&f, 1).unwrap();
         // eventually per binding: o1 -> [1,2]=1.0; o2 -> [1,3]=2.0; max.
         assert_eq!(out.to_tuples(), vec![(1, 3, 2.0)]);
+    }
+
+    /// Delegates to an inner [`FixtureProvider`], panicking on units whose
+    /// printed formula matches `panic_on` and failing transiently on those
+    /// matching `fail_on`.
+    struct MisbehavingProvider {
+        inner: FixtureProvider,
+        panic_on: Option<String>,
+        fail_on: Option<String>,
+    }
+
+    impl AtomicProvider for MisbehavingProvider {
+        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+            self.inner.atomic_table(unit, ctx)
+        }
+
+        fn try_atomic_table(
+            &self,
+            unit: &AtomicUnit,
+            ctx: SeqContext,
+        ) -> Result<SimilarityTable, ProviderError> {
+            let key = unit.formula.to_string();
+            if self.panic_on.as_deref() == Some(key.as_str()) {
+                panic!("injected provider panic on {key}");
+            }
+            if self.fail_on.as_deref() == Some(key.as_str()) {
+                return Err(ProviderError::Transient(format!("backend down for {key}")));
+            }
+            Ok(self.inner.atomic_table(unit, ctx))
+        }
+
+        fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
+            self.inner.atomic_max(unit)
+        }
+
+        fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable {
+            self.inner.value_table(func, ctx)
+        }
+    }
+
+    /// A 6-scene × 4-shot video with two fixture predicates, shared by the
+    /// resilience tests below.
+    fn scenes_fixture() -> (simvid_model::VideoTree, FixtureProvider) {
+        let mut b = VideoBuilder::new("v");
+        b.set_level_names(["video", "scene", "shot"]);
+        for s in 0..6 {
+            b.child(format!("scene{s}"));
+            for i in 0..4 {
+                b.leaf(format!("s{s}.{i}"));
+            }
+            b.up();
+        }
+        let tree = b.finish().unwrap();
+        let provider = FixtureProvider::new(vec![
+            ("p()", sl(vec![(1, 9, 1.0), (13, 22, 0.7)], 1.0)),
+            (
+                "q()",
+                sl(vec![(3, 3, 2.0), (11, 16, 1.5), (24, 24, 2.0)], 2.0),
+            ),
+        ]);
+        (tree, provider)
+    }
+
+    fn aggressive_parallel() -> EngineConfig {
+        EngineConfig {
+            parallel: ParallelConfig {
+                max_threads: 4,
+                min_seqs_per_thread: 1,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn span_worker_panic_surfaces_as_typed_error() {
+        // Regression for the old `join().expect("engine worker panicked")`
+        // in `eval_spans`: a provider panic inside a level-modal fan-out
+        // must come back as `Err(WorkerPanic)`, not a process abort.
+        let (tree, inner) = scenes_fixture();
+        let provider = MisbehavingProvider {
+            inner,
+            panic_on: Some("q()".into()),
+            fail_on: None,
+        };
+        let engine = Engine::with_config(&provider, &tree, aggressive_parallel());
+        let f = parse("at shot level (p() until q())").unwrap();
+        match engine.eval_closed_at_level(&f, 1) {
+            Err(EngineError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected provider panic"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_worker_panic_surfaces_as_typed_error() {
+        // Regression for the old `join().expect(...)` in `eval_pair`: both
+        // branches carry a level modal, so they fan out over threads; the
+        // panicking branch must not poison the join. Either branch may
+        // panic — test both sides.
+        let (tree, _) = scenes_fixture();
+        for panicking in ["p()", "q()"] {
+            let (_, inner) = scenes_fixture();
+            let provider = MisbehavingProvider {
+                inner,
+                panic_on: Some(panicking.into()),
+                fail_on: None,
+            };
+            let engine = Engine::with_config(&provider, &tree, aggressive_parallel());
+            let f = parse("(at shot level p()) and (at shot level q())").unwrap();
+            match engine.eval_closed_at_level(&f, 1) {
+                Err(EngineError::WorkerPanic(msg)) => {
+                    assert!(msg.contains("injected provider panic"), "{msg}");
+                }
+                other => panic!("expected WorkerPanic for {panicking}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_catches_sequential_panics_too() {
+        let (tree, inner) = scenes_fixture();
+        let provider = MisbehavingProvider {
+            inner,
+            panic_on: Some("q()".into()),
+            fail_on: None,
+        };
+        let engine = Engine::with_config(
+            &provider,
+            &tree,
+            EngineConfig {
+                parallel: ParallelConfig::sequential(),
+                ..EngineConfig::default()
+            },
+        );
+        let f = parse("at shot level (p() until q())").unwrap();
+        let answer = engine
+            .top_k_closed_resilient(&f, 1, 3, &Budget::unlimited())
+            .unwrap();
+        match answer {
+            TopKAnswer::Degraded(d) => {
+                assert!(matches!(d.reason, EngineError::WorkerPanic(_)));
+                assert!(d.ranked_so_far.is_empty());
+                // Nothing salvaged: one whole-range bound at formula max.
+                assert_eq!(d.unresolved_upper_bounds.len(), 1);
+                assert_eq!(d.unresolved_upper_bounds[0].0, Interval::new(1, 6));
+            }
+            TopKAnswer::Complete(_) => panic!("panic must degrade the answer"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_immediately() {
+        let provider = FixtureProvider::new(vec![("p()", sl(vec![(1, 4, 1.0)], 1.0))]);
+        let tree = flat_video(10);
+        let engine = Engine::new(&provider, &tree);
+        let f = parse("p() and eventually p()").unwrap();
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let answer = engine.top_k_closed_resilient(&f, 1, 3, &budget).unwrap();
+        match answer {
+            TopKAnswer::Degraded(d) => {
+                assert_eq!(d.reason, EngineError::DeadlineExceeded);
+                // Every position is bounded by the formula's maximum.
+                for pos in 1..=10 {
+                    let bound = d.bound_for(pos).expect("whole range covered");
+                    assert!(bound >= 2.0 - 1e-12, "bound {bound} below formula max");
+                }
+            }
+            TopKAnswer::Complete(_) => panic!("expired deadline must degrade"),
+        }
+    }
+
+    #[test]
+    fn exhausted_fuel_degrades_with_sound_bounds() {
+        let provider = FixtureProvider::new(vec![
+            ("a()", sl(vec![(1, 4, 1.0), (7, 8, 0.5)], 1.0)),
+            ("b()", sl(vec![(2, 5, 2.0)], 2.0)),
+            ("c()", sl(vec![(1, 1, 3.0), (4, 6, 2.5)], 3.0)),
+        ]);
+        let tree = flat_video(10);
+        let engine = Engine::new(&provider, &tree);
+        // Impure conjuncts, so the pruned conjunction path decomposes
+        // them instead of handing the whole formula to the provider as one
+        // pure unit.
+        let f = parse("a() and (eventually b()) and (eventually c())").unwrap();
+        let truth = engine.eval_closed_at_level(&f, 1).unwrap();
+        // Enough fuel for the first conjunct or two, not the whole query.
+        for fuel in 0..8 {
+            let budget = Budget::unlimited().with_fuel(fuel);
+            let answer = engine.top_k_closed_resilient(&f, 1, 5, &budget).unwrap();
+            let TopKAnswer::Degraded(d) = answer else {
+                continue; // enough fuel after all
+            };
+            assert_eq!(d.reason, EngineError::BudgetExhausted, "fuel {fuel}");
+            // Soundness: every true value respects the certified bounds,
+            // and salvaged actuals never exceed the truth.
+            for pos in 1..=10u32 {
+                let truth_v = truth.value_at(pos);
+                let bound = d.bound_for(pos).unwrap_or(0.0);
+                assert!(
+                    truth_v <= bound + 1e-9,
+                    "fuel {fuel} pos {pos}: true {truth_v} exceeds bound {bound}"
+                );
+            }
+            for r in &d.ranked_so_far {
+                assert!(
+                    r.sim.act <= truth.value_at(r.pos) + 1e-9,
+                    "fuel {fuel} pos {}: partial {} above true {}",
+                    r.pos,
+                    r.sim.act,
+                    truth.value_at(r.pos)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_conjunct_failure_salvages_partial_ranking() {
+        let inner = FixtureProvider::new(vec![
+            ("a()", sl(vec![(1, 4, 1.0), (7, 8, 0.5)], 1.0)),
+            ("b()", sl(vec![(2, 5, 2.0)], 2.0)),
+            ("c()", sl(vec![(1, 1, 3.0), (4, 6, 2.5)], 3.0)),
+        ]);
+        let tree = flat_video(10);
+        // Ground truth from the same fixtures without the failure.
+        let truth_engine = Engine::new(&inner, &tree);
+        // Impure conjuncts so the conjunction decomposes (see above).
+        let f = parse("a() and (eventually b()) and (eventually c())").unwrap();
+        let truth = truth_engine.eval_closed_at_level(&f, 1).unwrap();
+        // `eventually c()` has the largest maximum, so the ascending-max
+        // schedule evaluates the other conjuncts first: their sum must be
+        // salvaged.
+        let provider = MisbehavingProvider {
+            inner: FixtureProvider::new(vec![
+                ("a()", sl(vec![(1, 4, 1.0), (7, 8, 0.5)], 1.0)),
+                ("b()", sl(vec![(2, 5, 2.0)], 2.0)),
+                ("c()", sl(vec![(1, 1, 3.0), (4, 6, 2.5)], 3.0)),
+            ]),
+            panic_on: None,
+            fail_on: Some("c()".into()),
+        };
+        let engine = Engine::new(&provider, &tree);
+        let answer = engine
+            .top_k_closed_resilient(&f, 1, 5, &Budget::unlimited())
+            .unwrap();
+        let TopKAnswer::Degraded(d) = answer else {
+            panic!("failing conjunct must degrade the answer");
+        };
+        assert!(matches!(d.reason, EngineError::ProviderGaveUp(_)));
+        // a() + b() resolved: position 2 carries 1.0 + 2.0 = 3.0.
+        assert!(!d.ranked_so_far.is_empty(), "partial ranking salvaged");
+        let at2 = d
+            .ranked_so_far
+            .iter()
+            .find(|r| r.pos == 2)
+            .expect("position 2 in partial");
+        assert!((at2.sim.act - 3.0).abs() < 1e-12);
+        // Soundness against the fault-free truth.
+        for pos in 1..=10u32 {
+            let truth_v = truth.value_at(pos);
+            let bound = d.bound_for(pos).unwrap_or(0.0);
+            assert!(
+                truth_v <= bound + 1e-9,
+                "pos {pos}: true {truth_v} exceeds bound {bound}"
+            );
+        }
+        // And the plain (non-resilient) entry surfaces the same cause.
+        assert!(matches!(
+            engine.top_k_closed(&f, 1, 5),
+            Err(EngineError::ProviderGaveUp(_))
+        ));
+    }
+
+    #[test]
+    fn cancellation_stops_evaluation() {
+        let provider = FixtureProvider::new(vec![("p()", sl(vec![(1, 4, 1.0)], 1.0))]);
+        let tree = flat_video(10);
+        let engine = Engine::new(&provider, &tree);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let f = parse("p() and eventually p()").unwrap();
+        let answer = engine.top_k_closed_resilient(&f, 1, 3, &budget).unwrap();
+        match answer {
+            TopKAnswer::Degraded(d) => assert_eq!(d.reason, EngineError::Cancelled),
+            TopKAnswer::Complete(_) => panic!("cancelled request must degrade"),
+        }
+    }
+
+    #[test]
+    fn resilient_fault_free_matches_top_k_closed() {
+        let (tree, provider) = scenes_fixture();
+        let engine = Engine::new(&provider, &tree);
+        for query in [
+            "at shot level (p() until q())",
+            "(at shot level p()) and (at shot level q())",
+            "eventually at shot level q()",
+        ] {
+            let f = parse(query).unwrap();
+            let plain = engine.top_k_closed(&f, 1, 4).unwrap();
+            let resilient = engine
+                .top_k_closed_resilient(&f, 1, 4, &Budget::unlimited())
+                .unwrap();
+            match resilient {
+                TopKAnswer::Complete(ranked) => assert_eq!(ranked, plain, "{query}"),
+                TopKAnswer::Degraded(_) => panic!("fault-free run degraded: {query}"),
+            }
+        }
     }
 }

@@ -45,6 +45,7 @@
 //! );
 //! ```
 
+pub mod budget;
 pub mod engine;
 mod error;
 mod interval;
@@ -57,15 +58,16 @@ pub mod table;
 pub mod topk;
 pub mod valuetable;
 
+pub use budget::Budget;
 pub use engine::{
     AtomicProvider, CacheStats, Engine, EngineConfig, EvalStats, ParallelConfig, SeqContext,
 };
-pub use error::EngineError;
+pub use error::{EngineError, ProviderError};
 pub use interval::{Interval, SegPos};
 pub use list::{ConjunctionSemantics, SimilarityList};
 pub use memo::{MemoCache, MemoKey};
 pub use range::AttrRange;
 pub use sim::Sim;
 pub use table::{Row, SimilarityTable};
-pub use topk::{rank_entries, retrieve_above, top_k, RankedSegment};
+pub use topk::{rank_entries, retrieve_above, top_k, DegradedAnswer, RankedSegment, TopKAnswer};
 pub use valuetable::{ValueRow, ValueTable};

@@ -4,6 +4,7 @@
 //! have the highest similarity values with respect to the user query will
 //! be retrieved; here, `k` may be a parameter specified by the user."
 
+use crate::error::EngineError;
 use crate::{Interval, SegPos, Sim, SimilarityList};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,6 +16,68 @@ pub struct RankedSegment {
     pub pos: SegPos,
     /// The similarity value.
     pub sim: Sim,
+}
+
+/// The outcome of a resilient top-`k` evaluation: either the complete
+/// ranking, or a [`DegradedAnswer`] when evaluation was interrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopKAnswer {
+    /// Evaluation finished; the ranking is exact.
+    Complete(Vec<RankedSegment>),
+    /// Evaluation was interrupted; a sound partial answer is returned.
+    Degraded(DegradedAnswer),
+}
+
+impl TopKAnswer {
+    /// The ranked segments, complete or partial.
+    #[must_use]
+    pub fn ranked(&self) -> &[RankedSegment] {
+        match self {
+            TopKAnswer::Complete(r) => r,
+            TopKAnswer::Degraded(d) => &d.ranked_so_far,
+        }
+    }
+
+    /// Whether the answer is the complete, exact ranking.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, TopKAnswer::Complete(_))
+    }
+}
+
+/// A sound partial answer produced when evaluation is interrupted by a
+/// budget violation, a provider give-up, or a captured worker panic.
+///
+/// The paper's similarity semantics assigns every segment an
+/// `(actual, max)` pair where `max` depends only on the formula — so even
+/// an interrupted evaluation can certify, per segment, an upper bound its
+/// true similarity cannot exceed. `ranked_so_far` carries the partial
+/// conjunction sums accumulated before the interruption (each segment's
+/// true value is **at least** its listed `act`), and
+/// `unresolved_upper_bounds` covers every segment position with a value its
+/// true similarity is **at most**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedAnswer {
+    /// Partial ranking from the conjuncts evaluated before interruption,
+    /// best-first. Each `act` is a lower bound on the true similarity.
+    pub ranked_so_far: Vec<RankedSegment>,
+    /// Disjoint, sorted intervals covering the whole sequence, each with a
+    /// sound upper bound on the true similarity of its positions.
+    pub unresolved_upper_bounds: Vec<(Interval, f64)>,
+    /// Why evaluation stopped (always a degradable [`EngineError`]).
+    pub reason: EngineError,
+}
+
+impl DegradedAnswer {
+    /// The upper bound certified for position `pos`, if any interval covers
+    /// it (positions outside every interval are bounded by zero).
+    #[must_use]
+    pub fn bound_for(&self, pos: SegPos) -> Option<f64> {
+        self.unresolved_upper_bounds
+            .iter()
+            .find(|(iv, _)| iv.beg <= pos && pos <= iv.end)
+            .map(|&(_, b)| b)
+    }
 }
 
 /// The list's entries ranked by actual similarity, descending; ties keep

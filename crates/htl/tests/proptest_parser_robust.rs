@@ -67,6 +67,15 @@ proptest! {
     }
 
     #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Raw bytes reach the parser through lossy UTF-8 decoding — the
+        // replacement characters, truncated multi-byte sequences and
+        // control bytes this produces must never panic the lexer.
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse(&s);
+    }
+
+    #[test]
     fn error_positions_within_input(s in "[a-z() .<>=!\\[\\]:0-9\"]{0,30}") {
         if let Err(e) = parse(&s) {
             prop_assert!(e.pos <= s.len());

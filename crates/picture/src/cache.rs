@@ -198,22 +198,43 @@ impl AtomicCache {
         ctx: SeqContext,
         compute: impl FnOnce() -> SimilarityTable,
     ) -> Arc<SimilarityTable> {
+        let result: Result<_, std::convert::Infallible> =
+            self.try_table_with(printed, ctx, || Ok(compute()));
+        match result {
+            Ok(table) => table,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible twin of [`AtomicCache::table_with`] for the resilient
+    /// serving path: a compute that fails is **never** cached, so an
+    /// injected or transient backend error cannot poison the cross-query
+    /// cache — the next request recomputes and stores the real table.
+    /// Hits/misses count exactly as for `table_with`; a failed compute
+    /// still counts as a miss but adds nothing to the residency gauges.
+    pub(crate) fn try_table_with<E>(
+        &self,
+        printed: &str,
+        ctx: SeqContext,
+        compute: impl FnOnce() -> Result<SimilarityTable, E>,
+    ) -> Result<Arc<SimilarityTable>, E> {
         if !self.config.is_enabled() {
             self.misses.inc();
             let _score = self.tracer.span("score");
-            return Arc::new(compute());
+            return Ok(Arc::new(compute()?));
         }
         let key: TableKey = (printed.to_owned(), ctx.depth, ctx.lo, ctx.hi);
         if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
             self.hits.inc();
-            return hit;
+            return Ok(hit);
         }
         self.misses.inc();
-        // Compute outside the lock: scoring is the expensive part, and
-        // recomputing on a rare race is cheaper than serialising scorers.
+        // Compute outside the lock, as in `table_with`. The `?` exit is
+        // before any gauge update or insert, so an error leaves the cache
+        // and its residency accounting exactly as they were.
         let table = {
             let _score = self.tracer.span("score");
-            Arc::new(compute())
+            Arc::new(compute()?)
         };
         self.tables_resident.add(1);
         self.bytes_resident.add(table.approx_bytes() as i64);
@@ -227,7 +248,7 @@ impl AtomicCache {
             self.tables_resident.sub(1);
             self.bytes_resident.sub(dropped.approx_bytes() as i64);
         }
-        table
+        Ok(table)
     }
 
     /// The compiled form of `printed`, compiling (once) on a miss. Errors
@@ -387,6 +408,59 @@ mod tests {
             Some(simvid_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
             other => panic!("expected score span histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn failed_compute_is_never_cached() {
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let err: Result<Arc<SimilarityTable>, String> =
+            cache.try_table_with("p()", ctx, || Err("backend down".to_owned()));
+        assert_eq!(err.unwrap_err(), "backend down");
+        // The failure must not occupy a slot or any residency accounting.
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 0);
+        assert_eq!(registry.gauge("cache.bytes_resident").get(), 0);
+        // The next call recomputes (a second miss, no hit) and the real
+        // table is stored and served from cache afterwards.
+        let ok: Result<_, String> = cache.try_table_with("p()", ctx, || {
+            Ok(SimilarityTable::new(Vec::new(), Vec::new(), 1.0))
+        });
+        assert!(ok.is_ok());
+        let hit: Result<_, String> =
+            cache.try_table_with("p()", ctx, || panic!("must be served from cache"));
+        assert!(hit.is_ok());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 1);
+    }
+
+    #[test]
+    fn panicking_compute_leaves_cache_usable() {
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.table_with("p()", ctx, || panic!("injected compute panic"))
+        }));
+        assert!(attempt.is_err());
+        // The compute runs outside the lock, so the panic poisons nothing:
+        // the cache still answers, and no phantom residency was recorded.
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 0);
+        assert_eq!(registry.gauge("cache.bytes_resident").get(), 0);
+        let table = cache.table_with("p()", ctx, || {
+            SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
+        });
+        assert_eq!(table.max, 1.0);
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 1);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::query::{AtomicQuery, QueryError};
 use crate::score::score_window;
 use crate::{CacheConfig, ScoringConfig};
 use simvid_core::{
-    AtomicProvider, CacheStats, Interval, SeqContext, SimilarityList, SimilarityTable, ValueRow,
-    ValueTable,
+    AtomicProvider, CacheStats, Interval, ProviderError, SeqContext, SimilarityList,
+    SimilarityTable, ValueRow, ValueTable,
 };
 use simvid_htl::{AtomicUnit, AttrFn, Formula};
 use simvid_model::{AttrValue, ObjectId, VideoTree};
@@ -168,6 +168,39 @@ impl AtomicProvider for PictureSystem<'_> {
         // the cache hands out shared `Arc`s, so hits clone rows — still
         // far cheaper than rescoring the level index.
         SimilarityTable::clone(&table)
+    }
+
+    /// Fallible twin of [`AtomicProvider::atomic_table`], used by the
+    /// engine's resilient serving path: a unit that fails to compile comes
+    /// back as [`ProviderError::Permanent`] (retrying cannot fix a
+    /// malformed formula) instead of panicking, and the scored table goes
+    /// through the cache's fallible `try_table_with` path so an error
+    /// never occupies a cache slot.
+    fn try_atomic_table(
+        &self,
+        unit: &AtomicUnit,
+        ctx: SeqContext,
+    ) -> Result<SimilarityTable, ProviderError> {
+        let printed = unit.formula.to_string();
+        let compiled = self.cache.compiled_with(&printed, || {
+            AtomicQuery::compile(&unit.formula, &self.config)
+        });
+        let q = match compiled.as_ref() {
+            Ok(q) => q,
+            Err(e) => {
+                return Err(ProviderError::Permanent(format!(
+                    "invalid atomic unit `{}`: {e}",
+                    unit.formula
+                )))
+            }
+        };
+        let table = self
+            .cache
+            .try_table_with::<ProviderError>(&printed, ctx, || {
+                let ix = self.index(ctx.depth);
+                Ok(score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q))
+            })?;
+        Ok(SimilarityTable::clone(&table))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
@@ -384,6 +417,39 @@ mod tests {
         assert!(out.value_at(2) < max);
         assert!(out.value_at(3) < max);
         assert!(out.value_at(2) > 0.0, "partial match still scores");
+    }
+
+    #[test]
+    fn try_atomic_table_reports_compile_errors_as_permanent() {
+        let tree = flight();
+        let sys = PictureSystem::new(&tree, ScoringConfig::default());
+        // A temporal formula is not a valid atomic unit (`NotPure`); the
+        // infallible path panics on it, the fallible one must not.
+        let f = parse("eventually present(z)").unwrap();
+        let unit = AtomicUnit {
+            formula: f,
+            free_objs: vec![simvid_htl::ObjVar("z".into())],
+            free_attrs: Vec::new(),
+        };
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 3,
+        };
+        match sys.try_atomic_table(&unit, ctx) {
+            Err(ProviderError::Permanent(msg)) => {
+                assert!(msg.contains("invalid atomic unit"), "got: {msg}");
+            }
+            other => panic!("expected Permanent compile error, got {other:?}"),
+        }
+        // A valid unit still scores through the same fallible path.
+        let ok = AtomicUnit {
+            formula: parse("exists z . present(z)").unwrap(),
+            free_objs: Vec::new(),
+            free_attrs: Vec::new(),
+        };
+        let table = sys.try_atomic_table(&ok, ctx).unwrap();
+        assert!(table.max > 0.0);
     }
 
     #[test]

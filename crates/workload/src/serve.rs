@@ -11,7 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simvid_core::{AtomicProvider, Engine, RankedSegment};
+use simvid_core::{
+    AtomicProvider, Budget, Engine, EngineError, Interval, RankedSegment, TopKAnswer,
+};
 use simvid_htl::{parse, Formula};
 use simvid_model::VideoTree;
 use std::time::{Duration, Instant};
@@ -136,6 +138,177 @@ pub fn run_schedule<P: AtomicProvider>(w: &ServeWorkload, engine: &Engine<P>) ->
     }
 }
 
+/// How a single resilient request resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The full top-`k` ranking, identical to what [`run_schedule`] would
+    /// have produced.
+    Ok,
+    /// A partial ranking with sound upper bounds on the unresolved
+    /// segments (budget violation or a provider that gave up after
+    /// retries).
+    Degraded,
+    /// No usable answer: a worker panic was captured, or the engine
+    /// rejected the request outright.
+    Failed,
+}
+
+/// The record of one request driven through the resilient serving path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestReport {
+    /// Index into the workload's query pool.
+    pub query: usize,
+    /// How the request resolved.
+    pub outcome: RequestOutcome,
+    /// The ranking: complete for [`RequestOutcome::Ok`], partial (possibly
+    /// empty) otherwise. Every listed value is a sound *lower* bound on
+    /// the segment's true similarity.
+    pub ranked: Vec<RankedSegment>,
+    /// Sound *upper* bounds on the segments the evaluation did not
+    /// resolve; empty for [`RequestOutcome::Ok`].
+    pub upper_bounds: Vec<(Interval, f64)>,
+    /// Why the request degraded or failed (`None` for
+    /// [`RequestOutcome::Ok`]). Deterministic for a fixed fault plan, so
+    /// chaos runs can be compared across engines byte for byte.
+    pub reason: Option<String>,
+}
+
+/// The outcome of driving one request schedule through the resilient path.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// One report per schedule slot, in schedule order.
+    pub reports: Vec<RequestReport>,
+    /// Wall time of the whole schedule.
+    pub elapsed: Duration,
+}
+
+impl ResilientRun {
+    /// How many requests resolved with the given outcome.
+    #[must_use]
+    pub fn count(&self, outcome: RequestOutcome) -> usize {
+        self.reports.iter().filter(|r| r.outcome == outcome).count()
+    }
+}
+
+/// Per-request limits applied by [`run_schedule_resilient`]. The default
+/// is unlimited: no deadline, no fuel cap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestLimits {
+    /// Wall-clock deadline per request.
+    pub deadline: Option<Duration>,
+    /// Fuel allowance per request (units of uncached subformula
+    /// evaluations).
+    pub fuel: Option<u64>,
+}
+
+impl RequestLimits {
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(deadline) = self.deadline {
+            b = b.with_deadline(deadline);
+        }
+        if let Some(fuel) = self.fuel {
+            b = b.with_fuel(fuel);
+        }
+        b
+    }
+}
+
+/// Drives the request schedule through the engine's *resilient* top-`k`
+/// path: every request gets a fresh [`Budget`] from `limits`, and every
+/// request resolves to a classified [`RequestReport`] — the schedule never
+/// aborts, whatever the provider throws at it.
+///
+/// `before_request` runs before each slot with the slot index; fault
+/// injection harnesses use it to re-key their deterministic fault schedule
+/// per request (e.g. `FaultyProvider::set_epoch`).
+///
+/// Outcomes are counted in the engine registry under `serve.outcome.ok` /
+/// `serve.outcome.degraded` / `serve.outcome.failed`, next to the same
+/// `serve.requests` counter and `serve.request_seconds` histogram
+/// [`run_schedule`] records.
+#[must_use]
+pub fn run_schedule_resilient<P: AtomicProvider>(
+    w: &ServeWorkload,
+    engine: &Engine<P>,
+    limits: RequestLimits,
+    mut before_request: impl FnMut(usize),
+) -> ResilientRun {
+    let requests = engine.registry().counter("serve.requests");
+    let latency = engine.registry().histogram("serve.request_seconds");
+    let ok = engine.registry().counter("serve.outcome.ok");
+    let degraded = engine.registry().counter("serve.outcome.degraded");
+    let failed = engine.registry().counter("serve.outcome.failed");
+    let depth = w.depth();
+    let start = Instant::now();
+    let reports = w
+        .schedule
+        .iter()
+        .enumerate()
+        .map(|(r, &q)| {
+            before_request(r);
+            let budget = limits.budget();
+            let t0 = Instant::now();
+            // Belt and braces: the engine already catches panics at its
+            // worker joins and at the resilient boundary, but a serving
+            // loop must survive even a panic in a path that boundary does
+            // not cover.
+            let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.top_k_closed_resilient(&w.queries[q], depth, w.k, &budget)
+            }))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(EngineError::WorkerPanic(msg))
+            });
+            latency.record_duration(t0.elapsed());
+            requests.inc();
+            let report = match answer {
+                Ok(TopKAnswer::Complete(ranked)) => RequestReport {
+                    query: q,
+                    outcome: RequestOutcome::Ok,
+                    ranked,
+                    upper_bounds: Vec::new(),
+                    reason: None,
+                },
+                // A captured panic means the evaluation state is suspect:
+                // classify as failed even though partial data came back.
+                Ok(TopKAnswer::Degraded(d)) => RequestReport {
+                    query: q,
+                    outcome: if matches!(d.reason, EngineError::WorkerPanic(_)) {
+                        RequestOutcome::Failed
+                    } else {
+                        RequestOutcome::Degraded
+                    },
+                    ranked: d.ranked_so_far,
+                    upper_bounds: d.unresolved_upper_bounds,
+                    reason: Some(d.reason.to_string()),
+                },
+                Err(e) => RequestReport {
+                    query: q,
+                    outcome: RequestOutcome::Failed,
+                    ranked: Vec::new(),
+                    upper_bounds: Vec::new(),
+                    reason: Some(e.to_string()),
+                },
+            };
+            match report.outcome {
+                RequestOutcome::Ok => ok.inc(),
+                RequestOutcome::Degraded => degraded.inc(),
+                RequestOutcome::Failed => failed.inc(),
+            }
+            report
+        })
+        .collect();
+    ResilientRun {
+        reports,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// The fixed query pool, hottest first. Every formula is closed (no free
 /// variables) so each request is a ranked top-`k` retrieval; together they
 /// exercise conjunction pruning, `until`, `eventually`, `next` and
@@ -232,6 +405,58 @@ mod tests {
             "hot query ({head} hits) should beat the tail ({tail} hits)"
         );
         assert!(w.distinct_queries() > 1, "more than one query in play");
+    }
+
+    #[test]
+    fn resilient_fault_free_matches_plain_schedule() {
+        let cfg = ServeConfig {
+            shots: 12,
+            requests: 16,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let sys =
+            simvid_picture::PictureSystem::new(&w.tree, simvid_picture::ScoringConfig::default());
+        let engine = Engine::new(&sys, &w.tree);
+        let plain = run_schedule(&w, &engine);
+        let resilient = run_schedule_resilient(&w, &engine, RequestLimits::default(), |_| {});
+        assert_eq!(resilient.count(RequestOutcome::Ok), w.schedule.len());
+        for (report, expect) in resilient.reports.iter().zip(&plain.results) {
+            assert_eq!(&report.ranked, expect, "fault-free path must be identical");
+            assert!(report.upper_bounds.is_empty());
+            assert_eq!(report.reason, None);
+        }
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter("serve.outcome.ok"), Some(16));
+        assert_eq!(snap.counter("serve.outcome.degraded"), Some(0));
+        assert_eq!(snap.counter("serve.outcome.failed"), Some(0));
+    }
+
+    #[test]
+    fn resilient_zero_deadline_degrades_without_aborting() {
+        let cfg = ServeConfig {
+            shots: 8,
+            requests: 6,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let sys =
+            simvid_picture::PictureSystem::new(&w.tree, simvid_picture::ScoringConfig::default());
+        let engine = Engine::new(&sys, &w.tree);
+        let limits = RequestLimits {
+            deadline: Some(Duration::ZERO),
+            fuel: None,
+        };
+        let run = run_schedule_resilient(&w, &engine, limits, |_| {});
+        assert_eq!(run.reports.len(), 6);
+        assert_eq!(run.count(RequestOutcome::Degraded), 6);
+        for report in &run.reports {
+            assert_eq!(report.reason.as_deref(), Some("request deadline exceeded"));
+            assert!(
+                !report.upper_bounds.is_empty(),
+                "degraded answers carry upper bounds"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Chaos determinism suite: the resilient serving path under injected
+//! faults.
+//!
+//! The fault schedule is content-addressed (a pure function of plan seed,
+//! request epoch, call key and attempt), so a chaos run is a *replayable
+//! world*: the same seed and plan must produce identical per-request
+//! outcomes, bounds and reasons — run twice, and across sequential and
+//! parallel engines. On top of determinism, the suite checks the
+//! degradation contract: requests whose epoch saw no fault are
+//! bit-identical to a fault-free run, and degraded answers bracket the
+//! truth (listed values are lower bounds, interval bounds are upper
+//! bounds, for every position of the sequence).
+
+use simvid_core::{Engine, EngineConfig, Interval, ParallelConfig};
+use simvid_obs::Registry;
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
+use simvid_workload::serve::{
+    self, RequestLimits, RequestOutcome, ResilientRun, ServeConfig, ServeWorkload,
+};
+use std::sync::Arc;
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        shots: 24,
+        requests: 40,
+        ..ServeConfig::default()
+    }
+}
+
+/// Hot enough that the 40-request schedule reliably exercises retries,
+/// give-ups (degradation) and panics (failure). No latency, no timeouts:
+/// the suite must not depend on wall clocks.
+fn hot_plan() -> FaultPlan {
+    FaultPlan {
+        error_rate: 0.35,
+        panic_rate: 0.05,
+        ..FaultPlan::chaos_default()
+    }
+}
+
+/// Two attempts per call keeps give-ups frequent; zero backoff keeps the
+/// suite fast and deterministic.
+fn aggressive_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    }
+}
+
+fn sequential() -> EngineConfig {
+    EngineConfig {
+        parallel: ParallelConfig::sequential(),
+        ..EngineConfig::default()
+    }
+}
+
+fn parallel() -> EngineConfig {
+    EngineConfig {
+        parallel: ParallelConfig {
+            max_threads: 4,
+            min_seqs_per_thread: 1,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// Replays the schedule under `plan`; returns the run plus, per request,
+/// whether its epoch ran pristine (zero injected faults).
+fn chaos_run(w: &ServeWorkload, plan: FaultPlan, cfg: EngineConfig) -> (ResilientRun, Vec<bool>) {
+    let sys = PictureSystem::with_cache(&w.tree, ScoringConfig::default(), CacheConfig::default());
+    let faulty =
+        FaultyProvider::with_registry(sys, plan, aggressive_policy(), &Arc::new(Registry::new()));
+    let engine = Engine::with_config(&faulty, &w.tree, cfg);
+    let run = serve::run_schedule_resilient(w, &engine, RequestLimits::default(), |r| {
+        faulty.set_epoch(r as u64 + 1)
+    });
+    let pristine = (0..w.schedule.len())
+        .map(|r| faulty.faults_in_epoch(r as u64 + 1) == 0)
+        .collect();
+    (run, pristine)
+}
+
+fn bound_at(bounds: &[(Interval, f64)], pos: u32) -> Option<f64> {
+    bounds
+        .iter()
+        .find(|(iv, _)| iv.beg <= pos && pos <= iv.end)
+        .map(|(_, b)| *b)
+}
+
+#[test]
+fn same_seed_and_plan_replays_identically() {
+    let w = serve::build(&small_cfg());
+    let (a, pa) = chaos_run(&w, hot_plan(), sequential());
+    let (b, pb) = chaos_run(&w, hot_plan(), sequential());
+    assert_eq!(a.reports, b.reports, "chaos runs must be replayable");
+    assert_eq!(pa, pb, "pristine-epoch sets must be replayable");
+    assert!(
+        a.reports.iter().any(|r| r.outcome != RequestOutcome::Ok),
+        "the hot plan must actually disturb the schedule"
+    );
+    // A different seed is a different world.
+    let other = FaultPlan {
+        seed: hot_plan().seed ^ 0x5eed,
+        ..hot_plan()
+    };
+    let (c, _) = chaos_run(&w, other, sequential());
+    assert_ne!(a.reports, c.reports, "the seed must matter");
+}
+
+#[test]
+fn sequential_and_parallel_engines_agree_under_chaos() {
+    let w = serve::build(&small_cfg());
+    let (seq, pseq) = chaos_run(&w, hot_plan(), sequential());
+    let (par, ppar) = chaos_run(&w, hot_plan(), parallel());
+    assert_eq!(pseq, ppar, "fault injection must not depend on threading");
+    for (r, (a, b)) in seq.reports.iter().zip(&par.reports).enumerate() {
+        assert_eq!(a.outcome, b.outcome, "request {r}: outcomes diverged");
+        assert_eq!(a.ranked, b.ranked, "request {r}: rankings diverged");
+        assert_eq!(
+            a.upper_bounds, b.upper_bounds,
+            "request {r}: degraded bounds diverged"
+        );
+        assert_eq!(a.reason, b.reason, "request {r}: reasons diverged");
+    }
+}
+
+#[test]
+fn fault_free_requests_are_bit_identical_and_degraded_answers_bracket_truth() {
+    let cfg = small_cfg();
+    let w = serve::build(&cfg);
+    let n = w.tree.level_sequence(w.depth()).len() as u32;
+    // Ground truth from an unwrapped system: the full similarity list per
+    // pool query (for position-wise bracketing) and the plain top-k run
+    // (for bit-identity of pristine requests).
+    let truth_sys = PictureSystem::new(&w.tree, ScoringConfig::default());
+    let truth_engine = Engine::new(&truth_sys, &w.tree);
+    let truth_lists: Vec<_> = w
+        .queries
+        .iter()
+        .map(|q| truth_engine.eval_closed_at_level(q, w.depth()).unwrap())
+        .collect();
+    let truth_run = serve::run_schedule(&w, &truth_engine);
+    let (run, pristine) = chaos_run(&w, hot_plan(), sequential());
+    let mut checked_degraded = 0;
+    for (r, report) in run.reports.iter().enumerate() {
+        if pristine[r] {
+            assert_eq!(
+                report.outcome,
+                RequestOutcome::Ok,
+                "request {r} ran pristine but did not resolve Ok"
+            );
+            assert_eq!(
+                report.ranked, truth_run.results[r],
+                "request {r} ran pristine but diverged from the fault-free run"
+            );
+        }
+        if report.outcome == RequestOutcome::Degraded {
+            checked_degraded += 1;
+            let truth = &truth_lists[report.query];
+            for pos in 1..=n {
+                let bound = bound_at(&report.upper_bounds, pos)
+                    .unwrap_or_else(|| panic!("request {r}: no upper bound covers position {pos}"));
+                assert!(
+                    bound >= truth.value_at(pos) - 1e-6,
+                    "request {r}, position {pos}: bound {bound} below truth {}",
+                    truth.value_at(pos)
+                );
+            }
+            for seg in &report.ranked {
+                assert!(
+                    seg.sim.act <= truth.value_at(seg.pos) + 1e-6,
+                    "request {r}, position {}: listed {} above truth {}",
+                    seg.pos,
+                    seg.sim.act,
+                    truth.value_at(seg.pos)
+                );
+            }
+        }
+    }
+    assert!(
+        checked_degraded > 0,
+        "the hot plan must produce at least one degraded answer to check"
+    );
+}
+
+#[test]
+fn default_length_schedule_never_aborts_and_classifies_every_request() {
+    // The default 200-request schedule over a smaller video (full shot
+    // count belongs to the release-mode `repro chaos` run).
+    let cfg = ServeConfig {
+        shots: 40,
+        ..ServeConfig::default()
+    };
+    assert_eq!(cfg.requests, 200);
+    let w = serve::build(&cfg);
+    let (run, _) = chaos_run(&w, FaultPlan::chaos_default(), parallel());
+    assert_eq!(run.reports.len(), 200);
+    let (ok, degraded, failed) = (
+        run.count(RequestOutcome::Ok),
+        run.count(RequestOutcome::Degraded),
+        run.count(RequestOutcome::Failed),
+    );
+    assert_eq!(ok + degraded + failed, 200, "every request classified");
+    assert!(
+        degraded + failed > 0,
+        "chaos_default must disturb something"
+    );
+    for report in &run.reports {
+        match report.outcome {
+            RequestOutcome::Ok => assert!(report.reason.is_none()),
+            RequestOutcome::Degraded | RequestOutcome::Failed => {
+                assert!(report.reason.is_some(), "non-Ok outcomes carry a reason");
+            }
+        }
+    }
+}
