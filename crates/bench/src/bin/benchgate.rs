@@ -1,13 +1,25 @@
 //! CI bench-regression gate over the serving smoke benchmark.
 //!
 //! ```text
-//! benchgate CURRENT.json [--baseline PATH]
+//! benchgate CURRENT.json [--baseline PATH] [--kernels-baseline PATH]
+//!           [--update-baselines]
 //! ```
 //!
-//! `CURRENT.json` is the output of `repro serve --smoke --json PATH`. The
+//! `CURRENT.json` is the output of `repro serve --smoke --json PATH` (add
+//! the `kernels` section to also gate the merge-kernel digests). The
 //! baseline defaults to the checked-in `crates/bench/baselines/serve_smoke.json`,
 //! measured at the same `--smoke` configuration (see `docs/observability.md`
-//! for how baselines are chosen and refreshed).
+//! and `docs/performance.md` for how baselines are chosen and refreshed).
+//!
+//! When the current document carries a `kernels` section (from
+//! `repro serve kernels --smoke --json ...`), every kernel's output digest
+//! is compared bit-for-bit against `crates/bench/baselines/kernels.json`;
+//! kernel timings are informational only.
+//!
+//! `--update-baselines` rewrites the baseline files from the current
+//! document instead of gating — the supported way to refresh baselines
+//! after an intentional workload or semantics change. Review the diff
+//! before committing.
 //!
 //! The gate separates *deterministic* metrics from *timing* metrics:
 //!
@@ -94,7 +106,11 @@ impl Gate {
     }
 }
 
-fn run(current_path: &str, baseline_path: &str) -> Result<bool, String> {
+fn run(
+    current_path: &str,
+    baseline_path: &str,
+    kernels_baseline_path: &str,
+) -> Result<bool, String> {
     let current_doc = load(current_path)?;
     let baseline_doc = load(baseline_path)?;
     let current = serve_row(&current_doc)
@@ -173,6 +189,15 @@ fn run(current_path: &str, baseline_path: &str) -> Result<bool, String> {
         }
     }
 
+    // Merge-kernel digests, when the current run carries them.
+    match field(&current_doc, "kernels") {
+        Some(Value::Array(rows)) => {
+            check_kernels(&mut gate, rows, kernels_baseline_path)?;
+        }
+        Some(_) => return Err("`kernels` section is not an array".into()),
+        None => println!("  {:<22} (no kernels section; skipped)", "kernel digests"),
+    }
+
     if gate.failures.is_empty() {
         println!("PASS");
         Ok(true)
@@ -184,11 +209,85 @@ fn run(current_path: &str, baseline_path: &str) -> Result<bool, String> {
     }
 }
 
+/// Gates each measured kernel's output digest against the kernels
+/// baseline. Digests are deterministic (seeded workload, bit-identical
+/// kernels), so any mismatch is a semantics change, not noise.
+fn check_kernels(gate: &mut Gate, rows: &[Value], baseline_path: &str) -> Result<(), String> {
+    let baseline_doc = load(baseline_path)?;
+    let baseline_rows = match field(&baseline_doc, "kernels") {
+        Some(Value::Array(rows)) => rows,
+        _ => return Err(format!("{baseline_path}: no kernels section in baseline")),
+    };
+    let str_field = |row: &Value, key: &str| -> Result<String, String> {
+        match field(row, key) {
+            Some(Value::Str(v)) => Ok(v.clone()),
+            _ => Err(format!("kernel row missing string `{key}`")),
+        }
+    };
+    for row in rows {
+        let name = str_field(row, "kernel")?;
+        let cur_digest = str_field(row, "output_digest")?;
+        let base = baseline_rows
+            .iter()
+            .find(|b| str_field(b, "kernel").as_deref() == Ok(&name));
+        let Some(base) = base else {
+            println!("  kernel {name:<15} {cur_digest}  (no baseline row; skipped)");
+            continue;
+        };
+        let base_digest = str_field(base, "output_digest")?;
+        let ok = cur_digest == base_digest;
+        println!(
+            "  kernel {name:<15} {cur_digest}  baseline {base_digest}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            gate.failures
+                .push(format!("kernel `{name}` output diverged from baseline"));
+        }
+        if let (Some(cur_t), Some(iters)) = (
+            field(row, "time").and_then(duration_secs),
+            field(row, "iters").and_then(num),
+        ) {
+            if iters > 0.0 {
+                println!(
+                    "  {:<22} {:>8.2}\u{b5}s/call  (informational)",
+                    format!("kernel {name} time"),
+                    cur_t / iters * 1e6
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites a baseline file from the current document: the named section
+/// plus the run's `meta`, pretty-printed.
+fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<bool, String> {
+    let Some(rows) = field(current_doc, section) else {
+        println!("  {section:<22} not in current document; baseline untouched");
+        return Ok(false);
+    };
+    let mut out: Vec<(String, Value)> = vec![(section.to_owned(), rows.clone())];
+    if let Some(meta) = field(current_doc, "meta") {
+        out.push(("meta".to_owned(), meta.clone()));
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(out))
+        .map_err(|e| format!("serializing {section} baseline: {e}"))?;
+    std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  {section:<22} baseline rewritten: {path}");
+    Ok(true)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    const USAGE: &str = "usage: benchgate CURRENT.json [--baseline PATH] \
+         [--kernels-baseline PATH] [--update-baselines]";
     let mut current: Option<String> = None;
     let mut baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
+    let mut kernels_baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/kernels.json").to_owned();
+    let mut update = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -202,22 +301,55 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--kernels-baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => kernels_baseline = p.clone(),
+                    None => {
+                        eprintln!("--kernels-baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--update-baselines" => {
+                update = true;
+                i += 1;
+            }
             s if !s.starts_with("--") && current.is_none() => {
                 current = Some(s.to_owned());
                 i += 1;
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: benchgate CURRENT.json [--baseline PATH]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
     let Some(current) = current else {
-        eprintln!("usage: benchgate CURRENT.json [--baseline PATH]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    match run(&current, &baseline) {
+    if update {
+        let result = load(&current).and_then(|doc| {
+            println!("bench gate: rewriting baselines from {current}");
+            let wrote_serve = update_baseline(&doc, "serve", &baseline)?;
+            let wrote_kernels = update_baseline(&doc, "kernels", &kernels_baseline)?;
+            if wrote_serve || wrote_kernels {
+                Ok(())
+            } else {
+                Err("current document has neither a serve nor a kernels section".into())
+            }
+        });
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("benchgate: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match run(&current, &baseline, &kernels_baseline) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
         Err(e) => {

@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|chaos|all]...
+//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|
+//!        kernels|chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
 //!       [--cache-capacity N]
 //! ```
@@ -25,10 +26,11 @@
 //! single JSON value.
 
 use simvid_bench::{
-    bench_meta, format_chaos_table, format_engine_mode_table, format_list_table, format_perf_table,
-    format_pruned_table, format_serve_table, measure_chaos, measure_complex1, measure_complex2,
-    measure_conjunction, measure_engine_modes, measure_pruned_topk, measure_serve_with_registry,
-    measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    bench_meta, format_chaos_table, format_engine_mode_table, format_kernel_table,
+    format_list_table, format_perf_table, format_pruned_table, format_serve_table, measure_chaos,
+    measure_complex1, measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
+    measure_pruned_topk, measure_serve_with_registry, measure_until, EngineModeRow, PerfRow,
+    PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_obs::Registry;
@@ -295,6 +297,19 @@ fn chaos_bench(smoke: bool, registry: &Arc<Registry>) -> Vec<simvid_bench::Chaos
     rows
 }
 
+fn kernels_bench(smoke: bool) -> Vec<simvid_bench::KernelRow> {
+    let rows = measure_kernels(smoke, 42);
+    progress!(
+        "{}",
+        format_kernel_table(
+            "Merge kernels on a skewed pair (sparse probe vs dense list): \
+             galloping sweeps, digest-gated against the checked-in baseline",
+            &rows
+        )
+    );
+    rows
+}
+
 fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
     let (sizes, ks): (&[u32], &[usize]) = if smoke {
         (&[2_000], &[10])
@@ -320,7 +335,7 @@ fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
 
 const SECTIONS: &[&str] = &[
     "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "complex", "ablation",
-    "parallel", "serve", "topk", "chaos", "all",
+    "parallel", "serve", "topk", "kernels", "chaos", "all",
 ];
 
 fn main() {
@@ -441,6 +456,10 @@ fn main() {
     if wants("topk") {
         let rows = topk_bench(smoke);
         json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("kernels") {
+        let rows = kernels_bench(smoke);
+        json.insert("kernels".into(), serde_json::to_value(&rows).unwrap());
     }
     if wants("chaos") {
         let rows = chaos_bench(smoke, &registry);

@@ -6,7 +6,7 @@ use simvid_core::{
     list, top_k, AtomicProvider, Engine, EngineConfig, Interval, ParallelConfig, RankedSegment,
     SeqContext, SimilarityList, SimilarityTable, ValueTable,
 };
-use simvid_htl::{parse, AtomicUnit, AttrFn, Formula};
+use simvid_htl::{parse, AtomicUnit, AttrFn, Formula, FormulaId};
 use simvid_model::{VideoBuilder, VideoTree};
 use simvid_obs::Registry;
 use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
@@ -95,36 +95,53 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 /// A provider serving fixed similarity lists keyed by the atomic unit's
-/// printed form (`P1()`, `P2()`, …), sliced to the requested window — the
-/// engine-level analogue of the raw list workloads.
+/// interned [`FormulaId`] (entries arrive as source strings `P1()`,
+/// `P2()`, …, parsed and interned once at construction), sliced to the
+/// requested window — the engine-level analogue of the raw list workloads.
 pub struct ListProvider {
-    lists: Vec<(String, SimilarityList)>,
+    lists: Vec<(FormulaId, SimilarityList)>,
 }
 
 impl ListProvider {
-    /// Wraps `(predicate, list)` pairs.
+    /// Wraps `(predicate, list)` pairs; each predicate source is parsed
+    /// and interned up front so lookups compare `Copy` ids, not strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predicate source fails to parse.
     #[must_use]
     pub fn new(lists: Vec<(String, SimilarityList)>) -> ListProvider {
-        ListProvider { lists }
+        ListProvider {
+            lists: lists
+                .into_iter()
+                .map(|(src, l)| {
+                    let f = parse(&src).unwrap_or_else(|e| panic!("bad workload key `{src}`: {e}"));
+                    (FormulaId::of(&f), l)
+                })
+                .collect(),
+        }
     }
 
-    fn lookup(&self, key: &str) -> &SimilarityList {
+    fn lookup(&self, f: &Formula) -> &SimilarityList {
+        let id = FormulaId::of(f);
         self.lists
             .iter()
-            .find(|(k, _)| k == key)
+            .find(|(k, _)| *k == id)
             .map(|(_, l)| l)
-            .unwrap_or_else(|| panic!("no workload list for `{key}`"))
+            .unwrap_or_else(|| panic!("no workload list for `{f}`"))
     }
 }
 
 impl AtomicProvider for ListProvider {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-        let l = self.lookup(&unit.formula.to_string());
-        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
+        let l = self.lookup(&unit.formula);
+        Arc::new(SimilarityTable::from_list(
+            l.slice_window(ctx.lo + 1, ctx.hi),
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
-        self.lookup(&unit.formula.to_string()).max()
+        self.lookup(&unit.formula).max()
     }
 
     fn value_table(&self, _f: &AttrFn, _c: SeqContext) -> ValueTable {
@@ -830,6 +847,147 @@ pub fn format_pruned_table(title: &str, rows: &[PrunedTopkRow]) -> String {
             r.pruned_entries,
             r.entries_pruned,
             r.baseline_entries,
+        );
+    }
+    out
+}
+
+/// One measurement of a merge kernel on a skewed list pair.
+///
+/// The engine's sweeps switch from the linear two-pointer walk to a
+/// galloping (exponential-search) walk when one operand is much shorter
+/// than the other; this row times one kernel at one skew and digests its
+/// output so the bench gate can assert the galloping path stays
+/// bit-identical across commits.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRow {
+    /// Kernel under test: `and`, `and_weakest`, `and_product`,
+    /// `max_merge`, `until`, or `eventually`.
+    pub kernel: String,
+    /// Entries in the short operand (`eventually` has only this one).
+    pub short_entries: usize,
+    /// Entries in the long operand.
+    pub long_entries: usize,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Total wall time over all iterations.
+    pub time: Duration,
+    /// FNV-1a digest over the output's interval entries (position and
+    /// similarity bit patterns) — machine-stable, compared by the gate.
+    pub output_digest: String,
+}
+
+impl KernelRow {
+    /// Mean time of one kernel invocation.
+    #[must_use]
+    pub fn per_call(&self) -> Duration {
+        self.time / self.iters.max(1)
+    }
+}
+
+/// FNV-1a (64-bit) over a similarity list's entries: length, then each
+/// entry's bounds and the bit patterns of its similarity and maximum.
+#[must_use]
+pub fn list_digest(l: &SimilarityList) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(l.len() as u64);
+    eat(l.max().to_bits());
+    for (beg, end, sim) in l.to_tuples() {
+        eat(u64::from(beg));
+        eat(u64::from(end));
+        eat(sim.to_bits());
+    }
+    format!("{h:016x}")
+}
+
+/// Times every merge kernel on a deterministic skewed pair (a sparse
+/// probe list against a dense long list — the shape that triggers the
+/// galloping path) plus `eventually` on the long list alone.
+///
+/// Output digests are deterministic: the workload generator is seeded and
+/// the kernels are required to be bit-identical to their linear oracles,
+/// so the digest only changes if a kernel's semantics change.
+#[must_use]
+pub fn measure_kernels(smoke: bool, seed: u64) -> Vec<KernelRow> {
+    let n: u32 = if smoke { 20_000 } else { 100_000 };
+    let iters: u32 = if smoke { 50 } else { 200 };
+    let long = generate(
+        &ListGenConfig {
+            n,
+            coverage: 0.4,
+            mean_run: 3.0,
+            max_sim: 2.0,
+        },
+        seed,
+    );
+    let short = generate(
+        &ListGenConfig {
+            n,
+            coverage: 0.001,
+            mean_run: 2.0,
+            max_sim: 1.0,
+        },
+        seed.wrapping_add(1),
+    );
+    let mut rows = Vec::new();
+    let mut run = |kernel: &str, f: &dyn Fn() -> SimilarityList| {
+        let out = f(); // warm-up + digest source
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        rows.push(KernelRow {
+            kernel: kernel.to_owned(),
+            short_entries: short.len(),
+            long_entries: long.len(),
+            iters,
+            time: start.elapsed(),
+            output_digest: list_digest(&out),
+        });
+    };
+    run("and", &|| list::and(&short, &long));
+    run("and_weakest", &|| {
+        list::and_with(
+            &short,
+            &long,
+            simvid_core::ConjunctionSemantics::WeakestLink,
+        )
+    });
+    run("and_product", &|| {
+        list::and_with(&short, &long, simvid_core::ConjunctionSemantics::Product)
+    });
+    run("max_merge", &|| list::max_merge(&short, &long));
+    run("until", &|| list::until(&long, &short, THETA));
+    run("eventually", &|| list::eventually(&long));
+    rows
+}
+
+/// Formats the kernel microbenchmark table.
+#[must_use]
+pub fn format_kernel_table(title: &str, rows: &[KernelRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>12}  {:>8}  {:>8}  {:>12}  {:>18}",
+        "Kernel", "Short", "Long", "Per call", "Output digest"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>8}  {:>8}  {:>10.2}µs  {:>18}",
+            r.kernel,
+            r.short_entries,
+            r.long_entries,
+            r.per_call().as_secs_f64() * 1e6,
+            r.output_digest,
         );
     }
     out

@@ -63,7 +63,11 @@ impl SeqContext {
 pub trait AtomicProvider: Sync {
     /// The similarity table of a non-temporal atomic unit over the given
     /// sequence, with positions numbered 1-based relative to `ctx.lo`.
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable;
+    ///
+    /// Returned behind an [`Arc`] so caching providers can hand out the
+    /// stored table by reference count instead of deep-cloning rows on
+    /// every hit.
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable>;
 
     /// Fallible variant of [`AtomicProvider::atomic_table`] — the call the
     /// engine actually makes. The default delegates to the infallible
@@ -80,7 +84,7 @@ pub trait AtomicProvider: Sync {
         &self,
         unit: &AtomicUnit,
         ctx: SeqContext,
-    ) -> Result<SimilarityTable, ProviderError> {
+    ) -> Result<Arc<SimilarityTable>, ProviderError> {
         Ok(self.atomic_table(unit, ctx))
     }
 
@@ -265,13 +269,17 @@ struct Baseline {
 
 /// The engine's span subscriber: the span-name set is small and fixed, so
 /// durations fold into pre-registered histograms without a registry
-/// lookup on the hot path.
+/// lookup on the hot path. Unexpected span names resolve through a lazy
+/// side map keyed by the `&'static str` name, so even they pay the
+/// formatted registry lookup only once per distinct name instead of
+/// allocating a fresh metric-name `String` per call.
 struct EngineSpans {
     atomic_fetch: Arc<Histogram>,
     join: Arc<Histogram>,
     until_sweep: Arc<Histogram>,
     eventually_sweep: Arc<Histogram>,
     eval: Arc<Histogram>,
+    other: std::sync::Mutex<std::collections::HashMap<&'static str, Arc<Histogram>>>,
     registry: Arc<Registry>,
 }
 
@@ -284,9 +292,13 @@ impl Subscriber for EngineSpans {
             "eventually_sweep" => &self.eventually_sweep,
             "eval" => &self.eval,
             other => {
-                self.registry
-                    .histogram(&format!("engine.span.{other}"))
-                    .record_duration(elapsed);
+                let h = {
+                    let mut map = self.other.lock().expect("span map");
+                    Arc::clone(map.entry(other).or_insert_with(|| {
+                        self.registry.histogram(&format!("engine.span.{other}"))
+                    }))
+                };
+                h.record_duration(elapsed);
                 return;
             }
         };
@@ -302,6 +314,7 @@ impl EngineMetrics {
             until_sweep: registry.histogram("engine.span.until_sweep"),
             eventually_sweep: registry.histogram("engine.span.eventually_sweep"),
             eval: registry.histogram("engine.span.eval"),
+            other: std::sync::Mutex::new(std::collections::HashMap::new()),
             registry: registry.clone(),
         };
         EngineMetrics {
@@ -388,7 +401,7 @@ struct Salvage {
     /// Running schedule-order sum over the conjuncts evaluated so far,
     /// restricted to segments still able to reach the top-`k`. Each value
     /// is a lower bound on the segment's true similarity.
-    partial: Option<SimilarityList>,
+    partial: Option<Arc<SimilarityList>>,
     /// Sum of the maxima of the conjuncts not yet folded in (including the
     /// one that failed): what the unevaluated remainder can still add.
     remaining: f64,
@@ -416,6 +429,20 @@ fn catch_eval<T>(work: impl FnOnce() -> Result<T, EngineError>) -> Result<T, Eng
         Ok(r) => r,
         Err(payload) => Err(EngineError::WorkerPanic(panic_message(payload))),
     }
+}
+
+/// An owned table out of a shared one: moves when this was the only
+/// reference, otherwise clones — and a table clone is shallow since rows
+/// share their lists by [`Arc`], so only small row headers are copied.
+fn unshare_table(t: Arc<SimilarityTable>) -> SimilarityTable {
+    Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// An owned list out of a shared one (same move-or-clone contract as
+/// [`unshare_table`]; the clone here does copy entries, so it is reserved
+/// for public API boundaries that promise owned values).
+fn unshare_list(l: Arc<SimilarityList>) -> SimilarityList {
+    Arc::try_unwrap(l).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Evaluates extended conjunctive HTL formulas over one video.
@@ -503,6 +530,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             },
             Ctl::UNLIMITED,
         )
+        .map(unshare_table)
     }
 
     /// Evaluates `f` over the full sequence at `depth` *without* the
@@ -534,6 +562,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             },
             Ctl::UNLIMITED,
         )
+        .map(unshare_table)
     }
 
     /// Evaluates a *closed* `f` over the full sequence at `depth`, returning
@@ -554,7 +583,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 t.obj_cols, t.attr_cols
             )));
         }
-        Ok(t.into_closed_list())
+        Ok(unshare_list(t.into_closed_list()))
     }
 
     /// Retrieves the top-`k` segments of a *closed* formula over the full
@@ -678,7 +707,9 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         let n = ctx.len();
         let (ranked_so_far, unresolved_upper_bounds) = match salvage {
             Some(s) => {
-                let partial = s.partial.unwrap_or_else(|| SimilarityList::empty(0.0));
+                let partial = s
+                    .partial
+                    .unwrap_or_else(|| Arc::new(SimilarityList::empty(0.0)));
                 let bounds = bounds_from_partial(&partial, n, s.remaining, s.gap_bound);
                 (top_k(&partial, k), bounds)
             }
@@ -708,7 +739,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         ctx: SeqContext,
         k: usize,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityList, EngineError> {
+    ) -> Result<Arc<SimilarityList>, EngineError> {
         match f {
             // Pure conjunctions are a single atomic unit in `eval`; only
             // impure ones decompose into independently evaluated conjuncts
@@ -724,20 +755,20 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 self.metrics.prune_examined.add(inner.len() as u64);
                 let (out, skipped) = prune::eventually_top_k(&inner, k);
                 self.metrics.entries_pruned.add(skipped as u64);
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Formula::Until(g, h) => {
                 let (tg, th) = self.eval_pair(g, h, ctx, ctl)?;
                 self.note_join(&tg, &th);
-                let lg = closed_table_list(tg)?;
-                let lh = closed_table_list(th)?;
+                let lg = closed_table_list(&tg)?;
+                let lh = closed_table_list(&th)?;
                 let _sweep = self.metrics.tracer.span("until_sweep");
                 self.metrics
                     .prune_examined
                     .add((lg.len() + lh.len()) as u64);
                 let (out, skipped) = prune::until_top_k(&lg, &lh, self.config.until_threshold, k);
                 self.metrics.entries_pruned.add(skipped as u64);
-                Ok(out)
+                Ok(Arc::new(out))
             }
             _ => self.closed_list(f, ctx, ctl),
         }
@@ -754,7 +785,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         ctx: SeqContext,
         k: usize,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityList, EngineError> {
+    ) -> Result<Arc<SimilarityList>, EngineError> {
         let mut conjuncts: Vec<&Formula> = Vec::new();
         flatten_and(f, &mut conjuncts);
         let maxes: Vec<f64> = conjuncts.iter().map(|g| self.formula_max(g)).collect();
@@ -774,10 +805,10 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         // recombination pass (a full second round of joins) is skipped.
         let schedule_is_tree =
             order.iter().enumerate().all(|(s, &i)| s == i) && and_chain_is_left_deep(f);
-        let mut lists: Vec<Option<SimilarityList>> = vec![None; conjuncts.len()];
+        let mut lists: Vec<Option<Arc<SimilarityList>>> = vec![None; conjuncts.len()];
         // Segments still able to reach the top-k (`None` = all of them).
         let mut alive: Option<Vec<Interval>> = None;
-        let mut partial: Option<SimilarityList> = None;
+        let mut partial: Option<Arc<SimilarityList>> = None;
         let mut remaining: f64 = maxes.iter().sum();
         // Sound bound for segments cut by a τ prune: a pruned segment's
         // true value is < τ + margin of the cut that dropped it, and τ only
@@ -786,7 +817,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         // Deposits the partial state for a degraded answer before a
         // degradable failure propagates; the failed conjunct's maximum is
         // still inside `remaining` at every failure point below.
-        let salvage = |partial: &Option<SimilarityList>, remaining: f64, tau_bound: f64| {
+        let salvage = |partial: &Option<Arc<SimilarityList>>, remaining: f64, tau_bound: f64| {
             if let Some(slot) = ctl.salvage {
                 *slot.lock().expect("salvage lock") = Some(Salvage {
                     partial: partial.clone(),
@@ -821,16 +852,16 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                     self.metrics
                         .entries_pruned
                         .add(li.len().saturating_sub(restricted.len()) as u64);
-                    restricted
+                    Arc::new(restricted)
                 }
             };
             let last = step + 1 == order.len();
             if !last || schedule_is_tree {
                 let sum = match &partial {
-                    None => li.clone(),
+                    None => Arc::clone(&li),
                     Some(prev) => {
                         self.note_list_join(prev, &li);
-                        list::and(prev, &li)
+                        Arc::new(list::and(prev, &li))
                     }
                 };
                 // τ = k-th best running sum. Running sums are lower bounds
@@ -860,7 +891,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                             .add(sum.len().saturating_sub(restricted.len()) as u64);
                         self.metrics.threshold_updates.inc();
                         alive = Some(spans);
-                        restricted
+                        Arc::new(restricted)
                     } else {
                         sum
                     }
@@ -874,13 +905,13 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         }
         // Exact values for the survivors: restrict every conjunct to the
         // final alive set and recombine along the formula's And tree.
-        let leaves: Vec<SimilarityList> = lists
+        let leaves: Vec<Arc<SimilarityList>> = lists
             .into_iter()
             .map(|l| {
                 let l = l.expect("every conjunct evaluated");
                 match &alive {
                     None => l,
-                    Some(spans) => l.restrict_to(spans),
+                    Some(spans) => Arc::new(l.restrict_to(spans)),
                 }
             })
             .collect();
@@ -895,14 +926,14 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
     fn combine_and_tree(
         &self,
         f: &Formula,
-        leaves: &mut std::vec::IntoIter<SimilarityList>,
-    ) -> SimilarityList {
+        leaves: &mut std::vec::IntoIter<Arc<SimilarityList>>,
+    ) -> Arc<SimilarityList> {
         match f {
             Formula::And(g, h) if !is_pure(f) => {
                 let a = self.combine_and_tree(g, leaves);
                 let b = self.combine_and_tree(h, leaves);
                 self.note_list_join(&a, &b);
-                list::and(&a, &b)
+                Arc::new(list::and(&a, &b))
             }
             _ => leaves.next().expect("one list per conjunct"),
         }
@@ -914,8 +945,9 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         ctx: SeqContext,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityList, EngineError> {
-        closed_table_list(self.eval(f, ctx, ctl)?)
+    ) -> Result<Arc<SimilarityList>, EngineError> {
+        let t = self.eval(f, ctx, ctl)?;
+        closed_table_list(&t)
     }
 
     /// Evaluates `f` on the whole video — the one-element sequence holding
@@ -951,14 +983,16 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
     }
 
     /// Evaluates one subformula, answering from the memo cache when the
-    /// same (printed subformula, context) pair has been computed before.
-    /// Failed evaluations are never stored.
+    /// same (interned subformula, context) pair has been computed before.
+    /// Failed evaluations are never stored. Memoization disabled means no
+    /// key is ever built — the interning and lookup cost is gated entirely
+    /// behind the config check.
     fn eval(
         &self,
         f: &Formula,
         ctx: SeqContext,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityTable, EngineError> {
+    ) -> Result<Arc<SimilarityTable>, EngineError> {
         if !self.config.memoize {
             return self.eval_uncached(f, ctx, ctl);
         }
@@ -969,7 +1003,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         }
         self.metrics.memo_misses.inc();
         let out = self.eval_uncached(f, ctx, ctl)?;
-        self.memo.store(key, out.clone());
+        self.memo.store(key, Arc::clone(&out));
         Ok(out)
     }
 
@@ -993,7 +1027,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         h: &Formula,
         ctx: SeqContext,
         ctl: Ctl<'_>,
-    ) -> Result<(SimilarityTable, SimilarityTable), EngineError> {
+    ) -> Result<(Arc<SimilarityTable>, Arc<SimilarityTable>), EngineError> {
         let p = self.config.parallel;
         if p.max_threads >= 2 && self.branch_is_heavy(g, ctx) && self.branch_is_heavy(h, ctx) {
             // A panicking worker surfaces as a typed `WorkerPanic` instead
@@ -1019,7 +1053,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         f: &Formula,
         ctx: SeqContext,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityTable, EngineError> {
+    ) -> Result<Arc<SimilarityTable>, EngineError> {
         // One unit of fuel per uncached subformula evaluation: every
         // operator boundary passes through here, so deadline/cancellation
         // checks ride along at zero extra traversal cost.
@@ -1028,10 +1062,13 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
             self.metrics.atomic_fetches.inc();
             let _fetch = self.metrics.tracer.span("atomic_fetch");
             let unit = unit_of(f);
-            return Ok(self
-                .provider
-                .try_atomic_table(&unit, ctx)?
-                .ensure_closed_row());
+            let t = self.provider.try_atomic_table(&unit, ctx)?;
+            // `ensure_closed_row` only rewrites empty closed tables; the
+            // shared table passes through untouched otherwise.
+            if t.is_closed() && t.rows.is_empty() {
+                return Ok(Arc::new(unshare_table(t).ensure_closed_row()));
+            }
+            return Ok(t);
         }
         match f {
             Formula::And(g, h) => {
@@ -1039,31 +1076,38 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 self.note_join(&tg, &th);
                 let sem = self.config.conjunction;
                 let _join = self.metrics.tracer.span("join");
-                Ok(tg.join(&th, tg.max + th.max, move |a, b| list::and_with(a, b, sem)))
+                Ok(Arc::new(tg.join(&th, tg.max + th.max, move |a, b| {
+                    list::and_with(a, b, sem)
+                })))
             }
             Formula::Until(g, h) => {
                 let (tg, th) = self.eval_pair(g, h, ctx, ctl)?;
                 self.note_join(&tg, &th);
                 let theta = self.config.until_threshold;
                 let _sweep = self.metrics.tracer.span("until_sweep");
-                Ok(tg.join(&th, th.max, |a, b| list::until(a, b, theta)))
+                Ok(Arc::new(
+                    tg.join(&th, th.max, |a, b| list::until(a, b, theta)),
+                ))
             }
             Formula::Next(g) => {
                 let t = self.eval(g, ctx, ctl)?;
                 let max = t.max;
-                Ok(t.map_lists(max, list::next))
+                Ok(Arc::new(unshare_table(t).map_lists(max, list::next)))
             }
             Formula::Eventually(g) => {
                 let t = self.eval(g, ctx, ctl)?;
                 let max = t.max;
                 let _sweep = self.metrics.tracer.span("eventually_sweep");
-                Ok(t.map_lists(max, list::eventually))
+                Ok(Arc::new(unshare_table(t).map_lists(max, list::eventually)))
             }
-            Formula::Exists(var, g) => Ok(self.eval(g, ctx, ctl)?.project_out_obj(&var.0)),
+            Formula::Exists(var, g) => {
+                let t = self.eval(g, ctx, ctl)?;
+                Ok(Arc::new(unshare_table(t).project_out_obj(&var.0)))
+            }
             Formula::Freeze { var, func, body } => {
                 let t = self.eval(body, ctx, ctl)?;
                 let vt = self.provider.try_value_table(func, ctx)?;
-                Ok(freeze_join(&t, &vt, &var.0))
+                Ok(Arc::new(freeze_join(&t, &vt, &var.0)))
             }
             Formula::AtLevel(spec, g) => self.eval_at_level_modal(spec, g, ctx, ctl),
             Formula::Not(_) => Err(EngineError::UnsupportedFormula(
@@ -1079,7 +1123,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         g: &Formula,
         ctx: SeqContext,
         ctl: Ctl<'_>,
-    ) -> Result<SimilarityTable, EngineError> {
+    ) -> Result<Arc<SimilarityTable>, EngineError> {
         let target = match spec {
             LevelSpec::Next => ctx.depth + 1,
             LevelSpec::Number(n) => n
@@ -1160,9 +1204,13 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
                 gmax,
             )
             .expect("positions are distinct and ascending");
-            out.push_row(Row { objs, ranges, list });
+            out.push_row(Row {
+                objs,
+                ranges,
+                list: Arc::new(list),
+            });
         }
-        Ok(out.ensure_closed_row())
+        Ok(Arc::new(out.ensure_closed_row()))
     }
 
     /// Evaluates `g` over every span, splitting the spans into contiguous
@@ -1176,7 +1224,7 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         target: u8,
         spans: &[(u32, u32, u32)],
         ctl: Ctl<'_>,
-    ) -> Result<Vec<SimilarityTable>, EngineError> {
+    ) -> Result<Vec<Arc<SimilarityTable>>, EngineError> {
         let p = self.config.parallel;
         let workers = (spans.len() / p.min_seqs_per_thread.max(1)).min(p.max_threads);
         let eval_span = |&(_, lo, hi): &(u32, u32, u32)| {
@@ -1199,20 +1247,21 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
         // instead of poisoning the join. Spans evaluate in order within a
         // chunk and chunk results are drained in order below, so the
         // winning error matches the sequential short-circuit.
-        let results: Vec<Result<Vec<SimilarityTable>, EngineError>> = std::thread::scope(|scope| {
-            let eval_span = &eval_span;
-            let handles: Vec<_> = spans
-                .chunks(chunk)
-                .map(|c| scope.spawn(move || c.iter().map(eval_span).collect()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(p))))
-                })
-                .collect()
-        });
+        let results: Vec<Result<Vec<Arc<SimilarityTable>>, EngineError>> =
+            std::thread::scope(|scope| {
+                let eval_span = &eval_span;
+                let handles: Vec<_> = spans
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || c.iter().map(eval_span).collect()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(p))))
+                    })
+                    .collect()
+            });
         let mut out = Vec::with_capacity(spans.len());
         for r in results {
             out.extend(r?);
@@ -1238,15 +1287,23 @@ impl<'a, P: AtomicProvider> Engine<'a, P> {
 }
 
 /// Extracts the similarity list of a closed-formula table, or errors when
-/// free variables remain.
-fn closed_table_list(t: SimilarityTable) -> Result<SimilarityList, EngineError> {
+/// free variables remain. The common single-row case shares the row's
+/// list by reference count.
+fn closed_table_list(t: &SimilarityTable) -> Result<Arc<SimilarityList>, EngineError> {
     if !t.obj_cols.is_empty() || !t.attr_cols.is_empty() {
         return Err(EngineError::UnsupportedFormula(format!(
             "free variables remain: {:?} {:?}",
             t.obj_cols, t.attr_cols
         )));
     }
-    Ok(t.into_closed_list())
+    Ok(match t.rows.len() {
+        0 => Arc::new(SimilarityList::empty(t.max)),
+        1 => Arc::clone(&t.rows[0].list),
+        _ => {
+            let lists: Vec<&SimilarityList> = t.rows.iter().map(|r| &*r.list).collect();
+            Arc::new(list::max_merge_many(&lists))
+        }
+    })
 }
 
 /// Upper bounds for a degraded answer from a salvaged partial sum: listed
@@ -1330,10 +1387,11 @@ mod tests {
     use simvid_htl::parse;
     use simvid_model::{AttrValue, VideoBuilder};
 
-    /// A provider that serves fixed lists keyed by the unit's printed form,
+    /// A provider that serves fixed lists keyed by the unit's interned
+    /// [`FormulaId`] (fixture sources are parsed and interned up front),
     /// slicing to the requested window.
     struct FixtureProvider {
-        tables: Vec<(String, SimilarityList)>,
+        tables: Vec<(simvid_htl::FormulaId, SimilarityList)>,
     }
 
     impl FixtureProvider {
@@ -1341,29 +1399,31 @@ mod tests {
             FixtureProvider {
                 tables: entries
                     .into_iter()
-                    .map(|(k, v)| (k.to_owned(), v))
+                    .map(|(k, v)| {
+                        let f = parse(k).expect("fixture key parses");
+                        (simvid_htl::FormulaId::of(&f), v)
+                    })
                     .collect(),
             }
         }
 
-        fn lookup(&self, key: &str) -> Option<&SimilarityList> {
-            self.tables.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        fn lookup(&self, f: &Formula) -> Option<&SimilarityList> {
+            let id = simvid_htl::FormulaId::of(f);
+            self.tables.iter().find(|(k, _)| *k == id).map(|(_, v)| v)
         }
     }
 
     impl AtomicProvider for FixtureProvider {
-        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-            let key = unit.formula.to_string();
+        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
             let list = self
-                .lookup(&key)
+                .lookup(&unit.formula)
                 .map(|l| l.slice_window(ctx.lo + 1, ctx.hi))
                 .unwrap_or_else(|| SimilarityList::empty(1.0));
-            SimilarityTable::from_list(list)
+            Arc::new(SimilarityTable::from_list(list))
         }
 
         fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
-            self.lookup(&unit.formula.to_string())
-                .map_or(1.0, SimilarityList::max)
+            self.lookup(&unit.formula).map_or(1.0, SimilarityList::max)
         }
 
         fn value_table(&self, _func: &AttrFn, _ctx: SeqContext) -> ValueTable {
@@ -1612,7 +1672,7 @@ mod tests {
         // Simulate a provider with free-variable rows via a custom impl.
         struct TwoBindings;
         impl AtomicProvider for TwoBindings {
-            fn atomic_table(&self, unit: &AtomicUnit, _ctx: SeqContext) -> SimilarityTable {
+            fn atomic_table(&self, unit: &AtomicUnit, _ctx: SeqContext) -> Arc<SimilarityTable> {
                 let mut t = SimilarityTable::new(
                     unit.free_objs.iter().map(|v| v.0.clone()).collect(),
                     vec![],
@@ -1621,14 +1681,14 @@ mod tests {
                 t.push_row(Row {
                     objs: vec![simvid_model::ObjectId(1)],
                     ranges: vec![],
-                    list: sl(vec![(1, 2, 1.0)], 2.0),
+                    list: Arc::new(sl(vec![(1, 2, 1.0)], 2.0)),
                 });
                 t.push_row(Row {
                     objs: vec![simvid_model::ObjectId(2)],
                     ranges: vec![],
-                    list: sl(vec![(2, 3, 2.0)], 2.0),
+                    list: Arc::new(sl(vec![(2, 3, 2.0)], 2.0)),
                 });
-                t
+                Arc::new(t)
             }
             fn atomic_max(&self, _unit: &AtomicUnit) -> f64 {
                 2.0
@@ -1655,7 +1715,7 @@ mod tests {
     }
 
     impl AtomicProvider for MisbehavingProvider {
-        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+        fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
             self.inner.atomic_table(unit, ctx)
         }
 
@@ -1663,7 +1723,7 @@ mod tests {
             &self,
             unit: &AtomicUnit,
             ctx: SeqContext,
-        ) -> Result<SimilarityTable, ProviderError> {
+        ) -> Result<Arc<SimilarityTable>, ProviderError> {
             let key = unit.formula.to_string();
             if self.panic_on.as_deref() == Some(key.as_str()) {
                 panic!("injected provider panic on {key}");

@@ -284,6 +284,251 @@ impl SimilarityList {
     }
 }
 
+/// Appends a positive-valued run to `out`, coalescing with the previous
+/// run when values agree and the intervals are adjacent. Every merge path
+/// (linear sweep and galloping kernels) emits through this helper, so they
+/// all produce the same canonical form: maximal runs of equal value.
+#[inline]
+fn push_run(out: &mut Vec<Entry>, iv: Interval, act: f64) {
+    if act <= 0.0 {
+        return;
+    }
+    match out.last_mut() {
+        Some(last) if last.act == act && last.iv.adjacent_before(iv) => {
+            last.iv.end = iv.end;
+        }
+        _ => out.push(Entry { iv, act }),
+    }
+}
+
+/// First index `i >= from` with `entries[i].iv.end >= pos`, found by
+/// exponential (galloping) search followed by a binary search over the
+/// located range — `O(log d)` where `d` is the distance advanced, against
+/// the linear scan's `O(d)`.
+fn gallop_end_ge(entries: &[Entry], from: usize, pos: SegPos) -> usize {
+    if from >= entries.len() || entries[from].iv.end >= pos {
+        return from;
+    }
+    // Invariant: entries[lo].iv.end < pos; hi is the first candidate that
+    // might satisfy the predicate.
+    let mut step = 1usize;
+    let mut lo = from;
+    loop {
+        let hi = match lo.checked_add(step) {
+            Some(h) if h < entries.len() => h,
+            _ => {
+                return lo + 1 + entries[lo + 1..].partition_point(|e| e.iv.end < pos);
+            }
+        };
+        if entries[hi].iv.end >= pos {
+            return lo + 1 + entries[lo + 1..hi].partition_point(|e| e.iv.end < pos);
+        }
+        lo = hi;
+        step *= 2;
+    }
+}
+
+/// First index `i >= from` with `entries[i].iv.beg > pos` (same galloping
+/// scheme as [`gallop_end_ge`], on the begin bound).
+fn gallop_beg_gt(entries: &[Entry], from: usize, pos: SegPos) -> usize {
+    if from >= entries.len() || entries[from].iv.beg > pos {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut lo = from;
+    loop {
+        let hi = match lo.checked_add(step) {
+            Some(h) if h < entries.len() => h,
+            _ => {
+                return lo + 1 + entries[lo + 1..].partition_point(|e| e.iv.beg <= pos);
+            }
+        };
+        if entries[hi].iv.beg > pos {
+            return lo + 1 + entries[lo + 1..hi].partition_point(|e| e.iv.beg <= pos);
+        }
+        lo = hi;
+        step *= 2;
+    }
+}
+
+/// Length ratio above which the skewed kernels replace the linear sweep.
+/// Below it, the linear merge's straight-line loop wins; above it, skipping
+/// the long list's untouched stretches pays for the galloping searches.
+const GALLOP_RATIO: usize = 16;
+
+/// Skewed merge for *pass-through* combiners — `f(v, 0) = v` and
+/// `f(0, v) = v` bit-exactly for `v > 0` (conjunction's sum, max-merge).
+/// Drives on the shorter list: stretches covered only by the long list are
+/// copied entry-by-entry without recomputing `f`, the gap to each short
+/// entry is located by galloping search, and only the short entry's window
+/// runs a local sweep. Output is bit-identical to [`sweep2`]: both emit the
+/// same per-position values through [`push_run`], and canonical runs are a
+/// function of the per-position values alone.
+fn skewed_passthrough(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    max: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> SimilarityList {
+    let short_is_l1 = l1.entries.len() <= l2.entries.len();
+    let (short, long) = if short_is_l1 {
+        (&l1.entries, &l2.entries)
+    } else {
+        (&l2.entries, &l1.entries)
+    };
+    // `f` is never called with swapped operands: orientation is fixed here.
+    let combine = |sv: f64, lv: f64| if short_is_l1 { f(sv, lv) } else { f(lv, sv) };
+    let mut out: Vec<Entry> = Vec::with_capacity(long.len() + 3 * short.len() + 1);
+    let mut j = 0usize;
+    // Positions of `long[j]` below `jclip` have already been emitted (a
+    // long entry can straddle a short entry's window boundary).
+    let mut jclip: SegPos = 0;
+    for s in short.iter() {
+        // Long entries ending before this short entry pass through whole.
+        let stop = gallop_end_ge(long, j, s.iv.beg);
+        while j < stop {
+            let e = &long[j];
+            push_run(
+                &mut out,
+                Interval::new(e.iv.beg.max(jclip), e.iv.end),
+                e.act,
+            );
+            j += 1;
+        }
+        // A straddling long entry contributes its prefix unchanged.
+        if let Some(e) = long.get(j) {
+            let b = e.iv.beg.max(jclip);
+            if b < s.iv.beg {
+                push_run(&mut out, Interval::new(b, s.iv.beg - 1), e.act);
+                jclip = s.iv.beg;
+            }
+        }
+        // Local sweep over the short entry's window.
+        let mut cur = s.iv.beg;
+        while cur <= s.iv.end {
+            match long.get(j) {
+                Some(e) if e.iv.beg.max(jclip) <= s.iv.end => {
+                    let b = e.iv.beg.max(jclip).max(cur);
+                    if cur < b {
+                        push_run(&mut out, Interval::new(cur, b - 1), combine(s.act, 0.0));
+                    }
+                    let hi = e.iv.end.min(s.iv.end);
+                    if b <= hi {
+                        push_run(&mut out, Interval::new(b, hi), combine(s.act, e.act));
+                    }
+                    cur = hi + 1;
+                    if e.iv.end <= s.iv.end {
+                        j += 1;
+                    } else {
+                        jclip = s.iv.end + 1;
+                    }
+                }
+                _ => {
+                    push_run(&mut out, Interval::new(cur, s.iv.end), combine(s.act, 0.0));
+                    cur = s.iv.end + 1;
+                }
+            }
+        }
+    }
+    // Flush the long tail.
+    while j < long.len() {
+        let e = &long[j];
+        push_run(
+            &mut out,
+            Interval::new(e.iv.beg.max(jclip), e.iv.end),
+            e.act,
+        );
+        j += 1;
+    }
+    SimilarityList { entries: out, max }
+}
+
+/// Skewed merge for *annihilating* combiners — `f(v, 0) ≤ 0` and
+/// `f(0, v) ≤ 0` (weakest-link, product): output exists only where both
+/// lists do, so a true galloping intersection applies. `O(s log l)` plus
+/// the output, against the linear sweep's `O(s + l)`.
+fn skewed_intersect(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    max: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> SimilarityList {
+    let short_is_l1 = l1.entries.len() <= l2.entries.len();
+    let (short, long) = if short_is_l1 {
+        (&l1.entries, &l2.entries)
+    } else {
+        (&l2.entries, &l1.entries)
+    };
+    let combine = |sv: f64, lv: f64| if short_is_l1 { f(sv, lv) } else { f(lv, sv) };
+    let mut out: Vec<Entry> = Vec::with_capacity(2 * short.len());
+    let mut j = 0usize;
+    for s in short.iter() {
+        j = gallop_end_ge(long, j, s.iv.beg);
+        let mut k = j;
+        while let Some(e) = long.get(k) {
+            if e.iv.beg > s.iv.end {
+                break;
+            }
+            if let Some(iv) = e.iv.intersection(s.iv) {
+                push_run(&mut out, iv, combine(s.act, e.act));
+            }
+            if e.iv.end <= s.iv.end {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        j = k;
+    }
+    SimilarityList { entries: out, max }
+}
+
+/// Whether the list lengths are skewed enough for the galloping kernels.
+fn skewed(l1: &SimilarityList, l2: &SimilarityList) -> bool {
+    let (s, l) = if l1.entries.len() <= l2.entries.len() {
+        (l1.entries.len(), l2.entries.len())
+    } else {
+        (l2.entries.len(), l1.entries.len())
+    };
+    l >= GALLOP_RATIO * s.max(1)
+}
+
+/// Merge with a pass-through combiner, picking the skewed kernel or the
+/// linear sweep by length ratio. Both paths are bit-identical.
+fn merge_passthrough(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    max: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> SimilarityList {
+    if skewed(l1, l2) {
+        skewed_passthrough(l1, l2, max, f)
+    } else {
+        sweep2(l1, l2, max, f)
+    }
+}
+
+/// Merge with an annihilating combiner, picking the galloping intersection
+/// or the linear sweep by length ratio. Both paths are bit-identical.
+fn merge_intersect(
+    l1: &SimilarityList,
+    l2: &SimilarityList,
+    max: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> SimilarityList {
+    if l1.entries.is_empty() || l2.entries.is_empty() {
+        return SimilarityList {
+            entries: Vec::new(),
+            max,
+        };
+    }
+    if skewed(l1, l2) {
+        skewed_intersect(l1, l2, max, f)
+    } else {
+        sweep2(l1, l2, max, f)
+    }
+}
+
 /// Sweeps two lists in lock step, combining per-position values with `f`
 /// (absent positions count as 0); positions where `f` yields `<= 0` are
 /// dropped. `O(l₁ + l₂)`.
@@ -348,16 +593,7 @@ fn sweep2(
             .get(j)
             .filter(|e| e.iv.contains(b))
             .map_or(0.0, |e| e.act);
-        let v = f(v1, v2);
-        if v > 0.0 {
-            let iv = Interval::new(b, next_b - 1);
-            match out.last_mut() {
-                Some(last) if last.act == v && last.iv.adjacent_before(iv) => {
-                    last.iv.end = iv.end;
-                }
-                _ => out.push(Entry { iv, act: v }),
-            }
-        }
+        push_run(&mut out, Interval::new(b, next_b - 1), f(v1, v2));
     }
     SimilarityList { entries: out, max }
 }
@@ -365,10 +601,13 @@ fn sweep2(
 /// Conjunction `f = g ∧ h`: per-position sum of actual similarities, with
 /// maxima added. A position appearing in only one list keeps that list's
 /// value — partial satisfaction counts (§2.5). `O(l₁ + l₂)` on sorted lists
-/// (the paper's modified merge).
+/// (the paper's modified merge), dropping to the skewed pass-through kernel
+/// when one list is much shorter (IEEE addition with one operand zero and
+/// the other positive returns the other operand bit-exactly, so the kernel
+/// may copy single-sided stretches without re-adding).
 #[must_use]
 pub fn and(l1: &SimilarityList, l2: &SimilarityList) -> SimilarityList {
-    sweep2(l1, l2, l1.max + l2.max, |a, b| a + b)
+    merge_passthrough(l1, l2, l1.max + l2.max, |a, b| a + b)
 }
 
 /// Alternative conjunction semantics — the paper's conclusion calls for
@@ -402,10 +641,13 @@ pub fn and_with(
     let frac = |a: f64, m: f64| if m > 0.0 { a / m } else { 0.0 };
     match sem {
         ConjunctionSemantics::Sum => and(l1, l2),
-        ConjunctionSemantics::WeakestLink => sweep2(l1, l2, out_max, move |a, b| {
+        // Weakest-link and product are annihilating — a position missing
+        // either conjunct scores zero — so the galloping intersection
+        // kernel applies when the lengths are skewed.
+        ConjunctionSemantics::WeakestLink => merge_intersect(l1, l2, out_max, move |a, b| {
             frac(a, m1).min(frac(b, m2)) * out_max
         }),
-        ConjunctionSemantics::Product => sweep2(l1, l2, out_max, move |a, b| {
+        ConjunctionSemantics::Product => merge_intersect(l1, l2, out_max, move |a, b| {
             frac(a, m1) * frac(b, m2) * out_max
         }),
     }
@@ -417,17 +659,18 @@ pub fn and_with(
 /// kept.
 #[must_use]
 pub fn max_merge(l1: &SimilarityList, l2: &SimilarityList) -> SimilarityList {
-    sweep2(l1, l2, l1.max.max(l2.max), f64::max)
+    // `max(v, 0) = v` for positive `v`: pass-through kernel eligible.
+    merge_passthrough(l1, l2, l1.max.max(l2.max), f64::max)
 }
 
 /// `m`-way max merge by balanced divide and conquer: `O(l log m)` where `l`
 /// is the total entry count — the complexity the paper quotes for the
 /// modified m-way merge of §3.2.
 #[must_use]
-pub fn max_merge_many(lists: &[SimilarityList]) -> SimilarityList {
+pub fn max_merge_many<L: std::borrow::Borrow<SimilarityList>>(lists: &[L]) -> SimilarityList {
     match lists {
         [] => SimilarityList::empty(0.0),
-        [one] => one.clone(),
+        [one] => one.borrow().clone(),
         many => {
             let mid = many.len() / 2;
             max_merge(&max_merge_many(&many[..mid]), &max_merge_many(&many[mid..]))
@@ -498,14 +741,11 @@ pub fn until(lg: &SimilarityList, lh: &SimilarityList, theta: f64) -> Similarity
     for run in runs {
         let (s, e) = (run.beg, run.end);
         // Eligible h-entries: J.end >= s and J.beg <= e + 1; contiguous
-        // because entries are disjoint and sorted.
-        while j_start < js.len() && js[j_start].iv.end < s {
-            j_start += 1;
-        }
-        let mut j_end = j_start;
-        while j_end < js.len() && js[j_end].iv.beg <= e + 1 {
-            j_end += 1;
-        }
+        // because entries are disjoint and sorted. Both bounds are found by
+        // galloping search — with few g-runs over a long h-list this skips
+        // the stretches of h no run can reach.
+        j_start = gallop_end_ge(js, j_start, s);
+        let j_end = gallop_beg_gt(js, j_start, e + 1);
         let eligible = &js[j_start..j_end];
         if eligible.is_empty() {
             continue;
@@ -799,7 +1039,7 @@ mod tests {
             fold = max_merge(&fold, l);
         }
         assert_eq!(dc.to_tuples(), fold.to_tuples());
-        assert!(max_merge_many(&[]).is_empty());
+        assert!(max_merge_many::<SimilarityList>(&[]).is_empty());
     }
 
     #[test]
@@ -850,6 +1090,114 @@ mod tests {
     fn coverage_counts_positions() {
         let l = sl(vec![(1, 3, 1.0), (10, 10, 1.0)], 2.0);
         assert_eq!(l.coverage(), 4);
+    }
+
+    /// A long list with `n` separated entries for kernel skew tests.
+    fn long_list(n: u32, max: f64) -> SimilarityList {
+        let tuples: Vec<(SegPos, SegPos, f64)> = (0..n)
+            .map(|k| (3 * k + 1, 3 * k + 2, 0.5 + f64::from(k % 4)))
+            .collect();
+        sl(tuples, max)
+    }
+
+    #[test]
+    fn passthrough_kernel_matches_sweep_on_skewed_inputs() {
+        // 1:100 skew — the dispatch would pick the kernel; compare both
+        // paths directly on the same inputs.
+        let short = sl(vec![(10, 40, 2.0), (150, 160, 1.0)], 4.5);
+        let long = long_list(100, 4.5);
+        for (a, b) in [(&short, &long), (&long, &short)] {
+            let sum = |x: f64, y: f64| x + y;
+            assert_eq!(skewed_passthrough(a, b, 9.0, sum), sweep2(a, b, 9.0, sum));
+            assert_eq!(
+                skewed_passthrough(a, b, 4.5, f64::max),
+                sweep2(a, b, 4.5, f64::max)
+            );
+        }
+    }
+
+    #[test]
+    fn passthrough_kernel_matches_sweep_on_edge_shapes() {
+        let sum = |x: f64, y: f64| x + y;
+        let long = long_list(40, 4.5);
+        // Empty short side: pure copy (with coalescing).
+        let empty = SimilarityList::empty(1.0);
+        assert_eq!(
+            skewed_passthrough(&empty, &long, 5.5, sum),
+            sweep2(&empty, &long, 5.5, sum)
+        );
+        // Single-entry short side spanning many long entries.
+        let single = sl(vec![(5, 100, 3.0)], 3.0);
+        assert_eq!(
+            skewed_passthrough(&single, &long, 7.5, sum),
+            sweep2(&single, &long, 7.5, sum)
+        );
+        // 1:1 shapes still agree (dispatch would not pick the kernel, but
+        // equivalence must not depend on the ratio).
+        let a = sl(vec![(1, 3, 1.0), (8, 12, 2.0)], 2.0);
+        let b = sl(vec![(2, 9, 0.5)], 1.0);
+        assert_eq!(
+            skewed_passthrough(&a, &b, 3.0, sum),
+            sweep2(&a, &b, 3.0, sum)
+        );
+        // Coalescing across copied entries: adjacent equal-valued long
+        // entries merge exactly as the sweep merges them.
+        let adjacent = sl(vec![(1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0)], 1.0);
+        let far = sl(vec![(50, 50, 2.0)], 2.0);
+        assert_eq!(
+            skewed_passthrough(&far, &adjacent, 3.0, sum),
+            sweep2(&far, &adjacent, 3.0, sum)
+        );
+    }
+
+    #[test]
+    fn intersect_kernel_matches_sweep_on_skewed_inputs() {
+        let weakest = |a: f64, b: f64| (a / 4.5).min(b / 4.5) * 9.0;
+        let short = sl(vec![(10, 40, 2.0), (150, 160, 1.0)], 4.5);
+        let long = long_list(100, 4.5);
+        for (a, b) in [(&short, &long), (&long, &short)] {
+            assert_eq!(
+                skewed_intersect(a, b, 9.0, weakest),
+                sweep2(a, b, 9.0, weakest)
+            );
+        }
+        // Single-entry and disjoint cases.
+        let single = sl(vec![(31, 32, 4.0)], 4.5);
+        assert_eq!(
+            skewed_intersect(&single, &long, 9.0, weakest),
+            sweep2(&single, &long, 9.0, weakest)
+        );
+        let disjoint = sl(vec![(1000, 1001, 1.0)], 4.5);
+        assert_eq!(
+            skewed_intersect(&disjoint, &long, 9.0, weakest),
+            sweep2(&disjoint, &long, 9.0, weakest)
+        );
+    }
+
+    #[test]
+    fn gallop_searches_match_linear_scans() {
+        let l = long_list(50, 4.5);
+        let es = l.entries();
+        for from in [0usize, 3, 20, 49, 50] {
+            for pos in [0u32, 1, 2, 5, 70, 148, 149, 150, 1000] {
+                let linear_end = (from..es.len())
+                    .find(|&i| es[i].iv.end >= pos)
+                    .unwrap_or(es.len());
+                assert_eq!(gallop_end_ge(es, from, pos), linear_end, "end {from} {pos}");
+                let linear_beg = (from..es.len())
+                    .find(|&i| es[i].iv.beg > pos)
+                    .unwrap_or(es.len());
+                assert_eq!(gallop_beg_gt(es, from, pos), linear_beg, "beg {from} {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_ratio_picks_kernels_only_when_skewed() {
+        let short = sl(vec![(1, 2, 1.0)], 1.0);
+        assert!(skewed(&short, &long_list(16, 4.5)));
+        assert!(!skewed(&short, &long_list(15, 4.5)));
+        assert!(skewed(&SimilarityList::empty(1.0), &long_list(16, 4.5)));
     }
 }
 

@@ -4,29 +4,56 @@
 //! DAGs in practice: the same subformula often occurs several times
 //! (`g ∧ eventually g`, repeated atomic units, shared level-modal
 //! blocks). The memo layer caches every evaluated [`SimilarityTable`]
-//! keyed by the *printed* (normalized) subformula plus the exact
+//! keyed by the subformula's interned [`FormulaId`] plus the exact
 //! [`SeqContext`] it was evaluated on, turning repeated subformulas into
 //! O(1) lookups — common-subexpression elimination over the formula DAG.
 //!
-//! The cache is internally synchronised so the parallel fan-out paths of
-//! the engine can share it: lookups and stores take a [`Mutex`], which is
-//! cheap next to the list work a hit saves.
+//! Two hot-path properties matter here:
+//!
+//! * **Hits are zero-copy.** Values are stored and handed out as
+//!   `Arc<SimilarityTable>`; a hit is a reference-count bump, not a deep
+//!   clone of rows and lists.
+//! * **Lookups don't serialize.** The map is sharded N ways by key hash so
+//!   the engine's parallel fan-out paths rarely contend on one lock, and a
+//!   relaxed entry counter lets `lookup` skip locking entirely while the
+//!   cache is empty (the common case for the first evaluation of a query).
 
 use crate::{SeqContext, SimilarityTable};
-use simvid_htl::Formula;
+use simvid_htl::{Formula, FormulaId};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// A memo key: the subformula's canonical printed form plus the sequence
-/// context it was evaluated on. Two occurrences of a subformula hit the
-/// same entry exactly when they print identically and run over the same
-/// segment window.
-pub type MemoKey = (String, u8, u32, u32);
+/// A memo key: the subformula's interned id plus the sequence context it
+/// was evaluated on. Two occurrences of a subformula hit the same entry
+/// exactly when they are structurally equal and run over the same segment
+/// window.
+pub type MemoKey = (FormulaId, u8, u32, u32);
 
-/// A thread-safe cache of evaluated similarity tables.
-#[derive(Debug, Default)]
+/// Number of independent shards. A small power of two: enough to keep the
+/// engine's bounded thread fan-out (≤ available cores) off each other's
+/// locks, cheap enough to clear per top-level evaluation.
+const SHARDS: usize = 8;
+
+/// A thread-safe, sharded cache of evaluated similarity tables.
+#[derive(Debug)]
 pub struct MemoCache {
-    map: Mutex<HashMap<MemoKey, SimilarityTable>>,
+    shards: [Mutex<HashMap<MemoKey, Arc<SimilarityTable>>>; SHARDS],
+    /// Total entries across shards, maintained relaxed — only used for the
+    /// empty fast path and statistics, never for synchronization.
+    entries: AtomicUsize,
+    hasher: RandomState,
+}
+
+impl Default for MemoCache {
+    fn default() -> MemoCache {
+        MemoCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            entries: AtomicUsize::new(0),
+            hasher: RandomState::new(),
+        }
+    }
 }
 
 impl MemoCache {
@@ -36,28 +63,46 @@ impl MemoCache {
         MemoCache::default()
     }
 
-    /// The key of a subformula evaluation.
+    /// The key of a subformula evaluation. Interns the formula; callers on
+    /// the memoizing path pay this once per (subformula, window) visit and
+    /// the intern table makes repeat visits a hash-probe.
     #[must_use]
     pub fn key(f: &Formula, ctx: SeqContext) -> MemoKey {
-        (f.to_string(), ctx.depth, ctx.lo, ctx.hi)
+        (FormulaId::of(f), ctx.depth, ctx.lo, ctx.hi)
     }
 
-    /// The cached table for a key, if present.
+    fn shard(&self, key: &MemoKey) -> &Mutex<HashMap<MemoKey, Arc<SimilarityTable>>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
+    }
+
+    /// The cached table for a key, if present. A hit bumps a reference
+    /// count; the table itself is never copied.
     #[must_use]
-    pub fn lookup(&self, key: &MemoKey) -> Option<SimilarityTable> {
-        self.map.lock().expect("memo lock").get(key).cloned()
+    pub fn lookup(&self, key: &MemoKey) -> Option<Arc<SimilarityTable>> {
+        // Lock-free fast path: nothing stored anywhere yet.
+        if self.entries.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.shard(key).lock().expect("memo lock").get(key).cloned()
     }
 
     /// Stores an evaluated table. Later stores for the same key win (they
     /// hold the same value: evaluation is deterministic).
-    pub fn store(&self, key: MemoKey, table: SimilarityTable) {
-        self.map.lock().expect("memo lock").insert(key, table);
+    pub fn store(&self, key: MemoKey, table: Arc<SimilarityTable>) {
+        let prev = self
+            .shard(&key)
+            .lock()
+            .expect("memo lock")
+            .insert(key, table);
+        if prev.is_none() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of cached evaluations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("memo lock").len()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// Whether the cache is empty.
@@ -68,7 +113,10 @@ impl MemoCache {
 
     /// Drops every cached entry.
     pub fn clear(&self) {
-        self.map.lock().expect("memo lock").clear();
+        for shard in &self.shards {
+            shard.lock().expect("memo lock").clear();
+        }
+        self.entries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -80,17 +128,78 @@ mod tests {
     #[test]
     fn lookup_returns_stored_tables() {
         let cache = MemoCache::new();
-        let key: MemoKey = ("p()".into(), 1, 0, 50);
-        assert!(cache.lookup(&key).is_none());
-        let table = SimilarityTable::from_list(
-            SimilarityList::from_tuples(vec![(1, 3, 1.0)], 2.0).unwrap(),
+        let f = simvid_htl::parse("p()").expect("parse");
+        let key = MemoCache::key(
+            &f,
+            SeqContext {
+                depth: 1,
+                lo: 0,
+                hi: 50,
+            },
         );
-        cache.store(key.clone(), table.clone());
-        assert_eq!(cache.lookup(&key), Some(table));
+        assert!(cache.lookup(&key).is_none());
+        let table = Arc::new(SimilarityTable::from_list(
+            SimilarityList::from_tuples(vec![(1, 3, 1.0)], 2.0).unwrap(),
+        ));
+        cache.store(key, Arc::clone(&table));
+        assert_eq!(cache.lookup(&key).as_deref(), Some(&*table));
         assert_eq!(cache.len(), 1);
         // A different window is a different key.
-        assert!(cache.lookup(&("p()".into(), 1, 0, 10)).is_none());
+        assert!(cache
+            .lookup(&MemoCache::key(
+                &f,
+                SeqContext {
+                    depth: 1,
+                    lo: 0,
+                    hi: 10
+                }
+            ))
+            .is_none());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hits_share_storage_instead_of_cloning() {
+        let cache = MemoCache::new();
+        let f = simvid_htl::parse("q()").expect("parse");
+        let key = MemoCache::key(
+            &f,
+            SeqContext {
+                depth: 1,
+                lo: 0,
+                hi: 9,
+            },
+        );
+        let table = Arc::new(SimilarityTable::from_list(
+            SimilarityList::from_tuples(vec![(1, 1, 0.5)], 1.0).unwrap(),
+        ));
+        cache.store(key, Arc::clone(&table));
+        let hit = cache.lookup(&key).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &table));
+    }
+
+    #[test]
+    fn empty_fast_path_stays_consistent_across_clear() {
+        let cache = MemoCache::new();
+        let f = simvid_htl::parse("r()").expect("parse");
+        let key = MemoCache::key(
+            &f,
+            SeqContext {
+                depth: 2,
+                lo: 5,
+                hi: 7,
+            },
+        );
+        let table = Arc::new(SimilarityTable::from_list(
+            SimilarityList::from_tuples(vec![(2, 4, 1.5)], 2.0).unwrap(),
+        ));
+        // Overwrites keep the count at one entry.
+        cache.store(key, Arc::clone(&table));
+        cache.store(key, table);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key).is_none());
     }
 }

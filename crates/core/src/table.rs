@@ -11,6 +11,7 @@ use crate::{list, AttrRange, SimilarityList};
 use serde::{Deserialize, Serialize};
 use simvid_model::ObjectId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One evaluation row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,8 +20,11 @@ pub struct Row {
     pub objs: Vec<ObjectId>,
     /// Attribute ranges, aligned with [`SimilarityTable::attr_cols`].
     pub ranges: Vec<AttrRange>,
-    /// The similarity list under this evaluation.
-    pub list: SimilarityList,
+    /// The similarity list under this evaluation. Shared: join and group
+    /// operations that keep a list unchanged bump the reference count
+    /// instead of copying entries, so table-level plumbing only ever moves
+    /// small row headers.
+    pub list: Arc<SimilarityList>,
 }
 
 /// A similarity table: evaluations × similarity lists.
@@ -48,6 +52,22 @@ impl SimilarityTable {
         }
     }
 
+    /// A closed (column-less) table holding a single, already shared list.
+    #[must_use]
+    pub fn from_shared_list(list: Arc<SimilarityList>) -> SimilarityTable {
+        let max = list.max();
+        SimilarityTable {
+            obj_cols: Vec::new(),
+            attr_cols: Vec::new(),
+            max,
+            rows: vec![Row {
+                objs: Vec::new(),
+                ranges: Vec::new(),
+                list,
+            }],
+        }
+    }
+
     /// A closed (column-less) table holding a single list.
     #[must_use]
     pub fn from_list(list: SimilarityList) -> SimilarityTable {
@@ -59,7 +79,7 @@ impl SimilarityTable {
             rows: vec![Row {
                 objs: Vec::new(),
                 ranges: Vec::new(),
-                list,
+                list: Arc::new(list),
             }],
         }
     }
@@ -102,7 +122,7 @@ impl SimilarityTable {
             self.rows.push(Row {
                 objs: Vec::new(),
                 ranges: Vec::new(),
-                list: SimilarityList::empty(max),
+                list: Arc::new(SimilarityList::empty(max)),
             });
         }
         self
@@ -117,7 +137,7 @@ impl SimilarityTable {
         f: impl Fn(&SimilarityList) -> SimilarityList,
     ) -> SimilarityTable {
         for row in &mut self.rows {
-            row.list = f(&row.list);
+            row.list = Arc::new(f(&row.list));
         }
         self.max = max;
         self.rows.retain(|r| !r.list.is_empty());
@@ -198,7 +218,7 @@ impl SimilarityTable {
                 out.rows.push(Row {
                     objs,
                     ranges,
-                    list: combined,
+                    list: Arc::new(combined),
                 });
             }
         }
@@ -221,8 +241,10 @@ impl SimilarityTable {
         }
         // Group rows by remaining binding; row counts are small, so a
         // quadratic scan with PartialEq keys (ranges hold floats) is fine.
+        // Lists are Arc-shared: a singleton group keeps its row's list
+        // untouched, only multi-row groups materialize a merged list.
         let mut groups: Vec<Row> = Vec::new();
-        let mut pending: Vec<Vec<SimilarityList>> = Vec::new();
+        let mut pending: Vec<Vec<Arc<SimilarityList>>> = Vec::new();
         for row in self.rows.drain(..) {
             match groups
                 .iter()
@@ -230,13 +252,15 @@ impl SimilarityTable {
             {
                 Some(gi) => pending[gi].push(row.list),
                 None => {
-                    pending.push(vec![row.list.clone()]);
+                    pending.push(vec![Arc::clone(&row.list)]);
                     groups.push(row);
                 }
             }
         }
         for (g, lists) in groups.iter_mut().zip(&pending) {
-            g.list = list::max_merge_many(lists);
+            if lists.len() > 1 {
+                g.list = Arc::new(list::max_merge_many(lists));
+            }
         }
         groups.retain(|g| !g.list.is_empty());
         self.rows = groups;
@@ -245,17 +269,39 @@ impl SimilarityTable {
 
     /// Extracts the single similarity list of a closed table (max-merging
     /// rows if several remain). Returns the empty list when no rows exist.
+    /// The common single-row case hands the row's list out by reference
+    /// count; only multi-row tables materialize a merged list.
     #[must_use]
-    pub fn into_closed_list(self) -> SimilarityList {
+    pub fn into_closed_list(self) -> Arc<SimilarityList> {
         debug_assert!(
             self.obj_cols.is_empty() && self.attr_cols.is_empty(),
             "closed table has no columns"
         );
-        let lists: Vec<SimilarityList> = self.rows.into_iter().map(|r| r.list).collect();
-        if lists.is_empty() {
-            return SimilarityList::empty(self.max);
+        let mut lists: Vec<Arc<SimilarityList>> = self.rows.into_iter().map(|r| r.list).collect();
+        match lists.len() {
+            0 => Arc::new(SimilarityList::empty(self.max)),
+            1 => lists.pop().expect("one list"),
+            _ => Arc::new(list::max_merge_many(&lists)),
         }
-        list::max_merge_many(&lists)
+    }
+
+    /// Borrowed twin of [`SimilarityTable::into_closed_list`] for shared
+    /// tables: the common single-row case hands back the row's list by
+    /// reference count.
+    #[must_use]
+    pub fn closed_list(&self) -> Arc<SimilarityList> {
+        debug_assert!(
+            self.obj_cols.is_empty() && self.attr_cols.is_empty(),
+            "closed table has no columns"
+        );
+        match self.rows.len() {
+            0 => Arc::new(SimilarityList::empty(self.max)),
+            1 => Arc::clone(&self.rows[0].list),
+            _ => {
+                let lists: Vec<&SimilarityList> = self.rows.iter().map(|r| &*r.list).collect();
+                Arc::new(list::max_merge_many(&lists))
+            }
+        }
     }
 
     /// A rough estimate of the table's heap footprint in bytes (rows,
@@ -290,8 +336,8 @@ mod tests {
     use super::*;
     use simvid_model::ObjectId;
 
-    fn sl(tuples: Vec<(u32, u32, f64)>, max: f64) -> SimilarityList {
-        SimilarityList::from_tuples(tuples, max).unwrap()
+    fn arc(tuples: Vec<(u32, u32, f64)>, max: f64) -> Arc<SimilarityList> {
+        Arc::new(SimilarityList::from_tuples(tuples, max).unwrap())
     }
 
     fn table_xy() -> SimilarityTable {
@@ -299,12 +345,12 @@ mod tests {
         t.push_row(Row {
             objs: vec![ObjectId(1), ObjectId(2)],
             ranges: vec![],
-            list: sl(vec![(1, 5, 2.0)], 2.0),
+            list: arc(vec![(1, 5, 2.0)], 2.0),
         });
         t.push_row(Row {
             objs: vec![ObjectId(1), ObjectId(3)],
             ranges: vec![],
-            list: sl(vec![(4, 8, 1.0)], 2.0),
+            list: arc(vec![(4, 8, 1.0)], 2.0),
         });
         t
     }
@@ -314,12 +360,12 @@ mod tests {
         t.push_row(Row {
             objs: vec![ObjectId(2), ObjectId(9)],
             ranges: vec![],
-            list: sl(vec![(3, 6, 3.0)], 3.0),
+            list: arc(vec![(3, 6, 3.0)], 3.0),
         });
         t.push_row(Row {
             objs: vec![ObjectId(4), ObjectId(9)],
             ranges: vec![],
-            list: sl(vec![(1, 2, 3.0)], 3.0),
+            list: arc(vec![(1, 2, 3.0)], 3.0),
         });
         t
     }
@@ -344,18 +390,18 @@ mod tests {
         a.push_row(Row {
             objs: vec![ObjectId(1)],
             ranges: vec![],
-            list: sl(vec![(1, 1, 1.0)], 1.0),
+            list: arc(vec![(1, 1, 1.0)], 1.0),
         });
         a.push_row(Row {
             objs: vec![ObjectId(2)],
             ranges: vec![],
-            list: sl(vec![(2, 2, 1.0)], 1.0),
+            list: arc(vec![(2, 2, 1.0)], 1.0),
         });
         let mut b = SimilarityTable::new(vec!["y".into()], vec![], 1.0);
         b.push_row(Row {
             objs: vec![ObjectId(7)],
             ranges: vec![],
-            list: sl(vec![(1, 2, 1.0)], 1.0),
+            list: arc(vec![(1, 2, 1.0)], 1.0),
         });
         let t = a.join(&b, 2.0, list::and);
         assert_eq!(t.rows.len(), 2);
@@ -367,18 +413,18 @@ mod tests {
         a.push_row(Row {
             objs: vec![],
             ranges: vec![AttrRange::between(1, 10)],
-            list: sl(vec![(1, 4, 1.0)], 1.0),
+            list: arc(vec![(1, 4, 1.0)], 1.0),
         });
         let mut b = SimilarityTable::new(vec![], vec!["h".into()], 1.0);
         b.push_row(Row {
             objs: vec![],
             ranges: vec![AttrRange::between(5, 20)],
-            list: sl(vec![(2, 6, 1.0)], 1.0),
+            list: arc(vec![(2, 6, 1.0)], 1.0),
         });
         b.push_row(Row {
             objs: vec![],
             ranges: vec![AttrRange::between(50, 60)],
-            list: sl(vec![(1, 9, 1.0)], 1.0),
+            list: arc(vec![(1, 9, 1.0)], 1.0),
         });
         let t = a.join(&b, 2.0, list::and);
         // The [50,60] row is incompatible with [1,10].
@@ -431,7 +477,7 @@ mod tests {
         t.push_row(Row {
             objs: vec![],
             ranges: vec![],
-            list: SimilarityList::empty(1.0),
+            list: Arc::new(SimilarityList::empty(1.0)),
         });
     }
 }

@@ -11,6 +11,7 @@
 use crate::{list, Interval, Row, SimilarityTable};
 use serde::{Deserialize, Serialize};
 use simvid_model::{AttrValue, ObjectId};
+use std::sync::Arc;
 
 /// One row of a value table: an evaluation of the object variables, a value
 /// of the attribute function, and the intervals where it holds that value.
@@ -112,12 +113,12 @@ pub fn freeze_join(body: &SimilarityTable, values: &ValueTable, var: &str) -> Si
                 .find(|r| r.objs == objs && r.ranges == ranges)
             {
                 Some(existing) => {
-                    existing.list = list::max_merge(&existing.list, &restricted);
+                    existing.list = Arc::new(list::max_merge(&existing.list, &restricted));
                 }
                 None => out.rows.push(Row {
                     objs,
                     ranges,
-                    list: restricted,
+                    list: Arc::new(restricted),
                 }),
             }
         }
@@ -147,7 +148,7 @@ mod tests {
                 hi: Some(249),
                 ..AttrRange::any()
             }],
-            list: sl(vec![(1, 8, 2.0)], 2.0),
+            list: Arc::new(sl(vec![(1, 8, 2.0)], 2.0)),
         });
         body.push_row(Row {
             objs: vec![ObjectId(1)],
@@ -155,7 +156,7 @@ mod tests {
                 hi: Some(99),
                 ..AttrRange::any()
             }],
-            list: sl(vec![(1, 3, 2.0)], 2.0),
+            list: Arc::new(sl(vec![(1, 3, 2.0)], 2.0)),
         });
         // height(o1) = 100 on [1,2] and 250 on [3,4].
         let mut vt = ValueTable::new(vec!["z".into()]);
@@ -186,7 +187,7 @@ mod tests {
         body.push_row(Row {
             objs: vec![],
             ranges: vec![],
-            list: sl(vec![(1, 10, 1.0)], 1.0),
+            list: Arc::new(sl(vec![(1, 10, 1.0)], 1.0)),
         });
         let mut vt = ValueTable::new(vec![]);
         vt.rows.push(ValueRow {
@@ -206,7 +207,7 @@ mod tests {
         body.push_row(Row {
             objs: vec![],
             ranges: vec![AttrRange::any()],
-            list: sl(vec![(1, 10, 1.0)], 1.0),
+            list: Arc::new(sl(vec![(1, 10, 1.0)], 1.0)),
         });
         let mut vt = ValueTable::new(vec![]);
         vt.rows.push(ValueRow {
@@ -230,7 +231,7 @@ mod tests {
         body.push_row(Row {
             objs: vec![ObjectId(1)],
             ranges: vec![AttrRange::any()],
-            list: sl(vec![(1, 5, 1.0)], 1.0),
+            list: Arc::new(sl(vec![(1, 5, 1.0)], 1.0)),
         });
         let mut vt = ValueTable::new(vec!["z".into()]);
         vt.rows.push(ValueRow {

@@ -86,11 +86,11 @@ impl Lists {
 }
 
 impl AtomicProvider for Lists {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-        SimilarityTable::from_list(
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> std::sync::Arc<SimilarityTable> {
+        std::sync::Arc::new(SimilarityTable::from_list(
             self.eval_pure(&unit.formula)
                 .slice_window(ctx.lo + 1, ctx.hi),
-        )
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {

@@ -195,3 +195,145 @@ proptest! {
         prop_assert!(c.len() <= l.len());
     }
 }
+
+// ---- galloping-kernel equivalence ----------------------------------------
+//
+// The binary merges dispatch to galloping (exponential-search) kernels when
+// one operand has at least 16× the entries of the other. These properties
+// drive that dispatch through the public API with *skewed* inputs — empty,
+// single-entry, ~1:100, and 1:1 operands over a 1000-position domain — and
+// demand bit-identity with the linear oracle: the output tuples must equal
+// the canonical form of the dense per-position computation exactly, not
+// just approximately.
+
+/// Domain size for the skewed-kernel properties (large enough that a long
+/// operand clears the 16× dispatch ratio against a short one).
+const WIDE: usize = 1000;
+
+fn oracle_weakest(a: &[f64], ma: f64, b: &[f64], mb: f64) -> Vec<f64> {
+    let out_max = ma + mb;
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x / ma).min(y / mb) * out_max)
+        .collect()
+}
+
+fn oracle_product(a: &[f64], ma: f64, b: &[f64], mb: f64) -> Vec<f64> {
+    let out_max = ma + mb;
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x / ma) * (y / mb) * out_max)
+        .collect()
+}
+
+/// A sparse list with roughly `entries` entries over `WIDE` positions,
+/// values drawn from exact binary fractions of `max` so the oracle's f64
+/// arithmetic reproduces the kernels' bit-for-bit.
+fn sparse(entries: std::ops::Range<usize>, max: f64) -> impl Strategy<Value = Vec<f64>> {
+    let pool = vec![0.25 * max, 0.5 * max, 0.75 * max, max];
+    prop::collection::vec(
+        (0usize..WIDE, 1usize..4, prop::sample::select(pool)),
+        entries,
+    )
+    .prop_map(|spans| {
+        let mut dense = vec![0.0; WIDE];
+        for (start, len, v) in spans {
+            for slot in dense.iter_mut().skip(start).take(len) {
+                *slot = v;
+            }
+        }
+        dense
+    })
+}
+
+/// Exact (bit-level) equality with the canonical form of a dense oracle.
+fn assert_bit_identical(
+    out: &SimilarityList,
+    expect_dense: &[f64],
+    max: f64,
+) -> Result<(), TestCaseError> {
+    out.check_invariants().unwrap();
+    let expect = SimilarityList::from_dense(expect_dense, max);
+    prop_assert_eq!(out.to_tuples(), expect.to_tuples());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn skewed_and_bit_identical_to_oracle(
+        short in sparse(0..4, 2.0),
+        long in sparse(120..240, 3.0),
+    ) {
+        let ls = SimilarityList::from_dense(&short, 2.0);
+        let ll = SimilarityList::from_dense(&long, 3.0);
+        // Both orientations: the sum combiner is symmetric, but the kernel
+        // drives on whichever side is shorter.
+        assert_bit_identical(&list::and(&ls, &ll), &oracle_and(&short, &long), 5.0)?;
+        assert_bit_identical(&list::and(&ll, &ls), &oracle_and(&long, &short), 5.0)?;
+    }
+
+    #[test]
+    fn skewed_max_merge_bit_identical_to_oracle(
+        short in sparse(0..4, 4.0),
+        long in sparse(120..240, 4.0),
+    ) {
+        let ls = SimilarityList::from_dense(&short, 4.0);
+        let ll = SimilarityList::from_dense(&long, 4.0);
+        assert_bit_identical(&list::max_merge(&ls, &ll), &oracle_max(&short, &long), 4.0)?;
+        assert_bit_identical(&list::max_merge(&ll, &ls), &oracle_max(&long, &short), 4.0)?;
+    }
+
+    #[test]
+    fn skewed_annihilating_conjunctions_bit_identical_to_oracle(
+        short in sparse(0..4, 2.0),
+        long in sparse(120..240, 4.0),
+    ) {
+        let ls = SimilarityList::from_dense(&short, 2.0);
+        let ll = SimilarityList::from_dense(&long, 4.0);
+        let weak = list::and_with(&ls, &ll, simvid_core::ConjunctionSemantics::WeakestLink);
+        assert_bit_identical(&weak, &oracle_weakest(&short, 2.0, &long, 4.0), 6.0)?;
+        let weak_rev = list::and_with(&ll, &ls, simvid_core::ConjunctionSemantics::WeakestLink);
+        assert_bit_identical(&weak_rev, &oracle_weakest(&long, 4.0, &short, 2.0), 6.0)?;
+        let prod = list::and_with(&ls, &ll, simvid_core::ConjunctionSemantics::Product);
+        assert_bit_identical(&prod, &oracle_product(&short, 2.0, &long, 4.0), 6.0)?;
+    }
+
+    #[test]
+    fn balanced_merges_still_match_oracle(
+        a in sparse(100..200, 2.0),
+        b in sparse(100..200, 3.0),
+    ) {
+        // 1:1 ratio: the dispatch must stay on the linear sweep and agree
+        // with the oracle all the same.
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let lb = SimilarityList::from_dense(&b, 3.0);
+        assert_bit_identical(&list::and(&la, &lb), &oracle_and(&a, &b), 5.0)?;
+    }
+
+    #[test]
+    fn skewed_until_matches_oracle(
+        g in sparse(120..240, 1.0),
+        h in sparse(0..4, 5.0),
+        theta in prop::sample::select(vec![0.0, 0.3, 0.5, 0.9]),
+    ) {
+        // A long g against a sparse h exercises the galloped eligible-entry
+        // searches in the until sweep; the dense oracle is unchanged.
+        let lg = SimilarityList::from_dense(&g, 1.0);
+        let lh = SimilarityList::from_dense(&h, 5.0);
+        let out = list::until(&lg, &lh, theta);
+        out.check_invariants().unwrap();
+        let expect = oracle_until(&g, 1.0, &h, theta);
+        prop_assert!(approx(&out.to_dense(WIDE), &expect));
+    }
+
+    #[test]
+    fn skewed_eventually_matches_oracle(a in sparse(0..4, 2.0)) {
+        // Near-empty and single-entry inputs through the unary sweep.
+        let la = SimilarityList::from_dense(&a, 2.0);
+        let out = list::eventually(&la);
+        out.check_invariants().unwrap();
+        prop_assert!(approx(&out.to_dense(WIDE), &oracle_eventually(&a)));
+    }
+}

@@ -69,6 +69,7 @@ mod atoms;
 mod classify;
 mod error;
 mod exact;
+mod intern;
 mod lexer;
 mod normalize;
 mod parser;
@@ -80,6 +81,7 @@ pub use atoms::{atomic_units, is_pure, AtomicUnit};
 pub use classify::{classify, FormulaClass};
 pub use error::ParseError;
 pub use exact::{eval_atom, eval_expr, exact_retrieve, satisfies_video, Env, ExactEvaluator};
+pub use intern::FormulaId;
 pub use normalize::{hoist_quantifiers, normalize_for_engine};
 pub use parser::parse;
 pub use vars::{bound_vars, free_attr_vars, free_obj_vars, is_closed};

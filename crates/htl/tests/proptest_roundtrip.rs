@@ -112,7 +112,7 @@ fn formula(depth: u32, bound_attrs: Vec<String>) -> BoxedStrategy<Formula> {
         })
     };
     prop_oneof![
-        3 => atom(bound_attrs.clone()),
+        3 => atom(bound_attrs),
         1 => sub().prop_map(Formula::not),
         1 => sub().prop_map(Formula::next),
         1 => sub().prop_map(Formula::eventually),

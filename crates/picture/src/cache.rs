@@ -5,13 +5,17 @@
 //! atomic units against the level index. This module keeps a bounded,
 //! thread-safe LRU cache of both artifacts:
 //!
-//! * **scored tables**, keyed by the atomic unit's canonical printed
-//!   formula plus the exact [`SeqContext`] it was scored on — the same
-//!   keying discipline as the engine's per-evaluation memo, which stays
-//!   intra-query; this cache is the cross-query layer above it;
+//! * **scored tables**, keyed by the atomic unit's interned
+//!   [`FormulaId`] plus the exact [`SeqContext`] it was scored on — the
+//!   same keying discipline as the engine's per-evaluation memo, which
+//!   stays intra-query; this cache is the cross-query layer above it;
 //! * **compiled queries** (including compile *errors*, so a malformed unit
-//!   is diagnosed once, not re-parsed on every call), keyed by the printed
-//!   formula alone — compilation is context-free.
+//!   is diagnosed once, not re-parsed on every call), keyed by the
+//!   [`FormulaId`] alone — compilation is context-free.
+//!
+//! Keying by interned id instead of the printed formula means a lookup
+//! costs a structural hash of the (tiny) formula on first intern and a
+//! `Copy` of a `u64` afterwards — no `String` allocation per call.
 //!
 //! Results are handed out as [`Arc`]s: hits never copy table rows, and the
 //! cache stays sound because scored tables are immutable. Correctness does
@@ -21,6 +25,7 @@
 
 use crate::query::{AtomicQuery, QueryError};
 use simvid_core::{CacheStats, SeqContext, SimilarityTable};
+use simvid_htl::FormulaId;
 use simvid_obs::{Counter, Gauge, Registry, RegistrySubscriber, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -144,9 +149,9 @@ struct Displaced<V> {
     evicted: Vec<V>,
 }
 
-/// Key of a scored atomic table: canonical printed formula + the exact
+/// Key of a scored atomic table: interned formula id + the exact
 /// sequence context it was scored on.
-type TableKey = (String, u8, u32, u32);
+type TableKey = (FormulaId, u8, u32, u32);
 
 /// The bounded, `Sync` cache shared by every query a
 /// [`crate::PictureSystem`] serves.
@@ -159,7 +164,7 @@ type TableKey = (String, u8, u32, u32);
 pub(crate) struct AtomicCache {
     config: CacheConfig,
     tables: Mutex<Lru<TableKey, Arc<SimilarityTable>>>,
-    compiled: Mutex<Lru<String, Arc<Result<AtomicQuery, QueryError>>>>,
+    compiled: Mutex<Lru<FormulaId, Arc<Result<AtomicQuery, QueryError>>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
@@ -190,16 +195,16 @@ impl AtomicCache {
         self.config
     }
 
-    /// The scored table for `(printed, ctx)`, computing and caching it on
+    /// The scored table for `(id, ctx)`, computing and caching it on
     /// a miss. Hit/miss counters cover exactly this path.
     pub(crate) fn table_with(
         &self,
-        printed: &str,
+        id: FormulaId,
         ctx: SeqContext,
         compute: impl FnOnce() -> SimilarityTable,
     ) -> Arc<SimilarityTable> {
         let result: Result<_, std::convert::Infallible> =
-            self.try_table_with(printed, ctx, || Ok(compute()));
+            self.try_table_with(id, ctx, || Ok(compute()));
         match result {
             Ok(table) => table,
             Err(never) => match never {},
@@ -214,7 +219,7 @@ impl AtomicCache {
     /// still counts as a miss but adds nothing to the residency gauges.
     pub(crate) fn try_table_with<E>(
         &self,
-        printed: &str,
+        id: FormulaId,
         ctx: SeqContext,
         compute: impl FnOnce() -> Result<SimilarityTable, E>,
     ) -> Result<Arc<SimilarityTable>, E> {
@@ -223,7 +228,7 @@ impl AtomicCache {
             let _score = self.tracer.span("score");
             return Ok(Arc::new(compute()?));
         }
-        let key: TableKey = (printed.to_owned(), ctx.depth, ctx.lo, ctx.hi);
+        let key: TableKey = (id, ctx.depth, ctx.lo, ctx.hi);
         if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
             self.hits.inc();
             return Ok(hit);
@@ -251,24 +256,19 @@ impl AtomicCache {
         Ok(table)
     }
 
-    /// The compiled form of `printed`, compiling (once) on a miss. Errors
-    /// are cached too: a malformed unit panics identically on every use
-    /// without being re-compiled each time.
+    /// The compiled form of the formula interned as `id`, compiling (once)
+    /// on a miss. Errors are cached too: a malformed unit panics
+    /// identically on every use without being re-compiled each time.
     pub(crate) fn compiled_with(
         &self,
-        printed: &str,
+        id: FormulaId,
         compile: impl FnOnce() -> Result<AtomicQuery, QueryError>,
     ) -> Arc<Result<AtomicQuery, QueryError>> {
         if !self.config.is_enabled() {
             let _compile = self.tracer.span("compile");
             return Arc::new(compile());
         }
-        if let Some(hit) = self
-            .compiled
-            .lock()
-            .expect("compiled cache lock")
-            .get(&printed.to_owned())
-        {
+        if let Some(hit) = self.compiled.lock().expect("compiled cache lock").get(&id) {
             return hit;
         }
         let compiled = {
@@ -278,7 +278,7 @@ impl AtomicCache {
         self.compiled
             .lock()
             .expect("compiled cache lock")
-            .insert(printed.to_owned(), compiled.clone());
+            .insert(id, compiled.clone());
         compiled
     }
 
@@ -296,6 +296,10 @@ impl AtomicCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fid(src: &str) -> FormulaId {
+        FormulaId::of(&simvid_htl::parse(src).expect("parse"))
+    }
 
     #[test]
     fn lru_evicts_least_recently_used() {
@@ -356,11 +360,11 @@ mod tests {
             hi: 10,
         };
         let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
-        cache.table_with("p()", ctx(0), table);
-        cache.table_with("p()", ctx(0), table);
+        cache.table_with(fid("p()"), ctx(0), table);
+        cache.table_with(fid("p()"), ctx(0), table);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
-        cache.table_with("p()", ctx(5), table); // different window: miss + eviction
+        cache.table_with(fid("p()"), ctx(5), table); // different window: miss + eviction
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().evictions, 1);
         let snap = registry.snapshot();
@@ -379,14 +383,14 @@ mod tests {
         };
         let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
         let per_table = table().approx_bytes() as i64;
-        cache.table_with("p()", ctx(0), table);
-        cache.table_with("p()", ctx(1), table);
+        cache.table_with(fid("p()"), ctx(0), table);
+        cache.table_with(fid("p()"), ctx(1), table);
         let tables = registry.gauge("cache.tables_resident");
         let bytes = registry.gauge("cache.bytes_resident");
         assert_eq!(tables.get(), 2);
         assert_eq!(bytes.get(), 2 * per_table);
         // A third window evicts one table: residency must not grow.
-        cache.table_with("p()", ctx(2), table);
+        cache.table_with(fid("p()"), ctx(2), table);
         assert_eq!(tables.get(), 2);
         assert_eq!(bytes.get(), 2 * per_table);
     }
@@ -401,8 +405,8 @@ mod tests {
             hi: 10,
         };
         let table = || SimilarityTable::new(Vec::new(), Vec::new(), 1.0);
-        cache.table_with("p()", ctx, table); // miss: timed
-        cache.table_with("p()", ctx, table); // hit: not timed
+        cache.table_with(fid("p()"), ctx, table); // miss: timed
+        cache.table_with(fid("p()"), ctx, table); // hit: not timed
         let snap = registry.snapshot();
         match snap.get("cache.span.score") {
             Some(simvid_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
@@ -420,19 +424,19 @@ mod tests {
             hi: 10,
         };
         let err: Result<Arc<SimilarityTable>, String> =
-            cache.try_table_with("p()", ctx, || Err("backend down".to_owned()));
+            cache.try_table_with(fid("p()"), ctx, || Err("backend down".to_owned()));
         assert_eq!(err.unwrap_err(), "backend down");
         // The failure must not occupy a slot or any residency accounting.
         assert_eq!(registry.gauge("cache.tables_resident").get(), 0);
         assert_eq!(registry.gauge("cache.bytes_resident").get(), 0);
         // The next call recomputes (a second miss, no hit) and the real
         // table is stored and served from cache afterwards.
-        let ok: Result<_, String> = cache.try_table_with("p()", ctx, || {
+        let ok: Result<_, String> = cache.try_table_with(fid("p()"), ctx, || {
             Ok(SimilarityTable::new(Vec::new(), Vec::new(), 1.0))
         });
         assert!(ok.is_ok());
         let hit: Result<_, String> =
-            cache.try_table_with("p()", ctx, || panic!("must be served from cache"));
+            cache.try_table_with(fid("p()"), ctx, || panic!("must be served from cache"));
         assert!(hit.is_ok());
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().hits, 1);
@@ -449,14 +453,14 @@ mod tests {
             hi: 10,
         };
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.table_with("p()", ctx, || panic!("injected compute panic"))
+            cache.table_with(fid("p()"), ctx, || panic!("injected compute panic"))
         }));
         assert!(attempt.is_err());
         // The compute runs outside the lock, so the panic poisons nothing:
         // the cache still answers, and no phantom residency was recorded.
         assert_eq!(registry.gauge("cache.tables_resident").get(), 0);
         assert_eq!(registry.gauge("cache.bytes_resident").get(), 0);
-        let table = cache.table_with("p()", ctx, || {
+        let table = cache.table_with(fid("p()"), ctx, || {
             SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
         });
         assert_eq!(table.max, 1.0);
@@ -474,7 +478,7 @@ mod tests {
         };
         let calls = std::sync::atomic::AtomicUsize::new(0);
         for _ in 0..3 {
-            cache.table_with("p()", ctx, || {
+            cache.table_with(fid("p()"), ctx, || {
                 calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
             });

@@ -9,7 +9,7 @@ use simvid_core::{
     AtomicProvider, CacheStats, Interval, ProviderError, SeqContext, SimilarityList,
     SimilarityTable, ValueRow, ValueTable,
 };
-use simvid_htl::{AtomicUnit, AttrFn, Formula};
+use simvid_htl::{AtomicUnit, AttrFn, Formula, FormulaId};
 use simvid_model::{AttrValue, ObjectId, VideoTree};
 use simvid_obs::Registry;
 use std::collections::HashMap;
@@ -93,12 +93,11 @@ impl<'a> PictureSystem<'a> {
     }
 
     /// The compiled form of a pure formula, answered from the compiled
-    /// cache when the same printed formula was compiled before. Errors are
-    /// cached alongside successes.
+    /// cache when a structurally equal formula was compiled before. Errors
+    /// are cached alongside successes.
     fn compiled(&self, f: &Formula) -> Arc<Result<AtomicQuery, QueryError>> {
-        let printed = f.to_string();
         self.cache
-            .compiled_with(&printed, || AtomicQuery::compile(f, &self.config))
+            .compiled_with(FormulaId::of(f), || AtomicQuery::compile(f, &self.config))
     }
 
     /// The (cached) index for a level.
@@ -138,7 +137,7 @@ impl<'a> PictureSystem<'a> {
                 "closed query expected (free variables remain)".into(),
             ));
         }
-        Ok(t.into_closed_list())
+        Ok(Arc::try_unwrap(t.into_closed_list()).unwrap_or_else(|shared| (*shared).clone()))
     }
 }
 
@@ -148,26 +147,25 @@ impl AtomicProvider for PictureSystem<'_> {
     /// Panics if the unit fails to compile (malformed attribute predicate
     /// or too many variables); validate queries with
     /// [`AtomicQuery::compile`] first when handling untrusted input. The
-    /// compile runs (and its error is cached) once per printed formula —
+    /// compile runs (and its error is cached) once per distinct formula —
     /// repeated uses of the same malformed unit re-raise the cached error
     /// without recompiling.
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-        let printed = unit.formula.to_string();
-        let compiled = self.cache.compiled_with(&printed, || {
-            AtomicQuery::compile(&unit.formula, &self.config)
-        });
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
+        let id = FormulaId::of(&unit.formula);
+        let compiled = self
+            .cache
+            .compiled_with(id, || AtomicQuery::compile(&unit.formula, &self.config));
         let q = compiled
             .as_ref()
             .as_ref()
             .unwrap_or_else(|e| panic!("invalid atomic unit `{}`: {e}", unit.formula));
-        let table = self.cache.table_with(&printed, ctx, || {
+        // The cache's shared `Arc` goes straight to the engine: hits are a
+        // reference-count bump, and the engine clones (shallowly — rows
+        // share their lists) only if it needs to mutate.
+        self.cache.table_with(id, ctx, || {
             let ix = self.index(ctx.depth);
             score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q)
-        });
-        // The engine owns its tables (it joins and maps them in place);
-        // the cache hands out shared `Arc`s, so hits clone rows — still
-        // far cheaper than rescoring the level index.
-        SimilarityTable::clone(&table)
+        })
     }
 
     /// Fallible twin of [`AtomicProvider::atomic_table`], used by the
@@ -180,11 +178,11 @@ impl AtomicProvider for PictureSystem<'_> {
         &self,
         unit: &AtomicUnit,
         ctx: SeqContext,
-    ) -> Result<SimilarityTable, ProviderError> {
-        let printed = unit.formula.to_string();
-        let compiled = self.cache.compiled_with(&printed, || {
-            AtomicQuery::compile(&unit.formula, &self.config)
-        });
+    ) -> Result<Arc<SimilarityTable>, ProviderError> {
+        let id = FormulaId::of(&unit.formula);
+        let compiled = self
+            .cache
+            .compiled_with(id, || AtomicQuery::compile(&unit.formula, &self.config));
         let q = match compiled.as_ref() {
             Ok(q) => q,
             Err(e) => {
@@ -194,13 +192,10 @@ impl AtomicProvider for PictureSystem<'_> {
                 )))
             }
         };
-        let table = self
-            .cache
-            .try_table_with::<ProviderError>(&printed, ctx, || {
-                let ix = self.index(ctx.depth);
-                Ok(score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q))
-            })?;
-        Ok(SimilarityTable::clone(&table))
+        self.cache.try_table_with::<ProviderError>(id, ctx, || {
+            let ix = self.index(ctx.depth);
+            Ok(score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q))
+        })
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {

@@ -159,7 +159,11 @@ pub fn score_window(
         )
         .expect("entries are per-position and ascending")
         .coalesce();
-        out.push_row(Row { objs, ranges, list });
+        out.push_row(Row {
+            objs,
+            ranges,
+            list: std::sync::Arc::new(list),
+        });
     }
     out
 }

@@ -107,7 +107,7 @@ pub fn read_table(
         out.push_row(Row {
             objs,
             ranges: Vec::new(),
-            list,
+            list: std::sync::Arc::new(list),
         });
     }
     Ok(out.ensure_closed_row())
@@ -664,7 +664,7 @@ mod tests {
             t.push_row(Row {
                 objs: objs.into_iter().map(ObjectId).collect(),
                 ranges: vec![],
-                list: SimilarityList::from_tuples(tuples, max).unwrap(),
+                list: std::sync::Arc::new(SimilarityList::from_tuples(tuples, max).unwrap()),
             });
         }
         t

@@ -375,7 +375,7 @@ impl<P: AtomicProvider> FaultyProvider<P> {
 }
 
 impl<P: AtomicProvider> AtomicProvider for FaultyProvider<P> {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
         // The infallible legacy path bypasses injection — the engine only
         // calls the `try_` methods, and external infallible callers have
         // nowhere for an injected error to go.
@@ -386,7 +386,7 @@ impl<P: AtomicProvider> AtomicProvider for FaultyProvider<P> {
         &self,
         unit: &AtomicUnit,
         ctx: SeqContext,
-    ) -> Result<SimilarityTable, ProviderError> {
+    ) -> Result<Arc<SimilarityTable>, ProviderError> {
         let key = Self::table_key(unit, ctx);
         self.faulted_call(&key, || self.inner.try_atomic_table(unit, ctx))
     }
@@ -438,15 +438,17 @@ mod tests {
     }
 
     impl AtomicProvider for FixedInner {
-        fn atomic_table(&self, _unit: &AtomicUnit, _ctx: SeqContext) -> SimilarityTable {
-            SimilarityTable::from_list(SimilarityList::from_tuples(vec![(1, 2, 1.0)], 1.0).unwrap())
+        fn atomic_table(&self, _unit: &AtomicUnit, _ctx: SeqContext) -> Arc<SimilarityTable> {
+            Arc::new(SimilarityTable::from_list(
+                SimilarityList::from_tuples(vec![(1, 2, 1.0)], 1.0).unwrap(),
+            ))
         }
 
         fn try_atomic_table(
             &self,
             unit: &AtomicUnit,
             ctx: SeqContext,
-        ) -> Result<SimilarityTable, ProviderError> {
+        ) -> Result<Arc<SimilarityTable>, ProviderError> {
             let mut left = self.flaky_calls.lock().unwrap();
             if *left > 0 {
                 *left -= 1;
@@ -635,14 +637,14 @@ mod tests {
     fn permanent_inner_errors_skip_retries() {
         struct Rejecting;
         impl AtomicProvider for Rejecting {
-            fn atomic_table(&self, _u: &AtomicUnit, _c: SeqContext) -> SimilarityTable {
+            fn atomic_table(&self, _u: &AtomicUnit, _c: SeqContext) -> Arc<SimilarityTable> {
                 unreachable!("only try_atomic_table is exercised")
             }
             fn try_atomic_table(
                 &self,
                 _u: &AtomicUnit,
                 _c: SeqContext,
-            ) -> Result<SimilarityTable, ProviderError> {
+            ) -> Result<Arc<SimilarityTable>, ProviderError> {
                 Err(ProviderError::Permanent("malformed unit".into()))
             }
             fn atomic_max(&self, _u: &AtomicUnit) -> f64 {

@@ -60,7 +60,7 @@ pub fn generate(cfg: &TableGenConfig, seed: u64) -> SimilarityTable {
         table.push_row(Row {
             objs,
             ranges: Vec::new(),
-            list,
+            list: std::sync::Arc::new(list),
         });
     }
     table.ensure_closed_row()

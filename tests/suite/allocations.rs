@@ -1,0 +1,125 @@
+//! Allocation-regression guard over the serving hot path.
+//!
+//! The zero-copy work (interned formula keys, `Arc`-shared tables and
+//! lists, galloping kernels with exact reservations) only stays won if a
+//! change that quietly reintroduces per-call cloning fails CI. This test
+//! binary installs a counting global allocator — confined to this binary,
+//! so no production code path ever sees it — and asserts an upper bound on
+//! heap allocations per warm serve query.
+//!
+//! The bound is deliberately generous (roughly 2× the measured value at
+//! the time of writing) so it only trips on structural regressions — a
+//! reintroduced deep clone or per-call key formatting — and not on small
+//! legitimate drifts. Update it consciously when the hot path changes
+//! shape; `docs/performance.md` describes how.
+
+use simvid_core::Engine;
+use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_workload::randomvideo::{generate as generate_video, VideoGenConfig};
+use simvid_workload::serve;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts allocations (and reallocations) while armed; delegates all real
+/// work to the system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `work` with the counter armed and returns the allocations it made.
+fn count_allocations(work: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    work();
+    ARMED.store(false, Ordering::Relaxed);
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Upper bound on heap allocations per warm serve-smoke query, averaged
+/// over the pool. Measured ≈ 55/query when introduced; the bound leaves
+/// ~2× headroom for legitimate drift while still catching a reintroduced
+/// per-row table clone (which multiplies the count, not nudges it).
+const MAX_ALLOCATIONS_PER_QUERY: u64 = 128;
+
+#[test]
+fn warm_serve_queries_stay_under_allocation_budget() {
+    // The serve-smoke shape: a flat 40-shot video and the serving layer's
+    // standard query pool, with the cross-query cache enabled and primed.
+    let tree = generate_video(
+        &VideoGenConfig {
+            branching: vec![40],
+            ..VideoGenConfig::default()
+        },
+        42,
+    );
+    let sys = PictureSystem::with_cache(&tree, ScoringConfig::default(), CacheConfig::default());
+    let engine = Engine::new(&sys, &tree);
+    let pool = serve::query_pool();
+    let depth = tree.leaf_level();
+
+    // Prime: every atomic unit scored once, every formula compiled once.
+    for f in &pool {
+        let _ = engine.top_k_closed(f, depth, 10).unwrap();
+    }
+    assert!(
+        sys.cache_stats().misses > 0,
+        "priming must populate the cross-query cache"
+    );
+
+    // Measure a warm round: every query answered from shared cached
+    // tables, so the remaining allocations are join/prune outputs only.
+    const ROUNDS: u64 = 3;
+    let allocations = count_allocations(|| {
+        for _ in 0..ROUNDS {
+            for f in &pool {
+                let _ = engine.top_k_closed(f, depth, 10).unwrap();
+            }
+        }
+    });
+    let queries = ROUNDS * pool.len() as u64;
+    let per_query = allocations / queries;
+    assert!(
+        per_query <= MAX_ALLOCATIONS_PER_QUERY,
+        "warm serve queries allocate too much: {per_query}/query \
+         (budget {MAX_ALLOCATIONS_PER_QUERY}; total {allocations} over {queries} queries). \
+         A jump here usually means a deep clone or per-call key allocation \
+         crept back into the hot path — see docs/performance.md."
+    );
+    // Guard the guard: a broken counter that never counts would pass any
+    // budget trivially.
+    assert!(
+        allocations > 0,
+        "the counting allocator must observe the workload"
+    );
+}

@@ -8,6 +8,7 @@ use simvid_core::{
 use simvid_htl::{parse, AtomicUnit, AttrFn};
 use simvid_model::VideoBuilder;
 use simvid_workload::randomlists::{generate, ListGenConfig};
+use std::sync::Arc;
 
 /// Serves the same two random lists for `P1()` / `P2()`.
 struct TwoLists {
@@ -16,13 +17,15 @@ struct TwoLists {
 }
 
 impl AtomicProvider for TwoLists {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
         let l = match unit.formula.to_string().as_str() {
             "P1()" => &self.p1,
             "P2()" => &self.p2,
             other => panic!("unexpected unit {other}"),
         };
-        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+        Arc::new(SimilarityTable::from_list(
+            l.slice_window(ctx.lo + 1, ctx.hi),
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {

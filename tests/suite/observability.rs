@@ -28,12 +28,14 @@ struct TwoLists {
 }
 
 impl AtomicProvider for TwoLists {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
         let l = match unit.formula.to_string().as_str() {
             "P1()" => &self.p1,
             _ => &self.p2,
         };
-        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+        Arc::new(SimilarityTable::from_list(
+            l.slice_window(ctx.lo + 1, ctx.hi),
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {

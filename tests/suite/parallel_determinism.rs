@@ -17,6 +17,7 @@ use simvid_picture::PictureSystem;
 use simvid_workload::randomtables::{generate as generate_table, TableGenConfig};
 use simvid_workload::randomvideo::{generate as generate_video, VideoGenConfig};
 use simvid_workload::{casablanca, randomlists};
+use std::sync::Arc;
 
 /// Every engine configuration under test: sequential baseline, aggressive
 /// thread fan-out, memoized, and both combined.
@@ -120,12 +121,14 @@ struct TwoLists {
 }
 
 impl AtomicProvider for TwoLists {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
         let l = match unit.formula.to_string().as_str() {
             "P1()" => &self.p1,
             _ => &self.p2,
         };
-        SimilarityTable::from_list(l.slice_window(ctx.lo + 1, ctx.hi))
+        Arc::new(SimilarityTable::from_list(
+            l.slice_window(ctx.lo + 1, ctx.hi),
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {
@@ -228,7 +231,7 @@ fn nested_loop_join(
             out.rows.push(Row {
                 objs,
                 ranges,
-                list: combine(&r1.list, &r2.list),
+                list: Arc::new(combine(&r1.list, &r2.list)),
             });
         }
     }

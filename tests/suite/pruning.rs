@@ -80,10 +80,10 @@ proptest! {
         let unit = simvid_htl::atomic_units(&f).remove(0);
         let windowed = sys
             .atomic_table(&unit, SeqContext { depth: 1, lo, hi })
-            .into_closed_list();
+            .closed_list();
         let full = sys
             .atomic_table(&unit, SeqContext { depth: 1, lo: 0, hi: n })
-            .into_closed_list();
+            .closed_list();
         let expect = full.slice_window(lo + 1, hi);
         prop_assert_eq!(
             windowed.to_dense((hi - lo) as usize),

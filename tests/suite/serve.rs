@@ -14,6 +14,7 @@ use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_workload::randomlists::{generate as generate_lists, ListGenConfig};
 use simvid_workload::randomvideo::{generate as generate_video, VideoGenConfig};
 use simvid_workload::serve;
+use std::sync::Arc;
 
 /// The oracle: full evaluation, then ranking.
 fn oracle(engine: &Engine<PictureSystem>, f: &Formula, depth: u8, k: usize) -> Vec<RankedSegment> {
@@ -130,8 +131,10 @@ impl ThreeLists {
 }
 
 impl AtomicProvider for ThreeLists {
-    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> SimilarityTable {
-        SimilarityTable::from_list(self.lookup(unit).slice_window(ctx.lo + 1, ctx.hi))
+    fn atomic_table(&self, unit: &AtomicUnit, ctx: SeqContext) -> Arc<SimilarityTable> {
+        Arc::new(SimilarityTable::from_list(
+            self.lookup(unit).slice_window(ctx.lo + 1, ctx.hi),
+        ))
     }
 
     fn atomic_max(&self, unit: &AtomicUnit) -> f64 {

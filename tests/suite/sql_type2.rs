@@ -14,14 +14,15 @@ fn atomic_tables(sys: &PictureSystem<'_>, f: &Formula, n: u32) -> Vec<Similarity
     atomic_units(f)
         .iter()
         .map(|u| {
-            sys.atomic_table(
+            (*sys.atomic_table(
                 u,
                 SeqContext {
                     depth: 1,
                     lo: 0,
                     hi: n,
                 },
-            )
+            ))
+            .clone()
         })
         .collect()
 }
