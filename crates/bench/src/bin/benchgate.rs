@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! benchgate CURRENT.json [--baseline PATH] [--kernels-baseline PATH]
-//!           [--update-baselines]
+//!           [--serve-concurrent-baseline PATH] [--update-baselines]
 //! ```
 //!
 //! `CURRENT.json` is the output of `repro serve --smoke --json PATH` (add
@@ -15,6 +15,14 @@
 //! `repro serve kernels --smoke --json ...`), every kernel's output digest
 //! is compared bit-for-bit against `crates/bench/baselines/kernels.json`;
 //! kernel timings are informational only.
+//!
+//! When it carries a `serve_concurrent` section (from
+//! `repro serve_concurrent --smoke --workers N --json ...`), each row must
+//! record `digest_matches_sequential: true` and its digest must match the
+//! baseline row with the same worker count in
+//! `crates/bench/baselines/serve_concurrent.json` bit-for-bit — the
+//! executor's ordering guarantee, gated. Speedups are informational (CI
+//! runners are often single-core).
 //!
 //! `--update-baselines` rewrites the baseline files from the current
 //! document instead of gating — the supported way to refresh baselines
@@ -110,6 +118,7 @@ fn run(
     current_path: &str,
     baseline_path: &str,
     kernels_baseline_path: &str,
+    serve_concurrent_baseline_path: &str,
 ) -> Result<bool, String> {
     let current_doc = load(current_path)?;
     let baseline_doc = load(baseline_path)?;
@@ -198,6 +207,18 @@ fn run(
         None => println!("  {:<22} (no kernels section; skipped)", "kernel digests"),
     }
 
+    // Concurrent-executor digests, when the current run carries them.
+    match field(&current_doc, "serve_concurrent") {
+        Some(Value::Array(rows)) => {
+            check_serve_concurrent(&mut gate, rows, serve_concurrent_baseline_path)?;
+        }
+        Some(_) => return Err("`serve_concurrent` section is not an array".into()),
+        None => println!(
+            "  {:<22} (no serve_concurrent section; skipped)",
+            "concurrent digests"
+        ),
+    }
+
     if gate.failures.is_empty() {
         println!("PASS");
         Ok(true)
@@ -260,6 +281,74 @@ fn check_kernels(gate: &mut Gate, rows: &[Value], baseline_path: &str) -> Result
     Ok(())
 }
 
+/// Gates the concurrent serving executor: every row must attest digest
+/// equality with its own in-process sequential run, and must match the
+/// checked-in baseline digest for the same worker count bit-for-bit.
+/// Wall times and speedups never fail the gate.
+fn check_serve_concurrent(
+    gate: &mut Gate,
+    rows: &[Value],
+    baseline_path: &str,
+) -> Result<(), String> {
+    let baseline_doc = load(baseline_path)?;
+    let baseline_rows = match field(&baseline_doc, "serve_concurrent") {
+        Some(Value::Array(rows)) => rows,
+        _ => {
+            return Err(format!(
+                "{baseline_path}: no serve_concurrent section in baseline"
+            ))
+        }
+    };
+    for row in rows {
+        let workers = field(row, "workers")
+            .and_then(num)
+            .ok_or("serve_concurrent row missing numeric `workers`")? as u64;
+        let cur_digest = match field(row, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_concurrent row missing string `results_digest`".into()),
+        };
+        match field(row, "digest_matches_sequential") {
+            Some(Value::Bool(true)) => {}
+            _ => gate.failures.push(format!(
+                "serve_concurrent workers={workers}: run does not attest digest \
+                 equality with its sequential baseline"
+            )),
+        }
+        let base = baseline_rows
+            .iter()
+            .find(|b| field(b, "workers").and_then(num).map(|n| n as u64) == Some(workers));
+        let Some(base) = base else {
+            println!("  concurrent w={workers:<12} {cur_digest}  (no baseline row; skipped)");
+            continue;
+        };
+        let base_digest = match field(base, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_concurrent baseline row missing `results_digest`".into()),
+        };
+        let ok = cur_digest == base_digest;
+        println!(
+            "  concurrent w={workers:<12} {cur_digest}  baseline {base_digest}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            gate.failures.push(format!(
+                "serve_concurrent workers={workers}: ranked results diverged from baseline"
+            ));
+        }
+        if let (Some(seq), Some(conc)) = (
+            field(row, "sequential").and_then(duration_secs),
+            field(row, "concurrent").and_then(duration_secs),
+        ) {
+            println!(
+                "  {:<22} {:>8.2}x at {workers} workers  (informational)",
+                "concurrent speedup",
+                seq / conc.max(1e-12)
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Rewrites a baseline file from the current document: the named section
 /// plus the run's `meta`, pretty-printed.
 fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<bool, String> {
@@ -281,12 +370,18 @@ fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<boo
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     const USAGE: &str = "usage: benchgate CURRENT.json [--baseline PATH] \
-         [--kernels-baseline PATH] [--update-baselines]";
+         [--kernels-baseline PATH] [--serve-concurrent-baseline PATH] \
+         [--update-baselines]";
     let mut current: Option<String> = None;
     let mut baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
     let mut kernels_baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/kernels.json").to_owned();
+    let mut serve_concurrent_baseline = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/serve_concurrent.json"
+    )
+    .to_owned();
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
@@ -306,6 +401,16 @@ fn main() -> ExitCode {
                     Some(p) => kernels_baseline = p.clone(),
                     None => {
                         eprintln!("--kernels-baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--serve-concurrent-baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => serve_concurrent_baseline = p.clone(),
+                    None => {
+                        eprintln!("--serve-concurrent-baseline requires a path");
                         return ExitCode::from(2);
                     }
                 }
@@ -335,10 +440,12 @@ fn main() -> ExitCode {
             println!("bench gate: rewriting baselines from {current}");
             let wrote_serve = update_baseline(&doc, "serve", &baseline)?;
             let wrote_kernels = update_baseline(&doc, "kernels", &kernels_baseline)?;
-            if wrote_serve || wrote_kernels {
+            let wrote_concurrent =
+                update_baseline(&doc, "serve_concurrent", &serve_concurrent_baseline)?;
+            if wrote_serve || wrote_kernels || wrote_concurrent {
                 Ok(())
             } else {
-                Err("current document has neither a serve nor a kernels section".into())
+                Err("current document has no serve, serve_concurrent, or kernels section".into())
             }
         });
         return match result {
@@ -349,7 +456,12 @@ fn main() -> ExitCode {
             }
         };
     }
-    match run(&current, &baseline, &kernels_baseline) {
+    match run(
+        &current,
+        &baseline,
+        &kernels_baseline,
+        &serve_concurrent_baseline,
+    ) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
         Err(e) => {

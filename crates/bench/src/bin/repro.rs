@@ -1,10 +1,10 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [figure2|table1..table6|complex|ablation|parallel|serve|topk|
-//!        kernels|chaos|all]...
+//! repro [figure2|table1..table6|complex|ablation|parallel|serve|
+//!        serve_concurrent|topk|kernels|chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
-//!       [--cache-capacity N]
+//!       [--cache-capacity N] [--workers N]
 //! ```
 //!
 //! Several section names may be given at once (`repro serve topk --json out`)
@@ -15,9 +15,10 @@
 //! `serve` and `topk` workloads to CI-sized smoke runs.
 //! `--cache-capacity` overrides the warm serving system's atomic-cache
 //! capacity (`0` disables caching — the bench gate's synthetic
-//! regression). `--metrics` emits the shared metrics registry (`engine.*`,
-//! `cache.*`, `serve.*`) as JSON to stdout, or to a file when a path is
-//! given.
+//! regression). `--workers` fixes the `serve_concurrent` section to one
+//! worker count (default: a 1/2/4 scaling sweep). `--metrics` emits the
+//! shared metrics registry (`engine.*`, `cache.*`, `serve.*`) as JSON to
+//! stdout, or to a file when a path is given.
 //!
 //! `-` as the `--json` or `--metrics` path means stdout. Whenever stdout
 //! carries JSON, all human-readable output routes to stderr, so
@@ -27,10 +28,11 @@
 
 use simvid_bench::{
     bench_meta, format_chaos_table, format_engine_mode_table, format_kernel_table,
-    format_list_table, format_perf_table, format_pruned_table, format_serve_table, measure_chaos,
-    measure_complex1, measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
-    measure_pruned_topk, measure_serve_with_registry, measure_until, EngineModeRow, PerfRow,
-    PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    format_list_table, format_perf_table, format_pruned_table, format_serve_concurrent_table,
+    format_serve_table, measure_chaos, measure_complex1, measure_complex2, measure_conjunction,
+    measure_engine_modes, measure_kernels, measure_pruned_topk, measure_serve_concurrent,
+    measure_serve_with_registry, measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5,
+    PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_obs::Registry;
@@ -264,6 +266,43 @@ fn serve_bench(
     rows
 }
 
+fn serve_concurrent_bench(
+    smoke: bool,
+    cache_capacity: Option<usize>,
+    workers: Option<usize>,
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ServeConcurrentRow> {
+    let mut cfg = if smoke {
+        ServeConfig {
+            shots: 40,
+            requests: 30,
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    if let Some(capacity) = cache_capacity {
+        cfg.cache_capacity = capacity;
+    }
+    let worker_counts: Vec<usize> = match workers {
+        Some(n) => vec![n.max(1)],
+        None => vec![1, 2, 4],
+    };
+    let rows: Vec<_> = worker_counts
+        .iter()
+        .map(|&n| measure_serve_concurrent(&cfg, n, registry))
+        .collect();
+    progress!(
+        "{}",
+        format_serve_concurrent_table(
+            "Concurrent serving executor: warm schedule through the worker \
+             pool vs the sequential loop, digest-checked bit-identical",
+            &rows
+        )
+    );
+    rows
+}
+
 fn chaos_bench(smoke: bool, registry: &Arc<Registry>) -> Vec<simvid_bench::ChaosRow> {
     let cfg = if smoke {
         ServeConfig {
@@ -334,8 +373,22 @@ fn topk_bench(smoke: bool) -> Vec<simvid_bench::PrunedTopkRow> {
 }
 
 const SECTIONS: &[&str] = &[
-    "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "complex", "ablation",
-    "parallel", "serve", "topk", "kernels", "chaos", "all",
+    "figure2",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "complex",
+    "ablation",
+    "parallel",
+    "serve",
+    "serve_concurrent",
+    "topk",
+    "kernels",
+    "chaos",
+    "all",
 ];
 
 fn main() {
@@ -345,6 +398,7 @@ fn main() {
     let mut metrics_target: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
+    let mut workers: Option<usize> = None;
     let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
@@ -359,6 +413,10 @@ fn main() {
             }
             "--cache-capacity" => {
                 cache_capacity = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--workers" => {
+                workers = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 2;
             }
             "--smoke" => {
@@ -452,6 +510,13 @@ fn main() {
     if wants("serve") {
         let rows = serve_bench(smoke, cache_capacity, &registry);
         json.insert("serve".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("serve_concurrent") {
+        let rows = serve_concurrent_bench(smoke, cache_capacity, workers, &registry);
+        json.insert(
+            "serve_concurrent".into(),
+            serde_json::to_value(&rows).unwrap(),
+        );
     }
     if wants("topk") {
         let rows = topk_bench(smoke);

@@ -563,6 +563,182 @@ pub fn format_serve_table(title: &str, rows: &[ServeRow]) -> String {
     out
 }
 
+/// One measurement of the concurrent serving executor at a fixed worker
+/// count: the same warm schedule through the sequential loop and through
+/// the worker pool — asserting bit-identical rankings — plus a cold
+/// concurrent run that exercises the singleflight layer's miss-storm
+/// coalescing.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeConcurrentRow {
+    /// Shots in the served video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each top-`k` request.
+    pub k: usize,
+    /// Worker threads in the executor pool.
+    pub workers: usize,
+    /// Capacity of the bounded request queue.
+    pub queue_depth: usize,
+    /// Wall time of the warm schedule through the sequential loop.
+    pub sequential: Duration,
+    /// Wall time of the warm schedule through the worker pool.
+    pub concurrent: Duration,
+    /// Wall time of the schedule through the pool with a cold cache —
+    /// the miss storm the singleflight layer coalesces.
+    pub cold_concurrent: Duration,
+    /// Cold-run lookups that coalesced onto another worker's in-flight
+    /// computation instead of recomputing (scheduling-dependent: can be
+    /// zero on one CPU, approaches `workers - 1` per hot key under real
+    /// concurrency).
+    pub coalesced: u64,
+    /// Whether the warm concurrent, cold concurrent, and sequential runs
+    /// produced bit-identical rankings (always true — asserted — but
+    /// recorded so the bench gate can double-check the artifact).
+    pub digest_matches_sequential: bool,
+    /// FNV-1a digest of the concurrent run's ranked answers; equal to the
+    /// sequential serve digest for the same workload config.
+    pub results_digest: String,
+}
+
+impl ServeConcurrentRow {
+    /// Sequential time over concurrent time — the pool's throughput win.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.concurrent.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the serving workload through the concurrent executor at the given
+/// worker count and through the sequential loop, asserting bit-identical
+/// results, and reports all wall times. The warm concurrent run's metrics
+/// (per-worker latency histograms, `serve.queue_depth`,
+/// `serve.inflight_coalesced`, `cache.*`) land in `registry`; the
+/// sequential baseline and the cold run use private registries so the
+/// shared snapshot describes only the steady-state pool.
+///
+/// # Panics
+///
+/// Panics if the concurrent results diverge from the sequential ones —
+/// that would be an executor ordering bug, exactly what the bench gate
+/// exists to catch.
+#[must_use]
+pub fn measure_serve_concurrent(
+    cfg: &ServeConfig,
+    workers: usize,
+    registry: &Arc<Registry>,
+) -> ServeConcurrentRow {
+    let w = serve::build(cfg);
+    let depth = w.depth();
+    let exec = serve::ExecutorConfig::with_workers(workers);
+    // Sequential warm baseline, private registry.
+    let seq_sys = PictureSystem::with_cache(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+    );
+    let seq_engine = Engine::new(&seq_sys, &w.tree);
+    for q in &w.queries {
+        let _ = seq_engine
+            .top_k_closed(q, depth, w.k)
+            .expect("warm-up request evaluates");
+    }
+    let seq_run = serve::run_schedule(&w, &seq_engine);
+    // Cold concurrent: every worker starts against an empty cache, so the
+    // schedule head is a miss storm the singleflight layer must coalesce.
+    let cold_registry = Arc::new(Registry::new());
+    let cold_sys = PictureSystem::with_registry(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        cold_registry.clone(),
+    );
+    let cold_run = serve::run_schedule_concurrent(
+        &w,
+        &cold_sys,
+        EngineConfig::default(),
+        &cold_registry,
+        &exec,
+    );
+    let coalesced = cold_registry
+        .snapshot()
+        .counter("serve.inflight_coalesced")
+        .unwrap_or(0);
+    // Warm concurrent: primed cache, metrics into the shared registry.
+    let warm_sys = PictureSystem::with_registry(
+        &w.tree,
+        ScoringConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    );
+    let prime_engine = Engine::with_registry(
+        &warm_sys,
+        &w.tree,
+        EngineConfig::default(),
+        registry.clone(),
+    );
+    for q in &w.queries {
+        let _ = prime_engine
+            .top_k_closed(q, depth, w.k)
+            .expect("warm-up request evaluates");
+    }
+    let warm_run =
+        serve::run_schedule_concurrent(&w, &warm_sys, EngineConfig::default(), registry, &exec);
+    assert_eq!(
+        warm_run.results, seq_run.results,
+        "concurrent serving must be bit-identical to sequential"
+    );
+    assert_eq!(
+        cold_run.results, seq_run.results,
+        "cold concurrent serving must be bit-identical to sequential"
+    );
+    ServeConcurrentRow {
+        shots: cfg.shots,
+        requests: w.schedule.len(),
+        k: w.k,
+        workers: exec.workers,
+        queue_depth: exec.queue_depth,
+        sequential: seq_run.elapsed,
+        concurrent: warm_run.elapsed,
+        cold_concurrent: cold_run.elapsed,
+        coalesced,
+        digest_matches_sequential: true,
+        results_digest: results_digest(&warm_run.results),
+    }
+}
+
+/// Formats the concurrent-executor scaling comparison.
+#[must_use]
+pub fn format_serve_concurrent_table(title: &str, rows: &[ServeConcurrentRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>7}  {:>8}  {:>10}  {:>10}  {:>10}  {:>7}  {:>9}  {:>6}",
+        "Workers", "Requests", "Seq (s)", "Conc (s)", "Cold (s)", "Conc ×", "Coalesced", "Digest"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>7}  {:>8}  {:>10.4}  {:>10.4}  {:>10.4}  {:>7.2}  {:>9}  {:>6}",
+            r.workers,
+            r.requests,
+            r.sequential.as_secs_f64(),
+            r.concurrent.as_secs_f64(),
+            r.cold_concurrent.as_secs_f64(),
+            r.speedup(),
+            r.coalesced,
+            if r.digest_matches_sequential {
+                "match"
+            } else {
+                "DRIFT"
+            },
+        );
+    }
+    out
+}
+
 /// One measurement of the chaos serving mode: the request schedule runs
 /// fault-free for ground truth, then replays through a [`FaultyProvider`]
 /// injecting the given [`FaultPlan`], and every per-request outcome is

@@ -115,14 +115,25 @@ pub trait AtomicProvider: Sync {
     }
 }
 
-/// Hit/miss/eviction counters of a cross-query atomic-result cache (see
+/// Counters of a cross-query atomic-result cache (see
 /// [`AtomicProvider::cache_stats`]).
+///
+/// Every lookup is classified exactly once, so
+/// `hits + misses + coalesced == lookups` holds at any quiescent point —
+/// including under concurrent miss storms.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total atomic-table requests (`hits + misses + coalesced`).
+    pub lookups: usize,
     /// Atomic-table requests answered from the cache.
     pub hits: usize,
     /// Atomic-table requests that had to be computed (and were cached).
     pub misses: usize,
+    /// Requests that waited on a concurrent in-flight computation of the
+    /// same key (singleflight coalescing) instead of recomputing —
+    /// neither a plain hit (the work was not yet done) nor a miss (this
+    /// requester did no work).
+    pub coalesced: usize,
     /// Cached results evicted to respect the capacity bound.
     pub evictions: usize,
 }

@@ -404,6 +404,15 @@ impl Snapshot {
         }
     }
 
+    /// A gauge's value, or `None` if absent or not a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
     /// Only the counters and gauges — the *deterministic* part of a
     /// snapshot. Two evaluations of the same query must agree here
     /// regardless of thread fan-out; histograms carry wall-clock timings

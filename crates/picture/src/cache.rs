@@ -27,9 +27,10 @@ use crate::query::{AtomicQuery, QueryError};
 use simvid_core::{CacheStats, SeqContext, SimilarityTable};
 use simvid_htl::FormulaId;
 use simvid_obs::{Counter, Gauge, Registry, RegistrySubscriber, Tracer};
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Configuration of the atomic-result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,20 +154,55 @@ struct Displaced<V> {
 /// sequence context it was scored on.
 type TableKey = (FormulaId, u8, u32, u32);
 
+/// A singleflight slot: the first thread to miss on a key installs one and
+/// computes; concurrent requesters for the same key wait on it instead of
+/// recomputing. The slot lives in [`AtomicCache::inflight`] only while the
+/// computation runs — completed tables are served from the LRU.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still computing.
+    Running,
+    /// The leader finished; the table is also in the LRU by now, but
+    /// waiters take it straight from the slot (the LRU entry may already
+    /// have been evicted under churn).
+    Ready(Arc<SimilarityTable>),
+    /// The leader's compute failed. The error is handed to every waiter
+    /// and **never cached** — type-erased so `try_table_with` stays
+    /// generic over its error type.
+    Failed(Arc<dyn Any + Send + Sync>),
+    /// The leader panicked; waiters elect a new leader and recompute.
+    Abandoned,
+}
+
 /// The bounded, `Sync` cache shared by every query a
 /// [`crate::PictureSystem`] serves.
 ///
 /// All counters live in a [`Registry`] under the `cache.*` namespace:
-/// `cache.hits` / `cache.misses` / `cache.evictions` count table lookups,
+/// `cache.lookups` counts every table request, split exactly into
+/// `cache.hits` + `cache.misses` + `cache.coalesced` (a coalesced lookup
+/// waited on a concurrent in-flight computation of the same key — neither
+/// a plain hit nor a miss); `cache.evictions` counts capacity evictions,
 /// the `cache.tables_resident` and `cache.bytes_resident` gauges track
 /// what is currently held, and the `cache.span.compile` /
-/// `cache.span.score` histograms time the work a miss triggers.
+/// `cache.span.score` / `cache.span.coalesce_wait` histograms time the
+/// work a miss triggers and the time waiters spend blocked on it.
+///
+/// Lock order: `inflight` before `tables` — the singleflight path holds
+/// the in-flight map while re-probing the LRU; nothing acquires them the
+/// other way round.
 pub(crate) struct AtomicCache {
     config: CacheConfig,
     tables: Mutex<Lru<TableKey, Arc<SimilarityTable>>>,
     compiled: Mutex<Lru<FormulaId, Arc<Result<AtomicQuery, QueryError>>>>,
+    inflight: Mutex<HashMap<TableKey, Arc<Flight>>>,
+    lookups: Arc<Counter>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
     evictions: Arc<Counter>,
     tables_resident: Arc<Gauge>,
     bytes_resident: Arc<Gauge>,
@@ -182,8 +218,11 @@ impl AtomicCache {
             // of slots per table slot keeps popular formulas compiled even
             // when their windows churn the table cache.
             compiled: Mutex::new(Lru::new(config.capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            lookups: registry.counter("cache.lookups"),
             hits: registry.counter("cache.hits"),
             misses: registry.counter("cache.misses"),
+            coalesced: registry.counter("cache.coalesced"),
             evictions: registry.counter("cache.evictions"),
             tables_resident: registry.gauge("cache.tables_resident"),
             bytes_resident: registry.gauge("cache.bytes_resident"),
@@ -215,45 +254,181 @@ impl AtomicCache {
     /// serving path: a compute that fails is **never** cached, so an
     /// injected or transient backend error cannot poison the cross-query
     /// cache — the next request recomputes and stores the real table.
-    /// Hits/misses count exactly as for `table_with`; a failed compute
-    /// still counts as a miss but adds nothing to the residency gauges.
-    pub(crate) fn try_table_with<E>(
+    ///
+    /// Concurrent misses on the same key **singleflight**: the first
+    /// thread installs an in-flight slot and computes; later arrivals
+    /// block on the slot (counted as `coalesced`, neither hit nor miss)
+    /// and share the leader's table — or its error, which propagates to
+    /// every waiter without occupying a cache slot. A leader that panics
+    /// abandons the slot; waiters elect a new leader and recompute, so a
+    /// poisoned compute never strands the key. Exactly one of
+    /// hits/misses/coalesced is counted per lookup, keeping
+    /// `hits + misses + coalesced == lookups` exact even under storms.
+    pub(crate) fn try_table_with<E: Clone + Send + Sync + 'static>(
         &self,
         id: FormulaId,
         ctx: SeqContext,
         compute: impl FnOnce() -> Result<SimilarityTable, E>,
     ) -> Result<Arc<SimilarityTable>, E> {
+        self.lookups.inc();
         if !self.config.is_enabled() {
+            // A disabled cache keeps the pre-cache baseline semantics:
+            // every request recomputes — no dedup, no coalescing.
             self.misses.inc();
             let _score = self.tracer.span("score");
             return Ok(Arc::new(compute()?));
         }
         let key: TableKey = (id, ctx.depth, ctx.lo, ctx.hi);
+        // Fast path: a completed table in the LRU.
         if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
             self.hits.inc();
             return Ok(hit);
         }
-        self.misses.inc();
-        // Compute outside the lock, as in `table_with`. The `?` exit is
-        // before any gauge update or insert, so an error leaves the cache
-        // and its residency accounting exactly as they were.
-        let table = {
-            let _score = self.tracer.span("score");
-            Arc::new(compute()?)
-        };
-        self.tables_resident.add(1);
-        self.bytes_resident.add(table.approx_bytes() as i64);
-        let displaced = self
-            .tables
-            .lock()
-            .expect("atomic cache lock")
-            .insert(key, table.clone());
-        self.evictions.add(displaced.evicted.len() as u64);
-        for dropped in displaced.evicted.iter().chain(displaced.replaced.as_ref()) {
-            self.tables_resident.sub(1);
-            self.bytes_resident.sub(dropped.approx_bytes() as i64);
+        enum Role {
+            Done(Arc<SimilarityTable>),
+            Leader(Arc<Flight>),
+            Waiter(Arc<Flight>),
         }
-        Ok(table)
+        let mut compute = Some(compute);
+        // A lookup is classified at its first decisive event — plain hit,
+        // leader election, or the start of a coalesce wait — and never
+        // reclassified, even if an abandoned flight later promotes the
+        // waiter to leader.
+        let mut counted_coalesced = false;
+        loop {
+            let role = {
+                let mut inflight = self.inflight.lock().expect("inflight map lock");
+                // Re-probe the LRU under the in-flight lock: a computation
+                // that resolved between the fast path and here must not be
+                // repeated.
+                if let Some(hit) = self.tables.lock().expect("atomic cache lock").get(&key) {
+                    Role::Done(hit)
+                } else if let Some(flight) = inflight.get(&key) {
+                    Role::Waiter(flight.clone())
+                } else {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(key, flight.clone());
+                    Role::Leader(flight)
+                }
+            };
+            match role {
+                Role::Done(table) => {
+                    if !counted_coalesced {
+                        self.hits.inc();
+                    }
+                    return Ok(table);
+                }
+                Role::Leader(flight) => {
+                    if !counted_coalesced {
+                        // Counted before the compute so a panicking
+                        // compute still leaves the counter split exact.
+                        self.misses.inc();
+                    }
+                    let compute = compute.take().expect("a lookup leads at most once");
+                    return self.lead(key, &flight, compute);
+                }
+                Role::Waiter(flight) => {
+                    if !counted_coalesced {
+                        self.coalesced.inc();
+                        counted_coalesced = true;
+                    }
+                    let _wait = self.tracer.span("coalesce_wait");
+                    let mut state = flight.state.lock().expect("flight state lock");
+                    while matches!(*state, FlightState::Running) {
+                        state = flight.done.wait(state).expect("flight state lock");
+                    }
+                    match &*state {
+                        FlightState::Running => unreachable!("wait loop exits only when resolved"),
+                        FlightState::Ready(table) => return Ok(table.clone()),
+                        FlightState::Failed(err) => {
+                            if let Some(err) = err.downcast_ref::<E>() {
+                                return Err(err.clone());
+                            }
+                            // A foreign error type (impossible for a
+                            // provider that instantiates one `E` per key,
+                            // but not enforced by these types): recompute.
+                        }
+                        // The leader panicked: loop to elect a new leader.
+                        FlightState::Abandoned => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the leader side of a singleflight: computes, publishes the
+    /// table into the LRU, and resolves the flight. The flight is resolved
+    /// on **every** exit path — a drop guard marks it [`FlightState::Abandoned`]
+    /// and wakes waiters if the compute panics.
+    fn lead<E: Clone + Send + Sync + 'static>(
+        &self,
+        key: TableKey,
+        flight: &Arc<Flight>,
+        compute: impl FnOnce() -> Result<SimilarityTable, E>,
+    ) -> Result<Arc<SimilarityTable>, E> {
+        struct Resolve<'a> {
+            cache: &'a AtomicCache,
+            key: TableKey,
+            flight: &'a Flight,
+            outcome: Option<FlightState>,
+        }
+        impl Drop for Resolve<'_> {
+            fn drop(&mut self) {
+                // Runs during unwind when the compute panicked, so recover
+                // from (impossible in practice) poisoning instead of
+                // risking a double panic.
+                self.cache
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .remove(&self.key);
+                let mut state = self
+                    .flight
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *state = self.outcome.take().unwrap_or(FlightState::Abandoned);
+                self.flight.done.notify_all();
+            }
+        }
+        let mut resolve = Resolve {
+            cache: self,
+            key,
+            flight,
+            outcome: None,
+        };
+        let computed = {
+            let _score = self.tracer.span("score");
+            compute()
+        };
+        match computed {
+            Ok(table) => {
+                let table = Arc::new(table);
+                self.tables_resident.add(1);
+                self.bytes_resident.add(table.approx_bytes() as i64);
+                let displaced = self
+                    .tables
+                    .lock()
+                    .expect("atomic cache lock")
+                    .insert(key, table.clone());
+                self.evictions.add(displaced.evicted.len() as u64);
+                for dropped in displaced.evicted.iter().chain(displaced.replaced.as_ref()) {
+                    self.tables_resident.sub(1);
+                    self.bytes_resident.sub(dropped.approx_bytes() as i64);
+                }
+                resolve.outcome = Some(FlightState::Ready(table.clone()));
+                Ok(table)
+            }
+            Err(e) => {
+                // Never cached: only the flight's current waiters see the
+                // error; the next lookup recomputes.
+                resolve.outcome = Some(FlightState::Failed(Arc::new(e.clone())));
+                Err(e)
+            }
+        }
     }
 
     /// The compiled form of the formula interned as `id`, compiling (once)
@@ -282,12 +457,14 @@ impl AtomicCache {
         compiled
     }
 
-    /// The classic hit/miss/eviction triple, as a thin view over the
-    /// registry's `cache.*` counters.
+    /// The lookup/hit/miss/coalesced/eviction counters, as a thin view
+    /// over the registry's `cache.*` counters.
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
+            lookups: self.lookups.get() as usize,
             hits: self.hits.get() as usize,
             misses: self.misses.get() as usize,
+            coalesced: self.coalesced.get() as usize,
             evictions: self.evictions.get() as usize,
         }
     }
@@ -464,6 +641,161 @@ mod tests {
             SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
         });
         assert_eq!(table.max, 1.0);
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 1);
+    }
+
+    #[test]
+    fn hot_key_miss_storm_coalesces_to_one_computation() {
+        const WORKERS: usize = 8;
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let id = fid("p()");
+        let computations = std::sync::atomic::AtomicUsize::new(0);
+        let coalesced = registry.counter("cache.coalesced");
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                scope.spawn(|| {
+                    cache.table_with(id, ctx, || {
+                        computations.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        // Hold the flight open until every other worker has
+                        // registered as a coalesced waiter, so the storm
+                        // overlaps deterministically even on one CPU. The
+                        // deadline turns a scheduler pathology into an
+                        // assertion failure rather than a hang.
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_secs(30);
+                        while coalesced.get() < (WORKERS - 1) as u64
+                            && std::time::Instant::now() < deadline
+                        {
+                            std::thread::yield_now();
+                        }
+                        SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
+                    });
+                });
+            }
+        });
+        assert_eq!(
+            computations.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "singleflight must compute the hot key exactly once"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, WORKERS);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(
+            stats.coalesced,
+            WORKERS - 1,
+            "every non-leader must coalesce onto the flight"
+        );
+        assert_eq!(stats.hits + stats.misses + stats.coalesced, stats.lookups);
+    }
+
+    #[test]
+    fn failed_compute_propagates_to_every_waiter_uncached() {
+        const WORKERS: usize = 4;
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let id = fid("p()");
+        let coalesced = registry.counter("cache.coalesced");
+        let mut outcomes: Vec<Result<(), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        cache
+                            .try_table_with(id, ctx, || {
+                                let deadline =
+                                    std::time::Instant::now() + std::time::Duration::from_secs(30);
+                                while coalesced.get() < (WORKERS - 1) as u64
+                                    && std::time::Instant::now() < deadline
+                                {
+                                    std::thread::yield_now();
+                                }
+                                Err("backend down".to_owned())
+                            })
+                            .map(|_| ())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        outcomes.sort();
+        assert_eq!(
+            outcomes,
+            vec![Err("backend down".to_owned()); WORKERS],
+            "the leader's error must reach every coalesced waiter"
+        );
+        // Never cached: no residency, and the next lookup recomputes.
+        assert_eq!(registry.gauge("cache.tables_resident").get(), 0);
+        let ok: Result<_, String> = cache.try_table_with(id, ctx, || {
+            Ok(SimilarityTable::new(Vec::new(), Vec::new(), 1.0))
+        });
+        assert!(ok.is_ok());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.coalesced, WORKERS - 1);
+        assert_eq!(stats.hits + stats.misses + stats.coalesced, stats.lookups);
+    }
+
+    #[test]
+    fn abandoned_flight_elects_new_leader() {
+        const WAITERS: usize = 3;
+        let registry = Arc::new(Registry::new());
+        let cache = AtomicCache::new(CacheConfig::with_capacity(4), &registry);
+        let ctx = SeqContext {
+            depth: 1,
+            lo: 0,
+            hi: 10,
+        };
+        let id = fid("p()");
+        let coalesced = registry.counter("cache.coalesced");
+        let tables: Vec<Arc<SimilarityTable>> = std::thread::scope(|scope| {
+            // The panicking leader holds the flight until all waiters have
+            // coalesced, then unwinds; one waiter must take over and
+            // compute the real table for the rest.
+            scope.spawn(|| {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.table_with(id, ctx, || {
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_secs(30);
+                        while coalesced.get() < WAITERS as u64
+                            && std::time::Instant::now() < deadline
+                        {
+                            std::thread::yield_now();
+                        }
+                        panic!("injected leader panic")
+                    })
+                }));
+            });
+            let handles: Vec<_> = (0..WAITERS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        cache.table_with(id, ctx, || {
+                            SimilarityTable::new(Vec::new(), Vec::new(), 1.0)
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(tables.len(), WAITERS);
+        for t in &tables {
+            assert_eq!(t.max, 1.0);
+        }
+        let stats = cache.stats();
+        // One increment per lookup even across the abandon/re-elect path.
+        assert_eq!(stats.lookups, 1 + WAITERS);
+        assert_eq!(stats.hits + stats.misses + stats.coalesced, stats.lookups);
         assert_eq!(registry.gauge("cache.tables_resident").get(), 1);
     }
 

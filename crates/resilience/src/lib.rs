@@ -25,6 +25,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+thread_local! {
+    /// Per-thread fault-epoch override (see
+    /// [`FaultyProvider::set_thread_epoch`]).
+    static THREAD_EPOCH: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
 /// A deterministic fault to inject into one provider call attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -265,9 +271,34 @@ impl<P: AtomicProvider> FaultyProvider<P> {
         self.epoch.store(epoch, Ordering::Relaxed);
     }
 
-    /// The current epoch.
+    /// Pins the fault epoch for the **calling thread**, overriding the
+    /// global epoch set by [`FaultyProvider::set_epoch`]. The concurrent
+    /// serving executor pins each worker to the epoch of the request it is
+    /// evaluating, so interleaved requests keep independent, deterministic
+    /// fault schedules — a global epoch would bleed one request's schedule
+    /// into another's mid-flight.
+    ///
+    /// The override is thread-local and process-wide (shared by every
+    /// `FaultyProvider`), and does **not** propagate to threads the
+    /// engine's intra-query fan-out spawns — pair it with
+    /// [`simvid_core::ParallelConfig::sequential`] when per-request
+    /// determinism matters.
+    pub fn set_thread_epoch(&self, epoch: u64) {
+        THREAD_EPOCH.set(Some(epoch));
+    }
+
+    /// Clears the calling thread's epoch override, returning it to the
+    /// global epoch.
+    pub fn clear_thread_epoch(&self) {
+        THREAD_EPOCH.set(None);
+    }
+
+    /// The current epoch: the calling thread's override if one is pinned,
+    /// otherwise the global epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        THREAD_EPOCH
+            .get()
+            .unwrap_or_else(|| self.epoch.load(Ordering::Relaxed))
     }
 
     /// How many faults were injected while `epoch` was current. Zero means

@@ -12,10 +12,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simvid_core::{
-    AtomicProvider, Budget, Engine, EngineError, Interval, RankedSegment, TopKAnswer,
+    AtomicProvider, Budget, Engine, EngineConfig, EngineError, Interval, RankedSegment, TopKAnswer,
 };
 use simvid_htl::{parse, Formula};
 use simvid_model::VideoTree;
+use simvid_obs::Registry;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::randomvideo::{generate, VideoGenConfig};
@@ -38,10 +41,18 @@ pub struct ServeConfig {
     /// Capacity of the warm system's atomic-result cache (`0` disables
     /// caching — useful for demonstrating what the bench gate catches).
     pub cache_capacity: usize,
+    /// Worker threads of the concurrent executor (see
+    /// [`run_schedule_concurrent`]). `1` still goes through the pool —
+    /// use [`run_schedule`] for the plain sequential loop.
+    pub workers: usize,
+    /// Capacity of the executor's bounded request queue; the producer
+    /// blocks when it is full, bounding admitted-but-unserved work.
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         ServeConfig {
             shots: 400,
             requests: 200,
@@ -49,6 +60,8 @@ impl Default for ServeConfig {
             k: 10,
             seed: 97,
             cache_capacity: 1024,
+            workers,
+            queue_depth: 2 * workers,
         }
     }
 }
@@ -249,58 +262,402 @@ pub fn run_schedule_resilient<P: AtomicProvider>(
             before_request(r);
             let budget = limits.budget();
             let t0 = Instant::now();
-            // Belt and braces: the engine already catches panics at its
-            // worker joins and at the resilient boundary, but a serving
-            // loop must survive even a panic in a path that boundary does
-            // not cover.
-            let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                engine.top_k_closed_resilient(&w.queries[q], depth, w.k, &budget)
-            }))
-            .unwrap_or_else(|p| {
-                let msg = p
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                    .unwrap_or_else(|| "non-string panic payload".to_owned());
-                Err(EngineError::WorkerPanic(msg))
-            });
+            let report = resolve_request(w, engine, q, depth, &budget);
             latency.record_duration(t0.elapsed());
             requests.inc();
-            let report = match answer {
-                Ok(TopKAnswer::Complete(ranked)) => RequestReport {
-                    query: q,
-                    outcome: RequestOutcome::Ok,
-                    ranked,
-                    upper_bounds: Vec::new(),
-                    reason: None,
-                },
-                // A captured panic means the evaluation state is suspect:
-                // classify as failed even though partial data came back.
-                Ok(TopKAnswer::Degraded(d)) => RequestReport {
-                    query: q,
-                    outcome: if matches!(d.reason, EngineError::WorkerPanic(_)) {
-                        RequestOutcome::Failed
-                    } else {
-                        RequestOutcome::Degraded
-                    },
-                    ranked: d.ranked_so_far,
-                    upper_bounds: d.unresolved_upper_bounds,
-                    reason: Some(d.reason.to_string()),
-                },
-                Err(e) => RequestReport {
-                    query: q,
-                    outcome: RequestOutcome::Failed,
-                    ranked: Vec::new(),
-                    upper_bounds: Vec::new(),
-                    reason: Some(e.to_string()),
-                },
-            };
             match report.outcome {
                 RequestOutcome::Ok => ok.inc(),
                 RequestOutcome::Degraded => degraded.inc(),
                 RequestOutcome::Failed => failed.inc(),
             }
             report
+        })
+        .collect();
+    ResilientRun {
+        reports,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Evaluates one resilient request and classifies the answer into a
+/// [`RequestReport`]. Shared by the sequential and concurrent resilient
+/// paths so a request classifies identically wherever it runs; counters
+/// are the caller's job — each request is counted exactly once, by whoever
+/// resolved it.
+fn resolve_request<P: AtomicProvider>(
+    w: &ServeWorkload,
+    engine: &Engine<P>,
+    q: usize,
+    depth: u8,
+    budget: &Budget,
+) -> RequestReport {
+    // Belt and braces: the engine already catches panics at its worker
+    // joins and at the resilient boundary, but a serving loop must survive
+    // even a panic in a path that boundary does not cover.
+    let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.top_k_closed_resilient(&w.queries[q], depth, w.k, budget)
+    }))
+    .unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Err(EngineError::WorkerPanic(msg))
+    });
+    match answer {
+        Ok(TopKAnswer::Complete(ranked)) => RequestReport {
+            query: q,
+            outcome: RequestOutcome::Ok,
+            ranked,
+            upper_bounds: Vec::new(),
+            reason: None,
+        },
+        // A captured panic means the evaluation state is suspect:
+        // classify as failed even though partial data came back.
+        Ok(TopKAnswer::Degraded(d)) => RequestReport {
+            query: q,
+            outcome: if matches!(d.reason, EngineError::WorkerPanic(_)) {
+                RequestOutcome::Failed
+            } else {
+                RequestOutcome::Degraded
+            },
+            ranked: d.ranked_so_far,
+            upper_bounds: d.unresolved_upper_bounds,
+            reason: Some(d.reason.to_string()),
+        },
+        Err(e) => RequestReport {
+            query: q,
+            outcome: RequestOutcome::Failed,
+            ranked: Vec::new(),
+            upper_bounds: Vec::new(),
+            reason: Some(e.to_string()),
+        },
+    }
+}
+
+/// Shape of the concurrent serving executor: how many worker threads
+/// drain the schedule, and how much admitted-but-unserved work the
+/// bounded request queue may hold (the producer blocks when it is full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads in the fixed-size pool (at least 1).
+    pub workers: usize,
+    /// Bounded queue capacity (at least 1).
+    pub queue_depth: usize,
+}
+
+impl ExecutorConfig {
+    /// An executor of `workers` threads with the default queue depth of
+    /// twice the pool size.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> ExecutorConfig {
+        let workers = workers.max(1);
+        ExecutorConfig {
+            workers,
+            queue_depth: 2 * workers,
+        }
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig::with_workers(
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        )
+    }
+}
+
+impl From<&ServeConfig> for ExecutorConfig {
+    fn from(cfg: &ServeConfig) -> Self {
+        ExecutorConfig {
+            workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+        }
+    }
+}
+
+/// The bounded MPMC request queue between the schedule producer and the
+/// worker pool. Backpressure by blocking: `push` waits while the queue is
+/// full, `pop` waits while it is empty and not yet closed. The
+/// `serve.queue_depth` gauge mirrors the live length.
+struct BoundedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    depth: Arc<simvid_obs::Gauge>,
+}
+
+struct QueueState {
+    items: VecDeque<usize>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize, depth: Arc<simvid_obs::Gauge>) -> BoundedQueue {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            depth,
+        }
+    }
+
+    /// Admits `item`, blocking while the queue is full. Returns `false`
+    /// without admitting when the queue closed early (a worker panicked).
+    fn push(&self, item: usize) -> bool {
+        let mut st = self.state.lock().expect("serve queue lock");
+        while st.items.len() >= self.capacity && !st.closed {
+            st = self.not_full.wait(st).expect("serve queue lock");
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        self.depth.add(1);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// The next request index, or `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("serve queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.depth.sub(1);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("serve queue lock");
+        }
+    }
+
+    fn close(&self) {
+        // Runs from a panicking worker's drop guard too: recover from the
+        // (unlikely) poisoned lock rather than aborting on double panic.
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Closes the queue when a worker unwinds, so the producer and sibling
+/// workers drain and exit instead of blocking forever; the panic itself
+/// resurfaces at the thread-scope join.
+struct CloseOnPanic<'a>(&'a BoundedQueue);
+
+impl Drop for CloseOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+/// Drives the request schedule through a fixed-size pool of
+/// `exec.workers` threads (a [`std::thread::scope`] — no runtime
+/// dependency) fed by a bounded queue, and returns results **in original
+/// schedule order** regardless of completion order: each worker writes
+/// into the slot of the request it served.
+///
+/// Every worker builds its own [`Engine`] over the shared `provider` and
+/// `registry`, so per-evaluation memo state stays request-private — the
+/// only cross-request sharing is the provider's atomic-result cache,
+/// whose singleflight layer coalesces concurrent misses on one key into
+/// a single computation. Results are therefore bit-identical to
+/// [`run_schedule`] for every worker count: rankings never depend on
+/// cache state, only the work to produce them does.
+///
+/// On top of the sequential path's `serve.requests` /
+/// `serve.request_seconds` metrics this records the `serve.queue_depth`
+/// gauge, one `serve.worker.{i}.request_seconds` histogram per worker,
+/// and `serve.inflight_coalesced` — how many lookups of this run
+/// coalesced onto another request's in-flight computation instead of
+/// recomputing.
+///
+/// # Panics
+///
+/// As [`run_schedule`]: panics if a pool query fails to evaluate. A
+/// panicking worker closes the queue so the pool shuts down instead of
+/// deadlocking, and the panic resurfaces here.
+#[must_use]
+pub fn run_schedule_concurrent<P: AtomicProvider>(
+    w: &ServeWorkload,
+    provider: &P,
+    engine_config: EngineConfig,
+    registry: &Arc<Registry>,
+    exec: &ExecutorConfig,
+) -> ScheduleRun {
+    let workers = exec.workers.max(1);
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.request_seconds");
+    let coalesced_total = registry.counter("cache.coalesced");
+    let pruned_total = registry.counter("engine.prune.entries_pruned");
+    let inflight_coalesced = registry.counter("serve.inflight_coalesced");
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let depth = w.depth();
+    let slots: Vec<Mutex<Option<Vec<RankedSegment>>>> =
+        w.schedule.iter().map(|_| Mutex::new(None)).collect();
+    let coalesced_before = coalesced_total.get();
+    let pruned_before = pruned_total.get();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let requests = &requests;
+            let latency = &latency;
+            let worker_latency = registry.histogram(&format!("serve.worker.{wid}.request_seconds"));
+            let registry = Arc::clone(registry);
+            scope.spawn(move || {
+                let _guard = CloseOnPanic(queue);
+                let engine = Engine::with_registry(provider, &w.tree, engine_config, registry);
+                while let Some(r) = queue.pop() {
+                    let t0 = Instant::now();
+                    let out = engine
+                        .top_k_closed(&w.queries[w.schedule[r]], depth, w.k)
+                        .expect("serve request evaluates");
+                    let elapsed = t0.elapsed();
+                    latency.record_duration(elapsed);
+                    worker_latency.record_duration(elapsed);
+                    requests.inc();
+                    *slots[r].lock().expect("result slot lock") = Some(out);
+                }
+            });
+        }
+        for r in 0..w.schedule.len() {
+            if !queue.push(r) {
+                break; // a worker panicked; the scope join re-panics below
+            }
+        }
+        queue.close();
+    });
+    inflight_coalesced.add(coalesced_total.get() - coalesced_before);
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every admitted request resolves")
+        })
+        .collect();
+    ScheduleRun {
+        results,
+        elapsed: start.elapsed(),
+        // Summed over the whole run from the shared registry: per-request
+        // engine deltas are not meaningful when workers interleave, but
+        // the cumulative counter is exact and equals the sequential sum.
+        entries_pruned: (pruned_total.get() - pruned_before) as usize,
+    }
+}
+
+/// Concurrent twin of [`run_schedule_resilient`]: the same fixed-size
+/// worker pool and bounded queue as [`run_schedule_concurrent`], with
+/// every request resolved to a classified [`RequestReport`]. Reports come
+/// back **in schedule order** whatever order requests complete in, and
+/// each request increments exactly one `serve.outcome.*` counter — on the
+/// worker that resolved it, so the counters are exact under concurrent
+/// completion.
+///
+/// Per-request [`Budget`]s are inherited from `limits` as in the
+/// sequential path. `cancel` is an optional schedule-level budget for
+/// cooperative cancellation: once it is violated (deadline passed, fuel
+/// exhausted, or [`Budget::cancel`] called from another thread), every
+/// not-yet-evaluated request's budget is cancelled up front, so the pool
+/// drains quickly with degraded answers (sound upper bounds) instead of
+/// evaluating doomed work.
+///
+/// `before_request` runs on the worker thread that evaluates the slot,
+/// immediately before evaluation — fault harnesses pin their per-thread
+/// epoch there (e.g. `FaultyProvider::set_thread_epoch`). It must be
+/// `Fn + Sync` since slots resolve concurrently.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
+    w: &ServeWorkload,
+    provider: &P,
+    engine_config: EngineConfig,
+    registry: &Arc<Registry>,
+    limits: RequestLimits,
+    exec: &ExecutorConfig,
+    cancel: Option<&Budget>,
+    before_request: impl Fn(usize) + Sync,
+) -> ResilientRun {
+    let workers = exec.workers.max(1);
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.request_seconds");
+    let ok = registry.counter("serve.outcome.ok");
+    let degraded = registry.counter("serve.outcome.degraded");
+    let failed = registry.counter("serve.outcome.failed");
+    let coalesced_total = registry.counter("cache.coalesced");
+    let inflight_coalesced = registry.counter("serve.inflight_coalesced");
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let depth = w.depth();
+    let slots: Vec<Mutex<Option<RequestReport>>> =
+        w.schedule.iter().map(|_| Mutex::new(None)).collect();
+    let coalesced_before = coalesced_total.get();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let requests = &requests;
+            let latency = &latency;
+            let (ok, degraded, failed) = (&ok, &degraded, &failed);
+            let before_request = &before_request;
+            let worker_latency = registry.histogram(&format!("serve.worker.{wid}.request_seconds"));
+            let registry = Arc::clone(registry);
+            scope.spawn(move || {
+                let _guard = CloseOnPanic(queue);
+                let engine = Engine::with_registry(provider, &w.tree, engine_config, registry);
+                while let Some(r) = queue.pop() {
+                    before_request(r);
+                    let budget = limits.budget();
+                    if cancel.is_some_and(|c| c.check().is_err()) {
+                        budget.cancel();
+                    }
+                    let t0 = Instant::now();
+                    let report = resolve_request(w, &engine, w.schedule[r], depth, &budget);
+                    let elapsed = t0.elapsed();
+                    latency.record_duration(elapsed);
+                    worker_latency.record_duration(elapsed);
+                    requests.inc();
+                    match report.outcome {
+                        RequestOutcome::Ok => ok.inc(),
+                        RequestOutcome::Degraded => degraded.inc(),
+                        RequestOutcome::Failed => failed.inc(),
+                    }
+                    *slots[r].lock().expect("report slot lock") = Some(report);
+                }
+            });
+        }
+        for r in 0..w.schedule.len() {
+            if !queue.push(r) {
+                break;
+            }
+        }
+        queue.close();
+    });
+    inflight_coalesced.add(coalesced_total.get() - coalesced_before);
+    let reports = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("report slot lock")
+                .expect("every admitted request resolves")
         })
         .collect();
     ResilientRun {
@@ -455,6 +812,122 @@ mod tests {
             assert!(
                 !report.upper_bounds.is_empty(),
                 "degraded answers carry upper bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential_in_schedule_order() {
+        let cfg = ServeConfig {
+            shots: 12,
+            requests: 24,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let sys =
+            simvid_picture::PictureSystem::new(&w.tree, simvid_picture::ScoringConfig::default());
+        let engine = Engine::new(&sys, &w.tree);
+        let sequential = run_schedule(&w, &engine);
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys2 = simvid_picture::PictureSystem::with_registry(
+            &w.tree,
+            simvid_picture::ScoringConfig::default(),
+            simvid_picture::CacheConfig::default(),
+            registry.clone(),
+        );
+        let concurrent = run_schedule_concurrent(
+            &w,
+            &sys2,
+            EngineConfig::default(),
+            &registry,
+            &ExecutorConfig::with_workers(3),
+        );
+        assert_eq!(concurrent.results, sequential.results);
+        assert_eq!(concurrent.entries_pruned, sequential.entries_pruned);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(24));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+    }
+
+    #[test]
+    fn concurrent_resilient_zero_deadline_reports_stay_ordered() {
+        let cfg = ServeConfig {
+            shots: 8,
+            requests: 10,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys = simvid_picture::PictureSystem::with_registry(
+            &w.tree,
+            simvid_picture::ScoringConfig::default(),
+            simvid_picture::CacheConfig::default(),
+            registry.clone(),
+        );
+        let limits = RequestLimits {
+            deadline: Some(Duration::ZERO),
+            fuel: None,
+        };
+        let run = run_schedule_resilient_concurrent(
+            &w,
+            &sys,
+            EngineConfig::default(),
+            &registry,
+            limits,
+            &ExecutorConfig::with_workers(4),
+            None,
+            |_| {},
+        );
+        assert_eq!(run.reports.len(), 10);
+        assert_eq!(run.count(RequestOutcome::Degraded), 10);
+        // Slot `r` must hold slot `r`'s query whatever order workers
+        // finished in.
+        for (report, &q) in run.reports.iter().zip(&w.schedule) {
+            assert_eq!(report.query, q);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.outcome.degraded"), Some(10));
+        assert_eq!(snap.counter("serve.requests"), Some(10));
+    }
+
+    #[test]
+    fn cooperative_cancel_degrades_instead_of_evaluating() {
+        let cfg = ServeConfig {
+            shots: 8,
+            requests: 6,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys = simvid_picture::PictureSystem::with_registry(
+            &w.tree,
+            simvid_picture::ScoringConfig::default(),
+            simvid_picture::CacheConfig::default(),
+            registry.clone(),
+        );
+        let cancel = Budget::unlimited();
+        cancel.cancel();
+        let run = run_schedule_resilient_concurrent(
+            &w,
+            &sys,
+            EngineConfig::default(),
+            &registry,
+            RequestLimits::default(),
+            &ExecutorConfig::with_workers(2),
+            Some(&cancel),
+            |_| {},
+        );
+        assert_eq!(run.reports.len(), 6);
+        assert_eq!(
+            run.count(RequestOutcome::Degraded),
+            6,
+            "a cancelled schedule budget must degrade every request"
+        );
+        for report in &run.reports {
+            assert!(report.reason.is_some());
+            assert!(
+                !report.upper_bounds.is_empty(),
+                "cancelled requests still carry sound upper bounds"
             );
         }
     }
