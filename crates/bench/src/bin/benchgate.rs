@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! benchgate CURRENT.json [--baseline PATH] [--kernels-baseline PATH]
-//!           [--serve-concurrent-baseline PATH] [--update-baselines]
+//!           [--serve-concurrent-baseline PATH] [--serve-sharded-baseline PATH]
+//!           [--update-baselines]
 //! ```
 //!
 //! `CURRENT.json` is the output of `repro serve --smoke --json PATH` (add
@@ -24,10 +25,21 @@
 //! executor's ordering guarantee, gated. Speedups are informational (CI
 //! runners are often single-core).
 //!
+//! When it carries a `serve_sharded` section (from
+//! `repro serve --smoke --shards 1,2,4 --json ...`), each row must attest
+//! `digest_matches_unsharded: true`, every shard count's digest must be
+//! identical to every other's (sharding may never change the answer), and
+//! each must match the baseline row with the same shard count in
+//! `crates/bench/baselines/serve_sharded.json` bit-for-bit.
+//!
 //! `--update-baselines` rewrites the baseline files from the current
 //! document instead of gating — the supported way to refresh baselines
 //! after an intentional workload or semantics change. Review the diff
-//! before committing.
+//! before committing. Every gated section must be present in the current
+//! document (generate one with
+//! `repro serve serve_concurrent kernels --smoke --shards 1,2,4 --json`);
+//! a missing section leaves its baseline untouched, warns, and exits 2 so
+//! a partial refresh can never slip through silently.
 //!
 //! The gate separates *deterministic* metrics from *timing* metrics:
 //!
@@ -119,6 +131,7 @@ fn run(
     baseline_path: &str,
     kernels_baseline_path: &str,
     serve_concurrent_baseline_path: &str,
+    serve_sharded_baseline_path: &str,
 ) -> Result<bool, String> {
     let current_doc = load(current_path)?;
     let baseline_doc = load(baseline_path)?;
@@ -216,6 +229,18 @@ fn run(
         None => println!(
             "  {:<22} (no serve_concurrent section; skipped)",
             "concurrent digests"
+        ),
+    }
+
+    // Sharded scatter-gather digests, when the current run carries them.
+    match field(&current_doc, "serve_sharded") {
+        Some(Value::Array(rows)) => {
+            check_serve_sharded(&mut gate, rows, serve_sharded_baseline_path)?;
+        }
+        Some(_) => return Err("`serve_sharded` section is not an array".into()),
+        None => println!(
+            "  {:<22} (no serve_sharded section; skipped)",
+            "sharded digests"
         ),
     }
 
@@ -349,11 +374,92 @@ fn check_serve_concurrent(
     Ok(())
 }
 
+/// Gates the sharded serving path: every row must attest digest equality
+/// with its own in-process unsharded oracle, every shard count must
+/// produce the same digest as every other (the partition may never change
+/// the answer), and each digest must match the checked-in baseline row
+/// for the same shard count bit-for-bit. Wall times never fail the gate.
+fn check_serve_sharded(gate: &mut Gate, rows: &[Value], baseline_path: &str) -> Result<(), String> {
+    let baseline_doc = load(baseline_path)?;
+    let baseline_rows = match field(&baseline_doc, "serve_sharded") {
+        Some(Value::Array(rows)) => rows,
+        _ => {
+            return Err(format!(
+                "{baseline_path}: no serve_sharded section in baseline"
+            ))
+        }
+    };
+    let mut first_digest: Option<(u64, String)> = None;
+    for row in rows {
+        let shards = field(row, "shards")
+            .and_then(num)
+            .ok_or("serve_sharded row missing numeric `shards`")? as u64;
+        let cur_digest = match field(row, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_sharded row missing string `results_digest`".into()),
+        };
+        match field(row, "digest_matches_unsharded") {
+            Some(Value::Bool(true)) => {}
+            _ => gate.failures.push(format!(
+                "serve_sharded shards={shards}: run does not attest digest \
+                 equality with its unsharded oracle"
+            )),
+        }
+        // Cross-row invariant: a different shard count is a different
+        // execution plan, never a different answer.
+        match &first_digest {
+            None => first_digest = Some((shards, cur_digest.clone())),
+            Some((first_shards, digest)) if *digest != cur_digest => {
+                gate.failures.push(format!(
+                    "serve_sharded: shards={shards} digest {cur_digest} differs from \
+                     shards={first_shards} digest {digest} in the same run"
+                ));
+            }
+            Some(_) => {}
+        }
+        let base = baseline_rows
+            .iter()
+            .find(|b| field(b, "shards").and_then(num).map(|n| n as u64) == Some(shards));
+        let Some(base) = base else {
+            println!("  sharded s={shards:<13} {cur_digest}  (no baseline row; skipped)");
+            continue;
+        };
+        let base_digest = match field(base, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_sharded baseline row missing `results_digest`".into()),
+        };
+        let ok = cur_digest == base_digest;
+        println!(
+            "  sharded s={shards:<13} {cur_digest}  baseline {base_digest}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            gate.failures.push(format!(
+                "serve_sharded shards={shards}: ranked results diverged from baseline"
+            ));
+        }
+        if let (Some(flat), Some(scat)) = (
+            field(row, "unsharded").and_then(duration_secs),
+            field(row, "sequential").and_then(duration_secs),
+        ) {
+            println!(
+                "  {:<22} {:>8.2}x at {shards} shards  (informational)",
+                "scatter speedup",
+                flat / scat.max(1e-12)
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Rewrites a baseline file from the current document: the named section
 /// plus the run's `meta`, pretty-printed.
 fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<bool, String> {
     let Some(rows) = field(current_doc, section) else {
-        println!("  {section:<22} not in current document; baseline untouched");
+        eprintln!(
+            "benchgate: WARNING: `{section}` not in current document; \
+             baseline untouched ({path})"
+        );
         return Ok(false);
     };
     let mut out: Vec<(String, Value)> = vec![(section.to_owned(), rows.clone())];
@@ -371,7 +477,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     const USAGE: &str = "usage: benchgate CURRENT.json [--baseline PATH] \
          [--kernels-baseline PATH] [--serve-concurrent-baseline PATH] \
-         [--update-baselines]";
+         [--serve-sharded-baseline PATH] [--update-baselines]";
     let mut current: Option<String> = None;
     let mut baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
@@ -382,6 +488,8 @@ fn main() -> ExitCode {
         "/baselines/serve_concurrent.json"
     )
     .to_owned();
+    let mut serve_sharded_baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_sharded.json").to_owned();
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
@@ -416,6 +524,16 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--serve-sharded-baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => serve_sharded_baseline = p.clone(),
+                    None => {
+                        eprintln!("--serve-sharded-baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             "--update-baselines" => {
                 update = true;
                 i += 1;
@@ -436,16 +554,33 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     if update {
+        // Every gated section must be present: a partial document must
+        // not silently leave stale baselines behind (exit 2 after still
+        // rewriting whatever IS present, so the warning lists exactly
+        // what the caller forgot to generate).
         let result = load(&current).and_then(|doc| {
             println!("bench gate: rewriting baselines from {current}");
-            let wrote_serve = update_baseline(&doc, "serve", &baseline)?;
-            let wrote_kernels = update_baseline(&doc, "kernels", &kernels_baseline)?;
-            let wrote_concurrent =
-                update_baseline(&doc, "serve_concurrent", &serve_concurrent_baseline)?;
-            if wrote_serve || wrote_kernels || wrote_concurrent {
+            let sections = [
+                ("serve", baseline.as_str()),
+                ("kernels", kernels_baseline.as_str()),
+                ("serve_concurrent", serve_concurrent_baseline.as_str()),
+                ("serve_sharded", serve_sharded_baseline.as_str()),
+            ];
+            let mut missing: Vec<&str> = Vec::new();
+            for (section, path) in sections {
+                if !update_baseline(&doc, section, path)? {
+                    missing.push(section);
+                }
+            }
+            if missing.is_empty() {
                 Ok(())
             } else {
-                Err("current document has no serve, serve_concurrent, or kernels section".into())
+                Err(format!(
+                    "current document is missing section(s) {}; regenerate with \
+                     `repro serve serve_concurrent kernels --smoke --shards 1,2,4 \
+                     --workers 2 --json CURRENT.json` and rerun",
+                    missing.join(", ")
+                ))
             }
         });
         return match result {
@@ -461,6 +596,7 @@ fn main() -> ExitCode {
         &baseline,
         &kernels_baseline,
         &serve_concurrent_baseline,
+        &serve_sharded_baseline,
     ) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro [figure2|table1..table6|complex|ablation|parallel|serve|
-//!        serve_concurrent|topk|kernels|chaos|all]...
+//!        serve_concurrent|serve_sharded|topk|kernels|chaos|shard_chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
-//!       [--cache-capacity N] [--workers N]
+//!       [--cache-capacity N] [--workers N] [--shards N,M,...]
 //! ```
 //!
 //! Several section names may be given at once (`repro serve topk --json out`)
@@ -16,9 +16,14 @@
 //! `--cache-capacity` overrides the warm serving system's atomic-cache
 //! capacity (`0` disables caching — the bench gate's synthetic
 //! regression). `--workers` fixes the `serve_concurrent` section to one
-//! worker count (default: a 1/2/4 scaling sweep). `--metrics` emits the
-//! shared metrics registry (`engine.*`, `cache.*`, `serve.*`) as JSON to
-//! stdout, or to a file when a path is given.
+//! worker count (default: a 1/2/4 scaling sweep) and sets the concurrent
+//! fan-out width of the `serve_sharded` section (default 2). `--shards`
+//! selects the shard counts of the `serve_sharded` sweep (default
+//! `1,2,4`; every count must reproduce the unsharded digest
+//! bit-identically) and implies the section when `serve` is requested.
+//! `--metrics` emits the shared metrics registry (`engine.*`, `cache.*`,
+//! `serve.*`, `shard.*`) as JSON to stdout, or to a file when a path is
+//! given.
 //!
 //! `-` as the `--json` or `--metrics` path means stdout. Whenever stdout
 //! carries JSON, all human-readable output routes to stderr, so
@@ -29,16 +34,18 @@
 use simvid_bench::{
     bench_meta, format_chaos_table, format_engine_mode_table, format_kernel_table,
     format_list_table, format_perf_table, format_pruned_table, format_serve_concurrent_table,
-    format_serve_table, measure_chaos, measure_complex1, measure_complex2, measure_conjunction,
-    measure_engine_modes, measure_kernels, measure_pruned_topk, measure_serve_concurrent,
-    measure_serve_with_registry, measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5,
-    PAPER_TABLE6, THETA,
+    format_serve_sharded_table, format_serve_table, format_shard_chaos_table, measure_chaos,
+    measure_complex1, measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
+    measure_pruned_topk, measure_serve_concurrent, measure_serve_sharded,
+    measure_serve_with_registry, measure_shard_chaos, measure_until, EngineModeRow, PerfRow,
+    PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_obs::Registry;
 use simvid_picture::PictureSystem;
 use simvid_workload::casablanca;
 use simvid_workload::serve::ServeConfig;
+use simvid_workload::shard::ShardedServeConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -303,6 +310,63 @@ fn serve_concurrent_bench(
     rows
 }
 
+fn sharded_smoke_config(smoke: bool) -> ShardedServeConfig {
+    if smoke {
+        ShardedServeConfig {
+            videos: 6,
+            shots: 24,
+            requests: 30,
+            ..ShardedServeConfig::default()
+        }
+    } else {
+        ShardedServeConfig::default()
+    }
+}
+
+fn serve_sharded_bench(
+    smoke: bool,
+    shard_counts: &[u32],
+    workers: Option<usize>,
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ServeShardedRow> {
+    let cfg = sharded_smoke_config(smoke);
+    let workers = workers.unwrap_or(2).max(1);
+    let rows: Vec<_> = shard_counts
+        .iter()
+        .map(|&s| measure_serve_sharded(&cfg, s, workers, registry))
+        .collect();
+    progress!(
+        "{}",
+        format_serve_sharded_table(
+            "Sharded serving: scatter-gather top-k vs the unsharded scan, \
+             digest-checked bit-identical at every shard count",
+            &rows
+        )
+    );
+    rows
+}
+
+fn shard_chaos_bench(
+    smoke: bool,
+    shard_counts: &[u32],
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ShardChaosRow> {
+    let cfg = sharded_smoke_config(smoke);
+    // Degrading needs survivors, so the chaos run wants at least 2 shards;
+    // prefer a count from the requested sweep.
+    let shards = shard_counts.iter().copied().find(|&s| s >= 2).unwrap_or(2);
+    let rows = vec![measure_shard_chaos(&cfg, shards, registry)];
+    progress!(
+        "{}",
+        format_shard_chaos_table(
+            "Degraded sharded serving: one shard forced to fail, answers \
+             degrade to the surviving shards with a sound missing-score bound",
+            &rows
+        )
+    );
+    rows
+}
+
 fn chaos_bench(smoke: bool, registry: &Arc<Registry>) -> Vec<simvid_bench::ChaosRow> {
     let cfg = if smoke {
         ServeConfig {
@@ -385,9 +449,11 @@ const SECTIONS: &[&str] = &[
     "parallel",
     "serve",
     "serve_concurrent",
+    "serve_sharded",
     "topk",
     "kernels",
     "chaos",
+    "shard_chaos",
     "all",
 ];
 
@@ -399,6 +465,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
     let mut workers: Option<usize> = None;
+    let mut shards: Option<Vec<u32>> = None;
     let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
@@ -417,6 +484,15 @@ fn main() {
             }
             "--workers" => {
                 workers = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--shards" => {
+                shards = args.get(i + 1).map(|v| {
+                    v.split(',')
+                        .filter_map(|s| s.trim().parse::<u32>().ok())
+                        .filter(|&s| s > 0)
+                        .collect()
+                });
                 i += 2;
             }
             "--smoke" => {
@@ -518,6 +594,18 @@ fn main() {
             serde_json::to_value(&rows).unwrap(),
         );
     }
+    // `--shards` alongside `serve` implies the sharded section, so the CI
+    // gate's `repro serve --smoke --shards 1,2,4` spelling just works.
+    if wants("serve_sharded") || (wants("serve") && shards.is_some()) {
+        let counts = shards.clone().unwrap_or_else(|| vec![1, 2, 4]);
+        let counts = if counts.is_empty() {
+            vec![1, 2, 4]
+        } else {
+            counts
+        };
+        let rows = serve_sharded_bench(smoke, &counts, workers, &registry);
+        json.insert("serve_sharded".into(), serde_json::to_value(&rows).unwrap());
+    }
     if wants("topk") {
         let rows = topk_bench(smoke);
         json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
@@ -529,6 +617,11 @@ fn main() {
     if wants("chaos") {
         let rows = chaos_bench(smoke, &registry);
         json.insert("chaos".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("shard_chaos") {
+        let counts = shards.unwrap_or_else(|| vec![2]);
+        let rows = shard_chaos_bench(smoke, &counts, &registry);
+        json.insert("shard_chaos".into(), serde_json::to_value(&rows).unwrap());
     }
 
     let metrics_json = || -> serde_json::Value {

@@ -2,6 +2,7 @@
 //! binary that regenerates every table and figure of the paper.
 
 use serde::Serialize;
+use simvid_core::ShardHit;
 use simvid_core::{
     list, top_k, AtomicProvider, Engine, EngineConfig, Interval, ParallelConfig, RankedSegment,
     SeqContext, SimilarityList, SimilarityTable, ValueTable,
@@ -9,11 +10,15 @@ use simvid_core::{
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula, FormulaId};
 use simvid_model::{VideoBuilder, VideoTree};
 use simvid_obs::Registry;
+use simvid_picture::{shard_of, ShardedAnswer, ShardedVideoDb};
 use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
 use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
 use simvid_workload::randomlists::{generate, ListGenConfig};
 use simvid_workload::serve::{self, RequestLimits, RequestOutcome, ServeConfig};
+use simvid_workload::shard::{
+    build_sharded, run_schedule_sharded, run_schedule_sharded_concurrent, ShardedServeConfig,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -913,6 +918,391 @@ pub fn format_chaos_table(title: &str, rows: &[ChaosRow]) -> String {
             r.giveups,
             format!("{}/{}", r.fault_free_requests, r.requests),
             if r.fault_free_matches && r.bounds_sound {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    out
+}
+
+/// FNV-1a (64-bit) over the bit patterns of every sharded ranked answer:
+/// request count, then per request its length and each hit's video id,
+/// position and similarity bits — the multi-video twin of
+/// [`results_digest`]. Scatter-gather retrieval is bit-identical to the
+/// unsharded scan, so this digest is equal for every shard count.
+#[must_use]
+pub fn sharded_results_digest(results: &[Vec<ShardHit>]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(results.len() as u64);
+    for request in results {
+        eat(request.len() as u64);
+        for hit in request {
+            eat(u64::from(hit.video.0));
+            eat(u64::from(hit.pos));
+            eat(hit.sim.act.to_bits());
+            eat(hit.sim.max.to_bits());
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// One measurement of the sharded scatter-gather serving path at a fixed
+/// shard count: the schedule through the sequential scatter loop, through
+/// the concurrent `(request, shard)` executor fan-out, and through the
+/// unsharded oracle scan — all three asserted bit-identical.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeShardedRow {
+    /// Videos in the corpus.
+    pub videos: u32,
+    /// Shots per video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each corpus-wide top-`k` request.
+    pub k: usize,
+    /// Shard count of the partition.
+    pub shards: u32,
+    /// Worker threads of the concurrent fan-out.
+    pub workers: usize,
+    /// Wall time of the schedule through the sequential scatter loop.
+    pub sequential: Duration,
+    /// Wall time through the concurrent `(request, shard)` fan-out.
+    pub concurrent: Duration,
+    /// Wall time of the unsharded oracle scan over the same schedule.
+    pub unsharded: Duration,
+    /// Shard candidates the merge coordinator never consumed across the
+    /// measured runs (threshold-algorithm savings).
+    pub candidates_pruned: u64,
+    /// Shard streams abandoned early by the coordinator across the
+    /// measured runs.
+    pub early_terminated: u64,
+    /// Whether the sharded rankings were bit-identical to the unsharded
+    /// oracle (always true — asserted — but recorded so the bench gate
+    /// can double-check the artifact).
+    pub digest_matches_unsharded: bool,
+    /// [`sharded_results_digest`] of the per-request rankings; equal
+    /// across shard counts and equal to the unsharded scan's digest.
+    pub results_digest: String,
+}
+
+impl ServeShardedRow {
+    /// Unsharded time over sequential scatter time — the per-shard
+    /// pruning win (or overhead) of the partition.
+    #[must_use]
+    pub fn scatter_speedup(&self) -> f64 {
+        self.unsharded.as_secs_f64() / self.sequential.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the sharded serving workload at the given shard count through the
+/// sequential scatter loop, the concurrent executor fan-out, and the
+/// unsharded oracle, asserting request-for-request bit-identical
+/// rankings. The `shard.*` counters and per-shard timing histograms land
+/// in `registry`.
+///
+/// # Panics
+///
+/// Panics if any run's rankings diverge, or if any request fails — the
+/// workload is fault-free, so either indicates a coordinator bug (exactly
+/// what the CI shard gate exists to catch).
+#[must_use]
+pub fn measure_serve_sharded(
+    cfg: &ShardedServeConfig,
+    shards: u32,
+    workers: usize,
+    registry: &Arc<Registry>,
+) -> ServeShardedRow {
+    let w = build_sharded(cfg);
+    let depth = w.depth();
+    let db = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    );
+    // Prime: one pass over the pool fills the per-video atomic caches, as
+    // a steady-state server would be after its first few requests.
+    for q in &w.queries {
+        let _ = db
+            .top_k(q, depth, w.k)
+            .expect("warm-up sharded request evaluates");
+    }
+    let pruned_ctr = registry.counter("shard.candidates_pruned");
+    let early_ctr = registry.counter("shard.early_terminated");
+    let (pruned_before, early_before) = (pruned_ctr.get(), early_ctr.get());
+    // Unsharded oracle: the flat scan the sharded paths must reproduce.
+    let (oracle, unsharded_elapsed) = time(|| {
+        w.schedule
+            .iter()
+            .map(|&q| {
+                db.top_k_unsharded(&w.queries[q], depth, w.k)
+                    .expect("unsharded request evaluates")
+            })
+            .collect::<Vec<_>>()
+    });
+    let seq = run_schedule_sharded(&w, &db);
+    let exec = serve::ExecutorConfig::with_workers(workers);
+    let conc = run_schedule_sharded_concurrent(&w, &db, &exec);
+    assert_eq!(seq.complete(), w.schedule.len(), "fault-free run degraded");
+    let seq_ranked: Vec<Vec<ShardHit>> = seq.answers.iter().map(|a| a.ranked().to_vec()).collect();
+    let conc_ranked: Vec<Vec<ShardHit>> =
+        conc.answers.iter().map(|a| a.ranked().to_vec()).collect();
+    assert_eq!(
+        seq_ranked, oracle,
+        "sharded retrieval must be bit-identical to the unsharded scan"
+    );
+    assert_eq!(
+        conc_ranked, seq_ranked,
+        "concurrent fan-out must be bit-identical to the sequential scatter"
+    );
+    ServeShardedRow {
+        videos: cfg.videos,
+        shots: cfg.shots,
+        requests: w.schedule.len(),
+        k: w.k,
+        shards,
+        workers: exec.workers,
+        sequential: seq.elapsed,
+        concurrent: conc.elapsed,
+        unsharded: unsharded_elapsed,
+        candidates_pruned: pruned_ctr.get() - pruned_before,
+        early_terminated: early_ctr.get() - early_before,
+        digest_matches_unsharded: true,
+        results_digest: sharded_results_digest(&seq_ranked),
+    }
+}
+
+/// Formats the shard-count scaling comparison.
+#[must_use]
+pub fn format_serve_sharded_table(title: &str, rows: &[ServeShardedRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>8}  {:>7}  {:>10}  {:>10}  {:>10}  {:>8}  {:>8}  {:>6}",
+        "Shards",
+        "Requests",
+        "Workers",
+        "Flat (s)",
+        "Scat (s)",
+        "Conc (s)",
+        "Pruned",
+        "EarlyTrm",
+        "Digest"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>8}  {:>7}  {:>10.4}  {:>10.4}  {:>10.4}  {:>8}  {:>8}  {:>6}",
+            r.shards,
+            r.requests,
+            r.workers,
+            r.unsharded.as_secs_f64(),
+            r.sequential.as_secs_f64(),
+            r.concurrent.as_secs_f64(),
+            r.candidates_pruned,
+            r.early_terminated,
+            if r.digest_matches_unsharded {
+                "match"
+            } else {
+                "DRIFT"
+            },
+        );
+    }
+    out
+}
+
+/// One measurement of the degraded-shard serving mode: one shard's
+/// providers are forced to fail every call, and every request must
+/// degrade to a sound answer over the surviving shards.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardChaosRow {
+    /// Videos in the corpus.
+    pub videos: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each request.
+    pub k: usize,
+    /// Shard count of the partition.
+    pub shards: u32,
+    /// The shard forced to fail.
+    pub victim_shard: u32,
+    /// Videos assigned to the victim shard.
+    pub victim_videos: usize,
+    /// Requests that resolved complete (expected zero: the victim fails
+    /// every call).
+    pub ok: usize,
+    /// Requests that degraded to a surviving-shards answer.
+    pub degraded: usize,
+    /// Failed shards per request, maximised over the schedule (the
+    /// contract expects exactly 1 — the victim and only the victim).
+    pub failed_per_request: usize,
+    /// Whether every degraded answer names exactly the victim shard.
+    pub failed_shard_is_victim: bool,
+    /// Whether every ground-truth top-`k` hit is either present in the
+    /// degraded answer or attributable to the victim shard with actual
+    /// similarity at most the answer's `missing_bound`.
+    pub bounds_sound: bool,
+    /// Provider calls that exhausted their retry allowance (all on the
+    /// victim shard).
+    pub giveups: u64,
+    /// Wall time of the degraded schedule.
+    pub elapsed: Duration,
+}
+
+/// Runs the sharded schedule with one shard forced to fail (per-call
+/// transient-error probability 1.0 — every provider call on the victim
+/// gives up after retries) and checks the degraded-shard contract request
+/// by request:
+///
+/// * the schedule never aborts — every request resolves;
+/// * every request degrades (the victim holds at least one video and
+///   every pool query touches its providers), naming exactly the victim;
+/// * the answer over the surviving shards is sound: every ground-truth
+///   top-`k` hit either appears verbatim, or belongs to the victim shard
+///   and is dominated by the answer's `missing_bound`.
+///
+/// The victim is the first shard with at least one video. `shard.*` and
+/// `resilience.*` counters land in `registry`.
+#[must_use]
+pub fn measure_shard_chaos(
+    cfg: &ShardedServeConfig,
+    shards: u32,
+    registry: &Arc<Registry>,
+) -> ShardChaosRow {
+    let w = build_sharded(cfg);
+    let depth = w.depth();
+    // Ground truth: a pristine partition of the same corpus, fault-free.
+    let truth_db = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        Arc::new(Registry::new()),
+    );
+    let truth: Vec<Vec<ShardHit>> = w
+        .schedule
+        .iter()
+        .map(|&q| {
+            truth_db
+                .top_k_unsharded(&w.queries[q], depth, w.k)
+                .expect("ground-truth request evaluates")
+        })
+        .collect();
+    // Chaos partition: wrap every provider, always-fail plan on the
+    // victim, quiet plan on the survivors.
+    let plain = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    );
+    let victim = plain
+        .shard_ids()
+        .find(|&s| !plain.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let victim_videos = plain.videos_in(victim).len();
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let db = plain.map_providers(|sid, _video, sys| {
+        let plan = if sid == victim {
+            FaultPlan {
+                seed: 0x5AD_C4A05,
+                error_rate: 1.0,
+                panic_rate: 0.0,
+                latency_rate: 0.0,
+                latency: Duration::ZERO,
+            }
+        } else {
+            FaultPlan::quiet(0x5AD_C4A05)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, registry)
+    });
+    let run = run_schedule_sharded(&w, &db);
+    assert_eq!(run.answers.len(), w.schedule.len(), "schedule never aborts");
+    let mut failed_per_request = 0usize;
+    let mut failed_shard_is_victim = true;
+    let mut bounds_sound = true;
+    for (answer, truth_ranked) in run.answers.iter().zip(&truth) {
+        match answer {
+            ShardedAnswer::Complete(_) => {
+                // The victim answers nothing, so a complete answer means
+                // the contract is broken unless the victim was empty.
+                failed_shard_is_victim &= victim_videos == 0;
+            }
+            ShardedAnswer::Degraded(d) => {
+                failed_per_request = failed_per_request.max(d.failed.len());
+                failed_shard_is_victim &= d.failed.len() == 1 && d.failed[0].0 .0 == victim.0;
+                for hit in truth_ranked {
+                    let present = d.ranked.iter().any(|h| {
+                        h.video == hit.video
+                            && h.pos == hit.pos
+                            && h.sim.act.to_bits() == hit.sim.act.to_bits()
+                    });
+                    let excused = shard_of(hit.video, shards) == victim
+                        && hit.sim.act <= d.missing_bound + 1e-6;
+                    bounds_sound &= present || excused;
+                }
+            }
+        }
+    }
+    let snap = registry.snapshot();
+    ShardChaosRow {
+        videos: cfg.videos,
+        requests: run.answers.len(),
+        k: w.k,
+        shards,
+        victim_shard: victim.0,
+        victim_videos,
+        ok: run.complete(),
+        degraded: run.degraded(),
+        failed_per_request,
+        failed_shard_is_victim,
+        bounds_sound,
+        giveups: snap.counter("resilience.giveups").unwrap_or(0),
+        elapsed: run.elapsed,
+    }
+}
+
+/// Formats the degraded-shard summary.
+#[must_use]
+pub fn format_shard_chaos_table(title: &str, rows: &[ShardChaosRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>8}  {:>6}",
+        "Requests", "Shards", "Victim", "Ok", "Degraded", "Failed/req", "Giveups", "Sound"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>8}  {:>6}",
+            r.requests,
+            r.shards,
+            format!("s{} ({}v)", r.victim_shard, r.victim_videos),
+            r.ok,
+            r.degraded,
+            r.failed_per_request,
+            r.giveups,
+            if r.failed_shard_is_victim && r.bounds_sound {
                 "yes"
             } else {
                 "NO"

@@ -69,5 +69,8 @@ pub use memo::{MemoCache, MemoKey};
 pub use range::AttrRange;
 pub use sim::Sim;
 pub use table::{Row, SimilarityTable};
-pub use topk::{rank_entries, retrieve_above, top_k, DegradedAnswer, RankedSegment, TopKAnswer};
+pub use topk::{
+    global_rank, merge_shard_streams, rank_entries, retrieve_above, top_k, DegradedAnswer,
+    MergeStats, RankedSegment, ShardHit, ShardStream, TopKAnswer,
+};
 pub use valuetable::{ValueRow, ValueTable};

@@ -6,6 +6,7 @@
 
 use crate::error::EngineError;
 use crate::{Interval, SegPos, Sim, SimilarityList};
+use simvid_model::VideoId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -187,6 +188,170 @@ pub fn retrieve_above(list: &SimilarityList, threshold: f64) -> Vec<RankedSegmen
     out
 }
 
+/// A ranked candidate emitted by one shard of a partitioned video store:
+/// a segment of a specific video together with its similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardHit {
+    /// The video the segment belongs to.
+    pub video: VideoId,
+    /// 1-based position within that video's queried sequence.
+    pub pos: SegPos,
+    /// The similarity value.
+    pub sim: Sim,
+}
+
+/// The corpus-wide retrieval rank order: actual similarity descending,
+/// ties by video id ascending, then by position ascending. Every layer of
+/// the sharded pipeline — per-shard streams, the merge coordinator, and
+/// the unsharded oracle — sorts by exactly this comparator, which is what
+/// makes scatter-gather retrieval bit-identical to a flat scan.
+#[must_use]
+pub fn global_rank(a: &ShardHit, b: &ShardHit) -> Ordering {
+    b.sim
+        .act
+        .partial_cmp(&a.sim.act)
+        .expect("similarities are finite")
+        .then(a.video.cmp(&b.video))
+        .then(a.pos.cmp(&b.pos))
+}
+
+/// One shard's ranked answer stream: its candidate hits sorted by
+/// [`global_rank`]. Because the stream is sorted, the shard's remaining
+/// upper bound after consuming a prefix is simply the `act` of the next
+/// unconsumed hit — the certificate the threshold algorithm needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStream {
+    /// Stable identifier of the shard that produced the stream.
+    pub shard: u32,
+    /// Candidate hits in [`global_rank`] order (enforced by [`ShardStream::new`]).
+    pub hits: Vec<ShardHit>,
+}
+
+impl ShardStream {
+    /// Builds a stream, sorting `hits` into [`global_rank`] order.
+    #[must_use]
+    pub fn new(shard: u32, mut hits: Vec<ShardHit>) -> Self {
+        hits.sort_by(global_rank);
+        ShardStream { shard, hits }
+    }
+
+    /// A sound upper bound on any hit this shard could still contribute
+    /// once `consumed` hits have been taken from the stream head, or
+    /// `None` when the stream is exhausted (bound is effectively zero).
+    #[must_use]
+    pub fn remaining_bound(&self, consumed: usize) -> Option<f64> {
+        self.hits.get(consumed).map(|h| h.sim.act)
+    }
+}
+
+/// Accounting for one scatter-gather merge, surfaced through the
+/// `shard.*` observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Hits actually consumed from shard streams (equals the output
+    /// length: the merge never pops a hit it does not emit).
+    pub consumed: u64,
+    /// Candidate hits shards produced that the coordinator never had to
+    /// look at — the work the threshold condition saved downstream.
+    pub candidates_pruned: u64,
+    /// Streams abandoned while they still held candidates: the merge
+    /// proved their remaining upper bound could not displace the k-th
+    /// best score and terminated them early.
+    pub early_terminated: u64,
+    /// Streams fully drained before the merge finished.
+    pub exhausted: u64,
+}
+
+/// A heap element for the scatter-gather merge: the current head of one
+/// shard stream. `BinaryHeap` pops its greatest element, so "greater"
+/// means "earlier in [`global_rank`] order".
+struct MergeHead {
+    hit: ShardHit,
+    stream: usize,
+    next: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        global_rank(&self.hit, &other.hit) == Ordering::Equal
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `global_rank` returns Less for the better-ranked hit (sort
+        // ascending = best first); the heap wants the best hit greatest.
+        global_rank(&other.hit, &self.hit)
+    }
+}
+
+/// Merges ranked per-shard streams into the corpus-wide top `k` with the
+/// threshold algorithm: repeatedly take the best stream head, and stop as
+/// soon as `k` hits are emitted — at which point the k-th best score
+/// dominates every remaining stream head, i.e. every shard's remaining
+/// upper bound (the streams are sorted, so no shard can still produce a
+/// hit that outranks its own head).
+///
+/// The output is bit-identical to sorting the concatenation of all
+/// streams by [`global_rank`] and truncating at `k`, because each stream
+/// is itself sorted by that total order.
+#[must_use]
+pub fn merge_shard_streams(streams: &[ShardStream], k: usize) -> (Vec<ShardHit>, MergeStats) {
+    let total: u64 = streams.iter().map(|s| s.hits.len() as u64).sum();
+    let mut stats = MergeStats::default();
+    if k == 0 {
+        stats.candidates_pruned = total;
+        stats.early_terminated = streams.iter().filter(|s| !s.hits.is_empty()).count() as u64;
+        stats.exhausted = streams.iter().filter(|s| s.hits.is_empty()).count() as u64;
+        return (Vec::new(), stats);
+    }
+    let mut heap: BinaryHeap<MergeHead> = streams
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| {
+            s.hits.first().map(|&hit| MergeHead {
+                hit,
+                stream: i,
+                next: 1,
+            })
+        })
+        .collect();
+    stats.exhausted = (streams.len() - heap.len()) as u64;
+    let mut out = Vec::with_capacity(k.min(total as usize));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.hit);
+        match streams[head.stream].hits.get(head.next) {
+            Some(&hit) => heap.push(MergeHead {
+                hit,
+                stream: head.stream,
+                next: head.next + 1,
+            }),
+            None => stats.exhausted += 1,
+        }
+    }
+    stats.consumed = out.len() as u64;
+    stats.candidates_pruned = total - stats.consumed;
+    stats.early_terminated = heap.len() as u64;
+    // Threshold-algorithm certificate: termination is only sound while
+    // the k-th best emitted score is at least every abandoned stream's
+    // remaining upper bound. The heap invariant guarantees this; the
+    // debug assertion documents (and, under `cargo test`, enforces) it.
+    debug_assert!(out.last().is_none_or(|kth| {
+        heap.iter()
+            .all(|head| global_rank(kth, &head.hit) != Ordering::Greater)
+    }));
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +458,82 @@ mod tests {
                 assert_eq!(top_k(l, k), oracle, "k={k}");
             }
         }
+    }
+
+    fn hit(video: u32, pos: SegPos, act: f64) -> ShardHit {
+        ShardHit {
+            video: VideoId(video),
+            pos,
+            sim: Sim::new(act, 10.0),
+        }
+    }
+
+    #[test]
+    fn merge_matches_global_sort_oracle() {
+        // Adversarial ties: equal scores across shards must resolve by
+        // (video asc, pos asc) exactly as a flat global sort would.
+        let streams = vec![
+            ShardStream::new(0, vec![hit(0, 3, 7.0), hit(0, 1, 7.0), hit(2, 5, 2.0)]),
+            ShardStream::new(1, vec![hit(1, 9, 7.0), hit(3, 2, 6.5), hit(1, 1, 1.0)]),
+            ShardStream::new(2, vec![]),
+        ];
+        let mut oracle: Vec<ShardHit> = streams.iter().flat_map(|s| s.hits.clone()).collect();
+        oracle.sort_by(global_rank);
+        for k in 0..=oracle.len() + 2 {
+            let (merged, stats) = merge_shard_streams(&streams, k);
+            let mut want = oracle.clone();
+            want.truncate(k);
+            assert_eq!(merged, want, "k={k}");
+            assert_eq!(stats.consumed, merged.len() as u64);
+            assert_eq!(stats.candidates_pruned, 6 - merged.len() as u64);
+        }
+    }
+
+    #[test]
+    fn merge_counts_early_terminated_and_exhausted_streams() {
+        let streams = vec![
+            ShardStream::new(0, vec![hit(0, 1, 9.0), hit(0, 2, 8.0)]),
+            ShardStream::new(1, vec![hit(1, 1, 1.0)]),
+            ShardStream::new(2, vec![]),
+        ];
+        // k=2 drains nothing but shard 0's prefix: shard 1 is abandoned
+        // with its candidate unread, the empty shard counts as exhausted.
+        let (merged, stats) = merge_shard_streams(&streams, 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(stats.early_terminated, 1);
+        assert_eq!(stats.exhausted, 2);
+        assert_eq!(stats.candidates_pruned, 1);
+        // k large enough drains everything.
+        let (_, stats) = merge_shard_streams(&streams, 10);
+        assert_eq!(stats.early_terminated, 0);
+        assert_eq!(stats.exhausted, 3);
+        assert_eq!(stats.candidates_pruned, 0);
+    }
+
+    #[test]
+    fn merge_never_abandons_a_stream_whose_bound_beats_the_kth_score() {
+        // Shard 1's head (8.5) outranks shard 0's second hit (8.0): the
+        // coordinator must consume it before terminating, even though
+        // shard 0 alone could have filled k=2.
+        let streams = vec![
+            ShardStream::new(0, vec![hit(0, 1, 9.0), hit(0, 2, 8.0)]),
+            ShardStream::new(1, vec![hit(1, 4, 8.5), hit(1, 5, 0.5)]),
+        ];
+        let (merged, stats) = merge_shard_streams(&streams, 2);
+        let kth = merged.last().unwrap();
+        assert_eq!((kth.video, kth.sim.act), (VideoId(1), 8.5));
+        for s in &streams {
+            let consumed = merged.iter().filter(|h| {
+                s.hits
+                    .iter()
+                    .any(|sh| global_rank(sh, h) == std::cmp::Ordering::Equal)
+            });
+            if let Some(bound) = s.remaining_bound(consumed.count()) {
+                assert!(bound <= kth.sim.act, "abandoned bound {bound} beats k-th");
+            }
+        }
+        // Both streams still hold candidates when the merge stops.
+        assert_eq!(stats.early_terminated, 2);
     }
 
     #[test]

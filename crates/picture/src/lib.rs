@@ -52,6 +52,7 @@ mod index;
 mod provider;
 mod query;
 mod score;
+mod shard;
 mod video_db;
 
 pub use cache::CacheConfig;
@@ -59,4 +60,5 @@ pub use config::ScoringConfig;
 pub use index::LevelIndex;
 pub use provider::PictureSystem;
 pub use query::{AtomicQuery, Conjunct, ConjunctKind, QueryError};
+pub use shard::{shard_of, ShardId, ShardedAnswer, ShardedDegraded, ShardedTopK, ShardedVideoDb};
 pub use video_db::{Hit, QueryLevel, VideoDatabase};

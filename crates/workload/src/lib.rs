@@ -26,3 +26,4 @@ pub mod randomlists;
 pub mod randomtables;
 pub mod randomvideo;
 pub mod serve;
+pub mod shard;

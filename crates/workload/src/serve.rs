@@ -381,7 +381,7 @@ impl From<&ServeConfig> for ExecutorConfig {
 /// worker pool. Backpressure by blocking: `push` waits while the queue is
 /// full, `pop` waits while it is empty and not yet closed. The
 /// `serve.queue_depth` gauge mirrors the live length.
-struct BoundedQueue {
+pub(crate) struct BoundedQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -395,7 +395,7 @@ struct QueueState {
 }
 
 impl BoundedQueue {
-    fn new(capacity: usize, depth: Arc<simvid_obs::Gauge>) -> BoundedQueue {
+    pub(crate) fn new(capacity: usize, depth: Arc<simvid_obs::Gauge>) -> BoundedQueue {
         BoundedQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::with_capacity(capacity),
@@ -410,7 +410,7 @@ impl BoundedQueue {
 
     /// Admits `item`, blocking while the queue is full. Returns `false`
     /// without admitting when the queue closed early (a worker panicked).
-    fn push(&self, item: usize) -> bool {
+    pub(crate) fn push(&self, item: usize) -> bool {
         let mut st = self.state.lock().expect("serve queue lock");
         while st.items.len() >= self.capacity && !st.closed {
             st = self.not_full.wait(st).expect("serve queue lock");
@@ -426,7 +426,7 @@ impl BoundedQueue {
 
     /// The next request index, or `None` once the queue is closed and
     /// drained.
-    fn pop(&self) -> Option<usize> {
+    pub(crate) fn pop(&self) -> Option<usize> {
         let mut st = self.state.lock().expect("serve queue lock");
         loop {
             if let Some(item) = st.items.pop_front() {
@@ -441,7 +441,7 @@ impl BoundedQueue {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         // Runs from a panicking worker's drop guard too: recover from the
         // (unlikely) poisoned lock rather than aborting on double panic.
         let mut st = self
@@ -457,7 +457,7 @@ impl BoundedQueue {
 /// Closes the queue when a worker unwinds, so the producer and sibling
 /// workers drain and exit instead of blocking forever; the panic itself
 /// resurfaces at the thread-scope join.
-struct CloseOnPanic<'a>(&'a BoundedQueue);
+pub(crate) struct CloseOnPanic<'a>(pub(crate) &'a BoundedQueue);
 
 impl Drop for CloseOnPanic<'_> {
     fn drop(&mut self) {

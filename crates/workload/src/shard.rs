@@ -1,0 +1,379 @@
+//! A sharded serving workload: the multi-video corpus twin of
+//! [`crate::serve`].
+//!
+//! The corpus is a seeded set of random videos (one tree per video, same
+//! generator as the single-video serving workload), the query pool and
+//! Zipf-skewed request schedule are shared with [`crate::serve`], and each
+//! request is a corpus-wide top-`k` answered by scatter-gather over a
+//! [`ShardedVideoDb`]. Two runners drive the schedule:
+//!
+//! * [`run_schedule_sharded`] — the sequential reference: scatter each
+//!   request across the shards in shard order, gather, next request.
+//! * [`run_schedule_sharded_concurrent`] — the PR 7 executor fanned out
+//!   over `(request, shard)` tasks: a fixed worker pool drains a bounded
+//!   queue of shard evaluations, and whichever worker finishes the last
+//!   shard of a request runs the merge coordinator for it. Results come
+//!   back slot-ordered and bit-identical to the sequential runner for
+//!   every worker count and every shard count.
+
+use simvid_core::{AtomicProvider, EngineError, ShardStream};
+use simvid_htl::Formula;
+use simvid_model::VideoStore;
+use simvid_picture::{ShardId, ShardedAnswer, ShardedVideoDb};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::randomvideo::{generate, VideoGenConfig};
+use crate::serve::{BoundedQueue, CloseOnPanic, ExecutorConfig};
+
+/// Parameters of the sharded serving workload.
+#[derive(Debug, Clone)]
+pub struct ShardedServeConfig {
+    /// Number of videos in the corpus.
+    pub videos: u32,
+    /// Shots per video (leaves of each two-level tree).
+    pub shots: u32,
+    /// Number of requests in the schedule.
+    pub requests: usize,
+    /// Skew of the query popularity distribution (see
+    /// [`crate::serve::ServeConfig::zipf_exponent`]).
+    pub zipf_exponent: f64,
+    /// `k` of the corpus-wide top-`k` each request asks for.
+    pub k: usize,
+    /// Seed for the corpus and the schedule.
+    pub seed: u64,
+    /// Per-video atomic-cache capacity.
+    pub cache_capacity: usize,
+    /// Shard count of the partition.
+    pub shards: u32,
+    /// Worker threads of the concurrent executor.
+    pub workers: usize,
+    /// Capacity of the executor's bounded task queue.
+    pub queue_depth: usize,
+}
+
+impl Default for ShardedServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ShardedServeConfig {
+            videos: 8,
+            shots: 60,
+            requests: 120,
+            zipf_exponent: 1.1,
+            k: 10,
+            seed: 97,
+            cache_capacity: 1024,
+            shards: 2,
+            workers,
+            queue_depth: 2 * workers,
+        }
+    }
+}
+
+/// A fully materialised sharded serving workload: the corpus, the query
+/// pool, and the request schedule (indices into the pool).
+pub struct ShardedServeWorkload {
+    /// The served corpus; partition it with
+    /// [`ShardedVideoDb::partition`].
+    pub store: VideoStore,
+    /// The query pool, hottest first (same pool as [`crate::serve`]).
+    pub queries: Vec<Formula>,
+    /// The request schedule: `schedule[r]` indexes into `queries`.
+    pub schedule: Vec<usize>,
+    /// Top-`k` size of every request.
+    pub k: usize,
+}
+
+impl ShardedServeWorkload {
+    /// The depth requests are evaluated at (the shot level of every
+    /// generated video).
+    #[must_use]
+    pub fn depth(&self) -> u8 {
+        1
+    }
+}
+
+/// Builds the sharded workload. Deterministic in `cfg.seed`: video `i`
+/// derives its generator seed from the base seed, and the schedule uses
+/// the exact sampling of [`crate::serve::build`].
+#[must_use]
+pub fn build_sharded(cfg: &ShardedServeConfig) -> ShardedServeWorkload {
+    let mut store = VideoStore::new();
+    for i in 0..cfg.videos {
+        let seed = cfg
+            .seed
+            .wrapping_add(u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        store.add(generate(
+            &VideoGenConfig {
+                branching: vec![cfg.shots],
+                object_count: 10,
+                objects_per_leaf: 3.0,
+                ..VideoGenConfig::default()
+            },
+            seed,
+        ));
+    }
+    let single = crate::serve::build(&crate::serve::ServeConfig {
+        shots: 1, // the tree is discarded; only the schedule matters
+        requests: cfg.requests,
+        zipf_exponent: cfg.zipf_exponent,
+        k: cfg.k,
+        seed: cfg.seed,
+        ..crate::serve::ServeConfig::default()
+    });
+    ShardedServeWorkload {
+        store,
+        queries: single.queries,
+        schedule: single.schedule,
+        k: cfg.k,
+    }
+}
+
+/// The outcome of driving one sharded request schedule.
+#[derive(Debug, Clone)]
+pub struct ShardedScheduleRun {
+    /// Per-request scatter-gather answers, in schedule order.
+    pub answers: Vec<ShardedAnswer>,
+    /// Wall time of the whole schedule.
+    pub elapsed: Duration,
+}
+
+impl ShardedScheduleRun {
+    /// How many requests resolved with every shard contributing.
+    #[must_use]
+    pub fn complete(&self) -> usize {
+        self.answers.iter().filter(|a| a.is_complete()).count()
+    }
+
+    /// How many requests lost at least one shard.
+    #[must_use]
+    pub fn degraded(&self) -> usize {
+        self.answers.len() - self.complete()
+    }
+}
+
+/// Drives the request schedule through the sharded store sequentially:
+/// scatter each request over the shards in shard order, gather, repeat.
+/// Failed shards degrade the affected requests (see
+/// [`ShardedVideoDb::gather`]); `serve.requests` and
+/// `serve.request_seconds` are recorded as in [`crate::serve::run_schedule`],
+/// next to the `shard.*` counters the store itself maintains.
+///
+/// # Panics
+///
+/// Panics if a request fails with a non-degradable error (the pool is
+/// fixed and closed, so this indicates an engine bug).
+#[must_use]
+pub fn run_schedule_sharded<P: AtomicProvider>(
+    w: &ShardedServeWorkload,
+    db: &ShardedVideoDb<P>,
+) -> ShardedScheduleRun {
+    let requests = db.registry().counter("serve.requests");
+    let latency = db.registry().histogram("serve.request_seconds");
+    let depth = w.depth();
+    let start = Instant::now();
+    let answers = w
+        .schedule
+        .iter()
+        .map(|&q| {
+            let t0 = Instant::now();
+            let answer = db
+                .top_k(&w.queries[q], depth, w.k)
+                .expect("sharded request evaluates");
+            latency.record_duration(t0.elapsed());
+            requests.inc();
+            answer
+        })
+        .collect();
+    ShardedScheduleRun {
+        answers,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Concurrent twin of [`run_schedule_sharded`]: the PR 7 fixed-size worker
+/// pool and bounded queue, with the unit of work one *(request, shard)*
+/// pair instead of one request — the executor fans each request out across
+/// the shards, and the worker that completes a request's last shard runs
+/// the merge coordinator and writes the answer into the request's slot.
+/// Answers come back in schedule order and bit-identical to the
+/// sequential runner for every worker count: per-shard streams are merged
+/// by the same deterministic coordinator whatever order they finish in.
+///
+/// # Panics
+///
+/// As [`run_schedule_sharded`]; a panicking worker closes the queue so
+/// the pool shuts down instead of deadlocking.
+#[must_use]
+pub fn run_schedule_sharded_concurrent<P: AtomicProvider>(
+    w: &ShardedServeWorkload,
+    db: &ShardedVideoDb<P>,
+    exec: &ExecutorConfig,
+) -> ShardedScheduleRun {
+    let registry = db.registry();
+    let workers = exec.workers.max(1);
+    let shards = db.shard_count().max(1) as usize;
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.request_seconds");
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let depth = w.depth();
+    let n = w.schedule.len();
+    // Per-request scatter state: one stream slot per shard, a countdown of
+    // shards still in flight, the request's first-task start time, and the
+    // gathered answer.
+    type StreamSlot = Mutex<Option<Result<ShardStream, EngineError>>>;
+    let streams: Vec<Vec<StreamSlot>> = (0..n)
+        .map(|_| (0..shards).map(|_| Mutex::new(None)).collect())
+        .collect();
+    let remaining: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(shards)).collect();
+    let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let answers: Vec<Mutex<Option<ShardedAnswer>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queue = &queue;
+            let (streams, remaining, started, answers) = (&streams, &remaining, &started, &answers);
+            let (requests, latency) = (&requests, &latency);
+            let worker_shards = registry.histogram(&format!("serve.worker.{wid}.shard_seconds"));
+            scope.spawn(move || {
+                let _guard = CloseOnPanic(queue);
+                while let Some(task) = queue.pop() {
+                    let (r, s) = (task / shards, task % shards);
+                    started[r]
+                        .lock()
+                        .expect("request start lock")
+                        .get_or_insert_with(Instant::now);
+                    let t0 = Instant::now();
+                    let stream =
+                        db.eval_shard(ShardId(s as u32), &w.queries[w.schedule[r]], depth, w.k);
+                    worker_shards.record_duration(t0.elapsed());
+                    *streams[r][s].lock().expect("stream slot lock") = Some(stream);
+                    if remaining[r].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last shard of request `r`: gather on this worker.
+                        let per_shard = streams[r]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, slot)| {
+                                let outcome = slot
+                                    .lock()
+                                    .expect("stream slot lock")
+                                    .take()
+                                    .expect("every shard slot resolves before gather");
+                                (ShardId(i as u32), outcome)
+                            })
+                            .collect();
+                        let answer = db
+                            .gather(per_shard, w.k)
+                            .expect("sharded request evaluates");
+                        let t0 = started[r]
+                            .lock()
+                            .expect("request start lock")
+                            .expect("request start recorded before gather");
+                        latency.record_duration(t0.elapsed());
+                        requests.inc();
+                        *answers[r].lock().expect("answer slot lock") = Some(answer);
+                    }
+                }
+            });
+        }
+        for task in 0..n * shards {
+            if !queue.push(task) {
+                break; // a worker panicked; the scope join re-panics below
+            }
+        }
+        queue.close();
+    });
+    let answers = answers
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("answer slot lock")
+                .expect("every admitted request resolves")
+        })
+        .collect();
+    ShardedScheduleRun {
+        answers,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simvid_core::EngineConfig;
+    use simvid_obs::Registry;
+    use simvid_picture::{CacheConfig, ScoringConfig};
+    use std::sync::Arc;
+
+    fn workload() -> ShardedServeWorkload {
+        build_sharded(&ShardedServeConfig {
+            videos: 5,
+            shots: 12,
+            requests: 24,
+            ..ShardedServeConfig::default()
+        })
+    }
+
+    fn partition(
+        w: &ShardedServeWorkload,
+        shards: u32,
+    ) -> ShardedVideoDb<'_, simvid_picture::PictureSystem<'_>> {
+        ShardedVideoDb::partition(
+            &w.store,
+            shards,
+            &ScoringConfig::default(),
+            EngineConfig::default(),
+            CacheConfig::default(),
+            Arc::new(Registry::new()),
+        )
+    }
+
+    #[test]
+    fn build_is_deterministic_in_seed() {
+        let a = workload();
+        let b = workload();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.store.iter().count(), 5);
+        for ((_, ta), (_, tb)) in a.store.iter().zip(b.store.iter()) {
+            assert_eq!(ta.segment_count(), tb.segment_count());
+        }
+    }
+
+    #[test]
+    fn concurrent_fanout_is_bit_identical_to_sequential() {
+        let w = workload();
+        for shards in [1, 2, 4] {
+            let db = partition(&w, shards);
+            let seq = run_schedule_sharded(&w, &db);
+            for workers in [1, 2, 4] {
+                let conc = run_schedule_sharded_concurrent(
+                    &w,
+                    &db,
+                    &ExecutorConfig {
+                        workers,
+                        queue_depth: 2 * workers,
+                    },
+                );
+                assert_eq!(conc.answers.len(), seq.answers.len());
+                for (a, b) in seq.answers.iter().zip(&conc.answers) {
+                    assert_eq!(a.ranked(), b.ranked(), "shards={shards} workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_schedule_matches_unsharded_oracle() {
+        let w = workload();
+        for shards in [1, 3] {
+            let db = partition(&w, shards);
+            let run = run_schedule_sharded(&w, &db);
+            assert_eq!(run.complete(), w.schedule.len());
+            for (answer, &q) in run.answers.iter().zip(&w.schedule) {
+                let oracle = db.top_k_unsharded(&w.queries[q], w.depth(), w.k).unwrap();
+                assert_eq!(answer.ranked(), &oracle[..], "shards={shards}");
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Sharded scatter-gather retrieval suite: bit-identity with the
+//! unsharded oracle, the threshold algorithm's early-termination
+//! invariant, and the degraded-shard soundness contract.
+//!
+//! The partition's contract is that sharding changes *where* work runs,
+//! never *answers*: for every shard count the merged top-`k` must equal
+//! the flat scan's k-prefix bit-for-bit, under adversarial score ties
+//! (the workloads here draw similarities from a three-value alphabet, so
+//! most hits tie and only the `global_rank` tie-break orders them). On
+//! top of equivalence, the suite proves the coordinator's stopping rule —
+//! a stream is abandoned only once the k-th best score dominates its
+//! remaining upper bound — and the degraded path's soundness: with a
+//! shard down, every surviving ground-truth hit still appears and every
+//! missing one is provably attributable to the failed shard below the
+//! answer's missing-score bound.
+
+use proptest::prelude::*;
+use simvid_core::{global_rank, merge_shard_streams, EngineConfig, ShardHit, ShardStream, Sim};
+use simvid_htl::parse;
+use simvid_model::{VideoBuilder, VideoId, VideoStore, VideoTree};
+use simvid_obs::Registry;
+use simvid_picture::{
+    shard_of, CacheConfig, PictureSystem, ScoringConfig, ShardedAnswer, ShardedVideoDb,
+};
+use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
+use simvid_workload::serve::ExecutorConfig;
+use simvid_workload::shard::{
+    build_sharded, run_schedule_sharded, run_schedule_sharded_concurrent, ShardedServeConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A video whose shots follow `pattern`: `0` — no match at all, `1` — a
+/// person without a gun (partial match, act 1 of 2), `2` — an armed
+/// person (full match, act 2 of 2). Three similarity levels over many
+/// shots make ties the common case, which is exactly what the
+/// `global_rank` tie-break (video id, then position) must untangle
+/// identically on the sharded and unsharded paths.
+fn video(title: &str, pattern: &[u8]) -> VideoTree {
+    let mut b = VideoBuilder::new(title);
+    b.set_level_names(["video", "shot"]);
+    for (i, &kind) in pattern.iter().enumerate() {
+        b.child(format!("shot{i}"));
+        match kind {
+            0 => {
+                b.object(2, "horse", None);
+            }
+            1 => {
+                b.object(1, "person", None);
+            }
+            _ => {
+                let o = b.object(1, "person", None);
+                b.relationship("holds_gun", [o]);
+            }
+        }
+        b.up();
+    }
+    b.finish().unwrap()
+}
+
+fn store_from(patterns: &[Vec<u8>]) -> VideoStore {
+    let mut store = VideoStore::new();
+    for (i, p) in patterns.iter().enumerate() {
+        store.add(video(&format!("v{i}"), p));
+    }
+    store
+}
+
+fn partition(store: &VideoStore, shards: u32) -> ShardedVideoDb<'_, PictureSystem<'_>> {
+    ShardedVideoDb::partition(
+        store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::default(),
+        Arc::new(Registry::new()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence, property-tested: any corpus, any shard
+    /// count in 1..=8, any `k`, under heavy ties — the scatter-gather
+    /// answer is the unsharded scan's k-prefix, bit for bit.
+    #[test]
+    fn sharded_top_k_equals_unsharded_oracle(
+        patterns in prop::collection::vec(prop::collection::vec(0u8..3, 1..12), 1..10),
+        shards in 1u32..=8,
+        k in 0usize..=24,
+    ) {
+        let store = store_from(&patterns);
+        let db = partition(&store, shards);
+        let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+        let oracle = db.top_k_unsharded(&q, 1, k).unwrap();
+        let answer = db.top_k(&q, 1, k).unwrap();
+        prop_assert!(answer.is_complete(), "fault-free run must not degrade");
+        prop_assert_eq!(answer.ranked(), &oracle[..], "shards={} k={}", shards, k);
+    }
+
+    /// The coordinator's stopping rule, property-tested directly on the
+    /// merge: early termination never fires while any stream's remaining
+    /// upper bound exceeds the k-th best score. Each synthetic stream
+    /// carries a distinct video id, so consumption per stream is
+    /// recoverable from the output.
+    #[test]
+    fn early_termination_never_abandons_a_dominating_stream(
+        specs in prop::collection::vec(prop::collection::vec(0u32..8, 0..10), 1..6),
+        k in 1usize..=12,
+    ) {
+        let streams: Vec<ShardStream> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, acts)| {
+                let hits = acts
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &a)| ShardHit {
+                        video: VideoId(i as u32),
+                        pos: j as u32,
+                        sim: Sim::new(f64::from(a), 8.0),
+                    })
+                    .collect();
+                ShardStream::new(i as u32, hits)
+            })
+            .collect();
+        let (ranked, stats) = merge_shard_streams(&streams, k);
+        // The output is the k-prefix of the global sort (ties broken by
+        // video then position), independently recomputed.
+        let mut all: Vec<ShardHit> = streams.iter().flat_map(|s| s.hits.clone()).collect();
+        all.sort_by(global_rank);
+        all.truncate(k);
+        prop_assert_eq!(&ranked, &all);
+        if ranked.len() < k {
+            // Fewer than k hits exist: nothing may be left anywhere.
+            for s in &streams {
+                prop_assert!(s.remaining_bound(s.hits.len()).is_none());
+                prop_assert_eq!(
+                    ranked.iter().filter(|h| h.video == VideoId(s.shard)).count(),
+                    s.hits.len(),
+                    "short output must consume every stream fully"
+                );
+            }
+            prop_assert_eq!(stats.early_terminated, 0);
+        } else {
+            let kth = ranked.last().unwrap().sim.act;
+            let mut early = 0u64;
+            for s in &streams {
+                let consumed =
+                    ranked.iter().filter(|h| h.video == VideoId(s.shard)).count();
+                if let Some(bound) = s.remaining_bound(consumed) {
+                    prop_assert!(
+                        bound <= kth,
+                        "stream {} abandoned while its bound {} beats the k-th score {}",
+                        s.shard, bound, kth
+                    );
+                    early += 1;
+                }
+            }
+            prop_assert_eq!(stats.early_terminated, early);
+        }
+    }
+}
+
+/// The stopping rule on a hand-built worst case: a stream whose second
+/// element dominates the k-th score must keep being consumed, however
+/// strong the other streams' heads are.
+#[test]
+fn merge_consumes_a_stream_while_its_bound_dominates() {
+    let hit = |video: u32, pos: u32, act: f64| ShardHit {
+        video: VideoId(video),
+        pos,
+        sim: Sim::new(act, 10.0),
+    };
+    // Stream 0 holds the top THREE hits; stream 1's head loses to all of
+    // them. At k=3 the merge must take stream 0's entire prefix and
+    // abandon stream 1 untouched — and may do so only because stream 1's
+    // bound (5.0) no longer beats the k-th score (6.0).
+    let streams = vec![
+        ShardStream::new(
+            0,
+            vec![
+                hit(0, 0, 9.0),
+                hit(0, 1, 8.0),
+                hit(0, 2, 6.0),
+                hit(0, 3, 1.0),
+            ],
+        ),
+        ShardStream::new(1, vec![hit(1, 0, 5.0), hit(1, 1, 4.0)]),
+    ];
+    let (ranked, stats) = merge_shard_streams(&streams, 3);
+    let acts: Vec<f64> = ranked.iter().map(|h| h.sim.act).collect();
+    assert_eq!(acts, vec![9.0, 8.0, 6.0]);
+    assert!(ranked.iter().all(|h| h.video == VideoId(0)));
+    // Both streams retained candidates (1.0 and 5.0), neither of which
+    // beats the k-th score — only then is abandoning them legal.
+    assert_eq!(stats.early_terminated, 2);
+    assert_eq!(stats.candidates_pruned, 3);
+}
+
+/// Degraded-shard soundness end to end: with one shard's providers
+/// failing every call, every request degrades (never aborts), names
+/// exactly the victim, keeps every surviving ground-truth hit verbatim,
+/// and bounds everything missing by the answer's `missing_bound`.
+#[test]
+fn degraded_answers_are_sound_over_surviving_shards() {
+    let patterns: Vec<Vec<u8>> = vec![
+        vec![0, 2, 1, 2],
+        vec![2, 2],
+        vec![1, 0, 2],
+        vec![2],
+        vec![0, 1, 2, 2, 1],
+        vec![2, 0, 2],
+    ];
+    let store = store_from(&patterns);
+    let shards = 3u32;
+    let truth_db = partition(&store, shards);
+    let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+    let k = 7;
+    let truth = truth_db.top_k_unsharded(&q, 1, k).unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let plain = ShardedVideoDb::partition(
+        &store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::default(),
+        Arc::clone(&registry),
+    );
+    let victim = plain
+        .shard_ids()
+        .find(|&s| !plain.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let db = plain.map_providers(|sid, _video, sys| {
+        let plan = if sid == victim {
+            FaultPlan {
+                seed: 7,
+                error_rate: 1.0,
+                panic_rate: 0.0,
+                latency_rate: 0.0,
+                latency: Duration::ZERO,
+            }
+        } else {
+            FaultPlan::quiet(7)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, &registry)
+    });
+
+    let answer = db.top_k(&q, 1, k).unwrap();
+    let ShardedAnswer::Degraded(d) = answer else {
+        panic!("a failing shard must degrade the answer");
+    };
+    assert_eq!(
+        d.failed.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        vec![victim],
+        "exactly the victim shard is reported failed"
+    );
+    assert!(
+        d.missing_bound.is_finite(),
+        "surviving hits pin down the formula maximum"
+    );
+    for hit in &truth {
+        let present = d.ranked.iter().any(|h| {
+            h.video == hit.video && h.pos == hit.pos && h.sim.act.to_bits() == hit.sim.act.to_bits()
+        });
+        if shard_of(hit.video, shards) == victim {
+            assert!(
+                present || hit.sim.act <= d.missing_bound,
+                "missing victim hit must be dominated by the bound"
+            );
+        } else {
+            // Removing a shard can only ever promote survivors, so a
+            // surviving shard's ground-truth hit must appear verbatim.
+            assert!(present, "surviving ground-truth hit dropped");
+        }
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("shard.outcome.failed"), Some(1));
+    assert_eq!(
+        snap.counter("shard.outcome.ok"),
+        Some(u64::from(shards) - 1)
+    );
+}
+
+/// Cross-crate end-to-end: the serving schedule through the concurrent
+/// `(request, shard)` executor fan-out is bit-identical to the
+/// sequential scatter loop and to the unsharded oracle, for every shard
+/// count × worker count combination.
+#[test]
+fn concurrent_sharded_serving_is_bit_identical_across_configurations() {
+    let cfg = ShardedServeConfig {
+        videos: 5,
+        shots: 16,
+        requests: 24,
+        ..ShardedServeConfig::default()
+    };
+    let w = build_sharded(&cfg);
+    for shards in [1u32, 3] {
+        let registry = Arc::new(Registry::new());
+        let db = ShardedVideoDb::partition(
+            &w.store,
+            shards,
+            &ScoringConfig::default(),
+            EngineConfig::default(),
+            CacheConfig::with_capacity(cfg.cache_capacity),
+            registry,
+        );
+        let oracle: Vec<Vec<ShardHit>> = w
+            .schedule
+            .iter()
+            .map(|&q| db.top_k_unsharded(&w.queries[q], w.depth(), w.k).unwrap())
+            .collect();
+        let seq = run_schedule_sharded(&w, &db);
+        assert_eq!(seq.complete(), w.schedule.len());
+        let seq_ranked: Vec<&[ShardHit]> = seq.answers.iter().map(|a| a.ranked()).collect();
+        assert_eq!(
+            seq_ranked,
+            oracle.iter().map(Vec::as_slice).collect::<Vec<_>>()
+        );
+        for workers in [2usize, 4] {
+            let run =
+                run_schedule_sharded_concurrent(&w, &db, &ExecutorConfig::with_workers(workers));
+            let ranked: Vec<&[ShardHit]> = run.answers.iter().map(|a| a.ranked()).collect();
+            assert_eq!(
+                ranked, seq_ranked,
+                "shards={shards} workers={workers} must match the sequential scatter"
+            );
+        }
+    }
+}
