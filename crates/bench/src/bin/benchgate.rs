@@ -3,7 +3,7 @@
 //! ```text
 //! benchgate CURRENT.json [--baseline PATH] [--kernels-baseline PATH]
 //!           [--serve-concurrent-baseline PATH] [--serve-sharded-baseline PATH]
-//!           [--update-baselines]
+//!           [--serve-replicated-baseline PATH] [--update-baselines]
 //! ```
 //!
 //! `CURRENT.json` is the output of `repro serve --smoke --json PATH` (add
@@ -32,12 +32,20 @@
 //! each must match the baseline row with the same shard count in
 //! `crates/bench/baselines/serve_sharded.json` bit-for-bit.
 //!
+//! When it carries a `serve_replicated` section (from
+//! `repro serve --smoke --shards 2 --replicas 2 --json ...`), each row
+//! must attest `digest_matches_sharded: true`, every replica topology's
+//! digest must be identical to every other's (replication may never
+//! change the answer), and each must match the baseline row with the same
+//! `(shards, replicas)` in `crates/bench/baselines/serve_replicated.json`
+//! bit-for-bit.
+//!
 //! `--update-baselines` rewrites the baseline files from the current
 //! document instead of gating — the supported way to refresh baselines
 //! after an intentional workload or semantics change. Review the diff
 //! before committing. Every gated section must be present in the current
-//! document (generate one with
-//! `repro serve serve_concurrent kernels --smoke --shards 1,2,4 --json`);
+//! document (generate one with `repro serve serve_concurrent kernels
+//! --smoke --shards 1,2,4 --replicas 2,3 --json`);
 //! a missing section leaves its baseline untouched, warns, and exits 2 so
 //! a partial refresh can never slip through silently.
 //!
@@ -132,6 +140,7 @@ fn run(
     kernels_baseline_path: &str,
     serve_concurrent_baseline_path: &str,
     serve_sharded_baseline_path: &str,
+    serve_replicated_baseline_path: &str,
 ) -> Result<bool, String> {
     let current_doc = load(current_path)?;
     let baseline_doc = load(baseline_path)?;
@@ -241,6 +250,17 @@ fn run(
         None => println!(
             "  {:<22} (no serve_sharded section; skipped)",
             "sharded digests"
+        ),
+    }
+
+    match field(&current_doc, "serve_replicated") {
+        Some(Value::Array(rows)) => {
+            check_serve_replicated(&mut gate, rows, serve_replicated_baseline_path)?;
+        }
+        Some(_) => return Err("`serve_replicated` section is not an array".into()),
+        None => println!(
+            "  {:<22} (no serve_replicated section; skipped)",
+            "replicated digests"
         ),
     }
 
@@ -452,6 +472,107 @@ fn check_serve_sharded(gate: &mut Gate, rows: &[Value], baseline_path: &str) -> 
     Ok(())
 }
 
+/// Gates the replicated serving path: every row must attest digest
+/// equality with its own in-process plain-sharded reference, every
+/// replica topology must produce the same digest as every other
+/// (replication may never change the answer), and each digest must match
+/// the checked-in baseline row for the same `(shards, replicas)`
+/// bit-for-bit. Failover and hedge counts must be zero — the measurement
+/// is fault-free, so a non-leading read means the rotation broke. Wall
+/// times never fail the gate.
+fn check_serve_replicated(
+    gate: &mut Gate,
+    rows: &[Value],
+    baseline_path: &str,
+) -> Result<(), String> {
+    let baseline_doc = load(baseline_path)?;
+    let baseline_rows = match field(&baseline_doc, "serve_replicated") {
+        Some(Value::Array(rows)) => rows,
+        _ => {
+            return Err(format!(
+                "{baseline_path}: no serve_replicated section in baseline"
+            ))
+        }
+    };
+    let mut first_digest: Option<(u64, String)> = None;
+    for row in rows {
+        let shards = field(row, "shards")
+            .and_then(num)
+            .ok_or("serve_replicated row missing numeric `shards`")? as u64;
+        let replicas = field(row, "replicas")
+            .and_then(num)
+            .ok_or("serve_replicated row missing numeric `replicas`")?
+            as u64;
+        let cur_digest = match field(row, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_replicated row missing string `results_digest`".into()),
+        };
+        match field(row, "digest_matches_sharded") {
+            Some(Value::Bool(true)) => {}
+            _ => gate.failures.push(format!(
+                "serve_replicated shards={shards} replicas={replicas}: run does not \
+                 attest digest equality with its plain sharded reference"
+            )),
+        }
+        for key in ["failover", "hedges"] {
+            if field(row, key).and_then(num).is_some_and(|n| n > 0.0) {
+                gate.failures.push(format!(
+                    "serve_replicated shards={shards} replicas={replicas}: \
+                     fault-free run recorded nonzero `{key}`"
+                ));
+            }
+        }
+        // Cross-row invariant: a different replica count is a different
+        // availability posture, never a different answer.
+        match &first_digest {
+            None => first_digest = Some((replicas, cur_digest.clone())),
+            Some((first_replicas, digest)) if *digest != cur_digest => {
+                gate.failures.push(format!(
+                    "serve_replicated: replicas={replicas} digest {cur_digest} differs \
+                     from replicas={first_replicas} digest {digest} in the same run"
+                ));
+            }
+            Some(_) => {}
+        }
+        let base = baseline_rows.iter().find(|b| {
+            field(b, "shards").and_then(num).map(|n| n as u64) == Some(shards)
+                && field(b, "replicas").and_then(num).map(|n| n as u64) == Some(replicas)
+        });
+        let Some(base) = base else {
+            println!(
+                "  replicated s={shards} r={replicas:<7} {cur_digest}  (no baseline row; skipped)"
+            );
+            continue;
+        };
+        let base_digest = match field(base, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_replicated baseline row missing `results_digest`".into()),
+        };
+        let ok = cur_digest == base_digest;
+        println!(
+            "  replicated s={shards} r={replicas:<7} {cur_digest}  baseline {base_digest}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            gate.failures.push(format!(
+                "serve_replicated shards={shards} replicas={replicas}: ranked \
+                 results diverged from baseline"
+            ));
+        }
+        if let (Some(seq), Some(conc)) = (
+            field(row, "sequential").and_then(duration_secs),
+            field(row, "concurrent").and_then(duration_secs),
+        ) {
+            println!(
+                "  {:<22} {:>8.2}x at {replicas} replicas  (informational)",
+                "replicated conc speedup",
+                seq / conc.max(1e-12)
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Rewrites a baseline file from the current document: the named section
 /// plus the run's `meta`, pretty-printed.
 fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<bool, String> {
@@ -477,7 +598,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     const USAGE: &str = "usage: benchgate CURRENT.json [--baseline PATH] \
          [--kernels-baseline PATH] [--serve-concurrent-baseline PATH] \
-         [--serve-sharded-baseline PATH] [--update-baselines]";
+         [--serve-sharded-baseline PATH] [--serve-replicated-baseline PATH] \
+         [--update-baselines]";
     let mut current: Option<String> = None;
     let mut baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
@@ -490,6 +612,11 @@ fn main() -> ExitCode {
     .to_owned();
     let mut serve_sharded_baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_sharded.json").to_owned();
+    let mut serve_replicated_baseline = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/serve_replicated.json"
+    )
+    .to_owned();
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
@@ -534,6 +661,16 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--serve-replicated-baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => serve_replicated_baseline = p.clone(),
+                    None => {
+                        eprintln!("--serve-replicated-baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             "--update-baselines" => {
                 update = true;
                 i += 1;
@@ -565,6 +702,7 @@ fn main() -> ExitCode {
                 ("kernels", kernels_baseline.as_str()),
                 ("serve_concurrent", serve_concurrent_baseline.as_str()),
                 ("serve_sharded", serve_sharded_baseline.as_str()),
+                ("serve_replicated", serve_replicated_baseline.as_str()),
             ];
             let mut missing: Vec<&str> = Vec::new();
             for (section, path) in sections {
@@ -578,7 +716,7 @@ fn main() -> ExitCode {
                 Err(format!(
                     "current document is missing section(s) {}; regenerate with \
                      `repro serve serve_concurrent kernels --smoke --shards 1,2,4 \
-                     --workers 2 --json CURRENT.json` and rerun",
+                     --replicas 2,3 --workers 2 --json CURRENT.json` and rerun",
                     missing.join(", ")
                 ))
             }
@@ -597,6 +735,7 @@ fn main() -> ExitCode {
         &kernels_baseline,
         &serve_concurrent_baseline,
         &serve_sharded_baseline,
+        &serve_replicated_baseline,
     ) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),

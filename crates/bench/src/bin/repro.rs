@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! repro [figure2|table1..table6|complex|ablation|parallel|serve|
-//!        serve_concurrent|serve_sharded|topk|kernels|chaos|shard_chaos|all]...
+//!        serve_concurrent|serve_sharded|serve_replicated|topk|kernels|
+//!        chaos|shard_chaos|replica_chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
 //!       [--cache-capacity N] [--workers N] [--shards N,M,...]
+//!       [--replicas N,M,...]
 //! ```
 //!
 //! Several section names may be given at once (`repro serve topk --json out`)
@@ -21,6 +23,11 @@
 //! selects the shard counts of the `serve_sharded` sweep (default
 //! `1,2,4`; every count must reproduce the unsharded digest
 //! bit-identically) and implies the section when `serve` is requested.
+//! `--replicas` selects the replica counts of the `serve_replicated`
+//! sweep (default `2,3`; every topology must reproduce the plain sharded
+//! digest bit-identically) and likewise implies that section when
+//! `serve` is requested; the sweep and the `replica_chaos` section run at
+//! the first `--shards` count with survivors (≥ 2, default 2).
 //! `--metrics` emits the shared metrics registry (`engine.*`, `cache.*`,
 //! `serve.*`, `shard.*`) as JSON to stdout, or to a file when a path is
 //! given.
@@ -33,12 +40,13 @@
 
 use simvid_bench::{
     bench_meta, format_chaos_table, format_engine_mode_table, format_kernel_table,
-    format_list_table, format_perf_table, format_pruned_table, format_serve_concurrent_table,
-    format_serve_sharded_table, format_serve_table, format_shard_chaos_table, measure_chaos,
-    measure_complex1, measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
-    measure_pruned_topk, measure_serve_concurrent, measure_serve_sharded,
-    measure_serve_with_registry, measure_shard_chaos, measure_until, EngineModeRow, PerfRow,
-    PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    format_list_table, format_perf_table, format_pruned_table, format_replica_chaos_table,
+    format_serve_concurrent_table, format_serve_replicated_table, format_serve_sharded_table,
+    format_serve_table, format_shard_chaos_table, measure_chaos, measure_complex1,
+    measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
+    measure_pruned_topk, measure_replica_chaos, measure_serve_concurrent, measure_serve_replicated,
+    measure_serve_sharded, measure_serve_with_registry, measure_shard_chaos, measure_until,
+    EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_obs::Registry;
@@ -346,6 +354,65 @@ fn serve_sharded_bench(
     rows
 }
 
+/// The shard count the replicated sections run at: degrading (and
+/// surviving a shard kill) needs survivors, so prefer the first count ≥ 2
+/// from the requested sweep.
+fn replicated_shards(shard_counts: &[u32]) -> u32 {
+    shard_counts.iter().copied().find(|&s| s >= 2).unwrap_or(2)
+}
+
+fn serve_replicated_bench(
+    smoke: bool,
+    shard_counts: &[u32],
+    replica_counts: &[u32],
+    workers: Option<usize>,
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ServeReplicatedRow> {
+    let cfg = sharded_smoke_config(smoke);
+    let shards = replicated_shards(shard_counts);
+    let workers = workers.unwrap_or(2).max(1);
+    let rows: Vec<_> = replica_counts
+        .iter()
+        .map(|&r| measure_serve_replicated(&cfg, shards, r, workers, registry))
+        .collect();
+    progress!(
+        "{}",
+        format_serve_replicated_table(
+            "Replicated serving: breaker-gated failover scatter-gather vs \
+             the plain sharded scatter, digest-checked bit-identical at \
+             every replica count",
+            &rows
+        )
+    );
+    rows
+}
+
+fn replica_chaos_bench(
+    smoke: bool,
+    shard_counts: &[u32],
+    replica_counts: &[u32],
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ReplicaChaosRow> {
+    let cfg = sharded_smoke_config(smoke);
+    let shards = replicated_shards(shard_counts);
+    let replicas = replica_counts
+        .iter()
+        .copied()
+        .find(|&r| r >= 2)
+        .unwrap_or(2);
+    let rows = measure_replica_chaos(&cfg, shards, replicas, registry);
+    progress!(
+        "{}",
+        format_replica_chaos_table(
+            "Replica chaos: one dead replica is absorbed by failover \
+             (bit-identical answers); a whole dead shard degrades exactly \
+             as the unreplicated store does",
+            &rows
+        )
+    );
+    rows
+}
+
 fn shard_chaos_bench(
     smoke: bool,
     shard_counts: &[u32],
@@ -450,10 +517,12 @@ const SECTIONS: &[&str] = &[
     "serve",
     "serve_concurrent",
     "serve_sharded",
+    "serve_replicated",
     "topk",
     "kernels",
     "chaos",
     "shard_chaos",
+    "replica_chaos",
     "all",
 ];
 
@@ -466,6 +535,7 @@ fn main() {
     let mut cache_capacity: Option<usize> = None;
     let mut workers: Option<usize> = None;
     let mut shards: Option<Vec<u32>> = None;
+    let mut replicas: Option<Vec<u32>> = None;
     let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
@@ -488,6 +558,15 @@ fn main() {
             }
             "--shards" => {
                 shards = args.get(i + 1).map(|v| {
+                    v.split(',')
+                        .filter_map(|s| s.trim().parse::<u32>().ok())
+                        .filter(|&s| s > 0)
+                        .collect()
+                });
+                i += 2;
+            }
+            "--replicas" => {
+                replicas = args.get(i + 1).map(|v| {
                     v.split(',')
                         .filter_map(|s| s.trim().parse::<u32>().ok())
                         .filter(|&s| s > 0)
@@ -606,6 +685,23 @@ fn main() {
         let rows = serve_sharded_bench(smoke, &counts, workers, &registry);
         json.insert("serve_sharded".into(), serde_json::to_value(&rows).unwrap());
     }
+    // Likewise `--replicas` alongside `serve` implies the replicated
+    // section, so `repro serve --smoke --shards 2 --replicas 2` works.
+    if wants("serve_replicated") || (wants("serve") && replicas.is_some()) {
+        let shard_counts = shards.clone().unwrap_or_else(|| vec![2]);
+        let replica_counts = replicas.clone().unwrap_or_else(|| vec![2, 3]);
+        let replica_counts = if replica_counts.is_empty() {
+            vec![2, 3]
+        } else {
+            replica_counts
+        };
+        let rows =
+            serve_replicated_bench(smoke, &shard_counts, &replica_counts, workers, &registry);
+        json.insert(
+            "serve_replicated".into(),
+            serde_json::to_value(&rows).unwrap(),
+        );
+    }
     if wants("topk") {
         let rows = topk_bench(smoke);
         json.insert("topk".into(), serde_json::to_value(&rows).unwrap());
@@ -619,9 +715,15 @@ fn main() {
         json.insert("chaos".into(), serde_json::to_value(&rows).unwrap());
     }
     if wants("shard_chaos") {
-        let counts = shards.unwrap_or_else(|| vec![2]);
+        let counts = shards.clone().unwrap_or_else(|| vec![2]);
         let rows = shard_chaos_bench(smoke, &counts, &registry);
         json.insert("shard_chaos".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("replica_chaos") {
+        let shard_counts = shards.unwrap_or_else(|| vec![2]);
+        let replica_counts = replicas.unwrap_or_else(|| vec![2]);
+        let rows = replica_chaos_bench(smoke, &shard_counts, &replica_counts, &registry);
+        json.insert("replica_chaos".into(), serde_json::to_value(&rows).unwrap());
     }
 
     let metrics_json = || -> serde_json::Value {

@@ -10,11 +10,12 @@ use simvid_core::{
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula, FormulaId};
 use simvid_model::{VideoBuilder, VideoTree};
 use simvid_obs::Registry;
-use simvid_picture::{shard_of, ShardedAnswer, ShardedVideoDb};
+use simvid_picture::{shard_of, ReplicaId, ReplicatedVideoDb, ShardedAnswer, ShardedVideoDb};
 use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
 use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
 use simvid_workload::randomlists::{generate, ListGenConfig};
+use simvid_workload::replica::{run_schedule_replicated, run_schedule_replicated_concurrent};
 use simvid_workload::serve::{self, RequestLimits, RequestOutcome, ServeConfig};
 use simvid_workload::shard::{
     build_sharded, run_schedule_sharded, run_schedule_sharded_concurrent, ShardedServeConfig,
@@ -1157,6 +1158,14 @@ pub struct ShardChaosRow {
     /// Provider calls that exhausted their retry allowance (all on the
     /// victim shard).
     pub giveups: u64,
+    /// Retry attempts burned across the schedule before the victim's
+    /// calls gave up.
+    pub retries: u64,
+    /// The largest finite `missing_bound` any degraded answer carried for
+    /// the victim shard — the ceiling on what the lost shard could have
+    /// contributed. `None` when no degraded answer had surviving hits to
+    /// bound against.
+    pub missing_bound: Option<f64>,
     /// Wall time of the degraded schedule.
     pub elapsed: Duration,
 }
@@ -1239,6 +1248,7 @@ pub fn measure_shard_chaos(
     let mut failed_per_request = 0usize;
     let mut failed_shard_is_victim = true;
     let mut bounds_sound = true;
+    let mut missing_bound: Option<f64> = None;
     for (answer, truth_ranked) in run.answers.iter().zip(&truth) {
         match answer {
             ShardedAnswer::Complete(_) => {
@@ -1249,6 +1259,10 @@ pub fn measure_shard_chaos(
             ShardedAnswer::Degraded(d) => {
                 failed_per_request = failed_per_request.max(d.failed.len());
                 failed_shard_is_victim &= d.failed.len() == 1 && d.failed[0].0 .0 == victim.0;
+                if d.missing_bound.is_finite() {
+                    missing_bound =
+                        Some(missing_bound.map_or(d.missing_bound, |m| m.max(d.missing_bound)));
+                }
                 for hit in truth_ranked {
                     let present = d.ranked.iter().any(|h| {
                         h.video == hit.video
@@ -1276,6 +1290,8 @@ pub fn measure_shard_chaos(
         failed_shard_is_victim,
         bounds_sound,
         giveups: snap.counter("resilience.giveups").unwrap_or(0),
+        retries: snap.counter("resilience.retries").unwrap_or(0),
+        missing_bound,
         elapsed: run.elapsed,
     }
 }
@@ -1288,25 +1304,496 @@ pub fn format_shard_chaos_table(title: &str, rows: &[ShardChaosRow]) -> String {
     let _ = writeln!(out, "{title}");
     let _ = writeln!(
         out,
-        "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>8}  {:>6}",
-        "Requests", "Shards", "Victim", "Ok", "Degraded", "Failed/req", "Giveups", "Sound"
+        "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>7}  {:>8}  {:>7}  {:>6}",
+        "Requests",
+        "Shards",
+        "Victim",
+        "Ok",
+        "Degraded",
+        "Failed/req",
+        "Retries",
+        "Giveups",
+        "Bound",
+        "Sound"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>8}  {:>6}",
+            "{:>8}  {:>6}  {:>6}  {:>4}  {:>8}  {:>12}  {:>7}  {:>8}  {:>7}  {:>6}",
             r.requests,
             r.shards,
             format!("s{} ({}v)", r.victim_shard, r.victim_videos),
             r.ok,
             r.degraded,
             r.failed_per_request,
+            r.retries,
             r.giveups,
+            r.missing_bound
+                .map_or_else(|| "-".to_string(), |b| format!("{b:.3}")),
             if r.failed_shard_is_victim && r.bounds_sound {
                 "yes"
             } else {
                 "NO"
             },
+        );
+    }
+    out
+}
+
+/// One measurement of the replicated scatter-gather serving path at a
+/// fixed `(shards, replicas)` topology: the schedule through the
+/// sequential failover loop and through the concurrent `(request, shard)`
+/// executor fan-out, both asserted bit-identical to the plain sharded
+/// scatter over the same corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReplicatedRow {
+    /// Videos in the corpus.
+    pub videos: u32,
+    /// Shots per video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each corpus-wide top-`k` request.
+    pub k: usize,
+    /// Shard count of the partition.
+    pub shards: u32,
+    /// Replicas per shard.
+    pub replicas: u32,
+    /// Worker threads of the concurrent fan-out.
+    pub workers: usize,
+    /// Wall time through the sequential failover scatter loop.
+    pub sequential: Duration,
+    /// Wall time through the concurrent `(request, shard)` fan-out.
+    pub concurrent: Duration,
+    /// Shard reads served by a non-leading failover candidate (zero in
+    /// this fault-free measurement — asserted).
+    pub failover: u64,
+    /// Hedged primary reads (zero with hedging disabled).
+    pub hedges: u64,
+    /// Whether the replicated rankings were bit-identical to the plain
+    /// sharded scatter (always true — asserted — but recorded so the
+    /// bench gate can double-check the artifact).
+    pub digest_matches_sharded: bool,
+    /// [`sharded_results_digest`] of the per-request rankings; equal to
+    /// the plain sharded digest for every replica count.
+    pub results_digest: String,
+}
+
+/// Runs the sharded serving workload through the `R`-way replicated store
+/// — sequentially and through the concurrent executor fan-out — and
+/// asserts both bit-identical to the plain (single-replica) sharded
+/// scatter. Replication is a pure availability construct: with no faults
+/// injected, the leading failover candidate serves every read and the
+/// rankings cannot move. The `replica.*` breaker gauges and counters land
+/// in `registry`.
+///
+/// # Panics
+///
+/// Panics if any run's rankings diverge, any request degrades, or any
+/// fault-free read fails over — all coordinator bugs the CI replica gate
+/// exists to catch.
+#[must_use]
+pub fn measure_serve_replicated(
+    cfg: &ShardedServeConfig,
+    shards: u32,
+    replicas: u32,
+    workers: usize,
+    registry: &Arc<Registry>,
+) -> ServeReplicatedRow {
+    let w = build_sharded(cfg);
+    let depth = w.depth();
+    // The plain sharded reference the replicated store must reproduce.
+    let reference_db = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        Arc::new(Registry::new()),
+    );
+    let reference = run_schedule_sharded(&w, &reference_db);
+    let db = ReplicatedVideoDb::partition(
+        &w.store,
+        shards,
+        replicas,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    );
+    // Prime: one pass over the pool fills the per-replica atomic caches,
+    // as a steady-state server would be after its first few requests.
+    for q in &w.queries {
+        let _ = db
+            .top_k_replicated(0, q, depth, w.k)
+            .expect("warm-up replicated request evaluates");
+    }
+    let seq = run_schedule_replicated(&w, &db, |_| {});
+    let exec = serve::ExecutorConfig::with_workers(workers);
+    let conc = run_schedule_replicated_concurrent(&w, &db, &exec, |_| {});
+    assert_eq!(seq.complete(), w.schedule.len(), "fault-free run degraded");
+    assert_eq!(seq.failovers(), 0, "fault-free reads never fail over");
+    let seq_ranked: Vec<Vec<ShardHit>> = seq.answers.iter().map(|a| a.ranked().to_vec()).collect();
+    let conc_ranked: Vec<Vec<ShardHit>> =
+        conc.answers.iter().map(|a| a.ranked().to_vec()).collect();
+    let reference_ranked: Vec<Vec<ShardHit>> = reference
+        .answers
+        .iter()
+        .map(|a| a.ranked().to_vec())
+        .collect();
+    assert_eq!(
+        seq_ranked, reference_ranked,
+        "replicated retrieval must be bit-identical to the plain sharded scatter"
+    );
+    assert_eq!(
+        conc_ranked, seq_ranked,
+        "concurrent fan-out must be bit-identical to the sequential scatter"
+    );
+    let snap = registry.snapshot();
+    ServeReplicatedRow {
+        videos: cfg.videos,
+        shots: cfg.shots,
+        requests: w.schedule.len(),
+        k: w.k,
+        shards,
+        replicas,
+        workers: exec.workers,
+        sequential: seq.elapsed,
+        concurrent: conc.elapsed,
+        failover: snap.counter("replica.failover").unwrap_or(0),
+        hedges: snap.counter("replica.hedges").unwrap_or(0),
+        digest_matches_sharded: true,
+        results_digest: sharded_results_digest(&seq_ranked),
+    }
+}
+
+/// Formats the replica-topology scaling comparison.
+#[must_use]
+pub fn format_serve_replicated_table(title: &str, rows: &[ServeReplicatedRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>4}  {:>8}  {:>7}  {:>10}  {:>10}  {:>8}  {:>6}  {:>6}",
+        "Shards",
+        "Repl",
+        "Requests",
+        "Workers",
+        "Seq (s)",
+        "Conc (s)",
+        "Failover",
+        "Hedges",
+        "Digest"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>4}  {:>8}  {:>7}  {:>10.4}  {:>10.4}  {:>8}  {:>6}  {:>6}",
+            r.shards,
+            r.replicas,
+            r.requests,
+            r.workers,
+            r.sequential.as_secs_f64(),
+            r.concurrent.as_secs_f64(),
+            r.failover,
+            r.hedges,
+            if r.digest_matches_sharded {
+                "match"
+            } else {
+                "DRIFT"
+            },
+        );
+    }
+    out
+}
+
+/// One replica-chaos scenario: a fault world injected into the replicated
+/// store and the contract the answers must still satisfy.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaChaosRow {
+    /// Which replicas were killed: `"replica"` (one replica of the victim
+    /// shard always fails) or `"shard"` (every replica of it does).
+    pub scenario: String,
+    /// Videos in the corpus.
+    pub videos: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each request.
+    pub k: usize,
+    /// Shard count of the partition.
+    pub shards: u32,
+    /// Replicas per shard.
+    pub replicas: u32,
+    /// The shard whose replica(s) were killed.
+    pub victim_shard: u32,
+    /// Requests that resolved complete.
+    pub ok: usize,
+    /// Requests that degraded (every replica of some shard exhausted).
+    pub degraded: usize,
+    /// Shard reads served by a non-leading failover candidate.
+    pub failover: u64,
+    /// Retry attempts burned against the dead replica(s).
+    pub retries: u64,
+    /// Provider calls that exhausted their retry allowance.
+    pub giveups: u64,
+    /// Whether the rankings were bit-identical to a fault-free sharded
+    /// run of the same schedule (the single-replica-kill contract; the
+    /// whole-shard kill records `false` — it degrades by design).
+    pub digest_matches_fault_free: bool,
+    /// Whether every answer — kind, ranking, and `missing_bound` bits —
+    /// matched the plain sharded store under the same fault world (the
+    /// whole-shard-kill contract; vacuously true for the replica kill,
+    /// which never degrades).
+    pub matches_sharded_degraded: bool,
+    /// Whether every ground-truth top-`k` hit was either present or
+    /// attributable to the victim shard under the answer's
+    /// `missing_bound` (as in [`ShardChaosRow`]).
+    pub bounds_sound: bool,
+    /// The largest finite `missing_bound` across the degraded answers,
+    /// if any.
+    pub missing_bound: Option<f64>,
+    /// Wall time of the chaos schedule.
+    pub elapsed: Duration,
+}
+
+/// Runs the replicated schedule under two fault worlds and checks the
+/// failover contracts request by request:
+///
+/// * **`"replica"`** — replica 0 of the victim shard fails every call.
+///   Failover must absorb it completely: zero degraded answers, rankings
+///   bit-identical to a fault-free sharded run, and `failover > 0`
+///   (the epoch rotation makes the dead replica lead some reads).
+/// * **`"shard"`** — every replica of the victim fails. Every request
+///   must degrade exactly as the plain (single-replica) sharded store
+///   does under the same fault world: same surviving rankings, same
+///   `missing_bound` bits — replication exhausted collapses to PR 8's
+///   sound degraded answer, nothing weaker.
+///
+/// The victim is the first shard with at least one video. `replica.*`
+/// and `resilience.*` counters land in `registry` (the row records
+/// per-scenario deltas).
+#[must_use]
+pub fn measure_replica_chaos(
+    cfg: &ShardedServeConfig,
+    shards: u32,
+    replicas: u32,
+    registry: &Arc<Registry>,
+) -> Vec<ReplicaChaosRow> {
+    let w = build_sharded(cfg);
+    let depth = w.depth();
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let always_fail = FaultPlan {
+        seed: 0x5AD_C4A05,
+        error_rate: 1.0,
+        panic_rate: 0.0,
+        latency_rate: 0.0,
+        latency: Duration::ZERO,
+    };
+    let quiet = FaultPlan::quiet(0x5AD_C4A05);
+    // Fault-free sharded reference: the rankings the replica kill must
+    // reproduce, the ground truth the shard kill is bounded against.
+    let fault_free_db = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        Arc::new(Registry::new()),
+    );
+    let victim = fault_free_db
+        .shard_ids()
+        .find(|&s| !fault_free_db.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let fault_free = run_schedule_sharded(&w, &fault_free_db);
+    let fault_free_ranked: Vec<Vec<ShardHit>> = fault_free
+        .answers
+        .iter()
+        .map(|a| a.ranked().to_vec())
+        .collect();
+    let fault_free_digest = sharded_results_digest(&fault_free_ranked);
+    let truth: Vec<Vec<ShardHit>> = w
+        .schedule
+        .iter()
+        .map(|&q| {
+            fault_free_db
+                .top_k_unsharded(&w.queries[q], depth, w.k)
+                .expect("ground-truth request evaluates")
+        })
+        .collect();
+    let failover_ctr = registry.counter("replica.failover");
+    let retries_ctr = registry.counter("resilience.retries");
+    let giveups_ctr = registry.counter("resilience.giveups");
+    let mut rows = Vec::with_capacity(2);
+
+    // Scenario "replica": one dead replica, failover absorbs it.
+    let db = ReplicatedVideoDb::partition(
+        &w.store,
+        shards,
+        replicas,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    )
+    .map_providers(|rid, sid, _video, sys| {
+        let plan = if rid == ReplicaId(0) && sid == victim {
+            always_fail
+        } else {
+            quiet
+        };
+        FaultyProvider::with_registry(sys, plan, policy, registry)
+    });
+    let (f0, r0, g0) = (failover_ctr.get(), retries_ctr.get(), giveups_ctr.get());
+    let run = run_schedule_replicated(&w, &db, |_| {});
+    let ranked: Vec<Vec<ShardHit>> = run.answers.iter().map(|a| a.ranked().to_vec()).collect();
+    rows.push(ReplicaChaosRow {
+        scenario: "replica".to_string(),
+        videos: cfg.videos,
+        requests: run.answers.len(),
+        k: w.k,
+        shards,
+        replicas,
+        victim_shard: victim.0,
+        ok: run.complete(),
+        degraded: run.degraded(),
+        failover: failover_ctr.get() - f0,
+        retries: retries_ctr.get() - r0,
+        giveups: giveups_ctr.get() - g0,
+        digest_matches_fault_free: sharded_results_digest(&ranked) == fault_free_digest,
+        matches_sharded_degraded: true,
+        bounds_sound: true,
+        missing_bound: None,
+        elapsed: run.elapsed,
+    });
+
+    // Scenario "shard": the whole replica set of the victim dies. The
+    // PR 8 reference: the plain sharded store under the same fault world.
+    let scratch = Arc::new(Registry::new());
+    let sharded_ref = ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        scratch.clone(),
+    )
+    .map_providers(|sid, _video, sys| {
+        let plan = if sid == victim { always_fail } else { quiet };
+        FaultyProvider::with_registry(sys, plan, policy, &scratch)
+    });
+    let reference = run_schedule_sharded(&w, &sharded_ref);
+    let db = ReplicatedVideoDb::partition(
+        &w.store,
+        shards,
+        replicas,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        registry.clone(),
+    )
+    .map_providers(|_rid, sid, _video, sys| {
+        let plan = if sid == victim { always_fail } else { quiet };
+        FaultyProvider::with_registry(sys, plan, policy, registry)
+    });
+    let (f0, r0, g0) = (failover_ctr.get(), retries_ctr.get(), giveups_ctr.get());
+    let run = run_schedule_replicated(&w, &db, |_| {});
+    let mut matches_sharded_degraded = run.answers.len() == reference.answers.len();
+    let mut bounds_sound = true;
+    let mut missing_bound: Option<f64> = None;
+    for ((answer, reference_answer), truth_ranked) in
+        run.answers.iter().zip(&reference.answers).zip(&truth)
+    {
+        matches_sharded_degraded &= answer.ranked() == reference_answer.ranked();
+        match (answer, reference_answer) {
+            (ShardedAnswer::Complete(_), ShardedAnswer::Complete(_)) => {}
+            (ShardedAnswer::Degraded(d), ShardedAnswer::Degraded(e)) => {
+                matches_sharded_degraded &= d.missing_bound.to_bits() == e.missing_bound.to_bits()
+                    && d.failed.len() == e.failed.len();
+                if d.missing_bound.is_finite() {
+                    missing_bound =
+                        Some(missing_bound.map_or(d.missing_bound, |m| m.max(d.missing_bound)));
+                }
+                for hit in truth_ranked {
+                    let present = d.ranked.iter().any(|h| {
+                        h.video == hit.video
+                            && h.pos == hit.pos
+                            && h.sim.act.to_bits() == hit.sim.act.to_bits()
+                    });
+                    let excused = shard_of(hit.video, shards) == victim
+                        && hit.sim.act <= d.missing_bound + 1e-6;
+                    bounds_sound &= present || excused;
+                }
+            }
+            _ => matches_sharded_degraded = false,
+        }
+    }
+    rows.push(ReplicaChaosRow {
+        scenario: "shard".to_string(),
+        videos: cfg.videos,
+        requests: run.answers.len(),
+        k: w.k,
+        shards,
+        replicas,
+        victim_shard: victim.0,
+        ok: run.complete(),
+        degraded: run.degraded(),
+        failover: failover_ctr.get() - f0,
+        retries: retries_ctr.get() - r0,
+        giveups: giveups_ctr.get() - g0,
+        digest_matches_fault_free: false,
+        matches_sharded_degraded,
+        bounds_sound,
+        missing_bound,
+        elapsed: run.elapsed,
+    });
+    rows
+}
+
+/// Formats the replica-chaos contract summary.
+#[must_use]
+pub fn format_replica_chaos_table(title: &str, rows: &[ReplicaChaosRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>8}  {:>6}  {:>4}  {:>6}  {:>4}  {:>8}  {:>8}  {:>7}  {:>7}  {:>6}",
+        "Scenario",
+        "Requests",
+        "Shards",
+        "Repl",
+        "Victim",
+        "Ok",
+        "Degraded",
+        "Failover",
+        "Giveups",
+        "Bound",
+        "OK?"
+    );
+    for r in rows {
+        let ok = match r.scenario.as_str() {
+            "replica" => r.degraded == 0 && r.digest_matches_fault_free && r.failover > 0,
+            _ => r.ok == 0 && r.matches_sharded_degraded && r.bounds_sound,
+        };
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>8}  {:>6}  {:>4}  {:>6}  {:>4}  {:>8}  {:>8}  {:>7}  {:>7}  {:>6}",
+            r.scenario,
+            r.requests,
+            r.shards,
+            r.replicas,
+            format!("s{}", r.victim_shard),
+            r.ok,
+            r.degraded,
+            r.failover,
+            r.giveups,
+            r.missing_bound
+                .map_or_else(|| "-".to_string(), |b| format!("{b:.3}")),
+            if ok { "yes" } else { "NO" },
         );
     }
     out

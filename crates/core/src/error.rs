@@ -67,6 +67,16 @@ pub enum EngineError {
     /// An evaluation worker panicked; the panic was captured and surfaced
     /// as a typed error instead of tearing down the engine.
     WorkerPanic(String),
+    /// Every replica of a shard was exhausted (failed, skipped by an open
+    /// breaker, or gave up) — the replicated read has no copy left to
+    /// serve from. Degradable: the shard's contribution is bounded exactly
+    /// as a single failed shard's is.
+    ReplicasExhausted(String),
+    /// The serving layer shed the request at admission: the executor queue
+    /// was saturated and the admission policy chose rejection over
+    /// blocking. Not degradable — the request was never evaluated, so
+    /// there is no partial answer to certify; callers retry elsewhere.
+    Overloaded(String),
 }
 
 impl EngineError {
@@ -83,6 +93,7 @@ impl EngineError {
                 | EngineError::BudgetExhausted
                 | EngineError::Cancelled
                 | EngineError::WorkerPanic(_)
+                | EngineError::ReplicasExhausted(_)
         )
     }
 }
@@ -120,6 +131,10 @@ impl fmt::Display for EngineError {
             EngineError::BudgetExhausted => write!(f, "request work budget exhausted"),
             EngineError::Cancelled => write!(f, "request cancelled"),
             EngineError::WorkerPanic(why) => write!(f, "evaluation worker panicked: {why}"),
+            EngineError::ReplicasExhausted(why) => {
+                write!(f, "every replica of the shard is exhausted: {why}")
+            }
+            EngineError::Overloaded(why) => write!(f, "request shed under overload: {why}"),
         }
     }
 }
@@ -153,6 +168,8 @@ mod tests {
         assert!(EngineError::BudgetExhausted.is_degradable());
         assert!(EngineError::Cancelled.is_degradable());
         assert!(EngineError::WorkerPanic("boom".into()).is_degradable());
+        assert!(EngineError::ReplicasExhausted("all dead".into()).is_degradable());
+        assert!(!EngineError::Overloaded("queue full".into()).is_degradable());
         assert!(!EngineError::ProviderRejected("bad unit".into()).is_degradable());
         assert!(!EngineError::UnsupportedFormula("neg".into()).is_degradable());
         assert!(!EngineError::OverlappingEntries.is_degradable());

@@ -51,6 +51,7 @@ mod config;
 mod index;
 mod provider;
 mod query;
+mod replica;
 mod score;
 mod shard;
 mod video_db;
@@ -60,5 +61,6 @@ pub use config::ScoringConfig;
 pub use index::LevelIndex;
 pub use provider::PictureSystem;
 pub use query::{AtomicQuery, Conjunct, ConjunctKind, QueryError};
+pub use replica::{ReplicaId, ReplicaTrace, ReplicatedVideoDb};
 pub use shard::{shard_of, ShardId, ShardedAnswer, ShardedDegraded, ShardedTopK, ShardedVideoDb};
 pub use video_db::{Hit, QueryLevel, VideoDatabase};

@@ -28,8 +28,8 @@
 
 use crate::{CacheConfig, PictureSystem, ScoringConfig};
 use simvid_core::{
-    merge_shard_streams, AtomicProvider, Engine, EngineConfig, EngineError, MergeStats, ShardHit,
-    ShardStream,
+    merge_shard_streams, AtomicProvider, Budget, Engine, EngineConfig, EngineError, MergeStats,
+    ShardHit, ShardStream, TopKAnswer,
 };
 use simvid_htl::{classify, normalize_for_engine, Formula, FormulaClass};
 use simvid_model::{VideoId, VideoStore, VideoTree};
@@ -305,6 +305,64 @@ impl<'a, P: AtomicProvider> ShardedVideoDb<'a, P> {
             depth,
             k,
         )
+    }
+
+    /// [`ShardedVideoDb::eval_shard`] under a request [`Budget`]: member
+    /// evaluations go through [`Engine::top_k_closed_resilient`] sharing
+    /// one budget across the whole shard, and a budget violation surfaces
+    /// as its typed error instead of a partial stream (a shard stream must
+    /// be exact — soundness of the merge depends on it). With
+    /// [`Budget::unlimited`] this is bit-identical to
+    /// [`ShardedVideoDb::eval_shard`], which is the same path with the
+    /// same unlimited budget. The replicated store uses the fuel cap to
+    /// implement deterministic hedged reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedVideoDb::eval_shard`], plus the degradable budget
+    /// errors ([`EngineError::BudgetExhausted`],
+    /// [`EngineError::DeadlineExceeded`], [`EngineError::Cancelled`]).
+    pub fn eval_shard_budgeted(
+        &self,
+        shard: ShardId,
+        query: &Formula,
+        depth: u8,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<ShardStream, EngineError> {
+        let normalized = normalize_query(query)?;
+        let query = normalized.as_ref();
+        let shard = &self.shards[shard.0 as usize];
+        let timer = self
+            .registry
+            .histogram(&format!("shard.{}.eval_seconds", shard.id.0));
+        let t0 = Instant::now();
+        let mut hits: Vec<ShardHit> = Vec::new();
+        for m in &shard.members {
+            if depth >= m.tree.depth() {
+                continue;
+            }
+            let engine = Engine::with_registry(
+                &m.provider,
+                m.tree,
+                self.engine_cfg,
+                Arc::clone(&self.registry),
+            );
+            match engine.top_k_closed_resilient(query, depth, k, budget)? {
+                TopKAnswer::Complete(ranked) => {
+                    for seg in ranked {
+                        hits.push(ShardHit {
+                            video: m.video,
+                            pos: seg.pos,
+                            sim: seg.sim,
+                        });
+                    }
+                }
+                TopKAnswer::Degraded(d) => return Err(d.reason),
+            }
+        }
+        timer.record_duration(t0.elapsed());
+        Ok(ShardStream::new(shard.id.0, hits))
     }
 
     fn eval_shard_inner(

@@ -16,6 +16,13 @@
 //! chaos runs are bit-reproducible across sequential and parallel engines
 //! — which is what lets the chaos suite assert outcome equality.
 
+pub mod replica;
+
+pub use replica::{
+    failover_order, Admission, BreakerConfig, BreakerState, CircuitBreaker, HealthTracker,
+    HedgePolicy, ReplicaSetHealth,
+};
+
 use simvid_core::engine::{AtomicProvider, CacheStats, SeqContext};
 use simvid_core::{ProviderError, SimilarityTable, ValueTable};
 use simvid_htl::{AtomicUnit, AttrFn};

@@ -25,5 +25,6 @@ pub mod queries;
 pub mod randomlists;
 pub mod randomtables;
 pub mod randomvideo;
+pub mod replica;
 pub mod serve;
 pub mod shard;

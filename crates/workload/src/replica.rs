@@ -1,0 +1,319 @@
+//! A replicated serving workload: the failover twin of [`crate::shard`].
+//!
+//! Same corpus, query pool, and Zipf schedule as the sharded workload —
+//! the store is just replicated R ways ([`ReplicatedVideoDb`]), and every
+//! shard read goes through breaker-gated failover. The request index is
+//! the failover *epoch*: candidate order rotates per request exactly as
+//! `simvid_resilience::failover_order` prescribes, so which replica
+//! leads each read is deterministic in the schedule alone.
+//!
+//! Two runners drive the schedule, mirroring [`crate::shard`]:
+//!
+//! * [`run_schedule_replicated`] — sequential reference.
+//! * [`run_schedule_replicated_concurrent`] — the executor fanned out over
+//!   *(request, shard)* tasks; the worker finishing a request's last shard
+//!   gathers. Answers **and** failover traces come back slot-ordered and,
+//!   under per-replica-pure fault worlds, bit-identical to the sequential
+//!   runner for every worker count.
+
+use simvid_core::{AtomicProvider, EngineError, ShardStream};
+use simvid_picture::{ReplicaTrace, ReplicatedVideoDb, ShardId, ShardedAnswer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::serve::{BoundedQueue, CloseOnPanic, ExecutorConfig};
+use crate::shard::ShardedServeWorkload;
+
+/// The outcome of driving one replicated request schedule.
+#[derive(Debug, Clone)]
+pub struct ReplicatedScheduleRun {
+    /// Per-request scatter-gather answers, in schedule order.
+    pub answers: Vec<ShardedAnswer>,
+    /// Per-request failover traces, one per shard in shard order.
+    pub traces: Vec<Vec<ReplicaTrace>>,
+    /// Wall time of the whole schedule.
+    pub elapsed: Duration,
+}
+
+impl ReplicatedScheduleRun {
+    /// How many requests resolved with every shard contributing.
+    #[must_use]
+    pub fn complete(&self) -> usize {
+        self.answers.iter().filter(|a| a.is_complete()).count()
+    }
+
+    /// How many requests lost at least one shard (every replica of it
+    /// exhausted).
+    #[must_use]
+    pub fn degraded(&self) -> usize {
+        self.answers.len() - self.complete()
+    }
+
+    /// Total shard reads served by a non-leading candidate.
+    #[must_use]
+    pub fn failovers(&self) -> usize {
+        self.traces
+            .iter()
+            .flatten()
+            .filter(|t| t.served_by.is_some() && t.served_by != t.consulted.first().copied())
+            .count()
+    }
+}
+
+/// Drives the request schedule through the replicated store sequentially:
+/// request `r` scatters at epoch `r` over the shards in shard order (each
+/// read walking its failover candidates), gathers, repeat. `before_request`
+/// runs before each slot — fault harnesses re-key their per-request fault
+/// epochs there.
+///
+/// `serve.requests` / `serve.request_seconds` are recorded as in
+/// [`crate::serve::run_schedule`], next to the `replica.*` counters the
+/// store itself maintains.
+///
+/// # Panics
+///
+/// Panics if a request fails with a non-degradable error (the pool is
+/// fixed and closed, so this indicates an engine bug).
+#[must_use]
+pub fn run_schedule_replicated<P: AtomicProvider>(
+    w: &ShardedServeWorkload,
+    db: &ReplicatedVideoDb<P>,
+    mut before_request: impl FnMut(usize),
+) -> ReplicatedScheduleRun {
+    let requests = db.registry().counter("serve.requests");
+    let latency = db.registry().histogram("serve.request_seconds");
+    let depth = w.depth();
+    let start = Instant::now();
+    let mut answers = Vec::with_capacity(w.schedule.len());
+    let mut traces = Vec::with_capacity(w.schedule.len());
+    for (r, &q) in w.schedule.iter().enumerate() {
+        before_request(r);
+        let t0 = Instant::now();
+        let (answer, trace) = db
+            .top_k_replicated(r as u64, &w.queries[q], depth, w.k)
+            .expect("replicated request evaluates");
+        latency.record_duration(t0.elapsed());
+        requests.inc();
+        answers.push(answer);
+        traces.push(trace);
+    }
+    ReplicatedScheduleRun {
+        answers,
+        traces,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Concurrent twin of [`run_schedule_replicated`]: the executor fans each
+/// request out over *(request, shard)* tasks, every shard read carries its
+/// request's epoch, and the worker completing a request's last shard runs
+/// the merge coordinator. `before_task` runs on the worker thread with the
+/// request index immediately before the shard read — fault harnesses pin
+/// their per-thread fault epoch there.
+///
+/// Answers are bit-identical to the sequential runner for every worker
+/// count whenever the fault world is pure per `(shard, replica)` (always-
+/// fail or never-fail replicas — the chaos regime): failover candidate
+/// order is epoch-pure, and whichever live replica serves, replicas are
+/// copies. Traces are then schedule-independent too (see
+/// [`ReplicaTrace`]).
+///
+/// # Panics
+///
+/// As [`run_schedule_replicated`]; a panicking worker closes the queue so
+/// the pool shuts down instead of deadlocking.
+#[must_use]
+pub fn run_schedule_replicated_concurrent<P: AtomicProvider>(
+    w: &ShardedServeWorkload,
+    db: &ReplicatedVideoDb<P>,
+    exec: &ExecutorConfig,
+    before_task: impl Fn(usize) + Sync,
+) -> ReplicatedScheduleRun {
+    let registry = db.registry();
+    let workers = exec.workers.max(1);
+    let shards = db.shard_count().max(1) as usize;
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.request_seconds");
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry);
+    let depth = w.depth();
+    let n = w.schedule.len();
+    type ReadSlot = Mutex<Option<(Result<ShardStream, EngineError>, ReplicaTrace)>>;
+    let reads: Vec<Vec<ReadSlot>> = (0..n)
+        .map(|_| (0..shards).map(|_| Mutex::new(None)).collect())
+        .collect();
+    let remaining: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(shards)).collect();
+    let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type AnswerSlot = Mutex<Option<(ShardedAnswer, Vec<ReplicaTrace>)>>;
+    let answers: Vec<AnswerSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queue = &queue;
+            let (reads, remaining, started, answers) = (&reads, &remaining, &started, &answers);
+            let (requests, latency) = (&requests, &latency);
+            let before_task = &before_task;
+            let worker_shards = registry.histogram(&format!("serve.worker.{wid}.shard_seconds"));
+            scope.spawn(move || {
+                let _guard = CloseOnPanic(queue);
+                while let Some(task) = queue.pop() {
+                    let (r, s) = (task / shards, task % shards);
+                    started[r]
+                        .lock()
+                        .expect("request start lock")
+                        .get_or_insert_with(Instant::now);
+                    before_task(r);
+                    let t0 = Instant::now();
+                    let read = db.eval_shard_replicated(
+                        r as u64,
+                        ShardId(s as u32),
+                        &w.queries[w.schedule[r]],
+                        depth,
+                        w.k,
+                    );
+                    worker_shards.record_duration(t0.elapsed());
+                    *reads[r][s].lock().expect("read slot lock") = Some(read);
+                    if remaining[r].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last shard of request `r`: gather on this worker.
+                        let mut per_shard = Vec::with_capacity(shards);
+                        let mut trace = Vec::with_capacity(shards);
+                        for (i, slot) in reads[r].iter().enumerate() {
+                            let (outcome, t) = slot
+                                .lock()
+                                .expect("read slot lock")
+                                .take()
+                                .expect("every shard slot resolves before gather");
+                            per_shard.push((ShardId(i as u32), outcome));
+                            trace.push(t);
+                        }
+                        let answer = db
+                            .gather(per_shard, w.k)
+                            .expect("replicated request evaluates");
+                        let t0 = started[r]
+                            .lock()
+                            .expect("request start lock")
+                            .expect("request start recorded before gather");
+                        latency.record_duration(t0.elapsed());
+                        requests.inc();
+                        *answers[r].lock().expect("answer slot lock") = Some((answer, trace));
+                    }
+                }
+            });
+        }
+        for task in 0..n * shards {
+            if !queue.push(task) {
+                break; // a worker panicked; the scope join re-panics below
+            }
+        }
+        queue.close();
+    });
+    let mut answers_out = Vec::with_capacity(n);
+    let mut traces_out = Vec::with_capacity(n);
+    for slot in answers {
+        let (answer, trace) = slot
+            .into_inner()
+            .expect("answer slot lock")
+            .expect("every admitted request resolves");
+        answers_out.push(answer);
+        traces_out.push(trace);
+    }
+    ReplicatedScheduleRun {
+        answers: answers_out,
+        traces: traces_out,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{build_sharded, run_schedule_sharded, ShardedServeConfig};
+    use simvid_core::EngineConfig;
+    use simvid_obs::Registry;
+    use simvid_picture::{CacheConfig, ScoringConfig, ShardedVideoDb};
+    use std::sync::Arc;
+
+    fn workload() -> ShardedServeWorkload {
+        build_sharded(&ShardedServeConfig {
+            videos: 5,
+            shots: 12,
+            requests: 20,
+            ..ShardedServeConfig::default()
+        })
+    }
+
+    fn replicate(
+        w: &ShardedServeWorkload,
+        shards: u32,
+        replicas: u32,
+    ) -> ReplicatedVideoDb<'_, simvid_picture::PictureSystem<'_>> {
+        ReplicatedVideoDb::partition(
+            &w.store,
+            shards,
+            replicas,
+            &ScoringConfig::default(),
+            EngineConfig::default(),
+            CacheConfig::default(),
+            Arc::new(Registry::new()),
+        )
+    }
+
+    #[test]
+    fn replicated_schedule_matches_the_sharded_reference() {
+        let w = workload();
+        let sharded = ShardedVideoDb::partition(
+            &w.store,
+            2,
+            &ScoringConfig::default(),
+            EngineConfig::default(),
+            CacheConfig::default(),
+            Arc::new(Registry::new()),
+        );
+        let reference = run_schedule_sharded(&w, &sharded);
+        let db = replicate(&w, 2, 2);
+        let run = run_schedule_replicated(&w, &db, |_| {});
+        assert_eq!(run.complete(), w.schedule.len());
+        assert_eq!(run.failovers(), 0, "fault-free reads never fail over");
+        for (a, b) in run.answers.iter().zip(&reference.answers) {
+            assert_eq!(a.ranked(), b.ranked());
+        }
+    }
+
+    #[test]
+    fn concurrent_fanout_matches_sequential_answers_and_traces() {
+        let w = workload();
+        let db = replicate(&w, 2, 3);
+        let seq = run_schedule_replicated(&w, &db, |_| {});
+        for workers in [1, 2, 4] {
+            let conc = run_schedule_replicated_concurrent(
+                &w,
+                &db,
+                &ExecutorConfig {
+                    workers,
+                    queue_depth: 2 * workers,
+                },
+                |_| {},
+            );
+            assert_eq!(conc.answers.len(), seq.answers.len());
+            for (a, b) in seq.answers.iter().zip(&conc.answers) {
+                assert_eq!(a.ranked(), b.ranked(), "workers={workers}");
+            }
+            assert_eq!(conc.traces, seq.traces, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn failover_epoch_rotates_the_leading_replica() {
+        let w = workload();
+        let db = replicate(&w, 2, 4);
+        let run = run_schedule_replicated(&w, &db, |_| {});
+        let mut leaders = std::collections::BTreeSet::new();
+        for trace in run.traces.iter().flatten() {
+            leaders.insert(trace.consulted[0]);
+        }
+        assert!(
+            leaders.len() > 1,
+            "the rotation must spread primaries over replicas: {leaders:?}"
+        );
+    }
+}

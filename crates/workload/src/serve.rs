@@ -164,6 +164,12 @@ pub enum RequestOutcome {
     /// No usable answer: a worker panic was captured, or the engine
     /// rejected the request outright.
     Failed,
+    /// The request was rejected at admission: the executor queue was
+    /// saturated and the admission policy chose load shedding over
+    /// blocking (see [`AdmissionConfig::shed_when_full`]). Never
+    /// evaluated, so there is no partial answer — callers retry against
+    /// another instance.
+    Shed,
 }
 
 /// The record of one request driven through the resilient serving path.
@@ -252,6 +258,7 @@ pub fn run_schedule_resilient<P: AtomicProvider>(
     let ok = engine.registry().counter("serve.outcome.ok");
     let degraded = engine.registry().counter("serve.outcome.degraded");
     let failed = engine.registry().counter("serve.outcome.failed");
+    let shed = engine.registry().counter("serve.outcome.shed");
     let depth = w.depth();
     let start = Instant::now();
     let reports = w
@@ -262,13 +269,14 @@ pub fn run_schedule_resilient<P: AtomicProvider>(
             before_request(r);
             let budget = limits.budget();
             let t0 = Instant::now();
-            let report = resolve_request(w, engine, q, depth, &budget);
+            let report = resolve_request(w, engine, q, depth, w.k, &budget);
             latency.record_duration(t0.elapsed());
             requests.inc();
             match report.outcome {
                 RequestOutcome::Ok => ok.inc(),
                 RequestOutcome::Degraded => degraded.inc(),
                 RequestOutcome::Failed => failed.inc(),
+                RequestOutcome::Shed => shed.inc(),
             }
             report
         })
@@ -289,13 +297,14 @@ fn resolve_request<P: AtomicProvider>(
     engine: &Engine<P>,
     q: usize,
     depth: u8,
+    k: usize,
     budget: &Budget,
 ) -> RequestReport {
     // Belt and braces: the engine already catches panics at its worker
     // joins and at the resilient boundary, but a serving loop must survive
     // even a panic in a path that boundary does not cover.
     let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.top_k_closed_resilient(&w.queries[q], depth, w.k, budget)
+        engine.top_k_closed_resilient(&w.queries[q], depth, k, budget)
     }))
     .unwrap_or_else(|p| {
         let msg = p
@@ -377,59 +386,138 @@ impl From<&ServeConfig> for ExecutorConfig {
     }
 }
 
+/// Scheduling class of one admitted request. High-priority requests jump
+/// the normal lane of the executor queue — admission order within a lane
+/// stays FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Served before any queued normal-priority request.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+}
+
+/// What [`BoundedQueue::try_push`] did with the offered item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryPush {
+    /// Enqueued.
+    Admitted,
+    /// The queue is at capacity; the item was not enqueued.
+    Full,
+    /// The queue closed early (a worker panicked); the item was not
+    /// enqueued.
+    Closed,
+}
+
 /// The bounded MPMC request queue between the schedule producer and the
-/// worker pool. Backpressure by blocking: `push` waits while the queue is
-/// full, `pop` waits while it is empty and not yet closed. The
-/// `serve.queue_depth` gauge mirrors the live length.
+/// worker pool: two FIFO lanes ([`Priority::High`] drains first), a shared
+/// capacity across both. Backpressure by blocking — `push` waits while the
+/// queue is full, `pop` waits while it is empty and not yet closed — or by
+/// shedding through the non-blocking [`BoundedQueue::try_push`].
+///
+/// The `serve.queue_depth` gauge mirrors the live length, and every
+/// producer blocked on a full queue first counts one
+/// `serve.queue.full_waits` — the saturation signal admission control
+/// keys off.
 pub(crate) struct BoundedQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
     depth: Arc<simvid_obs::Gauge>,
+    full_waits: Arc<simvid_obs::Counter>,
 }
 
 struct QueueState {
-    items: VecDeque<usize>,
+    high: VecDeque<usize>,
+    normal: VecDeque<usize>,
     closed: bool,
 }
 
+impl QueueState {
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn lane(&mut self, priority: Priority) -> &mut VecDeque<usize> {
+        match priority {
+            Priority::High => &mut self.high,
+            Priority::Normal => &mut self.normal,
+        }
+    }
+}
+
 impl BoundedQueue {
-    pub(crate) fn new(capacity: usize, depth: Arc<simvid_obs::Gauge>) -> BoundedQueue {
+    pub(crate) fn new(capacity: usize, registry: &Registry) -> BoundedQueue {
         BoundedQueue {
             state: Mutex::new(QueueState {
-                items: VecDeque::with_capacity(capacity),
+                high: VecDeque::new(),
+                normal: VecDeque::with_capacity(capacity),
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
-            depth,
+            depth: registry.gauge("serve.queue_depth"),
+            full_waits: registry.counter("serve.queue.full_waits"),
         }
     }
 
-    /// Admits `item`, blocking while the queue is full. Returns `false`
-    /// without admitting when the queue closed early (a worker panicked).
+    /// Admits `item` at normal priority, blocking while the queue is full.
+    /// Returns `false` without admitting when the queue closed early (a
+    /// worker panicked).
     pub(crate) fn push(&self, item: usize) -> bool {
+        self.push_with(item, Priority::Normal)
+    }
+
+    /// Admits `item` into its priority lane, blocking while the queue is
+    /// full (counted in `serve.queue.full_waits`). Returns `false` without
+    /// admitting when the queue closed early.
+    pub(crate) fn push_with(&self, item: usize, priority: Priority) -> bool {
         let mut st = self.state.lock().expect("serve queue lock");
-        while st.items.len() >= self.capacity && !st.closed {
-            st = self.not_full.wait(st).expect("serve queue lock");
+        if st.len() >= self.capacity && !st.closed {
+            self.full_waits.inc();
+            while st.len() >= self.capacity && !st.closed {
+                st = self.not_full.wait(st).expect("serve queue lock");
+            }
         }
         if st.closed {
             return false;
         }
-        st.items.push_back(item);
+        st.lane(priority).push_back(item);
         self.depth.add(1);
         self.not_empty.notify_one();
         true
     }
 
-    /// The next request index, or `None` once the queue is closed and
-    /// drained.
+    /// Offers `item` without blocking: [`TryPush::Full`] when the queue is
+    /// saturated — the load-shed path of [`run_schedule_admission`].
+    pub(crate) fn try_push(&self, item: usize, priority: Priority) -> TryPush {
+        let mut st = self.state.lock().expect("serve queue lock");
+        if st.closed {
+            return TryPush::Closed;
+        }
+        if st.len() >= self.capacity {
+            return TryPush::Full;
+        }
+        st.lane(priority).push_back(item);
+        self.depth.add(1);
+        self.not_empty.notify_one();
+        TryPush::Admitted
+    }
+
+    /// The live queue length (both lanes) — the brownout watermark signal.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("serve queue lock").len()
+    }
+
+    /// The next request index — high lane first — or `None` once the
+    /// queue is closed and drained.
     pub(crate) fn pop(&self) -> Option<usize> {
         let mut st = self.state.lock().expect("serve queue lock");
         loop {
-            if let Some(item) = st.items.pop_front() {
+            if let Some(item) = st.high.pop_front().or_else(|| st.normal.pop_front()) {
                 self.depth.sub(1);
                 self.not_full.notify_one();
                 return Some(item);
@@ -507,7 +595,7 @@ pub fn run_schedule_concurrent<P: AtomicProvider>(
     let coalesced_total = registry.counter("cache.coalesced");
     let pruned_total = registry.counter("engine.prune.entries_pruned");
     let inflight_coalesced = registry.counter("serve.inflight_coalesced");
-    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry);
     let depth = w.depth();
     let slots: Vec<Mutex<Option<Vec<RankedSegment>>>> =
         w.schedule.iter().map(|_| Mutex::new(None)).collect();
@@ -602,9 +690,10 @@ pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
     let ok = registry.counter("serve.outcome.ok");
     let degraded = registry.counter("serve.outcome.degraded");
     let failed = registry.counter("serve.outcome.failed");
+    let shed = registry.counter("serve.outcome.shed");
     let coalesced_total = registry.counter("cache.coalesced");
     let inflight_coalesced = registry.counter("serve.inflight_coalesced");
-    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry);
     let depth = w.depth();
     let slots: Vec<Mutex<Option<RequestReport>>> =
         w.schedule.iter().map(|_| Mutex::new(None)).collect();
@@ -616,7 +705,7 @@ pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
             let slots = &slots;
             let requests = &requests;
             let latency = &latency;
-            let (ok, degraded, failed) = (&ok, &degraded, &failed);
+            let (ok, degraded, failed, shed) = (&ok, &degraded, &failed, &shed);
             let before_request = &before_request;
             let worker_latency = registry.histogram(&format!("serve.worker.{wid}.request_seconds"));
             let registry = Arc::clone(registry);
@@ -630,7 +719,7 @@ pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
                         budget.cancel();
                     }
                     let t0 = Instant::now();
-                    let report = resolve_request(w, &engine, w.schedule[r], depth, &budget);
+                    let report = resolve_request(w, &engine, w.schedule[r], depth, w.k, &budget);
                     let elapsed = t0.elapsed();
                     latency.record_duration(elapsed);
                     worker_latency.record_duration(elapsed);
@@ -639,6 +728,7 @@ pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
                         RequestOutcome::Ok => ok.inc(),
                         RequestOutcome::Degraded => degraded.inc(),
                         RequestOutcome::Failed => failed.inc(),
+                        RequestOutcome::Shed => shed.inc(),
                     }
                     *slots[r].lock().expect("report slot lock") = Some(report);
                 }
@@ -647,6 +737,163 @@ pub fn run_schedule_resilient_concurrent<P: AtomicProvider>(
         for r in 0..w.schedule.len() {
             if !queue.push(r) {
                 break;
+            }
+        }
+        queue.close();
+    });
+    inflight_coalesced.add(coalesced_total.get() - coalesced_before);
+    let reports = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("report slot lock")
+                .expect("every admitted request resolves")
+        })
+        .collect();
+    ResilientRun {
+        reports,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Degraded-service tuning applied while the executor queue sits at or
+/// above its watermark: requests are evaluated with a smaller `k` and an
+/// optional fuel cap, trading answer size for admission capacity instead
+/// of queueing or shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Queue length (at pop time) at or above which a request is served
+    /// browned-out. `0` browns out everything; `usize::MAX` effectively
+    /// disables brownout.
+    pub watermark: usize,
+    /// The lowered top-`k` size under brownout (the effective `k` is the
+    /// minimum of this and the workload's `k`).
+    pub k: usize,
+    /// Additional fuel cap under brownout, on top of the request's normal
+    /// [`RequestLimits`].
+    pub fuel: Option<u64>,
+}
+
+/// Admission policy of [`run_schedule_admission`]: what happens when the
+/// bounded queue is full, and whether saturation lowers service quality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// `true` sheds on a full queue ([`RequestOutcome::Shed`], counted in
+    /// `serve.outcome.shed`) instead of blocking the producer; `false`
+    /// keeps the blocking backpressure of the plain executor (waits
+    /// counted in `serve.queue.full_waits` either way).
+    pub shed_when_full: bool,
+    /// Brownout mode, if any.
+    pub brownout: Option<BrownoutConfig>,
+}
+
+/// [`run_schedule_resilient_concurrent`] with admission control: a
+/// per-request [`Priority`] routes each request into the queue's high or
+/// normal lane, a saturated queue either sheds or blocks per
+/// [`AdmissionConfig::shed_when_full`], and queue pressure at serve time
+/// can brown requests out ([`BrownoutConfig`]) — lowering `k` and capping
+/// fuel rather than turning work away.
+///
+/// Shed requests resolve producer-side to [`RequestOutcome::Shed`] with an
+/// [`EngineError::Overloaded`] reason and are counted in `serve.requests`
+/// and `serve.outcome.shed` like any other outcome; browned-out requests
+/// count `serve.brownout.requests`. With shedding off, no brownout, and a
+/// uniform priority, this is exactly the resilient concurrent executor:
+/// same queue, same budgets, bit-identical reports.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_schedule_admission<P: AtomicProvider>(
+    w: &ServeWorkload,
+    provider: &P,
+    engine_config: EngineConfig,
+    registry: &Arc<Registry>,
+    limits: RequestLimits,
+    exec: &ExecutorConfig,
+    admission: &AdmissionConfig,
+    priority: impl Fn(usize) -> Priority + Sync,
+) -> ResilientRun {
+    let workers = exec.workers.max(1);
+    let requests = registry.counter("serve.requests");
+    let latency = registry.histogram("serve.request_seconds");
+    let ok = registry.counter("serve.outcome.ok");
+    let degraded = registry.counter("serve.outcome.degraded");
+    let failed = registry.counter("serve.outcome.failed");
+    let shed = registry.counter("serve.outcome.shed");
+    let browned = registry.counter("serve.brownout.requests");
+    let coalesced_total = registry.counter("cache.coalesced");
+    let inflight_coalesced = registry.counter("serve.inflight_coalesced");
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry);
+    let depth = w.depth();
+    let slots: Vec<Mutex<Option<RequestReport>>> =
+        w.schedule.iter().map(|_| Mutex::new(None)).collect();
+    let coalesced_before = coalesced_total.get();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let requests = &requests;
+            let latency = &latency;
+            let (ok, degraded, failed, shed) = (&ok, &degraded, &failed, &shed);
+            let browned = &browned;
+            let worker_latency = registry.histogram(&format!("serve.worker.{wid}.request_seconds"));
+            let registry = Arc::clone(registry);
+            scope.spawn(move || {
+                let _guard = CloseOnPanic(queue);
+                let engine = Engine::with_registry(provider, &w.tree, engine_config, registry);
+                while let Some(r) = queue.pop() {
+                    // Brownout is decided at serve time from live queue
+                    // pressure: the backlog behind this request, not the
+                    // backlog when it was admitted.
+                    let brownout = admission.brownout.filter(|b| queue.len() >= b.watermark);
+                    let mut k = w.k;
+                    let mut budget = limits.budget();
+                    if let Some(b) = brownout {
+                        browned.inc();
+                        k = k.min(b.k);
+                        if let Some(fuel) = b.fuel {
+                            budget = budget.with_fuel(fuel);
+                        }
+                    }
+                    let t0 = Instant::now();
+                    let report = resolve_request(w, &engine, w.schedule[r], depth, k, &budget);
+                    let elapsed = t0.elapsed();
+                    latency.record_duration(elapsed);
+                    worker_latency.record_duration(elapsed);
+                    requests.inc();
+                    match report.outcome {
+                        RequestOutcome::Ok => ok.inc(),
+                        RequestOutcome::Degraded => degraded.inc(),
+                        RequestOutcome::Failed => failed.inc(),
+                        RequestOutcome::Shed => shed.inc(),
+                    }
+                    *slots[r].lock().expect("report slot lock") = Some(report);
+                }
+            });
+        }
+        'produce: for (r, slot) in slots.iter().enumerate().take(w.schedule.len()) {
+            let lane = priority(r);
+            if admission.shed_when_full {
+                match queue.try_push(r, lane) {
+                    TryPush::Admitted => {}
+                    TryPush::Closed => break 'produce,
+                    TryPush::Full => {
+                        let report = RequestReport {
+                            query: w.schedule[r],
+                            outcome: RequestOutcome::Shed,
+                            ranked: Vec::new(),
+                            upper_bounds: Vec::new(),
+                            reason: Some(
+                                EngineError::Overloaded("executor queue full".into()).to_string(),
+                            ),
+                        };
+                        requests.inc();
+                        shed.inc();
+                        *slot.lock().expect("report slot lock") = Some(report);
+                    }
+                }
+            } else if !queue.push_with(r, lane) {
+                break 'produce;
             }
         }
         queue.close();
@@ -930,6 +1177,244 @@ mod tests {
                 "cancelled requests still carry sound upper bounds"
             );
         }
+    }
+
+    #[test]
+    fn queue_priority_lanes_and_try_push() {
+        let registry = Registry::new();
+        let q = BoundedQueue::new(2, &registry);
+        assert_eq!(q.try_push(0, Priority::Normal), TryPush::Admitted);
+        assert_eq!(q.try_push(1, Priority::High), TryPush::Admitted);
+        assert_eq!(q.try_push(2, Priority::Normal), TryPush::Full);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1), "high lane drains first");
+        assert_eq!(q.pop(), Some(0));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_push(3, Priority::Normal), TryPush::Closed);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("serve.queue.full_waits"),
+            Some(0),
+            "try_push never blocks, so it never counts a full wait"
+        );
+    }
+
+    #[test]
+    fn saturated_queue_counts_full_waits() {
+        let registry = Registry::new();
+        let q = BoundedQueue::new(1, &registry);
+        let waits = registry.counter("serve.queue.full_waits");
+        assert!(q.push(0), "first push fits without waiting");
+        assert_eq!(waits.get(), 0);
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                assert!(q.push(1), "blocked push completes once a slot frees");
+            });
+            // Deterministic rendezvous: the counter ticks *before* the
+            // producer parks, so spinning on it cannot miss the wait.
+            while waits.get() == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(q.pop(), Some(0));
+            assert_eq!(q.pop(), Some(1));
+        });
+        assert_eq!(waits.get(), 1, "exactly one producer waited");
+    }
+
+    /// Delegating provider that parks every table call until the run's
+    /// first request has been shed — pinning the executor saturated so the
+    /// shed path is exercised deterministically.
+    struct GateProvider<'a> {
+        inner: simvid_picture::PictureSystem<'a>,
+        release_when: Arc<simvid_obs::Counter>,
+        released: std::sync::atomic::AtomicBool,
+    }
+
+    impl GateProvider<'_> {
+        fn wait(&self) {
+            use std::sync::atomic::Ordering;
+            if self.released.load(Ordering::Acquire) {
+                return;
+            }
+            while self.release_when.get() == 0 {
+                std::thread::yield_now();
+            }
+            self.released.store(true, Ordering::Release);
+        }
+    }
+
+    impl AtomicProvider for GateProvider<'_> {
+        fn atomic_table(
+            &self,
+            unit: &simvid_htl::AtomicUnit,
+            ctx: simvid_core::engine::SeqContext,
+        ) -> Arc<simvid_core::SimilarityTable> {
+            self.wait();
+            self.inner.atomic_table(unit, ctx)
+        }
+
+        fn atomic_max(&self, unit: &simvid_htl::AtomicUnit) -> f64 {
+            self.inner.atomic_max(unit)
+        }
+
+        fn value_table(
+            &self,
+            func: &simvid_htl::AttrFn,
+            ctx: simvid_core::engine::SeqContext,
+        ) -> simvid_core::ValueTable {
+            self.wait();
+            self.inner.value_table(func, ctx)
+        }
+    }
+
+    #[test]
+    fn saturation_sheds_instead_of_blocking() {
+        let cfg = ServeConfig {
+            shots: 8,
+            requests: 8,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys = GateProvider {
+            inner: simvid_picture::PictureSystem::with_registry(
+                &w.tree,
+                simvid_picture::ScoringConfig::default(),
+                simvid_picture::CacheConfig::default(),
+                registry.clone(),
+            ),
+            release_when: registry.counter("serve.outcome.shed"),
+            released: std::sync::atomic::AtomicBool::new(false),
+        };
+        let run = run_schedule_admission(
+            &w,
+            &sys,
+            EngineConfig::default(),
+            &registry,
+            RequestLimits::default(),
+            &ExecutorConfig {
+                workers: 1,
+                queue_depth: 1,
+            },
+            &AdmissionConfig {
+                shed_when_full: true,
+                brownout: None,
+            },
+            |_| Priority::Normal,
+        );
+        assert_eq!(run.reports.len(), 8, "every slot resolves, shed or served");
+        let sheds = run.count(RequestOutcome::Shed);
+        assert!(sheds >= 1, "a single stalled worker must shed overflow");
+        for report in &run.reports {
+            if report.outcome == RequestOutcome::Shed {
+                assert!(report.ranked.is_empty());
+                assert!(report.reason.as_deref().unwrap().contains("overload"));
+            } else {
+                assert_eq!(report.outcome, RequestOutcome::Ok);
+            }
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.outcome.shed"), Some(sheds as u64));
+        assert_eq!(snap.counter("serve.requests"), Some(8));
+    }
+
+    #[test]
+    fn brownout_lowers_k_under_pressure() {
+        let cfg = ServeConfig {
+            shots: 12,
+            requests: 12,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys = simvid_picture::PictureSystem::with_registry(
+            &w.tree,
+            simvid_picture::ScoringConfig::default(),
+            simvid_picture::CacheConfig::default(),
+            registry.clone(),
+        );
+        let run = run_schedule_admission(
+            &w,
+            &sys,
+            EngineConfig::default(),
+            &registry,
+            RequestLimits::default(),
+            &ExecutorConfig::with_workers(2),
+            &AdmissionConfig {
+                shed_when_full: false,
+                // Watermark 0: the backlog is always >= 0, so every
+                // request serves browned-out — deterministic whatever the
+                // actual queue pressure.
+                brownout: Some(BrownoutConfig {
+                    watermark: 0,
+                    k: 1,
+                    fuel: None,
+                }),
+            },
+            |_| Priority::Normal,
+        );
+        assert_eq!(run.count(RequestOutcome::Ok), 12);
+        for report in &run.reports {
+            assert!(
+                report.ranked.len() <= 1,
+                "browned-out requests serve at most k=1"
+            );
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.brownout.requests"), Some(12));
+    }
+
+    #[test]
+    fn admission_without_pressure_matches_the_resilient_path() {
+        let cfg = ServeConfig {
+            shots: 12,
+            requests: 16,
+            ..ServeConfig::default()
+        };
+        let w = build(&cfg);
+        let sys =
+            simvid_picture::PictureSystem::new(&w.tree, simvid_picture::ScoringConfig::default());
+        let engine = Engine::new(&sys, &w.tree);
+        let reference = run_schedule_resilient(&w, &engine, RequestLimits::default(), |_| {});
+        let registry = Arc::new(simvid_obs::Registry::new());
+        let sys2 = simvid_picture::PictureSystem::with_registry(
+            &w.tree,
+            simvid_picture::ScoringConfig::default(),
+            simvid_picture::CacheConfig::default(),
+            registry.clone(),
+        );
+        let run = run_schedule_admission(
+            &w,
+            &sys2,
+            EngineConfig::default(),
+            &registry,
+            RequestLimits::default(),
+            &ExecutorConfig::with_workers(3),
+            &AdmissionConfig {
+                shed_when_full: false,
+                brownout: Some(BrownoutConfig {
+                    watermark: usize::MAX,
+                    k: 1,
+                    fuel: Some(0),
+                }),
+            },
+            |r| {
+                if r % 2 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                }
+            },
+        );
+        assert_eq!(
+            run.reports, reference.reports,
+            "no saturation: admission control must be invisible"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.outcome.shed"), Some(0));
+        assert_eq!(snap.counter("serve.brownout.requests"), Some(0));
     }
 
     #[test]

@@ -216,7 +216,7 @@ pub fn run_schedule_sharded_concurrent<P: AtomicProvider>(
     let shards = db.shard_count().max(1) as usize;
     let requests = registry.counter("serve.requests");
     let latency = registry.histogram("serve.request_seconds");
-    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry.gauge("serve.queue_depth"));
+    let queue = BoundedQueue::new(exec.queue_depth.max(1), registry);
     let depth = w.depth();
     let n = w.schedule.len();
     // Per-request scatter state: one stream slot per shard, a countdown of

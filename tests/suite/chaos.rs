@@ -212,6 +212,9 @@ fn default_length_schedule_never_aborts_and_classifies_every_request() {
             RequestOutcome::Degraded | RequestOutcome::Failed => {
                 assert!(report.reason.is_some(), "non-Ok outcomes carry a reason");
             }
+            RequestOutcome::Shed => {
+                panic!("the resilient path never sheds — that's admission control")
+            }
         }
     }
 }

@@ -1,0 +1,361 @@
+//! Replicated serving suite: circuit-breaker transition lawfulness, the
+//! failover rotation's algebra, schedule-independence of answers *and*
+//! traces under dead replicas, and the degradation ladder's bottom rung —
+//! a whole dead shard must collapse to exactly the unreplicated store's
+//! sound degraded answer.
+//!
+//! The breaker is deterministic (fuel-based probing, no wall clocks), so
+//! the property tests here are full model checks, not statistical
+//! sampling: every op sequence must follow the lawful transition relation
+//!
+//! ```text
+//! Closed   --record(fail) at threshold-->  Open
+//! Open     --probe fuel burned---------->  HalfOpen (admit returns Probe)
+//! HalfOpen --record(fail)--------------->  Open
+//! any      --record(ok)----------------->  Closed
+//! ```
+//!
+//! and nothing else.
+
+use proptest::prelude::*;
+use simvid_core::EngineConfig;
+use simvid_obs::Registry;
+use simvid_picture::{
+    CacheConfig, PictureSystem, ReplicaId, ReplicatedVideoDb, ScoringConfig, ShardedAnswer,
+    ShardedVideoDb,
+};
+use simvid_resilience::{
+    failover_order, Admission, BreakerConfig, BreakerState, CircuitBreaker, FaultPlan,
+    FaultyProvider, HedgePolicy, RetryPolicy,
+};
+use simvid_workload::replica::{run_schedule_replicated, run_schedule_replicated_concurrent};
+use simvid_workload::serve::ExecutorConfig;
+use simvid_workload::shard::{
+    build_sharded, run_schedule_sharded, ShardedServeConfig, ShardedServeWorkload,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload() -> ShardedServeWorkload {
+    build_sharded(&ShardedServeConfig {
+        videos: 5,
+        shots: 12,
+        requests: 16,
+        ..ShardedServeConfig::default()
+    })
+}
+
+fn always_fail() -> FaultPlan {
+    FaultPlan {
+        seed: 0xDEAD_BEEF,
+        error_rate: 1.0,
+        panic_rate: 0.0,
+        latency_rate: 0.0,
+        latency: Duration::ZERO,
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    }
+}
+
+fn replicate<'a>(
+    w: &'a ShardedServeWorkload,
+    shards: u32,
+    replicas: u32,
+    registry: &Arc<Registry>,
+) -> ReplicatedVideoDb<'a, PictureSystem<'a>> {
+    ReplicatedVideoDb::partition(
+        &w.store,
+        shards,
+        replicas,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::default(),
+        registry.clone(),
+    )
+}
+
+fn shard_reference<'a>(
+    w: &'a ShardedServeWorkload,
+    shards: u32,
+) -> ShardedVideoDb<'a, PictureSystem<'a>> {
+    ShardedVideoDb::partition(
+        &w.store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::default(),
+        Arc::new(Registry::new()),
+    )
+}
+
+/// One breaker interaction, drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Admit,
+    RecordOk,
+    RecordFail,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Admit), Just(Op::RecordOk), Just(Op::RecordFail),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transition lawfulness, model-checked: with the health floor
+    /// disabled (its EWMA trip is exercised separately in the resilience
+    /// crate's unit tests) the breaker is a small deterministic automaton,
+    /// and every op sequence must track this reference model exactly —
+    /// including the probe-fuel counter that meters Open → HalfOpen.
+    #[test]
+    fn breaker_transitions_are_lawful(
+        ops in prop::collection::vec(op_strategy(), 0..80),
+        failure_threshold in 1u32..5,
+        probe_fuel in 1u32..10,
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold,
+            probe_fuel,
+            health_floor: 0.0,
+            ..BreakerConfig::default()
+        };
+        let mut breaker = CircuitBreaker::new(cfg);
+        let mut state = BreakerState::Closed;
+        let mut consecutive = 0u32;
+        let mut denials = 0u32;
+        prop_assert_eq!(breaker.state(), state);
+        for op in ops {
+            match op {
+                Op::Admit => {
+                    let admission = breaker.admit();
+                    let expected = match state {
+                        BreakerState::Closed => Admission::Admit,
+                        BreakerState::HalfOpen => Admission::Deny,
+                        BreakerState::Open => {
+                            denials += 1;
+                            if denials >= probe_fuel {
+                                state = BreakerState::HalfOpen;
+                                Admission::Probe
+                            } else {
+                                Admission::Deny
+                            }
+                        }
+                    };
+                    prop_assert_eq!(admission, expected, "admit in {:?}", state);
+                }
+                Op::RecordOk => {
+                    breaker.record(true);
+                    state = BreakerState::Closed;
+                    consecutive = 0;
+                    denials = 0;
+                }
+                Op::RecordFail => {
+                    breaker.record(false);
+                    match state {
+                        BreakerState::Closed => {
+                            consecutive += 1;
+                            if consecutive >= failure_threshold {
+                                state = BreakerState::Open;
+                                denials = 0;
+                            }
+                        }
+                        BreakerState::HalfOpen => {
+                            state = BreakerState::Open;
+                            denials = 0;
+                        }
+                        // A straggler failure while already Open must not
+                        // refund the probe fuel.
+                        BreakerState::Open => {}
+                    }
+                }
+            }
+            prop_assert_eq!(breaker.state(), state);
+            prop_assert_eq!(breaker.state().as_gauge(), match state {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            });
+        }
+    }
+
+    /// The failover order is always a pure rotation of `0..replicas`: a
+    /// permutation with consecutive (mod `replicas`) entries, fully
+    /// determined by `(epoch, shard, replicas)`.
+    #[test]
+    fn failover_order_is_a_rotation(
+        epoch in any::<u64>(),
+        shard in 0u32..64,
+        replicas in 1u32..16,
+    ) {
+        let order = failover_order(epoch, shard, replicas);
+        prop_assert_eq!(order.len(), replicas as usize);
+        for (i, &r) in order.iter().enumerate() {
+            prop_assert_eq!(r, (order[0] + i as u32) % replicas);
+        }
+        let again = failover_order(epoch, shard, replicas);
+        prop_assert_eq!(order, again, "the rotation is a pure function");
+    }
+}
+
+/// With one replica of one shard dead, answers and failover traces are
+/// bit-identical across 1/2/4/8 workers and equal to the sequential
+/// runner's: the fault world is pure per `(shard, replica)`, so which
+/// worker interleaving tries (or is breaker-denied at) the dead replica
+/// cannot change what is consulted or who serves.
+#[test]
+fn dead_replica_run_is_bit_identical_across_worker_counts() {
+    let w = workload();
+    let registry = Arc::new(Registry::new());
+    let db = replicate(&w, 2, 3, &registry);
+    let victim = db
+        .shard_ids()
+        .find(|&s| !db.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let policy = fast_retry();
+    let db = db.map_providers(|rid, sid, _video, sys| {
+        let plan = if rid == ReplicaId(0) && sid == victim {
+            always_fail()
+        } else {
+            FaultPlan::quiet(0xDEAD_BEEF)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, &registry)
+    });
+    let seq = run_schedule_replicated(&w, &db, |_| {});
+    assert_eq!(
+        seq.complete(),
+        w.schedule.len(),
+        "failover absorbs the kill"
+    );
+    assert!(seq.failovers() > 0, "the dead replica led some reads");
+    for workers in [1usize, 2, 4, 8] {
+        let conc = run_schedule_replicated_concurrent(
+            &w,
+            &db,
+            &ExecutorConfig {
+                workers,
+                queue_depth: 2 * workers,
+            },
+            |_| {},
+        );
+        for (a, b) in seq.answers.iter().zip(&conc.answers) {
+            assert_eq!(a.ranked(), b.ranked(), "workers={workers}");
+        }
+        assert_eq!(conc.traces, seq.traces, "workers={workers}");
+    }
+}
+
+/// The acceptance bit-identity: a schedule with one replica always
+/// failing ranks exactly as the fault-free plain sharded store — zero
+/// degraded answers, failover only.
+#[test]
+fn single_replica_kill_reproduces_the_fault_free_answers() {
+    let w = workload();
+    let reference = run_schedule_sharded(&w, &shard_reference(&w, 2));
+    let registry = Arc::new(Registry::new());
+    let db = replicate(&w, 2, 2, &registry);
+    let victim = db
+        .shard_ids()
+        .find(|&s| !db.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let policy = fast_retry();
+    let db = db.map_providers(|rid, sid, _video, sys| {
+        let plan = if rid == ReplicaId(0) && sid == victim {
+            always_fail()
+        } else {
+            FaultPlan::quiet(0xDEAD_BEEF)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, &registry)
+    });
+    let run = run_schedule_replicated(&w, &db, |_| {});
+    assert_eq!(run.degraded(), 0, "one dead replica must not degrade");
+    assert!(run.failovers() > 0, "the rotation made the corpse lead");
+    for (a, b) in run.answers.iter().zip(&reference.answers) {
+        assert_eq!(a.ranked(), b.ranked());
+    }
+}
+
+/// The degradation ladder's bottom rung: with *every* replica of a shard
+/// dead, each request degrades exactly as the unreplicated sharded store
+/// does under the same fault world — same surviving ranking, same
+/// `missing_bound` bits, same failed-shard set.
+#[test]
+fn whole_shard_kill_matches_the_unreplicated_degraded_answers() {
+    let w = workload();
+    let policy = fast_retry();
+    let scratch = Arc::new(Registry::new());
+    let plain = shard_reference(&w, 2);
+    let victim = plain
+        .shard_ids()
+        .find(|&s| !plain.videos_in(s).is_empty())
+        .expect("corpus is non-empty");
+    let sharded = plain.map_providers(|sid, _video, sys| {
+        let plan = if sid == victim {
+            always_fail()
+        } else {
+            FaultPlan::quiet(0xDEAD_BEEF)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, &scratch)
+    });
+    let reference = run_schedule_sharded(&w, &sharded);
+    let registry = Arc::new(Registry::new());
+    let db = replicate(&w, 2, 3, &registry).map_providers(|_rid, sid, _video, sys| {
+        let plan = if sid == victim {
+            always_fail()
+        } else {
+            FaultPlan::quiet(0xDEAD_BEEF)
+        };
+        FaultyProvider::with_registry(sys, plan, policy, &registry)
+    });
+    let run = run_schedule_replicated(&w, &db, |_| {});
+    assert_eq!(run.degraded(), w.schedule.len(), "every request degrades");
+    assert_eq!(run.answers.len(), reference.answers.len());
+    for (a, b) in run.answers.iter().zip(&reference.answers) {
+        match (a, b) {
+            (ShardedAnswer::Degraded(d), ShardedAnswer::Degraded(e)) => {
+                assert_eq!(d.ranked, e.ranked, "surviving rankings diverge");
+                assert_eq!(
+                    d.missing_bound.to_bits(),
+                    e.missing_bound.to_bits(),
+                    "missing bounds diverge: {} vs {}",
+                    d.missing_bound,
+                    e.missing_bound
+                );
+                assert_eq!(d.failed.len(), e.failed.len());
+                assert_eq!(d.failed[0].0, e.failed[0].0, "different shard blamed");
+            }
+            _ => panic!("both runs must degrade every request"),
+        }
+    }
+}
+
+/// Hedging is deterministic: with zero primary fuel every leading read
+/// exhausts its budget and hedges to the next candidate, the answers stay
+/// bit-identical to the un-hedged store, and two runs produce the same
+/// traces (no wall clocks anywhere in the policy).
+#[test]
+fn zero_fuel_hedging_is_deterministic_and_answer_preserving() {
+    let w = workload();
+    let reference = run_schedule_sharded(&w, &shard_reference(&w, 2));
+    let registry = Arc::new(Registry::new());
+    let db = replicate(&w, 2, 2, &registry).with_hedge(HedgePolicy::with_fuel(0));
+    let first = run_schedule_replicated(&w, &db, |_| {});
+    let second = run_schedule_replicated(&w, &db, |_| {});
+    assert_eq!(first.complete(), w.schedule.len());
+    assert!(
+        first.traces.iter().flatten().any(|t| t.hedged),
+        "zero fuel must force hedged reads"
+    );
+    for (a, b) in first.answers.iter().zip(&reference.answers) {
+        assert_eq!(a.ranked(), b.ranked(), "hedging changed an answer");
+    }
+    assert_eq!(first.traces, second.traces, "hedging must be replayable");
+    for (a, b) in first.answers.iter().zip(&second.answers) {
+        assert_eq!(a.ranked(), b.ranked());
+    }
+}
