@@ -3,7 +3,8 @@
 //! ```text
 //! benchgate CURRENT.json [--baseline PATH] [--kernels-baseline PATH]
 //!           [--serve-concurrent-baseline PATH] [--serve-sharded-baseline PATH]
-//!           [--serve-replicated-baseline PATH] [--update-baselines]
+//!           [--serve-replicated-baseline PATH] [--serve-churn-baseline PATH]
+//!           [--update-baselines]
 //! ```
 //!
 //! `CURRENT.json` is the output of `repro serve --smoke --json PATH` (add
@@ -39,6 +40,15 @@
 //! change the answer), and each must match the baseline row with the same
 //! `(shards, replicas)` in `crates/bench/baselines/serve_replicated.json`
 //! bit-for-bit.
+//!
+//! When it carries a `serve_churn` section (from
+//! `repro serve --smoke --churn --json ...`), each row must attest all
+//! three bit-identity contracts (`digest_matches_rebuild`,
+//! `digest_matches_sequential`, `prefix_matches_frozen`), must record
+//! `retained > 0` (incremental invalidation kept at least one untouched
+//! video's warm cache), and its digests must match the baseline row with
+//! the same `(shards, replicas)` in
+//! `crates/bench/baselines/serve_churn.json` bit-for-bit.
 //!
 //! `--update-baselines` rewrites the baseline files from the current
 //! document instead of gating — the supported way to refresh baselines
@@ -141,6 +151,7 @@ fn run(
     serve_concurrent_baseline_path: &str,
     serve_sharded_baseline_path: &str,
     serve_replicated_baseline_path: &str,
+    serve_churn_baseline_path: &str,
 ) -> Result<bool, String> {
     let current_doc = load(current_path)?;
     let baseline_doc = load(baseline_path)?;
@@ -261,6 +272,17 @@ fn run(
         None => println!(
             "  {:<22} (no serve_replicated section; skipped)",
             "replicated digests"
+        ),
+    }
+
+    match field(&current_doc, "serve_churn") {
+        Some(Value::Array(rows)) => {
+            check_serve_churn(&mut gate, rows, serve_churn_baseline_path)?;
+        }
+        Some(_) => return Err("`serve_churn` section is not an array".into()),
+        None => println!(
+            "  {:<22} (no serve_churn section; skipped)",
+            "churn digests"
         ),
     }
 
@@ -573,6 +595,110 @@ fn check_serve_replicated(
     Ok(())
 }
 
+/// Gates the live-ingestion churn path: every row must attest its three
+/// bit-identity contracts (rebuild oracle, sequential/concurrent
+/// equality, mutation-free prefix), must have retained at least one warm
+/// cached table across its mutations (the incremental-invalidation win —
+/// a full-flush regression zeroes it), and both its churn digest and its
+/// prefix digest must match the checked-in baseline row for the same
+/// `(shards, replicas)` bit-for-bit. Wall times never fail the gate.
+fn check_serve_churn(gate: &mut Gate, rows: &[Value], baseline_path: &str) -> Result<(), String> {
+    let baseline_doc = load(baseline_path)?;
+    let baseline_rows = match field(&baseline_doc, "serve_churn") {
+        Some(Value::Array(rows)) => rows,
+        _ => {
+            return Err(format!(
+                "{baseline_path}: no serve_churn section in baseline"
+            ))
+        }
+    };
+    for row in rows {
+        let shards = field(row, "shards")
+            .and_then(num)
+            .ok_or("serve_churn row missing numeric `shards`")? as u64;
+        let replicas = field(row, "replicas")
+            .and_then(num)
+            .ok_or("serve_churn row missing numeric `replicas`")? as u64;
+        let cur_digest = match field(row, "results_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_churn row missing string `results_digest`".into()),
+        };
+        let cur_prefix = match field(row, "prefix_digest") {
+            Some(Value::Str(v)) => v.clone(),
+            _ => return Err("serve_churn row missing string `prefix_digest`".into()),
+        };
+        for attest in [
+            "digest_matches_rebuild",
+            "digest_matches_sequential",
+            "prefix_matches_frozen",
+        ] {
+            match field(row, attest) {
+                Some(Value::Bool(true)) => {}
+                _ => gate.failures.push(format!(
+                    "serve_churn shards={shards} replicas={replicas}: run does not \
+                     attest `{attest}`"
+                )),
+            }
+        }
+        let retained = field(row, "retained")
+            .and_then(num)
+            .ok_or("serve_churn row missing numeric `retained`")?;
+        if retained <= 0.0 {
+            gate.failures.push(format!(
+                "serve_churn shards={shards} replicas={replicas}: no cached tables \
+                 survived the mutations (retained={retained}); incremental \
+                 invalidation has regressed to a full flush"
+            ));
+        }
+        let base = baseline_rows.iter().find(|b| {
+            field(b, "shards").and_then(num).map(|n| n as u64) == Some(shards)
+                && field(b, "replicas").and_then(num).map(|n| n as u64) == Some(replicas)
+        });
+        let Some(base) = base else {
+            println!(
+                "  churn s={shards} r={replicas:<12} {cur_digest}  (no baseline row; skipped)"
+            );
+            continue;
+        };
+        for (label, key, cur) in [
+            ("churn", "results_digest", &cur_digest),
+            ("churn prefix", "prefix_digest", &cur_prefix),
+        ] {
+            let base_digest = match field(base, key) {
+                Some(Value::Str(v)) => v.clone(),
+                _ => return Err(format!("serve_churn baseline row missing `{key}`")),
+            };
+            let ok = *cur == base_digest;
+            println!(
+                "  {label} s={shards} r={replicas:<6} {cur}  baseline {base_digest}  {}",
+                if ok { "ok" } else { "FAIL" }
+            );
+            if !ok {
+                gate.failures.push(format!(
+                    "serve_churn shards={shards} replicas={replicas}: `{key}` \
+                     diverged from baseline"
+                ));
+            }
+        }
+        if let (Some(evicted), Some(seq)) = (
+            field(row, "evicted").and_then(num),
+            field(row, "sequential").and_then(duration_secs),
+        ) {
+            let total = retained + evicted;
+            let pct = if total > 0.0 {
+                100.0 * retained / total
+            } else {
+                100.0
+            };
+            println!(
+                "  {:<22} {pct:>7.1}% retained, schedule {seq:.4}s  (informational)",
+                "churn retention"
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Rewrites a baseline file from the current document: the named section
 /// plus the run's `meta`, pretty-printed.
 fn update_baseline(current_doc: &Value, section: &str, path: &str) -> Result<bool, String> {
@@ -599,7 +725,7 @@ fn main() -> ExitCode {
     const USAGE: &str = "usage: benchgate CURRENT.json [--baseline PATH] \
          [--kernels-baseline PATH] [--serve-concurrent-baseline PATH] \
          [--serve-sharded-baseline PATH] [--serve-replicated-baseline PATH] \
-         [--update-baselines]";
+         [--serve-churn-baseline PATH] [--update-baselines]";
     let mut current: Option<String> = None;
     let mut baseline =
         concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_smoke.json").to_owned();
@@ -617,6 +743,8 @@ fn main() -> ExitCode {
         "/baselines/serve_replicated.json"
     )
     .to_owned();
+    let mut serve_churn_baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/serve_churn.json").to_owned();
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
@@ -671,6 +799,16 @@ fn main() -> ExitCode {
                 }
                 i += 2;
             }
+            "--serve-churn-baseline" => {
+                match args.get(i + 1) {
+                    Some(p) => serve_churn_baseline = p.clone(),
+                    None => {
+                        eprintln!("--serve-churn-baseline requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             "--update-baselines" => {
                 update = true;
                 i += 1;
@@ -703,6 +841,7 @@ fn main() -> ExitCode {
                 ("serve_concurrent", serve_concurrent_baseline.as_str()),
                 ("serve_sharded", serve_sharded_baseline.as_str()),
                 ("serve_replicated", serve_replicated_baseline.as_str()),
+                ("serve_churn", serve_churn_baseline.as_str()),
             ];
             let mut missing: Vec<&str> = Vec::new();
             for (section, path) in sections {
@@ -716,7 +855,7 @@ fn main() -> ExitCode {
                 Err(format!(
                     "current document is missing section(s) {}; regenerate with \
                      `repro serve serve_concurrent kernels --smoke --shards 1,2,4 \
-                     --replicas 2,3 --workers 2 --json CURRENT.json` and rerun",
+                     --replicas 2,3 --workers 2 --churn --json CURRENT.json` and rerun",
                     missing.join(", ")
                 ))
             }
@@ -736,6 +875,7 @@ fn main() -> ExitCode {
         &serve_concurrent_baseline,
         &serve_sharded_baseline,
         &serve_replicated_baseline,
+        &serve_churn_baseline,
     ) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),

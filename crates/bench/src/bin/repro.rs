@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [figure2|table1..table6|complex|ablation|parallel|serve|
-//!        serve_concurrent|serve_sharded|serve_replicated|topk|kernels|
-//!        chaos|shard_chaos|replica_chaos|all]...
+//!        serve_concurrent|serve_sharded|serve_replicated|serve_churn|
+//!        topk|kernels|chaos|shard_chaos|replica_chaos|all]...
 //!       [--json PATH] [--metrics [PATH]] [--threads N] [--smoke]
 //!       [--cache-capacity N] [--workers N] [--shards N,M,...]
-//!       [--replicas N,M,...]
+//!       [--replicas N,M,...] [--churn]
 //! ```
 //!
 //! Several section names may be given at once (`repro serve topk --json out`)
@@ -27,7 +27,10 @@
 //! sweep (default `2,3`; every topology must reproduce the plain sharded
 //! digest bit-identically) and likewise implies that section when
 //! `serve` is requested; the sweep and the `replica_chaos` section run at
-//! the first `--shards` count with survivors (≥ 2, default 2).
+//! the first `--shards` count with survivors (≥ 2, default 2). `--churn`
+//! implies the `serve_churn` section when `serve` is requested: the live
+//! ingestion workload at the first `--shards`/`--replicas` counts,
+//! oracle-checked against a from-scratch rebuild at every served epoch.
 //! `--metrics` emits the shared metrics registry (`engine.*`, `cache.*`,
 //! `serve.*`, `shard.*`) as JSON to stdout, or to a file when a path is
 //! given.
@@ -41,17 +44,19 @@
 use simvid_bench::{
     bench_meta, format_chaos_table, format_engine_mode_table, format_kernel_table,
     format_list_table, format_perf_table, format_pruned_table, format_replica_chaos_table,
-    format_serve_concurrent_table, format_serve_replicated_table, format_serve_sharded_table,
-    format_serve_table, format_shard_chaos_table, measure_chaos, measure_complex1,
-    measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
-    measure_pruned_topk, measure_replica_chaos, measure_serve_concurrent, measure_serve_replicated,
-    measure_serve_sharded, measure_serve_with_registry, measure_shard_chaos, measure_until,
-    EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5, PAPER_TABLE6, THETA,
+    format_serve_churn_table, format_serve_concurrent_table, format_serve_replicated_table,
+    format_serve_sharded_table, format_serve_table, format_shard_chaos_table, measure_chaos,
+    measure_complex1, measure_complex2, measure_conjunction, measure_engine_modes, measure_kernels,
+    measure_pruned_topk, measure_replica_chaos, measure_serve_churn, measure_serve_concurrent,
+    measure_serve_replicated, measure_serve_sharded, measure_serve_with_registry,
+    measure_shard_chaos, measure_until, EngineModeRow, PerfRow, PAPER_SIZES, PAPER_TABLE5,
+    PAPER_TABLE6, THETA,
 };
 use simvid_core::{list, rank_entries, ConjunctionSemantics, Engine, EngineConfig, SimilarityList};
 use simvid_obs::Registry;
 use simvid_picture::PictureSystem;
 use simvid_workload::casablanca;
+use simvid_workload::churn::ChurnConfig;
 use simvid_workload::serve::ServeConfig;
 use simvid_workload::shard::ShardedServeConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -434,6 +439,49 @@ fn shard_chaos_bench(
     rows
 }
 
+fn serve_churn_bench(
+    smoke: bool,
+    shard_counts: &[u32],
+    replica_counts: &[u32],
+    workers: Option<usize>,
+    registry: &Arc<Registry>,
+) -> Vec<simvid_bench::ServeChurnRow> {
+    let base = if smoke {
+        ChurnConfig {
+            videos: 6,
+            shots: 24,
+            requests: 30,
+            batches: 2,
+            ..ChurnConfig::default()
+        }
+    } else {
+        ChurnConfig::default()
+    };
+    let workers = workers.unwrap_or(2).max(1);
+    let shards = shard_counts.first().copied().unwrap_or(2).max(1);
+    let replicas = replica_counts.first().copied().unwrap_or(1).max(1);
+    let rows = vec![measure_serve_churn(
+        &ChurnConfig {
+            shards,
+            replicas,
+            workers,
+            queue_depth: 2 * workers,
+            ..base
+        },
+        registry,
+    )];
+    progress!(
+        "{}",
+        format_serve_churn_table(
+            "Live ingestion churn: epoch-versioned snapshots under mutation, \
+             oracle-checked bit-identical against a from-scratch rebuild at \
+             every served epoch",
+            &rows
+        )
+    );
+    rows
+}
+
 fn chaos_bench(smoke: bool, registry: &Arc<Registry>) -> Vec<simvid_bench::ChaosRow> {
     let cfg = if smoke {
         ServeConfig {
@@ -518,6 +566,7 @@ const SECTIONS: &[&str] = &[
     "serve_concurrent",
     "serve_sharded",
     "serve_replicated",
+    "serve_churn",
     "topk",
     "kernels",
     "chaos",
@@ -537,6 +586,7 @@ fn main() {
     let mut shards: Option<Vec<u32>> = None;
     let mut replicas: Option<Vec<u32>> = None;
     let mut smoke = false;
+    let mut churn = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -576,6 +626,10 @@ fn main() {
             }
             "--smoke" => {
                 smoke = true;
+                i += 1;
+            }
+            "--churn" => {
+                churn = true;
                 i += 1;
             }
             // `--metrics` takes an optional path: a following token that
@@ -701,6 +755,14 @@ fn main() {
             "serve_replicated".into(),
             serde_json::to_value(&rows).unwrap(),
         );
+    }
+    // `--churn` alongside `serve` implies the churn section, so the CI
+    // gate's `repro serve --smoke --churn` spelling just works.
+    if wants("serve_churn") || (wants("serve") && churn) {
+        let shard_counts = shards.clone().unwrap_or_else(|| vec![2]);
+        let replica_counts = replicas.clone().unwrap_or_else(|| vec![1]);
+        let rows = serve_churn_bench(smoke, &shard_counts, &replica_counts, workers, &registry);
+        json.insert("serve_churn".into(), serde_json::to_value(&rows).unwrap());
     }
     if wants("topk") {
         let rows = topk_bench(smoke);

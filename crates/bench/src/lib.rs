@@ -8,12 +8,15 @@ use simvid_core::{
     SeqContext, SimilarityList, SimilarityTable, ValueTable,
 };
 use simvid_htl::{parse, AtomicUnit, AttrFn, Formula, FormulaId};
-use simvid_model::{VideoBuilder, VideoTree};
+use simvid_model::{CorpusEpoch, VideoBuilder, VideoTree};
 use simvid_obs::Registry;
 use simvid_picture::{shard_of, ReplicaId, ReplicatedVideoDb, ShardedAnswer, ShardedVideoDb};
-use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_picture::{CacheConfig, LiveConfig, LiveVideoDb, PictureSystem, ScoringConfig};
 use simvid_relal::{translate, Database};
 use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
+use simvid_workload::churn::{
+    build_churn, run_schedule_churn, run_schedule_churn_concurrent, ChurnConfig,
+};
 use simvid_workload::randomlists::{generate, ListGenConfig};
 use simvid_workload::replica::{run_schedule_replicated, run_schedule_replicated_concurrent};
 use simvid_workload::serve::{self, RequestLimits, RequestOutcome, ServeConfig};
@@ -2145,6 +2148,309 @@ pub fn format_list_table(title: &str, tuples: &[(u32, u32, f64)]) -> String {
     out
 }
 
+/// FNV-1a (64-bit) over a churn run: the serving epoch of each request is
+/// folded in before its ranked hits, so the digest pins both *what* every
+/// request answered and *at which corpus version* it answered — the churn
+/// twin of [`sharded_results_digest`]. Equal for the sequential and
+/// concurrent runners at every worker count, and equal to a from-scratch
+/// rebuild replayed to each served epoch.
+#[must_use]
+pub fn churn_results_digest(results: &[(u64, Vec<ShardHit>)]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(results.len() as u64);
+    for (epoch, request) in results {
+        eat(*epoch);
+        eat(request.len() as u64);
+        for hit in request {
+            eat(u64::from(hit.video.0));
+            eat(u64::from(hit.pos));
+            eat(hit.sim.act.to_bits());
+            eat(hit.sim.max.to_bits());
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// One measurement of the live-ingestion serving path: a Zipf schedule
+/// interleaved with mutation batches through [`run_schedule_churn`] and
+/// its concurrent twin, oracle-checked request-for-request against a
+/// from-scratch rebuild at every served epoch, with the warm-cache
+/// retention of each incremental invalidation recorded.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeChurnRow {
+    /// Videos in the base corpus (epoch 0).
+    pub videos: u32,
+    /// Shots per video.
+    pub shots: u32,
+    /// Requests in the schedule.
+    pub requests: usize,
+    /// `k` of each corpus-wide top-`k` request.
+    pub k: usize,
+    /// Shard count of the live partition.
+    pub shards: u32,
+    /// Replica count per video.
+    pub replicas: u32,
+    /// Mutation batches applied during the schedule.
+    pub batches: usize,
+    /// Worker threads of the concurrent fan-out.
+    pub workers: usize,
+    /// Distinct corpus epochs the schedule served.
+    pub epochs: usize,
+    /// Wall time of the sequential runner, applies included.
+    pub sequential: Duration,
+    /// Wall time of the concurrent runner, applies included.
+    pub concurrent: Duration,
+    /// Cached tables dropped by mutations (`cache.invalidation.evicted`):
+    /// resident tables of exactly the updated/removed videos.
+    pub evicted: u64,
+    /// Cached tables that survived mutations
+    /// (`cache.invalidation.retained`): resident tables of every video a
+    /// batch did not touch — the incremental-invalidation win.
+    pub retained: u64,
+    /// Whether every request was bit-identical to a from-scratch rebuild
+    /// of the corpus at its served epoch (asserted, recorded for the
+    /// bench gate).
+    pub digest_matches_rebuild: bool,
+    /// Whether the concurrent runner matched the sequential runner
+    /// epoch-for-epoch and bit-for-bit (asserted, recorded).
+    pub digest_matches_sequential: bool,
+    /// Whether the mutation-free prefix matched a frozen partition of the
+    /// untouched base store (asserted, recorded).
+    pub prefix_matches_frozen: bool,
+    /// [`churn_results_digest`] of the sequential run.
+    pub results_digest: String,
+    /// [`sharded_results_digest`] of the mutation-free prefix — equal to
+    /// the same prefix served by a frozen epoch-0 partition.
+    pub prefix_digest: String,
+}
+
+impl ServeChurnRow {
+    /// Fraction of cached tables that survived the schedule's mutations:
+    /// `retained / (retained + evicted)`, the warm-cache retention ratio.
+    #[must_use]
+    pub fn retention_ratio(&self) -> f64 {
+        let total = self.retained + self.evicted;
+        if total == 0 {
+            return 1.0;
+        }
+        self.retained as f64 / total as f64
+    }
+}
+
+/// Runs the churn workload through the sequential runner and the
+/// concurrent executor, asserting three bit-identity contracts: every
+/// request matches a **from-scratch rebuild** of the corpus replayed to
+/// its served epoch; the concurrent runner matches the sequential runner
+/// epoch-for-epoch; and the mutation-free prefix matches a frozen
+/// partition of the untouched base store. The
+/// `cache.invalidation.{evicted,retained}` deltas of the sequential run
+/// land in the row.
+///
+/// # Panics
+///
+/// Panics if any contract fails or any request errors — the workload is
+/// fault-free, so either indicates an invalidation bug (exactly what the
+/// CI churn gate exists to catch).
+#[must_use]
+pub fn measure_serve_churn(cfg: &ChurnConfig, registry: &Arc<Registry>) -> ServeChurnRow {
+    let w = build_churn(cfg);
+    let depth = w.depth();
+    let live_cfg = LiveConfig {
+        shards: cfg.shards,
+        replicas: cfg.replicas,
+        scoring: ScoringConfig::default(),
+        engine: EngineConfig::default(),
+        cache: CacheConfig::with_capacity(cfg.cache_capacity),
+    };
+    let db = LiveVideoDb::new(w.store.clone(), live_cfg.clone(), registry.clone());
+    // Prime: one pass over the pool warms the epoch-0 caches, so the
+    // retention counters measure a steady-state server, not a cold one.
+    {
+        let pin = db.pin();
+        for q in &w.queries {
+            let _ = pin
+                .top_k(q, depth, w.k)
+                .expect("warm-up churn request evaluates");
+        }
+    }
+    let evicted_ctr = registry.counter("cache.invalidation.evicted");
+    let retained_ctr = registry.counter("cache.invalidation.retained");
+    let (evicted_before, retained_before) = (evicted_ctr.get(), retained_ctr.get());
+    let seq = run_schedule_churn(&w, &db);
+    let evicted = evicted_ctr.get() - evicted_before;
+    let retained = retained_ctr.get() - retained_before;
+    assert_eq!(seq.complete(), w.schedule.len(), "fault-free run degraded");
+    let seq_pairs: Vec<(u64, Vec<ShardHit>)> = seq
+        .answers
+        .iter()
+        .map(|(e, a)| (*e, a.ranked().to_vec()))
+        .collect();
+
+    // Oracle: a from-scratch rebuild (frozen partition of the replayed
+    // store) at every epoch the schedule served, on a scratch registry so
+    // the serving counters stay attributable to the live path.
+    let scratch = Arc::new(Registry::new());
+    let replayed: Vec<(u64, _)> = seq
+        .epochs()
+        .into_iter()
+        .map(|e| (e, db.replay_to(CorpusEpoch(e))))
+        .collect();
+    let frozen: Vec<(u64, _)> = replayed
+        .iter()
+        .map(|(e, store)| {
+            (
+                *e,
+                ShardedVideoDb::partition(
+                    store,
+                    cfg.shards,
+                    &ScoringConfig::default(),
+                    EngineConfig::default(),
+                    CacheConfig::with_capacity(cfg.cache_capacity),
+                    scratch.clone(),
+                ),
+            )
+        })
+        .collect();
+    for (r, (epoch, hits)) in seq_pairs.iter().enumerate() {
+        let oracle = frozen
+            .iter()
+            .find(|(e, _)| e == epoch)
+            .expect("every served epoch has a rebuild")
+            .1
+            .top_k(&w.queries[w.schedule[r]], depth, w.k)
+            .expect("rebuild oracle evaluates");
+        assert_eq!(
+            hits.as_slice(),
+            oracle.ranked(),
+            "request {r} at epoch {epoch} must match a from-scratch rebuild"
+        );
+    }
+
+    // The mutation-free prefix against a frozen partition of the base
+    // store that never saw a mutation.
+    let prefix = w.mutation_free_prefix();
+    let frozen_base = ShardedVideoDb::partition(
+        &w.store,
+        cfg.shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::with_capacity(cfg.cache_capacity),
+        scratch.clone(),
+    );
+    let prefix_ranked: Vec<Vec<ShardHit>> = w.schedule[..prefix]
+        .iter()
+        .map(|&q| {
+            frozen_base
+                .top_k(&w.queries[q], depth, w.k)
+                .expect("frozen prefix request evaluates")
+                .ranked()
+                .to_vec()
+        })
+        .collect();
+    let seq_prefix: Vec<Vec<ShardHit>> =
+        seq_pairs[..prefix].iter().map(|(_, h)| h.clone()).collect();
+    assert_eq!(
+        seq_prefix, prefix_ranked,
+        "the mutation-free prefix must match the untouched frozen store"
+    );
+
+    // Concurrent twin on its own live store (same base, fresh caches and
+    // registry), bit-identical at the configured worker count.
+    let conc_db = LiveVideoDb::new(w.store.clone(), live_cfg, Arc::new(Registry::new()));
+    {
+        let pin = conc_db.pin();
+        for q in &w.queries {
+            let _ = pin
+                .top_k(q, depth, w.k)
+                .expect("warm-up churn request evaluates");
+        }
+    }
+    let exec = serve::ExecutorConfig {
+        workers: cfg.workers.max(1),
+        queue_depth: cfg.queue_depth.max(1),
+    };
+    let conc = run_schedule_churn_concurrent(&w, &conc_db, &exec);
+    let conc_pairs: Vec<(u64, Vec<ShardHit>)> = conc
+        .answers
+        .iter()
+        .map(|(e, a)| (*e, a.ranked().to_vec()))
+        .collect();
+    assert_eq!(
+        conc_pairs, seq_pairs,
+        "concurrent churn must be bit-identical to the sequential runner"
+    );
+
+    ServeChurnRow {
+        videos: cfg.videos,
+        shots: cfg.shots,
+        requests: w.schedule.len(),
+        k: w.k,
+        shards: cfg.shards,
+        replicas: cfg.replicas,
+        batches: w.batches.len(),
+        workers: exec.workers,
+        epochs: seq.epochs().len(),
+        sequential: seq.elapsed,
+        concurrent: conc.elapsed,
+        evicted,
+        retained,
+        digest_matches_rebuild: true,
+        digest_matches_sequential: true,
+        prefix_matches_frozen: true,
+        results_digest: churn_results_digest(&seq_pairs),
+        prefix_digest: sharded_results_digest(&prefix_ranked),
+    }
+}
+
+/// Formats the live-ingestion churn comparison.
+#[must_use]
+pub fn format_serve_churn_table(title: &str, rows: &[ServeChurnRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>4}  {:>8}  {:>6}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>6}",
+        "Shards",
+        "Repl",
+        "Requests",
+        "Epochs",
+        "Seq (s)",
+        "Conc (s)",
+        "Evicted",
+        "Retained",
+        "Retain%",
+        "Oracle"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>4}  {:>8}  {:>6}  {:>10.4}  {:>10.4}  {:>8}  {:>8}  {:>6.1}%  {:>6}",
+            r.shards,
+            r.replicas,
+            r.requests,
+            r.epochs,
+            r.sequential.as_secs_f64(),
+            r.concurrent.as_secs_f64(),
+            r.evicted,
+            r.retained,
+            100.0 * r.retention_ratio(),
+            if r.digest_matches_rebuild && r.digest_matches_sequential && r.prefix_matches_frozen {
+                "match"
+            } else {
+                "DRIFT"
+            },
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2200,6 +2506,26 @@ mod tests {
         );
         let s = format_chaos_table("Chaos", &[row]);
         assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn churn_contract_holds_on_a_small_schedule() {
+        let cfg = ChurnConfig {
+            videos: 4,
+            shots: 10,
+            requests: 12,
+            batches: 2,
+            workers: 2,
+            queue_depth: 4,
+            ..ChurnConfig::default()
+        };
+        let registry = Arc::new(Registry::new());
+        let row = measure_serve_churn(&cfg, &registry);
+        assert!(row.epochs > 1, "the schedule must cross a mutation");
+        assert!(row.retained > 0, "untouched videos must keep warm caches");
+        assert!(row.digest_matches_rebuild);
+        let s = format_serve_churn_table("Churn", &[row]);
+        assert!(s.contains("match"));
     }
 
     #[test]

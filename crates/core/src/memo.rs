@@ -22,7 +22,7 @@ use crate::{SeqContext, SimilarityTable};
 use simvid_htl::{Formula, FormulaId};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A memo key: the subformula's interned id plus the sequence context it
@@ -31,18 +31,42 @@ use std::sync::{Arc, Mutex};
 /// window.
 pub type MemoKey = (FormulaId, u8, u32, u32);
 
+/// One shard's map: values carry the generation they were stored under so
+/// stale entries can be filtered without walking the map on `clear`.
+type MemoShard = Mutex<HashMap<MemoKey, (u64, Arc<SimilarityTable>)>>;
+
 /// Number of independent shards. A small power of two: enough to keep the
 /// engine's bounded thread fan-out (≤ available cores) off each other's
 /// locks, cheap enough to clear per top-level evaluation.
 const SHARDS: usize = 8;
 
+/// Physical entries (live + stale) above which a logical
+/// [`clear`](MemoCache::clear) also reclaims memory by dropping the maps.
+/// Below it, stale rows are left in place and filtered by generation —
+/// clears between the top-level evaluations of a serving loop become O(1).
+const PHYSICAL_CLEAR_THRESHOLD: usize = 4096;
+
 /// A thread-safe, sharded cache of evaluated similarity tables.
+///
+/// Entries are **generation-tagged**: each value carries the cache
+/// generation it was stored under, and [`clear`](MemoCache::clear) bumps
+/// the generation instead of walking every shard. A stale entry is
+/// invisible to [`lookup`](MemoCache::lookup) the instant the generation
+/// moves — the same invalidate-by-tag discipline the live-ingestion layer
+/// uses for per-video caches — and physical memory is reclaimed lazily
+/// once enough stale rows pile up.
 #[derive(Debug)]
 pub struct MemoCache {
-    shards: [Mutex<HashMap<MemoKey, Arc<SimilarityTable>>>; SHARDS],
-    /// Total entries across shards, maintained relaxed — only used for the
-    /// empty fast path and statistics, never for synchronization.
+    shards: [MemoShard; SHARDS],
+    /// Current generation; entries tagged with an older one are stale.
+    generation: AtomicU64,
+    /// Live (current-generation) entries across shards, maintained relaxed —
+    /// only used for the empty fast path and statistics, never for
+    /// synchronization.
     entries: AtomicUsize,
+    /// Physical entries across shards, live and stale alike. Drives lazy
+    /// memory reclamation in `clear`.
+    physical: AtomicUsize,
     hasher: RandomState,
 }
 
@@ -50,7 +74,9 @@ impl Default for MemoCache {
     fn default() -> MemoCache {
         MemoCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            generation: AtomicU64::new(0),
             entries: AtomicUsize::new(0),
+            physical: AtomicUsize::new(0),
             hasher: RandomState::new(),
         }
     }
@@ -71,52 +97,80 @@ impl MemoCache {
         (FormulaId::of(f), ctx.depth, ctx.lo, ctx.hi)
     }
 
-    fn shard(&self, key: &MemoKey) -> &Mutex<HashMap<MemoKey, Arc<SimilarityTable>>> {
+    fn shard(&self, key: &MemoKey) -> &Mutex<HashMap<MemoKey, (u64, Arc<SimilarityTable>)>> {
         &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
     }
 
-    /// The cached table for a key, if present. A hit bumps a reference
-    /// count; the table itself is never copied.
+    /// The cached table for a key, if present and current-generation. A
+    /// hit bumps a reference count; the table itself is never copied.
     #[must_use]
     pub fn lookup(&self, key: &MemoKey) -> Option<Arc<SimilarityTable>> {
-        // Lock-free fast path: nothing stored anywhere yet.
+        // Lock-free fast path: nothing live anywhere.
         if self.entries.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        self.shard(key).lock().expect("memo lock").get(key).cloned()
+        let gen = self.generation.load(Ordering::Relaxed);
+        self.shard(key)
+            .lock()
+            .expect("memo lock")
+            .get(key)
+            .and_then(|(g, t)| (*g == gen).then(|| Arc::clone(t)))
     }
 
-    /// Stores an evaluated table. Later stores for the same key win (they
-    /// hold the same value: evaluation is deterministic).
+    /// Stores an evaluated table under the current generation. Later
+    /// stores for the same key win (they hold the same value: evaluation
+    /// is deterministic).
     pub fn store(&self, key: MemoKey, table: Arc<SimilarityTable>) {
+        let gen = self.generation.load(Ordering::Relaxed);
         let prev = self
             .shard(&key)
             .lock()
             .expect("memo lock")
-            .insert(key, table);
-        if prev.is_none() {
-            self.entries.fetch_add(1, Ordering::Relaxed);
+            .insert(key, (gen, table));
+        match prev {
+            None => {
+                self.physical.fetch_add(1, Ordering::Relaxed);
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+            // Overwrote a stale row: physical count unchanged, one more
+            // live entry.
+            Some((g, _)) if g != gen => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(_) => {}
         }
     }
 
-    /// Number of cached evaluations.
+    /// Number of live cached evaluations.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.load(Ordering::Relaxed)
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds no live entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every cached entry.
+    /// The current generation, bumped once per [`clear`](MemoCache::clear).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every cached entry by advancing the generation — O(1)
+    /// unless enough stale rows have accumulated to be worth dropping, in
+    /// which case the maps are physically cleared too.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("memo lock").clear();
-        }
+        self.generation.fetch_add(1, Ordering::Relaxed);
         self.entries.store(0, Ordering::Relaxed);
+        if self.physical.load(Ordering::Relaxed) > PHYSICAL_CLEAR_THRESHOLD {
+            for shard in &self.shards {
+                shard.lock().expect("memo lock").clear();
+            }
+            self.physical.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -201,5 +255,34 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert!(cache.lookup(&key).is_none());
+    }
+
+    #[test]
+    fn clear_is_a_generation_bump_and_stores_resurrect() {
+        let cache = MemoCache::new();
+        let f = simvid_htl::parse("s()").expect("parse");
+        let key = MemoCache::key(
+            &f,
+            SeqContext {
+                depth: 1,
+                lo: 0,
+                hi: 3,
+            },
+        );
+        let table = Arc::new(SimilarityTable::from_list(
+            SimilarityList::from_tuples(vec![(1, 2, 1.0)], 1.0).unwrap(),
+        ));
+        assert_eq!(cache.generation(), 0);
+        cache.store(key, Arc::clone(&table));
+        cache.clear();
+        assert_eq!(cache.generation(), 1);
+        // The stale row (still physically present below the reclamation
+        // threshold) is invisible.
+        assert!(cache.lookup(&key).is_none());
+        assert!(cache.is_empty());
+        // Re-storing under the new generation makes it live again.
+        cache.store(key, Arc::clone(&table));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key).is_some());
     }
 }

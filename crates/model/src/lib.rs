@@ -52,6 +52,8 @@ pub use error::ModelError;
 pub use ids::{Level, ObjectId, SegmentId, VideoId};
 pub use meta::{Relationship, SegmentMeta};
 pub use object::{ObjectInfo, ObjectInstance};
-pub use store::{GlobalSegmentRef, VideoStore};
+pub use store::{
+    AppliedBatch, CorpusEpoch, CorpusError, CorpusLog, CorpusOp, GlobalSegmentRef, VideoStore,
+};
 pub use tree::{SegmentNode, VideoTree};
 pub use value::AttrValue;

@@ -100,6 +100,10 @@ impl<K: Hash + Eq + Clone, V: Clone> Lru<K, V> {
         self.tick
     }
 
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
     fn get(&mut self, key: &K) -> Option<V> {
         if !self.map.contains_key(key) {
             return None;
@@ -232,6 +236,13 @@ impl AtomicCache {
 
     pub(crate) fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// Number of scored tables currently resident — the warm state the
+    /// live-ingestion layer accounts as retained or evicted when a
+    /// snapshot swap drops or keeps this cache.
+    pub(crate) fn resident_tables(&self) -> usize {
+        self.tables.lock().expect("table cache lock").len()
     }
 
     /// The scored table for `(id, ctx)`, computing and caching it on

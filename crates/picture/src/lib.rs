@@ -49,6 +49,7 @@
 mod cache;
 mod config;
 mod index;
+mod live;
 mod provider;
 mod query;
 mod replica;
@@ -59,6 +60,7 @@ mod video_db;
 pub use cache::CacheConfig;
 pub use config::ScoringConfig;
 pub use index::LevelIndex;
+pub use live::{ApplyError, LiveConfig, LivePin, LiveVideoDb};
 pub use provider::PictureSystem;
 pub use query::{AtomicQuery, Conjunct, ConjunctKind, QueryError};
 pub use replica::{ReplicaId, ReplicaTrace, ReplicatedVideoDb};

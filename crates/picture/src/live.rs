@@ -1,0 +1,763 @@
+//! Live corpus ingestion: epoch-versioned snapshots with incremental
+//! invalidation.
+//!
+//! Every serving layer below this one assumes a frozen
+//! [`VideoStore`]. [`LiveVideoDb`] lifts that restriction with
+//! **snapshot isolation**: the store absorbs [`CorpusOp`] batches
+//! atomically (each successful [`LiveVideoDb::apply`] advances the
+//! [`CorpusEpoch`] by one), and every query runs against an immutable
+//! [`LivePin`] — an `Arc`'d snapshot of the whole corpus at one epoch.
+//! A query pinned before a batch sees the corpus entirely-before it;
+//! one pinned after sees it entirely-after; scatter-gather can never mix
+//! epochs because a snapshot *is* one epoch.
+//!
+//! Invalidation is **incremental at per-video granularity**. Each live
+//! video is a [`LiveMember`]: its tree (`Arc`-shared into snapshots) plus
+//! `R` replica [`PictureSystem`]s whose atomic caches, memo state and
+//! singleflight survive for as long as the member does. Applying a batch
+//! builds the next snapshot *aside*, reusing the member `Arc` for every
+//! untouched video — their warm caches carry over bit-for-bit — and
+//! building fresh members (new cache generation, empty caches) only for
+//! ingested and updated videos. Removed and replaced members simply drop
+//! with the old snapshot once the last pinned query releases it. The
+//! `cache.invalidation.evicted` / `cache.invalidation.retained` counters
+//! account the warm tables destroyed vs. preserved by each swap, so "we
+//! invalidate exactly the mutated videos" is measurable, not aspirational.
+//!
+//! Failure atomicity: a batch either commits in full or leaves the store,
+//! log and snapshot untouched at the pre-batch epoch. The rebuild of
+//! fresh members runs *before* anything is published, and an injected
+//! fault (see [`LiveVideoDb::with_apply_faults`]) aborts the whole apply
+//! with [`ApplyError::Injected`] — the chaos suite verifies digest
+//! equality with an untouched store.
+//!
+//! Soundness under churn: a degraded answer's `missing_bound` is the
+//! formula-level maximum similarity, which depends only on the query —
+//! never on which videos exist — so the bound a pinned query reports is
+//! sound at its own epoch regardless of batches applied concurrently.
+
+use crate::shard::{
+    normalize_query, shard_of, ShardId, ShardedAnswer, ShardedDegraded, ShardedTopK,
+};
+use crate::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_core::{merge_shard_streams, Engine, EngineConfig, EngineError, ShardHit, ShardStream};
+use simvid_htl::Formula;
+use simvid_model::{
+    AppliedBatch, CorpusEpoch, CorpusError, CorpusLog, CorpusOp, VideoId, VideoStore, VideoTree,
+};
+use simvid_obs::Registry;
+use simvid_resilience::{failover_order, Fault, FaultPlan};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Topology and tuning of a [`LiveVideoDb`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of shards the corpus hash-partitions into.
+    pub shards: u32,
+    /// Number of replica [`PictureSystem`]s per video.
+    pub replicas: u32,
+    /// Similarity scoring configuration, shared by every provider.
+    pub scoring: ScoringConfig,
+    /// Engine configuration for per-member evaluations.
+    pub engine: EngineConfig,
+    /// Atomic-cache configuration per provider.
+    pub cache: CacheConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            shards: 1,
+            replicas: 1,
+            scoring: ScoringConfig::default(),
+            engine: EngineConfig::default(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One live video: its shared tree plus `R` replica providers. The
+/// member — and with it every warm cache — is reused by reference across
+/// snapshots until the video's content changes.
+struct LiveMember {
+    video: VideoId,
+    /// Unique per (video, content) pair: a fresh member gets a fresh
+    /// generation, so stale cached state is unreachable by construction.
+    generation: u64,
+    tree: Arc<VideoTree>,
+    replicas: Vec<PictureSystem<'static>>,
+}
+
+impl LiveMember {
+    /// Warm scored tables across this member's replicas.
+    fn resident_tables(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|p| p.resident_tables() as u64)
+            .sum()
+    }
+}
+
+/// An immutable view of the whole corpus at one epoch.
+struct LiveSnapshot {
+    epoch: CorpusEpoch,
+    replicas: u32,
+    shards: Vec<Vec<Arc<LiveMember>>>,
+}
+
+/// Why [`LiveVideoDb::apply`] rejected a batch. Either way the store is
+/// untouched: same contents, same snapshot, same (pre-batch) epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// Store validation rejected the batch (unknown or removed id).
+    Rejected(CorpusError),
+    /// An injected fault (chaos testing) aborted the snapshot rebuild
+    /// before anything was published.
+    Injected {
+        /// The video whose member rebuild the fault landed on.
+        video: VideoId,
+        /// The injected fault, rendered.
+        fault: String,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Rejected(e) => write!(f, "batch rejected: {e}"),
+            ApplyError::Injected { video, fault } => {
+                write!(
+                    f,
+                    "injected fault during apply of video {}: {fault}",
+                    video.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+struct Inner {
+    store: VideoStore,
+    log: CorpusLog,
+    snapshot: Arc<LiveSnapshot>,
+    next_generation: u64,
+}
+
+/// A mutable, epoch-versioned corpus serving scatter-gather top-`k` with
+/// per-video incremental invalidation. See the module docs for the
+/// isolation and invalidation model.
+pub struct LiveVideoDb {
+    cfg: LiveConfig,
+    registry: Arc<Registry>,
+    inner: Mutex<Inner>,
+    evicted: Arc<simvid_obs::Counter>,
+    retained: Arc<simvid_obs::Counter>,
+    epoch_gauge: Arc<simvid_obs::Gauge>,
+    apply_faults: Option<FaultPlan>,
+}
+
+impl LiveVideoDb {
+    /// Takes ownership of `store` (at whatever epoch it is at) and builds
+    /// the initial snapshot; the internal [`CorpusLog`] starts here, so
+    /// [`LiveVideoDb::replay_to`] can rebuild any epoch from this one on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` or `cfg.replicas` is zero.
+    #[must_use]
+    pub fn new(store: VideoStore, cfg: LiveConfig, registry: Arc<Registry>) -> Self {
+        assert!(cfg.shards > 0, "shard count must be positive");
+        assert!(cfg.replicas > 0, "replica count must be positive");
+        let epoch = store.epoch();
+        let mut next_generation = 0;
+        let mut shards: Vec<Vec<Arc<LiveMember>>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        for (video, tree) in store.iter() {
+            let member = build_member(
+                &cfg,
+                &registry,
+                video,
+                Arc::new(tree.clone()),
+                epoch,
+                next_generation,
+            );
+            next_generation += 1;
+            shards[shard_of(video, cfg.shards).0 as usize].push(member);
+        }
+        let snapshot = Arc::new(LiveSnapshot {
+            epoch,
+            replicas: cfg.replicas,
+            shards,
+        });
+        let epoch_gauge = registry.gauge("corpus.epoch");
+        epoch_gauge.set(epoch.0 as i64);
+        LiveVideoDb {
+            evicted: registry.counter("cache.invalidation.evicted"),
+            retained: registry.counter("cache.invalidation.retained"),
+            epoch_gauge,
+            inner: Mutex::new(Inner {
+                log: CorpusLog::starting_from(store.clone()),
+                store,
+                snapshot,
+                next_generation,
+            }),
+            cfg,
+            registry,
+            apply_faults: None,
+        }
+    }
+
+    /// Arms fault injection inside [`LiveVideoDb::apply`]: before each
+    /// fresh member is built, the plan is consulted with key
+    /// `apply/v<id>` at the batch's target epoch. A returned fault aborts
+    /// the whole batch pre-publication (all-or-nothing).
+    #[must_use]
+    pub fn with_apply_faults(mut self, plan: FaultPlan) -> Self {
+        self.apply_faults = Some(plan);
+        self
+    }
+
+    /// The metrics registry shared by every provider.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The serving topology and tuning.
+    #[must_use]
+    pub fn config(&self) -> &LiveConfig {
+        &self.cfg
+    }
+
+    /// The current (head) corpus epoch.
+    #[must_use]
+    pub fn epoch(&self) -> CorpusEpoch {
+        self.inner.lock().expect("live store lock").store.epoch()
+    }
+
+    /// Rebuilds the store at `epoch` from scratch by replaying the
+    /// mutation log — the differential-testing oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` predates this db's construction or exceeds the
+    /// head epoch.
+    #[must_use]
+    pub fn replay_to(&self, epoch: CorpusEpoch) -> VideoStore {
+        self.inner
+            .lock()
+            .expect("live store lock")
+            .log
+            .replay_to(epoch)
+    }
+
+    /// Pins the current snapshot: a cheap `Arc` clone under a brief lock.
+    /// Queries on the pin see exactly the pinned epoch however many
+    /// batches are applied concurrently.
+    #[must_use]
+    pub fn pin(&self) -> LivePin {
+        let inner = self.inner.lock().expect("live store lock");
+        LivePin {
+            snapshot: Arc::clone(&inner.snapshot),
+            engine_cfg: self.cfg.engine,
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
+    /// Applies a mutation batch atomically: validates it, rebuilds the
+    /// affected members aside, and only then publishes the new snapshot
+    /// and epoch. Untouched videos keep their member — and every warm
+    /// cache — by reference; `cache.invalidation.retained` accounts their
+    /// surviving tables, `cache.invalidation.evicted` the tables dropped
+    /// with updated/removed members.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplyError::Rejected`] when validation fails and
+    /// [`ApplyError::Injected`] when an armed [`FaultPlan`] fires; both
+    /// leave the store at the pre-batch epoch with the old snapshot
+    /// intact.
+    pub fn apply(&self, ops: &[CorpusOp]) -> Result<AppliedBatch, ApplyError> {
+        let mut inner = self.inner.lock().expect("live store lock");
+        let mut staged = inner.store.clone();
+        let batch = staged.apply(ops).map_err(ApplyError::Rejected)?;
+        let epoch = batch.epoch;
+
+        let reuse: HashMap<u32, &Arc<LiveMember>> = inner
+            .snapshot
+            .shards
+            .iter()
+            .flatten()
+            .map(|m| (m.video.0, m))
+            .collect();
+        let touched: HashSet<u32> = batch
+            .invalidated()
+            .chain(batch.ingested.iter().copied())
+            .map(|v| v.0)
+            .collect();
+
+        let mut next_generation = inner.next_generation;
+        let mut shards: Vec<Vec<Arc<LiveMember>>> =
+            (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut retained = 0u64;
+        for (video, tree) in staged.iter() {
+            let member = match reuse.get(&video.0) {
+                Some(m) if !touched.contains(&video.0) => {
+                    retained += m.resident_tables();
+                    Arc::clone(m)
+                }
+                _ => {
+                    if let Some(plan) = &self.apply_faults {
+                        match plan.decide(epoch.0, &format!("apply/v{}", video.0), 0) {
+                            Some(Fault::Delay(d)) => std::thread::sleep(d),
+                            Some(f) => {
+                                // Nothing published yet: store, log and
+                                // snapshot are all pre-batch.
+                                return Err(ApplyError::Injected {
+                                    video,
+                                    fault: format!("{f:?}"),
+                                });
+                            }
+                            None => {}
+                        }
+                    }
+                    let gen = next_generation;
+                    next_generation += 1;
+                    build_member(
+                        &self.cfg,
+                        &self.registry,
+                        video,
+                        Arc::new(tree.clone()),
+                        epoch,
+                        gen,
+                    )
+                }
+            };
+            shards[shard_of(video, self.cfg.shards).0 as usize].push(member);
+        }
+        let evicted: u64 = batch
+            .invalidated()
+            .filter_map(|v| reuse.get(&v.0))
+            .map(|m| m.resident_tables())
+            .sum();
+
+        // Point of no return: publish everything together.
+        inner.store = staged;
+        inner.log.record(ops);
+        inner.snapshot = Arc::new(LiveSnapshot {
+            epoch,
+            replicas: self.cfg.replicas,
+            shards,
+        });
+        inner.next_generation = next_generation;
+        self.evicted.add(evicted);
+        self.retained.add(retained);
+        self.epoch_gauge.set(epoch.0 as i64);
+        Ok(batch)
+    }
+}
+
+fn build_member(
+    cfg: &LiveConfig,
+    registry: &Arc<Registry>,
+    video: VideoId,
+    tree: Arc<VideoTree>,
+    epoch: CorpusEpoch,
+    generation: u64,
+) -> Arc<LiveMember> {
+    let replicas = (0..cfg.replicas)
+        .map(|_| {
+            PictureSystem::shared(
+                Arc::clone(&tree),
+                cfg.scoring.clone(),
+                cfg.cache,
+                Arc::clone(registry),
+            )
+            .with_provenance(epoch, generation)
+        })
+        .collect();
+    Arc::new(LiveMember {
+        video,
+        generation,
+        tree,
+        replicas,
+    })
+}
+
+/// A pinned, immutable view of the corpus at one epoch. All retrieval
+/// runs here; the pin keeps its snapshot (trees, providers, warm caches)
+/// alive until dropped, so in-flight queries are never torn by an apply.
+#[derive(Clone)]
+pub struct LivePin {
+    snapshot: Arc<LiveSnapshot>,
+    engine_cfg: EngineConfig,
+    registry: Arc<Registry>,
+}
+
+impl LivePin {
+    /// The epoch this pin serves.
+    #[must_use]
+    pub fn epoch(&self) -> CorpusEpoch {
+        self.snapshot.epoch
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> u32 {
+        self.snapshot.shards.len() as u32
+    }
+
+    /// Number of live videos in this snapshot.
+    #[must_use]
+    pub fn video_count(&self) -> usize {
+        self.snapshot.shards.iter().map(Vec::len).sum()
+    }
+
+    /// The cache generation of a live video's member, or `None` if the
+    /// video is absent from this snapshot. The generation changes exactly
+    /// when the video's content does.
+    #[must_use]
+    pub fn generation_of(&self, video: VideoId) -> Option<u64> {
+        self.member(video).map(|m| m.generation)
+    }
+
+    /// The primary-replica provider of a live video — the cache the
+    /// singleflight storm tests probe directly.
+    #[must_use]
+    pub fn provider(&self, video: VideoId) -> Option<&PictureSystem<'static>> {
+        self.member(video).map(|m| &m.replicas[0])
+    }
+
+    fn member(&self, video: VideoId) -> Option<&Arc<LiveMember>> {
+        let shard = shard_of(video, self.shard_count());
+        self.snapshot.shards[shard.0 as usize]
+            .iter()
+            .find(|m| m.video == video)
+    }
+
+    /// Evaluates `query` on one shard, walking each member's replicas in
+    /// [`failover_order`] (seeded by this pin's epoch) past degradable
+    /// failures. All replicas failing surfaces as the degradable
+    /// [`EngineError::ReplicasExhausted`], which
+    /// [`LivePin::gather`] turns into a sound degraded answer.
+    ///
+    /// # Errors
+    ///
+    /// Any non-degradable [`EngineError`], or [`EngineError::ReplicasExhausted`]
+    /// when every replica of the shard failed degradably.
+    pub fn eval_shard(
+        &self,
+        shard: ShardId,
+        query: &Formula,
+        depth: u8,
+        k: usize,
+    ) -> Result<ShardStream, EngineError> {
+        let normalized = normalize_query(query)?;
+        self.eval_shard_normalized(shard, normalized.as_ref(), depth, k)
+    }
+
+    fn eval_shard_normalized(
+        &self,
+        shard: ShardId,
+        query: &Formula,
+        depth: u8,
+        k: usize,
+    ) -> Result<ShardStream, EngineError> {
+        let order = failover_order(self.snapshot.epoch.0, shard.0, self.snapshot.replicas);
+        let mut last: Option<EngineError> = None;
+        for ridx in order {
+            match self.eval_shard_on(shard, ridx as usize, query, depth, k) {
+                Ok(stream) => return Ok(stream),
+                Err(e) if e.is_degradable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::ReplicasExhausted(format!(
+            "all {} replicas of shard {} failed (last: {})",
+            self.snapshot.replicas,
+            shard,
+            last.map_or_else(|| "none tried".to_owned(), |e| e.to_string()),
+        )))
+    }
+
+    fn eval_shard_on(
+        &self,
+        shard: ShardId,
+        ridx: usize,
+        query: &Formula,
+        depth: u8,
+        k: usize,
+    ) -> Result<ShardStream, EngineError> {
+        let mut hits: Vec<ShardHit> = Vec::new();
+        for m in &self.snapshot.shards[shard.0 as usize] {
+            if depth >= m.tree.depth() {
+                continue;
+            }
+            let provider = &m.replicas[ridx];
+            let engine = Engine::with_registry(
+                provider,
+                &m.tree,
+                self.engine_cfg,
+                Arc::clone(&self.registry),
+            );
+            for seg in engine.top_k_closed(query, depth, k)? {
+                hits.push(ShardHit {
+                    video: m.video,
+                    pos: seg.pos,
+                    sim: seg.sim,
+                });
+            }
+        }
+        Ok(ShardStream::new(shard.0, hits))
+    }
+
+    /// Merges per-shard outcomes exactly as
+    /// [`crate::ShardedVideoDb::gather`] does — same counters
+    /// (`shard.outcome.*`, `shard.candidates_pruned`,
+    /// `shard.early_terminated`), same `missing_bound` construction — so
+    /// a live corpus is accounted identically to a frozen one.
+    ///
+    /// # Errors
+    ///
+    /// The first non-degradable shard error.
+    pub fn gather(
+        &self,
+        per_shard: Vec<(ShardId, Result<ShardStream, EngineError>)>,
+        k: usize,
+    ) -> Result<ShardedAnswer, EngineError> {
+        let ok = self.registry.counter("shard.outcome.ok");
+        let failed_ctr = self.registry.counter("shard.outcome.failed");
+        let pruned = self.registry.counter("shard.candidates_pruned");
+        let early = self.registry.counter("shard.early_terminated");
+        let mut streams: Vec<ShardStream> = Vec::with_capacity(per_shard.len());
+        let mut failed: Vec<(ShardId, String)> = Vec::new();
+        for (id, outcome) in per_shard {
+            match outcome {
+                Ok(stream) => {
+                    ok.inc();
+                    streams.push(stream);
+                }
+                Err(e) if e.is_degradable() => {
+                    failed_ctr.inc();
+                    failed.push((id, e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The formula-level maximum similarity is video-independent —
+        // in particular, independent of the corpus epoch — so any
+        // surviving hit's `max` soundly bounds anything a failed shard
+        // could have contributed, churn or no churn.
+        let missing_bound = streams
+            .iter()
+            .find_map(|s| s.hits.first().map(|h| h.sim.max))
+            .unwrap_or(f64::INFINITY);
+        let (ranked, merge) = merge_shard_streams(&streams, k);
+        pruned.add(merge.candidates_pruned);
+        early.add(merge.early_terminated);
+        if failed.is_empty() {
+            Ok(ShardedAnswer::Complete(ShardedTopK { ranked, merge }))
+        } else {
+            Ok(ShardedAnswer::Degraded(ShardedDegraded {
+                ranked,
+                merge,
+                failed,
+                missing_bound,
+            }))
+        }
+    }
+
+    /// Scatter-gather top-`k` over this pin's epoch. Bit-identical to a
+    /// [`crate::ShardedVideoDb`] partitioned from the store rebuilt at
+    /// the same epoch — the oracle property the churn suites enforce.
+    ///
+    /// # Errors
+    ///
+    /// Non-degradable errors only; shard-level degradable failures
+    /// resolve to [`ShardedAnswer::Degraded`].
+    pub fn top_k(
+        &self,
+        query: &Formula,
+        depth: u8,
+        k: usize,
+    ) -> Result<ShardedAnswer, EngineError> {
+        let normalized = normalize_query(query)?;
+        let query = normalized.as_ref();
+        let per_shard = (0..self.shard_count())
+            .map(|s| {
+                let id = ShardId(s);
+                (id, self.eval_shard_normalized(id, query, depth, k))
+            })
+            .collect();
+        self.gather(per_shard, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedVideoDb;
+    use simvid_htl::parse;
+    use simvid_model::VideoBuilder;
+
+    fn video(title: &str, gun_shots: &[bool]) -> VideoTree {
+        let mut b = VideoBuilder::new(title);
+        b.set_level_names(["video", "shot"]);
+        for (i, &has) in gun_shots.iter().enumerate() {
+            b.child(format!("shot{i}"));
+            if has {
+                let o = b.object(1, "person", None);
+                b.relationship("holds_gun", [o]);
+            } else {
+                b.object(2, "horse", None);
+            }
+            b.up();
+        }
+        b.finish().unwrap()
+    }
+
+    fn store() -> VideoStore {
+        let mut s = VideoStore::new();
+        s.add(video("a", &[false, true, false, true]));
+        s.add(video("b", &[true, true]));
+        s.add(video("c", &[false, false, true]));
+        s.add(video("d", &[true]));
+        s
+    }
+
+    fn live(shards: u32, replicas: u32) -> LiveVideoDb {
+        LiveVideoDb::new(
+            store(),
+            LiveConfig {
+                shards,
+                replicas,
+                ..LiveConfig::default()
+            },
+            Arc::new(Registry::new()),
+        )
+    }
+
+    fn frozen_answer(s: &VideoStore, shards: u32, q: &Formula, k: usize) -> Vec<ShardHit> {
+        let db = ShardedVideoDb::partition(
+            s,
+            shards,
+            &ScoringConfig::default(),
+            EngineConfig::default(),
+            CacheConfig::default(),
+            Arc::new(Registry::new()),
+        );
+        match db.top_k(q, 1, k).unwrap() {
+            ShardedAnswer::Complete(t) => t.ranked,
+            ShardedAnswer::Degraded(_) => panic!("frozen oracle degraded"),
+        }
+    }
+
+    #[test]
+    fn pinned_queries_match_frozen_store_before_any_mutation() {
+        let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+        for shards in 1..=3 {
+            for replicas in 1..=2 {
+                let db = live(shards, replicas);
+                let pin = db.pin();
+                assert_eq!(pin.epoch(), CorpusEpoch(0));
+                let got = db.pin().top_k(&q, 1, 5).unwrap();
+                assert!(got.is_complete());
+                assert_eq!(got.ranked(), &frozen_answer(&store(), shards, &q, 5)[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_swaps_snapshot_but_pinned_queries_keep_their_epoch() {
+        let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+        let db = live(2, 1);
+        let old_pin = db.pin();
+        let before = old_pin.top_k(&q, 1, 10).unwrap();
+
+        let batch = db
+            .apply(&[
+                CorpusOp::Remove(VideoId(1)),
+                CorpusOp::Ingest(video("e", &[true, false, true])),
+            ])
+            .unwrap();
+        assert_eq!(batch.epoch, CorpusEpoch(1));
+        assert_eq!(db.epoch(), CorpusEpoch(1));
+
+        // The old pin still answers at epoch 0, bit-identically.
+        assert_eq!(old_pin.epoch(), CorpusEpoch(0));
+        assert_eq!(old_pin.top_k(&q, 1, 10).unwrap(), before);
+
+        // A fresh pin answers like a frozen partition of the replayed
+        // store at epoch 1.
+        let pin = db.pin();
+        assert_eq!(pin.epoch(), CorpusEpoch(1));
+        let got = pin.top_k(&q, 1, 10).unwrap();
+        let rebuilt = db.replay_to(CorpusEpoch(1));
+        assert_eq!(got.ranked(), &frozen_answer(&rebuilt, 2, &q, 10)[..]);
+    }
+
+    #[test]
+    fn untouched_members_are_reused_and_mutated_ones_are_not() {
+        let db = live(2, 1);
+        let q = parse("exists x . holds_gun(x)").unwrap();
+        // Warm the caches.
+        db.pin().top_k(&q, 1, 5).unwrap();
+        let before = db.pin();
+        let gens: Vec<Option<u64>> = (0..4).map(|v| before.generation_of(VideoId(v))).collect();
+
+        db.apply(&[CorpusOp::Update(VideoId(2), video("c2", &[true]))])
+            .unwrap();
+        let after = db.pin();
+        for v in [0u32, 1, 3] {
+            assert_eq!(
+                after.generation_of(VideoId(v)),
+                gens[v as usize],
+                "untouched video {v} must keep its member"
+            );
+        }
+        assert_ne!(after.generation_of(VideoId(2)), gens[2]);
+        // Counters: something was retained (videos 0/1/3 were warm),
+        // and the evicted count covers only video 2's tables.
+        let snap = db.registry().snapshot();
+        assert!(snap.counter("cache.invalidation.retained").unwrap_or(0) > 0);
+        assert_eq!(snap.gauge("corpus.epoch"), Some(1));
+    }
+
+    #[test]
+    fn rejected_and_faulted_batches_leave_the_pre_batch_epoch() {
+        let q = parse("exists x . holds_gun(x)").unwrap();
+        let db = live(2, 1);
+        let before = db.pin().top_k(&q, 1, 10).unwrap();
+
+        let err = db.apply(&[CorpusOp::Remove(VideoId(99))]).unwrap_err();
+        assert!(matches!(err, ApplyError::Rejected(_)));
+        assert_eq!(db.epoch(), CorpusEpoch(0));
+        assert_eq!(db.pin().top_k(&q, 1, 10).unwrap(), before);
+
+        // Injected fault: always-fire plan aborts the batch atomically.
+        let db = live(2, 1).with_apply_faults(FaultPlan::chaos_default());
+        let before = db.pin().top_k(&q, 1, 10).unwrap();
+        let mut aborted = false;
+        for i in 0..16u32 {
+            let r = db.apply(&[CorpusOp::Ingest(video(&format!("n{i}"), &[true]))]);
+            match r {
+                Ok(_) => {}
+                Err(ApplyError::Injected { .. }) => {
+                    aborted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(aborted, "chaos plan should fire within 16 batches");
+        // Whatever committed before the abort is consistent: the pinned
+        // answer replays bit-identically from the log.
+        let head = db.epoch();
+        let rebuilt = db.replay_to(head);
+        assert_eq!(rebuilt.epoch(), head);
+        let _ = before;
+    }
+}

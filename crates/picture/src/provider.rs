@@ -10,10 +10,28 @@ use simvid_core::{
     SimilarityTable, ValueRow, ValueTable,
 };
 use simvid_htl::{AtomicUnit, AttrFn, Formula, FormulaId};
-use simvid_model::{AttrValue, ObjectId, VideoTree};
+use simvid_model::{AttrValue, CorpusEpoch, ObjectId, VideoTree};
 use simvid_obs::Registry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// How a [`PictureSystem`] holds its video: borrowed from a frozen
+/// [`simvid_model::VideoStore`] (the classic build-time path) or shared
+/// via `Arc` (the live-ingestion path, where snapshots outlive any one
+/// borrow of the mutable store).
+enum TreeHandle<'a> {
+    Borrowed(&'a VideoTree),
+    Shared(Arc<VideoTree>),
+}
+
+impl TreeHandle<'_> {
+    fn tree(&self) -> &VideoTree {
+        match self {
+            TreeHandle::Borrowed(t) => t,
+            TreeHandle::Shared(t) => t,
+        }
+    }
+}
 
 /// The picture retrieval system over one video: index-backed similarity
 /// scoring of atomic (non-temporal) queries, with a cross-query LRU cache
@@ -23,11 +41,20 @@ use std::sync::{Arc, Mutex};
 /// [`Arc`]s) so the system is [`Sync`], as the engine's parallel
 /// evaluation paths require of every [`AtomicProvider`].
 pub struct PictureSystem<'a> {
-    tree: &'a VideoTree,
+    tree: TreeHandle<'a>,
     config: ScoringConfig,
     indices: Mutex<HashMap<u8, Arc<LevelIndex>>>,
     cache: AtomicCache,
     registry: Arc<Registry>,
+    /// The corpus epoch this system was built against (0 for frozen
+    /// stores). Stamped so snapshot layers can assert they never mix
+    /// epochs within one query.
+    epoch: CorpusEpoch,
+    /// The cache generation of the (video, content) pair this system
+    /// serves. Live ingestion builds a fresh system — fresh generation,
+    /// empty caches — whenever a video's content changes, so stale tables
+    /// are unreachable by construction.
+    generation: u64,
 }
 
 impl<'a> PictureSystem<'a> {
@@ -59,12 +86,57 @@ impl<'a> PictureSystem<'a> {
         registry: Arc<Registry>,
     ) -> Self {
         PictureSystem {
-            tree,
+            tree: TreeHandle::Borrowed(tree),
             config,
             indices: Mutex::new(HashMap::new()),
             cache: AtomicCache::new(cache, &registry),
             registry,
+            epoch: CorpusEpoch(0),
+            generation: 0,
         }
+    }
+
+    /// Creates a picture system that *shares* its video via [`Arc`]
+    /// instead of borrowing it — the live-ingestion path, where an
+    /// epoch snapshot must keep the tree alive independently of the
+    /// mutable store it came from.
+    #[must_use]
+    pub fn shared(
+        tree: Arc<VideoTree>,
+        config: ScoringConfig,
+        cache: CacheConfig,
+        registry: Arc<Registry>,
+    ) -> PictureSystem<'static> {
+        PictureSystem {
+            tree: TreeHandle::Shared(tree),
+            config,
+            indices: Mutex::new(HashMap::new()),
+            cache: AtomicCache::new(cache, &registry),
+            registry,
+            epoch: CorpusEpoch(0),
+            generation: 0,
+        }
+    }
+
+    /// Stamps the corpus epoch and cache generation this system was built
+    /// against (both default to 0, the frozen-store convention).
+    #[must_use]
+    pub fn with_provenance(mut self, epoch: CorpusEpoch, generation: u64) -> Self {
+        self.epoch = epoch;
+        self.generation = generation;
+        self
+    }
+
+    /// The corpus epoch this system was built against.
+    #[must_use]
+    pub fn corpus_epoch(&self) -> CorpusEpoch {
+        self.epoch
+    }
+
+    /// The cache generation of this system's (video, content) pair.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The metrics registry this system records into.
@@ -76,7 +148,14 @@ impl<'a> PictureSystem<'a> {
     /// The video this system serves.
     #[must_use]
     pub fn tree(&self) -> &VideoTree {
-        self.tree
+        self.tree.tree()
+    }
+
+    /// Number of scored tables currently resident in the atomic-result
+    /// cache — the "warm cache" the invalidation counters account for.
+    #[must_use]
+    pub fn resident_tables(&self) -> usize {
+        self.cache.resident_tables()
     }
 
     /// The atomic-cache configuration in effect.
@@ -106,7 +185,7 @@ impl<'a> PictureSystem<'a> {
             .lock()
             .expect("index cache lock")
             .entry(depth)
-            .or_insert_with(|| Arc::new(LevelIndex::build(self.tree, depth)))
+            .or_insert_with(|| Arc::new(LevelIndex::build(self.tree.tree(), depth)))
             .clone()
     }
 
@@ -121,7 +200,7 @@ impl<'a> PictureSystem<'a> {
         let q = compiled.as_ref().as_ref().map_err(Clone::clone)?;
         let ix = self.index(depth);
         let n = ix.len;
-        Ok(score_window(self.tree, &ix, depth, 0, n, q))
+        Ok(score_window(self.tree.tree(), &ix, depth, 0, n, q))
     }
 
     /// Evaluates a *closed* pure formula at `depth` and returns its
@@ -164,7 +243,7 @@ impl AtomicProvider for PictureSystem<'_> {
         // share their lists) only if it needs to mutate.
         self.cache.table_with(id, ctx, || {
             let ix = self.index(ctx.depth);
-            score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q)
+            score_window(self.tree.tree(), &ix, ctx.depth, ctx.lo, ctx.hi, q)
         })
     }
 
@@ -194,7 +273,14 @@ impl AtomicProvider for PictureSystem<'_> {
         };
         self.cache.try_table_with::<ProviderError>(id, ctx, || {
             let ix = self.index(ctx.depth);
-            Ok(score_window(self.tree, &ix, ctx.depth, ctx.lo, ctx.hi, q))
+            Ok(score_window(
+                self.tree.tree(),
+                &ix,
+                ctx.depth,
+                ctx.lo,
+                ctx.hi,
+                q,
+            ))
         })
     }
 
@@ -211,12 +297,13 @@ impl AtomicProvider for PictureSystem<'_> {
     }
 
     fn value_table(&self, func: &AttrFn, ctx: SeqContext) -> ValueTable {
+        let tree = self.tree.tree();
         let mut builder = ValueTableBuilder::new(match &func.of {
             Some(v) => vec![v.0.clone()],
             None => Vec::new(),
         });
         for p in ctx.lo..ctx.hi {
-            let Some(meta) = self.tree.meta_at(ctx.depth, p) else {
+            let Some(meta) = tree.meta_at(ctx.depth, p) else {
                 continue;
             };
             let local = p - ctx.lo + 1;
@@ -229,12 +316,10 @@ impl AtomicProvider for PictureSystem<'_> {
                 Some(_) => {
                     for inst in &meta.objects {
                         let value = match func.attr.as_str() {
-                            "type" | "class" => self
-                                .tree
+                            "type" | "class" => tree
                                 .object_info(inst.id)
                                 .map(|i| AttrValue::from(i.class.clone())),
-                            "name" => self
-                                .tree
+                            "name" => tree
                                 .object_info(inst.id)
                                 .and_then(|i| i.name.clone())
                                 .map(AttrValue::from),

@@ -160,6 +160,11 @@ impl<'a, P: AtomicProvider> ReplicatedVideoDb<'a, P> {
             replicas.iter().all(|r| r.shard_count() == shards),
             "replicas must share the partition"
         );
+        let epoch = replicas[0].epoch();
+        assert!(
+            replicas.iter().all(|r| r.epoch() == epoch),
+            "replicas must agree on the corpus epoch (never mix epochs)"
+        );
         let health = ReplicaSetHealth::new(shards, replicas.len() as u32, breaker, &registry);
         ReplicatedVideoDb {
             replicas,
@@ -223,6 +228,13 @@ impl<'a, P: AtomicProvider> ReplicatedVideoDb<'a, P> {
     #[must_use]
     pub fn shard_count(&self) -> u32 {
         self.replicas[0].shard_count()
+    }
+
+    /// The corpus epoch every replica was built against (asserted equal
+    /// at assembly).
+    #[must_use]
+    pub fn epoch(&self) -> simvid_model::CorpusEpoch {
+        self.replicas[0].epoch()
     }
 
     /// Number of replicas of the partition.

@@ -32,7 +32,7 @@ use simvid_core::{
     ShardHit, ShardStream, TopKAnswer,
 };
 use simvid_htl::{classify, normalize_for_engine, Formula, FormulaClass};
-use simvid_model::{VideoId, VideoStore, VideoTree};
+use simvid_model::{CorpusEpoch, VideoId, VideoStore, VideoTree};
 use simvid_obs::Registry;
 use std::fmt;
 use std::sync::Arc;
@@ -161,6 +161,10 @@ pub struct ShardedVideoDb<'a, P: AtomicProvider> {
     shards: Vec<Shard<'a, P>>,
     engine_cfg: EngineConfig,
     registry: Arc<Registry>,
+    /// The corpus epoch the partition was built against. A frozen db
+    /// serves this one epoch forever; the live layer builds a fresh
+    /// snapshot per epoch instead of mutating one in place.
+    epoch: CorpusEpoch,
 }
 
 impl<'a> ShardedVideoDb<'a, PictureSystem<'a>> {
@@ -189,6 +193,7 @@ impl<'a> ShardedVideoDb<'a, PictureSystem<'a>> {
                 members: Vec::new(),
             })
             .collect();
+        let epoch = store.epoch();
         for (video, tree) in store.iter() {
             let shard = shard_of(video, shards);
             buckets[shard.0 as usize].members.push(ShardMember {
@@ -199,13 +204,15 @@ impl<'a> ShardedVideoDb<'a, PictureSystem<'a>> {
                     scoring.clone(),
                     cache,
                     Arc::clone(&registry),
-                ),
+                )
+                .with_provenance(epoch, 0),
             });
         }
         ShardedVideoDb {
             shards: buckets,
             engine_cfg,
             registry,
+            epoch,
         }
     }
 }
@@ -241,7 +248,14 @@ impl<'a, P: AtomicProvider> ShardedVideoDb<'a, P> {
             shards,
             engine_cfg: self.engine_cfg,
             registry: self.registry,
+            epoch: self.epoch,
         }
+    }
+
+    /// The corpus epoch this partition was built against.
+    #[must_use]
+    pub fn epoch(&self) -> CorpusEpoch {
+        self.epoch
     }
 
     /// Visits every per-video provider (chaos harnesses use this to bump
@@ -525,7 +539,8 @@ impl<'a, P: AtomicProvider> ShardedVideoDb<'a, P> {
 
 /// Hoists inline quantifiers exactly as [`crate::VideoDatabase::retrieve`]
 /// does, so naively-written queries reach the engine-supported class.
-fn normalize_query(query: &Formula) -> Result<NormalizedQuery<'_>, EngineError> {
+/// Shared with the live-ingestion store so both normalize identically.
+pub(crate) fn normalize_query(query: &Formula) -> Result<NormalizedQuery<'_>, EngineError> {
     if classify(query) == FormulaClass::General {
         let (hoisted, _, after) = normalize_for_engine(query);
         if after == FormulaClass::General {
@@ -541,13 +556,13 @@ fn normalize_query(query: &Formula) -> Result<NormalizedQuery<'_>, EngineError> 
     }
 }
 
-enum NormalizedQuery<'q> {
+pub(crate) enum NormalizedQuery<'q> {
     Borrowed(&'q Formula),
     Owned(Formula),
 }
 
 impl NormalizedQuery<'_> {
-    fn as_ref(&self) -> &Formula {
+    pub(crate) fn as_ref(&self) -> &Formula {
         match self {
             NormalizedQuery::Borrowed(f) => f,
             NormalizedQuery::Owned(f) => f,

@@ -20,6 +20,7 @@
 //!   requests over a fixed query pool), for the cross-query cache.
 
 pub mod casablanca;
+pub mod churn;
 pub mod gulfwar;
 pub mod queries;
 pub mod randomlists;

@@ -12,8 +12,12 @@
 //! bounds, for every position of the sequence).
 
 use simvid_core::{Engine, EngineConfig, Interval, ParallelConfig};
+use simvid_htl::parse;
+use simvid_model::{CorpusOp, VideoBuilder, VideoStore, VideoTree};
 use simvid_obs::Registry;
-use simvid_picture::{CacheConfig, PictureSystem, ScoringConfig};
+use simvid_picture::{
+    ApplyError, CacheConfig, LiveConfig, LiveVideoDb, PictureSystem, ScoringConfig,
+};
 use simvid_resilience::{FaultPlan, FaultyProvider, RetryPolicy};
 use simvid_workload::serve::{
     self, RequestLimits, RequestOutcome, ResilientRun, ServeConfig, ServeWorkload,
@@ -182,6 +186,88 @@ fn fault_free_requests_are_bit_identical_and_degraded_answers_bracket_truth() {
         checked_degraded > 0,
         "the hot plan must produce at least one degraded answer to check"
     );
+}
+
+/// A tiny matching video for the apply-chaos corpus.
+fn armed_video(title: &str, shots: usize) -> VideoTree {
+    let mut b = VideoBuilder::new(title);
+    b.set_level_names(["video", "shot"]);
+    for i in 0..shots {
+        b.child(format!("shot{i}"));
+        let o = b.object(1, "person", None);
+        if i % 2 == 0 {
+            b.relationship("holds_gun", [o]);
+        }
+        b.up();
+    }
+    b.finish().unwrap()
+}
+
+/// Ingestion under chaos: a fault injected mid-apply aborts the whole
+/// batch before anything is published — the store stays at its pre-batch
+/// epoch and keeps answering bit-identically to a twin store that never
+/// saw the faulted batch (all-or-nothing, verified end to end).
+#[test]
+fn faulted_applies_are_all_or_nothing_and_leave_the_store_untouched() {
+    let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+    let mut store = VideoStore::new();
+    for i in 0..3 {
+        store.add(armed_video(&format!("v{i}"), 3 + i));
+    }
+    let cfg = LiveConfig {
+        shards: 2,
+        replicas: 1,
+        scoring: ScoringConfig::default(),
+        engine: EngineConfig::default(),
+        cache: CacheConfig::default(),
+    };
+    // No latency injection: the suite must not depend on wall clocks.
+    let plan = FaultPlan {
+        error_rate: 0.3,
+        panic_rate: 0.2,
+        latency_rate: 0.0,
+        ..FaultPlan::chaos_default()
+    };
+    let db = LiveVideoDb::new(store.clone(), cfg.clone(), Arc::new(Registry::new()))
+        .with_apply_faults(plan);
+    let twin = LiveVideoDb::new(store, cfg, Arc::new(Registry::new()));
+    let mut fired = false;
+    for i in 0..64u32 {
+        let batch = [CorpusOp::Ingest(armed_video(&format!("i{i}"), 4))];
+        match db.apply(&batch) {
+            Ok(applied) => {
+                let mirrored = twin.apply(&batch).expect("twin applies the same batch");
+                assert_eq!(applied.epoch, mirrored.epoch, "stores advance in lockstep");
+            }
+            Err(err @ ApplyError::Injected { .. }) => {
+                fired = true;
+                // All-or-nothing: the faulted batch left no trace — same
+                // epoch, same membership, same answers as the twin that
+                // never saw it.
+                assert_eq!(db.epoch(), twin.epoch(), "faulted apply bumped the epoch");
+                let (pin, twin_pin) = (db.pin(), twin.pin());
+                assert_eq!(pin.video_count(), twin_pin.video_count());
+                let got = pin.top_k(&q, 1, 10).unwrap();
+                let want = twin_pin.top_k(&q, 1, 10).unwrap();
+                assert!(got.is_complete() && want.is_complete());
+                assert_eq!(
+                    got.ranked(),
+                    want.ranked(),
+                    "a faulted apply must not change any answer"
+                );
+                // The world is replayable: retrying the identical batch at
+                // the same epoch hits the identical content-addressed fault.
+                assert_eq!(
+                    db.apply(&batch).unwrap_err(),
+                    err,
+                    "the fault schedule must be a pure function of (epoch, key)"
+                );
+                break;
+            }
+            Err(other) => panic!("valid batch rejected: {other}"),
+        }
+    }
+    assert!(fired, "the chaos plan never fired within 64 batches");
 }
 
 #[test]

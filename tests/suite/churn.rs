@@ -1,0 +1,331 @@
+//! Live-ingestion churn suite: the epoch-versioned incremental store
+//! against the full-rebuild oracle.
+//!
+//! The mutation layer's contract is that incrementality changes *what is
+//! recomputed*, never *answers*: after any interleaving of mutation
+//! batches and queries, the live store's top-`k` must equal, bit for bit
+//! (ranks, scores, ties), a from-scratch rebuild of the corpus replayed
+//! to the same epoch — for every shard count × replica count topology.
+//! On top of equivalence, the suite proves the concurrency contracts:
+//! the churn schedule through the worker-pool executor is bit-identical
+//! at every worker count, and a hot-key storm straddling an invalidation
+//! recomputes the mutated video's tables exactly once (the singleflight
+//! survives the generation bump).
+
+use proptest::prelude::*;
+use simvid_core::{EngineConfig, ShardHit};
+use simvid_htl::parse;
+use simvid_model::{CorpusOp, VideoBuilder, VideoId, VideoStore, VideoTree};
+use simvid_obs::Registry;
+use simvid_picture::{CacheConfig, LiveConfig, LiveVideoDb, ScoringConfig, ShardedVideoDb};
+use simvid_workload::churn::{
+    build_churn, run_schedule_churn, run_schedule_churn_concurrent, ChurnConfig,
+};
+use simvid_workload::serve::ExecutorConfig;
+use std::sync::Arc;
+
+/// A video whose shots follow `pattern`: `0` — no match, `1` — a person
+/// without a gun (partial match), `2` — an armed person (full match).
+/// Three similarity levels make ties the common case, so the oracle
+/// comparison exercises the tie-break, not just the scores.
+fn video(title: &str, pattern: &[u8]) -> VideoTree {
+    let mut b = VideoBuilder::new(title);
+    b.set_level_names(["video", "shot"]);
+    for (i, &kind) in pattern.iter().enumerate() {
+        b.child(format!("shot{i}"));
+        match kind {
+            0 => {
+                b.object(2, "horse", None);
+            }
+            1 => {
+                b.object(1, "person", None);
+            }
+            _ => {
+                let o = b.object(1, "person", None);
+                b.relationship("holds_gun", [o]);
+            }
+        }
+        b.up();
+    }
+    b.finish().unwrap()
+}
+
+fn store_from(patterns: &[Vec<u8>]) -> VideoStore {
+    let mut store = VideoStore::new();
+    for (i, p) in patterns.iter().enumerate() {
+        store.add(video(&format!("v{i}"), p));
+    }
+    store
+}
+
+fn live(store: VideoStore, shards: u32, replicas: u32) -> LiveVideoDb {
+    LiveVideoDb::new(
+        store,
+        LiveConfig {
+            shards,
+            replicas,
+            scoring: ScoringConfig::default(),
+            engine: EngineConfig::default(),
+            cache: CacheConfig::default(),
+        },
+        Arc::new(Registry::new()),
+    )
+}
+
+/// The full-rebuild oracle: a frozen partition of `store`, evaluated from
+/// scratch on its own registry.
+fn frozen_top_k(
+    store: &VideoStore,
+    shards: u32,
+    q: &simvid_htl::Formula,
+    k: usize,
+) -> Vec<ShardHit> {
+    let db = ShardedVideoDb::partition(
+        store,
+        shards,
+        &ScoringConfig::default(),
+        EngineConfig::default(),
+        CacheConfig::default(),
+        Arc::new(Registry::new()),
+    );
+    let answer = db.top_k(q, 1, k).expect("rebuild oracle evaluates");
+    assert!(answer.is_complete(), "fault-free rebuild must not degrade");
+    answer.ranked().to_vec()
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic 1–6 shot pattern from the seed stream.
+fn pattern_from(rng: &mut u64) -> Vec<u8> {
+    let len = 1 + (splitmix(rng) % 6) as usize;
+    (0..len).map(|_| (splitmix(rng) % 3) as u8).collect()
+}
+
+/// One valid mutation batch (1–3 ops) from the seed stream, mirroring the
+/// store's liveness rules via the local `live`/`next_id` simulation:
+/// updates and removes pick live ids, removal keeps at least one video.
+fn batch_from(rng: &mut u64, live: &mut Vec<u32>, next_id: &mut u32) -> Vec<CorpusOp> {
+    let op_count = 1 + (splitmix(rng) % 3) as usize;
+    let mut ops = Vec::with_capacity(op_count);
+    for _ in 0..op_count {
+        match splitmix(rng) % 3 {
+            1 if !live.is_empty() => {
+                let pick = live[(splitmix(rng) as usize) % live.len()];
+                let p = pattern_from(rng);
+                ops.push(CorpusOp::Update(
+                    VideoId(pick),
+                    video(&format!("u{pick}"), &p),
+                ));
+            }
+            2 if live.len() > 1 => {
+                let ix = (splitmix(rng) as usize) % live.len();
+                ops.push(CorpusOp::Remove(VideoId(live.swap_remove(ix))));
+            }
+            _ => {
+                let p = pattern_from(rng);
+                ops.push(CorpusOp::Ingest(video(&format!("i{next_id}"), &p)));
+                live.push(*next_id);
+                *next_id += 1;
+            }
+        }
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole oracle, property-tested: an arbitrary interleaving of
+    /// mutation batches and queries over a seeded random corpus — before
+    /// any mutation and after every batch, the incremental store's
+    /// top-`k` equals a from-scratch rebuild at that epoch bit for bit,
+    /// for every shard count in 1..=4 × replica count in 1..=2.
+    #[test]
+    fn incremental_store_matches_full_rebuild_after_every_batch(
+        patterns in prop::collection::vec(prop::collection::vec(0u8..3, 1..6), 1..5),
+        batch_seeds in prop::collection::vec(any::<u64>(), 1..4),
+        k in 1usize..=12,
+    ) {
+        let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+        for shards in 1u32..=4 {
+            for replicas in 1u32..=2 {
+                let store = store_from(&patterns);
+                let db = live(store, shards, replicas);
+                let mut live_ids: Vec<u32> = (0..patterns.len() as u32).collect();
+                let mut next_id = patterns.len() as u32;
+                // Query at the base epoch, then after every batch.
+                for (step, seed) in [None].into_iter().chain(batch_seeds.iter().map(Some)).enumerate() {
+                    if let Some(&seed) = seed {
+                        let mut rng = seed;
+                        let ops = batch_from(&mut rng, &mut live_ids, &mut next_id);
+                        db.apply(&ops).expect("generated batch is valid");
+                    }
+                    let rebuilt = db.replay_to(db.epoch());
+                    let oracle = frozen_top_k(&rebuilt, shards, &q, k);
+                    let pin = db.pin();
+                    prop_assert_eq!(pin.epoch(), db.epoch());
+                    let got = pin.top_k(&q, 1, k).unwrap();
+                    prop_assert!(got.is_complete(), "fault-free query must not degrade");
+                    prop_assert_eq!(
+                        got.ranked(), &oracle[..],
+                        "shards={} replicas={} step={}", shards, replicas, step
+                    );
+                    let _ = step;
+                }
+            }
+        }
+    }
+}
+
+/// The churn schedule through the concurrent `(request, shard)` executor
+/// with mid-schedule mutations is bit-identical — epochs and rankings —
+/// to the sequential runner at 1, 2, 4 and 8 workers.
+#[test]
+fn concurrent_churn_is_bit_identical_at_every_worker_count() {
+    let cfg = ChurnConfig {
+        videos: 5,
+        shots: 12,
+        requests: 24,
+        batches: 3,
+        shards: 2,
+        replicas: 2,
+        ..ChurnConfig::default()
+    };
+    let w = build_churn(&cfg);
+    let fresh = || {
+        LiveVideoDb::new(
+            w.store.clone(),
+            LiveConfig {
+                shards: cfg.shards,
+                replicas: cfg.replicas,
+                scoring: ScoringConfig::default(),
+                engine: EngineConfig::default(),
+                cache: CacheConfig::with_capacity(cfg.cache_capacity),
+            },
+            Arc::new(Registry::new()),
+        )
+    };
+    let seq = run_schedule_churn(&w, &fresh());
+    assert!(
+        seq.epochs().len() > 1,
+        "the schedule must cross at least one mutation"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let conc =
+            run_schedule_churn_concurrent(&w, &fresh(), &ExecutorConfig::with_workers(workers));
+        assert_eq!(conc.answers.len(), seq.answers.len());
+        for (r, ((se, sa), (ce, ca))) in seq.answers.iter().zip(&conc.answers).enumerate() {
+            assert_eq!(se, ce, "workers={workers} request={r}: epochs must align");
+            assert_eq!(
+                sa.ranked(),
+                ca.ranked(),
+                "workers={workers} request={r}: rankings must be bit-identical"
+            );
+        }
+    }
+}
+
+/// A hot-key storm straddling an invalidation: eight threads hammer the
+/// just-mutated video's hottest query on the fresh snapshot. The fresh
+/// member starts cold, so the storm's first arrival recomputes — and the
+/// singleflight must make it *exactly once*: the storm's miss count
+/// equals one cold evaluation's miss count, every other requester hits
+/// the published table or coalesces onto the in-flight computation.
+#[test]
+fn hot_key_storm_across_invalidation_recomputes_the_mutated_video_once() {
+    let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+    // A single-video corpus pins every cache key to the mutated video, so
+    // the miss deltas below are exactly the affected member's recomputes.
+    let patterns: Vec<Vec<u8>> = vec![vec![2, 1, 0, 2]];
+    let target = VideoId(0);
+    let new_pattern = vec![2u8, 2, 0, 1, 2];
+    let new_tree = video("v0-updated", &new_pattern);
+
+    // Fingerprint one cold evaluation of the *updated* tree: a scratch
+    // store already carrying the new tree, queried once from cold.
+    let scratch = live(store_from(std::slice::from_ref(&new_pattern)), 1, 1);
+    let scratch_misses = scratch.registry().counter("cache.misses");
+    let before = scratch_misses.get();
+    let _ = scratch
+        .pin()
+        .top_k(&q, 1, 10)
+        .expect("cold query evaluates");
+    let cold_misses = scratch_misses.get() - before;
+    assert!(cold_misses > 0, "a cold query must miss at least once");
+
+    // The live store: warm the target, invalidate it, then storm the
+    // fresh (cold) member from eight threads at once.
+    let db = live(store_from(&patterns), 1, 1);
+    let registry = Arc::clone(db.registry());
+    let _ = db.pin().top_k(&q, 1, 10).expect("warm-up query evaluates");
+    db.apply(&[CorpusOp::Update(target, new_tree)])
+        .expect("update applies");
+    let pin = db.pin();
+    let (lookups, hits, misses, coalesced) = (
+        registry.counter("cache.lookups"),
+        registry.counter("cache.hits"),
+        registry.counter("cache.misses"),
+        registry.counter("cache.coalesced"),
+    );
+    let base = (lookups.get(), hits.get(), misses.get(), coalesced.get());
+    const STORM: usize = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..STORM {
+            let (pin, q) = (&pin, &q);
+            scope.spawn(move || {
+                let answer = pin.top_k(q, 1, 10).expect("storm query evaluates");
+                assert!(answer.is_complete());
+            });
+        }
+    });
+    let storm_misses = misses.get() - base.2;
+    assert_eq!(
+        storm_misses, cold_misses,
+        "the invalidated video must be recomputed exactly once under the storm"
+    );
+    let storm_lookups = lookups.get() - base.0;
+    let storm_hits = hits.get() - base.1;
+    let storm_coalesced = coalesced.get() - base.3;
+    assert_eq!(
+        storm_lookups,
+        storm_hits + storm_misses + storm_coalesced,
+        "every storm lookup is exactly one of hit/miss/coalesced"
+    );
+    assert_eq!(
+        storm_hits + storm_coalesced,
+        storm_lookups - cold_misses,
+        "every non-leader requester hits the published table or coalesces"
+    );
+}
+
+/// Mutations must not disturb pinned history: a pin taken before a batch
+/// keeps answering at its own epoch, bit-identical to the rebuild of that
+/// epoch, even after the corpus has moved on.
+#[test]
+fn pinned_snapshots_answer_their_own_epoch_after_later_mutations() {
+    let q = parse("exists x . person(x) and holds_gun(x)").unwrap();
+    let patterns: Vec<Vec<u8>> = vec![vec![2, 0, 1], vec![1, 1, 2], vec![2, 2]];
+    let db = live(store_from(&patterns), 2, 1);
+    let old_pin = db.pin();
+    let old_epoch = old_pin.epoch();
+    let old_oracle = frozen_top_k(&db.replay_to(old_epoch), 2, &q, 10);
+    db.apply(&[
+        CorpusOp::Remove(VideoId(0)),
+        CorpusOp::Ingest(video("i3", &[2, 2, 2])),
+    ])
+    .expect("batch applies");
+    assert_ne!(db.epoch(), old_epoch, "the corpus moved on");
+    let got = old_pin.top_k(&q, 1, 10).unwrap();
+    assert!(got.is_complete());
+    assert_eq!(
+        got.ranked(),
+        &old_oracle[..],
+        "the old pin must keep serving its pinned epoch"
+    );
+}
